@@ -1,0 +1,66 @@
+"""Ablation: checkpoint-interval trade-off on transient servers.
+
+The checkpoint interval trades steady-state overhead (each checkpoint
+serializes the model, Section IV) against exposure to revocations (work
+since the last checkpoint is the worst-case loss under CM-DARE,
+Section V-E).  This ablation sweeps the interval for a transient ResNet-32
+cluster using the Eq. (4)-style decomposition and shows the expected
+U-shape: very frequent checkpoints pay too much overhead, very rare ones
+lose too much work per revocation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.cloud.revocation import RevocationModel
+from repro.perf.checkpoint_time import CheckpointTimeModel
+from repro.perf.step_time import StepTimeModel
+
+
+def test_ablation_checkpoint_interval(benchmark, catalog):
+    profile = catalog.profile("resnet_32")
+    step_model = StepTimeModel()
+    checkpoint_model = CheckpointTimeModel()
+    revocation_model = RevocationModel()
+
+    total_steps = 64_000
+    cluster_speed = 2 * step_model.mean_speed(profile.gflops, "k80")
+    checkpoint_time = checkpoint_model.mean_time(profile.checkpoint)
+    region, gpu, workers = "us-east1", "k80", 2
+
+    def expected_total_time(interval: int) -> float:
+        compute = total_steps / cluster_speed
+        checkpoints = math.ceil(total_steps / interval) * checkpoint_time
+        duration_hours = (compute + checkpoints) / 3600.0
+        expected_revocations = workers * revocation_model.revocation_probability(
+            gpu, region, duration_hours)
+        # Under CM-DARE the loss per revocation is bounded by the work since
+        # the last checkpoint (half an interval in expectation) plus the
+        # replacement gap.
+        lost_steps = expected_revocations * interval / 2.0
+        replacement = expected_revocations * (85.0 + 20.0)
+        return compute + checkpoints + lost_steps / cluster_speed + replacement
+
+    intervals = (250, 1000, 4000, 16_000, 64_000)
+    totals = benchmark.pedantic(
+        lambda: {interval: expected_total_time(interval) for interval in intervals},
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ["checkpoint interval (steps)", "expected completion time (h)"],
+        [[interval, totals[interval] / 3600.0] for interval in intervals],
+        title="Ablation: checkpoint interval on 2 transient K80s (ResNet-32, 64K steps)",
+        float_format="{:.3f}"))
+
+    best = min(totals, key=totals.get)
+    print(f"best interval: {best} steps (the paper's examples use 4000)")
+    # The sweep is U-shaped: both extremes are worse than the best choice.
+    assert totals[250] > totals[best]
+    assert totals[64_000] > totals[best]
+    # The paper's 4K-step interval sits within a couple percent of the best.
+    assert totals[4000] <= totals[best] * 1.02
+    # Checkpointing every 250 steps costs hours of pure overhead.
+    assert totals[250] - totals[best] > 0.2 * 3600.0

@@ -1,0 +1,72 @@
+"""Ablation: the parameter-server capacity calibration.
+
+DESIGN.md calls out two empirical calibration choices behind the cluster
+model: the soft-minimum sharpness between worker demand and PS capacity,
+and the sub-linear capacity scaling with the PS count.  This ablation
+sweeps both and shows that the chosen values are the ones that reproduce
+the paper's observations (Table III's gradual per-worker slowdown and
+Fig. 12's ~70% two-PS improvement), while the extreme alternatives do not.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.perf.calibration import PS_CAPACITY_ANCHORS, PS_SOFTMIN_SHARPNESS
+from repro.perf.ps_capacity import PSCapacityModel, effective_cluster_speed
+from repro.perf.step_time import StepTimeModel
+
+
+def test_ablation_ps_capacity_calibration(benchmark, catalog):
+    profile = catalog.profile("resnet_32")
+    step_model = StepTimeModel()
+    p100_speed = step_model.mean_speed(profile.gflops, "p100")
+
+    def sweep():
+        rows = []
+        for sharpness in (2.0, PS_SOFTMIN_SHARPNESS, 64.0):
+            capacity = PSCapacityModel().capacity(profile.parameter_bytes, 1)
+            four = effective_cluster_speed(4 * p100_speed, capacity, sharpness)
+            eight = effective_cluster_speed(8 * p100_speed, capacity, sharpness)
+            rows.append((sharpness,
+                         (4 * p100_speed / four - 1.0) * 100.0,
+                         (8 * p100_speed / eight - 1.0) * 100.0))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["soft-min sharpness", "4xP100 per-worker slowdown (%)",
+         "8xP100 per-worker slowdown (%)"],
+        [[f"{s:.0f}", f"{a:.1f}", f"{b:.1f}"] for s, a, b in rows],
+        title="Ablation: soft-min sharpness (ResNet-32, 1 PS)"))
+
+    by_sharpness = {s: (a, b) for s, a, b in rows}
+    chosen_four, chosen_eight = by_sharpness[PS_SOFTMIN_SHARPNESS]
+    # Table III: a 4-P100 cluster runs ~7% slower per worker, an 8-P100
+    # cluster is roughly 2x slower.  The chosen sharpness reproduces that.
+    assert 2.0 < chosen_four < 20.0
+    assert 70.0 < chosen_eight < 130.0
+    # A very soft knee (sharpness 2) slows even lightly-loaded clusters far
+    # too much, while a near-hard min (sharpness 64) under-predicts the
+    # early-warning slowdown the paper measures at four workers; the chosen
+    # value sits between the two extremes.
+    soft_four, _ = by_sharpness[2.0]
+    hard_four, _ = by_sharpness[64.0]
+    assert soft_four > 2.0 * chosen_four
+    assert hard_four < chosen_four
+
+    # PS-count scaling: the calibrated exponent reproduces the paper's "up to
+    # 70.6%" improvement; linear scaling would overshoot it.
+    model = PSCapacityModel()
+    speeds = [p100_speed] * 8
+    one_ps = model.cluster_speed(speeds, profile.parameter_bytes, 1)
+    two_ps = model.cluster_speed(speeds, profile.parameter_bytes, 2)
+    linear_two_ps = effective_cluster_speed(
+        8 * p100_speed, 2 * model.capacity(profile.parameter_bytes, 1))
+    calibrated_gain = two_ps / one_ps - 1.0
+    linear_gain = linear_two_ps / one_ps - 1.0
+    print(f"two-PS improvement: calibrated {calibrated_gain * 100:.1f}% "
+          f"vs linear scaling {linear_gain * 100:.1f}% (paper: up to 70.6%)")
+    assert 0.5 < calibrated_gain < 0.9
+    assert linear_gain > calibrated_gain
+    assert len(PS_CAPACITY_ANCHORS) == 4

@@ -1,0 +1,61 @@
+"""Ablation: transient-aware chief recovery vs. the legacy IP-reuse path.
+
+CM-DARE's transient-TensorFlow hands checkpoint responsibility to a
+surviving worker when the chief is revoked; unmodified TensorFlow (with the
+replacement reusing the chief's IP) recomputes from the last checkpoint.
+This ablation revokes the chief mid-interval in both modes and measures the
+end-to-end completion time, quantifying the benefit of the paper's
+framework modification beyond the isolated Fig. 11 measurement.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec, WorkerSpec
+from repro.training.faults import FaultInjector
+from repro.training.job import TrainingJob
+from repro.training.session import TrainingSession
+
+
+def run_scenario(catalog, reuse_chief_ip: bool, seed: int = 30) -> float:
+    """Train 8K steps, revoke the chief at 5K, replace at 6K; return duration."""
+    profile = catalog.profile("resnet_15")
+    streams = RandomStreams(seed=seed)
+    session = TrainingSession(
+        Simulator(), ClusterSpec.from_counts(k80=2),
+        TrainingJob(profile=profile, total_steps=8000, checkpoint_interval_steps=4000),
+        streams=streams)
+    injector = FaultInjector(session, poll_interval_seconds=1.0)
+    injector.revoke_at_step("worker-0", 5000)
+    injector.replace_at_step(WorkerSpec(gpu_name="k80"), 6000, overhead_seconds=15.0,
+                             reuse_chief_ip=reuse_chief_ip, cold_start=False)
+    trace = session.run_to_completion()
+    assert trace.end_time is not None
+    return trace.end_time - trace.start_time
+
+
+def test_ablation_recovery_policy(benchmark, catalog):
+    transient_aware = benchmark.pedantic(lambda: run_scenario(catalog, False),
+                                         rounds=1, iterations=1)
+    legacy = run_scenario(catalog, True)
+    overhead = legacy - transient_aware
+
+    print()
+    print(format_table(
+        ["recovery policy", "completion time (s)"],
+        [["transient-aware handoff (CM-DARE)", f"{transient_aware:.1f}"],
+         ["legacy chief-IP reuse", f"{legacy:.1f}"],
+         ["recomputation overhead", f"{overhead:.1f}"]],
+        title="Ablation: chief-revocation recovery policy (ResNet-15, 2 x K80)"))
+
+    # The legacy path discards ~2K steps of progress: at ~19 steps/s that is
+    # on the order of 100+ seconds, plus the session restart.
+    assert overhead > 60.0
+    # And it is bounded by the work since the last checkpoint: well under the
+    # cost of recomputing the full 4K-step interval twice.
+    assert overhead < 2 * 4000 / 15.0
+    # CM-DARE's policy never loses progress, so its completion time is within
+    # a few percent of an undisturbed run plus the replacement gap.
+    assert transient_aware < legacy

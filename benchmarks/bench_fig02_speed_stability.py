@@ -1,0 +1,41 @@
+"""Fig. 2: training-speed stability on a K80 across the four named models.
+
+Regenerates the per-100-step speed series and checks the paper's
+observation that training speed is stable after warm-up (coefficient of
+variation at most ~0.02).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import FigureSeries, ascii_plot
+from repro.measurement.speed_campaign import run_speed_stability_campaign
+from repro.workloads.catalog import NAMED_MODELS
+
+
+def test_fig2_speed_stability(benchmark, catalog):
+    series = benchmark.pedantic(
+        lambda: run_speed_stability_campaign(gpu_name="k80", model_names=NAMED_MODELS,
+                                             steps=2000, seed=12, catalog=catalog),
+        rounds=1, iterations=1)
+
+    figure = FigureSeries(title="Fig. 2: training speed vs steps (K80)",
+                          x_label="cluster step", y_label="steps/second")
+    for model, points in series.items():
+        figure.add_series(model, points)
+    print()
+    print(figure.to_text())
+    print(ascii_plot(series["resnet_15"]))
+
+    for model in NAMED_MODELS:
+        post_warmup = np.array([speed for step, speed in series[model] if step > 100])
+        cov = post_warmup.std(ddof=1) / post_warmup.mean()
+        print(f"{model}: post-warm-up speed CoV = {cov:.4f}")
+        # The paper reports a maximum coefficient of variation of 0.02.
+        assert cov < 0.03, model
+    # Ordering by model complexity is visible in the series.
+    means = {model: np.mean([s for st, s in series[model] if st > 100])
+             for model in NAMED_MODELS}
+    assert (means["resnet_15"] > means["resnet_32"] > means["shake_shake_small"]
+            > means["shake_shake_big"])

@@ -1,0 +1,57 @@
+"""Fig. 3: step time vs. normalized computation and model complexity.
+
+Regenerates the twenty-model scatter for K80 and P100 workers and checks
+the strong positive correlation the paper observes, plus the separation of
+the per-GPU trend lines when plotting against raw model complexity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import FigureSeries
+from repro.modeling.preprocessing import MinMaxScaler
+
+
+def test_fig3_step_time_correlation(benchmark, full_speed_campaign):
+    cells = benchmark.pedantic(lambda: list(full_speed_campaign.cells),
+                               rounds=1, iterations=1)
+
+    figure_a = FigureSeries(title="Fig. 3(a): step time vs normalized computation",
+                            x_label="normalized Cm/Cgpu", y_label="step time (s)")
+    figure_b = FigureSeries(title="Fig. 3(b): step time vs normalized model GFLOPs",
+                            x_label="normalized Cm", y_label="step time (s)")
+
+    ratios = np.array([[cell.computation_ratio] for cell in cells])
+    gflops = np.array([[cell.model_gflops] for cell in cells])
+    norm_ratio = MinMaxScaler().fit_transform(ratios).ravel()
+    norm_gflops = MinMaxScaler().fit_transform(gflops).ravel()
+
+    for gpu in ("k80", "p100"):
+        points_a, points_b = [], []
+        for index, cell in enumerate(cells):
+            if cell.gpu_name != gpu:
+                continue
+            points_a.append((norm_ratio[index], cell.step_time))
+            points_b.append((norm_gflops[index], cell.step_time))
+        figure_a.add_series(gpu, sorted(points_a))
+        figure_b.add_series(gpu, sorted(points_b))
+    print()
+    print(figure_a.to_text())
+    print(figure_b.to_text())
+
+    # Strong positive correlation between step time and both features.
+    for gpu in ("k80", "p100"):
+        x = np.array([cell.computation_ratio for cell in cells if cell.gpu_name == gpu])
+        y = np.array([cell.step_time for cell in cells if cell.gpu_name == gpu])
+        correlation = np.corrcoef(x, y)[0, 1]
+        print(f"{gpu}: corr(step time, computation ratio) = {correlation:.3f}")
+        assert correlation > 0.95
+        assert len(x) == 20
+
+    # Against raw model complexity the two GPUs separate: for the same Cm the
+    # K80 step time is consistently larger.
+    by_model = {}
+    for cell in cells:
+        by_model.setdefault(cell.model_name, {})[cell.gpu_name] = cell.step_time
+    assert all(times["k80"] > times["p100"] for times in by_model.values())

@@ -1,0 +1,41 @@
+"""Fig. 4: cluster training speed vs. the number of P100 workers.
+
+Regenerates the scaling series for the four named models and checks the
+paper's observations: ResNet-15 keeps scaling, ResNet-32 and Shake-Shake
+Small plateau after ~4 workers (the parameter-server bottleneck), and
+Shake-Shake Big does not benefit from more P100 workers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import FigureSeries, ascii_plot
+from repro.measurement.scaling_campaign import run_cluster_scaling_campaign
+
+
+def test_fig4_cluster_scaling(benchmark, catalog):
+    result = benchmark.pedantic(
+        lambda: run_cluster_scaling_campaign(worker_counts=tuple(range(1, 9)),
+                                             steps=2000, seed=14, catalog=catalog),
+        rounds=1, iterations=1)
+
+    figure = FigureSeries(title="Fig. 4: cluster speed vs #P100 workers",
+                          x_label="number of P100 workers", y_label="steps/second")
+    for model, series in result.series.items():
+        figure.add_series(model, series)
+    print()
+    print(figure.to_text())
+    print(ascii_plot(result.series["resnet_15"]))
+
+    # ResNet-15 (least compute-intensive) shows the clearest upward trend.
+    assert result.plateau_ratio("resnet_15") > 5.0
+    # ResNet-32 and Shake-Shake Small plateau after about four workers.
+    for model in ("resnet_32", "shake_shake_small"):
+        series = dict(result.series[model])
+        assert series[8] < 1.25 * series[4], model
+        assert series[4] > 2.5 * series[1], model
+    # Shake-Shake Big sees no meaningful improvement on P100.
+    assert result.plateau_ratio("shake_shake_big") < 1.6
+    # Speeds never decrease with more workers.
+    for series in result.series.values():
+        speeds = [speed for _count, speed in series]
+        assert all(b >= 0.95 * a for a, b in zip(speeds, speeds[1:]))

@@ -1,0 +1,46 @@
+"""Fig. 6: startup-time breakdown of newly requested servers.
+
+Regenerates the provisioning/staging/booting breakdown for transient and
+on-demand K80/P100 servers in us-east1 and us-west1.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.measurement.startup_campaign import run_startup_breakdown_campaign
+
+
+def test_fig6_startup_breakdown(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_startup_breakdown_campaign(samples_per_cell=50, seed=16),
+        rounds=1, iterations=1)
+
+    rows = []
+    for cell in result.cells:
+        rows.append([cell.region_name, cell.gpu_name,
+                     "transient" if cell.transient else "on-demand",
+                     cell.provisioning_mean, cell.staging_mean, cell.booting_mean,
+                     cell.total_mean])
+    print()
+    print(format_table(["region", "GPU", "class", "provisioning (s)", "staging (s)",
+                        "booting (s)", "total (s)"], rows,
+                       title="Fig. 6 reproduction: startup breakdown",
+                       float_format="{:.1f}"))
+
+    for region in ("us-east1", "us-west1"):
+        for gpu in ("k80", "p100"):
+            transient = result.cell(region, gpu, True)
+            # Transient servers start in under 100 seconds.
+            assert transient.total_mean < 100.0
+            # Transient startup is slower than on-demand but only by tens of
+            # seconds (11.14 s for K80, 21.38 s for P100 in the paper).
+            slowdown = result.transient_slowdown(region, gpu)
+            assert 5.0 < slowdown < 35.0
+        # Transient P100 startup is ~8.7% slower than transient K80.
+        ratio = (result.cell(region, "p100", True).total_mean
+                 / result.cell(region, "k80", True).total_mean)
+        print(f"{region}: transient P100/K80 startup ratio = {ratio:.3f}")
+        assert 1.02 < ratio < 1.18
+    # Every breakdown is dominated by staging + booting, as in the figure.
+    for cell in result.cells:
+        assert cell.staging_mean + cell.booting_mean > cell.provisioning_mean

@@ -1,0 +1,40 @@
+"""Fig. 7: replacement startup time, immediate vs. delayed requests.
+
+Checks the paper's findings that requesting a replacement immediately after
+a revocation does not lengthen startup (within ~4 s of delayed requests and
+within ~3 s across GPU types) but makes it about four times more variable.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.measurement.startup_campaign import run_replacement_startup_campaign
+
+
+def test_fig7_startup_after_revocation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_replacement_startup_campaign(samples_per_cell=60, seed=17),
+        rounds=1, iterations=1)
+
+    rows = []
+    for cell in result.cells:
+        rows.append([cell.gpu_name, "immediate" if cell.immediate else "delayed",
+                     cell.mean_seconds, cell.std_seconds, cell.cov])
+    print()
+    print(format_table(["GPU", "request", "mean (s)", "std (s)", "CoV"], rows,
+                       title="Fig. 7 reproduction: replacement startup time",
+                       float_format="{:.2f}"))
+
+    immediate_means = []
+    for gpu in ("k80", "p100", "v100"):
+        immediate = result.cell(gpu, True)
+        delayed = result.cell(gpu, False)
+        immediate_means.append(immediate.mean_seconds)
+        # Means within ~4 seconds of each other.
+        assert abs(immediate.mean_seconds - delayed.mean_seconds) < 5.0
+        # Immediate requests are about 4x more variable (12% vs 3% CoV).
+        assert immediate.cov > 2.5 * delayed.cov
+        assert 0.06 < immediate.cov < 0.20
+        assert delayed.cov < 0.06
+    # Any GPU type can serve as the replacement: means within a few seconds.
+    assert max(immediate_means) - min(immediate_means) < 6.0

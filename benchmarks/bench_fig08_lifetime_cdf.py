@@ -1,0 +1,60 @@
+"""Fig. 8: transient-server lifetime CDFs per region and GPU type.
+
+Regenerates the lifetime CDF curves and checks the qualitative shapes the
+paper highlights: europe-west1 K80s die early, us-west1 K80s survive, V100
+servers have shorter mean time to revocation, and a large fraction of
+servers reach the 24-hour maximum.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import FigureSeries
+from repro.cloud.regions import get_region
+from repro.cloud.revocation import REVOCATION_CALIBRATION
+
+HOUR_GRID = [1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 24]
+
+
+def test_fig8_lifetime_cdfs(benchmark, revocation_campaign):
+    def build_figures():
+        figures = {}
+        for gpu in ("k80", "p100", "v100"):
+            figure = FigureSeries(title=f"Fig. 8: lifetime CDF ({gpu})",
+                                  x_label="lifetime (hours)", y_label="CDF")
+            for cell_gpu, region in sorted(REVOCATION_CALIBRATION):
+                if cell_gpu != gpu:
+                    continue
+                cdf = revocation_campaign.lifetime_cdf(gpu, region, HOUR_GRID)
+                figure.add_series(region, list(zip(HOUR_GRID, cdf)))
+            figures[gpu] = figure
+        return figures
+
+    figures = benchmark.pedantic(build_figures, rounds=1, iterations=1)
+    print()
+    for figure in figures.values():
+        print(figure.to_text())
+        print()
+
+    # CDFs are monotone and saturate below 1 (some servers reach 24 hours).
+    for figure in figures.values():
+        for series in figure.series.values():
+            values = [v for _h, v in series]
+            assert all(b >= a for a, b in zip(values, values[1:]))
+            assert values[-1] <= 1.0
+
+    # europe-west1 K80s are revoked much earlier than us-west1 K80s.
+    europe = dict(figures["k80"].series["europe-west1"])
+    west = dict(figures["k80"].series["us-west1"])
+    assert europe[3] > 0.4
+    assert west[3] < 0.12
+    # A sizeable fraction of servers live to the 24-hour maximum.
+    survivors = 1.0 - min(series[-1][1] for figure in figures.values()
+                          for series in figure.series.values())
+    print(f"largest surviving fraction across cells: {survivors:.2f}")
+    assert survivors > 0.25
+    # V100 mean time to revocation is shorter than K80's best region.
+    v100_mttr = revocation_campaign.mean_time_to_revocation("v100", "us-central1")
+    k80_mttr = revocation_campaign.mean_time_to_revocation("k80", "us-west1")
+    print(f"MTTR v100/us-central1 = {v100_mttr:.1f}h, k80/us-west1 = {k80_mttr:.1f}h")
+    assert v100_mttr < k80_mttr
+    assert get_region("us-west1").offers("k80")

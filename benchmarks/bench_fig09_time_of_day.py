@@ -1,0 +1,41 @@
+"""Fig. 9: time-of-day impact on revocations.
+
+Regenerates the per-GPU hour-of-day revocation histograms (local time) and
+checks the paper's observations: K80 revocations peak in the late morning
+and no V100 revocations occur between 4 PM and 8 PM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+
+
+def test_fig9_time_of_day(benchmark, revocation_campaign):
+    histograms = benchmark.pedantic(
+        lambda: {gpu: revocation_campaign.hour_of_day_histogram(gpu)
+                 for gpu in ("k80", "p100", "v100")},
+        rounds=1, iterations=1)
+
+    rows = [[str(hour)] + [int(histograms[gpu][hour]) for gpu in ("k80", "p100", "v100")]
+            for hour in range(24)]
+    print()
+    print(format_table(["hour (local)", "K80", "P100", "V100"], rows,
+                       title="Fig. 9 reproduction: revocations per local hour"))
+
+    k80 = histograms["k80"]
+    v100 = histograms["v100"]
+    p100 = histograms["p100"]
+    # Each GPU type saw a substantial number of revocations.
+    assert k80.sum() > 40 and p100.sum() > 40 and v100.sum() > 40
+    # K80 revocations concentrate in the late morning (peak around 10 AM).
+    morning = k80[8:13].sum()
+    night = k80[0:5].sum()
+    print(f"K80 revocations 8-12h: {morning}, 0-4h: {night}")
+    assert morning > 2 * max(1, night)
+    assert int(np.argmax(k80)) in range(8, 15)
+    # No V100 revocations between 4 PM and 8 PM local time.
+    assert v100[16:20].sum() == 0
+    # The three GPU types exhibit different hourly patterns.
+    assert not np.array_equal(k80, v100)

@@ -1,0 +1,44 @@
+"""Fig. 10: worker replacement overhead, cold start vs. warm start.
+
+Regenerates the per-model replacement overheads and checks the paper's
+observations: cold starts cost far more than warm starts (~75.6 s vs
+~14.8 s for ResNet-15) and both grow with model size (Shake-Shake Big adds
+roughly 15 seconds over ResNet-15).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.measurement.replacement_campaign import run_replacement_overhead_campaign
+from repro.workloads.catalog import NAMED_MODELS
+
+
+def test_fig10_replacement_overhead(benchmark, catalog):
+    result = benchmark.pedantic(
+        lambda: run_replacement_overhead_campaign(repetitions=10, seed=18,
+                                                  catalog=catalog),
+        rounds=1, iterations=1)
+
+    rows = []
+    for model in NAMED_MODELS:
+        cold = result.cell(model, cold_start=True)
+        warm = result.cell(model, cold_start=False)
+        rows.append([model, f"{cold.mean_seconds:.1f} +- {cold.std_seconds:.1f}",
+                     f"{warm.mean_seconds:.1f} +- {warm.std_seconds:.1f}"])
+    print()
+    print(format_table(["model", "cold start (s)", "warm start (s)"], rows,
+                       title="Fig. 10 reproduction: worker replacement overhead"))
+
+    cold_r15 = result.cell("resnet_15", True).mean_seconds
+    warm_r15 = result.cell("resnet_15", False).mean_seconds
+    # Paper: ~75.6 s cold vs ~14.8 s warm for ResNet-15.
+    assert 60.0 < cold_r15 < 95.0
+    assert 10.0 < warm_r15 < 20.0
+    assert cold_r15 > 3.5 * warm_r15
+    # Overheads grow with model size for both cold and warm starts.
+    for cold_start in (True, False):
+        values = [result.cell(model, cold_start).mean_seconds for model in NAMED_MODELS]
+        assert values == sorted(values) or values[-1] > values[0]
+    cold_big = result.cell("shake_shake_big", True).mean_seconds
+    print(f"Shake-Shake Big adds {cold_big - cold_r15:.1f}s over ResNet-15 (cold)")
+    assert 8.0 < cold_big - cold_r15 < 30.0

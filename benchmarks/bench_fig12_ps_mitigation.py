@@ -1,0 +1,61 @@
+"""Fig. 12: parameter-server bottleneck detection and mitigation.
+
+Regenerates the one-PS vs two-PS scaling curves for the ResNet models and
+checks the paper's observations: one-PS clusters plateau, a second PS
+improves the saturated clusters by up to ~70%, and CM-DARE's detector flags
+the bottleneck from the prediction/measurement gap.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import FigureSeries
+from repro.cmdare.bottleneck import BottleneckDetector
+from repro.measurement.scaling_campaign import run_ps_mitigation_campaign
+from repro.perf.step_time import StepTimeModel
+
+
+def test_fig12_ps_bottleneck_mitigation(benchmark, catalog):
+    results = benchmark.pedantic(
+        lambda: run_ps_mitigation_campaign(model_names=("resnet_15", "resnet_32"),
+                                           worker_counts=tuple(range(1, 9)),
+                                           steps=2000, seed=20, catalog=catalog),
+        rounds=1, iterations=1)
+
+    print()
+    improvements = {}
+    for model in ("resnet_15", "resnet_32"):
+        figure = FigureSeries(title=f"Fig. 12 ({model}): cluster speed, 1 PS vs 2 PS",
+                              x_label="number of P100 workers", y_label="steps/second")
+        figure.add_series("1 PS", results[1].series[model])
+        figure.add_series("2 PS", results[2].series[model])
+        print(figure.to_text())
+        one_ps = dict(results[1].series[model])
+        two_ps = dict(results[2].series[model])
+        improvements[model] = max(two_ps[n] / one_ps[n] - 1.0 for n in one_ps)
+        print(f"{model}: max improvement from a second PS = "
+              f"{improvements[model] * 100:.1f}%")
+
+    # ResNet-32 saturates hard with one PS and improves by up to ~70% with two.
+    assert 0.4 < improvements["resnet_32"] < 0.9
+    # ResNet-15 is far from the bottleneck at small sizes, so small clusters
+    # are unaffected by the second PS.
+    one_ps_r15 = dict(results[1].series["resnet_15"])
+    two_ps_r15 = dict(results[2].series["resnet_15"])
+    assert abs(two_ps_r15[2] / one_ps_r15[2] - 1.0) < 0.1
+
+    # The CM-DARE detector flags the saturated configuration: the predicted
+    # speed (sum of per-worker speeds) exceeds the measured one by more than
+    # the 6.7% threshold after the warm-up period.
+    step_model = StepTimeModel()
+    profile = catalog.profile("resnet_32")
+    predicted = 8 * step_model.mean_speed(profile.gflops, "p100")
+    measured = dict(results[1].series["resnet_32"])[8]
+    report = BottleneckDetector().check(predicted, measured, elapsed_seconds=60.0)
+    print(f"detector: predicted {predicted:.1f}, measured {measured:.1f}, "
+          f"deviation {report.deviation * 100:.1f}% -> {report.bottleneck_detected}")
+    assert report.bottleneck_detected
+    # And it stays quiet for an unsaturated two-worker cluster.
+    quiet = BottleneckDetector().check(
+        2 * step_model.mean_speed(profile.gflops, "p100"),
+        dict(results[1].series["resnet_32"])[2], elapsed_seconds=60.0)
+    assert not quiet.bottleneck_detected

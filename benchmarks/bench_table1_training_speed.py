@@ -1,0 +1,46 @@
+"""Table I: training speed of the simplest cluster configuration.
+
+Regenerates the (GPU x model) training-speed table for one GPU worker plus
+one parameter server and checks it against the values the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import format_table
+from repro.measurement.speed_campaign import run_speed_campaign
+from repro.perf.calibration import PAPER_TABLE1_SPEEDS
+from repro.workloads.catalog import NAMED_MODELS
+
+
+def test_table1_training_speed(benchmark, catalog, named_speed_campaign):
+    campaign = benchmark.pedantic(
+        lambda: run_speed_campaign(model_names=NAMED_MODELS,
+                                   gpu_names=("k80",), steps=1000, seed=11,
+                                   catalog=catalog),
+        rounds=1, iterations=1)
+    # The benchmark call above times one GPU column; the full table comes
+    # from the shared session campaign.
+    table = named_speed_campaign.table1()
+
+    report = ExperimentReport("Table I", "training speed (steps/s), 1 worker + 1 PS")
+    rows = []
+    for gpu in ("k80", "p100", "v100"):
+        row = [gpu]
+        for model in NAMED_MODELS:
+            measured, std = table[gpu][model]
+            paper, _paper_std = PAPER_TABLE1_SPEEDS[gpu][model]
+            row.append(f"{measured:.2f} +- {std:.2f}")
+            report.add(f"{gpu} {model}", measured, paper_value=paper, unit="steps/s")
+        rows.append(row)
+    print()
+    print(format_table(["GPU"] + list(NAMED_MODELS), rows,
+                       title="Table I reproduction (steps/second)"))
+    print(report.to_text())
+
+    # Shape checks: every measured cell within 10% of the paper and the
+    # orderings (faster GPU, simpler model) preserved.
+    assert report.worst_relative_error() < 0.10
+    for model in NAMED_MODELS:
+        assert table["k80"][model][0] < table["p100"][model][0] < table["v100"][model][0]
+    assert campaign.table1()["k80"]["resnet_15"][0] > 8.0

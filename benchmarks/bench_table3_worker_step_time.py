@@ -1,0 +1,63 @@
+"""Table III: per-worker step time across cluster sizes and heterogeneity.
+
+Trains ResNet-32 on baseline, homogeneous (2/4/8 workers), and the
+heterogeneous (2, 1, 1) clusters and reports the average step time of an
+individual worker of each GPU type, mirroring Table III.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.measurement.scaling_campaign import run_worker_step_time_campaign
+
+
+def test_table3_worker_step_time(benchmark, catalog):
+    result = benchmark.pedantic(
+        lambda: run_worker_step_time_campaign(model_name="resnet_32", steps=2000,
+                                              seed=13, catalog=catalog),
+        rounds=1, iterations=1)
+    table = result.as_table()
+
+    columns = ["baseline", "(2, 0, 0)", "(4, 0, 0)", "(8, 0, 0)", "(2, 1, 1)"]
+    label_for = {
+        "k80": {"baseline": "baseline", "2": "(2, 0, 0)", "4": "(4, 0, 0)",
+                "8": "(8, 0, 0)"},
+        "p100": {"baseline": "baseline", "2": "(0, 2, 0)", "4": "(0, 4, 0)",
+                 "8": "(0, 8, 0)"},
+        "v100": {"baseline": "baseline", "2": "(0, 0, 2)", "4": "(0, 0, 4)",
+                 "8": "(0, 0, 8)"},
+    }
+    rows = []
+    for gpu in ("k80", "p100", "v100"):
+        row = [gpu]
+        for column in columns:
+            if column == "baseline":
+                key = "baseline"
+            elif column == "(2, 1, 1)":
+                key = "(2, 1, 1)"
+            else:
+                size = column.strip("()").split(",")[0].strip()
+                # Map the display column onto the per-GPU homogeneous label.
+                size = column.replace("(", "").replace(")", "").replace(" ", "").split(",")
+                size = str(max(int(s) for s in size))
+                key = label_for[gpu][size]
+            mean, std = table[gpu][key]
+            row.append(f"{mean:.1f} +- {std:.1f}")
+        rows.append(row)
+    print()
+    print(format_table(["GPU \\ cluster"] + columns, rows,
+                       title="Table III reproduction (per-worker step time, ms, ResNet-32)"))
+
+    k80 = table["k80"]
+    p100 = table["p100"]
+    v100 = table["v100"]
+    # K80 workers are unaffected by cluster size (within a few percent).
+    assert abs(k80["(8, 0, 0)"][0] - k80["baseline"][0]) / k80["baseline"][0] < 0.06
+    # P100 saturates by eight workers and V100 already by four.
+    assert p100["(0, 8, 0)"][0] > 1.6 * p100["baseline"][0]
+    assert v100["(0, 0, 4)"][0] > 1.2 * v100["baseline"][0]
+    assert v100["(0, 0, 8)"][0] > 1.6 * v100["baseline"][0]
+    # Heterogeneous clusters do not slow individual workers down.
+    for gpu in ("k80", "p100", "v100"):
+        assert abs(table[gpu]["(2, 1, 1)"][0] - table[gpu]["baseline"][0]) \
+            / table[gpu]["baseline"][0] < 0.08

@@ -1,0 +1,57 @@
+"""Table V: transient GPU server revocations by region.
+
+Regenerates the per-(region, GPU) revocation counts from the twelve-day
+campaign and checks the paper's qualitative findings: revocation rates vary
+by region and GPU, more expensive GPUs are revoked more often, and the
+workload (idle vs stressed) does not matter.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.cloud.revocation import REVOCATION_CALIBRATION
+
+
+def test_table5_revocations(benchmark, revocation_campaign):
+    table = benchmark.pedantic(revocation_campaign.revocation_table,
+                               rounds=1, iterations=1)
+
+    regions = ["us-east1", "us-central1", "us-west1", "europe-west1", "europe-west4",
+               "asia-east1"]
+    rows = []
+    for region in regions:
+        row = [region]
+        for gpu in ("k80", "p100", "v100"):
+            if (gpu, region) in table:
+                launched, revoked, fraction = table[(gpu, region)]
+                row.append(f"{launched} ({fraction * 100:.1f}%)")
+            else:
+                row.append("N/A")
+        rows.append(row)
+    totals = revocation_campaign.totals_by_gpu()
+    rows.append(["total"] + [f"{totals[gpu][0]} ({totals[gpu][2] * 100:.1f}%)"
+                             for gpu in ("k80", "p100", "v100")])
+    print()
+    print(format_table(["Regions", "K80", "P100", "V100"], rows,
+                       title="Table V reproduction: launched servers (revoked %)"))
+
+    # Launch counts match the paper exactly.
+    assert totals["k80"][0] == 156
+    assert totals["p100"][0] == 120
+    assert totals["v100"][0] == 120
+    # Aggregate revocation rates stay close to the paper's totals
+    # (46.15% / 54.17% / 57.5%).
+    assert abs(totals["k80"][2] - 0.4615) < 0.12
+    assert abs(totals["p100"][2] - 0.5417) < 0.12
+    assert abs(totals["v100"][2] - 0.575) < 0.12
+    # More expensive GPUs are revoked more often than K80s overall.
+    assert totals["v100"][2] > totals["k80"][2]
+    # us-west1 is the gentlest region for K80 but harsh for V100.
+    assert table[("k80", "us-west1")][2] < table[("k80", "europe-west1")][2]
+    assert table[("v100", "us-west1")][2] > 0.5
+    # Idle vs stressed servers are revoked at similar rates.
+    split = revocation_campaign.workload_split()
+    print(f"idle: {split['idle'][2] * 100:.1f}% revoked, "
+          f"stressed: {split['stressed'][2] * 100:.1f}% revoked")
+    assert abs(split["idle"][2] - split["stressed"][2]) < 0.12
+    assert set(table) == set(REVOCATION_CALIBRATION)

@@ -1,0 +1,77 @@
+"""Quickstart: profile a model, train it on a simulated cloud cluster, and
+look at what CM-DARE measured.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.cmdare.experiment import run_training_experiment
+from repro.modeling.cost import ClusterCostModel
+from repro.training.cluster import ClusterSpec
+from repro.training.job import TrainingJob
+from repro.workloads.catalog import default_catalog
+
+
+def main() -> None:
+    # 1. Pick a model from the twenty-model catalog and look at its profile
+    #    (the reproduction's substitute for the TensorFlow profiler).
+    catalog = default_catalog()
+    profile = catalog.profile("resnet_32")
+    print(profile_table(profile))
+
+    # 2. Describe the training cluster and workload the way a practitioner
+    #    would in a CM-DARE training script: two transient K80 workers plus
+    #    one on-demand parameter server, 8000 steps, checkpoint every 2000.
+    cluster = ClusterSpec.from_counts(k80=2, region_name="us-east1")
+    job = TrainingJob(profile=profile, total_steps=8000,
+                      checkpoint_interval_steps=2000)
+
+    # 3. Run the experiment on the simulated substrate.  The controller
+    #    monitors training and would replace revoked workers automatically.
+    result = run_training_experiment(cluster, job, seed=0, with_provider=True)
+
+    trace = result.trace
+    print()
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["cluster", cluster.describe()],
+            ["cluster training speed (steps/s)", f"{trace.cluster_speed():.2f}"],
+            ["simulated duration (minutes)", f"{trace.duration / 60:.1f}"],
+            ["checkpoints taken", len(trace.checkpoint_records)],
+            ["time spent checkpointing (s)", f"{trace.total_checkpoint_time():.1f}"],
+            ["revocations observed", trace.num_revocations],
+            ["replacement workers added", trace.num_replacements],
+            ["cloud cost (USD)", f"{result.total_cost_usd:.2f}"],
+        ],
+        title="Training run summary"))
+
+    # 4. What would the same run cost on on-demand servers?
+    cost_model = ClusterCostModel()
+    hours = trace.duration / 3600.0
+    on_demand = cost_model.hourly_rate(cluster, transient_workers=False) * hours
+    print(f"\nOn-demand cost for the same duration: ${on_demand:.2f} "
+          f"(transient run cost ${result.total_cost_usd:.2f})")
+
+
+def profile_table(profile) -> str:
+    """Render a model profile as a small table."""
+    return format_table(
+        ["property", "value"],
+        [
+            ["model", profile.name],
+            ["family", profile.family],
+            ["complexity (GFLOPs/image)", f"{profile.gflops:.2f}"],
+            ["parameters", f"{profile.params:,}"],
+            ["trainable tensors", profile.num_tensors],
+            ["checkpoint size (MB)", f"{profile.checkpoint.total_mb:.1f}"],
+        ],
+        title="Model profile")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""CM-DARE reproduction library.
+
+A from-scratch Python reproduction of *Characterizing and Modeling
+Distributed Training with Transient Cloud GPU Servers* (Li, Walls, Guo;
+ICDCS 2020), built on a simulated transient-GPU cloud substrate.
+
+Top-level convenience imports cover the most common entry points; see the
+subpackages for the full API:
+
+* :mod:`repro.cloud` — simulated cloud provider (GPUs, regions, pricing,
+  startup, revocations, storage),
+* :mod:`repro.workloads` — CNN model graphs, profiles, and checkpoints,
+* :mod:`repro.perf` — calibrated hardware performance ground truth,
+* :mod:`repro.training` — asynchronous parameter-server training simulator,
+* :mod:`repro.cmdare` — the CM-DARE measurement/training framework,
+* :mod:`repro.modeling` — regression-based performance models,
+* :mod:`repro.measurement` — measurement campaigns behind every table and
+  figure,
+* :mod:`repro.analysis` — statistics, tables, and figure series.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

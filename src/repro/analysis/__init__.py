@@ -1,0 +1,27 @@
+"""Analysis helpers: statistics, empirical CDFs, table/figure rendering.
+
+The benches use these to print tables shaped like the paper's and to emit
+the data series behind each figure (as text, since the repository has no
+plotting dependency).
+"""
+
+from repro.analysis.stats import (
+    coefficient_of_variation,
+    describe,
+    empirical_cdf,
+    mean_and_std,
+)
+from repro.analysis.tables import format_table
+from repro.analysis.figures import FigureSeries, ascii_plot
+from repro.analysis.report import ExperimentReport
+
+__all__ = [
+    "coefficient_of_variation",
+    "describe",
+    "empirical_cdf",
+    "mean_and_std",
+    "format_table",
+    "FigureSeries",
+    "ascii_plot",
+    "ExperimentReport",
+]

@@ -1,0 +1,84 @@
+"""Figure series containers and a small ASCII plotter.
+
+The repository has no plotting dependency; each Fig. N bench emits the data
+series behind the figure, and :func:`ascii_plot` renders a quick terminal
+sketch so the shape of a curve can be eyeballed in CI logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import DataError
+
+
+@dataclass
+class FigureSeries:
+    """Named (x, y) series making up one figure.
+
+    Attributes:
+        title: Figure title, e.g. ``"Fig. 4: cluster speed vs P100 workers"``.
+        x_label: Label of the shared x axis.
+        y_label: Label of the shared y axis.
+        series: ``{series name: [(x, y), ...]}``.
+    """
+
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    def add_series(self, name: str, points: Sequence[Tuple[float, float]]) -> None:
+        """Add one named series."""
+        self.series[name] = [(float(x), float(y)) for x, y in points]
+
+    def names(self) -> List[str]:
+        """Series names in insertion order."""
+        return list(self.series)
+
+    def as_rows(self) -> List[Tuple[str, float, float]]:
+        """Flatten to ``(series, x, y)`` rows (handy for CSV export)."""
+        rows: List[Tuple[str, float, float]] = []
+        for name, points in self.series.items():
+            rows.extend((name, x, y) for x, y in points)
+        return rows
+
+    def to_text(self, float_format: str = "{:.3f}") -> str:
+        """Render the series as an aligned text block."""
+        lines = [f"{self.title}", f"x: {self.x_label}    y: {self.y_label}"]
+        for name, points in self.series.items():
+            rendered = ", ".join(
+                f"({float_format.format(x)}, {float_format.format(y)})" for x, y in points)
+            lines.append(f"  {name}: {rendered}")
+        return "\n".join(lines)
+
+
+def ascii_plot(points: Sequence[Tuple[float, float]], width: int = 60, height: int = 12,
+               marker: str = "*") -> str:
+    """Render a single series as a small ASCII scatter plot.
+
+    Args:
+        points: ``(x, y)`` pairs.
+        width: Plot width in characters.
+        height: Plot height in lines.
+        marker: Character used for data points.
+    """
+    if not points:
+        raise DataError("cannot plot an empty series")
+    if width < 10 or height < 4:
+        raise DataError("plot dimensions too small")
+    xs = [float(x) for x, _ in points]
+    ys = [float(y) for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        column = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        grid[row][column] = marker
+    lines = ["".join(row) for row in grid]
+    lines.append(f"x: [{x_min:.3g}, {x_max:.3g}]  y: [{y_min:.3g}, {y_max:.3g}]")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Experiment reports: paper value vs. measured value bookkeeping.
+
+EXPERIMENTS.md is generated from structures like these: every reproduced
+table/figure records the quantities the paper reports next to what this
+repository measures, plus a qualitative pass/fail on whether the *shape*
+holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured comparison.
+
+    Attributes:
+        quantity: What is being compared (e.g. ``"K80 ResNet-32 steps/s"``).
+        paper_value: The value the paper reports, if it reports one.
+        measured_value: The value this reproduction measures.
+        unit: Unit of both values.
+        note: Free-form note (e.g. why a deviation is expected).
+    """
+
+    quantity: str
+    paper_value: Optional[float]
+    measured_value: float
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        """Relative deviation from the paper value, when one exists."""
+        if self.paper_value is None or self.paper_value == 0:
+            return None
+        return (self.measured_value - self.paper_value) / self.paper_value
+
+
+@dataclass
+class ExperimentReport:
+    """A paper-vs-measured report for one experiment (table or figure)."""
+
+    experiment_id: str
+    description: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+    observations: List[str] = field(default_factory=list)
+
+    def add(self, quantity: str, measured_value: float,
+            paper_value: Optional[float] = None, unit: str = "",
+            note: str = "") -> None:
+        """Add one comparison row."""
+        self.rows.append(ComparisonRow(quantity=quantity, paper_value=paper_value,
+                                       measured_value=measured_value, unit=unit,
+                                       note=note))
+
+    def observe(self, text: str) -> None:
+        """Record a qualitative observation (shape check, crossover, ...)."""
+        self.observations.append(text)
+
+    def worst_relative_error(self) -> float:
+        """Largest absolute relative error among rows with a paper value."""
+        errors = [abs(row.relative_error) for row in self.rows
+                  if row.relative_error is not None]
+        if not errors:
+            raise DataError("no rows carry a paper value")
+        return max(errors)
+
+    def to_text(self) -> str:
+        """Render the report as text (the format used in EXPERIMENTS.md)."""
+        table_rows = []
+        for row in self.rows:
+            paper = "-" if row.paper_value is None else f"{row.paper_value:.4g}"
+            error = ("-" if row.relative_error is None
+                     else f"{row.relative_error * 100:+.1f}%")
+            table_rows.append([row.quantity, paper, f"{row.measured_value:.4g}",
+                               row.unit, error, row.note])
+        body = format_table(
+            ["quantity", "paper", "measured", "unit", "rel. error", "note"], table_rows,
+            title=f"{self.experiment_id}: {self.description}")
+        if self.observations:
+            body += "\nObservations:\n" + "\n".join(f"  - {o}" for o in self.observations)
+        return body

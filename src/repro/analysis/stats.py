@@ -1,0 +1,67 @@
+"""Small statistics helpers used across campaigns and benches."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def mean_and_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Sample mean and (ddof=1) standard deviation."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise DataError("cannot summarize an empty sequence")
+    std = float(array.std(ddof=1)) if array.size > 1 else 0.0
+    return float(array.mean()), std
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Standard deviation divided by the mean."""
+    mean, std = mean_and_std(values)
+    if mean == 0:
+        raise DataError("coefficient of variation is undefined for a zero mean")
+    return std / mean
+
+
+def empirical_cdf(values: Sequence[float], grid: Sequence[float],
+                  population: int = 0) -> np.ndarray:
+    """Empirical CDF of ``values`` evaluated on ``grid``.
+
+    Args:
+        values: Observed values (e.g. lifetimes of revoked servers).
+        grid: Points at which to evaluate the CDF.
+        population: Total population size; when larger than ``len(values)``
+            the CDF saturates below one (right-censored observations, as in
+            the paper's lifetime data where survivors never revoke).
+    """
+    observations = np.asarray(list(values), dtype=float)
+    denominator = max(population, observations.size)
+    if denominator == 0:
+        raise DataError("cannot build a CDF with no observations and no population")
+    return np.array([(observations <= point).sum() / denominator for point in grid])
+
+
+def describe(values: Sequence[float]) -> Dict[str, float]:
+    """A small descriptive-statistics summary."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise DataError("cannot describe an empty sequence")
+    return {
+        "count": float(array.size),
+        "mean": float(array.mean()),
+        "std": float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        "min": float(array.min()),
+        "p50": float(np.percentile(array, 50)),
+        "p95": float(np.percentile(array, 95)),
+        "max": float(array.max()),
+    }
+
+
+def relative_difference(measured: float, reference: float) -> float:
+    """``(measured - reference) / reference``; used for paper-vs-measured checks."""
+    if reference == 0:
+        raise DataError("reference value must be non-zero")
+    return (measured - reference) / reference

@@ -1,0 +1,50 @@
+"""Plain-text table rendering for benches and examples."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import DataError
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None, float_format: str = "{:.3f}") -> str:
+    """Render a fixed-width text table.
+
+    Args:
+        headers: Column headers.
+        rows: Table rows; floats are formatted with ``float_format``, other
+            values with ``str``.
+        title: Optional title printed above the table.
+        float_format: Format string applied to float cells.
+
+    Returns:
+        The rendered table as a multi-line string.
+    """
+    if not headers:
+        raise DataError("a table needs at least one column")
+
+    def render_cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered_rows: List[List[str]] = [[render_cell(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise DataError("every row must have one cell per header")
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)

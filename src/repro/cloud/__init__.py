@@ -1,0 +1,60 @@
+"""Simulated cloud provider substrate.
+
+The paper measures Google Cloud; this package replaces it with a simulated
+provider offering the same observable surface:
+
+* a **GPU catalog** (:mod:`repro.cloud.gpus`) with the three GPU types the
+  paper uses (K80, P100, V100) and their computational capacity,
+* a **region catalog** (:mod:`repro.cloud.regions`) with the six
+  geographically distributed regions of the measurement study,
+* **machine types and pricing** (:mod:`repro.cloud.machines`,
+  :mod:`repro.cloud.pricing`) for on-demand and transient (preemptible)
+  servers,
+* a **startup-time model** (:mod:`repro.cloud.startup`) producing the
+  provisioning / staging / booting breakdown of Fig. 6 and Fig. 7,
+* a **revocation model** (:mod:`repro.cloud.revocation`) calibrated to the
+  per-region revocation rates, lifetime CDFs, and time-of-day patterns of
+  Table V and Figs. 8-9,
+* an **instance lifecycle** and a **provider front end**
+  (:mod:`repro.cloud.instance`, :mod:`repro.cloud.provider`) that the
+  training simulator and the CM-DARE resource manager drive, and
+* a **cloud storage** model (:mod:`repro.cloud.storage`) used for
+  checkpoints.
+"""
+
+from repro.cloud.gpus import GPU_CATALOG, GPUType, get_gpu, list_gpus
+from repro.cloud.regions import REGION_CATALOG, Region, get_region, list_regions
+from repro.cloud.machines import MachineType, PARAMETER_SERVER_MACHINE, GPU_WORKER_MACHINE
+from repro.cloud.pricing import PriceCatalog, default_price_catalog
+from repro.cloud.startup import StartupStages, StartupTimeModel
+from repro.cloud.revocation import RevocationModel, RevocationOutcome
+from repro.cloud.instance import CloudInstance, InstanceState, ServerClass
+from repro.cloud.provider import InstanceRequest, SimulatedCloudProvider
+from repro.cloud.storage import CloudStorage, StorageObject
+
+__all__ = [
+    "GPU_CATALOG",
+    "GPUType",
+    "get_gpu",
+    "list_gpus",
+    "REGION_CATALOG",
+    "Region",
+    "get_region",
+    "list_regions",
+    "MachineType",
+    "PARAMETER_SERVER_MACHINE",
+    "GPU_WORKER_MACHINE",
+    "PriceCatalog",
+    "default_price_catalog",
+    "StartupStages",
+    "StartupTimeModel",
+    "RevocationModel",
+    "RevocationOutcome",
+    "CloudInstance",
+    "InstanceState",
+    "ServerClass",
+    "InstanceRequest",
+    "SimulatedCloudProvider",
+    "CloudStorage",
+    "StorageObject",
+]

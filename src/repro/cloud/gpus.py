@@ -1,0 +1,82 @@
+"""GPU catalog.
+
+The paper uses the three GPU types Google Cloud offered for training at the
+time of the study: Nvidia Tesla K80, P100, and V100 (PCIe variants).  The
+catalog records the attributes the paper relies on: computational capacity
+in teraflops (the ``Cgpu`` regression feature) and device memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import UnknownGPUError
+
+
+@dataclass(frozen=True)
+class GPUType:
+    """A GPU hardware type offered by the simulated cloud.
+
+    Attributes:
+        name: Short name used throughout the library (``"k80"``).
+        marketing_name: Vendor name (``"Nvidia Tesla K80"``).
+        teraflops: Single-precision computational capacity in teraflops;
+            the paper's ``Cgpu`` feature.
+        memory_gb: Device memory in GB.
+        interconnect: Host interconnect (all PCIe in the study).
+    """
+
+    name: str
+    marketing_name: str
+    teraflops: float
+    memory_gb: int
+    interconnect: str = "pcie"
+
+    @property
+    def flops(self) -> float:
+        """Computational capacity in FLOPS."""
+        return self.teraflops * 1e12
+
+    def fits_model(self, parameter_bytes: int, activation_multiplier: float = 8.0) -> bool:
+        """Rough check that a model (plus activations) fits in device memory.
+
+        The asynchronous parameter-server architecture studied by the paper
+        targets models that fit into a single discrete GPU; this helper lets
+        callers validate that assumption.
+
+        Args:
+            parameter_bytes: Raw parameter size of the model.
+            activation_multiplier: Memory headroom factor covering
+                activations, gradients, and workspace.
+        """
+        needed = parameter_bytes * activation_multiplier
+        return needed <= self.memory_gb * 1024 ** 3
+
+
+#: The three GPU types used in the paper (Section III-A).
+GPU_CATALOG: Dict[str, GPUType] = {
+    "k80": GPUType(name="k80", marketing_name="Nvidia Tesla K80",
+                   teraflops=4.11, memory_gb=12),
+    "p100": GPUType(name="p100", marketing_name="Nvidia Tesla P100",
+                    teraflops=9.53, memory_gb=16),
+    "v100": GPUType(name="v100", marketing_name="Nvidia Tesla V100",
+                    teraflops=14.13, memory_gb=16),
+}
+
+
+def get_gpu(name: str) -> GPUType:
+    """Look up a GPU type by name (case-insensitive).
+
+    Raises:
+        UnknownGPUError: If the name is not in the catalog.
+    """
+    key = name.lower()
+    if key not in GPU_CATALOG:
+        raise UnknownGPUError(name, known=tuple(GPU_CATALOG))
+    return GPU_CATALOG[key]
+
+
+def list_gpus() -> List[GPUType]:
+    """All GPU types, ordered from least to most powerful."""
+    return sorted(GPU_CATALOG.values(), key=lambda gpu: gpu.teraflops)

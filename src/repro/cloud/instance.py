@@ -1,0 +1,159 @@
+"""Cloud instance lifecycle.
+
+A :class:`CloudInstance` tracks one VM through the states of the Google
+Cloud instance life cycle used by the paper's startup measurements:
+``REQUESTED -> PROVISIONING -> STAGING -> BOOTING -> RUNNING`` and finally
+``REVOKED`` (transient servers only) or ``TERMINATED`` (user-initiated).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cloud.machines import MachineType
+from repro.cloud.startup import StartupStages
+from repro.errors import InstanceStateError
+
+
+class ServerClass(enum.Enum):
+    """Billing/availability class of a server."""
+
+    ON_DEMAND = "on_demand"
+    TRANSIENT = "transient"
+
+    @property
+    def is_transient(self) -> bool:
+        """True for preemptible (revocable) servers."""
+        return self is ServerClass.TRANSIENT
+
+
+class InstanceState(enum.Enum):
+    """Lifecycle states of a cloud instance."""
+
+    REQUESTED = "requested"
+    PROVISIONING = "provisioning"
+    STAGING = "staging"
+    BOOTING = "booting"
+    RUNNING = "running"
+    REVOKED = "revoked"
+    TERMINATED = "terminated"
+
+
+#: Legal state transitions.
+_TRANSITIONS = {
+    InstanceState.REQUESTED: {InstanceState.PROVISIONING, InstanceState.TERMINATED},
+    InstanceState.PROVISIONING: {InstanceState.STAGING, InstanceState.TERMINATED,
+                                 InstanceState.REVOKED},
+    InstanceState.STAGING: {InstanceState.BOOTING, InstanceState.TERMINATED,
+                            InstanceState.REVOKED},
+    InstanceState.BOOTING: {InstanceState.RUNNING, InstanceState.TERMINATED,
+                            InstanceState.REVOKED},
+    InstanceState.RUNNING: {InstanceState.REVOKED, InstanceState.TERMINATED},
+    InstanceState.REVOKED: set(),
+    InstanceState.TERMINATED: set(),
+}
+
+
+@dataclass
+class CloudInstance:
+    """One simulated VM.
+
+    Attributes:
+        instance_id: Provider-assigned identifier.
+        region_name: Region the instance runs in.
+        machine: VM shape (CPU/memory/GPU).
+        server_class: On-demand or transient.
+        requested_at: Simulation time of the request.
+        startup: Sampled startup-stage durations.
+        state: Current lifecycle state.
+        state_times: Simulation time at which each state was entered.
+        labels: Free-form labels (e.g. the training role: ``worker``,
+            ``chief``, ``ps``).
+    """
+
+    instance_id: str
+    region_name: str
+    machine: MachineType
+    server_class: ServerClass
+    requested_at: float
+    startup: StartupStages
+    state: InstanceState = InstanceState.REQUESTED
+    state_times: Dict[InstanceState, float] = field(default_factory=dict)
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.state_times.setdefault(InstanceState.REQUESTED, self.requested_at)
+
+    # ------------------------------------------------------------------
+    # Convenience properties.
+    # ------------------------------------------------------------------
+    @property
+    def is_transient(self) -> bool:
+        """Whether the server can be revoked by the provider."""
+        return self.server_class.is_transient
+
+    @property
+    def gpu_name(self) -> Optional[str]:
+        """Name of the attached GPU type, if any."""
+        return self.machine.gpu_name
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the instance is currently in the RUNNING state."""
+        return self.state is InstanceState.RUNNING
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the instance has not yet been revoked or terminated."""
+        return self.state not in (InstanceState.REVOKED, InstanceState.TERMINATED)
+
+    # ------------------------------------------------------------------
+    # State machine.
+    # ------------------------------------------------------------------
+    def transition(self, new_state: InstanceState, at_time: float) -> None:
+        """Move to ``new_state`` at simulation time ``at_time``.
+
+        Raises:
+            InstanceStateError: If the transition is not legal.
+        """
+        if new_state not in _TRANSITIONS[self.state]:
+            raise InstanceStateError(
+                f"instance {self.instance_id}: illegal transition "
+                f"{self.state.value} -> {new_state.value}")
+        self.state = new_state
+        self.state_times[new_state] = at_time
+
+    def running_since(self) -> Optional[float]:
+        """Simulation time at which the instance entered RUNNING, if ever."""
+        return self.state_times.get(InstanceState.RUNNING)
+
+    def end_time(self) -> Optional[float]:
+        """Simulation time at which the instance was revoked or terminated."""
+        for terminal in (InstanceState.REVOKED, InstanceState.TERMINATED):
+            if terminal in self.state_times:
+                return self.state_times[terminal]
+        return None
+
+    def startup_duration(self) -> float:
+        """Total startup time (request to running) in seconds."""
+        return self.startup.total
+
+    def uptime(self, now: float) -> float:
+        """Seconds spent in the RUNNING state up to ``now``."""
+        start = self.running_since()
+        if start is None:
+            return 0.0
+        end = self.end_time()
+        effective_end = min(now, end) if end is not None else now
+        return max(0.0, effective_end - start)
+
+    def billed_duration(self, now: float) -> float:
+        """Seconds billed: from provisioning start until termination/now."""
+        start = self.state_times.get(InstanceState.PROVISIONING)
+        if start is None:
+            return 0.0
+        end = self.end_time()
+        effective_end = min(now, end) if end is not None else now
+        return max(0.0, effective_end - start)

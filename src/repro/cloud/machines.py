@@ -1,0 +1,65 @@
+"""Machine (VM) type definitions.
+
+The paper configures every GPU worker with 4 vCPUs and 52 GB of main memory
+and every parameter server as a CPU-only VM with 4 vCPUs and 16 GB of
+memory running Ubuntu 18 LTS.  Machine types capture that CPU/memory shape
+independently of the attached GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MachineType:
+    """A VM shape (CPU, memory, optional GPU attachment).
+
+    Attributes:
+        name: Machine type name.
+        vcpus: Number of virtual CPUs.
+        memory_gb: Main memory in GB.
+        gpu_name: Name of the attached GPU type, or ``None`` for CPU-only.
+        gpu_count: Number of attached GPUs.
+        os_image: Operating system image.
+    """
+
+    name: str
+    vcpus: int
+    memory_gb: int
+    gpu_name: Optional[str] = None
+    gpu_count: int = 0
+    os_image: str = "ubuntu-18.04-lts"
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0 or self.memory_gb <= 0:
+            raise ConfigurationError("machine must have positive vCPUs and memory")
+        if (self.gpu_name is None) != (self.gpu_count == 0):
+            raise ConfigurationError("gpu_name and gpu_count must be set together")
+
+    @property
+    def has_gpu(self) -> bool:
+        """Whether the machine has at least one attached GPU."""
+        return self.gpu_count > 0
+
+    def with_gpu(self, gpu_name: str, gpu_count: int = 1) -> "MachineType":
+        """Return a copy of this machine type with a GPU attached."""
+        return MachineType(name=f"{self.name}-{gpu_name}x{gpu_count}",
+                           vcpus=self.vcpus, memory_gb=self.memory_gb,
+                           gpu_name=gpu_name.lower(), gpu_count=gpu_count,
+                           os_image=self.os_image)
+
+
+#: Parameter-server VM: 4 vCPUs, 16 GB, CPU-only (Section III-A).
+PARAMETER_SERVER_MACHINE = MachineType(name="ps-standard-4", vcpus=4, memory_gb=16)
+
+#: GPU worker VM shape before GPU attachment: 4 vCPUs, 52 GB (Section III-A).
+GPU_WORKER_MACHINE = MachineType(name="worker-highmem-4", vcpus=4, memory_gb=52)
+
+
+def gpu_worker_machine(gpu_name: str, gpu_count: int = 1) -> MachineType:
+    """The worker machine used in the study with a GPU of the given type."""
+    return GPU_WORKER_MACHINE.with_gpu(gpu_name, gpu_count)

@@ -1,0 +1,95 @@
+"""Pricing catalog and cost accounting.
+
+Google's transient servers (preemptible VMs) are offered at fixed prices
+that are significantly lower than their on-demand counterparts; this is the
+economic motivation for the entire study.  The catalog below uses the
+Google Cloud list prices from the study period (2019-2020, us-central1) in
+USD per hour.  Prices only feed the cost-estimation extension and examples;
+none of the paper's tables depend on exact prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigurationError, UnknownGPUError
+from repro.cloud.machines import MachineType
+
+
+@dataclass(frozen=True)
+class PricePair:
+    """On-demand and preemptible (transient) hourly prices in USD."""
+
+    on_demand: float
+    preemptible: float
+
+    def __post_init__(self) -> None:
+        if self.on_demand < 0 or self.preemptible < 0:
+            raise ConfigurationError("prices must be non-negative")
+
+    def price(self, transient: bool) -> float:
+        """The hourly price for the requested server class."""
+        return self.preemptible if transient else self.on_demand
+
+    @property
+    def discount(self) -> float:
+        """Fractional discount of the preemptible price vs. on-demand."""
+        if self.on_demand == 0:
+            return 0.0
+        return 1.0 - self.preemptible / self.on_demand
+
+
+@dataclass
+class PriceCatalog:
+    """Hourly prices for GPUs and VM shapes.
+
+    Attributes:
+        gpu_prices: Per-GPU-type accelerator prices.
+        vcpu_price: Price per vCPU hour.
+        memory_gb_price: Price per GB of memory per hour.
+    """
+
+    gpu_prices: Dict[str, PricePair] = field(default_factory=dict)
+    vcpu_price: PricePair = PricePair(on_demand=0.0475, preemptible=0.01)
+    memory_gb_price: PricePair = PricePair(on_demand=0.0064, preemptible=0.00135)
+
+    def gpu_price(self, gpu_name: str, transient: bool) -> float:
+        """Hourly price of one GPU of the given type."""
+        key = gpu_name.lower()
+        if key not in self.gpu_prices:
+            raise UnknownGPUError(gpu_name, known=tuple(self.gpu_prices))
+        return self.gpu_prices[key].price(transient)
+
+    def machine_hourly_price(self, machine: MachineType, transient: bool) -> float:
+        """Hourly price of a VM of the given shape, including attached GPUs."""
+        price = (machine.vcpus * self.vcpu_price.price(transient)
+                 + machine.memory_gb * self.memory_gb_price.price(transient))
+        if machine.has_gpu and machine.gpu_name is not None:
+            price += machine.gpu_count * self.gpu_price(machine.gpu_name, transient)
+        return price
+
+    def cost(self, machine: MachineType, transient: bool, seconds: float) -> float:
+        """Cost in USD of running a machine for ``seconds`` seconds.
+
+        The simulated provider bills per second, as Google Cloud does.
+        """
+        if seconds < 0:
+            raise ConfigurationError("duration must be non-negative")
+        return self.machine_hourly_price(machine, transient) * seconds / 3600.0
+
+    def transient_discount(self, gpu_name: str) -> float:
+        """Fractional discount of a transient GPU relative to on-demand."""
+        key = gpu_name.lower()
+        if key not in self.gpu_prices:
+            raise UnknownGPUError(gpu_name, known=tuple(self.gpu_prices))
+        return self.gpu_prices[key].discount
+
+
+def default_price_catalog() -> PriceCatalog:
+    """Google Cloud list prices for the study period (us-central1, USD/hour)."""
+    return PriceCatalog(gpu_prices={
+        "k80": PricePair(on_demand=0.45, preemptible=0.135),
+        "p100": PricePair(on_demand=1.46, preemptible=0.43),
+        "v100": PricePair(on_demand=2.48, preemptible=0.74),
+    })

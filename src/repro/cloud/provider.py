@@ -1,0 +1,271 @@
+"""Simulated cloud provider.
+
+The provider is the substrate the CM-DARE resource manager talks to: it
+accepts instance requests, walks each instance through the startup stages
+(provisioning, staging, booting) on the discrete-event simulator, schedules
+revocations for transient servers from the calibrated revocation model, and
+keeps the bookkeeping needed for cost accounting and quota enforcement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cloud.gpus import get_gpu
+from repro.cloud.instance import CloudInstance, InstanceState, ServerClass
+from repro.cloud.machines import MachineType, PARAMETER_SERVER_MACHINE, gpu_worker_machine
+from repro.cloud.pricing import PriceCatalog, default_price_catalog
+from repro.cloud.regions import get_region
+from repro.cloud.revocation import RevocationModel
+from repro.cloud.startup import StartupTimeModel
+from repro.errors import CapacityError, ConfigurationError, InstanceStateError
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+
+#: Default per-(region, GPU) quota of concurrently alive GPU servers,
+#: mirroring the per-account limits the paper hits when requesting servers
+#: "in batches ... the maximum number of servers allowed for our account".
+DEFAULT_GPU_QUOTA = 48
+
+
+@dataclass
+class InstanceRequest:
+    """A request for one server.
+
+    Attributes:
+        region_name: Target region.
+        machine: VM shape; use :func:`make_worker_request` /
+            :func:`make_ps_request` for the paper's standard shapes.
+        server_class: On-demand or transient.
+        labels: Free-form labels copied onto the instance.
+        on_running: Callback invoked as ``on_running(instance)`` when the
+            server reaches the RUNNING state.
+        on_revoked: Callback invoked as ``on_revoked(instance)`` if the
+            server is revoked.
+        after_revocation: Marks the request as an immediate replacement for
+            a revoked server (affects startup-time variability, Fig. 7).
+    """
+
+    region_name: str
+    machine: MachineType
+    server_class: ServerClass = ServerClass.TRANSIENT
+    labels: Dict[str, str] = field(default_factory=dict)
+    on_running: Optional[Callable[[CloudInstance], None]] = None
+    on_revoked: Optional[Callable[[CloudInstance], None]] = None
+    after_revocation: bool = False
+
+
+def make_worker_request(gpu_name: str, region_name: str,
+                        transient: bool = True, **kwargs) -> InstanceRequest:
+    """Build a request for a standard GPU worker (4 vCPU / 52 GB / 1 GPU)."""
+    server_class = ServerClass.TRANSIENT if transient else ServerClass.ON_DEMAND
+    return InstanceRequest(region_name=region_name,
+                           machine=gpu_worker_machine(gpu_name),
+                           server_class=server_class, **kwargs)
+
+
+def make_ps_request(region_name: str, **kwargs) -> InstanceRequest:
+    """Build a request for a standard parameter server (on-demand, CPU-only)."""
+    return InstanceRequest(region_name=region_name,
+                           machine=PARAMETER_SERVER_MACHINE,
+                           server_class=ServerClass.ON_DEMAND, **kwargs)
+
+
+class SimulatedCloudProvider:
+    """The simulated cloud provider front end.
+
+    Args:
+        simulator: Discrete-event simulator driving all timing.
+        streams: Named random streams (startup and revocation sampling use
+            separate streams so they are independently reproducible).
+        startup_model: Startup-time model; a default is built when omitted.
+        revocation_model: Revocation model; a default is built when omitted.
+        price_catalog: Pricing used for cost accounting.
+        gpu_quota: Maximum concurrently alive GPU servers per
+            ``(region, GPU)`` pair.
+    """
+
+    def __init__(self, simulator: Simulator,
+                 streams: Optional[RandomStreams] = None,
+                 startup_model: Optional[StartupTimeModel] = None,
+                 revocation_model: Optional[RevocationModel] = None,
+                 price_catalog: Optional[PriceCatalog] = None,
+                 gpu_quota: int = DEFAULT_GPU_QUOTA):
+        if gpu_quota <= 0:
+            raise ConfigurationError("gpu_quota must be positive")
+        self.simulator = simulator
+        self.streams = streams if streams is not None else RandomStreams(seed=0)
+        self.startup_model = (startup_model if startup_model is not None
+                              else StartupTimeModel(rng=self.streams.get("startup")))
+        self.revocation_model = (revocation_model if revocation_model is not None
+                                 else RevocationModel(rng=self.streams.get("revocation")))
+        self.prices = price_catalog if price_catalog is not None else default_price_catalog()
+        self.gpu_quota = gpu_quota
+        self._instances: Dict[str, CloudInstance] = {}
+        self._id_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def instances(self) -> List[CloudInstance]:
+        """All instances ever requested, in request order."""
+        return list(self._instances.values())
+
+    def get_instance(self, instance_id: str) -> CloudInstance:
+        """Look up an instance by identifier."""
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise InstanceStateError(f"unknown instance {instance_id!r}") from None
+
+    def alive_instances(self, region_name: Optional[str] = None,
+                        gpu_name: Optional[str] = None) -> List[CloudInstance]:
+        """Instances that have not been revoked or terminated."""
+        result = []
+        for instance in self._instances.values():
+            if not instance.is_alive:
+                continue
+            if region_name is not None and instance.region_name != region_name:
+                continue
+            if gpu_name is not None and instance.gpu_name != gpu_name:
+                continue
+            result.append(instance)
+        return result
+
+    def _check_quota(self, region_name: str, machine: MachineType) -> None:
+        if not machine.has_gpu or machine.gpu_name is None:
+            return
+        alive = self.alive_instances(region_name=region_name, gpu_name=machine.gpu_name)
+        if len(alive) >= self.gpu_quota:
+            raise CapacityError(
+                f"quota of {self.gpu_quota} {machine.gpu_name} servers reached "
+                f"in {region_name}")
+
+    # ------------------------------------------------------------------
+    # Requests.
+    # ------------------------------------------------------------------
+    def request_instance(self, request: InstanceRequest) -> CloudInstance:
+        """Request a server and schedule its startup (and revocation).
+
+        Returns:
+            The new :class:`CloudInstance`, initially in the REQUESTED state.
+
+        Raises:
+            CapacityError: If the per-(region, GPU) quota is exhausted.
+            ConfigurationError: If the region does not offer the GPU type.
+        """
+        region = get_region(request.region_name)
+        if request.machine.has_gpu and request.machine.gpu_name is not None:
+            get_gpu(request.machine.gpu_name)
+            if not region.offers(request.machine.gpu_name):
+                raise ConfigurationError(
+                    f"region {region.name!r} does not offer {request.machine.gpu_name!r}")
+        self._check_quota(region.name, request.machine)
+
+        transient = request.server_class.is_transient
+        gpu_name = request.machine.gpu_name or "k80"
+        startup = self.startup_model.sample(gpu_name, transient, region.name)
+        instance = CloudInstance(
+            instance_id=f"i-{next(self._id_counter):06d}",
+            region_name=region.name,
+            machine=request.machine,
+            server_class=request.server_class,
+            requested_at=self.simulator.now,
+            startup=startup,
+            labels=dict(request.labels),
+        )
+        self._instances[instance.instance_id] = instance
+        self._schedule_startup(instance, request)
+        return instance
+
+    def _schedule_startup(self, instance: CloudInstance, request: InstanceRequest) -> None:
+        """Walk the instance through provisioning, staging, booting, running."""
+        stages = instance.startup
+
+        def enter_provisioning(_sim: Simulator) -> None:
+            if instance.is_alive:
+                instance.transition(InstanceState.PROVISIONING, self.simulator.now)
+
+        def enter_staging(_sim: Simulator) -> None:
+            if instance.is_alive:
+                instance.transition(InstanceState.STAGING, self.simulator.now)
+
+        def enter_booting(_sim: Simulator) -> None:
+            if instance.is_alive:
+                instance.transition(InstanceState.BOOTING, self.simulator.now)
+
+        def enter_running(_sim: Simulator) -> None:
+            if not instance.is_alive:
+                return
+            instance.transition(InstanceState.RUNNING, self.simulator.now)
+            if instance.is_transient:
+                self._schedule_revocation(instance, request)
+            if request.on_running is not None:
+                request.on_running(instance)
+
+        self.simulator.schedule(0.0, enter_provisioning,
+                                label=f"{instance.instance_id}:provisioning")
+        self.simulator.schedule(stages.provisioning, enter_staging,
+                                label=f"{instance.instance_id}:staging")
+        self.simulator.schedule(stages.provisioning + stages.staging, enter_booting,
+                                label=f"{instance.instance_id}:booting")
+        self.simulator.schedule(stages.total, enter_running,
+                                label=f"{instance.instance_id}:running")
+
+    def _schedule_revocation(self, instance: CloudInstance,
+                             request: InstanceRequest) -> None:
+        """Schedule the (possible) revocation of a running transient server."""
+        region = get_region(instance.region_name)
+        launch_hour_local = region.local_hour(self.simulator.hour_of_day_utc())
+        outcome = self.revocation_model.sample(
+            instance.gpu_name or "k80", instance.region_name,
+            launch_hour_local=launch_hour_local,
+            stressed=instance.labels.get("workload", "idle") != "idle")
+        instance.labels["planned_lifetime_hours"] = f"{outcome.lifetime_hours:.3f}"
+
+        def revoke(_sim: Simulator) -> None:
+            if not instance.is_alive:
+                return
+            instance.transition(InstanceState.REVOKED, self.simulator.now)
+            if request.on_revoked is not None:
+                request.on_revoked(instance)
+
+        # Both revocations and the 24-hour maximum lifetime terminate the
+        # server; surviving servers are reclaimed at exactly 24 hours.
+        self.simulator.schedule(outcome.lifetime_seconds, revoke,
+                                label=f"{instance.instance_id}:revocation")
+
+    # ------------------------------------------------------------------
+    # Termination and billing.
+    # ------------------------------------------------------------------
+    def terminate_instance(self, instance_id: str) -> None:
+        """Terminate an instance at the current simulation time."""
+        instance = self.get_instance(instance_id)
+        if instance.is_alive:
+            instance.transition(InstanceState.TERMINATED, self.simulator.now)
+
+    def terminate_all(self) -> None:
+        """Terminate every instance that is still alive."""
+        for instance in self._instances.values():
+            if instance.is_alive:
+                instance.transition(InstanceState.TERMINATED, self.simulator.now)
+
+    def instance_cost(self, instance_id: str) -> float:
+        """Cost in USD accrued by one instance so far."""
+        instance = self.get_instance(instance_id)
+        duration = instance.billed_duration(self.simulator.now)
+        return self.prices.cost(instance.machine, instance.is_transient, duration)
+
+    def total_cost(self) -> float:
+        """Total cost in USD accrued by all instances so far."""
+        return sum(self.instance_cost(instance_id) for instance_id in self._instances)
+
+    def cost_breakdown(self) -> Dict[Tuple[str, str], float]:
+        """Cost grouped by ``(region, server class)``."""
+        breakdown: Dict[Tuple[str, str], float] = {}
+        for instance_id, instance in self._instances.items():
+            key = (instance.region_name, instance.server_class.value)
+            breakdown[key] = breakdown.get(key, 0.0) + self.instance_cost(instance_id)
+        return breakdown

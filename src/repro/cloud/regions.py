@@ -1,0 +1,79 @@
+"""Region catalog.
+
+The measurement study spans six Google Cloud regions: three in the US, two
+in Europe, and one in Asia.  Each region records which GPU types it offers
+(Table V has ``N/A`` cells for unavailable combinations) and a UTC offset
+used to express revocation times in the region's local time (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import UnknownRegionError
+
+
+@dataclass(frozen=True)
+class Region:
+    """A cloud region.
+
+    Attributes:
+        name: Region name, e.g. ``"us-east1"``.
+        continent: Coarse location used for grouping.
+        utc_offset_hours: Offset of the region's local time from UTC.  The
+            paper reports time-of-day revocation patterns in local time.
+        gpu_types: Names of GPU types available in this region.
+    """
+
+    name: str
+    continent: str
+    utc_offset_hours: float
+    gpu_types: Tuple[str, ...]
+
+    def offers(self, gpu_name: str) -> bool:
+        """Whether the region offers the given GPU type."""
+        return gpu_name.lower() in self.gpu_types
+
+    def local_hour(self, utc_hour: float) -> float:
+        """Convert a UTC hour-of-day to this region's local hour-of-day."""
+        return (utc_hour + self.utc_offset_hours) % 24.0
+
+
+#: The six regions of the study with their GPU availability (Table V).
+REGION_CATALOG: Dict[str, Region] = {
+    "us-east1": Region(name="us-east1", continent="north-america",
+                       utc_offset_hours=-5.0, gpu_types=("k80", "p100")),
+    "us-central1": Region(name="us-central1", continent="north-america",
+                          utc_offset_hours=-6.0, gpu_types=("k80", "p100", "v100")),
+    "us-west1": Region(name="us-west1", continent="north-america",
+                       utc_offset_hours=-8.0, gpu_types=("k80", "p100", "v100")),
+    "europe-west1": Region(name="europe-west1", continent="europe",
+                           utc_offset_hours=1.0, gpu_types=("k80", "p100")),
+    "europe-west4": Region(name="europe-west4", continent="europe",
+                           utc_offset_hours=1.0, gpu_types=("v100",)),
+    "asia-east1": Region(name="asia-east1", continent="asia",
+                         utc_offset_hours=8.0, gpu_types=("v100",)),
+}
+
+
+def get_region(name: str) -> Region:
+    """Look up a region by name (case-insensitive).
+
+    Raises:
+        UnknownRegionError: If the name is not in the catalog.
+    """
+    key = name.lower()
+    if key not in REGION_CATALOG:
+        raise UnknownRegionError(name, known=tuple(REGION_CATALOG))
+    return REGION_CATALOG[key]
+
+
+def list_regions() -> List[Region]:
+    """All regions in catalog order."""
+    return list(REGION_CATALOG.values())
+
+
+def regions_offering(gpu_name: str) -> List[Region]:
+    """Regions that offer a given GPU type."""
+    return [region for region in REGION_CATALOG.values() if region.offers(gpu_name)]

@@ -1,0 +1,127 @@
+"""Cloud object storage model.
+
+The chief worker periodically saves checkpoints to cloud storage (Google
+Cloud Storage in the paper).  The storage model tracks uploaded objects and
+charges a simple bandwidth/latency cost for uploads and downloads; the
+paper minimizes the network impact on checkpoint measurements by keeping
+storage in the same data center as the training cluster, which is the
+default here (same-region bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, DataError
+
+#: Effective same-region upload bandwidth (bytes/second).  Checkpoint
+#: *serialization* dominates checkpoint time in the paper's measurements
+#: (the time model lives in :mod:`repro.perf.checkpoint_time`); the storage
+#: transfer itself is fast.
+SAME_REGION_BANDWIDTH = 400 * 1024 * 1024
+
+#: Cross-region bandwidth (bytes/second).
+CROSS_REGION_BANDWIDTH = 80 * 1024 * 1024
+
+#: Fixed per-request latency (seconds).
+REQUEST_LATENCY = 0.15
+
+
+@dataclass(frozen=True)
+class StorageObject:
+    """One object stored in the bucket.
+
+    Attributes:
+        key: Object key, e.g. ``"ckpt/model.ckpt-4000"``.
+        size_bytes: Object size.
+        uploaded_at: Simulation time at which the upload completed.
+        metadata: Free-form metadata (model name, step, ...).
+    """
+
+    key: str
+    size_bytes: int
+    uploaded_at: float
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+
+class CloudStorage:
+    """A simulated cloud storage bucket.
+
+    Args:
+        region_name: Region the bucket lives in; transfers to/from the same
+            region use the fast same-region bandwidth.
+        bucket_name: Name used in keys and reporting.
+    """
+
+    def __init__(self, region_name: str, bucket_name: str = "cm-dare-checkpoints"):
+        self.region_name = region_name
+        self.bucket_name = bucket_name
+        self._objects: Dict[str, StorageObject] = {}
+
+    # ------------------------------------------------------------------
+    # Transfer-time estimation.
+    # ------------------------------------------------------------------
+    def _bandwidth(self, peer_region: str) -> float:
+        return (SAME_REGION_BANDWIDTH if peer_region == self.region_name
+                else CROSS_REGION_BANDWIDTH)
+
+    def upload_time(self, size_bytes: int, from_region: str) -> float:
+        """Seconds needed to upload ``size_bytes`` from ``from_region``."""
+        if size_bytes < 0:
+            raise ConfigurationError("size_bytes must be non-negative")
+        return REQUEST_LATENCY + size_bytes / self._bandwidth(from_region)
+
+    def download_time(self, size_bytes: int, to_region: str) -> float:
+        """Seconds needed to download ``size_bytes`` to ``to_region``."""
+        if size_bytes < 0:
+            raise ConfigurationError("size_bytes must be non-negative")
+        return REQUEST_LATENCY + size_bytes / self._bandwidth(to_region)
+
+    # ------------------------------------------------------------------
+    # Object management.
+    # ------------------------------------------------------------------
+    def put(self, key: str, size_bytes: int, at_time: float,
+            metadata: Optional[Dict[str, str]] = None) -> StorageObject:
+        """Store (or overwrite) an object."""
+        if size_bytes < 0:
+            raise ConfigurationError("size_bytes must be non-negative")
+        obj = StorageObject(key=key, size_bytes=int(size_bytes), uploaded_at=at_time,
+                            metadata=dict(metadata or {}))
+        self._objects[key] = obj
+        return obj
+
+    def get(self, key: str) -> StorageObject:
+        """Fetch an object's metadata.
+
+        Raises:
+            DataError: If the key does not exist.
+        """
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise DataError(f"object {key!r} not found in bucket {self.bucket_name!r}") from None
+
+    def exists(self, key: str) -> bool:
+        """Whether an object with ``key`` exists."""
+        return key in self._objects
+
+    def delete(self, key: str) -> None:
+        """Delete an object if it exists."""
+        self._objects.pop(key, None)
+
+    def list_objects(self, prefix: str = "") -> List[StorageObject]:
+        """Objects whose key starts with ``prefix``, sorted by key."""
+        return sorted((obj for key, obj in self._objects.items()
+                       if key.startswith(prefix)), key=lambda obj: obj.key)
+
+    def latest(self, prefix: str = "") -> Optional[StorageObject]:
+        """The most recently uploaded object under ``prefix``, if any."""
+        candidates = self.list_objects(prefix)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda obj: obj.uploaded_at)
+
+    def total_bytes(self) -> int:
+        """Total stored bytes."""
+        return sum(obj.size_bytes for obj in self._objects.values())

@@ -1,0 +1,47 @@
+"""CM-DARE: the cloud measurement and training framework.
+
+This package reproduces the framework of Fig. 1:
+
+* :mod:`repro.cmdare.tracker` — the per-cluster training performance
+  tracker that reports windowed training speed,
+* :mod:`repro.cmdare.profiler` — the performance profiler that aggregates
+  measurements across sessions into datasets for model building,
+* :mod:`repro.cmdare.transient_tf` — the transient-TensorFlow recovery
+  policies (chief-checkpoint handoff vs. the legacy IP-reuse behaviour),
+* :mod:`repro.cmdare.resource_manager` — sets up and reconfigures training
+  clusters through the simulated cloud provider,
+* :mod:`repro.cmdare.bottleneck` — detection and mitigation of
+  parameter-server bottlenecks (Section VI-B),
+* :mod:`repro.cmdare.controller` — the controller tying revocation
+  handling, replacement, and bottleneck mitigation together,
+* :mod:`repro.cmdare.experiment` — one-call experiment drivers used by the
+  measurement campaigns and the examples.
+"""
+
+from repro.cmdare.tracker import PerformanceTracker, SpeedSample
+from repro.cmdare.profiler import PerformanceProfiler, SpeedMeasurement, CheckpointMeasurement
+from repro.cmdare.transient_tf import RecoveryMode, TransientTensorFlowPolicy
+from repro.cmdare.resource_manager import ResourceManager, ProvisionedCluster
+from repro.cmdare.bottleneck import BottleneckDetector, BottleneckReport
+from repro.cmdare.mitigation import MitigationPlan, MitigationPlanner
+from repro.cmdare.controller import CMDareController
+from repro.cmdare.experiment import ExperimentResult, run_training_experiment
+
+__all__ = [
+    "PerformanceTracker",
+    "SpeedSample",
+    "PerformanceProfiler",
+    "SpeedMeasurement",
+    "CheckpointMeasurement",
+    "RecoveryMode",
+    "TransientTensorFlowPolicy",
+    "ResourceManager",
+    "ProvisionedCluster",
+    "BottleneckDetector",
+    "BottleneckReport",
+    "MitigationPlan",
+    "MitigationPlanner",
+    "CMDareController",
+    "ExperimentResult",
+    "run_training_experiment",
+]

@@ -1,0 +1,156 @@
+"""High-level experiment drivers.
+
+``run_training_experiment`` is the one-call entry point the measurement
+campaigns and the examples use: it wires a simulator, (optionally) a
+simulated cloud provider, a training session, a performance tracker, and a
+controller together, runs the workload to completion, and returns the
+trace, controller log, and cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cloud.provider import SimulatedCloudProvider
+from repro.cloud.storage import CloudStorage
+from repro.cmdare.controller import CMDareController, ControllerConfig
+from repro.errors import ConfigurationError
+from repro.perf.checkpoint_time import CheckpointTimeModel
+from repro.perf.ps_capacity import PSCapacityModel
+from repro.perf.step_time import StepTimeModel
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec
+from repro.training.job import TrainingJob
+from repro.training.session import TrainingSession
+from repro.training.trace import TrainingTrace
+
+
+@dataclass
+class ExperimentResult:
+    """Everything produced by one training experiment.
+
+    Attributes:
+        trace: The training trace.
+        session: The (finished) training session.
+        controller: The controller that drove the session, if one was used.
+        provider: The simulated cloud provider, if one was used.
+        total_cost_usd: Cloud cost accrued (0 when no provider is used).
+        metadata: Free-form experiment metadata.
+    """
+
+    trace: TrainingTrace
+    session: TrainingSession
+    controller: Optional[CMDareController] = None
+    provider: Optional[SimulatedCloudProvider] = None
+    total_cost_usd: float = 0.0
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def cluster_speed(self) -> float:
+        """Average cluster speed of the experiment (steps/second)."""
+        return self.trace.cluster_speed()
+
+    @property
+    def duration_seconds(self) -> float:
+        """Simulated duration of the experiment."""
+        return self.trace.duration
+
+
+def run_training_experiment(cluster: ClusterSpec, job: TrainingJob,
+                            seed: int = 0,
+                            controller_config: Optional[ControllerConfig] = None,
+                            with_controller: bool = True,
+                            with_provider: bool = False,
+                            with_storage: bool = False,
+                            steps_per_event: int = 10,
+                            step_time_model: Optional[StepTimeModel] = None,
+                            ps_capacity_model: Optional[PSCapacityModel] = None,
+                            checkpoint_time_model: Optional[CheckpointTimeModel] = None
+                            ) -> ExperimentResult:
+    """Run one complete training experiment on a fresh simulator.
+
+    Args:
+        cluster: Cluster configuration.
+        job: Training workload.
+        seed: Root seed for every random stream in the experiment.
+        controller_config: Controller behaviour (auto-replacement,
+            bottleneck mitigation, recovery policy).
+        with_controller: Attach a CM-DARE controller and monitoring loop.
+        with_provider: Drive revocations from the simulated cloud provider
+            (transient workers may be revoked mid-run); without it the
+            session runs undisturbed unless faults are injected manually.
+        with_storage: Attach a cloud-storage bucket for checkpoints.
+        steps_per_event: Simulation granularity (steps per event).
+        step_time_model: Optional shared ground-truth step-time model.
+        ps_capacity_model: Optional shared PS-capacity model.
+        checkpoint_time_model: Optional shared checkpoint-duration model.
+
+    Returns:
+        An :class:`ExperimentResult`.
+    """
+    if job.total_steps <= 0:
+        raise ConfigurationError("job must have a positive number of steps")
+    streams = RandomStreams(seed=seed)
+    simulator = Simulator(epoch_hour_utc=float(streams.get("epoch").uniform(0, 24)))
+    storage = CloudStorage(cluster.ps_region_name) if with_storage else None
+
+    session = TrainingSession(
+        simulator, cluster, job, streams=streams,
+        step_time_model=step_time_model or StepTimeModel(rng=streams.get("step_time")),
+        ps_capacity_model=ps_capacity_model or PSCapacityModel(),
+        checkpoint_time_model=(checkpoint_time_model
+                               or CheckpointTimeModel(rng=streams.get("checkpoint"))),
+        storage=storage, steps_per_event=steps_per_event)
+
+    provider: Optional[SimulatedCloudProvider] = None
+    if with_provider:
+        provider = SimulatedCloudProvider(simulator, streams=streams)
+        _wire_provider_revocations(provider, session, cluster)
+
+    controller: Optional[CMDareController] = None
+    if with_controller:
+        controller = CMDareController(session, config=controller_config)
+        controller.start_monitoring()
+
+    trace = session.run_to_completion()
+    if provider is not None:
+        provider.terminate_all()
+    total_cost = provider.total_cost() if provider is not None else 0.0
+    return ExperimentResult(trace=trace, session=session, controller=controller,
+                            provider=provider, total_cost_usd=total_cost,
+                            metadata={"model": job.model_name,
+                                      "cluster": cluster.describe(),
+                                      "seed": str(seed)})
+
+
+def _wire_provider_revocations(provider: SimulatedCloudProvider,
+                               session: TrainingSession,
+                               cluster: ClusterSpec) -> None:
+    """Provision the cluster and forward provider revocations to the session.
+
+    The session's workers are indexed in cluster order; each transient
+    worker instance forwards its revocation to the matching session worker.
+    """
+    from repro.cmdare.resource_manager import ResourceManager
+
+    manager = ResourceManager(provider)
+    worker_ids = list(session.workers)
+
+    def on_worker_revoked(instance) -> None:
+        label = instance.labels.get("name", "")
+        try:
+            index = int(label.split("-")[-1])
+        except ValueError:
+            return
+        if index >= len(worker_ids) or session.finished:
+            return
+        worker_id = worker_ids[index]
+        if worker_id in session.workers and session.workers[worker_id].active:
+            session.handle_revocation(worker_id)
+
+    provisioned = manager.provision(cluster, on_worker_revoked=on_worker_revoked)
+    for index, instance in enumerate(provisioned.workers.values()):
+        if index < len(worker_ids):
+            session.workers[worker_ids[index]].instance_id = instance.instance_id

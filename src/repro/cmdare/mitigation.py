@@ -1,0 +1,147 @@
+"""Overhead-aware bottleneck mitigation planning (Section VI-B future work).
+
+The paper shows that adding a second parameter server can improve training
+speed by up to 70.6%, but notes that TensorFlow requires a ~10-second
+session restart to do so and leaves "overhead-aware bottleneck mitigation
+as future work".  This module implements that planner: given the measured
+cluster speed, the capacity model's prediction of the post-mitigation
+speed, the remaining workload, and the cost of the extra server, it decides
+whether the mitigation pays for itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cloud.machines import PARAMETER_SERVER_MACHINE
+from repro.cloud.pricing import PriceCatalog, default_price_catalog
+from repro.errors import ConfigurationError
+from repro.perf.calibration import SESSION_RESTART_SECONDS
+from repro.perf.ps_capacity import PSCapacityModel
+from repro.training.session import TrainingSession
+
+
+@dataclass(frozen=True)
+class MitigationPlan:
+    """The outcome of an overhead-aware mitigation analysis.
+
+    Attributes:
+        worthwhile: Whether adding the parameter server is recommended.
+        current_speed: Measured (or modeled) current cluster speed.
+        projected_speed: Projected cluster speed with the extra PS.
+        remaining_steps: Training steps left when the decision is made.
+        time_saved_seconds: Net completion-time change (positive = faster),
+            already accounting for the session-restart overhead.
+        restart_overhead_seconds: Session-restart cost paid on mitigation.
+        extra_cost_usd: Additional parameter-server cost for the remainder
+            of the run.
+        breakeven_steps: Minimum remaining steps for the mitigation to pay
+            for its restart overhead.
+    """
+
+    worthwhile: bool
+    current_speed: float
+    projected_speed: float
+    remaining_steps: int
+    time_saved_seconds: float
+    restart_overhead_seconds: float
+    extra_cost_usd: float
+    breakeven_steps: float
+
+    @property
+    def speedup(self) -> float:
+        """Projected speed divided by the current speed."""
+        return self.projected_speed / self.current_speed
+
+
+class MitigationPlanner:
+    """Decides whether adding a parameter server is worth its overhead.
+
+    Args:
+        ps_capacity_model: Capacity model used to project the
+            post-mitigation cluster speed.
+        price_catalog: Prices used for the extra parameter server's cost.
+        restart_overhead_seconds: Session-restart cost of reconfiguring the
+            cluster (the paper measures about ten seconds).
+        min_time_saved_seconds: Do not recommend mitigations that save less
+            than this much wall-clock time.
+    """
+
+    def __init__(self, ps_capacity_model: Optional[PSCapacityModel] = None,
+                 price_catalog: Optional[PriceCatalog] = None,
+                 restart_overhead_seconds: float = SESSION_RESTART_SECONDS,
+                 min_time_saved_seconds: float = 30.0):
+        if restart_overhead_seconds < 0 or min_time_saved_seconds < 0:
+            raise ConfigurationError("overheads must be non-negative")
+        self.ps_capacity_model = ps_capacity_model or PSCapacityModel()
+        self.prices = price_catalog or default_price_catalog()
+        self.restart_overhead_seconds = restart_overhead_seconds
+        self.min_time_saved_seconds = min_time_saved_seconds
+
+    # ------------------------------------------------------------------
+    # Planning.
+    # ------------------------------------------------------------------
+    def plan(self, worker_speeds, gradient_bytes: float, remaining_steps: int,
+             current_parameter_servers: int = 1, additional_servers: int = 1,
+             measured_speed: Optional[float] = None) -> MitigationPlan:
+        """Evaluate adding ``additional_servers`` parameter servers.
+
+        Args:
+            worker_speeds: Uncontended per-worker speeds (steps/second).
+            gradient_bytes: Per-step gradient payload of the model.
+            remaining_steps: Steps left in the workload.
+            current_parameter_servers: Parameter servers currently serving.
+            additional_servers: Parameter servers the mitigation would add.
+            measured_speed: Measured cluster speed; when omitted the
+                capacity model's estimate for the current configuration is
+                used.
+        """
+        if remaining_steps < 0:
+            raise ConfigurationError("remaining_steps must be non-negative")
+        if additional_servers < 1:
+            raise ConfigurationError("additional_servers must be >= 1")
+        speeds = list(worker_speeds)
+        if not speeds:
+            raise ConfigurationError("worker_speeds must not be empty")
+
+        current = (measured_speed if measured_speed is not None else
+                   self.ps_capacity_model.cluster_speed(
+                       speeds, gradient_bytes, current_parameter_servers))
+        projected = self.ps_capacity_model.cluster_speed(
+            speeds, gradient_bytes, current_parameter_servers + additional_servers)
+        if current <= 0 or projected <= 0:
+            raise ConfigurationError("cluster speeds must be positive")
+
+        current_time = remaining_steps / current
+        mitigated_time = self.restart_overhead_seconds + remaining_steps / projected
+        time_saved = current_time - mitigated_time
+
+        # Breakeven: remaining steps at which the restart overhead is exactly
+        # repaid by the faster speed.
+        per_step_gain = 1.0 / current - 1.0 / projected
+        breakeven = (float("inf") if per_step_gain <= 0
+                     else self.restart_overhead_seconds / per_step_gain)
+
+        extra_cost = additional_servers * self.prices.cost(
+            PARAMETER_SERVER_MACHINE, transient=False, seconds=max(0.0, mitigated_time))
+        worthwhile = time_saved >= self.min_time_saved_seconds
+        return MitigationPlan(worthwhile=worthwhile, current_speed=current,
+                              projected_speed=projected,
+                              remaining_steps=remaining_steps,
+                              time_saved_seconds=time_saved,
+                              restart_overhead_seconds=self.restart_overhead_seconds,
+                              extra_cost_usd=extra_cost, breakeven_steps=breakeven)
+
+    def plan_for_session(self, session: TrainingSession,
+                         additional_servers: int = 1,
+                         measured_speed: Optional[float] = None) -> MitigationPlan:
+        """Plan a mitigation for a live training session."""
+        speeds = [session.step_time_model.mean_speed(session.job.profile.gflops,
+                                                     worker.gpu_name)
+                  for worker in session.active_workers()]
+        remaining = max(0, session.job.total_steps - session.cluster_steps)
+        return self.plan(speeds, session.job.profile.parameter_bytes, remaining,
+                         current_parameter_servers=session.ps_group.count,
+                         additional_servers=additional_servers,
+                         measured_speed=measured_speed)

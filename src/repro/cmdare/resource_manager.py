@@ -1,0 +1,154 @@
+"""Resource manager: provisions and reconfigures training clusters.
+
+The resource manager is step (2) of the Fig. 1 workflow: given the cluster
+configuration in the practitioner's training script, it requests the
+parameter servers (on-demand) and GPU workers (transient) from the cloud
+provider, and later fulfils configuration changes decided by the controller
+(replacement workers after revocations, extra parameter servers when a
+bottleneck is flagged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cloud.instance import CloudInstance, ServerClass
+from repro.cloud.machines import PARAMETER_SERVER_MACHINE, gpu_worker_machine
+from repro.cloud.provider import InstanceRequest, SimulatedCloudProvider
+from repro.errors import ConfigurationError
+from repro.training.cluster import ClusterSpec, WorkerSpec
+
+
+@dataclass
+class ProvisionedCluster:
+    """The cloud instances backing one training cluster.
+
+    Attributes:
+        spec: The cluster specification that was provisioned.
+        parameter_servers: Instances running parameter servers.
+        workers: Instances running GPU workers, keyed by worker index label.
+    """
+
+    spec: ClusterSpec
+    parameter_servers: List[CloudInstance] = field(default_factory=list)
+    workers: Dict[str, CloudInstance] = field(default_factory=dict)
+
+    @property
+    def num_running_workers(self) -> int:
+        """Number of worker instances currently running."""
+        return sum(1 for instance in self.workers.values() if instance.is_running)
+
+    def all_instances(self) -> List[CloudInstance]:
+        """All instances of the cluster."""
+        return self.parameter_servers + list(self.workers.values())
+
+
+class ResourceManager:
+    """Provisions clusters and replacement workers through the provider.
+
+    Args:
+        provider: The simulated cloud provider.
+    """
+
+    def __init__(self, provider: SimulatedCloudProvider):
+        self.provider = provider
+
+    # ------------------------------------------------------------------
+    # Initial provisioning.
+    # ------------------------------------------------------------------
+    def provision(self, spec: ClusterSpec,
+                  on_worker_running: Optional[Callable[[CloudInstance], None]] = None,
+                  on_worker_revoked: Optional[Callable[[CloudInstance], None]] = None
+                  ) -> ProvisionedCluster:
+        """Request every server of a cluster specification.
+
+        Parameter servers are requested as on-demand (non-revocable) servers
+        and GPU workers follow each worker spec's transient flag, matching
+        the paper's setup.
+
+        Args:
+            spec: Cluster to provision.
+            on_worker_running: Callback when a GPU worker reaches RUNNING.
+            on_worker_revoked: Callback when a GPU worker is revoked.
+        """
+        cluster = ProvisionedCluster(spec=spec)
+        for index in range(spec.num_parameter_servers):
+            request = InstanceRequest(
+                region_name=spec.ps_region_name,
+                machine=PARAMETER_SERVER_MACHINE,
+                server_class=ServerClass.ON_DEMAND,
+                labels={"role": "ps", "index": str(index)})
+            cluster.parameter_servers.append(self.provider.request_instance(request))
+        for index, worker in enumerate(spec.workers):
+            instance = self.request_worker(worker, label=f"worker-{index}",
+                                           on_running=on_worker_running,
+                                           on_revoked=on_worker_revoked)
+            cluster.workers[f"worker-{index}"] = instance
+        return cluster
+
+    # ------------------------------------------------------------------
+    # Individual workers (initial and replacement).
+    # ------------------------------------------------------------------
+    def request_worker(self, spec: WorkerSpec, label: str,
+                       on_running: Optional[Callable[[CloudInstance], None]] = None,
+                       on_revoked: Optional[Callable[[CloudInstance], None]] = None,
+                       after_revocation: bool = False) -> CloudInstance:
+        """Request one GPU worker instance."""
+        server_class = ServerClass.TRANSIENT if spec.transient else ServerClass.ON_DEMAND
+        request = InstanceRequest(
+            region_name=spec.region_name,
+            machine=gpu_worker_machine(spec.gpu_name),
+            server_class=server_class,
+            labels={"role": "worker", "name": label, "workload": "training"},
+            on_running=on_running,
+            on_revoked=on_revoked,
+            after_revocation=after_revocation)
+        return self.provider.request_instance(request)
+
+    def request_replacement(self, spec: WorkerSpec, label: str,
+                            on_running: Optional[Callable[[CloudInstance], None]] = None,
+                            on_revoked: Optional[Callable[[CloudInstance], None]] = None
+                            ) -> CloudInstance:
+        """Request a replacement worker immediately after a revocation.
+
+        The paper finds that requesting immediately is a valid strategy:
+        startup time is not materially affected by the preceding revocation.
+        """
+        return self.request_worker(spec, label, on_running=on_running,
+                                   on_revoked=on_revoked, after_revocation=True)
+
+    def add_parameter_server(self, cluster: ProvisionedCluster) -> CloudInstance:
+        """Request one additional parameter server (bottleneck mitigation)."""
+        index = len(cluster.parameter_servers)
+        request = InstanceRequest(
+            region_name=cluster.spec.ps_region_name,
+            machine=PARAMETER_SERVER_MACHINE,
+            server_class=ServerClass.ON_DEMAND,
+            labels={"role": "ps", "index": str(index)})
+        instance = self.provider.request_instance(request)
+        cluster.parameter_servers.append(instance)
+        return instance
+
+    # ------------------------------------------------------------------
+    # Teardown and accounting.
+    # ------------------------------------------------------------------
+    def release(self, cluster: ProvisionedCluster) -> None:
+        """Terminate every instance of a cluster."""
+        for instance in cluster.all_instances():
+            if instance.is_alive:
+                self.provider.terminate_instance(instance.instance_id)
+
+    def cluster_cost(self, cluster: ProvisionedCluster) -> float:
+        """Total cost (USD) accrued by the cluster so far."""
+        return sum(self.provider.instance_cost(instance.instance_id)
+                   for instance in cluster.all_instances())
+
+    def validate_spec(self, spec: ClusterSpec) -> None:
+        """Validate that the provider can satisfy a cluster specification."""
+        for worker in spec.workers:
+            from repro.cloud.regions import get_region
+            region = get_region(worker.region_name)
+            if not region.offers(worker.gpu_name):
+                raise ConfigurationError(
+                    f"region {worker.region_name!r} does not offer {worker.gpu_name!r}")

@@ -1,0 +1,70 @@
+"""Transient-TensorFlow recovery policies.
+
+CM-DARE modifies TensorFlow so that (a) a revoked worker notifies the
+parameter server and the controller, and (b) when the *chief* worker is
+revoked, another GPU worker takes over checkpointing.  Unmodified
+TensorFlow instead binds the chief role to an IP address: a replacement
+worker reusing the revoked chief's address becomes the new chief and forces
+the whole cluster to recompute from the last checkpoint (Section V-E).
+
+:class:`TransientTensorFlowPolicy` captures which behaviour a session uses
+and what a replacement request should look like, so the controller and the
+Fig. 11 experiment can switch between them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.training.session import TrainingSession
+from repro.training.worker import WorkerState
+
+
+class RecoveryMode(enum.Enum):
+    """How the framework recovers from a chief revocation."""
+
+    #: CM-DARE's behaviour: hand checkpointing to a surviving worker; the
+    #: replacement joins with a fresh IP and no progress is lost.
+    TRANSIENT_AWARE = "transient_aware"
+
+    #: Unmodified TensorFlow with the revoked chief's IP reused by the
+    #: replacement: the cluster recomputes from the last checkpoint.
+    LEGACY_IP_REUSE = "legacy_ip_reuse"
+
+
+@dataclass(frozen=True)
+class TransientTensorFlowPolicy:
+    """Framework-level recovery policy for a training session.
+
+    Attributes:
+        recovery_mode: Chief-revocation recovery behaviour.
+        notify_parameter_server: Whether revoked workers notify the PS and
+            the controller (always true for CM-DARE; kept as a switch so
+            the ablation benchmarks can turn it off).
+    """
+
+    recovery_mode: RecoveryMode = RecoveryMode.TRANSIENT_AWARE
+    notify_parameter_server: bool = True
+
+    @property
+    def reuse_chief_ip(self) -> bool:
+        """Whether replacement workers reuse the revoked chief's IP address."""
+        return self.recovery_mode is RecoveryMode.LEGACY_IP_REUSE
+
+    def expected_recomputation_steps(self, session: TrainingSession) -> int:
+        """Steps that would be discarded if the chief were revoked now."""
+        if self.recovery_mode is RecoveryMode.TRANSIENT_AWARE:
+            return 0
+        return session.steps_since_checkpoint
+
+    def describe_recovery(self, revoked: WorkerState) -> str:
+        """Human-readable description of what happens after a revocation."""
+        if not revoked.is_chief:
+            return ("worker revocation: training continues with the remaining "
+                    "workers; a replacement may be requested")
+        if self.recovery_mode is RecoveryMode.TRANSIENT_AWARE:
+            return ("chief revocation: checkpoint responsibility handed to a "
+                    "surviving worker; no recomputation")
+        return ("chief revocation: replacement reuses the chief's IP, cluster "
+                "recomputes from the last checkpoint")

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the CM-DARE reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so
+that callers can catch library-specific failures with a single clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a user-supplied configuration value is invalid.
+
+    Examples include a negative worker count, an unknown GPU type name, or
+    a checkpoint interval of zero steps.
+    """
+
+
+class UnknownGPUError(ConfigurationError):
+    """Raised when a GPU type name is not present in the GPU catalog."""
+
+    def __init__(self, name: str, known: tuple = ()):  # type: ignore[assignment]
+        self.name = name
+        self.known = tuple(known)
+        message = f"unknown GPU type {name!r}"
+        if self.known:
+            message += f"; known types: {', '.join(self.known)}"
+        super().__init__(message)
+
+
+class UnknownRegionError(ConfigurationError):
+    """Raised when a region name is not present in the region catalog."""
+
+    def __init__(self, name: str, known: tuple = ()):  # type: ignore[assignment]
+        self.name = name
+        self.known = tuple(known)
+        message = f"unknown region {name!r}"
+        if self.known:
+            message += f"; known regions: {', '.join(self.known)}"
+        super().__init__(message)
+
+
+class UnknownModelError(ConfigurationError):
+    """Raised when a CNN model name is not present in the model catalog."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation reaches an invalid state."""
+
+
+class CapacityError(SimulationError):
+    """Raised when the simulated cloud provider cannot satisfy a request.
+
+    The simulated provider enforces per-region/per-GPU quotas similar to the
+    per-account quotas Google Cloud enforces on preemptible GPU servers.
+    """
+
+
+class InstanceStateError(SimulationError):
+    """Raised when an operation is invalid for an instance's current state."""
+
+
+class TrainingError(ReproError):
+    """Raised when a training session cannot start or continue."""
+
+
+class ModelingError(ReproError):
+    """Raised when a performance model cannot be fitted or applied."""
+
+
+class NotFittedError(ModelingError):
+    """Raised when ``predict`` is called on a model that was never fitted."""
+
+
+class DataError(ReproError):
+    """Raised when a measurement dataset is malformed or inconsistent."""

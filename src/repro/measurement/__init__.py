@@ -1,0 +1,82 @@
+"""Measurement campaigns.
+
+Each module reproduces one of the paper's measurement campaigns by driving
+the simulated substrate and collecting the same quantities the paper
+collects.  Every campaign is deterministic given its seed, and every bench
+in ``benchmarks/`` calls exactly one campaign function.
+
+| Campaign | Paper experiments |
+|---|---|
+| :mod:`repro.measurement.speed_campaign` | Table I, Fig. 2, Fig. 3, Table II dataset |
+| :mod:`repro.measurement.scaling_campaign` | Table III, Fig. 4, Fig. 12 |
+| :mod:`repro.measurement.checkpoint_campaign` | Fig. 5, Table IV dataset |
+| :mod:`repro.measurement.startup_campaign` | Fig. 6, Fig. 7 |
+| :mod:`repro.measurement.revocation_campaign` | Table V, Fig. 8, Fig. 9 |
+| :mod:`repro.measurement.replacement_campaign` | Fig. 10, Fig. 11 |
+"""
+
+from repro.measurement.speed_campaign import (
+    SpeedCampaignResult,
+    run_speed_campaign,
+    run_speed_stability_campaign,
+)
+from repro.measurement.scaling_campaign import (
+    ClusterScalingResult,
+    WorkerStepTimeResult,
+    run_cluster_scaling_campaign,
+    run_ps_mitigation_campaign,
+    run_worker_step_time_campaign,
+)
+from repro.measurement.checkpoint_campaign import CheckpointCampaignResult, run_checkpoint_campaign
+from repro.measurement.startup_campaign import (
+    StartupBreakdownResult,
+    ReplacementStartupResult,
+    run_startup_breakdown_campaign,
+    run_replacement_startup_campaign,
+)
+from repro.measurement.revocation_campaign import RevocationCampaignResult, run_revocation_campaign
+from repro.measurement.replacement_campaign import (
+    RecomputationResult,
+    ReplacementOverheadResult,
+    run_recomputation_campaign,
+    run_replacement_overhead_campaign,
+)
+from repro.measurement.datasets import (
+    load_checkpoint_measurements,
+    load_profiler,
+    load_revocation_records,
+    load_speed_measurements,
+    save_checkpoint_measurements,
+    save_revocation_records,
+    save_speed_measurements,
+)
+
+__all__ = [
+    "SpeedCampaignResult",
+    "run_speed_campaign",
+    "run_speed_stability_campaign",
+    "ClusterScalingResult",
+    "WorkerStepTimeResult",
+    "run_cluster_scaling_campaign",
+    "run_ps_mitigation_campaign",
+    "run_worker_step_time_campaign",
+    "CheckpointCampaignResult",
+    "run_checkpoint_campaign",
+    "StartupBreakdownResult",
+    "ReplacementStartupResult",
+    "run_startup_breakdown_campaign",
+    "run_replacement_startup_campaign",
+    "RevocationCampaignResult",
+    "run_revocation_campaign",
+    "RecomputationResult",
+    "ReplacementOverheadResult",
+    "run_recomputation_campaign",
+    "run_replacement_overhead_campaign",
+    "load_checkpoint_measurements",
+    "load_profiler",
+    "load_revocation_records",
+    "load_speed_measurements",
+    "save_checkpoint_measurements",
+    "save_revocation_records",
+    "save_speed_measurements",
+]

@@ -1,0 +1,164 @@
+"""Checkpoint measurement campaign (Fig. 5, Table IV dataset).
+
+The paper instruments the checkpoint function and measures the time to
+checkpoint each of the twenty CNN models five times on a cluster consisting
+of one parameter server and a single K80 chief worker, saving to storage in
+the same data center.  It also cross-checks that training and checkpointing
+happen sequentially by comparing the time to run 100 steps with and without
+a checkpoint in the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cmdare.profiler import CheckpointMeasurement, PerformanceProfiler
+from repro.perf.checkpoint_time import CheckpointTimeModel
+from repro.perf.step_time import StepTimeModel
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec
+from repro.training.job import measurement_job
+from repro.training.session import TrainingSession
+from repro.workloads.catalog import ModelCatalog, default_catalog
+
+
+@dataclass(frozen=True)
+class CheckpointSample:
+    """Summary of the repeated checkpoint measurements for one model.
+
+    Attributes:
+        model_name: CNN model name.
+        total_mb: Total checkpoint size (MB).
+        data_mb: Data-file size (MB).
+        meta_mb: Meta-file size (MB).
+        index_mb: Index-file size (MB).
+        mean_seconds: Mean checkpoint duration.
+        cov: Coefficient of variation across repetitions.
+    """
+
+    model_name: str
+    total_mb: float
+    data_mb: float
+    meta_mb: float
+    index_mb: float
+    mean_seconds: float
+    cov: float
+
+
+@dataclass
+class CheckpointCampaignResult:
+    """Fig. 5 points plus the Table IV regression dataset.
+
+    Attributes:
+        samples: Per-model summaries (the Fig. 5 scatter points).
+        profiler: Profiler holding the individual repetition measurements.
+        sequential_check: Optional result of the with/without-checkpoint
+            cross-check: ``(with, without, difference, checkpoint time)``
+            durations in seconds for a 100-step window.
+    """
+
+    samples: List[CheckpointSample] = field(default_factory=list)
+    profiler: PerformanceProfiler = field(default_factory=PerformanceProfiler)
+    sequential_check: Optional[Tuple[float, float, float, float]] = None
+
+    def sample(self, model_name: str) -> CheckpointSample:
+        """Look up the summary for one model."""
+        for sample in self.samples:
+            if sample.model_name == model_name:
+                return sample
+        raise KeyError(f"no checkpoint sample for {model_name!r}")
+
+    def measurements(self) -> List[CheckpointMeasurement]:
+        """All individual repetition measurements (Table IV dataset)."""
+        return self.profiler.checkpoint_measurements
+
+    def scatter(self) -> List[Tuple[float, float, float]]:
+        """Fig. 5 points: ``(size MB, mean seconds, CoV)`` per model."""
+        return [(s.total_mb, s.mean_seconds, s.cov) for s in self.samples]
+
+
+def run_checkpoint_campaign(model_names: Optional[Sequence[str]] = None,
+                            repetitions: int = 5, seed: int = 0,
+                            catalog: Optional[ModelCatalog] = None,
+                            with_sequential_check: bool = True,
+                            sequential_check_model: str = "resnet_32"
+                            ) -> CheckpointCampaignResult:
+    """Measure checkpoint durations for every model in the catalog.
+
+    Args:
+        model_names: Models to measure; the full catalog by default.
+        repetitions: Checkpoints measured per model (5 in the paper).
+        seed: Root seed.
+        catalog: Model catalog.
+        with_sequential_check: Also run the 100-steps-with/without-checkpoint
+            cross-check the paper uses to show checkpointing is sequential.
+        sequential_check_model: Model used for the cross-check.
+    """
+    catalog = catalog if catalog is not None else default_catalog()
+    names = list(model_names) if model_names is not None else catalog.names()
+    streams = RandomStreams(seed=seed)
+    checkpoint_model = CheckpointTimeModel(rng=streams.get("checkpoint"))
+    result = CheckpointCampaignResult()
+
+    for model_name in names:
+        profile = catalog.profile(model_name)
+        durations = [checkpoint_model.sample_time(profile.checkpoint)
+                     for _ in range(repetitions)]
+        values = np.asarray(durations)
+        cov = float(values.std(ddof=1) / values.mean()) if repetitions > 1 else 0.0
+        files = profile.checkpoint
+        result.samples.append(CheckpointSample(
+            model_name=model_name, total_mb=files.total_mb, data_mb=files.data_mb,
+            meta_mb=files.meta_mb, index_mb=files.index_mb,
+            mean_seconds=float(values.mean()), cov=cov))
+        for duration in durations:
+            result.profiler.record_checkpoint(CheckpointMeasurement(
+                model_name=model_name, data_bytes=files.data_bytes,
+                index_bytes=files.index_bytes, meta_bytes=files.meta_bytes,
+                duration=float(duration)))
+
+    if with_sequential_check:
+        result.sequential_check = _sequential_check(sequential_check_model, catalog, seed)
+    return result
+
+
+def _sequential_check(model_name: str, catalog: ModelCatalog, seed: int
+                      ) -> Tuple[float, float, float, float]:
+    """Compare 100-step durations with and without a checkpoint in the window.
+
+    Returns:
+        ``(with_checkpoint, without_checkpoint, difference, checkpoint_time)``
+        in seconds, mirroring the ResNet-32 example of Section IV-B.
+    """
+    profile = catalog.profile(model_name)
+
+    def run(with_checkpoint: bool) -> Tuple[float, float]:
+        streams = RandomStreams(seed=seed + (1 if with_checkpoint else 0))
+        simulator = Simulator()
+        job = measurement_job(profile, steps=200,
+                              checkpointing=with_checkpoint,
+                              checkpoint_interval_steps=100 if with_checkpoint else 1000)
+        session = TrainingSession(simulator, ClusterSpec.single("k80"), job,
+                                  streams=streams,
+                                  step_time_model=StepTimeModel(rng=streams.get("step")),
+                                  checkpoint_time_model=CheckpointTimeModel(
+                                      rng=streams.get("ckpt")))
+        trace = session.run_to_completion()
+        # Duration of the second 100-step window (steps 100-200), which
+        # contains the checkpoint when enabled and excludes warm-up effects.
+        # The window is measured from the moment the cluster reached step 100
+        # to the moment it reached step 200, so the sequential checkpoint gap
+        # is included.
+        reached_100 = max(r.end_time for r in trace.step_records if r.cluster_step <= 100)
+        reached_200 = max(r.end_time for r in trace.step_records)
+        checkpoint_time = trace.total_checkpoint_time()
+        return reached_200 - reached_100, checkpoint_time
+
+    with_duration, checkpoint_time = run(with_checkpoint=True)
+    without_duration, _ = run(with_checkpoint=False)
+    return (with_duration, without_duration, with_duration - without_duration,
+            checkpoint_time)

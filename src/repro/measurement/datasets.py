@@ -1,0 +1,157 @@
+"""Dataset persistence.
+
+The paper publishes its raw measurement data alongside CM-DARE; this module
+provides the equivalent for the reproduction: every campaign's records can
+be written to and read back from plain CSV/JSON files, so the regression
+models can be (re)fitted offline without re-running the simulator.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.cmdare.profiler import (
+    CheckpointMeasurement,
+    PerformanceProfiler,
+    SpeedMeasurement,
+)
+from repro.errors import DataError
+from repro.measurement.revocation_campaign import (
+    RevocationCampaignResult,
+    ServerFateRecord,
+)
+
+PathLike = Union[str, Path]
+
+_SPEED_FIELDS = ["model_name", "gpu_name", "model_gflops", "gpu_teraflops",
+                 "step_time", "cluster_size", "num_parameter_servers"]
+_CHECKPOINT_FIELDS = ["model_name", "data_bytes", "index_bytes", "meta_bytes",
+                      "duration"]
+_FATE_FIELDS = ["gpu_name", "region_name", "day", "launch_hour_local", "stressed",
+                "revoked", "lifetime_hours", "revocation_hour_local"]
+
+
+def _ensure_parent(path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+
+# ---------------------------------------------------------------------------
+# Speed measurements.
+# ---------------------------------------------------------------------------
+def save_speed_measurements(measurements: Sequence[SpeedMeasurement],
+                            path: PathLike) -> Path:
+    """Write speed measurements to a CSV file and return the path."""
+    target = Path(path)
+    _ensure_parent(target)
+    with target.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_SPEED_FIELDS)
+        writer.writeheader()
+        for measurement in measurements:
+            writer.writerow({field: getattr(measurement, field)
+                             for field in _SPEED_FIELDS})
+    return target
+
+
+def load_speed_measurements(path: PathLike) -> List[SpeedMeasurement]:
+    """Read speed measurements from a CSV file written by ``save_speed_measurements``."""
+    source = Path(path)
+    if not source.exists():
+        raise DataError(f"speed dataset {source} does not exist")
+    measurements: List[SpeedMeasurement] = []
+    with source.open(newline="") as handle:
+        for row in csv.DictReader(handle):
+            measurements.append(SpeedMeasurement(
+                model_name=row["model_name"], gpu_name=row["gpu_name"],
+                model_gflops=float(row["model_gflops"]),
+                gpu_teraflops=float(row["gpu_teraflops"]),
+                step_time=float(row["step_time"]),
+                cluster_size=int(row["cluster_size"]),
+                num_parameter_servers=int(row["num_parameter_servers"])))
+    if not measurements:
+        raise DataError(f"speed dataset {source} is empty")
+    return measurements
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint measurements.
+# ---------------------------------------------------------------------------
+def save_checkpoint_measurements(measurements: Sequence[CheckpointMeasurement],
+                                 path: PathLike) -> Path:
+    """Write checkpoint measurements to a CSV file and return the path."""
+    target = Path(path)
+    _ensure_parent(target)
+    with target.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_CHECKPOINT_FIELDS)
+        writer.writeheader()
+        for measurement in measurements:
+            writer.writerow({field: getattr(measurement, field)
+                             for field in _CHECKPOINT_FIELDS})
+    return target
+
+
+def load_checkpoint_measurements(path: PathLike) -> List[CheckpointMeasurement]:
+    """Read checkpoint measurements from a CSV file."""
+    source = Path(path)
+    if not source.exists():
+        raise DataError(f"checkpoint dataset {source} does not exist")
+    measurements: List[CheckpointMeasurement] = []
+    with source.open(newline="") as handle:
+        for row in csv.DictReader(handle):
+            measurements.append(CheckpointMeasurement(
+                model_name=row["model_name"], data_bytes=int(row["data_bytes"]),
+                index_bytes=int(row["index_bytes"]), meta_bytes=int(row["meta_bytes"]),
+                duration=float(row["duration"])))
+    if not measurements:
+        raise DataError(f"checkpoint dataset {source} is empty")
+    return measurements
+
+
+def load_profiler(speed_path: PathLike, checkpoint_path: PathLike) -> PerformanceProfiler:
+    """Build a profiler from previously saved speed and checkpoint datasets."""
+    profiler = PerformanceProfiler()
+    for measurement in load_speed_measurements(speed_path):
+        profiler.record_speed(measurement)
+    for measurement in load_checkpoint_measurements(checkpoint_path):
+        profiler.record_checkpoint(measurement)
+    return profiler
+
+
+# ---------------------------------------------------------------------------
+# Revocation campaign records.
+# ---------------------------------------------------------------------------
+def save_revocation_records(result: RevocationCampaignResult, path: PathLike) -> Path:
+    """Write a revocation campaign's per-server records to a JSON file."""
+    target = Path(path)
+    _ensure_parent(target)
+    payload: List[Dict] = []
+    for record in result.records:
+        payload.append({field: getattr(record, field) for field in _FATE_FIELDS})
+    target.write_text(json.dumps({"records": payload}, indent=2))
+    return target
+
+
+def load_revocation_records(path: PathLike) -> RevocationCampaignResult:
+    """Read a revocation campaign back from a JSON file."""
+    source = Path(path)
+    if not source.exists():
+        raise DataError(f"revocation dataset {source} does not exist")
+    try:
+        payload = json.loads(source.read_text())
+        rows = payload["records"]
+    except (json.JSONDecodeError, KeyError) as error:
+        raise DataError(f"revocation dataset {source} is malformed: {error}") from error
+    result = RevocationCampaignResult()
+    for row in rows:
+        result.records.append(ServerFateRecord(
+            gpu_name=row["gpu_name"], region_name=row["region_name"],
+            day=int(row["day"]), launch_hour_local=float(row["launch_hour_local"]),
+            stressed=bool(row["stressed"]), revoked=bool(row["revoked"]),
+            lifetime_hours=float(row["lifetime_hours"]),
+            revocation_hour_local=(None if row["revocation_hour_local"] is None
+                                   else float(row["revocation_hour_local"]))))
+    if not result.records:
+        raise DataError(f"revocation dataset {source} is empty")
+    return result

@@ -1,0 +1,199 @@
+"""Worker-replacement and recomputation campaigns (Fig. 10, Fig. 11).
+
+* **Replacement overhead** (Fig. 10): measure the cold-start and warm-start
+  worker replacement overhead for the four named models on a single-K80
+  cluster.
+* **Recomputation overhead** (Fig. 11): train ResNet-15 on a two-K80
+  cluster with a 4K-step checkpoint interval, manually revoke the chief 1K
+  steps after the last checkpoint, add a replacement at a chosen later
+  step, and compare the time to reach the next checkpoint when the
+  replacement reuses the chief's old IP address (unmodified TensorFlow)
+  versus when it gets a new one (CM-DARE's transient-TensorFlow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.perf.replacement import ReplacementOverheadModel
+from repro.perf.step_time import StepTimeModel
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec, WorkerSpec
+from repro.training.faults import FaultInjector
+from repro.training.job import TrainingJob
+from repro.training.session import TrainingSession
+from repro.workloads.catalog import ModelCatalog, NAMED_MODELS, default_catalog
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10: cold vs. warm replacement overhead.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplacementOverheadCell:
+    """Replacement overhead for one model and start type.
+
+    Attributes:
+        model_name: CNN model name.
+        cold_start: True for cold starts (new server requested).
+        mean_seconds: Mean total replacement overhead.
+        std_seconds: Standard deviation across repetitions.
+    """
+
+    model_name: str
+    cold_start: bool
+    mean_seconds: float
+    std_seconds: float
+
+
+@dataclass
+class ReplacementOverheadResult:
+    """Fig. 10: replacement overheads per model."""
+
+    cells: List[ReplacementOverheadCell] = field(default_factory=list)
+
+    def cell(self, model_name: str, cold_start: bool) -> ReplacementOverheadCell:
+        """Look up one (model, start type) combination."""
+        for cell in self.cells:
+            if cell.model_name == model_name and cell.cold_start == cold_start:
+                return cell
+        raise KeyError(f"no cell for ({model_name}, cold={cold_start})")
+
+    def as_series(self) -> Dict[str, List[Tuple[str, float]]]:
+        """``{"cold"|"warm": [(model, seconds), ...]}`` for plotting."""
+        series: Dict[str, List[Tuple[str, float]]] = {"cold": [], "warm": []}
+        for cell in self.cells:
+            key = "cold" if cell.cold_start else "warm"
+            series[key].append((cell.model_name, cell.mean_seconds))
+        return series
+
+
+def run_replacement_overhead_campaign(model_names: Sequence[str] = NAMED_MODELS,
+                                      gpu_name: str = "k80",
+                                      repetitions: int = 10, seed: int = 0,
+                                      catalog: Optional[ModelCatalog] = None
+                                      ) -> ReplacementOverheadResult:
+    """Reproduce Fig. 10: cold and warm worker-replacement overhead."""
+    catalog = catalog if catalog is not None else default_catalog()
+    streams = RandomStreams(seed=seed)
+    model = ReplacementOverheadModel(rng=streams.get("replacement"))
+    result = ReplacementOverheadResult()
+    for model_name in model_names:
+        profile = catalog.profile(model_name)
+        for cold in (True, False):
+            totals = np.array([model.sample(profile, cold=cold, gpu_name=gpu_name).total
+                               for _ in range(repetitions)])
+            result.cells.append(ReplacementOverheadCell(
+                model_name=model_name, cold_start=cold,
+                mean_seconds=float(totals.mean()),
+                std_seconds=float(totals.std(ddof=1)) if repetitions > 1 else 0.0))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11: recomputation overhead.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RecomputationPoint:
+    """One replacement-timing point of Fig. 11.
+
+    Attributes:
+        replacement_step: Cluster steps since the last checkpoint when the
+            replacement worker joins.
+        legacy_seconds: Time to reach the next checkpoint when the chief's
+            IP address is reused (recompute from checkpoint).
+        transient_tf_seconds: Time to reach the next checkpoint with a fresh
+            IP (CM-DARE behaviour, no recomputation).
+        overhead_seconds: The difference (the Fig. 11 y-axis).
+    """
+
+    replacement_step: int
+    legacy_seconds: float
+    transient_tf_seconds: float
+    overhead_seconds: float
+
+
+@dataclass
+class RecomputationResult:
+    """Fig. 11: recomputation overhead vs. replacement timing."""
+
+    model_name: str
+    checkpoint_interval_steps: int
+    revocation_step: int
+    points: List[RecomputationPoint] = field(default_factory=list)
+
+    def overhead_series(self) -> List[Tuple[int, float]]:
+        """``(replacement step, overhead seconds)`` pairs for plotting."""
+        return [(p.replacement_step, p.overhead_seconds) for p in self.points]
+
+    def max_overhead(self) -> float:
+        """Largest observed recomputation overhead."""
+        return max(p.overhead_seconds for p in self.points)
+
+
+def _time_to_reach_step(model_name: str, catalog: ModelCatalog, seed: int,
+                        checkpoint_interval: int, revoke_at: int,
+                        replace_at: int, reuse_chief_ip: bool,
+                        target_step: int) -> float:
+    """Simulate one Fig. 11 scenario and return the time to the target step."""
+    profile = catalog.profile(model_name)
+    streams = RandomStreams(seed=seed)
+    simulator = Simulator()
+    cluster = ClusterSpec.from_counts(k80=2, region_name="us-east1")
+    job = TrainingJob(profile=profile, total_steps=target_step,
+                      checkpoint_interval_steps=checkpoint_interval)
+    session = TrainingSession(simulator, cluster, job, streams=streams,
+                              step_time_model=StepTimeModel(rng=streams.get("step")))
+    injector = FaultInjector(session, poll_interval_seconds=1.0)
+    injector.revoke_at_step("worker-0", revoke_at)
+    injector.replace_at_step(WorkerSpec(gpu_name="k80"), replace_at,
+                             overhead_seconds=15.0, reuse_chief_ip=reuse_chief_ip,
+                             cold_start=False)
+    trace = session.run_to_completion()
+    assert trace.end_time is not None
+    return trace.end_time - trace.start_time
+
+
+def run_recomputation_campaign(model_name: str = "resnet_15",
+                               checkpoint_interval_steps: int = 4000,
+                               revocation_offset_steps: int = 1000,
+                               replacement_steps: Sequence[int] = (1500, 2000, 2500,
+                                                                   3000, 3500),
+                               seed: int = 0,
+                               catalog: Optional[ModelCatalog] = None
+                               ) -> RecomputationResult:
+    """Reproduce Fig. 11: TensorFlow-specific recomputation overhead.
+
+    Args:
+        model_name: Model to train (ResNet-15 in the paper).
+        checkpoint_interval_steps: Checkpoint interval (4K in the paper).
+        revocation_offset_steps: Steps after the last checkpoint at which the
+            chief is revoked (1K in the paper).
+        replacement_steps: Steps since the last checkpoint at which the
+            replacement worker joins (the Fig. 11 x-axis).
+        seed: Root seed.
+        catalog: Model catalog.
+    """
+    catalog = catalog if catalog is not None else default_catalog()
+    result = RecomputationResult(model_name=model_name,
+                                 checkpoint_interval_steps=checkpoint_interval_steps,
+                                 revocation_step=revocation_offset_steps)
+    target = 2 * checkpoint_interval_steps
+    for index, replace_at in enumerate(replacement_steps):
+        run_seed = seed * 503 + index
+        legacy = _time_to_reach_step(
+            model_name, catalog, run_seed, checkpoint_interval_steps,
+            checkpoint_interval_steps + revocation_offset_steps,
+            checkpoint_interval_steps + replace_at, True, target)
+        transient = _time_to_reach_step(
+            model_name, catalog, run_seed, checkpoint_interval_steps,
+            checkpoint_interval_steps + revocation_offset_steps,
+            checkpoint_interval_steps + replace_at, False, target)
+        result.points.append(RecomputationPoint(
+            replacement_step=replace_at, legacy_seconds=legacy,
+            transient_tf_seconds=transient,
+            overhead_seconds=legacy - transient))
+    return result

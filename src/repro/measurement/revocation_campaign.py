@@ -1,0 +1,213 @@
+"""Transient-server revocation campaign (Table V, Fig. 8, Fig. 9).
+
+The paper requests transient GPU servers in batches across six regions on
+twelve non-consecutive days, lets each batch run for its maximum 24-hour
+lifetime, and records every revocation.  Half the servers are idle and half
+are stressed with CPU/memory/GPU load; revocation behaviour turns out to be
+identical for the two groups.
+
+The campaign reproduces that protocol on the calibrated revocation model
+and returns the per-server records, from which the Table V aggregation,
+the per-region lifetime CDFs (Fig. 8), and the hour-of-day histograms
+(Fig. 9) are computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.gpus import get_gpu
+from repro.cloud.regions import get_region
+from repro.cloud.revocation import RevocationModel
+from repro.errors import DataError
+from repro.modeling.revocation_estimator import RevocationEstimator
+from repro.simulation.rng import RandomStreams
+
+#: Servers launched per (GPU, region) cell, matching the Table V counts.
+TABLE5_LAUNCH_COUNTS: Dict[Tuple[str, str], int] = {
+    ("k80", "us-east1"): 30,
+    ("k80", "us-central1"): 48,
+    ("k80", "us-west1"): 48,
+    ("k80", "europe-west1"): 30,
+    ("p100", "us-east1"): 30,
+    ("p100", "us-central1"): 30,
+    ("p100", "us-west1"): 30,
+    ("p100", "europe-west1"): 30,
+    ("v100", "us-central1"): 30,
+    ("v100", "us-west1"): 30,
+    ("v100", "europe-west4"): 30,
+    ("v100", "asia-east1"): 30,
+}
+
+#: The campaign spans twelve non-consecutive days.
+CAMPAIGN_DAYS = 12
+
+
+@dataclass(frozen=True)
+class ServerFateRecord:
+    """The fate of one launched transient server.
+
+    Attributes:
+        gpu_name: GPU type.
+        region_name: Launch region.
+        day: Campaign day index (0-11).
+        launch_hour_local: Local hour-of-day at launch.
+        stressed: Whether the server ran a training-like workload.
+        revoked: Whether the server was revoked before 24 hours.
+        lifetime_hours: Observed lifetime (24.0 for survivors).
+        revocation_hour_local: Local hour of the revocation, if revoked.
+    """
+
+    gpu_name: str
+    region_name: str
+    day: int
+    launch_hour_local: float
+    stressed: bool
+    revoked: bool
+    lifetime_hours: float
+    revocation_hour_local: Optional[float]
+
+
+@dataclass
+class RevocationCampaignResult:
+    """All server fates observed by the campaign."""
+
+    records: List[ServerFateRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Table V.
+    # ------------------------------------------------------------------
+    def cell_records(self, gpu_name: str, region_name: str) -> List[ServerFateRecord]:
+        """Records for one (GPU, region) cell."""
+        gpu = get_gpu(gpu_name).name
+        region = get_region(region_name).name
+        return [r for r in self.records
+                if r.gpu_name == gpu and r.region_name == region]
+
+    def revocation_table(self) -> Dict[Tuple[str, str], Tuple[int, int, float]]:
+        """Table V: ``{(gpu, region): (launched, revoked, revoked fraction)}``."""
+        table: Dict[Tuple[str, str], Tuple[int, int, float]] = {}
+        cells = sorted({(r.gpu_name, r.region_name) for r in self.records})
+        for gpu, region in cells:
+            records = self.cell_records(gpu, region)
+            launched = len(records)
+            revoked = sum(1 for r in records if r.revoked)
+            table[(gpu, region)] = (launched, revoked, revoked / launched)
+        return table
+
+    def totals_by_gpu(self) -> Dict[str, Tuple[int, int, float]]:
+        """Table V's "total" row: per-GPU launched/revoked/fraction."""
+        totals: Dict[str, Tuple[int, int, float]] = {}
+        for gpu in sorted({r.gpu_name for r in self.records}):
+            records = [r for r in self.records if r.gpu_name == gpu]
+            launched = len(records)
+            revoked = sum(1 for r in records if r.revoked)
+            totals[gpu] = (launched, revoked, revoked / launched)
+        return totals
+
+    def workload_split(self) -> Dict[str, Tuple[int, int, float]]:
+        """Revocation statistics split by idle vs. stressed servers."""
+        split: Dict[str, Tuple[int, int, float]] = {}
+        for stressed, label in ((False, "idle"), (True, "stressed")):
+            records = [r for r in self.records if r.stressed == stressed]
+            if not records:
+                continue
+            revoked = sum(1 for r in records if r.revoked)
+            split[label] = (len(records), revoked, revoked / len(records))
+        return split
+
+    # ------------------------------------------------------------------
+    # Fig. 8: lifetime CDFs.
+    # ------------------------------------------------------------------
+    def lifetime_cdf(self, gpu_name: str, region_name: str,
+                     hours: Sequence[float]) -> np.ndarray:
+        """Empirical lifetime CDF for one cell, evaluated on an hour grid."""
+        records = self.cell_records(gpu_name, region_name)
+        if not records:
+            raise DataError(f"no records for ({gpu_name}, {region_name})")
+        lifetimes = np.array([r.lifetime_hours for r in records if r.revoked])
+        launched = len(records)
+        return np.array([(lifetimes <= h).sum() / launched for h in hours])
+
+    def mean_time_to_revocation(self, gpu_name: str, region_name: str,
+                                include_survivors: bool = True) -> float:
+        """Mean lifetime in hours for one cell."""
+        records = self.cell_records(gpu_name, region_name)
+        if not records:
+            raise DataError(f"no records for ({gpu_name}, {region_name})")
+        if include_survivors:
+            return float(np.mean([r.lifetime_hours for r in records]))
+        revoked = [r.lifetime_hours for r in records if r.revoked]
+        if not revoked:
+            raise DataError("no revocations in the cell")
+        return float(np.mean(revoked))
+
+    # ------------------------------------------------------------------
+    # Fig. 9: time-of-day histograms.
+    # ------------------------------------------------------------------
+    def hour_of_day_histogram(self, gpu_name: str) -> np.ndarray:
+        """Revocation counts per local hour-of-day (24 bins) for a GPU type."""
+        gpu = get_gpu(gpu_name).name
+        histogram = np.zeros(24, dtype=int)
+        for record in self.records:
+            if record.gpu_name == gpu and record.revoked:
+                histogram[int(record.revocation_hour_local) % 24] += 1
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Downstream consumers.
+    # ------------------------------------------------------------------
+    def to_estimator(self, fallback_model: Optional[RevocationModel] = None
+                     ) -> RevocationEstimator:
+        """Build the Eq. (5) revocation estimator from the observed data."""
+        estimator = RevocationEstimator(fallback_model=fallback_model)
+        for (gpu, region), (launched, _revoked, _frac) in self.revocation_table().items():
+            lifetimes = [r.lifetime_hours for r in self.cell_records(gpu, region)
+                         if r.revoked]
+            estimator.add_observations(gpu, region, lifetimes, launched)
+        return estimator
+
+
+def run_revocation_campaign(launch_counts: Optional[Dict[Tuple[str, str], int]] = None,
+                            days: int = CAMPAIGN_DAYS,
+                            seed: int = 0,
+                            revocation_model: Optional[RevocationModel] = None
+                            ) -> RevocationCampaignResult:
+    """Launch transient servers across regions/days and record their fates.
+
+    Args:
+        launch_counts: Servers to launch per (GPU, region) cell; defaults to
+            the paper's Table V counts.
+        days: Number of campaign days the launches are spread over.
+        seed: Root seed.
+        revocation_model: Revocation model; the calibrated default if
+            omitted.
+
+    Returns:
+        A :class:`RevocationCampaignResult`.
+    """
+    counts = dict(launch_counts) if launch_counts is not None else dict(TABLE5_LAUNCH_COUNTS)
+    streams = RandomStreams(seed=seed)
+    model = (revocation_model if revocation_model is not None
+             else RevocationModel(rng=streams.get("revocation")))
+    scheduler_rng = streams.get("launch_schedule")
+    result = RevocationCampaignResult()
+
+    for (gpu_name, region_name), count in sorted(counts.items()):
+        for index in range(count):
+            day = int(scheduler_rng.integers(0, days))
+            # Batches are requested during the (local) working day.
+            launch_hour = float(scheduler_rng.uniform(7.0, 19.0))
+            stressed = index % 2 == 1
+            outcome = model.sample(gpu_name, region_name,
+                                   launch_hour_local=launch_hour, stressed=stressed)
+            result.records.append(ServerFateRecord(
+                gpu_name=get_gpu(gpu_name).name,
+                region_name=get_region(region_name).name,
+                day=day, launch_hour_local=launch_hour, stressed=stressed,
+                revoked=outcome.revoked, lifetime_hours=outcome.lifetime_hours,
+                revocation_hour_local=outcome.revocation_hour_local))
+    return result

@@ -1,0 +1,240 @@
+"""Cluster-scaling campaigns (Table III, Fig. 4, Fig. 12).
+
+Three related campaigns:
+
+* **worker step time** — the impact of cluster size and heterogeneity on an
+  *individual* worker's step time (Table III): baseline single-worker
+  clusters, homogeneous clusters of 2/4/8 workers, and the heterogeneous
+  ``(2, 1, 1)`` cluster, all training ResNet-32;
+* **cluster scaling** — cluster training speed versus the number of P100
+  workers for the four named models (Fig. 4);
+* **PS mitigation** — the same sweep with one versus two parameter servers
+  for the ResNet models (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.gpus import get_gpu
+from repro.perf.ps_capacity import PSCapacityModel
+from repro.perf.step_time import StepTimeModel
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec
+from repro.training.job import measurement_job
+from repro.training.session import TrainingSession
+from repro.workloads.catalog import ModelCatalog, default_catalog
+
+#: Cluster compositions of Table III, expressed as (K80, P100, V100) counts
+#: per measured GPU type.  The paper's homogeneous columns scale the *same*
+#: GPU type as the measured worker.
+TABLE3_HOMOGENEOUS_SIZES: Tuple[int, ...] = (1, 2, 4, 8)
+TABLE3_HETEROGENEOUS: Tuple[int, int, int] = (2, 1, 1)
+
+
+def _run_cluster(cluster: ClusterSpec, model_name: str, catalog: ModelCatalog,
+                 steps: int, seed: int):
+    """Run one measurement session on a cluster and return its trace/session."""
+    profile = catalog.profile(model_name)
+    streams = RandomStreams(seed=seed)
+    simulator = Simulator()
+    session = TrainingSession(simulator, cluster, measurement_job(profile, steps=steps),
+                              streams=streams,
+                              step_time_model=StepTimeModel(rng=streams.get("step_time")),
+                              ps_capacity_model=PSCapacityModel())
+    trace = session.run_to_completion()
+    return trace, session
+
+
+# ---------------------------------------------------------------------------
+# Table III.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerStepTimeCell:
+    """One cell of Table III: an individual worker's step time.
+
+    Attributes:
+        gpu_name: GPU of the measured worker.
+        cluster_label: Cluster description, e.g. ``"(8, 0, 0)"``.
+        step_time_ms: Mean step time of one worker of that GPU type, in ms.
+        step_time_std_ms: Standard deviation across measurement chunks.
+    """
+
+    gpu_name: str
+    cluster_label: str
+    step_time_ms: float
+    step_time_std_ms: float
+
+
+@dataclass
+class WorkerStepTimeResult:
+    """Table III: per-worker step time across cluster configurations."""
+
+    model_name: str
+    cells: List[WorkerStepTimeCell] = field(default_factory=list)
+
+    def cell(self, gpu_name: str, cluster_label: str) -> WorkerStepTimeCell:
+        """Look up one cell by GPU and cluster label."""
+        gpu = get_gpu(gpu_name).name
+        for cell in self.cells:
+            if cell.gpu_name == gpu and cell.cluster_label == cluster_label:
+                return cell
+        raise KeyError(f"no cell for ({gpu_name}, {cluster_label})")
+
+    def as_table(self) -> Dict[str, Dict[str, Tuple[float, float]]]:
+        """``{gpu: {cluster label: (mean ms, std ms)}}``."""
+        table: Dict[str, Dict[str, Tuple[float, float]]] = {}
+        for cell in self.cells:
+            table.setdefault(cell.gpu_name, {})[cell.cluster_label] = (
+                cell.step_time_ms, cell.step_time_std_ms)
+        return table
+
+
+def _worker_step_time_for(trace, session, gpu_name: str) -> Tuple[float, float]:
+    """Average step time (seconds) of the workers with the given GPU type."""
+    gpu = get_gpu(gpu_name).name
+    per_worker: List[Tuple[float, float]] = []
+    for worker_id, worker in session.workers.items():
+        if worker.gpu_name != gpu:
+            continue
+        try:
+            per_worker.append(trace.worker_mean_step_time(worker_id))
+        except Exception:  # pragma: no cover - workers with no post-warmup data
+            continue
+    means = np.array([m for m, _ in per_worker])
+    stds = np.array([s for _, s in per_worker])
+    return float(means.mean()), float(stds.mean())
+
+
+def run_worker_step_time_campaign(model_name: str = "resnet_32",
+                                  gpu_names: Sequence[str] = ("k80", "p100", "v100"),
+                                  homogeneous_sizes: Sequence[int] = TABLE3_HOMOGENEOUS_SIZES,
+                                  heterogeneous: Tuple[int, int, int] = TABLE3_HETEROGENEOUS,
+                                  steps: int = 2000, seed: int = 0,
+                                  catalog: Optional[ModelCatalog] = None
+                                  ) -> WorkerStepTimeResult:
+    """Reproduce Table III: individual worker step time vs. cluster shape.
+
+    Args:
+        model_name: Model to train (ResNet-32 in the paper).
+        gpu_names: GPU types measured (one table row each).
+        homogeneous_sizes: Homogeneous cluster sizes (1 is the baseline).
+        heterogeneous: The mixed cluster composition (K80, P100, V100).
+        steps: Measurement duration in steps.
+        seed: Root seed.
+        catalog: Model catalog.
+    """
+    catalog = catalog if catalog is not None else default_catalog()
+    result = WorkerStepTimeResult(model_name=model_name)
+    run_index = 0
+    for gpu_name in gpu_names:
+        gpu = get_gpu(gpu_name)
+        region = "us-central1" if gpu.name == "v100" else "us-east1"
+        for size in homogeneous_sizes:
+            counts = {name: 0 for name in ("k80", "p100", "v100")}
+            counts[gpu.name] = size
+            cluster = ClusterSpec.from_counts(region_name=region, **counts)
+            trace, session = _run_cluster(cluster, model_name, catalog, steps,
+                                          seed * 7919 + run_index)
+            run_index += 1
+            mean, std = _worker_step_time_for(trace, session, gpu.name)
+            label = "baseline" if size == 1 else f"({counts['k80']}, {counts['p100']}, {counts['v100']})"
+            result.cells.append(WorkerStepTimeCell(
+                gpu_name=gpu.name, cluster_label=label,
+                step_time_ms=mean * 1000.0, step_time_std_ms=std * 1000.0))
+
+    # Heterogeneous cluster: measure every GPU type inside one session.
+    k80, p100, v100 = heterogeneous
+    cluster = ClusterSpec.from_counts(k80=k80, p100=p100, v100=v100,
+                                      region_name="us-central1")
+    trace, session = _run_cluster(cluster, model_name, catalog, steps,
+                                  seed * 7919 + run_index)
+    label = f"({k80}, {p100}, {v100})"
+    for gpu_name in gpu_names:
+        mean, std = _worker_step_time_for(trace, session, gpu_name)
+        result.cells.append(WorkerStepTimeCell(
+            gpu_name=get_gpu(gpu_name).name, cluster_label=label,
+            step_time_ms=mean * 1000.0, step_time_std_ms=std * 1000.0))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 and Fig. 12.
+# ---------------------------------------------------------------------------
+@dataclass
+class ClusterScalingResult:
+    """Cluster speed versus worker count (Fig. 4 / Fig. 12 series).
+
+    Attributes:
+        gpu_name: GPU type being scaled.
+        num_parameter_servers: Parameter servers in every measured cluster.
+        series: ``{model_name: [(num_workers, steps/second), ...]}``.
+    """
+
+    gpu_name: str
+    num_parameter_servers: int
+    series: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+
+    def speeds_for(self, model_name: str) -> List[Tuple[int, float]]:
+        """The scaling series of one model."""
+        return self.series[model_name]
+
+    def plateau_ratio(self, model_name: str) -> float:
+        """Speed at the largest cluster divided by the single-worker speed."""
+        series = self.series[model_name]
+        return series[-1][1] / series[0][1]
+
+
+def run_cluster_scaling_campaign(model_names: Sequence[str] = ("resnet_15", "resnet_32",
+                                                               "shake_shake_small",
+                                                               "shake_shake_big"),
+                                 gpu_name: str = "p100",
+                                 worker_counts: Sequence[int] = tuple(range(1, 9)),
+                                 num_parameter_servers: int = 1,
+                                 steps: int = 2000, seed: int = 0,
+                                 catalog: Optional[ModelCatalog] = None
+                                 ) -> ClusterScalingResult:
+    """Reproduce Fig. 4: cluster speed vs. the number of (P100) workers."""
+    catalog = catalog if catalog is not None else default_catalog()
+    gpu = get_gpu(gpu_name)
+    result = ClusterScalingResult(gpu_name=gpu.name,
+                                  num_parameter_servers=num_parameter_servers)
+    run_index = 0
+    for model_name in model_names:
+        series: List[Tuple[int, float]] = []
+        for count in worker_counts:
+            counts = {name: 0 for name in ("k80", "p100", "v100")}
+            counts[gpu.name] = count
+            cluster = ClusterSpec.from_counts(
+                region_name="us-central1" if gpu.name == "v100" else "us-east1",
+                num_parameter_servers=num_parameter_servers, **counts)
+            trace, _session = _run_cluster(cluster, model_name, catalog, steps,
+                                           seed * 6007 + run_index)
+            run_index += 1
+            series.append((count, trace.cluster_speed()))
+        result.series[model_name] = series
+    return result
+
+
+def run_ps_mitigation_campaign(model_names: Sequence[str] = ("resnet_15", "resnet_32"),
+                               gpu_name: str = "p100",
+                               worker_counts: Sequence[int] = tuple(range(1, 9)),
+                               steps: int = 2000, seed: int = 0,
+                               catalog: Optional[ModelCatalog] = None
+                               ) -> Dict[int, ClusterScalingResult]:
+    """Reproduce Fig. 12: the Fig. 4 sweep with one and two parameter servers.
+
+    Returns:
+        ``{num_parameter_servers: ClusterScalingResult}`` for 1 and 2 PS.
+    """
+    return {
+        num_ps: run_cluster_scaling_campaign(
+            model_names=model_names, gpu_name=gpu_name, worker_counts=worker_counts,
+            num_parameter_servers=num_ps, steps=steps, seed=seed + num_ps,
+            catalog=catalog)
+        for num_ps in (1, 2)
+    }

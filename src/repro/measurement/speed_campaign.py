@@ -1,0 +1,183 @@
+"""Training-speed measurement campaign (Table I, Figs. 2-3, Table II data).
+
+The campaign trains each (model, GPU) pair on the paper's simplest cluster —
+one GPU worker plus one parameter server in the same data center — for a
+fixed number of steps, records the cluster speed and the per-100-step speed
+series, and feeds a :class:`~repro.cmdare.profiler.PerformanceProfiler`
+with the per-worker step-time measurements the regression models are
+trained on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.gpus import get_gpu
+from repro.cmdare.profiler import PerformanceProfiler, SpeedMeasurement
+from repro.perf.ps_capacity import PSCapacityModel
+from repro.perf.step_time import StepTimeModel
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec
+from repro.training.job import measurement_job
+from repro.training.session import TrainingSession
+from repro.training.trace import TrainingTrace
+from repro.workloads.catalog import ModelCatalog, NAMED_MODELS, default_catalog
+
+#: The GPUs of the study (Table I rows).
+DEFAULT_GPUS: Tuple[str, ...] = ("k80", "p100", "v100")
+
+#: The paper trains each measured cluster for 4000 steps.
+DEFAULT_MEASUREMENT_STEPS = 4000
+
+
+@dataclass(frozen=True)
+class SpeedCell:
+    """One (model, GPU) cell of the campaign.
+
+    Attributes:
+        model_name: CNN model name.
+        gpu_name: GPU type.
+        model_gflops: Model complexity in GFLOPs.
+        gpu_teraflops: GPU capacity in teraflops.
+        speed_mean: Cluster training speed (steps/second), post-warm-up.
+        speed_std: Standard deviation of the windowed speed.
+        step_time: Average per-step time (seconds).
+    """
+
+    model_name: str
+    gpu_name: str
+    model_gflops: float
+    gpu_teraflops: float
+    speed_mean: float
+    speed_std: float
+    step_time: float
+
+    @property
+    def computation_ratio(self) -> float:
+        """``Cm / Cgpu``: the paper's computation ratio."""
+        return self.model_gflops / self.gpu_teraflops
+
+
+@dataclass
+class SpeedCampaignResult:
+    """Everything produced by one speed campaign.
+
+    Attributes:
+        cells: Per-(model, GPU) summary rows (Table I / Fig. 3 points).
+        profiler: Profiler loaded with per-worker measurements (Table II
+            training data).
+        speed_series: Windowed speed series per (model, GPU), used by
+            Fig. 2.
+    """
+
+    cells: List[SpeedCell] = field(default_factory=list)
+    profiler: PerformanceProfiler = field(default_factory=PerformanceProfiler)
+    speed_series: Dict[Tuple[str, str], List[Tuple[int, float]]] = field(default_factory=dict)
+
+    def cell(self, model_name: str, gpu_name: str) -> SpeedCell:
+        """Look up one cell."""
+        for cell in self.cells:
+            if cell.model_name == model_name and cell.gpu_name == gpu_name.lower():
+                return cell
+        raise KeyError(f"no cell for ({model_name}, {gpu_name})")
+
+    def table1(self, model_names: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, Tuple[float, float]]]:
+        """Table I layout: ``{gpu: {model: (speed mean, speed std)}}``."""
+        names = list(model_names) if model_names is not None else list(NAMED_MODELS)
+        table: Dict[str, Dict[str, Tuple[float, float]]] = {}
+        for cell in self.cells:
+            if cell.model_name not in names:
+                continue
+            table.setdefault(cell.gpu_name, {})[cell.model_name] = (cell.speed_mean,
+                                                                    cell.speed_std)
+        return table
+
+    def measurements(self) -> List[SpeedMeasurement]:
+        """All per-worker speed measurements (the regression dataset)."""
+        return self.profiler.speed_measurements
+
+
+def _measure_single_worker(model_name: str, gpu_name: str, catalog: ModelCatalog,
+                           steps: int, seed: int,
+                           step_time_model_seed_offset: int = 0) -> Tuple[SpeedCell, TrainingTrace]:
+    """Run one single-worker measurement session and summarize it."""
+    profile = catalog.profile(model_name)
+    gpu = get_gpu(gpu_name)
+    streams = RandomStreams(seed=seed)
+    simulator = Simulator()
+    region = "us-east1" if get_gpu(gpu_name).name != "v100" else "us-central1"
+    cluster = ClusterSpec.single(gpu.name, region_name=region)
+    session = TrainingSession(
+        simulator, cluster, measurement_job(profile, steps=steps), streams=streams,
+        step_time_model=StepTimeModel(rng=streams.get(f"step_time:{step_time_model_seed_offset}")),
+        ps_capacity_model=PSCapacityModel())
+    trace = session.run_to_completion()
+    series = trace.speed_series()
+    post_warmup = [speed for step, speed in series if step > 100]
+    import numpy as np
+
+    speeds = np.asarray(post_warmup)
+    cell = SpeedCell(
+        model_name=model_name,
+        gpu_name=gpu.name,
+        model_gflops=profile.gflops,
+        gpu_teraflops=gpu.teraflops,
+        speed_mean=float(speeds.mean()),
+        speed_std=float(speeds.std(ddof=1)) if len(speeds) > 1 else 0.0,
+        step_time=float(1.0 / speeds.mean()),
+    )
+    return cell, trace
+
+
+def run_speed_campaign(model_names: Optional[Sequence[str]] = None,
+                       gpu_names: Sequence[str] = DEFAULT_GPUS,
+                       steps: int = DEFAULT_MEASUREMENT_STEPS,
+                       seed: int = 0,
+                       catalog: Optional[ModelCatalog] = None) -> SpeedCampaignResult:
+    """Measure single-worker training speed for a grid of models and GPUs.
+
+    Args:
+        model_names: Models to measure; defaults to the full twenty-model
+            catalog (use :data:`NAMED_MODELS` for the Table I subset).
+        gpu_names: GPUs to measure.
+        steps: Steps per measurement (4000 in the paper).
+        seed: Root seed; each (model, GPU) cell derives its own streams.
+        catalog: Model catalog; the default twenty-model catalog if omitted.
+
+    Returns:
+        A :class:`SpeedCampaignResult`.
+    """
+    catalog = catalog if catalog is not None else default_catalog()
+    names = list(model_names) if model_names is not None else catalog.names()
+    result = SpeedCampaignResult()
+    for model_index, model_name in enumerate(names):
+        for gpu_index, gpu_name in enumerate(gpu_names):
+            cell_seed = seed * 10_007 + model_index * 101 + gpu_index
+            cell, trace = _measure_single_worker(model_name, gpu_name, catalog,
+                                                 steps, cell_seed)
+            result.cells.append(cell)
+            result.speed_series[(model_name, get_gpu(gpu_name).name)] = trace.speed_series()
+            result.profiler.record_speed(SpeedMeasurement(
+                model_name=model_name, gpu_name=get_gpu(gpu_name).name,
+                model_gflops=cell.model_gflops, gpu_teraflops=cell.gpu_teraflops,
+                step_time=cell.step_time, cluster_size=1, num_parameter_servers=1))
+    return result
+
+
+def run_speed_stability_campaign(gpu_name: str = "k80",
+                                 model_names: Sequence[str] = NAMED_MODELS,
+                                 steps: int = DEFAULT_MEASUREMENT_STEPS,
+                                 seed: int = 0,
+                                 catalog: Optional[ModelCatalog] = None
+                                 ) -> Dict[str, List[Tuple[int, float]]]:
+    """Fig. 2: per-100-step speed series for the four named models on one GPU.
+
+    Returns:
+        ``{model_name: [(step, steps/second), ...]}``.
+    """
+    campaign = run_speed_campaign(model_names=model_names, gpu_names=(gpu_name,),
+                                  steps=steps, seed=seed, catalog=catalog)
+    return {model: campaign.speed_series[(model, get_gpu(gpu_name).name)]
+            for model in model_names}

@@ -1,0 +1,166 @@
+"""Server startup-time campaigns (Fig. 6, Fig. 7).
+
+Two campaigns:
+
+* **startup breakdown** — request transient and on-demand K80/P100 servers
+  in two regions and record the provisioning / staging / booting durations
+  (Fig. 6);
+* **replacement startup** — after a revocation, request replacement servers
+  either immediately or after a delay of at least an hour, and compare the
+  startup times (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.gpus import get_gpu
+from repro.cloud.startup import StartupTimeModel
+from repro.simulation.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class StartupBreakdownCell:
+    """Mean stage durations for one (region, GPU, server class) combination.
+
+    Attributes:
+        region_name: Requested region.
+        gpu_name: Requested GPU type.
+        transient: Whether the servers were transient (preemptible).
+        provisioning_mean: Mean provisioning time (seconds).
+        staging_mean: Mean staging time (seconds).
+        booting_mean: Mean booting time (seconds).
+        total_mean: Mean total startup time (seconds).
+        total_std: Standard deviation of the total startup time.
+        samples: Number of servers requested.
+    """
+
+    region_name: str
+    gpu_name: str
+    transient: bool
+    provisioning_mean: float
+    staging_mean: float
+    booting_mean: float
+    total_mean: float
+    total_std: float
+    samples: int
+
+
+@dataclass
+class StartupBreakdownResult:
+    """Fig. 6: startup-time breakdown per (region, GPU, class)."""
+
+    cells: List[StartupBreakdownCell] = field(default_factory=list)
+
+    def cell(self, region_name: str, gpu_name: str, transient: bool) -> StartupBreakdownCell:
+        """Look up one combination."""
+        gpu = get_gpu(gpu_name).name
+        for cell in self.cells:
+            if (cell.region_name == region_name and cell.gpu_name == gpu
+                    and cell.transient == transient):
+                return cell
+        raise KeyError(f"no cell for ({region_name}, {gpu_name}, transient={transient})")
+
+    def transient_slowdown(self, region_name: str, gpu_name: str) -> float:
+        """Extra seconds a transient server takes vs. its on-demand twin."""
+        return (self.cell(region_name, gpu_name, True).total_mean
+                - self.cell(region_name, gpu_name, False).total_mean)
+
+
+def run_startup_breakdown_campaign(region_names: Sequence[str] = ("us-east1", "us-west1"),
+                                   gpu_names: Sequence[str] = ("k80", "p100"),
+                                   samples_per_cell: int = 20,
+                                   seed: int = 0) -> StartupBreakdownResult:
+    """Reproduce Fig. 6: startup breakdown for new transient/on-demand servers."""
+    streams = RandomStreams(seed=seed)
+    model = StartupTimeModel(rng=streams.get("startup"))
+    result = StartupBreakdownResult()
+    for region_name in region_names:
+        for gpu_name in gpu_names:
+            for transient in (True, False):
+                stages = [model.sample(gpu_name, transient, region_name)
+                          for _ in range(samples_per_cell)]
+                totals = np.array([s.total for s in stages])
+                result.cells.append(StartupBreakdownCell(
+                    region_name=region_name, gpu_name=get_gpu(gpu_name).name,
+                    transient=transient,
+                    provisioning_mean=float(np.mean([s.provisioning for s in stages])),
+                    staging_mean=float(np.mean([s.staging for s in stages])),
+                    booting_mean=float(np.mean([s.booting for s in stages])),
+                    total_mean=float(totals.mean()),
+                    total_std=float(totals.std(ddof=1)),
+                    samples=samples_per_cell))
+    return result
+
+
+@dataclass(frozen=True)
+class ReplacementStartupCell:
+    """Startup statistics for replacement requests of one GPU type.
+
+    Attributes:
+        gpu_name: Requested GPU type.
+        immediate: True when requested immediately after a revocation.
+        mean_seconds: Mean startup time.
+        std_seconds: Standard deviation.
+        cov: Coefficient of variation.
+        samples: Number of requests.
+    """
+
+    gpu_name: str
+    immediate: bool
+    mean_seconds: float
+    std_seconds: float
+    cov: float
+    samples: int
+
+
+@dataclass
+class ReplacementStartupResult:
+    """Fig. 7: replacement startup time, immediate vs. delayed requests."""
+
+    cells: List[ReplacementStartupCell] = field(default_factory=list)
+
+    def cell(self, gpu_name: str, immediate: bool) -> ReplacementStartupCell:
+        """Look up one (GPU, timing) combination."""
+        gpu = get_gpu(gpu_name).name
+        for cell in self.cells:
+            if cell.gpu_name == gpu and cell.immediate == immediate:
+                return cell
+        raise KeyError(f"no cell for ({gpu_name}, immediate={immediate})")
+
+    def immediate_penalty(self, gpu_name: str) -> float:
+        """Mean extra seconds of an immediate request vs. a delayed one."""
+        return (self.cell(gpu_name, True).mean_seconds
+                - self.cell(gpu_name, False).mean_seconds)
+
+    def as_table(self) -> Dict[str, Dict[str, Tuple[float, float]]]:
+        """``{gpu: {"immediate"|"delayed": (mean, std)}}``."""
+        table: Dict[str, Dict[str, Tuple[float, float]]] = {}
+        for cell in self.cells:
+            key = "immediate" if cell.immediate else "delayed"
+            table.setdefault(cell.gpu_name, {})[key] = (cell.mean_seconds,
+                                                        cell.std_seconds)
+        return table
+
+
+def run_replacement_startup_campaign(gpu_names: Sequence[str] = ("k80", "p100", "v100"),
+                                     samples_per_cell: int = 30,
+                                     seed: int = 0) -> ReplacementStartupResult:
+    """Reproduce Fig. 7: replacement startup, immediate vs. delayed requests."""
+    streams = RandomStreams(seed=seed)
+    model = StartupTimeModel(rng=streams.get("replacement_startup"))
+    result = ReplacementStartupResult()
+    for gpu_name in gpu_names:
+        for immediate in (True, False):
+            times = np.array([model.sample_replacement(gpu_name, immediate)
+                              for _ in range(samples_per_cell)])
+            mean = float(times.mean())
+            std = float(times.std(ddof=1))
+            result.cells.append(ReplacementStartupCell(
+                gpu_name=get_gpu(gpu_name).name, immediate=immediate,
+                mean_seconds=mean, std_seconds=std, cov=std / mean,
+                samples=samples_per_cell))
+    return result

@@ -1,0 +1,115 @@
+"""Monetary cost estimation (extension beyond the paper).
+
+The paper motivates transient servers by their lower unit cost but never
+formalizes the cost model.  This module provides one: given a cluster, a
+predicted training time, and the expected revocation behaviour, it
+estimates the dollar cost of the run on transient versus on-demand servers,
+including the extra time transient runs spend on replacements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cloud.machines import PARAMETER_SERVER_MACHINE, gpu_worker_machine
+from repro.cloud.pricing import PriceCatalog, default_price_catalog
+from repro.errors import ConfigurationError
+from repro.modeling.training_time import TrainingTimePrediction
+from repro.training.cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Cost estimate of one training run.
+
+    Attributes:
+        transient_cost_usd: Predicted cost using transient GPU workers.
+        on_demand_cost_usd: Predicted cost using on-demand GPU workers.
+        savings_usd: Absolute savings of the transient configuration.
+        savings_fraction: Relative savings (0-1).
+        transient_duration_hours: Run duration on transient servers
+            (includes revocation overhead).
+        on_demand_duration_hours: Run duration on on-demand servers (no
+            revocation overhead).
+    """
+
+    transient_cost_usd: float
+    on_demand_cost_usd: float
+    savings_usd: float
+    savings_fraction: float
+    transient_duration_hours: float
+    on_demand_duration_hours: float
+
+
+class ClusterCostModel:
+    """Estimates the monetary cost of a training run.
+
+    Args:
+        price_catalog: Hourly prices; Google Cloud list prices by default.
+    """
+
+    def __init__(self, price_catalog: Optional[PriceCatalog] = None):
+        self.prices = price_catalog if price_catalog is not None else default_price_catalog()
+
+    # ------------------------------------------------------------------
+    # Hourly rates.
+    # ------------------------------------------------------------------
+    def hourly_rate(self, cluster: ClusterSpec, transient_workers: bool) -> float:
+        """Hourly cost (USD) of the full cluster.
+
+        Parameter servers are always billed on-demand (they must not be
+        revoked); only GPU workers switch between transient and on-demand.
+        """
+        rate = cluster.num_parameter_servers * self.prices.machine_hourly_price(
+            PARAMETER_SERVER_MACHINE, transient=False)
+        for worker in cluster.workers:
+            rate += self.prices.machine_hourly_price(
+                gpu_worker_machine(worker.gpu_name), transient=transient_workers)
+        return rate
+
+    # ------------------------------------------------------------------
+    # Run-level estimates.
+    # ------------------------------------------------------------------
+    def estimate(self, cluster: ClusterSpec,
+                 transient_prediction: TrainingTimePrediction,
+                 on_demand_prediction: Optional[TrainingTimePrediction] = None
+                 ) -> CostEstimate:
+        """Estimate transient vs. on-demand cost for one training run.
+
+        Args:
+            cluster: Cluster configuration.
+            transient_prediction: Training-time prediction including the
+                revocation overhead term.
+            on_demand_prediction: Prediction without revocations; when
+                omitted, the transient prediction minus its revocation term
+                is used (same compute and checkpoint terms).
+        """
+        transient_hours = transient_prediction.total_hours
+        if on_demand_prediction is not None:
+            on_demand_hours = on_demand_prediction.total_hours
+        else:
+            on_demand_hours = (transient_prediction.total_seconds
+                               - transient_prediction.revocation_seconds) / 3600.0
+        if transient_hours <= 0 or on_demand_hours <= 0:
+            raise ConfigurationError("predicted durations must be positive")
+        transient_cost = self.hourly_rate(cluster, transient_workers=True) * transient_hours
+        on_demand_cost = self.hourly_rate(cluster, transient_workers=False) * on_demand_hours
+        savings = on_demand_cost - transient_cost
+        fraction = savings / on_demand_cost if on_demand_cost > 0 else 0.0
+        return CostEstimate(
+            transient_cost_usd=transient_cost,
+            on_demand_cost_usd=on_demand_cost,
+            savings_usd=savings,
+            savings_fraction=fraction,
+            transient_duration_hours=transient_hours,
+            on_demand_duration_hours=on_demand_hours,
+        )
+
+    def cost_per_step(self, cluster: ClusterSpec, cluster_speed: float,
+                      transient_workers: bool) -> float:
+        """Marginal cost (USD) per training step at a given cluster speed."""
+        if cluster_speed <= 0:
+            raise ConfigurationError("cluster_speed must be positive")
+        steps_per_hour = cluster_speed * 3600.0
+        return self.hourly_rate(cluster, transient_workers) / steps_per_hour

@@ -1,0 +1,142 @@
+"""Launch-time and region advisor (the paper's Section V-C future work).
+
+The paper observes that revocations depend on the region, the GPU type, and
+the local time of day, and suggests "investigating how strategically
+launching transient clusters at different times of day and different data
+center locations can help mitigate revocation impacts" as future work.
+This module implements that advisor: it scores (region, local launch hour)
+combinations for a given GPU type and run duration by the probability that
+a worker survives the run, estimated by Monte-Carlo sampling of the
+calibrated revocation model (or of any model with the same interface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.gpus import get_gpu
+from repro.cloud.revocation import RevocationModel
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LaunchOption:
+    """One scored (region, launch hour) option.
+
+    Attributes:
+        gpu_name: GPU type being launched.
+        region_name: Candidate region.
+        launch_hour_local: Candidate local launch hour (0-23).
+        revocation_probability: Estimated probability that one worker is
+            revoked before the run completes.
+        expected_revocations: Expected revocations for the whole cluster
+            (``num_workers`` times the per-worker probability).
+    """
+
+    gpu_name: str
+    region_name: str
+    launch_hour_local: int
+    revocation_probability: float
+    expected_revocations: float
+
+
+class LaunchAdvisor:
+    """Scores candidate regions and launch hours for a transient cluster.
+
+    Args:
+        revocation_model: Generative revocation model to sample from; the
+            calibrated default model when omitted.
+        samples_per_option: Monte-Carlo samples per (region, hour) option.
+        seed: Seed for the sampling generator.
+    """
+
+    def __init__(self, revocation_model: Optional[RevocationModel] = None,
+                 samples_per_option: int = 400, seed: int = 0):
+        if samples_per_option < 10:
+            raise ConfigurationError("samples_per_option must be at least 10")
+        self._model_template = revocation_model
+        self.samples_per_option = samples_per_option
+        self.seed = seed
+
+    def _model_for(self, option_index: int) -> RevocationModel:
+        rng = np.random.default_rng(self.seed * 9973 + option_index)
+        if self._model_template is None:
+            return RevocationModel(rng=rng)
+        # Re-instantiate with the same calibration but an option-specific
+        # generator so options are scored independently and reproducibly.
+        return RevocationModel(rng=rng,
+                               calibration=dict(self._model_template._calibration),
+                               hourly_weights=dict(self._model_template._hourly_weights))
+
+    # ------------------------------------------------------------------
+    # Scoring.
+    # ------------------------------------------------------------------
+    def score_option(self, gpu_name: str, region_name: str, launch_hour_local: int,
+                     duration_hours: float, num_workers: int = 1,
+                     option_index: int = 0) -> LaunchOption:
+        """Score one (region, launch hour) option by Monte-Carlo sampling."""
+        if duration_hours <= 0:
+            raise ConfigurationError("duration_hours must be positive")
+        if num_workers < 1:
+            raise ConfigurationError("num_workers must be >= 1")
+        gpu = get_gpu(gpu_name)
+        model = self._model_for(option_index)
+        revoked_within_run = 0
+        for _ in range(self.samples_per_option):
+            outcome = model.sample(gpu.name, region_name,
+                                   launch_hour_local=float(launch_hour_local))
+            if outcome.revoked and outcome.lifetime_hours <= duration_hours:
+                revoked_within_run += 1
+        probability = revoked_within_run / self.samples_per_option
+        return LaunchOption(gpu_name=gpu.name, region_name=region_name,
+                            launch_hour_local=int(launch_hour_local) % 24,
+                            revocation_probability=probability,
+                            expected_revocations=probability * num_workers)
+
+    def rank_options(self, gpu_name: str, duration_hours: float,
+                     num_workers: int = 1,
+                     region_names: Optional[Sequence[str]] = None,
+                     launch_hours: Sequence[int] = (0, 4, 8, 12, 16, 20)
+                     ) -> List[LaunchOption]:
+        """Score and rank all candidate (region, hour) combinations.
+
+        Args:
+            gpu_name: GPU type of the workers.
+            duration_hours: Expected run duration.
+            num_workers: Number of transient workers in the cluster.
+            region_names: Candidate regions; defaults to every region that
+                offers the GPU type in the calibrated model.
+            launch_hours: Candidate local launch hours.
+
+        Returns:
+            Options sorted from the safest (lowest revocation probability)
+            to the riskiest.
+        """
+        model = self._model_for(0)
+        if region_names is None:
+            region_names = [region for gpu, region in model.available_cells()
+                            if gpu == get_gpu(gpu_name).name]
+        if not region_names:
+            raise ConfigurationError(f"no candidate regions offer {gpu_name!r}")
+        options: List[LaunchOption] = []
+        option_index = 1
+        for region_name in region_names:
+            for hour in launch_hours:
+                options.append(self.score_option(
+                    gpu_name, region_name, hour, duration_hours,
+                    num_workers=num_workers, option_index=option_index))
+                option_index += 1
+        return sorted(options, key=lambda option: (option.revocation_probability,
+                                                   option.region_name,
+                                                   option.launch_hour_local))
+
+    def recommend(self, gpu_name: str, duration_hours: float, num_workers: int = 1,
+                  region_names: Optional[Sequence[str]] = None,
+                  launch_hours: Sequence[int] = (0, 4, 8, 12, 16, 20)) -> LaunchOption:
+        """The single safest (region, launch hour) option."""
+        return self.rank_options(gpu_name, duration_hours, num_workers=num_workers,
+                                 region_names=region_names,
+                                 launch_hours=launch_hours)[0]

@@ -1,0 +1,167 @@
+"""Model selection: train/test splitting, k-fold cross validation, grid search.
+
+The paper's protocol (Section III-B): random 4:1 train/test split, k-fold
+cross validation on the training data reported as MAE, and grid search over
+the SVR hyperparameters — penalty ``p`` (``C`` here) in [10, 100] with step
+10, epsilon in [0.01, 0.1] with step 0.01.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.modeling.metrics import mean_absolute_error
+from repro.modeling.svr import SVR
+
+#: The paper's SVR hyperparameter grid.
+PAPER_C_GRID: Tuple[float, ...] = tuple(float(c) for c in range(10, 101, 10))
+PAPER_EPSILON_GRID: Tuple[float, ...] = tuple(round(0.01 * i, 2) for i in range(1, 11))
+
+
+def train_test_split(features, targets, test_fraction: float = 0.2,
+                     rng: Optional[np.random.Generator] = None
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random train/test split (4:1 by default, matching the paper).
+
+    Returns:
+        ``(train_features, test_features, train_targets, test_targets)``.
+    """
+    matrix = np.asarray(features, dtype=float)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(-1, 1)
+    target = np.asarray(targets, dtype=float).ravel()
+    if matrix.shape[0] != target.shape[0]:
+        raise DataError("features and targets must have the same length")
+    if not 0.0 < test_fraction < 1.0:
+        raise DataError("test_fraction must be in (0, 1)")
+    n = matrix.shape[0]
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise DataError("not enough samples for the requested split")
+    generator = rng if rng is not None else np.random.default_rng(0)
+    order = generator.permutation(n)
+    test_index, train_index = order[:n_test], order[n_test:]
+    return matrix[train_index], matrix[test_index], target[train_index], target[test_index]
+
+
+class KFold:
+    """K-fold cross-validation splitter with shuffling.
+
+    Args:
+        n_splits: Number of folds (5 by default).
+        rng: Random generator used for shuffling.
+    """
+
+    def __init__(self, n_splits: int = 5, rng: Optional[np.random.Generator] = None):
+        if n_splits < 2:
+            raise DataError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, validation_indices)`` pairs."""
+        if n_samples < self.n_splits:
+            raise DataError("more folds than samples")
+        order = self._rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for i in range(self.n_splits):
+            validation = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, validation
+
+
+@dataclass(frozen=True)
+class CrossValidationResult:
+    """K-fold cross-validation MAE summary.
+
+    Attributes:
+        fold_maes: Per-fold validation MAE.
+        mean_mae: Mean of the per-fold MAEs (the paper's "K-fold MAE").
+        std_mae: Standard deviation of the per-fold MAEs (the "+-" column).
+    """
+
+    fold_maes: Tuple[float, ...]
+    mean_mae: float
+    std_mae: float
+
+
+def cross_validate_mae(model_factory: Callable[[], object], features, targets,
+                       n_splits: int = 5,
+                       rng: Optional[np.random.Generator] = None
+                       ) -> CrossValidationResult:
+    """Run k-fold cross validation and report the validation MAE.
+
+    Args:
+        model_factory: Zero-argument callable returning a fresh, unfitted
+            model exposing ``fit(X, y)`` and ``predict(X)``.
+        features: Sample matrix.
+        targets: Target values.
+        n_splits: Number of folds.
+        rng: Random generator for the fold shuffle.
+    """
+    matrix = np.asarray(features, dtype=float)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(-1, 1)
+    target = np.asarray(targets, dtype=float).ravel()
+    splitter = KFold(n_splits=n_splits, rng=rng)
+    maes: List[float] = []
+    for train_index, validation_index in splitter.split(matrix.shape[0]):
+        model = model_factory()
+        model.fit(matrix[train_index], target[train_index])
+        predictions = model.predict(matrix[validation_index])
+        maes.append(mean_absolute_error(target[validation_index], predictions))
+    values = np.asarray(maes)
+    return CrossValidationResult(fold_maes=tuple(values.tolist()),
+                                 mean_mae=float(values.mean()),
+                                 std_mae=float(values.std(ddof=1)) if len(values) > 1 else 0.0)
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Outcome of an SVR hyperparameter grid search.
+
+    Attributes:
+        best_C: Selected penalty parameter.
+        best_epsilon: Selected epsilon-tube width.
+        best_mae: Cross-validation MAE of the selected configuration.
+        results: ``((C, epsilon), mae)`` for every grid point.
+    """
+
+    best_C: float
+    best_epsilon: float
+    best_mae: float
+    results: Tuple[Tuple[Tuple[float, float], float], ...]
+
+
+def grid_search_svr(features, targets, kernel: str = "rbf",
+                    C_grid: Sequence[float] = PAPER_C_GRID,
+                    epsilon_grid: Sequence[float] = PAPER_EPSILON_GRID,
+                    n_splits: int = 5, degree: int = 2,
+                    gamma: Optional[float] = None,
+                    rng: Optional[np.random.Generator] = None) -> GridSearchResult:
+    """Grid-search SVR hyperparameters by k-fold cross-validation MAE.
+
+    The default grids are exactly the paper's.
+    """
+    if not C_grid or not epsilon_grid:
+        raise DataError("hyperparameter grids must be non-empty")
+    generator = rng if rng is not None else np.random.default_rng(0)
+    results: List[Tuple[Tuple[float, float], float]] = []
+    best: Optional[Tuple[float, float, float]] = None
+    for c_value in C_grid:
+        for epsilon in epsilon_grid:
+            fold_rng = np.random.default_rng(generator.integers(0, 2 ** 31 - 1))
+            outcome = cross_validate_mae(
+                lambda c=c_value, e=epsilon: SVR(kernel=kernel, C=c, epsilon=e,
+                                                 degree=degree, gamma=gamma),
+                features, targets, n_splits=n_splits, rng=fold_rng)
+            results.append((((float(c_value), float(epsilon))), outcome.mean_mae))
+            if best is None or outcome.mean_mae < best[2]:
+                best = (float(c_value), float(epsilon), outcome.mean_mae)
+    assert best is not None
+    return GridSearchResult(best_C=best[0], best_epsilon=best[1], best_mae=best[2],
+                            results=tuple(results))

@@ -1,0 +1,148 @@
+"""End-to-end training time estimation (Section VI-A, Eqs. 4-5).
+
+The paper composes its performance models into a prediction of the total
+time to complete ``Nw`` training steps on a (possibly heterogeneous,
+possibly transient) cluster:
+
+    T = Nw / sp  +  ceil(Nw / Ic) * Tc  +  Nr * (Tp + Ts)          (4)
+    Nr = sum_i Pr(R_i)                                             (5)
+
+where ``sp`` is the predicted cluster speed (sum of per-worker speeds),
+``Ic`` the checkpoint interval, ``Tc`` the predicted checkpoint time,
+``Tp`` the time to provision a new GPU server, ``Ts`` the worker
+replacement time, and ``Pr(R_i)`` the probability worker ``i`` is revoked
+during the run (queried from the empirical lifetime CDFs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ModelingError
+from repro.modeling.checkpoint_predictor import CheckpointTimePredictor
+from repro.modeling.revocation_estimator import RevocationEstimator
+from repro.modeling.speed_predictor import ClusterSpeedPredictor
+from repro.training.cluster import ClusterSpec
+from repro.training.job import TrainingJob
+
+
+@dataclass(frozen=True)
+class TrainingTimePrediction:
+    """A decomposed training-time prediction.
+
+    Attributes:
+        total_seconds: Predicted end-to-end training time ``T``.
+        compute_seconds: The ``Nw / sp`` term.
+        checkpoint_seconds: The ``ceil(Nw / Ic) * Tc`` term.
+        revocation_seconds: The ``Nr * (Tp + Ts)`` term.
+        cluster_speed: Predicted cluster speed ``sp`` (steps/second).
+        checkpoint_time: Predicted per-checkpoint time ``Tc`` (seconds).
+        num_checkpoints: ``ceil(Nw / Ic)``.
+        expected_revocations: ``Nr``.
+    """
+
+    total_seconds: float
+    compute_seconds: float
+    checkpoint_seconds: float
+    revocation_seconds: float
+    cluster_speed: float
+    checkpoint_time: float
+    num_checkpoints: int
+    expected_revocations: float
+
+    @property
+    def total_hours(self) -> float:
+        """Predicted training time in hours."""
+        return self.total_seconds / 3600.0
+
+
+class TrainingTimeEstimator:
+    """Composes speed, checkpoint, and revocation models into Eq. (4).
+
+    Args:
+        cluster_speed_predictor: Per-worker/cluster speed model (Table II
+            models composed per Section VI-A).
+        checkpoint_predictor: Checkpoint-time model (Table IV).
+        revocation_estimator: Empirical-CDF revocation estimator (Eq. 5);
+            omit it to predict for non-revocable (on-demand) clusters.
+        provisioning_seconds: Running-average time to provision a new GPU
+            server (``Tp``).
+        replacement_seconds: Running-average worker replacement time
+            (``Ts``).
+    """
+
+    def __init__(self, cluster_speed_predictor: ClusterSpeedPredictor,
+                 checkpoint_predictor: CheckpointTimePredictor,
+                 revocation_estimator: Optional[RevocationEstimator] = None,
+                 provisioning_seconds: float = 85.0,
+                 replacement_seconds: float = 20.0):
+        if provisioning_seconds < 0 or replacement_seconds < 0:
+            raise ConfigurationError("overhead times must be non-negative")
+        self.cluster_speed_predictor = cluster_speed_predictor
+        self.checkpoint_predictor = checkpoint_predictor
+        self.revocation_estimator = revocation_estimator
+        self.provisioning_seconds = provisioning_seconds
+        self.replacement_seconds = replacement_seconds
+
+    # ------------------------------------------------------------------
+    # Prediction.
+    # ------------------------------------------------------------------
+    def predict(self, job: TrainingJob, cluster: ClusterSpec,
+                fixed_point_iterations: int = 2) -> TrainingTimePrediction:
+        """Predict the end-to-end training time for a job on a cluster.
+
+        The expected-revocation term depends on the run duration, which
+        itself depends on the expected revocations; a couple of fixed-point
+        iterations resolve the circularity (the paper's example uses a
+        duration-free approximation, which the first iteration reproduces).
+
+        Args:
+            job: Training workload (``Nw``, ``Ic``, model).
+            cluster: Cluster configuration.
+            fixed_point_iterations: Number of refinement passes for ``Nr``.
+        """
+        if fixed_point_iterations < 1:
+            raise ModelingError("fixed_point_iterations must be >= 1")
+        speed = self.cluster_speed_predictor.predict_cluster_speed(
+            job.profile.gflops, list(cluster.gpu_names()))
+        if speed <= 0:
+            raise ModelingError("predicted cluster speed must be positive")
+        checkpoint_time = self.checkpoint_predictor.predict_time(job.profile.checkpoint)
+        num_checkpoints = math.ceil(job.total_steps / job.checkpoint_interval_steps)
+
+        compute_seconds = job.total_steps / speed
+        checkpoint_seconds = num_checkpoints * checkpoint_time
+
+        expected_revocations = 0.0
+        revocation_seconds = 0.0
+        total = compute_seconds + checkpoint_seconds
+        transient_workers: Sequence[Tuple[str, str]] = [
+            (worker.gpu_name, worker.region_name)
+            for worker in cluster.workers if worker.transient]
+        if self.revocation_estimator is not None and transient_workers:
+            for _ in range(fixed_point_iterations):
+                duration_hours = total / 3600.0
+                expected_revocations = self.revocation_estimator.expected_revocations(
+                    transient_workers, duration_hours)
+                revocation_seconds = expected_revocations * (
+                    self.provisioning_seconds + self.replacement_seconds)
+                total = compute_seconds + checkpoint_seconds + revocation_seconds
+
+        return TrainingTimePrediction(
+            total_seconds=total,
+            compute_seconds=compute_seconds,
+            checkpoint_seconds=checkpoint_seconds,
+            revocation_seconds=revocation_seconds,
+            cluster_speed=speed,
+            checkpoint_time=checkpoint_time,
+            num_checkpoints=num_checkpoints,
+            expected_revocations=expected_revocations,
+        )
+
+    def prediction_error(self, predicted_seconds: float, measured_seconds: float) -> float:
+        """Relative prediction error ``|predicted - measured| / measured``."""
+        if measured_seconds <= 0:
+            raise ModelingError("measured_seconds must be positive")
+        return abs(predicted_seconds - measured_seconds) / measured_seconds

@@ -1,0 +1,40 @@
+"""Calibrated hardware performance ground truth.
+
+These models play the role of the physical testbed: they answer "how long
+does a training step / checkpoint / worker replacement actually take?" for
+the simulator.  Every model is calibrated against the numbers the paper
+publishes (Tables I and III, Figs. 2, 4, 5, 10, 11, 12) so the measurement
+campaigns recover the paper's observations, and every calibration constant
+lives in :mod:`repro.perf.calibration` for inspection.
+
+The distinction between :mod:`repro.perf` (ground truth fed to the
+simulator) and :mod:`repro.modeling` (regression models *fitted to
+measurements*, the paper's contribution) mirrors the paper's distinction
+between the physical testbed and its learned performance models.
+"""
+
+from repro.perf.calibration import (
+    PAPER_TABLE1_SPEEDS,
+    STEP_TIME_ANCHORS,
+    PS_CAPACITY_ANCHORS,
+)
+from repro.perf.step_time import StepTimeModel
+from repro.perf.ps_capacity import PSCapacityModel, effective_cluster_speed
+from repro.perf.checkpoint_time import CheckpointTimeModel
+from repro.perf.network import NetworkModel
+from repro.perf.replacement import ReplacementOverheadModel, ReplacementBreakdown
+from repro.perf.recomputation import RecomputationModel
+
+__all__ = [
+    "PAPER_TABLE1_SPEEDS",
+    "STEP_TIME_ANCHORS",
+    "PS_CAPACITY_ANCHORS",
+    "StepTimeModel",
+    "PSCapacityModel",
+    "effective_cluster_speed",
+    "CheckpointTimeModel",
+    "NetworkModel",
+    "ReplacementOverheadModel",
+    "ReplacementBreakdown",
+    "RecomputationModel",
+]

@@ -1,0 +1,146 @@
+"""Calibration constants for the hardware ground-truth models.
+
+Every constant in this module is traceable to a number the paper reports;
+the table/figure it comes from is noted next to each entry.  The rest of
+:mod:`repro.perf` interpolates between these anchors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+# ---------------------------------------------------------------------------
+# Training speed (Table I): steps/second for one GPU worker plus one
+# parameter server in the same data center, by (GPU, model).
+# ---------------------------------------------------------------------------
+#: ``{gpu: {model: (mean steps/s, std steps/s)}}`` straight from Table I.
+PAPER_TABLE1_SPEEDS: Dict[str, Dict[str, Tuple[float, float]]] = {
+    "k80": {
+        "resnet_15": (9.46, 0.19),
+        "resnet_32": (4.56, 0.08),
+        "shake_shake_small": (2.58, 0.02),
+        "shake_shake_big": (0.70, 0.002),
+    },
+    "p100": {
+        "resnet_15": (21.16, 0.47),
+        "resnet_32": (12.19, 0.41),
+        "shake_shake_small": (6.99, 0.35),
+        "shake_shake_big": (1.98, 0.03),
+    },
+    "v100": {
+        "resnet_15": (27.38, 0.88),
+        "resnet_32": (15.61, 0.38),
+        "shake_shake_small": (8.80, 0.24),
+        "shake_shake_big": (2.18, 0.04),
+    },
+}
+
+#: Model complexity (GFLOPs per image) the paper reports for the four named
+#: models (Table I caption); used as the x-coordinates of the step-time
+#: anchors.
+PAPER_MODEL_GFLOPS: Dict[str, float] = {
+    "resnet_15": 0.59,
+    "resnet_32": 1.54,
+    "shake_shake_small": 2.41,
+    "shake_shake_big": 21.3,
+}
+
+#: Step-time anchors per GPU: sorted ``(gflops, seconds per step)`` pairs
+#: derived from Table I (step time is the inverse of training speed).
+STEP_TIME_ANCHORS: Dict[str, List[Tuple[float, float]]] = {
+    gpu: sorted(
+        (PAPER_MODEL_GFLOPS[model], 1.0 / mean)
+        for model, (mean, _std) in speeds.items()
+    )
+    for gpu, speeds in PAPER_TABLE1_SPEEDS.items()
+}
+
+#: Relative step-time noise (coefficient of variation) per GPU for a
+#: single-worker cluster.  Derived from the standard deviations of Table I
+#: and the "maximum coefficient of variation of 0.02" observation (Fig. 2).
+STEP_TIME_NOISE_COV: Dict[str, float] = {
+    "k80": 0.014,
+    "p100": 0.025,
+    "v100": 0.030,
+}
+
+#: Additional step-time variability introduced by parameter-server
+#: contention as the cluster approaches the PS bottleneck.  Table III shows
+#: the per-worker coefficient of variation growing from 0.019 to 0.094 for
+#: P100 clusters as the cluster size reaches eight workers; the extra CoV is
+#: modeled as ``PS_CONTENTION_COV * utilization``.
+PS_CONTENTION_COV = 0.085
+
+# ---------------------------------------------------------------------------
+# Parameter-server capacity (Table III, Figs. 4 and 12).
+# ---------------------------------------------------------------------------
+#: Anchors mapping the per-step gradient payload (MB of float32 parameters)
+#: to the maximum model-update throughput (updates/second) one parameter
+#: server sustains.  The gradient sizes correspond to the four named models
+#: of the default catalog; the capacities are chosen so that:
+#:  * K80 ResNet-32 clusters of up to 8 workers never hit the bottleneck,
+#:  * P100 ResNet-32 clusters saturate around 8 workers and V100 around 4
+#:    (Table III),
+#:  * ResNet-15 keeps scaling through 8 P100 workers while ResNet-32 and
+#:    Shake-Shake Small plateau after ~4 (Fig. 4).
+PS_CAPACITY_ANCHORS: List[Tuple[float, float]] = [
+    (4.41, 145.0),    # resnet_15 gradients
+    (14.13, 42.0),    # resnet_32 gradients
+    (22.33, 30.0),    # shake_shake_small gradients
+    (194.64, 18.0),   # shake_shake_big gradients
+]
+
+#: Exponent governing how capacity scales with the number of parameter
+#: servers: ``capacity(n_ps) = capacity(1) * n_ps ** PS_SCALING_EXPONENT``.
+#: ``2 ** 0.86 = 1.82`` reproduces the "up to 70.6%" speedup of Fig. 12.
+PS_SCALING_EXPONENT = 0.86
+
+#: Sharpness of the soft-minimum between aggregate worker demand and PS
+#: capacity.  Higher values give a harder knee; 8 reproduces the gradual
+#: per-worker slowdowns of Table III (e.g. a 4-P100 cluster running ~7%
+#: slower per worker, an 8-P100 cluster fully saturated).
+PS_SOFTMIN_SHARPNESS = 8.0
+
+#: GPU-saturation scaling penalty (Fig. 4): when the computation ratio
+#: (model GFLOPs / GPU teraflops) exceeds the threshold, additional workers
+#: stop contributing to cluster speed (the Shake-Shake-Big-on-P100 effect).
+GPU_SATURATION_RATIO_THRESHOLD = 2.0
+GPU_SATURATION_STEEPNESS = 12.0
+
+# ---------------------------------------------------------------------------
+# Checkpointing (Section IV, Fig. 5).
+# ---------------------------------------------------------------------------
+#: Fixed component of checkpoint time in seconds (session setup, file
+#: creation, index/meta serialization).
+CHECKPOINT_TIME_BASE_SECONDS = 0.5
+
+#: The paper's anchor: checkpointing ResNet-32 takes 3.84 +- 0.25 seconds;
+#: the linear slope (seconds per MB) is derived from this anchor and the
+#: default catalog's ResNet-32 checkpoint size at model-construction time.
+CHECKPOINT_ANCHOR_MODEL = "resnet_32"
+CHECKPOINT_ANCHOR_SECONDS = 3.84
+
+#: Coefficient of variation of checkpoint time (the paper observes 0.018 to
+#: 0.073 across the twenty models).
+CHECKPOINT_TIME_COV = 0.04
+
+# ---------------------------------------------------------------------------
+# Worker replacement (Fig. 10) and recomputation (Fig. 11).
+# ---------------------------------------------------------------------------
+#: Seconds to restart the deep-learning framework on an existing server.
+REPLACEMENT_FRAMEWORK_RESTART_SECONDS = 6.0
+
+#: Seconds to join the existing training session (RPC setup with the PS).
+REPLACEMENT_SESSION_JOIN_SECONDS = 2.0
+
+#: Training computation-graph setup cost: ``base + per_tensor * tensors +
+#: per_mb * parameter_MB`` seconds.  Calibrated so ResNet-15 warm starts in
+#: ~14.8 s and Shake-Shake Big costs ~15 s more than ResNet-15 (Fig. 10).
+REPLACEMENT_GRAPH_SETUP_BASE_SECONDS = 1.2
+REPLACEMENT_GRAPH_SETUP_PER_TENSOR_SECONDS = 0.115
+REPLACEMENT_GRAPH_SETUP_PER_MB_SECONDS = 0.02
+
+#: Overhead of restarting the whole training session when the cluster
+#: membership changes in a way TensorFlow cannot absorb (Section VI-B
+#: reports ~10 seconds).
+SESSION_RESTART_SECONDS = 10.0

@@ -1,0 +1,62 @@
+"""Network model between cloud servers.
+
+The paper keeps parameter servers, workers, and checkpoint storage in the
+same data center, noting that parameter servers are "often bound by network
+communication" and that cross-region placement would add latency.  The
+network model provides same-region and cross-region latency/bandwidth so
+users can explore placements the paper warns about; the default campaign
+configurations never cross regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.regions import get_region
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinkCharacteristics:
+    """Round-trip latency (seconds) and bandwidth (bytes/second) of a link."""
+
+    rtt_seconds: float
+    bandwidth_bytes_per_second: float
+
+
+#: Same-zone link: sub-millisecond RTT, ~16 Gbit/s effective.
+_SAME_REGION = LinkCharacteristics(rtt_seconds=0.0008,
+                                   bandwidth_bytes_per_second=2.0e9)
+#: Same-continent link.
+_SAME_CONTINENT = LinkCharacteristics(rtt_seconds=0.035,
+                                      bandwidth_bytes_per_second=400e6)
+#: Cross-continent link.
+_CROSS_CONTINENT = LinkCharacteristics(rtt_seconds=0.120,
+                                       bandwidth_bytes_per_second=150e6)
+
+
+class NetworkModel:
+    """Latency/bandwidth estimates between regions."""
+
+    def link(self, region_a: str, region_b: str) -> LinkCharacteristics:
+        """Link characteristics between two regions."""
+        a = get_region(region_a)
+        b = get_region(region_b)
+        if a.name == b.name:
+            return _SAME_REGION
+        if a.continent == b.continent:
+            return _SAME_CONTINENT
+        return _CROSS_CONTINENT
+
+    def transfer_time(self, size_bytes: float, region_a: str, region_b: str) -> float:
+        """Seconds to move ``size_bytes`` between the two regions."""
+        if size_bytes < 0:
+            raise ConfigurationError("size_bytes must be non-negative")
+        link = self.link(region_a, region_b)
+        return link.rtt_seconds + size_bytes / link.bandwidth_bytes_per_second
+
+    def gradient_push_time(self, gradient_bytes: float, worker_region: str,
+                           ps_region: str) -> float:
+        """Seconds for one gradient push plus parameter pull."""
+        # Push gradients and pull fresh parameters: two transfers plus RTTs.
+        return 2.0 * self.transfer_time(gradient_bytes, worker_region, ps_region)

@@ -1,0 +1,171 @@
+"""Parameter-server capacity ground truth.
+
+Asynchronous parameter-server training saturates when the aggregate rate of
+gradient pushes from the workers exceeds what the parameter servers can
+absorb (Section III-C/D).  This module models that capacity:
+
+* one parameter server sustains a model-update throughput (updates/second)
+  that decreases with the per-step gradient payload,
+* capacity scales sub-linearly with the number of parameter servers
+  (Fig. 12 observes "up to 70.6%" improvement from a second PS), and
+* the transition from compute-bound to PS-bound is smooth — workers slow
+  down gradually as the cluster approaches saturation (Table III).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.perf.calibration import (
+    PS_CAPACITY_ANCHORS,
+    PS_SCALING_EXPONENT,
+    PS_SOFTMIN_SHARPNESS,
+)
+
+
+def effective_cluster_speed(aggregate_worker_speed: float, ps_capacity: float,
+                            sharpness: float = PS_SOFTMIN_SHARPNESS) -> float:
+    """Soft minimum of worker demand and parameter-server capacity.
+
+    Uses the p-norm soft-min ``(d^-p + c^-p)^(-1/p)``, which equals the
+    smaller of the two far from the crossover and bends smoothly near it —
+    matching the gradual per-worker slowdown the paper measures as clusters
+    approach the bottleneck.
+
+    Args:
+        aggregate_worker_speed: Sum of the workers' uncontended speeds
+            (steps/second).
+        ps_capacity: Update throughput the parameter servers sustain
+            (updates/second).
+        sharpness: Soft-min exponent; larger values give a harder knee.
+    """
+    if aggregate_worker_speed <= 0:
+        return 0.0
+    if ps_capacity <= 0:
+        raise ConfigurationError("ps_capacity must be positive")
+    demand = aggregate_worker_speed
+    return float((demand ** -sharpness + ps_capacity ** -sharpness) ** (-1.0 / sharpness))
+
+
+class PSCapacityModel:
+    """Calibrated parameter-server update-throughput model.
+
+    Args:
+        anchors: ``(gradient payload MB, updates/second)`` pairs for a
+            single parameter server; interpolation is log-log piecewise
+            linear between them.
+        scaling_exponent: Capacity scaling with the PS count.
+    """
+
+    def __init__(self, anchors: Optional[Sequence[Tuple[float, float]]] = None,
+                 scaling_exponent: float = PS_SCALING_EXPONENT):
+        points = sorted(anchors if anchors is not None else PS_CAPACITY_ANCHORS)
+        if len(points) < 2:
+            raise ConfigurationError("at least two capacity anchors are required")
+        if any(mb <= 0 or cap <= 0 for mb, cap in points):
+            raise ConfigurationError("capacity anchors must be positive")
+        self._log_anchors: List[Tuple[float, float]] = [
+            (math.log(mb), math.log(cap)) for mb, cap in points]
+        self._scaling_exponent = scaling_exponent
+
+    # ------------------------------------------------------------------
+    # Capacity queries.
+    # ------------------------------------------------------------------
+    def single_ps_capacity(self, gradient_bytes: float) -> float:
+        """Updates/second one parameter server sustains for this payload.
+
+        Args:
+            gradient_bytes: Per-step gradient payload in bytes (float32
+                parameter size of the model).
+        """
+        if gradient_bytes <= 0:
+            raise ConfigurationError("gradient_bytes must be positive")
+        log_mb = math.log(gradient_bytes / (1024.0 * 1024.0))
+        xs = [x for x, _ in self._log_anchors]
+        ys = [y for _, y in self._log_anchors]
+        if log_mb <= xs[0]:
+            slope = (ys[1] - ys[0]) / (xs[1] - xs[0])
+            log_cap = ys[0] + slope * (log_mb - xs[0])
+        elif log_mb >= xs[-1]:
+            slope = (ys[-1] - ys[-2]) / (xs[-1] - xs[-2])
+            log_cap = ys[-1] + slope * (log_mb - xs[-1])
+        else:
+            log_cap = ys[-1]
+            for i in range(len(xs) - 1):
+                if xs[i] <= log_mb <= xs[i + 1]:
+                    fraction = (log_mb - xs[i]) / (xs[i + 1] - xs[i])
+                    log_cap = ys[i] + fraction * (ys[i + 1] - ys[i])
+                    break
+        return float(math.exp(log_cap))
+
+    def capacity(self, gradient_bytes: float, num_parameter_servers: int = 1) -> float:
+        """Updates/second sustained by ``num_parameter_servers`` servers."""
+        if num_parameter_servers < 1:
+            raise ConfigurationError("num_parameter_servers must be >= 1")
+        single = self.single_ps_capacity(gradient_bytes)
+        return float(single * num_parameter_servers ** self._scaling_exponent)
+
+    # ------------------------------------------------------------------
+    # Cluster-level composition.
+    # ------------------------------------------------------------------
+    def cluster_speed(self, worker_speeds: Sequence[float], gradient_bytes: float,
+                      num_parameter_servers: int = 1,
+                      scaling_efficiencies: Optional[Sequence[float]] = None) -> float:
+        """Aggregate cluster speed (steps/second) including the bottleneck.
+
+        Args:
+            worker_speeds: Uncontended per-worker speeds.
+            gradient_bytes: Per-step gradient payload of the model.
+            num_parameter_servers: Number of parameter servers.
+            scaling_efficiencies: Optional per-worker scaling efficiencies
+                (the Fig. 4 GPU-saturation penalty); the fastest worker
+                always contributes fully, additional workers contribute
+                ``speed * efficiency``.
+        """
+        speeds = list(worker_speeds)
+        if not speeds:
+            return 0.0
+        if scaling_efficiencies is None:
+            aggregate = sum(speeds)
+        else:
+            efficiencies = list(scaling_efficiencies)
+            if len(efficiencies) != len(speeds):
+                raise ConfigurationError(
+                    "scaling_efficiencies must match worker_speeds in length")
+            # The first (fastest) worker contributes fully; the penalty only
+            # limits how much *additional* workers help.
+            order = sorted(range(len(speeds)), key=lambda i: -speeds[i])
+            aggregate = 0.0
+            for rank, index in enumerate(order):
+                factor = 1.0 if rank == 0 else efficiencies[index]
+                aggregate += speeds[index] * factor
+        cap = self.capacity(gradient_bytes, num_parameter_servers)
+        return effective_cluster_speed(aggregate, cap)
+
+    def utilization(self, worker_speeds: Sequence[float], gradient_bytes: float,
+                    num_parameter_servers: int = 1) -> float:
+        """Parameter-server utilization (demand / capacity), clipped to [0, 1.5]."""
+        demand = sum(worker_speeds)
+        cap = self.capacity(gradient_bytes, num_parameter_servers)
+        return float(min(1.5, demand / cap))
+
+    def worker_slowdown(self, worker_speeds: Sequence[float], gradient_bytes: float,
+                        num_parameter_servers: int = 1,
+                        scaling_efficiencies: Optional[Sequence[float]] = None) -> float:
+        """Multiplicative per-worker step-time inflation due to the bottleneck.
+
+        When the cluster is PS-bound, every worker's effective step time
+        stretches by the same factor (asynchronous training shares the PS
+        fairly); this returns that factor (>= 1).
+        """
+        speeds = list(worker_speeds)
+        if not speeds:
+            return 1.0
+        aggregate = sum(speeds)
+        effective = self.cluster_speed(speeds, gradient_bytes, num_parameter_servers,
+                                       scaling_efficiencies)
+        if effective <= 0:
+            return 1.0
+        return float(max(1.0, aggregate / effective))

@@ -1,0 +1,78 @@
+"""Recomputation overhead ground truth (Section V-E, Fig. 11).
+
+In unmodified TensorFlow, when the *chief* worker is revoked and its
+replacement is given the chief's previous IP address, the replacement
+becomes the new chief and the cluster restarts from the last checkpoint —
+discarding every step made since then.  The paper measures this
+"TensorFlow-specific recomputation overhead" as the extra time to reach the
+next checkpoint compared with assigning the replacement a fresh IP.
+
+CM-DARE's transient-TensorFlow hands the checkpoint responsibility to a
+surviving worker instead, so its worst-case loss is bounded by the
+checkpoint interval.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.perf.calibration import SESSION_RESTART_SECONDS
+
+
+class RecomputationModel:
+    """Recomputation overhead of the legacy chief-IP-reuse behaviour."""
+
+    def __init__(self, session_restart_seconds: float = SESSION_RESTART_SECONDS):
+        if session_restart_seconds < 0:
+            raise ConfigurationError("session_restart_seconds must be non-negative")
+        self.session_restart_seconds = session_restart_seconds
+
+    def legacy_overhead(self, steps_since_checkpoint: float,
+                        cluster_speed: float) -> float:
+        """Extra seconds spent when the chief's IP is reused (legacy TF).
+
+        The cluster discards ``steps_since_checkpoint`` steps of progress and
+        must recompute them at the (post-replacement) cluster speed, plus the
+        cost of restarting the training session.
+
+        Args:
+            steps_since_checkpoint: Steps completed since the last
+                checkpoint at the moment the replacement joins.
+            cluster_speed: Cluster training speed (steps/second) after the
+                replacement joins.
+        """
+        if steps_since_checkpoint < 0:
+            raise ConfigurationError("steps_since_checkpoint must be non-negative")
+        if cluster_speed <= 0:
+            raise ConfigurationError("cluster_speed must be positive")
+        return self.session_restart_seconds + steps_since_checkpoint / cluster_speed
+
+    def transient_tf_overhead(self, steps_since_checkpoint: float,
+                              checkpoint_interval_steps: float,
+                              cluster_speed: float) -> float:
+        """Worst-case loss under CM-DARE's transient-TensorFlow.
+
+        With checkpoint responsibility handed to a surviving worker, the
+        training session does not restart and no progress is discarded; the
+        exposure is bounded by the work since the last checkpoint, which is
+        itself bounded by the checkpoint interval.
+        """
+        if checkpoint_interval_steps <= 0:
+            raise ConfigurationError("checkpoint_interval_steps must be positive")
+        exposed_steps = min(steps_since_checkpoint, checkpoint_interval_steps)
+        if cluster_speed <= 0:
+            raise ConfigurationError("cluster_speed must be positive")
+        return exposed_steps / cluster_speed
+
+    def savings(self, steps_since_checkpoint: float,
+                checkpoint_interval_steps: float, cluster_speed: float) -> float:
+        """Seconds saved by CM-DARE's handoff vs. the legacy behaviour.
+
+        This is the quantity Fig. 11 plots (time difference between adding a
+        replacement with a new IP address vs. reusing the chief's).
+        """
+        legacy = self.legacy_overhead(steps_since_checkpoint, cluster_speed)
+        # With a fresh IP the cluster keeps its progress: the only cost is
+        # that the replacement worker starts contributing later, which both
+        # configurations share; the differential cost is the legacy restart
+        # plus recomputation.
+        return legacy

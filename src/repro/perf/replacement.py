@@ -1,0 +1,156 @@
+"""Worker-replacement overhead ground truth (Fig. 10).
+
+After a transient worker is revoked, the practitioner (or CM-DARE's
+resource manager) brings a replacement into the training session.  The
+paper distinguishes:
+
+* **cold start** — a brand new GPU server is requested: pay the server
+  startup time, download the training dataset shard the revoked server
+  held, start the framework, join the session, and build the training
+  computation graph;
+* **warm start** — an already-running GPU server is reused: only the
+  framework restart, session join, and graph setup are paid.
+
+The paper reports ~75.6 s cold vs ~14.8 s warm for ResNet-15, with both
+growing with model size (graph setup dominates the growth; Shake-Shake Big
+costs ~15 s more than ResNet-15), and notes the overheads are not
+GPU-dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cloud.startup import StartupTimeModel
+from repro.errors import ConfigurationError
+from repro.perf.calibration import (
+    REPLACEMENT_FRAMEWORK_RESTART_SECONDS,
+    REPLACEMENT_GRAPH_SETUP_BASE_SECONDS,
+    REPLACEMENT_GRAPH_SETUP_PER_MB_SECONDS,
+    REPLACEMENT_GRAPH_SETUP_PER_TENSOR_SECONDS,
+)
+from repro.workloads.datasets import CIFAR10, DatasetSpec
+from repro.workloads.profiler import ModelProfile
+
+#: Effective bandwidth for downloading the training-data shard onto a new
+#: worker (bytes/second).
+_DATASET_DOWNLOAD_BANDWIDTH = 80 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ReplacementBreakdown:
+    """Component breakdown of one worker replacement.
+
+    Attributes:
+        server_startup: Requesting and booting a new GPU server (0 for warm
+            starts).
+        dataset_download: Downloading the training-data shard (0 for warm
+            starts).
+        framework_start: Starting the deep-learning framework.
+        session_join: Joining the existing training session (RPC setup).
+        graph_setup: Building the training computation graph.
+    """
+
+    server_startup: float
+    dataset_download: float
+    framework_start: float
+    session_join: float
+    graph_setup: float
+
+    @property
+    def total(self) -> float:
+        """Total replacement overhead in seconds."""
+        return (self.server_startup + self.dataset_download + self.framework_start
+                + self.session_join + self.graph_setup)
+
+
+class ReplacementOverheadModel:
+    """Calibrated cold/warm worker-replacement overhead.
+
+    Args:
+        rng: Random generator for sampling variability.
+        startup_model: Startup model used for the cold-start server request;
+            a default is created when omitted.
+        dataset: Training dataset (controls the download component).
+        session_join_seconds: Seconds to join the running training session.
+    """
+
+    def __init__(self, rng: Optional[np.random.Generator] = None,
+                 startup_model: Optional[StartupTimeModel] = None,
+                 dataset: DatasetSpec = CIFAR10,
+                 session_join_seconds: float = 2.0):
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._startup = (startup_model if startup_model is not None
+                         else StartupTimeModel(rng=self._rng))
+        self.dataset = dataset
+        self.session_join_seconds = session_join_seconds
+
+    # ------------------------------------------------------------------
+    # Components.
+    # ------------------------------------------------------------------
+    def graph_setup_seconds(self, profile: ModelProfile) -> float:
+        """Seconds to build the training computation graph for a model."""
+        parameter_mb = profile.parameter_bytes / (1024.0 * 1024.0)
+        return (REPLACEMENT_GRAPH_SETUP_BASE_SECONDS
+                + REPLACEMENT_GRAPH_SETUP_PER_TENSOR_SECONDS * profile.num_tensors
+                + REPLACEMENT_GRAPH_SETUP_PER_MB_SECONDS * parameter_mb)
+
+    def dataset_download_seconds(self) -> float:
+        """Seconds to download the training-data shard onto a new worker."""
+        return self.dataset.size_bytes / _DATASET_DOWNLOAD_BANDWIDTH
+
+    # ------------------------------------------------------------------
+    # Cold / warm replacement.
+    # ------------------------------------------------------------------
+    def mean_breakdown(self, profile: ModelProfile, cold: bool,
+                       gpu_name: str = "k80") -> ReplacementBreakdown:
+        """Mean component breakdown for a cold or warm replacement."""
+        server_startup = (self._startup.replacement_mean(gpu_name, immediate=True)
+                          if cold else 0.0)
+        dataset_download = self.dataset_download_seconds() if cold else 0.0
+        return ReplacementBreakdown(
+            server_startup=server_startup,
+            dataset_download=dataset_download,
+            framework_start=REPLACEMENT_FRAMEWORK_RESTART_SECONDS,
+            session_join=self.session_join_seconds,
+            graph_setup=self.graph_setup_seconds(profile),
+        )
+
+    def mean_total(self, profile: ModelProfile, cold: bool,
+                   gpu_name: str = "k80") -> float:
+        """Mean total replacement overhead in seconds."""
+        return self.mean_breakdown(profile, cold, gpu_name).total
+
+    def sample(self, profile: ModelProfile, cold: bool,
+               gpu_name: str = "k80", cov: float = 0.08) -> ReplacementBreakdown:
+        """Sample a noisy replacement breakdown.
+
+        Args:
+            profile: Model being trained.
+            cold: True for a cold start (new server), False for a warm start.
+            gpu_name: GPU type of the replacement server (cold starts only).
+            cov: Relative variability applied to each component.
+        """
+        if cov < 0:
+            raise ConfigurationError("cov must be non-negative")
+        mean = self.mean_breakdown(profile, cold, gpu_name)
+        if cold:
+            server_startup = self._startup.sample_replacement(gpu_name, immediate=True)
+        else:
+            server_startup = 0.0
+
+        def jitter(value: float) -> float:
+            if value <= 0:
+                return 0.0
+            return float(max(0.2 * value, self._rng.normal(value, value * cov)))
+
+        return ReplacementBreakdown(
+            server_startup=server_startup,
+            dataset_download=jitter(mean.dataset_download),
+            framework_start=jitter(mean.framework_start),
+            session_join=jitter(mean.session_join),
+            graph_setup=jitter(mean.graph_setup),
+        )

@@ -1,0 +1,149 @@
+"""Ground-truth step-time model.
+
+Answers "how long does one training step take for model M on GPU G?", the
+quantity the paper measures in Table I and Fig. 2.  The model interpolates
+between the Table I anchors (piecewise linear in model GFLOPs, per GPU) and
+adds the small, stable noise the paper observes (maximum coefficient of
+variation of 0.02 after warm-up).
+
+A short warm-up transient is also modeled: the paper discards the first 100
+steps of every measurement because early steps are slower (input pipeline
+warm-up, XLA compilation, cache effects); reproducing the transient lets
+the measurement methodology (discarding those steps) matter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cloud.gpus import get_gpu
+from repro.errors import ConfigurationError
+from repro.perf.calibration import (
+    GPU_SATURATION_RATIO_THRESHOLD,
+    GPU_SATURATION_STEEPNESS,
+    PS_CONTENTION_COV,
+    STEP_TIME_ANCHORS,
+    STEP_TIME_NOISE_COV,
+)
+
+#: Minimum step time as a fraction of the smallest anchor, guarding the
+#: linear extrapolation for very small custom models.
+_MIN_STEP_TIME_FRACTION = 0.25
+
+#: Warm-up transient: the first ``WARMUP_STEPS`` steps are slowed by a
+#: factor decaying from ``1 + WARMUP_EXTRA`` to 1.
+WARMUP_STEPS = 100
+WARMUP_EXTRA = 0.6
+
+
+def _interpolate(anchors, x: float) -> float:
+    """Piecewise-linear interpolation with end-slope extrapolation."""
+    xs = [a[0] for a in anchors]
+    ys = [a[1] for a in anchors]
+    if x <= xs[0]:
+        slope = (ys[1] - ys[0]) / (xs[1] - xs[0])
+        return ys[0] + slope * (x - xs[0])
+    if x >= xs[-1]:
+        slope = (ys[-1] - ys[-2]) / (xs[-1] - xs[-2])
+        return ys[-1] + slope * (x - xs[-1])
+    for i in range(len(xs) - 1):
+        if xs[i] <= x <= xs[i + 1]:
+            fraction = (x - xs[i]) / (xs[i + 1] - xs[i])
+            return ys[i] + fraction * (ys[i + 1] - ys[i])
+    raise ConfigurationError("interpolation fell through")  # pragma: no cover
+
+
+class StepTimeModel:
+    """Calibrated per-GPU step-time ground truth.
+
+    Args:
+        rng: Random generator used when sampling noisy step durations.
+        anchors: Optional override of the per-GPU ``(gflops, step time)``
+            anchor tables.
+        noise_cov: Optional override of the per-GPU noise level.
+    """
+
+    def __init__(self, rng: Optional[np.random.Generator] = None,
+                 anchors=None, noise_cov=None):
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._anchors = {gpu: sorted(points) for gpu, points in
+                         (anchors or STEP_TIME_ANCHORS).items()}
+        self._noise_cov = dict(noise_cov or STEP_TIME_NOISE_COV)
+
+    # ------------------------------------------------------------------
+    # Deterministic quantities.
+    # ------------------------------------------------------------------
+    def mean_step_time(self, model_gflops: float, gpu_name: str) -> float:
+        """Mean seconds per training step for a single, uncontended worker.
+
+        Args:
+            model_gflops: Model complexity in GFLOPs per image (``Cm``).
+            gpu_name: GPU type of the worker.
+        """
+        if model_gflops <= 0:
+            raise ConfigurationError("model_gflops must be positive")
+        gpu = get_gpu(gpu_name)
+        anchors = self._anchors[gpu.name]
+        interpolated = _interpolate(anchors, model_gflops)
+        floor = anchors[0][1] * _MIN_STEP_TIME_FRACTION
+        return float(max(floor, interpolated))
+
+    def mean_speed(self, model_gflops: float, gpu_name: str) -> float:
+        """Mean training speed (steps/second) for a single worker."""
+        return 1.0 / self.mean_step_time(model_gflops, gpu_name)
+
+    def computation_ratio(self, model_gflops: float, gpu_name: str) -> float:
+        """The paper's computation ratio ``Cm / Cgpu`` (GFLOPs / teraflops)."""
+        return model_gflops / get_gpu(gpu_name).teraflops
+
+    def scaling_efficiency(self, model_gflops: float, gpu_name: str) -> float:
+        """Marginal contribution of additional workers of this GPU type.
+
+        Reproduces Fig. 4's Shake-Shake-Big observation: when the model's
+        computation ratio exceeds a threshold for the given GPU, adding more
+        of those workers stops improving cluster speed.  The value is ~1 for
+        comfortable models and decays towards 0 past the threshold.
+        """
+        ratio = self.computation_ratio(model_gflops, gpu_name)
+        exponent = (ratio - GPU_SATURATION_RATIO_THRESHOLD) * GPU_SATURATION_STEEPNESS
+        # Numerically safe logistic.
+        if exponent > 50:
+            return 0.0
+        if exponent < -50:
+            return 1.0
+        return float(1.0 / (1.0 + np.exp(exponent)))
+
+    # ------------------------------------------------------------------
+    # Sampling.
+    # ------------------------------------------------------------------
+    def noise_cov(self, gpu_name: str) -> float:
+        """Baseline relative step-time noise for a GPU type."""
+        return self._noise_cov[get_gpu(gpu_name).name]
+
+    def sample_step_time(self, model_gflops: float, gpu_name: str,
+                         step_index: int = 10_000,
+                         ps_utilization: float = 0.0,
+                         slowdown: float = 1.0) -> float:
+        """Sample one noisy step duration.
+
+        Args:
+            model_gflops: Model complexity in GFLOPs per image.
+            gpu_name: GPU type of the worker.
+            step_index: Global step number, used to apply the warm-up
+                transient for early steps.
+            ps_utilization: Parameter-server utilization in [0, 1]; higher
+                contention adds variability (Table III).
+            slowdown: Multiplicative slowdown applied to the mean, used by
+                the cluster model when the PS bottleneck stretches steps.
+        """
+        if step_index < 0:
+            raise ConfigurationError("step_index must be non-negative")
+        mean = self.mean_step_time(model_gflops, gpu_name) * max(1.0, slowdown)
+        if step_index < WARMUP_STEPS:
+            progress = step_index / WARMUP_STEPS
+            mean *= 1.0 + WARMUP_EXTRA * (1.0 - progress) ** 2
+        cov = self.noise_cov(gpu_name) + PS_CONTENTION_COV * float(np.clip(ps_utilization, 0.0, 1.0))
+        sample = self._rng.normal(mean, mean * cov)
+        return float(max(mean * 0.2, sample))

@@ -1,0 +1,20 @@
+"""Discrete-event simulation substrate.
+
+The paper measures real wall-clock behaviour of cloud GPU clusters; this
+reproduction replaces wall-clock time with a discrete-event simulation.
+The package provides:
+
+* :class:`~repro.simulation.engine.Simulator` — a heap-based event loop with
+  a floating-point clock expressed in seconds,
+* :class:`~repro.simulation.events.Event` — scheduled callbacks with stable
+  tie-breaking,
+* :class:`~repro.simulation.rng.RandomStreams` — named, independently seeded
+  random streams so that, e.g., revocation sampling does not perturb
+  step-time noise when an unrelated feature is toggled.
+"""
+
+from repro.simulation.engine import Simulator
+from repro.simulation.events import Event
+from repro.simulation.rng import RandomStreams
+
+__all__ = ["Simulator", "Event", "RandomStreams"]

@@ -1,0 +1,41 @@
+"""Event objects used by the discrete-event simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback in the simulation.
+
+    Events are ordered by ``(time, sequence)``.  The sequence number is
+    assigned by the simulator when the event is scheduled, which makes
+    ordering deterministic when several events share a timestamp: events
+    scheduled earlier fire earlier.
+
+    Attributes:
+        time: Simulation time (seconds) at which the event fires.
+        sequence: Monotonically increasing tie-breaker assigned at
+            scheduling time.
+        callback: Callable invoked as ``callback(simulator)`` when the event
+            fires.  Not used for ordering.
+        label: Optional human-readable label used in traces and debugging.
+        cancelled: Cancelled events stay in the heap but are skipped when
+            popped.
+    """
+
+    time: float
+    sequence: int
+    callback: Optional[Callable[[Any], None]] = field(compare=False, default=None)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped by the simulator."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.3f}, seq={self.sequence}, {self.label!r}, {state})"

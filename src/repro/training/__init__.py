@@ -1,0 +1,37 @@
+"""Distributed training substrate.
+
+A discrete-event simulation of TensorFlow-style asynchronous
+parameter-server training (Section II of the paper): GPU workers compute
+gradients at their own pace, parameter servers apply updates, one chief
+worker periodically checkpoints the model to cloud storage, and transient
+workers can be revoked and replaced while training continues.
+"""
+
+from repro.training.cluster import ClusterSpec, WorkerSpec
+from repro.training.job import TrainingJob
+from repro.training.trace import (
+    CheckpointRecord,
+    ReplacementRecord,
+    RevocationRecord,
+    StepRecord,
+    TrainingTrace,
+)
+from repro.training.parameter_server import ParameterServerGroup
+from repro.training.worker import WorkerState
+from repro.training.session import TrainingSession
+from repro.training.faults import FaultInjector
+
+__all__ = [
+    "ClusterSpec",
+    "WorkerSpec",
+    "TrainingJob",
+    "TrainingTrace",
+    "StepRecord",
+    "CheckpointRecord",
+    "RevocationRecord",
+    "ReplacementRecord",
+    "ParameterServerGroup",
+    "WorkerState",
+    "TrainingSession",
+    "FaultInjector",
+]

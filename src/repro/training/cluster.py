@@ -1,0 +1,146 @@
+"""Cluster specifications.
+
+The paper describes clusters with the shorthand ``(x, y, z)`` — the number
+of K80, P100, and V100 GPU workers — plus a number of CPU-only parameter
+servers.  :class:`ClusterSpec` captures that configuration together with
+placement (region) and server class (transient vs. on-demand) choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cloud.gpus import get_gpu
+from repro.cloud.regions import get_region
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Specification of one GPU worker.
+
+    Attributes:
+        gpu_name: GPU type (``"k80"``, ``"p100"``, ``"v100"``).
+        region_name: Region the worker runs in.
+        transient: Whether the worker is a transient (preemptible) server.
+    """
+
+    gpu_name: str
+    region_name: str = "us-east1"
+    transient: bool = True
+
+    def __post_init__(self) -> None:
+        gpu = get_gpu(self.gpu_name)
+        region = get_region(self.region_name)
+        if not region.offers(gpu.name):
+            raise ConfigurationError(
+                f"region {region.name!r} does not offer GPU {gpu.name!r}")
+        object.__setattr__(self, "gpu_name", gpu.name)
+        object.__setattr__(self, "region_name", region.name)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Specification of a training cluster.
+
+    Attributes:
+        workers: GPU worker specifications, in launch order; the first
+            worker is the chief by default.
+        num_parameter_servers: Number of CPU-only parameter servers.
+        ps_region_name: Region hosting the parameter servers (and the
+            checkpoint bucket); the paper always co-locates them with the
+            workers.
+    """
+
+    workers: Tuple[WorkerSpec, ...]
+    num_parameter_servers: int = 1
+    ps_region_name: str = "us-east1"
+
+    def __post_init__(self) -> None:
+        if not self.workers:
+            raise ConfigurationError("a cluster needs at least one GPU worker")
+        if self.num_parameter_servers < 1:
+            raise ConfigurationError("a cluster needs at least one parameter server")
+        get_region(self.ps_region_name)
+        object.__setattr__(self, "workers", tuple(self.workers))
+
+    # ------------------------------------------------------------------
+    # Constructors.
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_counts(cls, k80: int = 0, p100: int = 0, v100: int = 0,
+                    region_name: str = "us-east1", transient: bool = True,
+                    num_parameter_servers: int = 1) -> "ClusterSpec":
+        """Build a cluster from the paper's ``(x, y, z)`` notation.
+
+        Args:
+            k80: Number of K80 workers (``x``).
+            p100: Number of P100 workers (``y``).
+            v100: Number of V100 workers (``z``).
+            region_name: Region for all servers.
+            transient: Whether GPU workers are transient servers.
+            num_parameter_servers: Number of parameter servers.
+        """
+        if min(k80, p100, v100) < 0:
+            raise ConfigurationError("worker counts must be non-negative")
+        workers: List[WorkerSpec] = []
+        for gpu_name, count in (("k80", k80), ("p100", p100), ("v100", v100)):
+            workers.extend(WorkerSpec(gpu_name=gpu_name, region_name=region_name,
+                                      transient=transient)
+                           for _ in range(count))
+        return cls(workers=tuple(workers), num_parameter_servers=num_parameter_servers,
+                   ps_region_name=region_name)
+
+    @classmethod
+    def single(cls, gpu_name: str, region_name: str = "us-east1",
+               transient: bool = True) -> "ClusterSpec":
+        """The paper's simplest cluster: one GPU worker plus one PS."""
+        return cls(workers=(WorkerSpec(gpu_name=gpu_name, region_name=region_name,
+                                       transient=transient),),
+                   num_parameter_servers=1, ps_region_name=region_name)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        """Number of GPU workers."""
+        return len(self.workers)
+
+    def counts(self) -> Tuple[int, int, int]:
+        """The ``(x, y, z)`` = (#K80, #P100, #V100) composition."""
+        tally: Dict[str, int] = {"k80": 0, "p100": 0, "v100": 0}
+        for worker in self.workers:
+            tally[worker.gpu_name] += 1
+        return (tally["k80"], tally["p100"], tally["v100"])
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether the cluster mixes GPU types."""
+        return len({worker.gpu_name for worker in self.workers}) > 1
+
+    @property
+    def is_transient(self) -> bool:
+        """Whether any worker is a transient server."""
+        return any(worker.transient for worker in self.workers)
+
+    def gpu_names(self) -> Sequence[str]:
+        """GPU type of each worker, in order."""
+        return [worker.gpu_name for worker in self.workers]
+
+    def describe(self) -> str:
+        """Short human-readable description, e.g. ``"(2, 1, 1) + 1 PS"``."""
+        x, y, z = self.counts()
+        return f"({x}, {y}, {z}) + {self.num_parameter_servers} PS"
+
+    # ------------------------------------------------------------------
+    # Derived clusters.
+    # ------------------------------------------------------------------
+    def with_parameter_servers(self, num_parameter_servers: int) -> "ClusterSpec":
+        """The same cluster with a different number of parameter servers."""
+        return replace(self, num_parameter_servers=num_parameter_servers)
+
+    def with_additional_worker(self, worker: WorkerSpec) -> "ClusterSpec":
+        """The same cluster with one extra worker appended."""
+        return replace(self, workers=self.workers + (worker,))

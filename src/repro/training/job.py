@@ -1,0 +1,99 @@
+"""Training job description.
+
+A training job pairs a model with the workload the practitioner specifies:
+the total number of training steps, the mini-batch size, and the
+checkpoint interval.  The paper expresses all workloads in steps ("the
+training workload is provided by practitioners in the form of number of
+steps") and uses a checkpoint interval of 4K steps for its end-to-end
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.workloads.datasets import CIFAR10, DatasetSpec
+from repro.workloads.profiler import ModelProfile
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """A training workload.
+
+    Attributes:
+        profile: Profile of the model being trained.
+        total_steps: Number of training steps requested (``Nw`` in Eq. 4).
+        batch_size: Mini-batch size per step.
+        checkpoint_interval_steps: Steps between checkpoints (``Ic``); use a
+            value larger than ``total_steps`` to disable checkpointing, as
+            the paper does when measuring pure training speed.
+        dataset: Training dataset.
+    """
+
+    profile: ModelProfile
+    total_steps: int = 4000
+    batch_size: int = 128
+    checkpoint_interval_steps: int = 4000
+    dataset: DatasetSpec = CIFAR10
+
+    def __post_init__(self) -> None:
+        if self.total_steps <= 0:
+            raise ConfigurationError("total_steps must be positive")
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if self.checkpoint_interval_steps <= 0:
+            raise ConfigurationError("checkpoint_interval_steps must be positive")
+
+    @property
+    def model_name(self) -> str:
+        """Name of the model being trained."""
+        return self.profile.name
+
+    @property
+    def num_checkpoints(self) -> int:
+        """Number of checkpoints taken over the full workload."""
+        return self.total_steps // self.checkpoint_interval_steps
+
+    @property
+    def checkpointing_enabled(self) -> bool:
+        """Whether at least one checkpoint falls inside the workload."""
+        return self.num_checkpoints > 0
+
+    def images_processed(self) -> int:
+        """Total number of training images processed by the workload."""
+        return self.total_steps * self.batch_size
+
+    def epochs(self) -> float:
+        """Workload expressed in epochs over the training dataset."""
+        return self.images_processed() / self.dataset.num_train_examples
+
+    def with_steps(self, total_steps: int) -> "TrainingJob":
+        """The same job with a different number of steps."""
+        return TrainingJob(profile=self.profile, total_steps=total_steps,
+                           batch_size=self.batch_size,
+                           checkpoint_interval_steps=self.checkpoint_interval_steps,
+                           dataset=self.dataset)
+
+
+def measurement_job(profile: ModelProfile, steps: int = 4000,
+                    checkpointing: bool = False,
+                    checkpoint_interval_steps: Optional[int] = None) -> TrainingJob:
+    """Build a job configured the way the paper's speed measurements are.
+
+    The paper trains each cluster for 4000 steps and sets the checkpoint
+    interval beyond the measurement window so checkpoint overhead is not
+    mixed into speed measurements.
+
+    Args:
+        profile: Model profile.
+        steps: Measurement duration in steps.
+        checkpointing: Whether checkpoints should occur during the window.
+        checkpoint_interval_steps: Explicit interval; defaults to ``steps``
+            when checkpointing is enabled, or beyond the window otherwise.
+    """
+    if checkpoint_interval_steps is None:
+        checkpoint_interval_steps = steps if checkpointing else steps + 1
+    return TrainingJob(profile=profile, total_steps=steps,
+                       checkpoint_interval_steps=checkpoint_interval_steps)

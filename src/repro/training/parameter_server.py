@@ -1,0 +1,80 @@
+"""Parameter-server group state.
+
+In the asynchronous architecture the paper studies, parameter servers hold
+the model parameters, apply gradient updates pushed by the workers, and
+serve fresh parameters back.  The group tracks how many servers exist, how
+many updates they have applied, and exposes the capacity/utilization
+queries the session and the bottleneck detector need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.perf.ps_capacity import PSCapacityModel
+
+
+@dataclass
+class ParameterServerGroup:
+    """The parameter servers of one training session.
+
+    Attributes:
+        count: Number of parameter servers.
+        region_name: Region the servers run in.
+        capacity_model: Calibrated capacity model used for utilization and
+            slowdown queries.
+        updates_applied: Number of gradient updates applied so far.
+    """
+
+    count: int = 1
+    region_name: str = "us-east1"
+    capacity_model: PSCapacityModel = field(default_factory=PSCapacityModel)
+    updates_applied: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError("a training session needs at least one PS")
+
+    # ------------------------------------------------------------------
+    # Capacity queries.
+    # ------------------------------------------------------------------
+    def capacity(self, gradient_bytes: float) -> float:
+        """Maximum update throughput (updates/second) of the group."""
+        return self.capacity_model.capacity(gradient_bytes, self.count)
+
+    def utilization(self, worker_speeds: Sequence[float], gradient_bytes: float) -> float:
+        """Demand / capacity ratio for the given uncontended worker speeds."""
+        return self.capacity_model.utilization(worker_speeds, gradient_bytes, self.count)
+
+    def worker_slowdown(self, worker_speeds: Sequence[float], gradient_bytes: float,
+                        scaling_efficiencies: Optional[Sequence[float]] = None) -> float:
+        """Per-worker step-time inflation caused by the PS bottleneck."""
+        return self.capacity_model.worker_slowdown(worker_speeds, gradient_bytes,
+                                                   self.count, scaling_efficiencies)
+
+    def cluster_speed(self, worker_speeds: Sequence[float], gradient_bytes: float,
+                      scaling_efficiencies: Optional[Sequence[float]] = None) -> float:
+        """Aggregate cluster speed (steps/second) including the bottleneck."""
+        return self.capacity_model.cluster_speed(worker_speeds, gradient_bytes,
+                                                 self.count, scaling_efficiencies)
+
+    # ------------------------------------------------------------------
+    # Mutation.
+    # ------------------------------------------------------------------
+    def record_updates(self, steps: int) -> None:
+        """Record that ``steps`` gradient updates were applied."""
+        if steps < 0:
+            raise ConfigurationError("steps must be non-negative")
+        self.updates_applied += steps
+
+    def add_servers(self, count: int = 1) -> None:
+        """Add parameter servers (the Fig. 12 mitigation).
+
+        Note that current deep-learning frameworks require a session restart
+        for this to take effect; the session applies that overhead.
+        """
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        self.count += count

@@ -1,0 +1,388 @@
+"""Asynchronous parameter-server training session simulation.
+
+This is the reproduction's stand-in for running transient-TensorFlow on a
+real cluster.  Workers complete training steps at GPU-dependent speeds,
+slowed when the parameter servers saturate; the chief worker periodically
+checkpoints the model (sequentially with its own training); transient
+workers can be revoked mid-training and replaced later; and everything is
+recorded into a :class:`~repro.training.trace.TrainingTrace` for the
+CM-DARE performance tracker to analyze.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.cloud.storage import CloudStorage
+from repro.errors import ConfigurationError, TrainingError
+from repro.perf.calibration import SESSION_RESTART_SECONDS
+from repro.perf.checkpoint_time import CheckpointTimeModel
+from repro.perf.ps_capacity import PSCapacityModel
+from repro.perf.step_time import StepTimeModel
+from repro.simulation.engine import Simulator
+from repro.simulation.events import Event
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec, WorkerSpec
+from repro.training.job import TrainingJob
+from repro.training.parameter_server import ParameterServerGroup
+from repro.training.trace import (
+    CheckpointRecord,
+    ReplacementRecord,
+    RevocationRecord,
+    StepRecord,
+    TrainingTrace,
+)
+from repro.training.worker import WorkerState
+
+#: Default number of training steps simulated per discrete event.  Larger
+#: chunks make long simulations cheaper at a negligible fidelity cost; the
+#: paper's own speed metric is already a 100-step average.
+DEFAULT_STEPS_PER_EVENT = 10
+
+
+class TrainingSession:
+    """One simulated distributed training session.
+
+    Args:
+        simulator: Discrete-event simulator to schedule on.
+        cluster: Cluster specification (workers and parameter servers).
+        job: Training workload.
+        streams: Named random streams; defaults to a fresh seed-0 family.
+        step_time_model: Ground-truth step-time model (shared across
+            sessions in a campaign so calibration stays consistent).
+        ps_capacity_model: Ground-truth parameter-server capacity model.
+        checkpoint_time_model: Ground-truth checkpoint-duration model.
+        storage: Optional cloud storage bucket to upload checkpoints to.
+        steps_per_event: Steps simulated per worker event.
+        chief_worker_index: Index of the worker that starts as chief.
+    """
+
+    def __init__(self, simulator: Simulator, cluster: ClusterSpec, job: TrainingJob,
+                 streams: Optional[RandomStreams] = None,
+                 step_time_model: Optional[StepTimeModel] = None,
+                 ps_capacity_model: Optional[PSCapacityModel] = None,
+                 checkpoint_time_model: Optional[CheckpointTimeModel] = None,
+                 storage: Optional[CloudStorage] = None,
+                 steps_per_event: int = DEFAULT_STEPS_PER_EVENT,
+                 chief_worker_index: int = 0):
+        if steps_per_event < 1:
+            raise ConfigurationError("steps_per_event must be >= 1")
+        if not 0 <= chief_worker_index < cluster.num_workers:
+            raise ConfigurationError("chief_worker_index out of range")
+        self.simulator = simulator
+        self.cluster = cluster
+        self.job = job
+        self.streams = streams if streams is not None else RandomStreams(seed=0)
+        self.step_time_model = (step_time_model if step_time_model is not None
+                                else StepTimeModel(rng=self.streams.get("step_time")))
+        self.checkpoint_time_model = (
+            checkpoint_time_model if checkpoint_time_model is not None
+            else CheckpointTimeModel(rng=self.streams.get("checkpoint")))
+        self.ps_group = ParameterServerGroup(
+            count=cluster.num_parameter_servers,
+            region_name=cluster.ps_region_name,
+            capacity_model=ps_capacity_model or PSCapacityModel())
+        self.storage = storage
+        self.steps_per_event = steps_per_event
+
+        self.trace = TrainingTrace(model_name=job.model_name,
+                                   cluster_description=cluster.describe(),
+                                   start_time=simulator.now)
+        self.workers: Dict[str, WorkerState] = {}
+        self._pending_events: Dict[str, Event] = {}
+        self._worker_counter = itertools.count()
+        self._cluster_steps = 0
+        self._last_checkpoint_step = 0
+        self._next_checkpoint_step = job.checkpoint_interval_steps
+        self._restart_until = 0.0
+        self._finished = False
+        self.on_finished: List[Callable[["TrainingSession"], None]] = []
+        self.on_revocation: List[Callable[["TrainingSession", WorkerState], None]] = []
+
+        for index, spec in enumerate(cluster.workers):
+            self._register_worker(spec, is_chief=(index == chief_worker_index),
+                                  joined_at=simulator.now)
+
+    # ------------------------------------------------------------------
+    # Worker management.
+    # ------------------------------------------------------------------
+    def _register_worker(self, spec: WorkerSpec, is_chief: bool,
+                         joined_at: float) -> WorkerState:
+        worker_id = f"worker-{next(self._worker_counter)}"
+        worker = WorkerState(worker_id=worker_id, spec=spec, is_chief=is_chief,
+                             joined_at=joined_at)
+        self.workers[worker_id] = worker
+        return worker
+
+    def active_workers(self) -> List[WorkerState]:
+        """Workers currently training."""
+        return [worker for worker in self.workers.values() if worker.active]
+
+    def chief(self) -> Optional[WorkerState]:
+        """The worker currently holding the chief role, if any is active."""
+        for worker in self.workers.values():
+            if worker.is_chief and worker.active:
+                return worker
+        return None
+
+    @property
+    def cluster_steps(self) -> int:
+        """Cluster-wide training steps counted toward the workload."""
+        return self._cluster_steps
+
+    @property
+    def finished(self) -> bool:
+        """Whether the workload has completed."""
+        return self._finished
+
+    @property
+    def steps_since_checkpoint(self) -> int:
+        """Cluster steps completed since the last checkpoint."""
+        return self._cluster_steps - self._last_checkpoint_step
+
+    # ------------------------------------------------------------------
+    # Effective speed computation.
+    # ------------------------------------------------------------------
+    def _worker_speeds(self) -> Dict[str, float]:
+        gflops = self.job.profile.gflops
+        return {worker.worker_id: self.step_time_model.mean_speed(gflops, worker.gpu_name)
+                for worker in self.active_workers()}
+
+    def _scaling_efficiencies(self) -> Dict[str, float]:
+        gflops = self.job.profile.gflops
+        return {worker.worker_id:
+                self.step_time_model.scaling_efficiency(gflops, worker.gpu_name)
+                for worker in self.active_workers()}
+
+    def current_slowdown(self) -> float:
+        """Current PS-induced per-worker step-time inflation factor."""
+        speeds = self._worker_speeds()
+        if not speeds:
+            return 1.0
+        efficiencies = self._scaling_efficiencies()
+        ordered = list(speeds)
+        return self.ps_group.worker_slowdown(
+            [speeds[w] for w in ordered],
+            self.job.profile.parameter_bytes,
+            [efficiencies[w] for w in ordered])
+
+    def current_utilization(self) -> float:
+        """Current parameter-server utilization (demand / capacity)."""
+        speeds = list(self._worker_speeds().values())
+        if not speeds:
+            return 0.0
+        return self.ps_group.utilization(speeds, self.job.profile.parameter_bytes)
+
+    def current_cluster_speed(self) -> float:
+        """Analytic cluster speed (steps/second) for the current membership."""
+        speeds = self._worker_speeds()
+        if not speeds:
+            return 0.0
+        efficiencies = self._scaling_efficiencies()
+        ordered = list(speeds)
+        return self.ps_group.cluster_speed(
+            [speeds[w] for w in ordered],
+            self.job.profile.parameter_bytes,
+            [efficiencies[w] for w in ordered])
+
+    # ------------------------------------------------------------------
+    # Scheduling.
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first chunk of every worker."""
+        if self._finished:
+            raise TrainingError("session already finished")
+        for worker in self.active_workers():
+            self._schedule_chunk(worker)
+
+    def _chunk_duration(self, worker: WorkerState, steps: int) -> float:
+        slowdown = self.current_slowdown()
+        utilization = self.current_utilization()
+        gflops = self.job.profile.gflops
+        duration = 0.0
+        for offset in range(steps):
+            duration += self.step_time_model.sample_step_time(
+                gflops, worker.gpu_name, step_index=worker.steps_done + offset,
+                ps_utilization=max(0.0, utilization - 0.5), slowdown=slowdown)
+        return duration
+
+    def _schedule_chunk(self, worker: WorkerState, extra_delay: float = 0.0) -> None:
+        if self._finished or not worker.active:
+            return
+        steps = self.steps_per_event
+        duration = self._chunk_duration(worker, steps)
+        delay = extra_delay + duration
+        if self.simulator.now + extra_delay < self._restart_until:
+            delay += self._restart_until - (self.simulator.now + extra_delay)
+        start_time = self.simulator.now + delay - duration
+
+        def complete(_sim: Simulator, worker=worker, steps=steps,
+                     start_time=start_time) -> None:
+            self._complete_chunk(worker, steps, start_time)
+
+        event = self.simulator.schedule(delay, complete,
+                                        label=f"{worker.worker_id}:chunk")
+        self._pending_events[worker.worker_id] = event
+
+    def _complete_chunk(self, worker: WorkerState, steps: int, start_time: float) -> None:
+        if self._finished or not worker.active:
+            return
+        worker.steps_done += steps
+        self._cluster_steps += steps
+        self.ps_group.record_updates(steps)
+        self.trace.step_records.append(StepRecord(
+            worker_id=worker.worker_id, start_time=start_time,
+            end_time=self.simulator.now, steps=steps,
+            cluster_step=self._cluster_steps, worker_step=worker.steps_done))
+
+        if self._cluster_steps >= self.job.total_steps:
+            self._finish()
+            return
+
+        checkpoint_delay = 0.0
+        if worker.is_chief and self._cluster_steps >= self._next_checkpoint_step:
+            checkpoint_delay = self._perform_checkpoint(worker)
+        self._schedule_chunk(worker, extra_delay=checkpoint_delay)
+
+    def _perform_checkpoint(self, worker: WorkerState) -> float:
+        """Run a checkpoint on the (acting) chief; returns its duration."""
+        duration = self.checkpoint_time_model.sample_time(self.job.profile.checkpoint)
+        size = self.job.profile.checkpoint.total_bytes
+        self.trace.checkpoint_records.append(CheckpointRecord(
+            worker_id=worker.worker_id, start_time=self.simulator.now,
+            duration=duration, cluster_step=self._cluster_steps, size_bytes=size))
+        if self.storage is not None:
+            key = f"checkpoints/{self.job.model_name}/model.ckpt-{self._cluster_steps}"
+            self.storage.put(key, size, at_time=self.simulator.now + duration,
+                             metadata={"model": self.job.model_name,
+                                       "step": str(self._cluster_steps)})
+        self._last_checkpoint_step = self._cluster_steps
+        self._next_checkpoint_step += self.job.checkpoint_interval_steps
+        return duration
+
+    def _finish(self) -> None:
+        self._finished = True
+        self.trace.end_time = self.simulator.now
+        for event in self._pending_events.values():
+            event.cancel()
+        self._pending_events.clear()
+        for callback in self.on_finished:
+            callback(self)
+
+    # ------------------------------------------------------------------
+    # Membership changes (revocations, replacements, PS scaling).
+    # ------------------------------------------------------------------
+    def handle_revocation(self, worker_id: str) -> WorkerState:
+        """Revoke a worker: it stops training immediately.
+
+        With CM-DARE's transient-TensorFlow, a revoked chief hands the
+        checkpointing responsibility to another active worker, so training
+        progress is preserved (Section V-E).
+        """
+        if worker_id not in self.workers:
+            raise TrainingError(f"unknown worker {worker_id!r}")
+        worker = self.workers[worker_id]
+        if not worker.active:
+            return worker
+        worker.revoke(self.simulator.now)
+        pending = self._pending_events.pop(worker_id, None)
+        if pending is not None:
+            pending.cancel()
+        self.trace.revocation_records.append(RevocationRecord(
+            worker_id=worker_id, time=self.simulator.now,
+            cluster_step=self._cluster_steps, was_chief=worker.is_chief))
+        if worker.is_chief:
+            self._handoff_chief(worker)
+        for callback in self.on_revocation:
+            callback(self, worker)
+        return worker
+
+    def _handoff_chief(self, revoked_chief: WorkerState) -> None:
+        revoked_chief.is_chief = False
+        replacement = next(iter(self.active_workers()), None)
+        if replacement is not None:
+            replacement.is_chief = True
+
+    def add_worker(self, spec: WorkerSpec, overhead_seconds: float = 0.0,
+                   cold_start: bool = True, as_chief: bool = False,
+                   reuse_chief_ip: bool = False) -> WorkerState:
+        """Add a (replacement) worker that starts training after an overhead.
+
+        Args:
+            spec: Specification of the new worker.
+            overhead_seconds: Replacement overhead before the first step
+                (cold/warm start cost, Fig. 10).
+            cold_start: Whether the overhead corresponds to a cold start.
+            as_chief: Whether the new worker takes the chief role.
+            reuse_chief_ip: Reproduces the unmodified-TensorFlow behaviour of
+                Section V-E: the replacement binds to the revoked chief's IP
+                address, becomes chief, and forces the cluster to restart
+                from the last checkpoint, discarding progress made since.
+        """
+        if overhead_seconds < 0:
+            raise ConfigurationError("overhead_seconds must be non-negative")
+        worker = self._register_worker(spec, is_chief=False,
+                                       joined_at=self.simulator.now + overhead_seconds)
+        self.trace.replacement_records.append(ReplacementRecord(
+            worker_id=worker.worker_id, time=self.simulator.now,
+            cluster_step=self._cluster_steps, cold_start=cold_start,
+            overhead_seconds=overhead_seconds))
+
+        def join(_sim: Simulator) -> None:
+            if self._finished:
+                return
+            if as_chief or reuse_chief_ip:
+                for other in self.workers.values():
+                    other.is_chief = False
+                worker.is_chief = True
+            if reuse_chief_ip:
+                self._recompute_from_checkpoint()
+            self._schedule_chunk(worker)
+
+        self.simulator.schedule(overhead_seconds, join,
+                                label=f"{worker.worker_id}:join")
+        return worker
+
+    def _recompute_from_checkpoint(self) -> None:
+        """Discard progress since the last checkpoint (legacy TF behaviour)."""
+        discarded = self._cluster_steps - self._last_checkpoint_step
+        self._cluster_steps = self._last_checkpoint_step
+        self._next_checkpoint_step = (self._last_checkpoint_step
+                                      + self.job.checkpoint_interval_steps)
+        self._restart_until = self.simulator.now + SESSION_RESTART_SECONDS
+        self.trace.step_records.append(StepRecord(
+            worker_id="session-restart", start_time=self.simulator.now,
+            end_time=self.simulator.now, steps=-discarded,
+            cluster_step=self._cluster_steps))
+
+    def add_parameter_server(self, count: int = 1) -> None:
+        """Add parameter servers, paying the session-restart overhead.
+
+        TensorFlow cannot add parameter servers to a live session; the paper
+        measures the restart at roughly ten seconds (Section VI-B).
+        """
+        self.ps_group.add_servers(count)
+        self._restart_until = max(self._restart_until,
+                                  self.simulator.now + SESSION_RESTART_SECONDS)
+
+    # ------------------------------------------------------------------
+    # Convenience runners.
+    # ------------------------------------------------------------------
+    def run_to_completion(self, max_events: int = 5_000_000) -> TrainingTrace:
+        """Start the session and run the simulator until the workload ends.
+
+        The simulator is stepped only until the workload finishes, so events
+        scheduled far in the future (e.g. the 24-hour reclamation of
+        transient servers) do not advance the clock past the training run.
+        """
+        self.start()
+        processed = 0
+        while not self._finished and processed < max_events:
+            if self.simulator.step() is None:
+                break
+            processed += 1
+        if not self._finished:
+            raise TrainingError(
+                "training did not finish; the cluster may have lost all workers")
+        return self.trace

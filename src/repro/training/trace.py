@@ -1,0 +1,257 @@
+"""Training traces: the raw measurement data a session produces.
+
+The CM-DARE performance tracker consumes these traces to compute the
+quantities the paper reports: cluster training speed averaged over 100-step
+windows (with the first 100 steps discarded), per-worker average step
+times, checkpoint durations, and revocation/replacement events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+
+#: Number of initial steps discarded from speed statistics, matching the
+#: paper's methodology ("we discarded the measurements associated with the
+#: first 100 steps").
+DEFAULT_WARMUP_STEPS = 100
+
+#: Window (in steps) over which training speed is averaged, matching the
+#: paper's "we averaged the training speed every 100 steps".
+DEFAULT_SPEED_WINDOW_STEPS = 100
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One completed chunk of training steps on one worker.
+
+    Attributes:
+        worker_id: Worker that completed the steps.
+        start_time: Simulation time the chunk started.
+        end_time: Simulation time the chunk finished.
+        steps: Number of steps in the chunk.
+        cluster_step: Cluster-wide cumulative step count after the chunk.
+        worker_step: The worker's own cumulative step count after the chunk
+            (used to discard each worker's individual warm-up steps).
+    """
+
+    worker_id: str
+    start_time: float
+    end_time: float
+    steps: int
+    cluster_step: int
+    worker_step: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Chunk duration in seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def step_time(self) -> float:
+        """Average per-step time of the chunk, in seconds."""
+        return self.duration / self.steps if self.steps else 0.0
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One checkpoint performed by the (acting) chief worker."""
+
+    worker_id: str
+    start_time: float
+    duration: float
+    cluster_step: int
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class RevocationRecord:
+    """One worker revocation observed during training."""
+
+    worker_id: str
+    time: float
+    cluster_step: int
+    was_chief: bool
+
+
+@dataclass(frozen=True)
+class ReplacementRecord:
+    """One worker replacement (a new worker joining mid-training)."""
+
+    worker_id: str
+    time: float
+    cluster_step: int
+    cold_start: bool
+    overhead_seconds: float
+
+
+@dataclass
+class TrainingTrace:
+    """Everything recorded while simulating one training session.
+
+    Attributes:
+        model_name: Name of the trained model.
+        cluster_description: Human-readable cluster description.
+        step_records: Per-worker chunk completions.
+        checkpoint_records: Checkpoints taken.
+        revocation_records: Worker revocations.
+        replacement_records: Worker replacements.
+        start_time: Simulation time training started.
+        end_time: Simulation time the workload finished (None while running).
+    """
+
+    model_name: str
+    cluster_description: str
+    step_records: List[StepRecord] = field(default_factory=list)
+    checkpoint_records: List[CheckpointRecord] = field(default_factory=list)
+    revocation_records: List[RevocationRecord] = field(default_factory=list)
+    replacement_records: List[ReplacementRecord] = field(default_factory=list)
+    start_time: float = 0.0
+    end_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Basic aggregates.
+    # ------------------------------------------------------------------
+    @property
+    def total_steps(self) -> int:
+        """Total training steps completed across all workers."""
+        return sum(record.steps for record in self.step_records)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock (simulated) duration of the traced session."""
+        if self.end_time is not None:
+            return self.end_time - self.start_time
+        if not self.step_records:
+            return 0.0
+        return max(record.end_time for record in self.step_records) - self.start_time
+
+    def worker_ids(self) -> List[str]:
+        """All workers that contributed steps, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for record in self.step_records:
+            seen.setdefault(record.worker_id, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # Speed statistics (Table I, Fig. 2, Fig. 4).
+    # ------------------------------------------------------------------
+    def cluster_speed(self, warmup_steps: int = DEFAULT_WARMUP_STEPS) -> float:
+        """Average cluster training speed in steps/second.
+
+        The first ``warmup_steps`` cluster steps are discarded, following
+        the paper's methodology.
+        """
+        records = [r for r in self.step_records if r.cluster_step > warmup_steps]
+        if not records:
+            raise DataError("not enough steps beyond the warm-up window")
+        steps = sum(record.steps for record in records)
+        start = min(record.start_time for record in records)
+        end = max(record.end_time for record in records)
+        if end <= start:
+            raise DataError("trace covers zero duration")
+        return steps / (end - start)
+
+    def speed_series(self, window_steps: int = DEFAULT_SPEED_WINDOW_STEPS
+                     ) -> List[Tuple[int, float]]:
+        """Cluster speed averaged over consecutive windows of steps.
+
+        Returns:
+            A list of ``(cluster step at window end, steps/second)`` pairs —
+            the series plotted in Fig. 2.
+        """
+        if window_steps <= 0:
+            raise DataError("window_steps must be positive")
+        records = sorted(self.step_records, key=lambda r: r.end_time)
+        if not records:
+            return []
+        series: List[Tuple[int, float]] = []
+        window_start_time = self.start_time
+        window_steps_done = 0
+        next_boundary = window_steps
+        for record in records:
+            window_steps_done += record.steps
+            if record.cluster_step >= next_boundary:
+                elapsed = record.end_time - window_start_time
+                if elapsed > 0:
+                    series.append((record.cluster_step, window_steps_done / elapsed))
+                window_start_time = record.end_time
+                window_steps_done = 0
+                next_boundary = record.cluster_step + window_steps
+        return series
+
+    def speed_stability(self, warmup_steps: int = DEFAULT_WARMUP_STEPS,
+                        window_steps: int = DEFAULT_SPEED_WINDOW_STEPS) -> float:
+        """Coefficient of variation of the windowed speed after warm-up."""
+        series = [speed for step, speed in self.speed_series(window_steps)
+                  if step > warmup_steps]
+        if len(series) < 2:
+            raise DataError("not enough windows to compute stability")
+        values = np.asarray(series)
+        return float(values.std(ddof=1) / values.mean())
+
+    # ------------------------------------------------------------------
+    # Per-worker statistics (Table III).
+    # ------------------------------------------------------------------
+    def worker_step_times(self, worker_id: str,
+                          warmup_steps: int = DEFAULT_WARMUP_STEPS) -> np.ndarray:
+        """Per-chunk average step times (seconds) for one worker.
+
+        The worker's *own* first ``warmup_steps`` steps are discarded, which
+        mirrors how the paper measures individual workers with TFProf.
+        """
+        times = [record.step_time for record in self.step_records
+                 if record.worker_id == worker_id and record.worker_step > warmup_steps]
+        if not times:
+            raise DataError(f"no post-warm-up steps recorded for worker {worker_id!r}")
+        return np.asarray(times)
+
+    def worker_mean_step_time(self, worker_id: str,
+                              warmup_steps: int = DEFAULT_WARMUP_STEPS) -> Tuple[float, float]:
+        """Mean and standard deviation of one worker's step time (seconds)."""
+        times = self.worker_step_times(worker_id, warmup_steps)
+        std = float(times.std(ddof=1)) if len(times) > 1 else 0.0
+        return float(times.mean()), std
+
+    # ------------------------------------------------------------------
+    # Checkpoint statistics (Section IV).
+    # ------------------------------------------------------------------
+    def checkpoint_durations(self) -> List[float]:
+        """Durations (seconds) of all checkpoints in the trace."""
+        return [record.duration for record in self.checkpoint_records]
+
+    def total_checkpoint_time(self) -> float:
+        """Total seconds spent checkpointing."""
+        return float(sum(self.checkpoint_durations()))
+
+    # ------------------------------------------------------------------
+    # Revocation statistics (Section V).
+    # ------------------------------------------------------------------
+    @property
+    def num_revocations(self) -> int:
+        """Number of worker revocations observed."""
+        return len(self.revocation_records)
+
+    @property
+    def num_replacements(self) -> int:
+        """Number of replacement workers that joined."""
+        return len(self.replacement_records)
+
+    def summary(self) -> Dict[str, float]:
+        """A compact numeric summary of the trace."""
+        summary: Dict[str, float] = {
+            "total_steps": float(self.total_steps),
+            "duration_seconds": float(self.duration),
+            "num_checkpoints": float(len(self.checkpoint_records)),
+            "num_revocations": float(self.num_revocations),
+            "num_replacements": float(self.num_replacements),
+        }
+        try:
+            summary["cluster_speed"] = self.cluster_speed()
+        except DataError:
+            pass
+        return summary

@@ -1,0 +1,58 @@
+"""Worker state within a training session."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.training.cluster import WorkerSpec
+
+
+@dataclass
+class WorkerState:
+    """Mutable state of one GPU worker inside a training session.
+
+    Attributes:
+        worker_id: Session-unique identifier (``"worker-0"``).
+        spec: The worker's static specification (GPU type, region, class).
+        is_chief: Whether this worker currently holds the chief role
+            (responsible for checkpointing).
+        active: Whether the worker is currently training (False after a
+            revocation, before a replacement joins).
+        steps_done: Training steps this worker has completed.
+        joined_at: Simulation time the worker joined the session.
+        revoked_at: Simulation time the worker was revoked, if it was.
+        instance_id: Cloud instance backing this worker, when the session is
+            driven through the simulated provider.
+    """
+
+    worker_id: str
+    spec: WorkerSpec
+    is_chief: bool = False
+    active: bool = True
+    steps_done: int = 0
+    joined_at: float = 0.0
+    revoked_at: Optional[float] = None
+    instance_id: Optional[str] = None
+    labels: dict = field(default_factory=dict)
+
+    @property
+    def gpu_name(self) -> str:
+        """GPU type of the worker."""
+        return self.spec.gpu_name
+
+    @property
+    def is_transient(self) -> bool:
+        """Whether the worker runs on a transient server."""
+        return self.spec.transient
+
+    def revoke(self, at_time: float) -> None:
+        """Mark the worker as revoked at ``at_time``."""
+        self.active = False
+        self.revoked_at = at_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        role = "chief" if self.is_chief else "worker"
+        status = "active" if self.active else "revoked"
+        return (f"WorkerState({self.worker_id}, {self.gpu_name}, {role}, {status}, "
+                f"steps={self.steps_done})")

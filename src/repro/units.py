@@ -1,0 +1,90 @@
+"""Unit constants and small conversion helpers.
+
+The library follows a strict unit convention:
+
+* time is expressed in **seconds** (floats),
+* data sizes in **bytes** (ints or floats),
+* computation in **FLOPs** (floats; one multiply-add counts as two FLOPs),
+* computational capacity in **FLOPS** (FLOPs per second),
+* training progress in **steps**, and speed in **steps per second**.
+
+Helper functions convert to the human-friendly units the paper reports
+(GFLOPs, teraflops, megabytes, hours) at presentation boundaries only.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time.
+# ---------------------------------------------------------------------------
+SECOND = 1.0
+MILLISECOND = 1e-3
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+# ---------------------------------------------------------------------------
+# Data sizes.
+# ---------------------------------------------------------------------------
+BYTE = 1
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+# ---------------------------------------------------------------------------
+# Computation.
+# ---------------------------------------------------------------------------
+FLOP = 1.0
+MEGAFLOP = 1e6
+GIGAFLOP = 1e9
+TERAFLOP = 1e12
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def ms_to_seconds(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds * 1e-3
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return seconds / HOUR
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert hours to seconds."""
+    return hours * HOUR
+
+
+def bytes_to_mb(num_bytes: float) -> float:
+    """Convert bytes to mebibytes (the paper reports checkpoint sizes in MB)."""
+    return num_bytes / MB
+
+
+def mb_to_bytes(megabytes: float) -> float:
+    """Convert mebibytes to bytes."""
+    return megabytes * MB
+
+
+def flops_to_gflops(flops: float) -> float:
+    """Convert FLOPs to GFLOPs (model complexity unit used by the paper)."""
+    return flops / GIGAFLOP
+
+
+def gflops_to_flops(gflops: float) -> float:
+    """Convert GFLOPs to FLOPs."""
+    return gflops * GIGAFLOP
+
+
+def flops_to_teraflops(flops: float) -> float:
+    """Convert FLOPS to teraflops (GPU capacity unit used by the paper)."""
+    return flops / TERAFLOP
+
+
+def teraflops_to_flops(teraflops: float) -> float:
+    """Convert teraflops to FLOPS."""
+    return teraflops * TERAFLOP

@@ -1,0 +1,47 @@
+"""Workload substrate: CNN model graphs, FLOPs profiling, checkpoint sizing.
+
+The paper trains twenty convolutional neural networks (two ResNets, two
+Shake-Shake variants, and sixteen custom variants) on CIFAR-10 and uses the
+TensorFlow profiler to obtain each model's complexity in FLOPs.  This
+package replaces TensorFlow/Tensor2Tensor with an analytic layer-level model
+description:
+
+* :mod:`repro.workloads.layers` — layer descriptors with exact FLOPs and
+  parameter counts,
+* :mod:`repro.workloads.graph` — :class:`ModelGraph`, an ordered collection
+  of layers with aggregate statistics,
+* :mod:`repro.workloads.resnet` / :mod:`repro.workloads.shake_shake` —
+  builders for the named model families,
+* :mod:`repro.workloads.catalog` — the twenty-model catalog used throughout
+  the measurement campaigns,
+* :mod:`repro.workloads.profiler` — the TFProf substitute that reports
+  GFLOPs per image,
+* :mod:`repro.workloads.checkpoints` — checkpoint file-size model (data,
+  index, and meta files),
+* :mod:`repro.workloads.datasets` — dataset specifications (CIFAR-10).
+"""
+
+from repro.workloads.datasets import CIFAR10, DatasetSpec
+from repro.workloads.graph import ModelGraph
+from repro.workloads.catalog import ModelCatalog, default_catalog
+from repro.workloads.checkpoints import CheckpointFiles, checkpoint_files_for
+from repro.workloads.profiler import ModelProfile, profile_model
+from repro.workloads.resnet import build_resnet
+from repro.workloads.shake_shake import build_shake_shake
+from repro.workloads.custom import build_plain_cnn, complexity_sweep
+
+__all__ = [
+    "CIFAR10",
+    "DatasetSpec",
+    "ModelGraph",
+    "ModelCatalog",
+    "default_catalog",
+    "CheckpointFiles",
+    "checkpoint_files_for",
+    "ModelProfile",
+    "profile_model",
+    "build_resnet",
+    "build_shake_shake",
+    "build_plain_cnn",
+    "complexity_sweep",
+]

@@ -1,0 +1,100 @@
+"""Checkpoint file-size model.
+
+TensorFlow checkpoints consist of three files (Section IV-A of the paper):
+
+* the **data** file holding the serialized variable values (model weights
+  plus optimizer slot variables),
+* the **index** file mapping tensor names to offsets in the data file, and
+* the **meta** file holding the serialized graph definition.
+
+The paper observes that index and meta file sizes are highly correlated
+with the number of tensors in the model, and uses all three sizes (plus
+their sum) as regression features for predicting checkpoint time
+(Table IV).  This module computes the three sizes from a model graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.graph import ModelGraph
+
+#: Bytes per trainable parameter value (float32).
+BYTES_PER_PARAM = 4
+
+#: Optimizer slot variables stored alongside each weight tensor.  The
+#: Tensor2Tensor trainers used by the paper default to Adam-style optimizers
+#: which keep two moment estimates per parameter, tripling the data file.
+OPTIMIZER_SLOTS_PER_PARAM = 2
+
+#: Index file: per-tensor bookkeeping (name, dtype, shape, offset, CRC).
+INDEX_BYTES_PER_TENSOR = 96
+INDEX_BYTES_BASE = 4 * 1024
+
+#: Meta file: serialized graph definition.  It grows with the number of
+#: tensors/ops but has a sizeable fixed component.
+META_BYTES_PER_TENSOR = 6 * 1024
+META_BYTES_BASE = 256 * 1024
+
+
+@dataclass(frozen=True)
+class CheckpointFiles:
+    """Sizes (in bytes) of the three files produced by one checkpoint.
+
+    Attributes:
+        data_bytes: Variable values (weights plus optimizer slots), ``Sd``.
+        index_bytes: Tensor index, ``Si``.
+        meta_bytes: Graph definition, ``Sm``.
+    """
+
+    data_bytes: int
+    index_bytes: int
+    meta_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Total checkpoint size ``Sc = Sd + Si + Sm``."""
+        return self.data_bytes + self.index_bytes + self.meta_bytes
+
+    @property
+    def data_mb(self) -> float:
+        """Data file size in MB."""
+        return self.data_bytes / (1024 * 1024)
+
+    @property
+    def index_mb(self) -> float:
+        """Index file size in MB."""
+        return self.index_bytes / (1024 * 1024)
+
+    @property
+    def meta_mb(self) -> float:
+        """Meta file size in MB."""
+        return self.meta_bytes / (1024 * 1024)
+
+    @property
+    def total_mb(self) -> float:
+        """Total checkpoint size in MB."""
+        return self.total_bytes / (1024 * 1024)
+
+
+def checkpoint_files_for(graph: ModelGraph,
+                         optimizer_slots: int = OPTIMIZER_SLOTS_PER_PARAM) -> CheckpointFiles:
+    """Compute the checkpoint file sizes for a model graph.
+
+    Args:
+        graph: The model graph being checkpointed.
+        optimizer_slots: Number of optimizer slot variables kept per
+            parameter (2 for Adam, 1 for Momentum, 0 for plain SGD).
+
+    Returns:
+        A :class:`CheckpointFiles` record.
+    """
+    params = graph.params
+    tensors = graph.num_tensors
+    data_bytes = params * BYTES_PER_PARAM * (1 + optimizer_slots)
+    # Each optimizer slot adds one tensor per weight tensor to the index.
+    index_tensors = tensors * (1 + optimizer_slots)
+    index_bytes = INDEX_BYTES_BASE + index_tensors * INDEX_BYTES_PER_TENSOR
+    meta_bytes = META_BYTES_BASE + tensors * META_BYTES_PER_TENSOR
+    return CheckpointFiles(data_bytes=int(data_bytes), index_bytes=int(index_bytes),
+                           meta_bytes=int(meta_bytes))

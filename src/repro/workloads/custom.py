@@ -1,0 +1,81 @@
+"""Generic custom-CNN builder.
+
+The paper generates sixteen additional CNN variants "by varying the number
+of hidden layers and the size of each hidden layer".  Beyond the fixed
+catalog, this module gives users the same knob: a plain convolutional
+network whose depth, width, and stage count are free parameters, so new
+complexity points can be added to a measurement campaign without touching
+the ResNet/Shake-Shake builders.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads.graph import ModelGraph
+from repro.workloads.layers import Activation, BatchNorm, Conv2D, Dense, Pooling
+
+
+def build_plain_cnn(num_stages: int = 3, blocks_per_stage: int = 2,
+                    base_width: int = 32, kernel_size: int = 3,
+                    input_shape: Tuple[int, int, int] = (32, 32, 3),
+                    num_classes: int = 10, name: str = "") -> ModelGraph:
+    """Build a plain (non-residual) convolutional network.
+
+    The network has ``num_stages`` stages; each stage halves the spatial
+    resolution (after the first) and doubles the channel width, and contains
+    ``blocks_per_stage`` conv-BN-ReLU blocks.  A global-average-pooling
+    classifier head follows.
+
+    Args:
+        num_stages: Number of resolution stages (1-5 for 32x32 inputs).
+        blocks_per_stage: Convolution blocks per stage.
+        base_width: Channel width of the first stage.
+        kernel_size: Convolution kernel size.
+        input_shape: Input image shape.
+        num_classes: Classifier width.
+        name: Optional model name; a descriptive default is generated.
+
+    Returns:
+        The constructed :class:`ModelGraph`.
+    """
+    if num_stages < 1 or num_stages > 5:
+        raise ConfigurationError("num_stages must be between 1 and 5")
+    if blocks_per_stage < 1:
+        raise ConfigurationError("blocks_per_stage must be >= 1")
+    if base_width < 1:
+        raise ConfigurationError("base_width must be >= 1")
+    if kernel_size < 1 or kernel_size % 2 == 0:
+        raise ConfigurationError("kernel_size must be a positive odd integer")
+
+    depth = num_stages * blocks_per_stage + 1
+    graph = ModelGraph(name=name or f"plain_cnn_d{depth}_w{base_width}",
+                       family="plain_cnn", input_shape=input_shape)
+    for stage_index in range(num_stages):
+        filters = base_width * (2 ** stage_index)
+        for block_index in range(blocks_per_stage):
+            stride = 2 if (stage_index > 0 and block_index == 0) else 1
+            graph.add(Conv2D(filters=filters, kernel_size=kernel_size, stride=stride))
+            graph.add(BatchNorm())
+            graph.add(Activation())
+    graph.add(Pooling(kind="avg", global_pool=True))
+    graph.add(Dense(units=num_classes))
+    return graph
+
+
+def complexity_sweep(base_width: int = 16, widths: Tuple[int, ...] = (1, 2, 3, 4),
+                     depths: Tuple[int, ...] = (2, 4, 6)) -> Tuple[ModelGraph, ...]:
+    """Generate a sweep of plain CNNs spanning a wide complexity range.
+
+    Args:
+        base_width: Base channel width multiplied by each width factor.
+        widths: Width multipliers.
+        depths: Blocks per stage for each depth point.
+
+    Returns:
+        The generated model graphs, ordered by increasing complexity.
+    """
+    graphs = [build_plain_cnn(blocks_per_stage=depth, base_width=base_width * width)
+              for depth in depths for width in widths]
+    return tuple(sorted(graphs, key=lambda graph: graph.gflops))

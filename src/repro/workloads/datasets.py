@@ -1,0 +1,81 @@
+"""Dataset specifications.
+
+The paper trains every model on CIFAR-10 because its measurements target
+training *speed*, not final accuracy.  A dataset here is a static
+description: image shape, number of examples, and on-disk size, which the
+training simulator uses for batch sizing and for estimating the dataset
+download component of worker-replacement overhead (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A static description of a training dataset.
+
+    Attributes:
+        name: Dataset name.
+        image_shape: ``(height, width, channels)`` of each example.
+        num_train_examples: Number of training examples.
+        num_eval_examples: Number of held-out examples.
+        num_classes: Number of target classes.
+        size_bytes: Approximate on-disk size of the packaged dataset.
+    """
+
+    name: str
+    image_shape: Tuple[int, int, int]
+    num_train_examples: int
+    num_eval_examples: int
+    num_classes: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.num_train_examples <= 0 or self.num_classes <= 0:
+            raise ConfigurationError("dataset must have positive examples and classes")
+
+    @property
+    def total_examples(self) -> int:
+        """Training plus evaluation examples."""
+        return self.num_train_examples + self.num_eval_examples
+
+    def steps_per_epoch(self, batch_size: int) -> int:
+        """Number of training steps needed to cover the training set once."""
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        return max(1, self.num_train_examples // batch_size)
+
+    def examples_for_steps(self, steps: int, batch_size: int) -> int:
+        """Number of examples processed by ``steps`` steps of ``batch_size``."""
+        if steps < 0:
+            raise ConfigurationError("steps must be non-negative")
+        return steps * batch_size
+
+
+#: CIFAR-10: 60K 32x32 colour images in 10 classes (50K train / 10K eval).
+#: The on-disk size matches the ~170 MB packaged binary version.
+CIFAR10 = DatasetSpec(
+    name="cifar10",
+    image_shape=(32, 32, 3),
+    num_train_examples=50_000,
+    num_eval_examples=10_000,
+    num_classes=10,
+    size_bytes=170 * 1024 * 1024,
+)
+
+#: ImageNet-1k specification.  The paper explicitly does not use ImageNet
+#: (training-speed measurements do not need it) but the spec is provided for
+#: users who want to scale workloads up.
+IMAGENET = DatasetSpec(
+    name="imagenet",
+    image_shape=(224, 224, 3),
+    num_train_examples=1_281_167,
+    num_eval_examples=50_000,
+    num_classes=1000,
+    size_bytes=150 * 1024 * 1024 * 1024,
+)

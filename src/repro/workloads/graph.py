@@ -1,0 +1,121 @@
+"""Model graphs: ordered layer stacks with aggregate statistics.
+
+A :class:`ModelGraph` is the reproduction's stand-in for a Tensor2Tensor
+model definition.  It is a plain description (no tensors are allocated) from
+which the profiler computes FLOPs, parameter counts, and checkpoint sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads.layers import Layer, LayerStats, TRAINING_FLOPS_MULTIPLIER
+
+
+@dataclass
+class ModelGraph:
+    """A CNN described as an ordered sequence of layer descriptors.
+
+    Attributes:
+        name: Model name, e.g. ``"resnet_32"``.
+        family: Model family, e.g. ``"resnet"`` or ``"shake_shake"``.
+        input_shape: ``(height, width, channels)`` of the input images.
+        layers: Ordered layer descriptors.
+        parallel_branches: Number of parallel branches the layer stack is
+            replicated into (Shake-Shake uses two residual branches per
+            block); the classification head is excluded from replication by
+            the builders, which account for it separately.
+    """
+
+    name: str
+    family: str
+    input_shape: Tuple[int, int, int]
+    layers: List[Layer] = field(default_factory=list)
+    parallel_branches: int = 1
+
+    def __post_init__(self) -> None:
+        if len(self.input_shape) != 3 or any(d <= 0 for d in self.input_shape):
+            raise ConfigurationError(f"invalid input shape {self.input_shape!r}")
+        if self.parallel_branches < 1:
+            raise ConfigurationError("parallel_branches must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+    def add(self, layer: Layer) -> "ModelGraph":
+        """Append a layer and return ``self`` (for chaining)."""
+        self.layers.append(layer)
+        return self
+
+    def extend(self, layers: Iterable[Layer]) -> "ModelGraph":
+        """Append several layers and return ``self``."""
+        self.layers.extend(layers)
+        return self
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics.
+    # ------------------------------------------------------------------
+    def layer_stats(self) -> Sequence[LayerStats]:
+        """Per-layer statistics, propagating shapes through the stack."""
+        stats: List[LayerStats] = []
+        shape = self.input_shape
+        for layer in self.layers:
+            layer_stat = layer.stats(shape)
+            stats.append(layer_stat)
+            shape = layer_stat.output_shape
+        return stats
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layer descriptors in the graph."""
+        return len(self.layers)
+
+    @property
+    def params(self) -> int:
+        """Total number of trainable parameters (all branches)."""
+        total = sum(stat.params for stat in self.layer_stats())
+        return int(total * self.parallel_branches)
+
+    @property
+    def num_tensors(self) -> int:
+        """Total number of trainable tensors (checkpoint entries)."""
+        total = sum(stat.tensors for stat in self.layer_stats())
+        return int(total * self.parallel_branches)
+
+    @property
+    def forward_flops(self) -> float:
+        """Forward-pass FLOPs for a single image (all branches)."""
+        total = sum(stat.forward_flops for stat in self.layer_stats())
+        return float(total * self.parallel_branches)
+
+    @property
+    def training_flops(self) -> float:
+        """Estimated training FLOPs for a single image (forward + backward)."""
+        return self.forward_flops * TRAINING_FLOPS_MULTIPLIER
+
+    @property
+    def gflops(self) -> float:
+        """Model complexity in GFLOPs per image, the paper's ``Cm`` feature."""
+        return self.training_flops / 1e9
+
+    def parameter_bytes(self, bytes_per_param: int = 4) -> int:
+        """Size of the raw parameters in bytes (float32 by default)."""
+        return self.params * bytes_per_param
+
+    def summary(self) -> str:
+        """A human-readable, multi-line summary of the graph."""
+        lines = [
+            f"Model {self.name} (family={self.family}, branches={self.parallel_branches})",
+            f"  input shape : {self.input_shape}",
+            f"  layers      : {self.num_layers}",
+            f"  parameters  : {self.params:,}",
+            f"  tensors     : {self.num_tensors}",
+            f"  complexity  : {self.gflops:.3f} GFLOPs/image",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"ModelGraph(name={self.name!r}, layers={self.num_layers}, "
+                f"gflops={self.gflops:.3f})")

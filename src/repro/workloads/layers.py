@@ -1,0 +1,193 @@
+"""Layer descriptors with analytic FLOPs and parameter counts.
+
+Each layer knows its parameter count, the number of FLOPs required to
+process one image (forward pass), and how many trainable tensors it
+contributes to a checkpoint.  Following common convention (and the paper's
+use of the TensorFlow profiler), one multiply-accumulate counts as two
+FLOPs, and training FLOPs are estimated as forward + backward ≈ 3x forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Multiplier applied to forward-pass FLOPs to estimate a full training step
+#: (forward + gradient computation).  The constant ratio does not affect any
+#: of the paper's conclusions because model complexity enters the regression
+#: models as a single scalar feature.
+TRAINING_FLOPS_MULTIPLIER = 3.0
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Aggregate statistics contributed by a single layer.
+
+    Attributes:
+        params: Number of trainable parameters.
+        forward_flops: FLOPs for a forward pass over one image.
+        tensors: Number of trainable tensors (checkpoint entries).
+        output_shape: ``(height, width, channels)`` of the layer output.
+    """
+
+    params: int
+    forward_flops: float
+    tensors: int
+    output_shape: Tuple[int, int, int]
+
+
+class Layer:
+    """Base class for all layer descriptors."""
+
+    name: str = "layer"
+
+    def stats(self, input_shape: Tuple[int, int, int]) -> LayerStats:
+        """Return the layer statistics given an input shape ``(H, W, C)``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Conv2D(Layer):
+    """A 2D convolution with square kernels and 'same' padding.
+
+    Attributes:
+        filters: Number of output channels.
+        kernel_size: Side length of the square kernel.
+        stride: Spatial stride (the same in both dimensions).
+        use_bias: Whether a bias vector is included.
+    """
+
+    filters: int
+    kernel_size: int = 3
+    stride: int = 1
+    use_bias: bool = False
+    name: str = "conv2d"
+
+    def stats(self, input_shape: Tuple[int, int, int]) -> LayerStats:
+        height, width, channels = input_shape
+        out_h = max(1, height // self.stride)
+        out_w = max(1, width // self.stride)
+        kernel_params = self.kernel_size * self.kernel_size * channels * self.filters
+        bias_params = self.filters if self.use_bias else 0
+        params = kernel_params + bias_params
+        # Two FLOPs per multiply-accumulate.
+        flops = 2.0 * kernel_params * out_h * out_w
+        if self.use_bias:
+            flops += out_h * out_w * self.filters
+        tensors = 1 + (1 if self.use_bias else 0)
+        return LayerStats(params=params, forward_flops=flops, tensors=tensors,
+                          output_shape=(out_h, out_w, self.filters))
+
+
+@dataclass(frozen=True)
+class BatchNorm(Layer):
+    """Batch normalization: two trainable tensors (scale, offset)."""
+
+    name: str = "batch_norm"
+
+    def stats(self, input_shape: Tuple[int, int, int]) -> LayerStats:
+        height, width, channels = input_shape
+        params = 2 * channels
+        # Normalize, scale and shift: a handful of FLOPs per activation.
+        flops = 4.0 * height * width * channels
+        return LayerStats(params=params, forward_flops=flops, tensors=2,
+                          output_shape=input_shape)
+
+
+@dataclass(frozen=True)
+class Activation(Layer):
+    """Elementwise activation (ReLU by default); no trainable parameters."""
+
+    kind: str = "relu"
+    name: str = "activation"
+
+    def stats(self, input_shape: Tuple[int, int, int]) -> LayerStats:
+        height, width, channels = input_shape
+        flops = 1.0 * height * width * channels
+        return LayerStats(params=0, forward_flops=flops, tensors=0,
+                          output_shape=input_shape)
+
+
+@dataclass(frozen=True)
+class Pooling(Layer):
+    """Average or max pooling with a square window.
+
+    Attributes:
+        pool_size: Side length of the pooling window (also used as stride).
+        kind: ``"avg"`` or ``"max"``.
+        global_pool: If true, the window covers the whole feature map and the
+            output is ``1 x 1 x C``.
+    """
+
+    pool_size: int = 2
+    kind: str = "avg"
+    global_pool: bool = False
+    name: str = "pooling"
+
+    def stats(self, input_shape: Tuple[int, int, int]) -> LayerStats:
+        height, width, channels = input_shape
+        if self.global_pool:
+            out_h = out_w = 1
+            flops = 1.0 * height * width * channels
+        else:
+            out_h = max(1, height // self.pool_size)
+            out_w = max(1, width // self.pool_size)
+            flops = 1.0 * out_h * out_w * channels * self.pool_size * self.pool_size
+        return LayerStats(params=0, forward_flops=flops, tensors=0,
+                          output_shape=(out_h, out_w, channels))
+
+
+@dataclass(frozen=True)
+class Dense(Layer):
+    """A fully connected layer applied to the flattened input."""
+
+    units: int
+    use_bias: bool = True
+    name: str = "dense"
+
+    def stats(self, input_shape: Tuple[int, int, int]) -> LayerStats:
+        height, width, channels = input_shape
+        fan_in = height * width * channels
+        params = fan_in * self.units + (self.units if self.use_bias else 0)
+        flops = 2.0 * fan_in * self.units
+        if self.use_bias:
+            flops += self.units
+        tensors = 1 + (1 if self.use_bias else 0)
+        return LayerStats(params=params, forward_flops=flops, tensors=tensors,
+                          output_shape=(1, 1, self.units))
+
+
+@dataclass(frozen=True)
+class Shortcut(Layer):
+    """A residual shortcut.
+
+    When the number of channels or the stride changes across a residual
+    block, ResNet inserts a 1x1 projection convolution; otherwise the
+    shortcut is an identity addition.
+
+    Attributes:
+        filters: Number of output channels after the shortcut.
+        stride: Spatial stride of the projection, if any.
+        projection: Whether a 1x1 projection convolution is used.
+    """
+
+    filters: int
+    stride: int = 1
+    projection: bool = False
+    name: str = "shortcut"
+
+    def stats(self, input_shape: Tuple[int, int, int]) -> LayerStats:
+        height, width, channels = input_shape
+        out_h = max(1, height // self.stride)
+        out_w = max(1, width // self.stride)
+        if self.projection:
+            params = channels * self.filters
+            flops = 2.0 * params * out_h * out_w
+            tensors = 1
+        else:
+            params = 0
+            # Elementwise addition of the identity branch.
+            flops = 1.0 * out_h * out_w * self.filters
+            tensors = 0
+        return LayerStats(params=params, forward_flops=flops, tensors=tensors,
+                          output_shape=(out_h, out_w, self.filters))

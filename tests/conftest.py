@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+Expensive objects (the model catalog, small measurement campaigns) are
+session-scoped so the suite stays fast while still exercising the real
+code paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.measurement.checkpoint_campaign import run_checkpoint_campaign
+from repro.measurement.speed_campaign import run_speed_campaign
+from repro.workloads.catalog import default_catalog
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The shared twenty-model catalog."""
+    return default_catalog()
+
+
+@pytest.fixture(scope="session")
+def resnet32_profile(catalog):
+    """Profile of the paper's ResNet-32."""
+    return catalog.profile("resnet_32")
+
+
+@pytest.fixture(scope="session")
+def resnet15_profile(catalog):
+    """Profile of the paper's ResNet-15."""
+    return catalog.profile("resnet_15")
+
+
+@pytest.fixture(scope="session")
+def speed_dataset(catalog):
+    """A small but real speed-measurement dataset (all 20 models, K80+P100).
+
+    Uses fewer steps than the paper's 4000 to keep the suite fast; the
+    regression tests only need a consistent dataset, not the full dwell
+    time.
+    """
+    return run_speed_campaign(gpu_names=("k80", "p100"), steps=800, seed=7,
+                              catalog=catalog)
+
+
+@pytest.fixture(scope="session")
+def checkpoint_dataset(catalog):
+    """A checkpoint-measurement dataset over the full catalog."""
+    return run_checkpoint_campaign(seed=7, catalog=catalog,
+                                   with_sequential_check=False)

@@ -1,0 +1,112 @@
+"""Tests for the analysis helpers (stats, tables, figures, reports)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import FigureSeries, ascii_plot
+from repro.analysis.report import ExperimentReport
+from repro.analysis.stats import (
+    coefficient_of_variation,
+    describe,
+    empirical_cdf,
+    mean_and_std,
+    relative_difference,
+)
+from repro.analysis.tables import format_table
+from repro.errors import DataError
+
+
+def test_mean_and_std():
+    mean, std = mean_and_std([1.0, 2.0, 3.0])
+    assert mean == pytest.approx(2.0)
+    assert std == pytest.approx(1.0)
+    assert mean_and_std([5.0]) == (5.0, 0.0)
+    with pytest.raises(DataError):
+        mean_and_std([])
+
+
+def test_coefficient_of_variation():
+    assert coefficient_of_variation([2.0, 2.0, 2.0]) == 0.0
+    with pytest.raises(DataError):
+        coefficient_of_variation([0.0, 0.0])
+
+
+def test_empirical_cdf_monotone_and_censored():
+    values = [1.0, 2.0, 5.0]
+    grid = [0.5, 1.0, 3.0, 10.0]
+    cdf = empirical_cdf(values, grid, population=10)
+    assert list(cdf) == [0.0, 0.1, 0.2, 0.3]
+    plain = empirical_cdf(values, grid)
+    assert plain[-1] == pytest.approx(1.0)
+    with pytest.raises(DataError):
+        empirical_cdf([], [1.0])
+
+
+def test_describe_keys():
+    summary = describe([1.0, 2.0, 3.0, 4.0])
+    assert summary["count"] == 4
+    assert summary["min"] == 1.0
+    assert summary["max"] == 4.0
+    assert summary["p50"] == pytest.approx(2.5)
+
+
+def test_relative_difference():
+    assert relative_difference(11.0, 10.0) == pytest.approx(0.1)
+    with pytest.raises(DataError):
+        relative_difference(1.0, 0.0)
+
+
+def test_format_table_renders_and_validates():
+    text = format_table(["model", "speed"], [["resnet_15", 9.46], ["resnet_32", 4.56]],
+                        title="Table I")
+    assert "Table I" in text
+    assert "resnet_15" in text
+    assert "9.460" in text
+    lines = text.splitlines()
+    assert len(lines) == 5
+    with pytest.raises(DataError):
+        format_table([], [])
+    with pytest.raises(DataError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_figure_series_round_trip():
+    figure = FigureSeries(title="Fig. 4", x_label="workers", y_label="steps/s")
+    figure.add_series("resnet_15", [(1, 21.0), (2, 42.0)])
+    figure.add_series("resnet_32", [(1, 12.0), (2, 24.0)])
+    assert figure.names() == ["resnet_15", "resnet_32"]
+    rows = figure.as_rows()
+    assert ("resnet_15", 1.0, 21.0) in rows
+    text = figure.to_text()
+    assert "Fig. 4" in text and "resnet_32" in text
+
+
+def test_ascii_plot_shapes_output():
+    points = [(x, x * x) for x in range(10)]
+    plot = ascii_plot(points, width=30, height=8)
+    lines = plot.splitlines()
+    assert len(lines) == 9
+    assert any("*" in line for line in lines)
+    with pytest.raises(DataError):
+        ascii_plot([])
+    with pytest.raises(DataError):
+        ascii_plot(points, width=5, height=2)
+
+
+def test_experiment_report_comparisons():
+    report = ExperimentReport(experiment_id="table1", description="training speed")
+    report.add("K80 resnet_32", measured_value=4.48, paper_value=4.56, unit="steps/s")
+    report.add("no-paper-value", measured_value=1.0)
+    report.observe("ordering preserved")
+    assert report.rows[0].relative_error == pytest.approx((4.48 - 4.56) / 4.56)
+    assert report.rows[1].relative_error is None
+    assert report.worst_relative_error() < 0.05
+    text = report.to_text()
+    assert "table1" in text and "ordering preserved" in text
+
+
+def test_experiment_report_requires_paper_rows_for_worst_error():
+    report = ExperimentReport(experiment_id="x", description="y")
+    report.add("measured-only", measured_value=1.0)
+    with pytest.raises(DataError):
+        report.worst_relative_error()

@@ -1,0 +1,89 @@
+"""Tests for the GPU and region catalogs."""
+
+import pytest
+
+from repro.cloud.gpus import GPU_CATALOG, get_gpu, list_gpus
+from repro.cloud.regions import (
+    REGION_CATALOG,
+    get_region,
+    list_regions,
+    regions_offering,
+)
+from repro.errors import UnknownGPUError, UnknownRegionError
+
+
+def test_catalog_has_the_three_paper_gpus():
+    assert set(GPU_CATALOG) == {"k80", "p100", "v100"}
+
+
+def test_gpu_capacities_match_the_paper():
+    assert get_gpu("k80").teraflops == pytest.approx(4.11)
+    assert get_gpu("p100").teraflops == pytest.approx(9.53)
+    assert get_gpu("v100").teraflops == pytest.approx(14.13)
+
+
+def test_gpu_memory_matches_the_paper():
+    assert get_gpu("k80").memory_gb == 12
+    assert get_gpu("p100").memory_gb == 16
+    assert get_gpu("v100").memory_gb == 16
+
+
+def test_gpu_lookup_is_case_insensitive():
+    assert get_gpu("K80") is get_gpu("k80")
+
+
+def test_unknown_gpu_raises_with_known_names():
+    with pytest.raises(UnknownGPUError) as excinfo:
+        get_gpu("a100")
+    assert "k80" in str(excinfo.value)
+
+
+def test_list_gpus_sorted_by_capacity():
+    names = [gpu.name for gpu in list_gpus()]
+    assert names == ["k80", "p100", "v100"]
+
+
+def test_gpu_flops_property():
+    assert get_gpu("k80").flops == pytest.approx(4.11e12)
+
+
+def test_fits_model_for_reasonable_sizes():
+    gpu = get_gpu("k80")
+    assert gpu.fits_model(parameter_bytes=100 * 1024 * 1024)
+    assert not gpu.fits_model(parameter_bytes=4 * 1024 ** 3)
+
+
+def test_six_regions_exist():
+    assert len(REGION_CATALOG) == 6
+    assert set(REGION_CATALOG) == {"us-east1", "us-central1", "us-west1",
+                                   "europe-west1", "europe-west4", "asia-east1"}
+
+
+def test_region_gpu_availability_matches_table5():
+    assert get_region("us-east1").offers("k80")
+    assert get_region("us-east1").offers("p100")
+    assert not get_region("us-east1").offers("v100")
+    assert get_region("europe-west4").offers("v100")
+    assert not get_region("europe-west4").offers("k80")
+    assert get_region("asia-east1").gpu_types == ("v100",)
+
+
+def test_unknown_region_raises():
+    with pytest.raises(UnknownRegionError):
+        get_region("mars-north1")
+
+
+def test_regions_offering_each_gpu():
+    assert {r.name for r in regions_offering("v100")} == {"us-central1", "us-west1",
+                                                          "europe-west4", "asia-east1"}
+    assert len(regions_offering("k80")) == 4
+
+
+def test_local_hour_conversion():
+    region = get_region("us-west1")  # UTC-8
+    assert region.local_hour(10.0) == pytest.approx(2.0)
+    assert region.local_hour(3.0) == pytest.approx(19.0)
+
+
+def test_list_regions_returns_all():
+    assert len(list_regions()) == 6

@@ -1,0 +1,149 @@
+"""Tests for the instance lifecycle and the simulated provider."""
+
+import pytest
+
+from repro.cloud.instance import InstanceState, ServerClass
+from repro.cloud.provider import (
+    InstanceRequest,
+    SimulatedCloudProvider,
+    make_ps_request,
+    make_worker_request,
+)
+from repro.cloud.machines import gpu_worker_machine
+from repro.errors import CapacityError, ConfigurationError, InstanceStateError
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+
+
+@pytest.fixture()
+def provider():
+    simulator = Simulator()
+    return SimulatedCloudProvider(simulator, streams=RandomStreams(seed=3))
+
+
+def test_requested_instance_walks_through_lifecycle(provider):
+    running = []
+    request = make_worker_request("k80", "us-east1", transient=False,
+                                  on_running=lambda inst: running.append(inst))
+    instance = provider.request_instance(request)
+    assert instance.state is InstanceState.REQUESTED
+    provider.simulator.run()
+    assert instance.state is InstanceState.RUNNING
+    assert running == [instance]
+    assert instance.running_since() == pytest.approx(instance.startup.total)
+
+
+def test_startup_duration_matches_stages(provider):
+    instance = provider.request_instance(make_worker_request("p100", "us-east1"))
+    expected = (instance.startup.provisioning + instance.startup.staging
+                + instance.startup.booting)
+    assert instance.startup_duration() == pytest.approx(expected)
+
+
+def test_transient_worker_gets_revocation_scheduled(provider):
+    revoked = []
+    request = make_worker_request("p100", "us-east1", transient=True,
+                                  on_revoked=lambda inst: revoked.append(inst))
+    instance = provider.request_instance(request)
+    provider.simulator.run()
+    # After the full run (24h horizon) the instance is either revoked or was
+    # reclaimed at the 24-hour maximum lifetime; both show up as REVOKED.
+    assert instance.state is InstanceState.REVOKED
+    assert revoked == [instance]
+    assert "planned_lifetime_hours" in instance.labels
+
+
+def test_on_demand_server_never_revoked(provider):
+    instance = provider.request_instance(make_ps_request("us-east1"))
+    provider.simulator.run()
+    assert instance.state is InstanceState.RUNNING
+    assert instance.server_class is ServerClass.ON_DEMAND
+
+
+def test_terminate_instance(provider):
+    instance = provider.request_instance(make_worker_request("k80", "us-east1"))
+    provider.simulator.run(until=instance.startup.total + 1)
+    provider.terminate_instance(instance.instance_id)
+    assert instance.state is InstanceState.TERMINATED
+    # Termination is idempotent.
+    provider.terminate_instance(instance.instance_id)
+    assert instance.state is InstanceState.TERMINATED
+
+
+def test_unknown_region_gpu_combination_rejected(provider):
+    with pytest.raises(ConfigurationError):
+        provider.request_instance(make_worker_request("v100", "us-east1"))
+
+
+def test_quota_enforced():
+    simulator = Simulator()
+    provider = SimulatedCloudProvider(simulator, streams=RandomStreams(seed=1),
+                                      gpu_quota=2)
+    provider.request_instance(make_worker_request("k80", "us-east1"))
+    provider.request_instance(make_worker_request("k80", "us-east1"))
+    with pytest.raises(CapacityError):
+        provider.request_instance(make_worker_request("k80", "us-east1"))
+    # A different GPU type has its own quota.
+    provider.request_instance(make_worker_request("p100", "us-east1"))
+
+
+def test_cost_accrues_with_time(provider):
+    instance = provider.request_instance(make_worker_request("k80", "us-east1"))
+    provider.simulator.run(until=instance.startup.total + 3600.0)
+    provider.terminate_instance(instance.instance_id)
+    cost = provider.instance_cost(instance.instance_id)
+    assert cost > 0.0
+    assert provider.total_cost() >= cost
+    breakdown = provider.cost_breakdown()
+    assert ("us-east1", "transient") in breakdown
+
+
+def test_get_instance_unknown_id(provider):
+    with pytest.raises(InstanceStateError):
+        provider.get_instance("i-does-not-exist")
+
+
+def test_illegal_transition_rejected(provider):
+    instance = provider.request_instance(make_worker_request("k80", "us-east1"))
+    provider.simulator.run()
+    with pytest.raises(InstanceStateError):
+        instance.transition(InstanceState.PROVISIONING, provider.simulator.now)
+
+
+def test_alive_instances_filtering(provider):
+    a = provider.request_instance(make_worker_request("k80", "us-east1"))
+    b = provider.request_instance(make_worker_request("p100", "us-east1"))
+    assert len(provider.alive_instances()) == 2
+    assert provider.alive_instances(gpu_name="k80") == [a]
+    provider.terminate_instance(a.instance_id)
+    assert provider.alive_instances() == [b]
+
+
+def test_terminate_all(provider):
+    provider.request_instance(make_worker_request("k80", "us-east1"))
+    provider.request_instance(make_ps_request("us-east1"))
+    provider.terminate_all()
+    assert provider.alive_instances() == []
+
+
+def test_uptime_and_billed_duration(provider):
+    instance = provider.request_instance(make_worker_request("k80", "us-east1",
+                                                             transient=False))
+    provider.simulator.run(until=instance.startup.total + 100.0)
+    assert instance.uptime(provider.simulator.now) == pytest.approx(100.0, abs=1.0)
+    assert instance.billed_duration(provider.simulator.now) > instance.uptime(
+        provider.simulator.now)
+
+
+def test_invalid_quota_rejected():
+    with pytest.raises(ConfigurationError):
+        SimulatedCloudProvider(Simulator(), gpu_quota=0)
+
+
+def test_request_preserves_labels(provider):
+    request = InstanceRequest(region_name="us-east1",
+                              machine=gpu_worker_machine("k80"),
+                              labels={"role": "worker", "name": "worker-3"})
+    instance = provider.request_instance(request)
+    assert instance.labels["role"] == "worker"
+    assert instance.labels["name"] == "worker-3"

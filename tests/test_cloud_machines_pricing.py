@@ -1,0 +1,83 @@
+"""Tests for machine types and the pricing catalog."""
+
+import pytest
+
+from repro.cloud.machines import (
+    GPU_WORKER_MACHINE,
+    PARAMETER_SERVER_MACHINE,
+    MachineType,
+    gpu_worker_machine,
+)
+from repro.cloud.pricing import PricePair, default_price_catalog
+from repro.errors import ConfigurationError, UnknownGPUError
+
+
+def test_paper_machine_shapes():
+    assert PARAMETER_SERVER_MACHINE.vcpus == 4
+    assert PARAMETER_SERVER_MACHINE.memory_gb == 16
+    assert not PARAMETER_SERVER_MACHINE.has_gpu
+    assert GPU_WORKER_MACHINE.vcpus == 4
+    assert GPU_WORKER_MACHINE.memory_gb == 52
+
+
+def test_gpu_worker_machine_attaches_gpu():
+    machine = gpu_worker_machine("p100")
+    assert machine.has_gpu
+    assert machine.gpu_name == "p100"
+    assert machine.gpu_count == 1
+
+
+def test_machine_validation():
+    with pytest.raises(ConfigurationError):
+        MachineType(name="bad", vcpus=0, memory_gb=8)
+    with pytest.raises(ConfigurationError):
+        MachineType(name="bad", vcpus=4, memory_gb=8, gpu_name="k80", gpu_count=0)
+
+
+def test_price_pair_discount():
+    pair = PricePair(on_demand=1.0, preemptible=0.3)
+    assert pair.discount == pytest.approx(0.7)
+    assert pair.price(transient=True) == pytest.approx(0.3)
+    assert pair.price(transient=False) == pytest.approx(1.0)
+
+
+def test_transient_gpus_are_cheaper():
+    catalog = default_price_catalog()
+    for gpu in ("k80", "p100", "v100"):
+        assert catalog.gpu_price(gpu, transient=True) < catalog.gpu_price(gpu, transient=False)
+        assert catalog.transient_discount(gpu) > 0.5
+
+
+def test_more_powerful_gpus_cost_more():
+    catalog = default_price_catalog()
+    assert (catalog.gpu_price("k80", False) < catalog.gpu_price("p100", False)
+            < catalog.gpu_price("v100", False))
+
+
+def test_machine_hourly_price_includes_gpu():
+    catalog = default_price_catalog()
+    cpu_only = catalog.machine_hourly_price(PARAMETER_SERVER_MACHINE, transient=False)
+    with_gpu = catalog.machine_hourly_price(gpu_worker_machine("v100"), transient=False)
+    assert with_gpu > cpu_only
+    assert with_gpu > catalog.gpu_price("v100", transient=False)
+
+
+def test_cost_is_per_second():
+    catalog = default_price_catalog()
+    machine = gpu_worker_machine("k80")
+    hourly = catalog.machine_hourly_price(machine, transient=True)
+    assert catalog.cost(machine, True, 3600.0) == pytest.approx(hourly)
+    assert catalog.cost(machine, True, 1800.0) == pytest.approx(hourly / 2)
+    assert catalog.cost(machine, True, 0.0) == 0.0
+
+
+def test_cost_rejects_negative_duration():
+    catalog = default_price_catalog()
+    with pytest.raises(ConfigurationError):
+        catalog.cost(GPU_WORKER_MACHINE, True, -1.0)
+
+
+def test_unknown_gpu_price_raises():
+    catalog = default_price_catalog()
+    with pytest.raises(UnknownGPUError):
+        catalog.gpu_price("tpu", transient=True)

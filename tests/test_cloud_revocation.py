@@ -1,0 +1,128 @@
+"""Tests for the calibrated revocation model (Table V / Fig. 8 / Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.revocation import (
+    MAX_TRANSIENT_LIFETIME_HOURS,
+    REVOCATION_CALIBRATION,
+    RevocationModel,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def model():
+    return RevocationModel(rng=np.random.default_rng(0))
+
+
+def test_calibration_covers_every_table5_cell():
+    expected = {
+        ("k80", "us-east1"), ("k80", "us-central1"), ("k80", "us-west1"),
+        ("k80", "europe-west1"),
+        ("p100", "us-east1"), ("p100", "us-central1"), ("p100", "us-west1"),
+        ("p100", "europe-west1"),
+        ("v100", "us-central1"), ("v100", "us-west1"), ("v100", "europe-west4"),
+        ("v100", "asia-east1"),
+    }
+    assert set(REVOCATION_CALIBRATION) == expected
+
+
+def test_table5_revocation_fractions_are_calibrated():
+    assert REVOCATION_CALIBRATION[("k80", "us-west1")].p_revoke_24h == pytest.approx(0.2292)
+    assert REVOCATION_CALIBRATION[("p100", "us-east1")].p_revoke_24h == pytest.approx(0.70)
+    assert REVOCATION_CALIBRATION[("v100", "us-west1")].p_revoke_24h == pytest.approx(0.7333)
+
+
+def test_unavailable_combination_raises(model):
+    with pytest.raises(ConfigurationError):
+        model.params_for("v100", "us-east1")
+
+
+def test_revocation_probability_monotone_in_duration(model):
+    previous = 0.0
+    for hours in (0.5, 1, 2, 4, 8, 16, 24):
+        probability = model.revocation_probability("k80", "us-central1", hours)
+        assert probability >= previous
+        previous = probability
+
+
+def test_revocation_probability_caps_at_table5_fraction(model):
+    for (gpu, region), params in REVOCATION_CALIBRATION.items():
+        at_24 = model.revocation_probability(gpu, region, 24.0)
+        assert at_24 == pytest.approx(params.p_revoke_24h, abs=1e-9)
+        beyond = model.revocation_probability(gpu, region, 48.0)
+        assert beyond == pytest.approx(params.p_revoke_24h, abs=1e-9)
+
+
+def test_zero_duration_has_zero_probability(model):
+    assert model.revocation_probability("k80", "us-east1", 0.0) == 0.0
+
+
+def test_europe_west1_k80_dies_fast_us_west1_does_not(model):
+    # Fig. 8 narrative: >50% of europe-west1 K80s revoked within two hours,
+    # <5% of us-west1 K80s.
+    assert model.revocation_probability("k80", "europe-west1", 2.0) > 0.4
+    assert model.revocation_probability("k80", "us-west1", 2.0) < 0.05
+
+
+def test_sample_lifetimes_bounded_by_max(model):
+    for _ in range(100):
+        outcome = model.sample("p100", "us-west1")
+        assert 0.0 < outcome.lifetime_hours <= MAX_TRANSIENT_LIFETIME_HOURS
+        if not outcome.revoked:
+            assert outcome.lifetime_hours == MAX_TRANSIENT_LIFETIME_HOURS
+            assert outcome.revocation_hour_local is None
+        else:
+            assert 0.0 <= outcome.revocation_hour_local < 24.0
+
+
+def test_sampled_revocation_fraction_matches_calibration(model):
+    outcomes = model.sample_batch("p100", "us-east1", count=800)
+    fraction = sum(o.revoked for o in outcomes) / len(outcomes)
+    assert fraction == pytest.approx(0.70, abs=0.06)
+
+
+def test_workload_does_not_change_revocations():
+    seed_idle = RevocationModel(rng=np.random.default_rng(5))
+    seed_stressed = RevocationModel(rng=np.random.default_rng(5))
+    idle = seed_idle.sample_batch("k80", "us-central1", 200, stressed=False)
+    stressed = seed_stressed.sample_batch("k80", "us-central1", 200, stressed=True)
+    assert [o.lifetime_hours for o in idle] == [o.lifetime_hours for o in stressed]
+
+
+def test_v100_quiet_hours_have_no_revocations(model):
+    # Fig. 9: no V100 revocations between 4 PM and 8 PM local time.
+    hours = [o.revocation_hour_local for o in model.sample_batch("v100", "us-central1", 600)
+             if o.revoked]
+    assert hours, "expected at least some revocations"
+    assert not any(16.0 <= h < 20.0 for h in hours)
+
+
+def test_k80_revocations_concentrate_in_the_morning(model):
+    hours = [o.revocation_hour_local
+             for o in model.sample_batch("k80", "us-central1", 800, launch_hour_local=8.0)
+             if o.revoked]
+    histogram = np.histogram(hours, bins=24, range=(0, 24))[0]
+    assert histogram[9:12].sum() > histogram[0:3].sum()
+
+
+def test_lifetime_cdf_matches_probability_queries(model):
+    grid = [1, 5, 9, 13, 17, 21, 24]
+    cdf = model.lifetime_cdf("v100", "asia-east1", grid)
+    assert list(cdf) == [model.revocation_probability("v100", "asia-east1", h) for h in grid]
+    assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+
+
+def test_mean_time_to_revocation_in_paper_band():
+    model = RevocationModel(rng=np.random.default_rng(11))
+    # The paper reports K80 mean time to revocation between ~10.6 and ~19.8 h
+    # (survivors counted at the 24-hour maximum).
+    for region in ("us-east1", "us-central1", "us-west1", "europe-west1"):
+        mttr = model.mean_time_to_revocation("k80", region, samples=1500)
+        assert 8.0 < mttr < 22.5
+
+
+def test_invalid_candidates_rejected():
+    with pytest.raises(ConfigurationError):
+        RevocationModel(candidates=0)

@@ -1,0 +1,69 @@
+"""Tests for the startup-time model (Fig. 6 / Fig. 7 calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.startup import StartupStages, StartupTimeModel
+
+
+@pytest.fixture()
+def model():
+    return StartupTimeModel(rng=np.random.default_rng(0))
+
+
+def test_stages_total_is_sum():
+    stages = StartupStages(provisioning=10.0, staging=20.0, booting=30.0)
+    assert stages.total == pytest.approx(60.0)
+    assert stages.as_dict() == {"provisioning": 10.0, "staging": 20.0, "booting": 30.0}
+
+
+def test_transient_startup_under_100_seconds(model):
+    for gpu in ("k80", "p100", "v100"):
+        mean = model.stage_means(gpu, transient=True).total
+        assert mean < 100.0
+
+
+def test_transient_slower_than_on_demand(model):
+    for gpu in ("k80", "p100"):
+        transient = model.stage_means(gpu, transient=True).total
+        on_demand = model.stage_means(gpu, transient=False).total
+        assert 5.0 < transient - on_demand < 30.0
+
+
+def test_p100_transient_slower_than_k80(model):
+    k80 = model.stage_means("k80", transient=True).total
+    p100 = model.stage_means("p100", transient=True).total
+    # The paper reports ~8.7% slower startup for transient P100 servers.
+    assert 1.03 < p100 / k80 < 1.15
+
+
+def test_samples_are_positive_and_near_means(model):
+    samples = [model.sample("k80", True, "us-east1").total for _ in range(200)]
+    assert all(s > 0 for s in samples)
+    assert abs(np.mean(samples) - model.stage_means("k80", True).total) < 5.0
+
+
+def test_region_affects_staging(model):
+    east = model.stage_means("k80", True, "us-east1").staging
+    asia = model.stage_means("v100", True, "asia-east1").staging
+    assert asia != east
+
+
+def test_replacement_immediate_vs_delayed_close_means(model):
+    for gpu in ("k80", "p100", "v100"):
+        immediate = model.replacement_mean(gpu, immediate=True)
+        delayed = model.replacement_mean(gpu, immediate=False)
+        assert abs(immediate - delayed) <= 4.0
+
+
+def test_replacement_immediate_more_variable(model):
+    immediate = [model.sample_replacement("k80", True) for _ in range(300)]
+    delayed = [model.sample_replacement("k80", False) for _ in range(300)]
+    cov_immediate = np.std(immediate) / np.mean(immediate)
+    cov_delayed = np.std(delayed) / np.mean(delayed)
+    assert cov_immediate > 2.0 * cov_delayed
+
+
+def test_replacement_gpu_types_within_a_few_seconds(model):
+    means = [model.replacement_mean(gpu, immediate=True) for gpu in ("k80", "p100", "v100")]
+    assert max(means) - min(means) <= 4.0

@@ -1,0 +1,67 @@
+"""Tests for the cloud storage model."""
+
+import pytest
+
+from repro.cloud.storage import CloudStorage
+from repro.errors import ConfigurationError, DataError
+
+
+@pytest.fixture()
+def bucket():
+    return CloudStorage(region_name="us-east1")
+
+
+def test_put_get_roundtrip(bucket):
+    obj = bucket.put("ckpt/model.ckpt-100", 1024, at_time=5.0,
+                     metadata={"step": "100"})
+    assert bucket.get("ckpt/model.ckpt-100") is obj
+    assert obj.metadata["step"] == "100"
+    assert bucket.exists("ckpt/model.ckpt-100")
+    assert not bucket.exists("ckpt/other")
+
+
+def test_get_missing_raises(bucket):
+    with pytest.raises(DataError):
+        bucket.get("missing")
+
+
+def test_overwrite_replaces_object(bucket):
+    bucket.put("k", 10, at_time=1.0)
+    bucket.put("k", 20, at_time=2.0)
+    assert bucket.get("k").size_bytes == 20
+    assert bucket.total_bytes() == 20
+
+
+def test_list_and_latest(bucket):
+    bucket.put("ckpt/a-1", 10, at_time=1.0)
+    bucket.put("ckpt/a-2", 10, at_time=3.0)
+    bucket.put("other/b", 10, at_time=2.0)
+    assert [o.key for o in bucket.list_objects("ckpt/")] == ["ckpt/a-1", "ckpt/a-2"]
+    assert bucket.latest("ckpt/").key == "ckpt/a-2"
+    assert bucket.latest("nothing/") is None
+
+
+def test_delete_is_idempotent(bucket):
+    bucket.put("k", 10, at_time=1.0)
+    bucket.delete("k")
+    bucket.delete("k")
+    assert not bucket.exists("k")
+
+
+def test_same_region_transfers_faster(bucket):
+    size = 100 * 1024 * 1024
+    assert bucket.upload_time(size, "us-east1") < bucket.upload_time(size, "us-west1")
+    assert bucket.download_time(size, "us-east1") < bucket.download_time(size, "us-west1")
+
+
+def test_transfer_time_scales_with_size(bucket):
+    small = bucket.upload_time(1024, "us-east1")
+    large = bucket.upload_time(1024 * 1024 * 1024, "us-east1")
+    assert large > small
+
+
+def test_negative_sizes_rejected(bucket):
+    with pytest.raises(ConfigurationError):
+        bucket.upload_time(-1, "us-east1")
+    with pytest.raises(ConfigurationError):
+        bucket.put("k", -5, at_time=0.0)

@@ -1,0 +1,84 @@
+"""Tests for bottleneck detection and the transient-TensorFlow policies."""
+
+import pytest
+
+from repro.cmdare.bottleneck import BottleneckDetector
+from repro.cmdare.transient_tf import RecoveryMode, TransientTensorFlowPolicy
+from repro.errors import ConfigurationError, DataError
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec, WorkerSpec
+from repro.training.job import measurement_job
+from repro.training.session import TrainingSession
+from repro.training.worker import WorkerState
+
+
+def test_detector_flags_large_shortfall_after_warmup():
+    detector = BottleneckDetector()
+    report = detector.check(predicted_speed=100.0, measured_speed=70.0,
+                            elapsed_seconds=60.0)
+    assert report.bottleneck_detected
+    assert report.deviation == pytest.approx(0.3)
+    assert "parameter server" in report.suggestion
+
+
+def test_detector_respects_warmup_window():
+    detector = BottleneckDetector(warmup_seconds=30.0)
+    report = detector.check(100.0, 10.0, elapsed_seconds=10.0)
+    assert report.in_warmup
+    assert not report.bottleneck_detected
+
+
+def test_detector_threshold_boundary():
+    detector = BottleneckDetector(threshold=0.067)
+    ok = detector.check(100.0, 94.0, elapsed_seconds=60.0)
+    flagged = detector.check(100.0, 92.0, elapsed_seconds=60.0)
+    assert not ok.bottleneck_detected
+    assert flagged.bottleneck_detected
+
+
+def test_detector_worker_variant():
+    detector = BottleneckDetector()
+    report = detector.check_worker(predicted_step_time=0.1, measured_step_time=0.15,
+                                   elapsed_seconds=60.0)
+    assert report.bottleneck_detected
+
+
+def test_detector_validation():
+    with pytest.raises(ConfigurationError):
+        BottleneckDetector(warmup_seconds=-1.0)
+    with pytest.raises(ConfigurationError):
+        BottleneckDetector(threshold=0.0)
+    detector = BottleneckDetector()
+    with pytest.raises(DataError):
+        detector.check(0.0, 10.0, 60.0)
+    with pytest.raises(DataError):
+        detector.check_worker(0.0, 0.1, 60.0)
+
+
+def test_policy_reuse_ip_only_in_legacy_mode():
+    transient = TransientTensorFlowPolicy()
+    legacy = TransientTensorFlowPolicy(recovery_mode=RecoveryMode.LEGACY_IP_REUSE)
+    assert not transient.reuse_chief_ip
+    assert legacy.reuse_chief_ip
+
+
+def test_policy_expected_recomputation(resnet15_profile):
+    session = TrainingSession(Simulator(), ClusterSpec.single("k80"),
+                              measurement_job(resnet15_profile, steps=600),
+                              streams=RandomStreams(0))
+    session.run_to_completion()
+    transient = TransientTensorFlowPolicy()
+    legacy = TransientTensorFlowPolicy(recovery_mode=RecoveryMode.LEGACY_IP_REUSE)
+    assert transient.expected_recomputation_steps(session) == 0
+    assert legacy.expected_recomputation_steps(session) == session.steps_since_checkpoint
+
+
+def test_policy_describes_recovery():
+    policy = TransientTensorFlowPolicy()
+    chief = WorkerState(worker_id="w0", spec=WorkerSpec(gpu_name="k80"), is_chief=True)
+    plain = WorkerState(worker_id="w1", spec=WorkerSpec(gpu_name="k80"))
+    assert "handed" in policy.describe_recovery(chief)
+    assert "replacement" in policy.describe_recovery(plain)
+    legacy = TransientTensorFlowPolicy(recovery_mode=RecoveryMode.LEGACY_IP_REUSE)
+    assert "recomputes" in legacy.describe_recovery(chief)

@@ -1,0 +1,129 @@
+"""Tests for the CM-DARE controller, resource manager, and experiment driver."""
+
+import pytest
+
+from repro.cloud.provider import SimulatedCloudProvider
+from repro.cmdare.controller import CMDareController, ControllerConfig
+from repro.cmdare.experiment import run_training_experiment
+from repro.cmdare.resource_manager import ResourceManager
+from repro.errors import ConfigurationError
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec
+from repro.training.job import TrainingJob, measurement_job
+from repro.training.session import TrainingSession
+
+
+def make_session(profile, cluster, steps=2000, seed=0):
+    return TrainingSession(Simulator(), cluster, measurement_job(profile, steps=steps),
+                           streams=RandomStreams(seed))
+
+
+def test_controller_replaces_revoked_worker(resnet15_profile):
+    cluster = ClusterSpec.from_counts(k80=2)
+    session = make_session(resnet15_profile, cluster, steps=3000)
+    controller = CMDareController(session)
+    controller.start_monitoring()
+    session.start()
+    session.simulator.run(until=20.0)
+    session.handle_revocation("worker-1")
+    trace = session.run_to_completion()
+    assert trace.num_replacements == 1
+    summary = controller.summary()
+    assert summary["num_revocations_seen"] == 1
+    assert summary["num_replacements"] == 1
+    # The replacement pays a cold-start overhead of tens of seconds.
+    assert trace.replacement_records[0].overhead_seconds > 40.0
+
+
+def test_controller_predicted_speed_is_sum_of_workers(resnet32_profile):
+    cluster = ClusterSpec.from_counts(p100=4)
+    session = make_session(resnet32_profile, cluster)
+    controller = CMDareController(session)
+    single = session.step_time_model.mean_speed(resnet32_profile.gflops, "p100")
+    assert controller.predicted_speed() == pytest.approx(4 * single, rel=1e-6)
+
+
+def test_controller_detects_and_mitigates_bottleneck(resnet32_profile):
+    cluster = ClusterSpec.from_counts(p100=8)
+    session = make_session(resnet32_profile, cluster, steps=6000, seed=2)
+    config = ControllerConfig(auto_mitigate_bottleneck=True, poll_interval_seconds=10.0)
+    controller = CMDareController(session, config=config)
+    controller.start_monitoring()
+    trace = session.run_to_completion()
+    summary = controller.summary()
+    assert summary["num_bottleneck_flags"] >= 1
+    assert summary["extra_parameter_servers"] == 1
+    assert session.ps_group.count == 2
+    assert trace.total_steps >= 6000
+
+
+def test_controller_no_mitigation_by_default(resnet32_profile):
+    cluster = ClusterSpec.from_counts(p100=8)
+    session = make_session(resnet32_profile, cluster, steps=4000, seed=2)
+    controller = CMDareController(session)
+    controller.start_monitoring()
+    session.run_to_completion()
+    assert session.ps_group.count == 1
+
+
+def test_controller_invalid_config(resnet15_profile):
+    session = make_session(resnet15_profile, ClusterSpec.single("k80"))
+    with pytest.raises(ConfigurationError):
+        CMDareController(session, config=ControllerConfig(poll_interval_seconds=0.0))
+
+
+def test_resource_manager_provisions_cluster():
+    simulator = Simulator()
+    provider = SimulatedCloudProvider(simulator, streams=RandomStreams(4))
+    manager = ResourceManager(provider)
+    spec = ClusterSpec.from_counts(k80=2, num_parameter_servers=2)
+    cluster = manager.provision(spec)
+    assert len(cluster.parameter_servers) == 2
+    assert len(cluster.workers) == 2
+    simulator.run(until=300.0)
+    assert cluster.num_running_workers == 2
+    assert manager.cluster_cost(cluster) > 0
+    manager.release(cluster)
+    assert all(not instance.is_alive for instance in cluster.all_instances())
+
+
+def test_resource_manager_replacement_request():
+    simulator = Simulator()
+    provider = SimulatedCloudProvider(simulator, streams=RandomStreams(4))
+    manager = ResourceManager(provider)
+    from repro.training.cluster import WorkerSpec
+
+    instance = manager.request_replacement(WorkerSpec(gpu_name="p100"), label="worker-9")
+    assert instance.labels["name"] == "worker-9"
+    ps = manager.add_parameter_server(manager.provision(ClusterSpec.single("k80")))
+    assert ps.labels["role"] == "ps"
+
+
+def test_run_training_experiment_basic(resnet32_profile):
+    result = run_training_experiment(ClusterSpec.single("k80"),
+                                     measurement_job(resnet32_profile, steps=1000),
+                                     seed=1)
+    assert result.cluster_speed == pytest.approx(4.56, rel=0.06)
+    assert result.duration_seconds > 0
+    assert result.controller is not None
+    assert result.total_cost_usd == 0.0
+    assert result.metadata["model"] == "resnet_32"
+
+
+def test_run_training_experiment_with_provider_accrues_cost(resnet15_profile):
+    job = TrainingJob(profile=resnet15_profile, total_steps=3000,
+                      checkpoint_interval_steps=10_000)
+    result = run_training_experiment(ClusterSpec.from_counts(k80=1), job, seed=3,
+                                     with_provider=True)
+    assert result.provider is not None
+    assert result.total_cost_usd > 0
+    # A short run on one preemptible K80 plus one PS costs well under a dollar.
+    assert result.total_cost_usd < 1.0
+
+
+def test_run_training_experiment_deterministic(resnet32_profile):
+    job = measurement_job(resnet32_profile, steps=600)
+    first = run_training_experiment(ClusterSpec.single("k80"), job, seed=11)
+    second = run_training_experiment(ClusterSpec.single("k80"), job, seed=11)
+    assert first.duration_seconds == pytest.approx(second.duration_seconds)

@@ -1,0 +1,130 @@
+"""Tests for the extension features: launch advisor and mitigation planner."""
+
+import pytest
+
+from repro.cloud.revocation import RevocationModel
+from repro.cmdare.mitigation import MitigationPlanner
+from repro.errors import ConfigurationError
+from repro.modeling.launch_advisor import LaunchAdvisor
+from repro.perf.step_time import StepTimeModel
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec
+from repro.training.job import measurement_job
+from repro.training.session import TrainingSession
+
+
+# ---------------------------------------------------------------------------
+# Launch advisor.
+# ---------------------------------------------------------------------------
+def test_advisor_prefers_low_revocation_regions():
+    advisor = LaunchAdvisor(samples_per_option=200, seed=1)
+    options = advisor.rank_options("k80", duration_hours=6.0,
+                                   region_names=("us-west1", "europe-west1"),
+                                   launch_hours=(8,))
+    assert options[0].region_name == "us-west1"
+    assert options[0].revocation_probability < options[-1].revocation_probability
+
+
+def test_advisor_recommend_matches_rank():
+    advisor = LaunchAdvisor(samples_per_option=150, seed=2)
+    ranked = advisor.rank_options("v100", duration_hours=8.0, launch_hours=(0, 12))
+    best = advisor.recommend("v100", duration_hours=8.0, launch_hours=(0, 12))
+    assert best == ranked[0]
+    # Every option concerns a region that actually offers V100s.
+    assert all(option.region_name in ("us-central1", "us-west1", "europe-west4",
+                                      "asia-east1") for option in ranked)
+
+
+def test_advisor_expected_revocations_scale_with_workers():
+    advisor = LaunchAdvisor(samples_per_option=150, seed=3)
+    single = advisor.score_option("k80", "us-east1", 8, duration_hours=12.0,
+                                  num_workers=1)
+    quad = advisor.score_option("k80", "us-east1", 8, duration_hours=12.0,
+                                num_workers=4)
+    assert quad.expected_revocations == pytest.approx(4 * single.expected_revocations)
+
+
+def test_advisor_longer_runs_are_riskier():
+    advisor = LaunchAdvisor(samples_per_option=400, seed=4)
+    short = advisor.score_option("p100", "us-central1", 10, duration_hours=2.0)
+    long = advisor.score_option("p100", "us-central1", 10, duration_hours=20.0)
+    assert long.revocation_probability > short.revocation_probability
+
+
+def test_advisor_accepts_custom_model_and_validates():
+    advisor = LaunchAdvisor(revocation_model=RevocationModel(), samples_per_option=50)
+    option = advisor.score_option("k80", "us-central1", 0, duration_hours=4.0)
+    assert 0.0 <= option.revocation_probability <= 1.0
+    with pytest.raises(ConfigurationError):
+        LaunchAdvisor(samples_per_option=1)
+    with pytest.raises(ConfigurationError):
+        advisor.score_option("k80", "us-central1", 0, duration_hours=0.0)
+    with pytest.raises(ConfigurationError):
+        advisor.score_option("k80", "us-central1", 0, duration_hours=1.0, num_workers=0)
+
+
+# ---------------------------------------------------------------------------
+# Mitigation planner.
+# ---------------------------------------------------------------------------
+def test_planner_recommends_mitigation_for_saturated_cluster(resnet32_profile):
+    planner = MitigationPlanner()
+    step_model = StepTimeModel()
+    speeds = [step_model.mean_speed(resnet32_profile.gflops, "p100")] * 8
+    plan = planner.plan(speeds, resnet32_profile.parameter_bytes,
+                        remaining_steps=50_000)
+    assert plan.worthwhile
+    assert plan.speedup > 1.4
+    assert plan.time_saved_seconds > 100.0
+    assert plan.extra_cost_usd > 0.0
+    assert plan.breakeven_steps < 50_000
+
+
+def test_planner_rejects_mitigation_when_not_bottlenecked(resnet32_profile):
+    planner = MitigationPlanner()
+    step_model = StepTimeModel()
+    speeds = [step_model.mean_speed(resnet32_profile.gflops, "k80")] * 2
+    plan = planner.plan(speeds, resnet32_profile.parameter_bytes,
+                        remaining_steps=50_000)
+    assert not plan.worthwhile
+    assert plan.speedup < 1.05
+
+
+def test_planner_rejects_mitigation_near_the_end_of_training(resnet32_profile):
+    planner = MitigationPlanner()
+    step_model = StepTimeModel()
+    speeds = [step_model.mean_speed(resnet32_profile.gflops, "p100")] * 8
+    plan = planner.plan(speeds, resnet32_profile.parameter_bytes, remaining_steps=100)
+    assert not plan.worthwhile
+    assert plan.time_saved_seconds < 30.0
+
+
+def test_planner_uses_measured_speed_when_provided(resnet32_profile):
+    planner = MitigationPlanner()
+    step_model = StepTimeModel()
+    speeds = [step_model.mean_speed(resnet32_profile.gflops, "p100")] * 8
+    modeled = planner.plan(speeds, resnet32_profile.parameter_bytes, 20_000)
+    slower = planner.plan(speeds, resnet32_profile.parameter_bytes, 20_000,
+                          measured_speed=modeled.current_speed * 0.8)
+    assert slower.time_saved_seconds > modeled.time_saved_seconds
+
+
+def test_planner_for_live_session(resnet32_profile):
+    session = TrainingSession(Simulator(), ClusterSpec.from_counts(p100=8),
+                              measurement_job(resnet32_profile, steps=20_000),
+                              streams=RandomStreams(0))
+    plan = MitigationPlanner().plan_for_session(session)
+    assert plan.remaining_steps == 20_000
+    assert plan.worthwhile
+
+
+def test_planner_validation(resnet32_profile):
+    planner = MitigationPlanner()
+    with pytest.raises(ConfigurationError):
+        planner.plan([], resnet32_profile.parameter_bytes, 100)
+    with pytest.raises(ConfigurationError):
+        planner.plan([1.0], resnet32_profile.parameter_bytes, -1)
+    with pytest.raises(ConfigurationError):
+        planner.plan([1.0], resnet32_profile.parameter_bytes, 10, additional_servers=0)
+    with pytest.raises(ConfigurationError):
+        MitigationPlanner(restart_overhead_seconds=-1.0)

@@ -1,0 +1,75 @@
+"""Tests for the checkpoint and startup measurement campaigns."""
+
+import pytest
+
+from repro.measurement.checkpoint_campaign import run_checkpoint_campaign
+from repro.measurement.startup_campaign import (
+    run_replacement_startup_campaign,
+    run_startup_breakdown_campaign,
+)
+
+
+def test_checkpoint_campaign_covers_all_models(checkpoint_dataset, catalog):
+    assert len(checkpoint_dataset.samples) == len(catalog)
+    assert len(checkpoint_dataset.measurements()) == 5 * len(catalog)
+
+
+def test_checkpoint_time_correlates_with_size(checkpoint_dataset):
+    points = sorted(checkpoint_dataset.scatter())
+    sizes = [size for size, _t, _c in points]
+    times = [time for _s, time, _c in points]
+    assert times == sorted(times)
+    assert sizes[0] < 20 < sizes[-1]
+
+
+def test_checkpoint_cov_is_low(checkpoint_dataset):
+    for sample in checkpoint_dataset.samples:
+        assert sample.cov < 0.12
+
+
+def test_resnet32_checkpoint_near_paper_value(checkpoint_dataset):
+    sample = checkpoint_dataset.sample("resnet_32")
+    assert sample.mean_seconds == pytest.approx(3.84, rel=0.1)
+    with pytest.raises(KeyError):
+        checkpoint_dataset.sample("unknown-model")
+
+
+def test_sequential_check_difference_matches_checkpoint_time(catalog):
+    result = run_checkpoint_campaign(model_names=["resnet_32"], seed=5, catalog=catalog,
+                                     with_sequential_check=True)
+    with_ckpt, without_ckpt, difference, checkpoint_time = result.sequential_check
+    assert with_ckpt > without_ckpt
+    assert difference == pytest.approx(checkpoint_time, rel=0.25)
+
+
+def test_startup_breakdown_matches_fig6(catalog):
+    result = run_startup_breakdown_campaign(samples_per_cell=30, seed=4)
+    for region in ("us-east1", "us-west1"):
+        for gpu in ("k80", "p100"):
+            transient = result.cell(region, gpu, True)
+            on_demand = result.cell(region, gpu, False)
+            assert transient.total_mean < 100.0
+            assert 0 < result.transient_slowdown(region, gpu) < 35.0
+            assert transient.total_mean == pytest.approx(
+                transient.provisioning_mean + transient.staging_mean
+                + transient.booting_mean)
+            assert on_demand.samples == 30
+    # Transient P100 startup is slower than transient K80 (about 8.7%).
+    k80 = result.cell("us-east1", "k80", True).total_mean
+    p100 = result.cell("us-east1", "p100", True).total_mean
+    assert 1.0 < p100 / k80 < 1.2
+    with pytest.raises(KeyError):
+        result.cell("us-east1", "v100", True)
+
+
+def test_replacement_startup_matches_fig7():
+    result = run_replacement_startup_campaign(samples_per_cell=60, seed=4)
+    for gpu in ("k80", "p100", "v100"):
+        assert abs(result.immediate_penalty(gpu)) < 6.0
+        immediate = result.cell(gpu, True)
+        delayed = result.cell(gpu, False)
+        assert immediate.cov > 2.0 * delayed.cov
+    table = result.as_table()
+    assert set(table) == {"k80", "p100", "v100"}
+    means = [table[gpu]["immediate"][0] for gpu in table]
+    assert max(means) - min(means) < 6.0

@@ -1,0 +1,79 @@
+"""Tests for dataset persistence (CSV/JSON save and load)."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.measurement.datasets import (
+    load_checkpoint_measurements,
+    load_profiler,
+    load_revocation_records,
+    load_speed_measurements,
+    save_checkpoint_measurements,
+    save_revocation_records,
+    save_speed_measurements,
+)
+from repro.measurement.revocation_campaign import run_revocation_campaign
+
+
+def test_speed_measurements_round_trip(tmp_path, speed_dataset):
+    measurements = speed_dataset.measurements()
+    path = save_speed_measurements(measurements, tmp_path / "speed.csv")
+    assert path.exists()
+    loaded = load_speed_measurements(path)
+    assert len(loaded) == len(measurements)
+    assert loaded[0].model_name == measurements[0].model_name
+    assert loaded[0].step_time == pytest.approx(measurements[0].step_time)
+    assert loaded[0].gpu_teraflops == pytest.approx(measurements[0].gpu_teraflops)
+
+
+def test_checkpoint_measurements_round_trip(tmp_path, checkpoint_dataset):
+    measurements = checkpoint_dataset.measurements()
+    path = save_checkpoint_measurements(measurements, tmp_path / "ckpt.csv")
+    loaded = load_checkpoint_measurements(path)
+    assert len(loaded) == len(measurements)
+    assert loaded[3].total_bytes == measurements[3].total_bytes
+    assert loaded[3].duration == pytest.approx(measurements[3].duration)
+
+
+def test_load_profiler_combines_datasets(tmp_path, speed_dataset, checkpoint_dataset):
+    speed_path = save_speed_measurements(speed_dataset.measurements(),
+                                         tmp_path / "speed.csv")
+    ckpt_path = save_checkpoint_measurements(checkpoint_dataset.measurements(),
+                                             tmp_path / "ckpt.csv")
+    profiler = load_profiler(speed_path, ckpt_path)
+    assert len(profiler.speed_measurements) == len(speed_dataset.measurements())
+    assert len(profiler.checkpoint_measurements) == len(checkpoint_dataset.measurements())
+
+
+def test_revocation_records_round_trip(tmp_path):
+    campaign = run_revocation_campaign(
+        launch_counts={("k80", "us-east1"): 10, ("v100", "asia-east1"): 10}, seed=3)
+    path = save_revocation_records(campaign, tmp_path / "revocations.json")
+    loaded = load_revocation_records(path)
+    assert len(loaded.records) == len(campaign.records)
+    assert loaded.revocation_table() == campaign.revocation_table()
+    # Survivors keep a null revocation hour through the round trip.
+    survivors = [r for r in loaded.records if not r.revoked]
+    assert all(r.revocation_hour_local is None for r in survivors)
+
+
+def test_missing_files_raise(tmp_path):
+    with pytest.raises(DataError):
+        load_speed_measurements(tmp_path / "absent.csv")
+    with pytest.raises(DataError):
+        load_checkpoint_measurements(tmp_path / "absent.csv")
+    with pytest.raises(DataError):
+        load_revocation_records(tmp_path / "absent.json")
+
+
+def test_malformed_revocation_file_raises(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(DataError):
+        load_revocation_records(bad)
+
+
+def test_empty_speed_file_raises(tmp_path):
+    path = save_speed_measurements([], tmp_path / "empty.csv")
+    with pytest.raises(DataError):
+        load_speed_measurements(path)

@@ -1,0 +1,99 @@
+"""Tests for the speed and scaling measurement campaigns."""
+
+import pytest
+
+from repro.measurement.scaling_campaign import (
+    run_cluster_scaling_campaign,
+    run_ps_mitigation_campaign,
+    run_worker_step_time_campaign,
+)
+from repro.measurement.speed_campaign import run_speed_campaign, run_speed_stability_campaign
+from repro.perf.calibration import PAPER_TABLE1_SPEEDS
+from repro.workloads.catalog import NAMED_MODELS
+
+
+@pytest.fixture(scope="module")
+def table1_campaign(catalog):
+    return run_speed_campaign(model_names=NAMED_MODELS, steps=1200, seed=3,
+                              catalog=catalog)
+
+
+def test_table1_speeds_close_to_paper(table1_campaign):
+    table = table1_campaign.table1()
+    for gpu, rows in PAPER_TABLE1_SPEEDS.items():
+        for model, (paper_speed, _std) in rows.items():
+            measured, _measured_std = table[gpu][model]
+            assert measured == pytest.approx(paper_speed, rel=0.08), (gpu, model)
+
+
+def test_table1_ordering_faster_gpu_and_simpler_model(table1_campaign):
+    table = table1_campaign.table1()
+    for model in NAMED_MODELS:
+        assert table["k80"][model][0] < table["p100"][model][0] < table["v100"][model][0]
+    for gpu in ("k80", "p100", "v100"):
+        assert (table[gpu]["resnet_15"][0] > table[gpu]["resnet_32"][0]
+                > table[gpu]["shake_shake_small"][0] > table[gpu]["shake_shake_big"][0])
+
+
+def test_speed_campaign_populates_profiler(table1_campaign):
+    measurements = table1_campaign.measurements()
+    assert len(measurements) == len(NAMED_MODELS) * 3
+    assert {m.gpu_name for m in measurements} == {"k80", "p100", "v100"}
+    cell = table1_campaign.cell("resnet_32", "k80")
+    assert cell.computation_ratio == pytest.approx(cell.model_gflops / 4.11)
+    with pytest.raises(KeyError):
+        table1_campaign.cell("resnet_32", "tpu")
+
+
+def test_speed_series_stable_after_warmup(catalog):
+    series = run_speed_stability_campaign(gpu_name="k80", model_names=("resnet_15",),
+                                          steps=1500, seed=2, catalog=catalog)
+    points = [speed for step, speed in series["resnet_15"] if step > 100]
+    assert len(points) >= 10
+    mean = sum(points) / len(points)
+    assert all(abs(p - mean) / mean < 0.1 for p in points)
+
+
+def test_worker_step_time_campaign_matches_table3_shape(catalog):
+    result = run_worker_step_time_campaign(steps=1200, seed=2, catalog=catalog)
+    table = result.as_table()
+    # K80 workers stay within a few percent of their baseline at any size.
+    k80 = table["k80"]
+    assert abs(k80["(8, 0, 0)"][0] - k80["baseline"][0]) / k80["baseline"][0] < 0.06
+    # P100 and V100 workers slow down sharply once the PS saturates.
+    assert table["p100"]["(0, 8, 0)"][0] > 1.6 * table["p100"]["baseline"][0]
+    assert table["v100"]["(0, 0, 8)"][0] > 1.6 * table["v100"]["baseline"][0]
+    assert table["v100"]["(0, 0, 4)"][0] > 1.2 * table["v100"]["baseline"][0]
+    # Heterogeneity does not hurt the individual workers.
+    for gpu in ("k80", "p100", "v100"):
+        hetero = table[gpu]["(2, 1, 1)"][0]
+        assert abs(hetero - table[gpu]["baseline"][0]) / table[gpu]["baseline"][0] < 0.08
+    with pytest.raises(KeyError):
+        result.cell("k80", "(9, 9, 9)")
+
+
+def test_cluster_scaling_campaign_matches_fig4_shape(catalog):
+    result = run_cluster_scaling_campaign(worker_counts=(1, 2, 4, 6, 8), steps=1200,
+                                          seed=2, catalog=catalog)
+    # ResNet-15 keeps improving through eight workers.
+    assert result.plateau_ratio("resnet_15") > 5.0
+    # ResNet-32 and Shake-Shake Small plateau well below linear scaling.
+    assert result.plateau_ratio("resnet_32") < 4.5
+    assert result.plateau_ratio("shake_shake_small") < 5.0
+    # Shake-Shake Big does not benefit from extra P100 workers.
+    assert result.plateau_ratio("shake_shake_big") < 1.6
+    for series in result.series.values():
+        speeds = [speed for _n, speed in series]
+        assert all(b >= a * 0.95 for a, b in zip(speeds, speeds[1:]))
+
+
+def test_ps_mitigation_campaign_shows_fig12_improvement(catalog):
+    results = run_ps_mitigation_campaign(model_names=("resnet_32",),
+                                         worker_counts=(2, 8), steps=1200, seed=2,
+                                         catalog=catalog)
+    one_ps = dict(results[1].speeds_for("resnet_32"))
+    two_ps = dict(results[2].speeds_for("resnet_32"))
+    # Small clusters are unaffected; saturated clusters improve substantially.
+    assert two_ps[2] == pytest.approx(one_ps[2], rel=0.1)
+    improvement = two_ps[8] / one_ps[8] - 1.0
+    assert 0.4 < improvement < 0.9

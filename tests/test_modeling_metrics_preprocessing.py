@@ -1,0 +1,110 @@
+"""Tests for metrics and preprocessing (scalers, PCA)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, NotFittedError
+from repro.modeling.metrics import (
+    coefficient_of_variation,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    root_mean_squared_error,
+)
+from repro.modeling.preprocessing import PCA, MinMaxScaler, StandardScaler
+
+
+def test_mae_basic():
+    assert mean_absolute_error([1, 2, 3], [1, 2, 3]) == 0.0
+    assert mean_absolute_error([1, 2, 3], [2, 3, 4]) == 1.0
+
+
+def test_mape_basic():
+    assert mean_absolute_percentage_error([2.0, 4.0], [1.0, 2.0]) == pytest.approx(50.0)
+    with pytest.raises(DataError):
+        mean_absolute_percentage_error([0.0, 1.0], [1.0, 1.0])
+
+
+def test_rmse_penalizes_large_errors_more_than_mae():
+    y_true = [0.0, 0.0, 0.0, 0.0]
+    y_pred = [0.0, 0.0, 0.0, 4.0]
+    assert root_mean_squared_error(y_true, y_pred) > mean_absolute_error(y_true, y_pred)
+
+
+def test_metric_shape_validation():
+    with pytest.raises(DataError):
+        mean_absolute_error([1, 2], [1])
+    with pytest.raises(DataError):
+        mean_absolute_error([], [])
+
+
+def test_coefficient_of_variation():
+    assert coefficient_of_variation([10.0, 10.0, 10.0]) == 0.0
+    with pytest.raises(DataError):
+        coefficient_of_variation([1.0])
+
+
+def test_minmax_scaler_maps_to_unit_interval():
+    data = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+    scaled = MinMaxScaler().fit_transform(data)
+    assert scaled.min() == pytest.approx(0.0)
+    assert scaled.max() == pytest.approx(1.0)
+    assert scaled[1, 0] == pytest.approx(0.5)
+
+
+def test_minmax_scaler_inverse_roundtrip():
+    data = np.array([[0.5], [1.5], [4.0]])
+    scaler = MinMaxScaler().fit(data)
+    assert np.allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+
+def test_minmax_scaler_handles_constant_feature():
+    data = np.array([[5.0], [5.0], [5.0]])
+    scaled = MinMaxScaler().fit_transform(data)
+    assert np.allclose(scaled, 0.0)
+
+
+def test_minmax_scaler_extrapolates_outside_range():
+    scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+    assert scaler.transform(np.array([[20.0]]))[0, 0] == pytest.approx(2.0)
+
+
+def test_scaler_not_fitted_errors():
+    with pytest.raises(NotFittedError):
+        MinMaxScaler().transform([[1.0]])
+    with pytest.raises(NotFittedError):
+        StandardScaler().transform([[1.0]])
+    with pytest.raises(NotFittedError):
+        PCA().transform([[1.0, 2.0, 3.0]])
+
+
+def test_scaler_feature_count_mismatch():
+    scaler = MinMaxScaler().fit(np.ones((3, 2)))
+    with pytest.raises(DataError):
+        scaler.transform(np.ones((3, 3)))
+
+
+def test_standard_scaler_zero_mean_unit_variance():
+    data = np.array([[1.0], [2.0], [3.0], [4.0]])
+    scaled = StandardScaler().fit_transform(data)
+    assert scaled.mean() == pytest.approx(0.0, abs=1e-12)
+    assert scaled.std() == pytest.approx(1.0, rel=1e-6)
+
+
+def test_pca_recovers_dominant_direction():
+    rng = np.random.default_rng(0)
+    t = rng.normal(size=200)
+    data = np.column_stack([t, 2 * t + 0.01 * rng.normal(size=200),
+                            -t + 0.01 * rng.normal(size=200)])
+    pca = PCA(n_components=2).fit(data)
+    assert pca.explained_variance_ratio_[0] > 0.95
+    projected = pca.transform(data)
+    assert projected.shape == (200, 2)
+
+
+def test_pca_validation():
+    with pytest.raises(DataError):
+        PCA(n_components=0)
+    with pytest.raises(DataError):
+        PCA(n_components=3).fit(np.ones((5, 2)))
+    with pytest.raises(DataError):
+        PCA(n_components=1).fit(np.ones((1, 2)))

@@ -1,0 +1,158 @@
+"""Tests for the revocation estimator, Eq. 4/5 estimator, and cost model."""
+
+import pytest
+
+from repro.cloud.revocation import RevocationModel
+from repro.errors import ConfigurationError, DataError, ModelingError
+from repro.modeling.checkpoint_predictor import TABLE4_MODEL_SPECS, CheckpointTimePredictor
+from repro.modeling.cost import ClusterCostModel
+from repro.modeling.revocation_estimator import (
+    EmpiricalLifetimeDistribution,
+    RevocationEstimator,
+)
+from repro.modeling.speed_predictor import (
+    ClusterSpeedPredictor,
+    StepTimeModelSpec,
+    StepTimePredictor,
+)
+from repro.modeling.training_time import TrainingTimeEstimator
+from repro.training.cluster import ClusterSpec
+from repro.training.job import TrainingJob
+
+
+def test_empirical_distribution_cdf_saturates_at_fraction():
+    dist = EmpiricalLifetimeDistribution(lifetimes_hours=[1.0, 2.0, 5.0, 10.0],
+                                         num_launched=10)
+    assert dist.revocation_fraction == pytest.approx(0.4)
+    assert dist.cdf(0.5) == 0.0
+    assert dist.cdf(2.0) == pytest.approx(0.2)
+    assert dist.cdf(24.0) == pytest.approx(0.4)
+    assert dist.cdf(100.0) == pytest.approx(0.4)
+    assert dist.mean_lifetime() == pytest.approx((1 + 2 + 5 + 10 + 6 * 24) / 10)
+    assert dist.mean_time_to_revocation() == pytest.approx(4.5)
+
+
+def test_empirical_distribution_validation():
+    with pytest.raises(DataError):
+        EmpiricalLifetimeDistribution(lifetimes_hours=[1.0], num_launched=0)
+    with pytest.raises(DataError):
+        EmpiricalLifetimeDistribution(lifetimes_hours=[1.0, 2.0], num_launched=1)
+    with pytest.raises(DataError):
+        EmpiricalLifetimeDistribution(lifetimes_hours=[-1.0], num_launched=2)
+    with pytest.raises(DataError):
+        EmpiricalLifetimeDistribution(lifetimes_hours=[], num_launched=5).mean_time_to_revocation()
+
+
+def test_estimator_uses_observations_then_fallback():
+    estimator = RevocationEstimator(fallback_model=RevocationModel())
+    estimator.add_observations("k80", "us-east1", [1.0, 3.0, 6.0], num_launched=10)
+    observed = estimator.revocation_probability("k80", "us-east1", 6.0)
+    assert observed == pytest.approx(0.3)
+    # No observations for this cell: falls back to the calibrated model.
+    fallback = estimator.revocation_probability("v100", "asia-east1", 6.0)
+    assert 0.0 < fallback < 0.47
+    assert estimator.cells() == [("k80", "us-east1")]
+
+
+def test_estimator_without_fallback_raises():
+    estimator = RevocationEstimator()
+    with pytest.raises(DataError):
+        estimator.revocation_probability("k80", "us-east1", 1.0)
+    with pytest.raises(DataError):
+        estimator.distribution("k80", "us-east1")
+
+
+def test_expected_revocations_sums_probabilities():
+    estimator = RevocationEstimator()
+    estimator.add_observations("k80", "us-east1", [1.0, 2.0], num_launched=4)
+    estimator.add_observations("p100", "us-east1", [0.5], num_launched=4)
+    workers = [("k80", "us-east1"), ("k80", "us-east1"), ("p100", "us-east1")]
+    expected = estimator.expected_revocations(workers, duration_hours=3.0)
+    assert expected == pytest.approx(0.5 + 0.5 + 0.25)
+
+
+def test_safest_region_prefers_low_revocation():
+    estimator = RevocationEstimator()
+    estimator.add_observations("k80", "us-west1", [10.0], num_launched=10)
+    estimator.add_observations("k80", "europe-west1", [1.0] * 6, num_launched=10)
+    region, probability = estimator.safest_region("k80", duration_hours=12.0)
+    assert region == "us-west1"
+    assert probability == pytest.approx(0.1)
+
+
+@pytest.fixture(scope="module")
+def fitted_estimator(speed_dataset, checkpoint_dataset):
+    speed_models = {
+        "k80": StepTimePredictor(StepTimeModelSpec("Univariate, K80", "cm", "linear",
+                                                   "k80")).fit(speed_dataset.measurements()),
+        "p100": StepTimePredictor(StepTimeModelSpec("Univariate, P100", "cm", "linear",
+                                                    "p100")).fit(speed_dataset.measurements()),
+    }
+    cluster_predictor = ClusterSpeedPredictor(per_gpu_predictors=speed_models)
+    checkpoint_predictor = CheckpointTimePredictor(TABLE4_MODEL_SPECS[0]).fit(
+        checkpoint_dataset.measurements())
+    revocation = RevocationEstimator(fallback_model=RevocationModel())
+    return TrainingTimeEstimator(cluster_predictor, checkpoint_predictor, revocation)
+
+
+def test_training_time_prediction_components(fitted_estimator, resnet32_profile):
+    job = TrainingJob(profile=resnet32_profile, total_steps=64_000,
+                      checkpoint_interval_steps=4000)
+    cluster = ClusterSpec.from_counts(k80=2, region_name="us-east1")
+    prediction = fitted_estimator.predict(job, cluster)
+    assert prediction.num_checkpoints == 16
+    assert prediction.compute_seconds == pytest.approx(64_000 / prediction.cluster_speed)
+    assert prediction.checkpoint_seconds == pytest.approx(
+        16 * prediction.checkpoint_time)
+    assert prediction.expected_revocations > 0
+    assert prediction.total_seconds == pytest.approx(
+        prediction.compute_seconds + prediction.checkpoint_seconds
+        + prediction.revocation_seconds)
+    assert prediction.total_hours == pytest.approx(prediction.total_seconds / 3600.0)
+
+
+def test_on_demand_cluster_has_no_revocation_term(fitted_estimator, resnet32_profile):
+    job = TrainingJob(profile=resnet32_profile, total_steps=8000,
+                      checkpoint_interval_steps=4000)
+    cluster = ClusterSpec.from_counts(k80=2, transient=False)
+    prediction = fitted_estimator.predict(job, cluster)
+    assert prediction.expected_revocations == 0.0
+    assert prediction.revocation_seconds == 0.0
+
+
+def test_prediction_error_helper(fitted_estimator):
+    assert fitted_estimator.prediction_error(110.0, 100.0) == pytest.approx(0.1)
+    with pytest.raises(ModelingError):
+        fitted_estimator.prediction_error(1.0, 0.0)
+
+
+def test_estimator_validation(fitted_estimator, resnet32_profile):
+    job = TrainingJob(profile=resnet32_profile, total_steps=100)
+    with pytest.raises(ModelingError):
+        fitted_estimator.predict(job, ClusterSpec.single("k80"), fixed_point_iterations=0)
+    with pytest.raises(ConfigurationError):
+        TrainingTimeEstimator(fitted_estimator.cluster_speed_predictor,
+                              fitted_estimator.checkpoint_predictor,
+                              provisioning_seconds=-1.0)
+
+
+def test_cost_model_transient_cheaper(fitted_estimator, resnet32_profile):
+    job = TrainingJob(profile=resnet32_profile, total_steps=64_000,
+                      checkpoint_interval_steps=4000)
+    cluster = ClusterSpec.from_counts(p100=4, region_name="us-east1")
+    prediction = fitted_estimator.predict(job, cluster)
+    estimate = ClusterCostModel().estimate(cluster, prediction)
+    assert estimate.transient_cost_usd < estimate.on_demand_cost_usd
+    assert 0.4 < estimate.savings_fraction < 0.85
+    assert estimate.transient_duration_hours >= estimate.on_demand_duration_hours
+
+
+def test_cost_model_hourly_rate_and_per_step(resnet32_profile):
+    model = ClusterCostModel()
+    cluster = ClusterSpec.from_counts(k80=2)
+    transient_rate = model.hourly_rate(cluster, transient_workers=True)
+    on_demand_rate = model.hourly_rate(cluster, transient_workers=False)
+    assert transient_rate < on_demand_rate
+    assert model.cost_per_step(cluster, cluster_speed=9.0, transient_workers=True) > 0
+    with pytest.raises(ConfigurationError):
+        model.cost_per_step(cluster, cluster_speed=0.0, transient_workers=True)

@@ -1,0 +1,71 @@
+"""Tests for the checkpoint-time ground truth and the network model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.calibration import CHECKPOINT_ANCHOR_SECONDS
+from repro.perf.checkpoint_time import CheckpointTimeModel
+from repro.perf.network import NetworkModel
+from repro.workloads.catalog import default_catalog
+
+
+@pytest.fixture()
+def model():
+    return CheckpointTimeModel(rng=np.random.default_rng(0))
+
+
+def test_resnet32_checkpoint_matches_anchor(model, catalog):
+    files = catalog.profile("resnet_32").checkpoint
+    assert model.mean_time(files) == pytest.approx(CHECKPOINT_ANCHOR_SECONDS, rel=1e-6)
+
+
+def test_checkpoint_time_grows_with_size(model, catalog):
+    profiles = sorted(catalog.profiles(), key=lambda p: p.checkpoint.total_bytes)
+    times = [model.mean_time(p.checkpoint) for p in profiles]
+    assert times == sorted(times)
+
+
+def test_sampled_times_have_low_cov(model, catalog):
+    files = catalog.profile("shake_shake_small").checkpoint
+    samples = [model.sample_time(files) for _ in range(200)]
+    cov = np.std(samples) / np.mean(samples)
+    assert cov < 0.08  # The paper observes CoV between 0.018 and 0.073.
+
+
+def test_mean_time_for_bytes_linear(model):
+    base = model.mean_time_for_bytes(0)
+    one = model.mean_time_for_bytes(100 * 1024 * 1024)
+    two = model.mean_time_for_bytes(200 * 1024 * 1024)
+    assert two - one == pytest.approx(one - base, rel=1e-6)
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ConfigurationError):
+        CheckpointTimeModel(base_seconds=-1.0)
+    with pytest.raises(ConfigurationError):
+        CheckpointTimeModel(seconds_per_mb=-0.1)
+    model = CheckpointTimeModel()
+    with pytest.raises(ConfigurationError):
+        model.mean_time_for_bytes(-1)
+
+
+def test_network_same_region_is_fastest():
+    network = NetworkModel()
+    size = 50 * 1024 * 1024
+    same = network.transfer_time(size, "us-east1", "us-east1")
+    continent = network.transfer_time(size, "us-east1", "us-west1")
+    cross = network.transfer_time(size, "us-east1", "asia-east1")
+    assert same < continent < cross
+
+
+def test_network_gradient_push_is_two_transfers():
+    network = NetworkModel()
+    one_way = network.transfer_time(1024, "us-east1", "us-east1")
+    push = network.gradient_push_time(1024, "us-east1", "us-east1")
+    assert push == pytest.approx(2 * one_way)
+
+
+def test_network_rejects_negative_size():
+    with pytest.raises(ConfigurationError):
+        NetworkModel().transfer_time(-1, "us-east1", "us-east1")

@@ -1,0 +1,110 @@
+"""Tests for the parameter-server capacity model (Table III / Fig. 4 / Fig. 12)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.ps_capacity import PSCapacityModel, effective_cluster_speed
+from repro.perf.step_time import StepTimeModel
+from repro.workloads.catalog import default_catalog
+
+MB = 1024 * 1024
+
+
+@pytest.fixture()
+def model():
+    return PSCapacityModel()
+
+
+def test_capacity_decreases_with_gradient_size(model):
+    capacities = [model.single_ps_capacity(mb * MB) for mb in (1, 5, 15, 50, 200)]
+    assert capacities == sorted(capacities, reverse=True)
+
+
+def test_capacity_positive_even_for_extreme_sizes(model):
+    assert model.single_ps_capacity(0.1 * MB) > 0
+    assert model.single_ps_capacity(2000 * MB) > 0
+
+
+def test_capacity_scales_sublinearly_with_ps_count(model):
+    single = model.capacity(15 * MB, 1)
+    double = model.capacity(15 * MB, 2)
+    assert single < double < 2 * single
+    # Fig. 12: adding a second PS yields up to ~70% improvement.
+    assert 1.6 < double / single < 2.0
+
+
+def test_invalid_inputs_rejected(model):
+    with pytest.raises(ConfigurationError):
+        model.single_ps_capacity(0)
+    with pytest.raises(ConfigurationError):
+        model.capacity(MB, 0)
+    with pytest.raises(ConfigurationError):
+        PSCapacityModel(anchors=[(1.0, 10.0)])
+    with pytest.raises(ConfigurationError):
+        effective_cluster_speed(10.0, 0.0)
+
+
+def test_effective_cluster_speed_soft_minimum():
+    assert effective_cluster_speed(10.0, 1000.0) == pytest.approx(10.0, rel=1e-3)
+    assert effective_cluster_speed(1000.0, 10.0) == pytest.approx(10.0, rel=1e-2)
+    middle = effective_cluster_speed(10.0, 10.0)
+    assert 8.0 < middle < 10.0
+    assert effective_cluster_speed(0.0, 10.0) == 0.0
+
+
+def test_cluster_speed_matches_table3_shape(model):
+    catalog = default_catalog()
+    steps = StepTimeModel()
+    profile = catalog.profile("resnet_32")
+
+    def cluster_speed(gpu, n):
+        speed = steps.mean_speed(profile.gflops, gpu)
+        return model.cluster_speed([speed] * n, profile.parameter_bytes, 1)
+
+    # K80 clusters never bottleneck through eight workers (per-worker step
+    # time within a few percent of the baseline).
+    k80_slowdown = model.worker_slowdown(
+        [steps.mean_speed(profile.gflops, "k80")] * 8, profile.parameter_bytes, 1)
+    assert k80_slowdown < 1.06
+    # P100 clusters saturate by eight workers, V100 by four.
+    p100_8 = model.worker_slowdown(
+        [steps.mean_speed(profile.gflops, "p100")] * 8, profile.parameter_bytes, 1)
+    assert p100_8 > 1.8
+    v100_4 = model.worker_slowdown(
+        [steps.mean_speed(profile.gflops, "v100")] * 4, profile.parameter_bytes, 1)
+    assert v100_4 > 1.2
+    # Cluster speed is monotone in the worker count even when saturated.
+    assert cluster_speed("p100", 8) >= cluster_speed("p100", 4) >= cluster_speed("p100", 1)
+
+
+def test_second_ps_lifts_saturated_cluster(model):
+    catalog = default_catalog()
+    steps = StepTimeModel()
+    profile = catalog.profile("resnet_32")
+    speeds = [steps.mean_speed(profile.gflops, "p100")] * 8
+    one_ps = model.cluster_speed(speeds, profile.parameter_bytes, 1)
+    two_ps = model.cluster_speed(speeds, profile.parameter_bytes, 2)
+    improvement = two_ps / one_ps - 1.0
+    assert 0.5 < improvement < 0.85  # The paper reports "up to 70.6%".
+
+
+def test_scaling_efficiencies_flatten_cluster_speed(model):
+    speeds = [2.0] * 6
+    flat = model.cluster_speed(speeds, 10 * MB, 1, scaling_efficiencies=[0.0] * 6)
+    normal = model.cluster_speed(speeds, 10 * MB, 1, scaling_efficiencies=[1.0] * 6)
+    assert flat == pytest.approx(2.0, rel=0.05)
+    assert normal > 5 * flat / 2
+
+
+def test_scaling_efficiency_length_mismatch_rejected(model):
+    with pytest.raises(ConfigurationError):
+        model.cluster_speed([1.0, 2.0], MB, 1, scaling_efficiencies=[1.0])
+
+
+def test_utilization_and_slowdown_consistency(model):
+    speeds = [10.0] * 4
+    utilization = model.utilization(speeds, 15 * MB, 1)
+    slowdown = model.worker_slowdown(speeds, 15 * MB, 1)
+    assert utilization > 0
+    assert slowdown >= 1.0
+    assert model.worker_slowdown([], 15 * MB, 1) == 1.0

@@ -1,0 +1,90 @@
+"""Tests for the replacement- and recomputation-overhead ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.recomputation import RecomputationModel
+from repro.perf.replacement import ReplacementOverheadModel
+
+
+@pytest.fixture()
+def model():
+    return ReplacementOverheadModel(rng=np.random.default_rng(0))
+
+
+def test_cold_start_much_more_expensive_than_warm(model, resnet15_profile):
+    cold = model.mean_total(resnet15_profile, cold=True)
+    warm = model.mean_total(resnet15_profile, cold=False)
+    # The paper reports ~75.6 s cold vs ~14.8 s warm for ResNet-15.
+    assert 60.0 < cold < 95.0
+    assert 10.0 < warm < 20.0
+    assert cold > 3.0 * warm
+
+
+def test_overhead_grows_with_model_complexity(model, catalog):
+    small = model.mean_total(catalog.profile("resnet_15"), cold=False)
+    big = model.mean_total(catalog.profile("shake_shake_big"), cold=False)
+    # Shake-Shake Big costs roughly 15 seconds more than ResNet-15 (Fig. 10).
+    assert 10.0 < big - small < 25.0
+
+
+def test_breakdown_components(model, resnet32_profile):
+    cold = model.mean_breakdown(resnet32_profile, cold=True)
+    warm = model.mean_breakdown(resnet32_profile, cold=False)
+    assert cold.server_startup > 0 and cold.dataset_download > 0
+    assert warm.server_startup == 0 and warm.dataset_download == 0
+    assert cold.graph_setup == pytest.approx(warm.graph_setup)
+    assert cold.total == pytest.approx(
+        cold.server_startup + cold.dataset_download + cold.framework_start
+        + cold.session_join + cold.graph_setup)
+
+
+def test_sampled_breakdown_close_to_mean(model, resnet15_profile):
+    totals = [model.sample(resnet15_profile, cold=True).total for _ in range(100)]
+    assert np.mean(totals) == pytest.approx(
+        model.mean_total(resnet15_profile, cold=True), rel=0.1)
+
+
+def test_sample_rejects_negative_cov(model, resnet15_profile):
+    with pytest.raises(ConfigurationError):
+        model.sample(resnet15_profile, cold=True, cov=-0.1)
+
+
+def test_overhead_not_gpu_dependent_for_warm_starts(model, resnet15_profile):
+    # Warm starts reuse an existing server, so the GPU type is irrelevant.
+    assert model.mean_total(resnet15_profile, cold=False, gpu_name="k80") == pytest.approx(
+        model.mean_total(resnet15_profile, cold=False, gpu_name="v100"))
+
+
+def test_legacy_recomputation_grows_with_lost_steps():
+    model = RecomputationModel()
+    overheads = [model.legacy_overhead(steps, cluster_speed=18.9)
+                 for steps in (1000, 2000, 3000)]
+    assert overheads == sorted(overheads)
+    assert overheads[0] > model.session_restart_seconds
+
+
+def test_transient_tf_bounded_by_checkpoint_interval():
+    model = RecomputationModel()
+    bounded = model.transient_tf_overhead(10_000, checkpoint_interval_steps=4000,
+                                          cluster_speed=18.9)
+    assert bounded == pytest.approx(4000 / 18.9)
+
+
+def test_savings_equals_legacy_overhead():
+    model = RecomputationModel()
+    assert model.savings(1500, 4000, 18.9) == pytest.approx(
+        model.legacy_overhead(1500, 18.9))
+
+
+def test_recomputation_invalid_inputs():
+    model = RecomputationModel()
+    with pytest.raises(ConfigurationError):
+        model.legacy_overhead(-1, 10.0)
+    with pytest.raises(ConfigurationError):
+        model.legacy_overhead(10, 0.0)
+    with pytest.raises(ConfigurationError):
+        model.transient_tf_overhead(10, 0, 10.0)
+    with pytest.raises(ConfigurationError):
+        RecomputationModel(session_restart_seconds=-1)

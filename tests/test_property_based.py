@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import empirical_cdf
+from repro.modeling.linear import LinearRegression
+from repro.modeling.metrics import mean_absolute_error, root_mean_squared_error
+from repro.modeling.preprocessing import MinMaxScaler, PCA
+from repro.perf.ps_capacity import PSCapacityModel, effective_cluster_speed
+from repro.perf.step_time import StepTimeModel
+from repro.simulation.engine import Simulator
+from repro.training.cluster import ClusterSpec
+
+# Keep hypothesis fast and deterministic inside CI.
+COMMON_SETTINGS = settings(max_examples=50, deadline=None)
+
+
+@COMMON_SETTINGS
+@given(st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=30),
+       st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=30))
+def test_mae_is_nonnegative_and_bounded_by_rmse(a, b):
+    size = min(len(a), len(b))
+    y_true, y_pred = a[:size], b[:size]
+    mae = mean_absolute_error(y_true, y_pred)
+    rmse = root_mean_squared_error(y_true, y_pred)
+    assert mae >= 0.0
+    assert mae <= rmse + 1e-9
+
+
+@COMMON_SETTINGS
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=40))
+def test_minmax_scaler_output_in_unit_interval(values):
+    data = np.array(values).reshape(-1, 1)
+    scaled = MinMaxScaler().fit_transform(data)
+    assert scaled.min() >= -1e-9
+    assert scaled.max() <= 1.0 + 1e-9
+
+
+@COMMON_SETTINGS
+@given(st.integers(min_value=3, max_value=30), st.integers(min_value=2, max_value=4))
+def test_pca_projection_has_requested_shape(n_samples, n_features):
+    rng = np.random.default_rng(n_samples * 10 + n_features)
+    data = rng.normal(size=(n_samples, n_features))
+    pca = PCA(n_components=min(2, n_features))
+    projected = pca.fit_transform(data)
+    assert projected.shape == (n_samples, min(2, n_features))
+    # Components are orthonormal.
+    gram = pca.components_ @ pca.components_.T
+    assert np.allclose(gram, np.eye(gram.shape[0]), atol=1e-8)
+
+
+@COMMON_SETTINGS
+@given(st.floats(min_value=0.01, max_value=1e4), st.floats(min_value=0.01, max_value=1e4))
+def test_effective_cluster_speed_bounded_by_both_terms(demand, capacity):
+    speed = effective_cluster_speed(demand, capacity)
+    assert speed <= min(demand, capacity) + 1e-9
+    assert speed >= 0.5 * min(demand, capacity)
+
+
+@COMMON_SETTINGS
+@given(st.floats(min_value=0.1, max_value=500.0), st.integers(min_value=1, max_value=4))
+def test_ps_capacity_monotone_in_ps_count(gradient_mb, n_ps):
+    model = PSCapacityModel()
+    gradient_bytes = gradient_mb * 1024 * 1024
+    smaller = model.capacity(gradient_bytes, n_ps)
+    larger = model.capacity(gradient_bytes, n_ps + 1)
+    assert larger > smaller
+
+
+@COMMON_SETTINGS
+@given(st.floats(min_value=0.05, max_value=30.0),
+       st.sampled_from(["k80", "p100", "v100"]))
+def test_step_time_positive_and_speed_consistent(gflops, gpu):
+    model = StepTimeModel()
+    step_time = model.mean_step_time(gflops, gpu)
+    assert step_time > 0
+    assert model.mean_speed(gflops, gpu) * step_time == np.float64(1.0) or np.isclose(
+        model.mean_speed(gflops, gpu) * step_time, 1.0, rtol=1e-9)
+
+
+@COMMON_SETTINGS
+@given(st.lists(st.floats(min_value=0.1, max_value=24.0), min_size=1, max_size=50),
+       st.lists(st.floats(min_value=0.0, max_value=30.0), min_size=1, max_size=20))
+def test_empirical_cdf_is_monotone_and_bounded(values, grid):
+    ordered_grid = sorted(grid)
+    cdf = empirical_cdf(values, ordered_grid, population=len(values) + 5)
+    assert all(0.0 <= v <= 1.0 for v in cdf)
+    assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+
+
+@COMMON_SETTINGS
+@given(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5),
+       st.integers(min_value=0, max_value=5))
+def test_cluster_counts_round_trip(k80, p100, v100):
+    if k80 + p100 + v100 == 0:
+        k80 = 1
+    cluster = ClusterSpec.from_counts(k80=k80, p100=p100, v100=v100,
+                                      region_name="us-central1")
+    assert cluster.counts() == (k80, p100, v100)
+    assert cluster.num_workers == k80 + p100 + v100
+    assert cluster.is_heterogeneous == (len([c for c in (k80, p100, v100) if c]) > 1)
+
+
+@COMMON_SETTINGS
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=2, max_size=20))
+def test_simulator_fires_events_in_sorted_order(delays):
+    simulator = Simulator()
+    fired = []
+    for delay in delays:
+        simulator.schedule(delay, lambda s, d=delay: fired.append(s.now))
+    simulator.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@COMMON_SETTINGS
+@given(st.floats(min_value=-5.0, max_value=5.0), st.floats(min_value=-5.0, max_value=5.0),
+       st.integers(min_value=5, max_value=40))
+def test_linear_regression_recovers_exact_line(slope, intercept, n):
+    x = np.linspace(0.0, 1.0, n).reshape(-1, 1)
+    y = slope * x.ravel() + intercept
+    model = LinearRegression().fit(x, y)
+    assert np.isclose(model.coef_[0], slope, atol=1e-6)
+    assert np.isclose(model.intercept_, intercept, atol=1e-6)

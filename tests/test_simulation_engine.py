@@ -1,0 +1,136 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.engine import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_can_start_elsewhere():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_negative_start_time_rejected():
+    with pytest.raises(SimulationError):
+        Simulator(start_time=-1.0)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda s: fired.append("late"))
+    sim.schedule(1.0, lambda s: fired.append("early"))
+    sim.schedule(2.0, lambda s: fired.append("middle"))
+    sim.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_simultaneous_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1.0, lambda s, label=label: fired.append(label))
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(4.5, lambda s: seen.append(s.now))
+    sim.run()
+    assert seen == [4.5]
+    assert sim.now == 4.5
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda s: None)
+    sim.schedule(1.0, lambda s: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda s: None)
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda s: fired.append("cancelled"))
+    sim.schedule(2.0, lambda s: fired.append("kept"))
+    event.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_events_scheduled_from_callbacks_run():
+    sim = Simulator()
+    fired = []
+
+    def chain(s):
+        fired.append(s.now)
+        if len(fired) < 3:
+            s.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda s: fired.append(1))
+    sim.schedule(10.0, lambda s: fired.append(10))
+    processed = sim.run(until=5.0)
+    assert processed == 1
+    assert fired == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_run_max_events_bounds_processing():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda s: None)
+    assert sim.run(max_events=4) == 4
+    assert sim.pending_events() == 6
+
+
+def test_step_returns_none_when_empty():
+    assert Simulator().step() is None
+
+
+def test_advance_to_moves_clock_without_events():
+    sim = Simulator()
+    sim.advance_to(12.0)
+    assert sim.now == 12.0
+    with pytest.raises(SimulationError):
+        sim.advance_to(5.0)
+
+
+def test_advance_to_refuses_to_skip_events():
+    sim = Simulator()
+    sim.schedule(2.0, lambda s: None)
+    with pytest.raises(SimulationError):
+        sim.advance_to(3.0)
+
+
+def test_hour_of_day_wraps_around():
+    sim = Simulator(epoch_hour_utc=23.0)
+    assert sim.hour_of_day_utc() == pytest.approx(23.0)
+    assert sim.hour_of_day_utc(at=2 * 3600.0) == pytest.approx(1.0)
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda s: None)
+    cancel = sim.schedule(2.0, lambda s: None)
+    cancel.cancel()
+    assert sim.pending_events() == 1
+    assert keep.time == 1.0

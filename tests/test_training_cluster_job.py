@@ -1,0 +1,110 @@
+"""Tests for cluster specifications and training jobs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.training.cluster import ClusterSpec, WorkerSpec
+from repro.training.job import TrainingJob, measurement_job
+
+
+def test_worker_spec_validates_region_gpu_combination():
+    WorkerSpec(gpu_name="v100", region_name="us-central1")
+    with pytest.raises(ConfigurationError):
+        WorkerSpec(gpu_name="v100", region_name="us-east1")
+
+
+def test_worker_spec_normalizes_names():
+    worker = WorkerSpec(gpu_name="K80", region_name="US-EAST1")
+    assert worker.gpu_name == "k80"
+    assert worker.region_name == "us-east1"
+
+
+def test_from_counts_matches_paper_notation():
+    cluster = ClusterSpec.from_counts(k80=2, p100=1, v100=1, region_name="us-central1")
+    assert cluster.counts() == (2, 1, 1)
+    assert cluster.num_workers == 4
+    assert cluster.is_heterogeneous
+    assert cluster.describe() == "(2, 1, 1) + 1 PS"
+
+
+def test_single_cluster_is_simplest_configuration():
+    cluster = ClusterSpec.single("k80")
+    assert cluster.num_workers == 1
+    assert cluster.num_parameter_servers == 1
+    assert not cluster.is_heterogeneous
+
+
+def test_homogeneous_cluster_not_heterogeneous():
+    cluster = ClusterSpec.from_counts(p100=4)
+    assert not cluster.is_heterogeneous
+    assert cluster.gpu_names() == ["p100"] * 4
+
+
+def test_cluster_requires_workers_and_ps():
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(workers=())
+    with pytest.raises(ConfigurationError):
+        ClusterSpec.from_counts(k80=1, num_parameter_servers=0)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec.from_counts(k80=-1)
+
+
+def test_with_parameter_servers_returns_new_spec():
+    cluster = ClusterSpec.from_counts(p100=2)
+    upgraded = cluster.with_parameter_servers(2)
+    assert cluster.num_parameter_servers == 1
+    assert upgraded.num_parameter_servers == 2
+    assert upgraded.workers == cluster.workers
+
+
+def test_with_additional_worker():
+    cluster = ClusterSpec.from_counts(k80=1)
+    bigger = cluster.with_additional_worker(WorkerSpec(gpu_name="p100"))
+    assert bigger.num_workers == 2
+    assert bigger.counts() == (1, 1, 0)
+
+
+def test_transient_flag_propagates():
+    transient = ClusterSpec.from_counts(k80=2, transient=True)
+    on_demand = ClusterSpec.from_counts(k80=2, transient=False)
+    assert transient.is_transient
+    assert not on_demand.is_transient
+
+
+def test_training_job_validation(resnet32_profile):
+    with pytest.raises(ConfigurationError):
+        TrainingJob(profile=resnet32_profile, total_steps=0)
+    with pytest.raises(ConfigurationError):
+        TrainingJob(profile=resnet32_profile, batch_size=0)
+    with pytest.raises(ConfigurationError):
+        TrainingJob(profile=resnet32_profile, checkpoint_interval_steps=0)
+
+
+def test_training_job_derived_quantities(resnet32_profile):
+    job = TrainingJob(profile=resnet32_profile, total_steps=64_000,
+                      checkpoint_interval_steps=4000, batch_size=128)
+    assert job.num_checkpoints == 16
+    assert job.checkpointing_enabled
+    assert job.images_processed() == 64_000 * 128
+    assert job.epochs() == pytest.approx(64_000 * 128 / 50_000)
+    assert job.model_name == "resnet_32"
+
+
+def test_measurement_job_disables_checkpointing_by_default(resnet32_profile):
+    job = measurement_job(resnet32_profile, steps=4000)
+    assert job.total_steps == 4000
+    assert not job.checkpointing_enabled
+
+
+def test_measurement_job_with_checkpointing(resnet32_profile):
+    job = measurement_job(resnet32_profile, steps=400, checkpointing=True,
+                          checkpoint_interval_steps=100)
+    assert job.num_checkpoints == 4
+
+
+def test_with_steps_returns_copy(resnet32_profile):
+    job = TrainingJob(profile=resnet32_profile, total_steps=1000)
+    longer = job.with_steps(5000)
+    assert job.total_steps == 1000
+    assert longer.total_steps == 5000
+    assert longer.profile is job.profile

@@ -1,0 +1,175 @@
+"""Tests for the asynchronous training-session simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TrainingError
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec, WorkerSpec
+from repro.training.job import TrainingJob, measurement_job
+from repro.training.session import TrainingSession
+
+
+def make_session(profile, cluster=None, steps=600, checkpoint_interval=None, seed=0,
+                 **kwargs):
+    cluster = cluster if cluster is not None else ClusterSpec.single("k80")
+    if checkpoint_interval is None:
+        job = measurement_job(profile, steps=steps)
+    else:
+        job = TrainingJob(profile=profile, total_steps=steps,
+                          checkpoint_interval_steps=checkpoint_interval)
+    return TrainingSession(Simulator(), cluster, job, streams=RandomStreams(seed),
+                           **kwargs)
+
+
+def test_single_worker_speed_matches_table1(resnet32_profile):
+    session = make_session(resnet32_profile, steps=2000)
+    trace = session.run_to_completion()
+    # Table I: 4.56 steps/s for ResNet-32 on a K80 (ours is calibrated to
+    # the paper's GFLOPs so a few percent deviation is expected).
+    assert trace.cluster_speed() == pytest.approx(4.56, rel=0.05)
+    assert session.finished
+    assert trace.total_steps >= 2000
+
+
+def test_speed_is_stable_after_warmup(resnet15_profile):
+    session = make_session(resnet15_profile, steps=3000)
+    trace = session.run_to_completion()
+    assert trace.speed_stability() < 0.02  # Fig. 2: CoV of at most 0.02.
+
+
+def test_cluster_speed_scales_with_workers(resnet15_profile):
+    single = make_session(resnet15_profile, steps=1500).run_to_completion()
+    quad = make_session(resnet15_profile, steps=1500,
+                        cluster=ClusterSpec.from_counts(k80=4)).run_to_completion()
+    ratio = quad.cluster_speed() / single.cluster_speed()
+    assert 3.3 < ratio < 4.3
+
+
+def test_checkpoints_happen_at_interval(resnet32_profile):
+    session = make_session(resnet32_profile, steps=500, checkpoint_interval=100)
+    trace = session.run_to_completion()
+    # The final checkpoint at step 500 is skipped because training finishes.
+    assert len(trace.checkpoint_records) == 4
+    assert all(record.worker_id == "worker-0" for record in trace.checkpoint_records)
+    assert trace.total_checkpoint_time() > 0
+
+
+def test_checkpoint_storage_upload(resnet32_profile):
+    from repro.cloud.storage import CloudStorage
+
+    storage = CloudStorage("us-east1")
+    session = make_session(resnet32_profile, steps=300, checkpoint_interval=100,
+                           storage=storage)
+    session.run_to_completion()
+    assert len(storage.list_objects("checkpoints/resnet_32/")) == 2
+
+
+def test_revocation_removes_worker_and_records(resnet15_profile):
+    cluster = ClusterSpec.from_counts(k80=2)
+    session = make_session(resnet15_profile, cluster=cluster, steps=2000)
+    session.start()
+    session.simulator.run(until=20.0)
+    revoked = session.handle_revocation("worker-1")
+    assert not revoked.active
+    trace = session.run_to_completion()
+    assert trace.num_revocations == 1
+    assert not trace.revocation_records[0].was_chief
+    assert session.finished
+
+
+def test_chief_revocation_hands_off_checkpoint_role(resnet15_profile):
+    cluster = ClusterSpec.from_counts(k80=2)
+    session = make_session(resnet15_profile, cluster=cluster, steps=1500,
+                           checkpoint_interval=400)
+    session.start()
+    session.simulator.run(until=10.0)
+    session.handle_revocation("worker-0")
+    assert session.chief() is not None
+    assert session.chief().worker_id == "worker-1"
+    trace = session.run_to_completion()
+    # Checkpoints continue to be written by the new chief.
+    assert any(record.worker_id == "worker-1" for record in trace.checkpoint_records)
+    assert trace.revocation_records[0].was_chief
+
+
+def test_all_workers_revoked_raises(resnet15_profile):
+    session = make_session(resnet15_profile, steps=5000)
+    session.start()
+    session.simulator.run(until=5.0)
+    session.handle_revocation("worker-0")
+    with pytest.raises(TrainingError):
+        session.run_to_completion()
+
+
+def test_add_worker_speeds_up_training(resnet15_profile):
+    session = make_session(resnet15_profile, steps=2000)
+    session.start()
+    session.simulator.run(until=10.0)
+    session.add_worker(WorkerSpec(gpu_name="p100"), overhead_seconds=5.0)
+    trace = session.run_to_completion()
+    assert trace.num_replacements == 1
+    assert len(trace.worker_ids()) == 2
+
+
+def test_reuse_chief_ip_discards_progress(resnet15_profile):
+    cluster = ClusterSpec.from_counts(k80=2)
+    fast = make_session(resnet15_profile, cluster=cluster, steps=1200,
+                        checkpoint_interval=400, seed=5)
+    fast.start()
+    fast.simulator.run(until=30.0)
+    fast.handle_revocation("worker-0")
+    fast.add_worker(WorkerSpec(gpu_name="k80"), overhead_seconds=1.0,
+                    reuse_chief_ip=True)
+    trace_legacy = fast.run_to_completion()
+
+    clean = make_session(resnet15_profile, cluster=cluster, steps=1200,
+                         checkpoint_interval=400, seed=5)
+    clean.start()
+    clean.simulator.run(until=30.0)
+    clean.handle_revocation("worker-0")
+    clean.add_worker(WorkerSpec(gpu_name="k80"), overhead_seconds=1.0,
+                     reuse_chief_ip=False)
+    trace_fresh = clean.run_to_completion()
+    assert trace_legacy.duration > trace_fresh.duration
+
+
+def test_add_parameter_server_restarts_session(resnet15_profile):
+    cluster = ClusterSpec.from_counts(p100=6)
+    session = make_session(resnet15_profile, cluster=cluster, steps=4000)
+    session.start()
+    session.simulator.run(until=10.0)
+    before = session.ps_group.count
+    session.add_parameter_server()
+    assert session.ps_group.count == before + 1
+    trace = session.run_to_completion()
+    assert trace.total_steps >= 4000
+
+
+def test_current_cluster_speed_analytics(resnet32_profile):
+    cluster = ClusterSpec.from_counts(p100=8)
+    session = make_session(resnet32_profile, cluster=cluster, steps=200)
+    assert session.current_utilization() > 1.0
+    assert session.current_slowdown() > 1.5
+    single = make_session(resnet32_profile, steps=200)
+    assert single.current_slowdown() == pytest.approx(1.0, abs=0.01)
+
+
+def test_invalid_session_configuration(resnet32_profile):
+    with pytest.raises(ConfigurationError):
+        make_session(resnet32_profile, steps_per_event=0)
+    with pytest.raises(ConfigurationError):
+        make_session(resnet32_profile, chief_worker_index=5)
+
+
+def test_deterministic_given_seed(resnet32_profile):
+    first = make_session(resnet32_profile, steps=800, seed=9).run_to_completion()
+    second = make_session(resnet32_profile, steps=800, seed=9).run_to_completion()
+    assert first.duration == pytest.approx(second.duration)
+    assert first.cluster_speed() == pytest.approx(second.cluster_speed())
+
+
+def test_unknown_worker_revocation_rejected(resnet32_profile):
+    session = make_session(resnet32_profile)
+    with pytest.raises(TrainingError):
+        session.handle_revocation("worker-99")

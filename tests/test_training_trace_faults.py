@@ -1,0 +1,117 @@
+"""Tests for training traces, parameter-server state, and fault injection."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec, WorkerSpec
+from repro.training.faults import FaultInjector
+from repro.training.job import measurement_job
+from repro.training.parameter_server import ParameterServerGroup
+from repro.training.session import TrainingSession
+from repro.training.trace import StepRecord, TrainingTrace
+from repro.training.worker import WorkerState
+
+
+def make_trace_with_records():
+    trace = TrainingTrace(model_name="m", cluster_description="(1, 0, 0) + 1 PS")
+    time = 0.0
+    for step in range(1, 41):
+        trace.step_records.append(StepRecord(
+            worker_id="worker-0", start_time=time, end_time=time + 1.0,
+            steps=10, cluster_step=step * 10, worker_step=step * 10))
+        time += 1.0
+    trace.end_time = time
+    return trace
+
+
+def test_trace_cluster_speed_and_series():
+    trace = make_trace_with_records()
+    assert trace.cluster_speed(warmup_steps=100) == pytest.approx(10.0)
+    series = trace.speed_series(window_steps=100)
+    assert len(series) == 4
+    assert all(speed == pytest.approx(10.0) for _step, speed in series)
+    assert trace.speed_stability(warmup_steps=0) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_trace_worker_statistics():
+    trace = make_trace_with_records()
+    mean, std = trace.worker_mean_step_time("worker-0")
+    assert mean == pytest.approx(0.1)
+    assert std == pytest.approx(0.0, abs=1e-12)
+    with pytest.raises(DataError):
+        trace.worker_step_times("worker-9")
+
+
+def test_trace_requires_post_warmup_data():
+    trace = TrainingTrace(model_name="m", cluster_description="c")
+    with pytest.raises(DataError):
+        trace.cluster_speed()
+    with pytest.raises(DataError):
+        trace.speed_stability()
+
+
+def test_trace_summary_keys():
+    trace = make_trace_with_records()
+    summary = trace.summary()
+    assert summary["total_steps"] == 400
+    assert "cluster_speed" in summary
+    assert summary["num_revocations"] == 0
+
+
+def test_parameter_server_group_validation():
+    with pytest.raises(ConfigurationError):
+        ParameterServerGroup(count=0)
+    group = ParameterServerGroup(count=1)
+    group.record_updates(50)
+    assert group.updates_applied == 50
+    with pytest.raises(ConfigurationError):
+        group.record_updates(-1)
+    group.add_servers()
+    assert group.count == 2
+    with pytest.raises(ConfigurationError):
+        group.add_servers(0)
+
+
+def test_parameter_server_capacity_grows_with_count():
+    group = ParameterServerGroup(count=1)
+    one = group.capacity(10 * 1024 * 1024)
+    group.add_servers()
+    assert group.capacity(10 * 1024 * 1024) > one
+
+
+def test_worker_state_revoke():
+    worker = WorkerState(worker_id="w", spec=WorkerSpec(gpu_name="k80"))
+    assert worker.active and worker.is_transient
+    worker.revoke(12.0)
+    assert not worker.active
+    assert worker.revoked_at == 12.0
+
+
+def test_fault_injector_revokes_and_replaces(resnet15_profile):
+    cluster = ClusterSpec.from_counts(k80=2)
+    session = TrainingSession(Simulator(), cluster,
+                              measurement_job(resnet15_profile, steps=1500),
+                              streams=RandomStreams(3))
+    injector = FaultInjector(session, poll_interval_seconds=0.5)
+    injector.revoke_at_step("worker-0", 300)
+    injector.replace_at_step(WorkerSpec(gpu_name="k80"), 600, overhead_seconds=5.0)
+    trace = session.run_to_completion()
+    assert trace.num_revocations == 1
+    assert trace.num_replacements == 1
+    assert trace.revocation_records[0].cluster_step >= 300
+    assert trace.replacement_records[0].cluster_step >= 600
+
+
+def test_fault_injector_validation(resnet15_profile):
+    session = TrainingSession(Simulator(), ClusterSpec.single("k80"),
+                              measurement_job(resnet15_profile, steps=200),
+                              streams=RandomStreams(0))
+    with pytest.raises(ConfigurationError):
+        FaultInjector(session, poll_interval_seconds=0.0)
+    injector = FaultInjector(session)
+    with pytest.raises(ConfigurationError):
+        injector.revoke_at_step("worker-0", -1)
+    with pytest.raises(ConfigurationError):
+        injector.replace_at_step(WorkerSpec(gpu_name="k80"), -5)

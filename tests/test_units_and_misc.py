@@ -1,0 +1,83 @@
+"""Tests for unit helpers and miscellaneous behaviours not covered elsewhere."""
+
+import pytest
+
+from repro import __version__
+from repro import units
+from repro.cloud.storage import CloudStorage
+from repro.cmdare.experiment import run_training_experiment
+from repro.cmdare.resource_manager import ResourceManager
+from repro.cloud.provider import SimulatedCloudProvider
+from repro.errors import ConfigurationError, ReproError, UnknownGPUError
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec
+from repro.training.job import measurement_job
+
+
+def test_version_is_exposed():
+    assert isinstance(__version__, str)
+    assert __version__.count(".") == 2
+
+
+def test_time_conversions():
+    assert units.seconds_to_ms(1.5) == pytest.approx(1500.0)
+    assert units.ms_to_seconds(250.0) == pytest.approx(0.25)
+    assert units.hours_to_seconds(2.0) == pytest.approx(7200.0)
+    assert units.seconds_to_hours(1800.0) == pytest.approx(0.5)
+    assert units.DAY == 24 * units.HOUR
+
+
+def test_size_conversions():
+    assert units.bytes_to_mb(units.MB) == pytest.approx(1.0)
+    assert units.mb_to_bytes(2.0) == pytest.approx(2 * 1024 * 1024)
+    assert units.GB == 1024 * units.MB
+
+
+def test_flops_conversions():
+    assert units.flops_to_gflops(units.GIGAFLOP) == pytest.approx(1.0)
+    assert units.gflops_to_flops(1.54) == pytest.approx(1.54e9)
+    assert units.flops_to_teraflops(units.teraflops_to_flops(4.11)) == pytest.approx(4.11)
+
+
+def test_exception_hierarchy():
+    assert issubclass(ConfigurationError, ReproError)
+    assert issubclass(UnknownGPUError, ConfigurationError)
+    error = UnknownGPUError("tpu", known=("k80",))
+    assert "tpu" in str(error) and "k80" in str(error)
+
+
+def test_experiment_with_storage_uploads_checkpoints(resnet32_profile):
+    job = measurement_job(resnet32_profile, steps=400, checkpointing=True,
+                          checkpoint_interval_steps=100)
+    result = run_training_experiment(ClusterSpec.single("k80"), job, seed=1,
+                                     with_storage=True, with_controller=False)
+    assert result.session.storage is not None
+    assert len(result.session.storage.list_objects("checkpoints/")) >= 3
+
+
+def test_resource_manager_validate_spec():
+    provider = SimulatedCloudProvider(Simulator(), streams=RandomStreams(0))
+    manager = ResourceManager(provider)
+    manager.validate_spec(ClusterSpec.from_counts(v100=1, region_name="us-central1"))
+
+
+def test_storage_checkpoint_keys_are_per_model(resnet15_profile, resnet32_profile):
+    storage = CloudStorage("us-east1")
+    storage.put("checkpoints/resnet_15/model.ckpt-100", 100, at_time=1.0)
+    storage.put("checkpoints/resnet_32/model.ckpt-100", 200, at_time=2.0)
+    assert len(storage.list_objects("checkpoints/resnet_15/")) == 1
+    assert storage.latest("checkpoints/").size_bytes == 200
+
+
+def test_trace_records_worker_steps_monotonically(resnet15_profile):
+    from repro.training.session import TrainingSession
+
+    session = TrainingSession(Simulator(), ClusterSpec.single("k80"),
+                              measurement_job(resnet15_profile, steps=300),
+                              streams=RandomStreams(2))
+    trace = session.run_to_completion()
+    per_worker = [r.worker_step for r in trace.step_records
+                  if r.worker_id == "worker-0"]
+    assert per_worker == sorted(per_worker)
+    assert per_worker[-1] >= 300

@@ -1,0 +1,103 @@
+"""Tests for the ResNet/Shake-Shake builders and the twenty-model catalog."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownModelError
+from repro.workloads.catalog import (
+    NAMED_MODELS,
+    PAPER_MODEL_GFLOPS,
+    default_catalog,
+)
+from repro.workloads.profiler import profile_model
+from repro.workloads.resnet import build_resnet, build_resnet_15, build_resnet_32
+from repro.workloads.shake_shake import (
+    build_shake_shake,
+    build_shake_shake_big,
+    build_shake_shake_small,
+)
+
+
+def test_resnet_depths_map_to_blocks():
+    assert build_resnet(depth=15, base_width=16).name == "resnet_15"
+    assert build_resnet(depth=32, base_width=16).name == "resnet_32"
+    with pytest.raises(ConfigurationError):
+        build_resnet(depth=17)
+    with pytest.raises(ConfigurationError):
+        build_resnet(depth=15, base_width=0)
+
+
+def test_resnet_32_deeper_than_15():
+    small = build_resnet_15(base_width=16)
+    big = build_resnet_32(base_width=16)
+    assert big.num_layers > small.num_layers
+    assert big.params > small.params
+    assert big.gflops > small.gflops
+
+
+def test_resnet_width_scaling_is_roughly_quadratic():
+    narrow = build_resnet(depth=15, base_width=16)
+    wide = build_resnet(depth=15, base_width=32)
+    ratio = wide.gflops / narrow.gflops
+    assert 3.0 < ratio < 4.5
+
+
+def test_shake_shake_has_two_branches():
+    model = build_shake_shake(depth=26, base_width=32)
+    assert model.parallel_branches == 2
+    with pytest.raises(ConfigurationError):
+        build_shake_shake(depth=27)
+
+
+def test_shake_shake_big_wider_than_small():
+    small = build_shake_shake_small()
+    big = build_shake_shake_big()
+    assert big.params > small.params
+    assert big.gflops > small.gflops
+
+
+def test_catalog_contains_twenty_models():
+    catalog = default_catalog()
+    assert len(catalog) == 20
+    assert len(catalog.named_models()) == 4
+    assert len(catalog.custom_models()) == 16
+    assert set(NAMED_MODELS).issubset(set(catalog.names()))
+
+
+def test_catalog_named_models_match_paper_gflops():
+    catalog = default_catalog()
+    for name, target in PAPER_MODEL_GFLOPS.items():
+        measured = catalog.profile(name).gflops
+        assert measured == pytest.approx(target, rel=0.06), name
+
+
+def test_catalog_spans_a_wide_complexity_range():
+    low, high = default_catalog().gflops_range()
+    assert low < 0.3
+    assert high > 15.0
+
+
+def test_catalog_lookup_and_errors():
+    catalog = default_catalog()
+    assert catalog.graph("resnet_32").name == "resnet_32"
+    assert "resnet_32" in catalog
+    assert "alexnet" not in catalog
+    with pytest.raises(UnknownModelError):
+        catalog.get("alexnet")
+
+
+def test_catalog_is_cached():
+    assert default_catalog() is default_catalog()
+
+
+def test_profiles_consistent_with_graphs():
+    catalog = default_catalog()
+    for entry in catalog:
+        fresh = profile_model(entry.graph)
+        assert fresh.gflops == pytest.approx(entry.profile.gflops)
+        assert fresh.params == entry.profile.params
+        assert entry.profile.parameter_bytes == entry.profile.params * 4
+
+
+def test_custom_models_have_unique_names():
+    names = default_catalog().names()
+    assert len(names) == len(set(names))

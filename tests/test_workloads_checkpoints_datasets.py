@@ -1,0 +1,81 @@
+"""Tests for checkpoint file sizing and dataset specifications."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.checkpoints import (
+    BYTES_PER_PARAM,
+    OPTIMIZER_SLOTS_PER_PARAM,
+    checkpoint_files_for,
+)
+from repro.workloads.datasets import CIFAR10, IMAGENET, DatasetSpec
+from repro.workloads.catalog import default_catalog
+
+
+def test_data_file_includes_optimizer_slots():
+    graph = default_catalog().graph("resnet_15")
+    files = checkpoint_files_for(graph)
+    expected = graph.params * BYTES_PER_PARAM * (1 + OPTIMIZER_SLOTS_PER_PARAM)
+    assert files.data_bytes == expected
+
+
+def test_plain_sgd_checkpoint_is_smaller():
+    graph = default_catalog().graph("resnet_15")
+    adam = checkpoint_files_for(graph, optimizer_slots=2)
+    sgd = checkpoint_files_for(graph, optimizer_slots=0)
+    assert sgd.data_bytes < adam.data_bytes
+    assert sgd.index_bytes < adam.index_bytes
+
+
+def test_index_and_meta_scale_with_tensors():
+    catalog = default_catalog()
+    small = catalog.profile("resnet_15").checkpoint
+    large = catalog.profile("resnet_32").checkpoint
+    assert large.index_bytes > small.index_bytes
+    assert large.meta_bytes > small.meta_bytes
+
+
+def test_total_is_sum_of_files():
+    files = default_catalog().profile("shake_shake_small").checkpoint
+    assert files.total_bytes == files.data_bytes + files.index_bytes + files.meta_bytes
+    assert files.total_mb == pytest.approx(files.total_bytes / (1024 * 1024))
+
+
+def test_data_file_dominates_for_large_models():
+    files = default_catalog().profile("shake_shake_big").checkpoint
+    assert files.data_bytes > 10 * (files.index_bytes + files.meta_bytes)
+
+
+def test_checkpoint_sizes_monotone_in_params():
+    catalog = default_catalog()
+    profiles = sorted(catalog.profiles(), key=lambda p: p.params)
+    sizes = [p.checkpoint.data_bytes for p in profiles]
+    assert sizes == sorted(sizes)
+
+
+def test_cifar10_spec_matches_the_paper():
+    assert CIFAR10.image_shape == (32, 32, 3)
+    assert CIFAR10.total_examples == 60_000
+    assert CIFAR10.num_classes == 10
+
+
+def test_steps_per_epoch():
+    assert CIFAR10.steps_per_epoch(batch_size=128) == 50_000 // 128
+    with pytest.raises(ConfigurationError):
+        CIFAR10.steps_per_epoch(batch_size=0)
+
+
+def test_examples_for_steps():
+    assert CIFAR10.examples_for_steps(100, 128) == 12_800
+    with pytest.raises(ConfigurationError):
+        CIFAR10.examples_for_steps(-1, 128)
+
+
+def test_imagenet_is_much_larger_than_cifar():
+    assert IMAGENET.size_bytes > 100 * CIFAR10.size_bytes
+
+
+def test_invalid_dataset_rejected():
+    with pytest.raises(ConfigurationError):
+        DatasetSpec(name="bad", image_shape=(1, 1, 1), num_train_examples=0,
+                    num_eval_examples=0, num_classes=1, size_bytes=1)

@@ -1,0 +1,69 @@
+"""Tests for the generic custom-CNN builder."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.step_time import StepTimeModel
+from repro.workloads.custom import build_plain_cnn, complexity_sweep
+from repro.workloads.profiler import profile_model
+
+
+def test_plain_cnn_structure():
+    graph = build_plain_cnn(num_stages=3, blocks_per_stage=2, base_width=32)
+    assert graph.family == "plain_cnn"
+    assert graph.name == "plain_cnn_d7_w32"
+    # 3 stages x 2 blocks x (conv + bn + relu) + pooling + dense.
+    assert graph.num_layers == 3 * 2 * 3 + 2
+    assert graph.params > 0
+    assert graph.gflops > 0
+
+
+def test_plain_cnn_depth_and_width_increase_complexity():
+    narrow = build_plain_cnn(base_width=16)
+    wide = build_plain_cnn(base_width=48)
+    shallow = build_plain_cnn(blocks_per_stage=1)
+    deep = build_plain_cnn(blocks_per_stage=4)
+    assert wide.gflops > narrow.gflops
+    assert deep.gflops > shallow.gflops
+    assert wide.params > narrow.params
+
+
+def test_plain_cnn_resolution_halves_per_stage():
+    graph = build_plain_cnn(num_stages=3, blocks_per_stage=1, base_width=8)
+    shapes = [stat.output_shape for stat in graph.layer_stats()]
+    # The final conv stage runs at 8x8 for a 32x32 input.
+    conv_shapes = [shape for shape in shapes if shape[2] == 32]
+    assert conv_shapes[0][:2] == (8, 8)
+
+
+def test_plain_cnn_validation():
+    with pytest.raises(ConfigurationError):
+        build_plain_cnn(num_stages=0)
+    with pytest.raises(ConfigurationError):
+        build_plain_cnn(num_stages=6)
+    with pytest.raises(ConfigurationError):
+        build_plain_cnn(blocks_per_stage=0)
+    with pytest.raises(ConfigurationError):
+        build_plain_cnn(base_width=0)
+    with pytest.raises(ConfigurationError):
+        build_plain_cnn(kernel_size=4)
+
+
+def test_complexity_sweep_is_sorted_and_usable_for_prediction():
+    graphs = complexity_sweep()
+    assert len(graphs) == 12
+    gflops = [graph.gflops for graph in graphs]
+    assert gflops == sorted(gflops)
+    assert gflops[-1] > 5 * gflops[0]
+    # The sweep plugs straight into the ground-truth step-time model, i.e. it
+    # can extend a measurement campaign with new complexity points.
+    model = StepTimeModel()
+    profiles = [profile_model(graph) for graph in graphs]
+    times = [model.mean_step_time(profile.gflops, "k80") for profile in profiles]
+    assert times == sorted(times)
+
+
+def test_complexity_sweep_checkpoints_scale():
+    graphs = complexity_sweep(widths=(1, 4), depths=(2,))
+    small, large = (profile_model(graph) for graph in graphs)
+    assert large.checkpoint.total_bytes > small.checkpoint.total_bytes

@@ -1,0 +1,111 @@
+"""Tests for layer descriptors and model graphs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.graph import ModelGraph
+from repro.workloads.layers import (
+    Activation,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Pooling,
+    Shortcut,
+    TRAINING_FLOPS_MULTIPLIER,
+)
+
+
+def test_conv2d_params_and_flops():
+    layer = Conv2D(filters=16, kernel_size=3)
+    stats = layer.stats((32, 32, 3))
+    assert stats.params == 3 * 3 * 3 * 16
+    assert stats.forward_flops == pytest.approx(2 * stats.params * 32 * 32)
+    assert stats.output_shape == (32, 32, 16)
+    assert stats.tensors == 1
+
+
+def test_conv2d_stride_halves_resolution():
+    stats = Conv2D(filters=8, stride=2).stats((32, 32, 4))
+    assert stats.output_shape == (16, 16, 8)
+
+
+def test_conv2d_bias_adds_params_and_tensor():
+    without = Conv2D(filters=8, use_bias=False).stats((8, 8, 4))
+    with_bias = Conv2D(filters=8, use_bias=True).stats((8, 8, 4))
+    assert with_bias.params == without.params + 8
+    assert with_bias.tensors == 2
+
+
+def test_batch_norm_two_tensors():
+    stats = BatchNorm().stats((16, 16, 32))
+    assert stats.params == 64
+    assert stats.tensors == 2
+    assert stats.output_shape == (16, 16, 32)
+
+
+def test_activation_and_pooling_have_no_params():
+    assert Activation().stats((8, 8, 16)).params == 0
+    assert Pooling().stats((8, 8, 16)).params == 0
+
+
+def test_global_pooling_collapses_spatial_dims():
+    stats = Pooling(global_pool=True).stats((8, 8, 64))
+    assert stats.output_shape == (1, 1, 64)
+
+
+def test_dense_params():
+    stats = Dense(units=10).stats((1, 1, 64))
+    assert stats.params == 64 * 10 + 10
+    assert stats.output_shape == (1, 1, 10)
+
+
+def test_shortcut_projection_vs_identity():
+    identity = Shortcut(filters=16).stats((8, 8, 16))
+    projection = Shortcut(filters=32, stride=2, projection=True).stats((8, 8, 16))
+    assert identity.params == 0
+    assert projection.params == 16 * 32
+    assert projection.output_shape == (4, 4, 32)
+
+
+def test_graph_aggregates_layers():
+    graph = ModelGraph(name="tiny", family="test", input_shape=(32, 32, 3))
+    graph.add(Conv2D(filters=8)).add(BatchNorm()).add(Activation())
+    graph.add(Pooling(global_pool=True)).add(Dense(units=10))
+    assert graph.num_layers == 5
+    assert graph.params == sum(s.params for s in graph.layer_stats())
+    assert graph.training_flops == pytest.approx(
+        graph.forward_flops * TRAINING_FLOPS_MULTIPLIER)
+    assert graph.gflops > 0
+    assert "tiny" in graph.summary()
+
+
+def test_graph_shape_propagation():
+    graph = ModelGraph(name="shapes", family="test", input_shape=(32, 32, 3))
+    graph.extend([Conv2D(filters=4, stride=2), Conv2D(filters=8, stride=2)])
+    stats = graph.layer_stats()
+    assert stats[0].output_shape == (16, 16, 4)
+    assert stats[1].output_shape == (8, 8, 8)
+
+
+def test_parallel_branches_double_cost():
+    single = ModelGraph(name="single", family="test", input_shape=(32, 32, 3))
+    single.add(Conv2D(filters=8))
+    double = ModelGraph(name="double", family="test", input_shape=(32, 32, 3),
+                        parallel_branches=2)
+    double.add(Conv2D(filters=8))
+    assert double.params == 2 * single.params
+    assert double.forward_flops == pytest.approx(2 * single.forward_flops)
+
+
+def test_parameter_bytes_uses_four_bytes_per_param():
+    graph = ModelGraph(name="g", family="test", input_shape=(8, 8, 3))
+    graph.add(Dense(units=10))
+    assert graph.parameter_bytes() == graph.params * 4
+
+
+def test_invalid_graph_configuration_rejected():
+    with pytest.raises(ConfigurationError):
+        ModelGraph(name="bad", family="test", input_shape=(0, 32, 3))
+    with pytest.raises(ConfigurationError):
+        ModelGraph(name="bad", family="test", input_shape=(32, 32, 3),
+                   parallel_branches=0)
