@@ -14,7 +14,6 @@ from repro.cloud.revocation import RevocationModel
 from repro.cmdare.experiment import run_training_experiment
 from repro.modeling.checkpoint_predictor import TABLE4_MODEL_SPECS, CheckpointTimePredictor
 from repro.modeling.cost import ClusterCostModel
-from repro.modeling.revocation_estimator import RevocationEstimator
 from repro.modeling.speed_predictor import (
     ClusterSpeedPredictor,
     StepTimeModelSpec,

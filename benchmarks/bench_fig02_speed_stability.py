@@ -14,10 +14,12 @@ from repro.measurement.speed_campaign import run_speed_stability_campaign
 from repro.workloads.catalog import NAMED_MODELS
 
 
-def test_fig2_speed_stability(benchmark, catalog):
+def test_fig2_speed_stability(benchmark, catalog, sweep_workers, sweep_cache_dir):
     series = benchmark.pedantic(
         lambda: run_speed_stability_campaign(gpu_name="k80", model_names=NAMED_MODELS,
-                                             steps=2000, seed=12, catalog=catalog),
+                                             steps=2000, seed=12, catalog=catalog,
+                                             workers=sweep_workers,
+                                             cache_dir=sweep_cache_dir),
         rounds=1, iterations=1)
 
     figure = FigureSeries(title="Fig. 2: training speed vs steps (K80)",

@@ -12,10 +12,12 @@ from repro.analysis.figures import FigureSeries, ascii_plot
 from repro.measurement.scaling_campaign import run_cluster_scaling_campaign
 
 
-def test_fig4_cluster_scaling(benchmark, catalog):
+def test_fig4_cluster_scaling(benchmark, catalog, sweep_workers, sweep_cache_dir):
     result = benchmark.pedantic(
         lambda: run_cluster_scaling_campaign(worker_counts=tuple(range(1, 9)),
-                                             steps=2000, seed=14, catalog=catalog),
+                                             steps=2000, seed=14, catalog=catalog,
+                                             workers=sweep_workers,
+                                             cache_dir=sweep_cache_dir),
         rounds=1, iterations=1)
 
     figure = FigureSeries(title="Fig. 4: cluster speed vs #P100 workers",

@@ -14,10 +14,12 @@ from repro.analysis.tables import format_table
 from repro.measurement.checkpoint_campaign import run_checkpoint_campaign
 
 
-def test_fig5_checkpoint_size_vs_time(benchmark, catalog, checkpoint_campaign):
+def test_fig5_checkpoint_size_vs_time(benchmark, catalog, checkpoint_campaign,
+                                      sweep_workers, sweep_cache_dir):
     sequential = benchmark.pedantic(
         lambda: run_checkpoint_campaign(model_names=["resnet_32"], seed=15,
-                                        catalog=catalog).sequential_check,
+                                        catalog=catalog, workers=sweep_workers,
+                                        cache_dir=sweep_cache_dir).sequential_check,
         rounds=1, iterations=1)
 
     points = sorted(checkpoint_campaign.scatter())

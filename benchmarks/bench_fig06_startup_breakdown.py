@@ -10,9 +10,11 @@ from repro.analysis.tables import format_table
 from repro.measurement.startup_campaign import run_startup_breakdown_campaign
 
 
-def test_fig6_startup_breakdown(benchmark):
+def test_fig6_startup_breakdown(benchmark, sweep_workers, sweep_cache_dir):
     result = benchmark.pedantic(
-        lambda: run_startup_breakdown_campaign(samples_per_cell=50, seed=16),
+        lambda: run_startup_breakdown_campaign(samples_per_cell=50, seed=16,
+                                               workers=sweep_workers,
+                                               cache_dir=sweep_cache_dir),
         rounds=1, iterations=1)
 
     rows = []

@@ -11,9 +11,11 @@ from repro.analysis.tables import format_table
 from repro.measurement.startup_campaign import run_replacement_startup_campaign
 
 
-def test_fig7_startup_after_revocation(benchmark):
+def test_fig7_startup_after_revocation(benchmark, sweep_workers, sweep_cache_dir):
     result = benchmark.pedantic(
-        lambda: run_replacement_startup_campaign(samples_per_cell=60, seed=17),
+        lambda: run_replacement_startup_campaign(samples_per_cell=60, seed=17,
+                                                 workers=sweep_workers,
+                                                 cache_dir=sweep_cache_dir),
         rounds=1, iterations=1)
 
     rows = []

@@ -13,10 +13,13 @@ from repro.measurement.replacement_campaign import run_replacement_overhead_camp
 from repro.workloads.catalog import NAMED_MODELS
 
 
-def test_fig10_replacement_overhead(benchmark, catalog):
+def test_fig10_replacement_overhead(benchmark, catalog, sweep_workers,
+                                    sweep_cache_dir):
     result = benchmark.pedantic(
         lambda: run_replacement_overhead_campaign(repetitions=10, seed=18,
-                                                  catalog=catalog),
+                                                  catalog=catalog,
+                                                  workers=sweep_workers,
+                                                  cache_dir=sweep_cache_dir),
         rounds=1, iterations=1)
 
     rows = []

@@ -15,10 +15,12 @@ from repro.analysis.tables import format_table
 from repro.measurement.replacement_campaign import run_recomputation_campaign
 
 
-def test_fig11_recomputation_overhead(benchmark, catalog):
+def test_fig11_recomputation_overhead(benchmark, catalog, sweep_workers,
+                                      sweep_cache_dir):
     result = benchmark.pedantic(
         lambda: run_recomputation_campaign(
-            replacement_steps=(1500, 2000, 2500, 3000, 3500), seed=19, catalog=catalog),
+            replacement_steps=(1500, 2000, 2500, 3000, 3500), seed=19, catalog=catalog,
+            workers=sweep_workers, cache_dir=sweep_cache_dir),
         rounds=1, iterations=1)
 
     rows = [[point.replacement_step, point.legacy_seconds, point.transient_tf_seconds,

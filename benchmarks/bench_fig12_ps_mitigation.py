@@ -14,11 +14,14 @@ from repro.measurement.scaling_campaign import run_ps_mitigation_campaign
 from repro.perf.step_time import StepTimeModel
 
 
-def test_fig12_ps_bottleneck_mitigation(benchmark, catalog):
+def test_fig12_ps_bottleneck_mitigation(benchmark, catalog, sweep_workers,
+                                        sweep_cache_dir):
     results = benchmark.pedantic(
         lambda: run_ps_mitigation_campaign(model_names=("resnet_15", "resnet_32"),
                                            worker_counts=tuple(range(1, 9)),
-                                           steps=2000, seed=20, catalog=catalog),
+                                           steps=2000, seed=20, catalog=catalog,
+                                           workers=sweep_workers,
+                                           cache_dir=sweep_cache_dir),
         rounds=1, iterations=1)
 
     print()

@@ -13,11 +13,13 @@ from repro.perf.calibration import PAPER_TABLE1_SPEEDS
 from repro.workloads.catalog import NAMED_MODELS
 
 
-def test_table1_training_speed(benchmark, catalog, named_speed_campaign):
+def test_table1_training_speed(benchmark, catalog, named_speed_campaign,
+                               sweep_workers, sweep_cache_dir):
     campaign = benchmark.pedantic(
         lambda: run_speed_campaign(model_names=NAMED_MODELS,
                                    gpu_names=("k80",), steps=1000, seed=11,
-                                   catalog=catalog),
+                                   catalog=catalog, workers=sweep_workers,
+                                   cache_dir=sweep_cache_dir),
         rounds=1, iterations=1)
     # The benchmark call above times one GPU column; the full table comes
     # from the shared session campaign.

@@ -11,10 +11,13 @@ from repro.analysis.tables import format_table
 from repro.measurement.scaling_campaign import run_worker_step_time_campaign
 
 
-def test_table3_worker_step_time(benchmark, catalog):
+def test_table3_worker_step_time(benchmark, catalog, sweep_workers,
+                                 sweep_cache_dir):
     result = benchmark.pedantic(
         lambda: run_worker_step_time_campaign(model_name="resnet_32", steps=2000,
-                                              seed=13, catalog=catalog),
+                                              seed=13, catalog=catalog,
+                                              workers=sweep_workers,
+                                              cache_dir=sweep_cache_dir),
         rounds=1, iterations=1)
     table = result.as_table()
 

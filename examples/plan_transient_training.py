@@ -24,7 +24,6 @@ from repro.measurement.revocation_campaign import run_revocation_campaign
 from repro.measurement.speed_campaign import run_speed_campaign
 from repro.modeling.checkpoint_predictor import TABLE4_MODEL_SPECS, CheckpointTimePredictor
 from repro.modeling.cost import ClusterCostModel
-from repro.modeling.revocation_estimator import RevocationEstimator
 from repro.modeling.speed_predictor import (
     ClusterSpeedPredictor,
     StepTimeModelSpec,

@@ -1,10 +1,39 @@
-"""Setup shim.
+"""Packaging for the CM-DARE reproduction library.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-legacy (non-PEP-517) editable installs work in offline environments that
-lack the ``wheel`` package.
+Metadata lives here (rather than in ``pyproject.toml``'s ``[project]``
+table) so legacy editable installs — ``pip install -e .`` without the
+``wheel`` package — keep working in offline environments.  The package
+uses a ``src/`` layout; installing it makes ``import repro`` work without
+a manual ``PYTHONPATH`` and provides the ``repro-sweeps`` console script.
 """
 
-from setuptools import setup
+import os
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _read_version() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    with open(os.path.join(here, "src", "repro", "_version.py"), encoding="utf-8") as handle:
+        match = re.search(r'__version__ = "([^"]+)"', handle.read())
+    if match is None:
+        raise RuntimeError("cannot determine package version")
+    return match.group(1)
+
+
+setup(
+    name="repro-cmdare",
+    version=_read_version(),
+    description=("Reproduction of 'Characterizing and Modeling Distributed "
+                 "Training with Transient Cloud GPU Servers' (ICDCS 2020)"),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "scipy"],
+    entry_points={
+        "console_scripts": [
+            "repro-sweeps = repro.sweeps.cli:main",
+        ],
+    },
+)

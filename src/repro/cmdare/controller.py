@@ -21,7 +21,7 @@ from typing import List, Optional
 
 from repro.cmdare.bottleneck import BottleneckDetector, BottleneckReport
 from repro.cmdare.tracker import PerformanceTracker
-from repro.cmdare.transient_tf import RecoveryMode, TransientTensorFlowPolicy
+from repro.cmdare.transient_tf import TransientTensorFlowPolicy
 from repro.errors import ConfigurationError, DataError
 from repro.perf.replacement import ReplacementOverheadModel
 from repro.training.session import TrainingSession

@@ -11,7 +11,7 @@ a checkpoint in the window.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +20,13 @@ from repro.perf.checkpoint_time import CheckpointTimeModel
 from repro.perf.step_time import StepTimeModel
 from repro.simulation.engine import Simulator
 from repro.simulation.rng import RandomStreams
+from repro.sweeps import (
+    SweepCell,
+    SweepDefinition,
+    SweepRunner,
+    SweepSpec,
+    register_sweep,
+)
 from repro.training.cluster import ClusterSpec
 from repro.training.job import measurement_job
 from repro.training.session import TrainingSession
@@ -81,11 +88,43 @@ class CheckpointCampaignResult:
         return [(s.total_mb, s.mean_seconds, s.cov) for s in self.samples]
 
 
+def checkpoint_cell(cell: SweepCell, streams: RandomStreams,
+                    catalog: Optional[ModelCatalog]) -> Dict[str, Any]:
+    """Sweep cell: repeated checkpoint measurements for one model."""
+    catalog = catalog if catalog is not None else default_catalog()
+    profile = catalog.profile(cell.params["model_name"])
+    checkpoint_model = CheckpointTimeModel(rng=streams.get("checkpoint"))
+    durations = [float(checkpoint_model.sample_time(profile.checkpoint))
+                 for _ in range(cell.params["repetitions"])]
+    files = profile.checkpoint
+    return {
+        "model_name": cell.params["model_name"],
+        "total_mb": files.total_mb, "data_mb": files.data_mb,
+        "meta_mb": files.meta_mb, "index_mb": files.index_mb,
+        "data_bytes": files.data_bytes, "index_bytes": files.index_bytes,
+        "meta_bytes": files.meta_bytes,
+        "durations": durations,
+    }
+
+
+def build_checkpoint_spec(model_names: Optional[Sequence[str]] = None,
+                          repetitions: int = 5,
+                          catalog: Optional[ModelCatalog] = None) -> SweepSpec:
+    """The per-model checkpoint measurement grid of Fig. 5 / Table IV."""
+    if model_names is None:
+        catalog = catalog if catalog is not None else default_catalog()
+        model_names = catalog.names()
+    return SweepSpec("checkpoint", axes={"model_name": list(model_names)},
+                     fixed={"repetitions": int(repetitions)})
+
+
 def run_checkpoint_campaign(model_names: Optional[Sequence[str]] = None,
                             repetitions: int = 5, seed: int = 0,
                             catalog: Optional[ModelCatalog] = None,
                             with_sequential_check: bool = True,
-                            sequential_check_model: str = "resnet_32"
+                            sequential_check_model: str = "resnet_32",
+                            workers: Optional[int] = None,
+                            cache_dir: Optional[str] = None
                             ) -> CheckpointCampaignResult:
     """Measure checkpoint durations for every model in the catalog.
 
@@ -97,28 +136,29 @@ def run_checkpoint_campaign(model_names: Optional[Sequence[str]] = None,
         with_sequential_check: Also run the 100-steps-with/without-checkpoint
             cross-check the paper uses to show checkpointing is sequential.
         sequential_check_model: Model used for the cross-check.
+        workers: Worker processes for the sweep (serial if omitted).
+        cache_dir: Sweep result cache directory (no caching if omitted).
     """
     catalog = catalog if catalog is not None else default_catalog()
-    names = list(model_names) if model_names is not None else catalog.names()
-    streams = RandomStreams(seed=seed)
-    checkpoint_model = CheckpointTimeModel(rng=streams.get("checkpoint"))
+    spec = build_checkpoint_spec(model_names, repetitions, catalog)
+    sweep = SweepRunner(workers=workers, cache_dir=cache_dir, seed=seed).run(
+        spec, checkpoint_cell, context=catalog)
     result = CheckpointCampaignResult()
 
-    for model_name in names:
-        profile = catalog.profile(model_name)
-        durations = [checkpoint_model.sample_time(profile.checkpoint)
-                     for _ in range(repetitions)]
-        values = np.asarray(durations)
-        cov = float(values.std(ddof=1) / values.mean()) if repetitions > 1 else 0.0
-        files = profile.checkpoint
+    for payload in sweep.payloads():
+        values = np.asarray(payload["durations"])
+        cov = float(values.std(ddof=1) / values.mean()) if len(values) > 1 else 0.0
         result.samples.append(CheckpointSample(
-            model_name=model_name, total_mb=files.total_mb, data_mb=files.data_mb,
-            meta_mb=files.meta_mb, index_mb=files.index_mb,
+            model_name=payload["model_name"], total_mb=payload["total_mb"],
+            data_mb=payload["data_mb"], meta_mb=payload["meta_mb"],
+            index_mb=payload["index_mb"],
             mean_seconds=float(values.mean()), cov=cov))
-        for duration in durations:
+        for duration in payload["durations"]:
             result.profiler.record_checkpoint(CheckpointMeasurement(
-                model_name=model_name, data_bytes=files.data_bytes,
-                index_bytes=files.index_bytes, meta_bytes=files.meta_bytes,
+                model_name=payload["model_name"],
+                data_bytes=payload["data_bytes"],
+                index_bytes=payload["index_bytes"],
+                meta_bytes=payload["meta_bytes"],
                 duration=float(duration)))
 
     if with_sequential_check:
@@ -162,3 +202,14 @@ def _sequential_check(model_name: str, catalog: ModelCatalog, seed: int
     without_duration, _ = run(with_checkpoint=False)
     return (with_duration, without_duration, with_duration - without_duration,
             checkpoint_time)
+
+
+register_sweep(SweepDefinition(
+    name="checkpoint",
+    description="checkpoint duration vs size, all twenty models (Fig. 5)",
+    build_spec=build_checkpoint_spec,
+    cell_fn=checkpoint_cell,
+    build_context=default_catalog,
+    summarize=lambda result: result.to_table(
+        ["total_mb"], title="Fig. 5: checkpoint sizes (per-repetition "
+                            "durations in payloads)")))

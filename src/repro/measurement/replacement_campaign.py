@@ -14,7 +14,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +22,13 @@ from repro.perf.replacement import ReplacementOverheadModel
 from repro.perf.step_time import StepTimeModel
 from repro.simulation.engine import Simulator
 from repro.simulation.rng import RandomStreams
+from repro.sweeps import (
+    SweepCell,
+    SweepDefinition,
+    SweepRunner,
+    SweepSpec,
+    register_sweep,
+)
 from repro.training.cluster import ClusterSpec, WorkerSpec
 from repro.training.faults import FaultInjector
 from repro.training.job import TrainingJob
@@ -71,25 +78,48 @@ class ReplacementOverheadResult:
         return series
 
 
+def replacement_overhead_cell(cell: SweepCell, streams: RandomStreams,
+                              catalog: Optional[ModelCatalog]) -> Dict[str, Any]:
+    """Sweep cell: repeated replacement overheads for one (model, start type)."""
+    catalog = catalog if catalog is not None else default_catalog()
+    profile = catalog.profile(cell.params["model_name"])
+    model = ReplacementOverheadModel(rng=streams.get("replacement"))
+    totals = [float(model.sample(profile, cold=cell.params["cold_start"],
+                                 gpu_name=cell.params["gpu_name"]).total)
+              for _ in range(cell.params["repetitions"])]
+    return {"totals": totals}
+
+
+def build_replacement_overhead_spec(model_names: Sequence[str] = NAMED_MODELS,
+                                    gpu_name: str = "k80",
+                                    repetitions: int = 10) -> SweepSpec:
+    """The (model × cold/warm) grid of Fig. 10."""
+    return SweepSpec("replacement_overhead",
+                     axes={"model_name": list(model_names),
+                           "cold_start": [True, False]},
+                     fixed={"gpu_name": gpu_name, "repetitions": int(repetitions)})
+
+
 def run_replacement_overhead_campaign(model_names: Sequence[str] = NAMED_MODELS,
                                       gpu_name: str = "k80",
                                       repetitions: int = 10, seed: int = 0,
-                                      catalog: Optional[ModelCatalog] = None
+                                      catalog: Optional[ModelCatalog] = None,
+                                      workers: Optional[int] = None,
+                                      cache_dir: Optional[str] = None
                                       ) -> ReplacementOverheadResult:
     """Reproduce Fig. 10: cold and warm worker-replacement overhead."""
     catalog = catalog if catalog is not None else default_catalog()
-    streams = RandomStreams(seed=seed)
-    model = ReplacementOverheadModel(rng=streams.get("replacement"))
+    spec = build_replacement_overhead_spec(model_names, gpu_name, repetitions)
+    sweep = SweepRunner(workers=workers, cache_dir=cache_dir, seed=seed).run(
+        spec, replacement_overhead_cell, context=catalog)
     result = ReplacementOverheadResult()
-    for model_name in model_names:
-        profile = catalog.profile(model_name)
-        for cold in (True, False):
-            totals = np.array([model.sample(profile, cold=cold, gpu_name=gpu_name).total
-                               for _ in range(repetitions)])
-            result.cells.append(ReplacementOverheadCell(
-                model_name=model_name, cold_start=cold,
-                mean_seconds=float(totals.mean()),
-                std_seconds=float(totals.std(ddof=1)) if repetitions > 1 else 0.0))
+    for cell_result in sweep:
+        totals = np.array(cell_result.payload["totals"])
+        result.cells.append(ReplacementOverheadCell(
+            model_name=cell_result.cell.params["model_name"],
+            cold_start=cell_result.cell.params["cold_start"],
+            mean_seconds=float(totals.mean()),
+            std_seconds=float(totals.std(ddof=1)) if len(totals) > 1 else 0.0))
     return result
 
 
@@ -157,13 +187,55 @@ def _time_to_reach_step(model_name: str, catalog: ModelCatalog, seed: int,
     return trace.end_time - trace.start_time
 
 
+def recomputation_cell(cell: SweepCell, streams: RandomStreams,
+                       catalog: Optional[ModelCatalog]) -> Dict[str, Any]:
+    """Sweep cell: one paired legacy/transient-TF Fig. 11 scenario.
+
+    Both scenarios replay the same derived seed so the comparison stays
+    paired, exactly as in the paper's protocol.
+    """
+    catalog = catalog if catalog is not None else default_catalog()
+    interval = cell.params["checkpoint_interval_steps"]
+    revoke_offset = cell.params["revocation_offset_steps"]
+    replace_at = cell.params["replacement_step"]
+    target = 2 * interval
+    run_seed = streams.seed
+    legacy = _time_to_reach_step(
+        cell.params["model_name"], catalog, run_seed, interval,
+        interval + revoke_offset, interval + replace_at, True, target)
+    transient = _time_to_reach_step(
+        cell.params["model_name"], catalog, run_seed, interval,
+        interval + revoke_offset, interval + replace_at, False, target)
+    return {"replacement_step": int(replace_at),
+            "legacy_seconds": float(legacy),
+            "transient_tf_seconds": float(transient),
+            "overhead_seconds": float(legacy - transient)}
+
+
+def build_recomputation_spec(model_name: str = "resnet_15",
+                             checkpoint_interval_steps: int = 4000,
+                             revocation_offset_steps: int = 1000,
+                             replacement_steps: Sequence[int] = (1500, 2000, 2500,
+                                                                 3000, 3500)
+                             ) -> SweepSpec:
+    """The replacement-timing axis of Fig. 11."""
+    return SweepSpec(
+        "recomputation",
+        axes={"replacement_step": [int(step) for step in replacement_steps]},
+        fixed={"model_name": model_name,
+               "checkpoint_interval_steps": int(checkpoint_interval_steps),
+               "revocation_offset_steps": int(revocation_offset_steps)})
+
+
 def run_recomputation_campaign(model_name: str = "resnet_15",
                                checkpoint_interval_steps: int = 4000,
                                revocation_offset_steps: int = 1000,
                                replacement_steps: Sequence[int] = (1500, 2000, 2500,
                                                                    3000, 3500),
                                seed: int = 0,
-                               catalog: Optional[ModelCatalog] = None
+                               catalog: Optional[ModelCatalog] = None,
+                               workers: Optional[int] = None,
+                               cache_dir: Optional[str] = None
                                ) -> RecomputationResult:
     """Reproduce Fig. 11: TensorFlow-specific recomputation overhead.
 
@@ -178,22 +250,35 @@ def run_recomputation_campaign(model_name: str = "resnet_15",
         catalog: Model catalog.
     """
     catalog = catalog if catalog is not None else default_catalog()
+    spec = build_recomputation_spec(model_name, checkpoint_interval_steps,
+                                    revocation_offset_steps, replacement_steps)
+    sweep = SweepRunner(workers=workers, cache_dir=cache_dir, seed=seed).run(
+        spec, recomputation_cell, context=catalog)
     result = RecomputationResult(model_name=model_name,
                                  checkpoint_interval_steps=checkpoint_interval_steps,
                                  revocation_step=revocation_offset_steps)
-    target = 2 * checkpoint_interval_steps
-    for index, replace_at in enumerate(replacement_steps):
-        run_seed = seed * 503 + index
-        legacy = _time_to_reach_step(
-            model_name, catalog, run_seed, checkpoint_interval_steps,
-            checkpoint_interval_steps + revocation_offset_steps,
-            checkpoint_interval_steps + replace_at, True, target)
-        transient = _time_to_reach_step(
-            model_name, catalog, run_seed, checkpoint_interval_steps,
-            checkpoint_interval_steps + revocation_offset_steps,
-            checkpoint_interval_steps + replace_at, False, target)
+    for payload in sweep.payloads():
         result.points.append(RecomputationPoint(
-            replacement_step=replace_at, legacy_seconds=legacy,
-            transient_tf_seconds=transient,
-            overhead_seconds=legacy - transient))
+            replacement_step=payload["replacement_step"],
+            legacy_seconds=payload["legacy_seconds"],
+            transient_tf_seconds=payload["transient_tf_seconds"],
+            overhead_seconds=payload["overhead_seconds"]))
     return result
+
+
+register_sweep(SweepDefinition(
+    name="replacement_overhead",
+    description="cold vs warm worker replacement overhead (Fig. 10)",
+    build_spec=build_replacement_overhead_spec,
+    cell_fn=replacement_overhead_cell,
+    build_context=default_catalog))
+
+register_sweep(SweepDefinition(
+    name="recomputation",
+    description="recomputation overhead vs replacement timing (Fig. 11)",
+    build_spec=build_recomputation_spec,
+    cell_fn=recomputation_cell,
+    build_context=default_catalog,
+    summarize=lambda result: result.to_table(
+        ["legacy_seconds", "transient_tf_seconds", "overhead_seconds"],
+        title="Fig. 11: recomputation overhead (s)")))

@@ -15,7 +15,7 @@ the per-region lifetime CDFs (Fig. 8), and the hour-of-day histograms
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +25,13 @@ from repro.cloud.revocation import RevocationModel
 from repro.errors import DataError
 from repro.modeling.revocation_estimator import RevocationEstimator
 from repro.simulation.rng import RandomStreams
+from repro.sweeps import (
+    SweepCell,
+    SweepDefinition,
+    SweepRunner,
+    SweepSpec,
+    register_sweep,
+)
 
 #: Servers launched per (GPU, region) cell, matching the Table V counts.
 TABLE5_LAUNCH_COUNTS: Dict[Tuple[str, str], int] = {
@@ -171,10 +178,61 @@ class RevocationCampaignResult:
         return estimator
 
 
+def _launch_batch(launch: Dict[str, Any], days: int, streams: RandomStreams,
+                  model: RevocationModel) -> List[Dict[str, Any]]:
+    """Launch one (GPU, region) batch and record every server's fate.
+
+    Scheduling draws come from the cell's own streams so the protocol is
+    identical whichever revocation model observes the launches.
+    """
+    gpu_name, region_name = launch["gpu"], launch["region"]
+    scheduler_rng = streams.get("launch_schedule")
+    records: List[Dict[str, Any]] = []
+    for index in range(launch["count"]):
+        day = int(scheduler_rng.integers(0, days))
+        # Batches are requested during the (local) working day.
+        launch_hour = float(scheduler_rng.uniform(7.0, 19.0))
+        stressed = index % 2 == 1
+        outcome = model.sample(gpu_name, region_name,
+                               launch_hour_local=launch_hour, stressed=stressed)
+        records.append({
+            "gpu_name": get_gpu(gpu_name).name,
+            "region_name": get_region(region_name).name,
+            "day": day, "launch_hour_local": launch_hour, "stressed": stressed,
+            "revoked": outcome.revoked,
+            "lifetime_hours": float(outcome.lifetime_hours),
+            "revocation_hour_local": (
+                None if outcome.revocation_hour_local is None
+                else float(outcome.revocation_hour_local)),
+        })
+    return records
+
+
+def revocation_cell(cell: SweepCell, streams: RandomStreams,
+                    _context: Any) -> List[Dict[str, Any]]:
+    """Sweep cell: launch ``count`` servers in one (GPU, region) cell."""
+    model = RevocationModel(rng=streams.get("revocation"))
+    return _launch_batch(cell.params["launch"], cell.params["days"], streams,
+                         model)
+
+
+def build_revocation_spec(launch_counts: Optional[Dict[Tuple[str, str], int]] = None,
+                          days: int = CAMPAIGN_DAYS) -> SweepSpec:
+    """One sweep cell per (GPU, region) launch batch of Table V."""
+    counts = (dict(launch_counts) if launch_counts is not None
+              else dict(TABLE5_LAUNCH_COUNTS))
+    launches = [{"gpu": gpu, "region": region, "count": int(count)}
+                for (gpu, region), count in sorted(counts.items())]
+    return SweepSpec("revocation", axes={"launch": launches},
+                     fixed={"days": int(days)})
+
+
 def run_revocation_campaign(launch_counts: Optional[Dict[Tuple[str, str], int]] = None,
                             days: int = CAMPAIGN_DAYS,
                             seed: int = 0,
-                            revocation_model: Optional[RevocationModel] = None
+                            revocation_model: Optional[RevocationModel] = None,
+                            workers: Optional[int] = None,
+                            cache_dir: Optional[str] = None
                             ) -> RevocationCampaignResult:
     """Launch transient servers across regions/days and record their fates.
 
@@ -184,30 +242,47 @@ def run_revocation_campaign(launch_counts: Optional[Dict[Tuple[str, str], int]] 
         days: Number of campaign days the launches are spread over.
         seed: Root seed.
         revocation_model: Revocation model; the calibrated default if
-            omitted.
+            omitted.  A custom model forces the serial in-process path
+            (it cannot be shipped to worker processes or cached).
+        workers: Worker processes for the sweep (serial if omitted).
+        cache_dir: Sweep result cache directory (no caching if omitted).
 
     Returns:
         A :class:`RevocationCampaignResult`.
     """
-    counts = dict(launch_counts) if launch_counts is not None else dict(TABLE5_LAUNCH_COUNTS)
-    streams = RandomStreams(seed=seed)
-    model = (revocation_model if revocation_model is not None
-             else RevocationModel(rng=streams.get("revocation")))
-    scheduler_rng = streams.get("launch_schedule")
     result = RevocationCampaignResult()
+    spec = build_revocation_spec(launch_counts, days)
+    if revocation_model is not None:
+        # Bespoke model: run through the runner's serial in-process path
+        # (a closure never gets pickled there), sharing the cell fn's
+        # scheduling protocol, error contract, and result assembly.  No
+        # cache: the model's identity is not part of any cache key.
+        def bespoke_cell(cell, streams, _context):
+            return _launch_batch(cell.params["launch"], cell.params["days"],
+                                 streams, revocation_model)
 
-    for (gpu_name, region_name), count in sorted(counts.items()):
-        for index in range(count):
-            day = int(scheduler_rng.integers(0, days))
-            # Batches are requested during the (local) working day.
-            launch_hour = float(scheduler_rng.uniform(7.0, 19.0))
-            stressed = index % 2 == 1
-            outcome = model.sample(gpu_name, region_name,
-                                   launch_hour_local=launch_hour, stressed=stressed)
+        sweep = SweepRunner(workers=None, seed=seed).run(spec, bespoke_cell)
+    else:
+        sweep = SweepRunner(workers=workers, cache_dir=cache_dir, seed=seed).run(
+            spec, revocation_cell)
+    for batch in sweep.payloads():
+        for record in batch:
             result.records.append(ServerFateRecord(
-                gpu_name=get_gpu(gpu_name).name,
-                region_name=get_region(region_name).name,
-                day=day, launch_hour_local=launch_hour, stressed=stressed,
-                revoked=outcome.revoked, lifetime_hours=outcome.lifetime_hours,
-                revocation_hour_local=outcome.revocation_hour_local))
+                gpu_name=record["gpu_name"], region_name=record["region_name"],
+                day=record["day"], launch_hour_local=record["launch_hour_local"],
+                stressed=record["stressed"], revoked=record["revoked"],
+                lifetime_hours=record["lifetime_hours"],
+                revocation_hour_local=record["revocation_hour_local"]))
     return result
+
+
+register_sweep(SweepDefinition(
+    name="revocation",
+    description="12-day transient-server revocation campaign (Table V)",
+    build_spec=build_revocation_spec,
+    cell_fn=revocation_cell,
+    summarize=lambda result: "\n".join(
+        f"{r.cell.params['launch']['gpu']:5s} {r.cell.params['launch']['region']:14s}"
+        f" launched={len(r.payload):3d}"
+        f" revoked={sum(1 for record in r.payload if record['revoked']):3d}"
+        for r in result.results)))

@@ -15,7 +15,7 @@ Three related campaigns:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +24,13 @@ from repro.perf.ps_capacity import PSCapacityModel
 from repro.perf.step_time import StepTimeModel
 from repro.simulation.engine import Simulator
 from repro.simulation.rng import RandomStreams
+from repro.sweeps import (
+    SweepCell,
+    SweepDefinition,
+    SweepRunner,
+    SweepSpec,
+    register_sweep,
+)
 from repro.training.cluster import ClusterSpec
 from repro.training.job import measurement_job
 from repro.training.session import TrainingSession
@@ -37,10 +44,9 @@ TABLE3_HETEROGENEOUS: Tuple[int, int, int] = (2, 1, 1)
 
 
 def _run_cluster(cluster: ClusterSpec, model_name: str, catalog: ModelCatalog,
-                 steps: int, seed: int):
+                 steps: int, streams: RandomStreams):
     """Run one measurement session on a cluster and return its trace/session."""
     profile = catalog.profile(model_name)
-    streams = RandomStreams(seed=seed)
     simulator = Simulator()
     session = TrainingSession(simulator, cluster, measurement_job(profile, steps=steps),
                               streams=streams,
@@ -110,12 +116,64 @@ def _worker_step_time_for(trace, session, gpu_name: str) -> Tuple[float, float]:
     return float(means.mean()), float(stds.mean())
 
 
+def worker_step_time_cell(cell: SweepCell, streams: RandomStreams,
+                          catalog: Optional[ModelCatalog]) -> Dict[str, Any]:
+    """Sweep cell: one homogeneous cluster of ``size`` × ``gpu_name``."""
+    catalog = catalog if catalog is not None else default_catalog()
+    gpu = get_gpu(cell.params["gpu_name"])
+    size = int(cell.params["size"])
+    region = "us-central1" if gpu.name == "v100" else "us-east1"
+    counts = {name: 0 for name in ("k80", "p100", "v100")}
+    counts[gpu.name] = size
+    cluster = ClusterSpec.from_counts(region_name=region, **counts)
+    trace, session = _run_cluster(cluster, cell.params["model_name"], catalog,
+                                  cell.params["steps"], streams)
+    mean, std = _worker_step_time_for(trace, session, gpu.name)
+    label = ("baseline" if size == 1
+             else f"({counts['k80']}, {counts['p100']}, {counts['v100']})")
+    return {"gpu_name": gpu.name, "cluster_label": label,
+            "step_time_ms": mean * 1000.0, "step_time_std_ms": std * 1000.0}
+
+
+def heterogeneous_step_time_cell(cell: SweepCell, streams: RandomStreams,
+                                 catalog: Optional[ModelCatalog]
+                                 ) -> List[Dict[str, Any]]:
+    """Sweep cell: measure every GPU type inside one mixed-cluster session."""
+    catalog = catalog if catalog is not None else default_catalog()
+    k80, p100, v100 = cell.params["composition"]
+    cluster = ClusterSpec.from_counts(k80=k80, p100=p100, v100=v100,
+                                      region_name="us-central1")
+    trace, session = _run_cluster(cluster, cell.params["model_name"], catalog,
+                                  cell.params["steps"], streams)
+    label = f"({k80}, {p100}, {v100})"
+    payload = []
+    for gpu_name in cell.params["gpu_names"]:
+        mean, std = _worker_step_time_for(trace, session, gpu_name)
+        payload.append({"gpu_name": get_gpu(gpu_name).name, "cluster_label": label,
+                        "step_time_ms": mean * 1000.0,
+                        "step_time_std_ms": std * 1000.0})
+    return payload
+
+
+def build_worker_step_time_spec(model_name: str = "resnet_32",
+                                gpu_names: Sequence[str] = ("k80", "p100", "v100"),
+                                homogeneous_sizes: Sequence[int] = TABLE3_HOMOGENEOUS_SIZES,
+                                steps: int = 2000) -> SweepSpec:
+    """The homogeneous (GPU × cluster size) grid of Table III."""
+    return SweepSpec("worker_step_time",
+                     axes={"gpu_name": list(gpu_names),
+                           "size": [int(size) for size in homogeneous_sizes]},
+                     fixed={"model_name": model_name, "steps": int(steps)})
+
+
 def run_worker_step_time_campaign(model_name: str = "resnet_32",
                                   gpu_names: Sequence[str] = ("k80", "p100", "v100"),
                                   homogeneous_sizes: Sequence[int] = TABLE3_HOMOGENEOUS_SIZES,
                                   heterogeneous: Tuple[int, int, int] = TABLE3_HETEROGENEOUS,
                                   steps: int = 2000, seed: int = 0,
-                                  catalog: Optional[ModelCatalog] = None
+                                  catalog: Optional[ModelCatalog] = None,
+                                  workers: Optional[int] = None,
+                                  cache_dir: Optional[str] = None
                                   ) -> WorkerStepTimeResult:
     """Reproduce Table III: individual worker step time vs. cluster shape.
 
@@ -127,38 +185,34 @@ def run_worker_step_time_campaign(model_name: str = "resnet_32",
         steps: Measurement duration in steps.
         seed: Root seed.
         catalog: Model catalog.
+        workers: Worker processes for the sweep (serial if omitted).
+        cache_dir: Sweep result cache directory (no caching if omitted).
     """
     catalog = catalog if catalog is not None else default_catalog()
+    runner = SweepRunner(workers=workers, cache_dir=cache_dir, seed=seed)
     result = WorkerStepTimeResult(model_name=model_name)
-    run_index = 0
-    for gpu_name in gpu_names:
-        gpu = get_gpu(gpu_name)
-        region = "us-central1" if gpu.name == "v100" else "us-east1"
-        for size in homogeneous_sizes:
-            counts = {name: 0 for name in ("k80", "p100", "v100")}
-            counts[gpu.name] = size
-            cluster = ClusterSpec.from_counts(region_name=region, **counts)
-            trace, session = _run_cluster(cluster, model_name, catalog, steps,
-                                          seed * 7919 + run_index)
-            run_index += 1
-            mean, std = _worker_step_time_for(trace, session, gpu.name)
-            label = "baseline" if size == 1 else f"({counts['k80']}, {counts['p100']}, {counts['v100']})"
-            result.cells.append(WorkerStepTimeCell(
-                gpu_name=gpu.name, cluster_label=label,
-                step_time_ms=mean * 1000.0, step_time_std_ms=std * 1000.0))
 
-    # Heterogeneous cluster: measure every GPU type inside one session.
-    k80, p100, v100 = heterogeneous
-    cluster = ClusterSpec.from_counts(k80=k80, p100=p100, v100=v100,
-                                      region_name="us-central1")
-    trace, session = _run_cluster(cluster, model_name, catalog, steps,
-                                  seed * 7919 + run_index)
-    label = f"({k80}, {p100}, {v100})"
-    for gpu_name in gpu_names:
-        mean, std = _worker_step_time_for(trace, session, gpu_name)
+    homogeneous = runner.run(
+        build_worker_step_time_spec(model_name, gpu_names, homogeneous_sizes,
+                                    steps),
+        worker_step_time_cell, context=catalog)
+    for payload in homogeneous.payloads():
         result.cells.append(WorkerStepTimeCell(
-            gpu_name=get_gpu(gpu_name).name, cluster_label=label,
-            step_time_ms=mean * 1000.0, step_time_std_ms=std * 1000.0))
+            gpu_name=payload["gpu_name"], cluster_label=payload["cluster_label"],
+            step_time_ms=payload["step_time_ms"],
+            step_time_std_ms=payload["step_time_std_ms"]))
+
+    # Heterogeneous cluster: one single-cell sweep measuring every GPU type.
+    hetero_spec = SweepSpec("worker_step_time_hetero",
+                            axes={"composition": [list(heterogeneous)]},
+                            fixed={"model_name": model_name, "steps": int(steps),
+                                   "gpu_names": list(gpu_names)})
+    hetero = runner.run(hetero_spec, heterogeneous_step_time_cell, context=catalog)
+    for payload in hetero.payloads()[0]:
+        result.cells.append(WorkerStepTimeCell(
+            gpu_name=payload["gpu_name"], cluster_label=payload["cluster_label"],
+            step_time_ms=payload["step_time_ms"],
+            step_time_std_ms=payload["step_time_std_ms"]))
     return result
 
 
@@ -189,6 +243,38 @@ class ClusterScalingResult:
         return series[-1][1] / series[0][1]
 
 
+def cluster_scaling_cell(cell: SweepCell, streams: RandomStreams,
+                         catalog: Optional[ModelCatalog]) -> Dict[str, Any]:
+    """Sweep cell: cluster speed of one (model, worker count) combination."""
+    catalog = catalog if catalog is not None else default_catalog()
+    gpu = get_gpu(cell.params["gpu_name"])
+    counts = {name: 0 for name in ("k80", "p100", "v100")}
+    counts[gpu.name] = int(cell.params["count"])
+    cluster = ClusterSpec.from_counts(
+        region_name="us-central1" if gpu.name == "v100" else "us-east1",
+        num_parameter_servers=cell.params["num_parameter_servers"], **counts)
+    trace, _session = _run_cluster(cluster, cell.params["model_name"], catalog,
+                                   cell.params["steps"], streams)
+    return {"count": int(cell.params["count"]),
+            "speed": float(trace.cluster_speed())}
+
+
+def build_cluster_scaling_spec(model_names: Sequence[str] = ("resnet_15", "resnet_32",
+                                                             "shake_shake_small",
+                                                             "shake_shake_big"),
+                               gpu_name: str = "p100",
+                               worker_counts: Sequence[int] = tuple(range(1, 9)),
+                               num_parameter_servers: int = 1,
+                               steps: int = 2000) -> SweepSpec:
+    """The (model × worker count) grid of Fig. 4 / Fig. 12."""
+    return SweepSpec("cluster_scaling",
+                     axes={"model_name": list(model_names),
+                           "count": [int(count) for count in worker_counts]},
+                     fixed={"gpu_name": gpu_name,
+                            "num_parameter_servers": int(num_parameter_servers),
+                            "steps": int(steps)})
+
+
 def run_cluster_scaling_campaign(model_names: Sequence[str] = ("resnet_15", "resnet_32",
                                                                "shake_shake_small",
                                                                "shake_shake_big"),
@@ -196,27 +282,22 @@ def run_cluster_scaling_campaign(model_names: Sequence[str] = ("resnet_15", "res
                                  worker_counts: Sequence[int] = tuple(range(1, 9)),
                                  num_parameter_servers: int = 1,
                                  steps: int = 2000, seed: int = 0,
-                                 catalog: Optional[ModelCatalog] = None
+                                 catalog: Optional[ModelCatalog] = None,
+                                 workers: Optional[int] = None,
+                                 cache_dir: Optional[str] = None
                                  ) -> ClusterScalingResult:
     """Reproduce Fig. 4: cluster speed vs. the number of (P100) workers."""
     catalog = catalog if catalog is not None else default_catalog()
     gpu = get_gpu(gpu_name)
+    spec = build_cluster_scaling_spec(model_names, gpu_name, worker_counts,
+                                      num_parameter_servers, steps)
+    sweep = SweepRunner(workers=workers, cache_dir=cache_dir, seed=seed).run(
+        spec, cluster_scaling_cell, context=catalog)
     result = ClusterScalingResult(gpu_name=gpu.name,
                                   num_parameter_servers=num_parameter_servers)
-    run_index = 0
-    for model_name in model_names:
-        series: List[Tuple[int, float]] = []
-        for count in worker_counts:
-            counts = {name: 0 for name in ("k80", "p100", "v100")}
-            counts[gpu.name] = count
-            cluster = ClusterSpec.from_counts(
-                region_name="us-central1" if gpu.name == "v100" else "us-east1",
-                num_parameter_servers=num_parameter_servers, **counts)
-            trace, _session = _run_cluster(cluster, model_name, catalog, steps,
-                                           seed * 6007 + run_index)
-            run_index += 1
-            series.append((count, trace.cluster_speed()))
-        result.series[model_name] = series
+    for model_name, cell_results in sweep.group_by("model_name").items():
+        result.series[model_name] = [
+            (r.payload["count"], r.payload["speed"]) for r in cell_results]
     return result
 
 
@@ -224,7 +305,9 @@ def run_ps_mitigation_campaign(model_names: Sequence[str] = ("resnet_15", "resne
                                gpu_name: str = "p100",
                                worker_counts: Sequence[int] = tuple(range(1, 9)),
                                steps: int = 2000, seed: int = 0,
-                               catalog: Optional[ModelCatalog] = None
+                               catalog: Optional[ModelCatalog] = None,
+                               workers: Optional[int] = None,
+                               cache_dir: Optional[str] = None
                                ) -> Dict[int, ClusterScalingResult]:
     """Reproduce Fig. 12: the Fig. 4 sweep with one and two parameter servers.
 
@@ -235,6 +318,29 @@ def run_ps_mitigation_campaign(model_names: Sequence[str] = ("resnet_15", "resne
         num_ps: run_cluster_scaling_campaign(
             model_names=model_names, gpu_name=gpu_name, worker_counts=worker_counts,
             num_parameter_servers=num_ps, steps=steps, seed=seed + num_ps,
-            catalog=catalog)
+            catalog=catalog, workers=workers, cache_dir=cache_dir)
         for num_ps in (1, 2)
     }
+
+
+register_sweep(SweepDefinition(
+    name="cluster_scaling",
+    description="cluster speed vs #P100 workers, four named models (Fig. 4)",
+    build_spec=build_cluster_scaling_spec,
+    cell_fn=cluster_scaling_cell,
+    build_context=default_catalog,
+    summarize=lambda result: result.to_table(
+        ["speed"], title="Fig. 4: cluster speed (steps/s)")))
+
+register_sweep(SweepDefinition(
+    name="worker_step_time",
+    description="per-worker step time vs homogeneous cluster size "
+                "(Table III, homogeneous rows)",
+    build_spec=build_worker_step_time_spec,
+    cell_fn=worker_step_time_cell,
+    build_context=default_catalog,
+    summarize=lambda result: result.to_table(
+        ["step_time_ms", "step_time_std_ms"],
+        title="Table III (homogeneous clusters only; "
+              "run_worker_step_time_campaign adds the heterogeneous rows): "
+              "worker step time (ms)")))

@@ -6,12 +6,17 @@ fixed number of steps, records the cluster speed and the per-100-step speed
 series, and feeds a :class:`~repro.cmdare.profiler.PerformanceProfiler`
 with the per-worker step-time measurements the regression models are
 trained on.
+
+The (model, GPU) grid runs through :class:`repro.sweeps.SweepRunner`, so
+campaigns parallelize over a process pool and reuse cached cells when a
+``cache_dir`` is given; results are identical either way because each
+cell's random streams are derived from the cell parameters alone.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.gpus import get_gpu
 from repro.cmdare.profiler import PerformanceProfiler, SpeedMeasurement
@@ -19,6 +24,13 @@ from repro.perf.ps_capacity import PSCapacityModel
 from repro.perf.step_time import StepTimeModel
 from repro.simulation.engine import Simulator
 from repro.simulation.rng import RandomStreams
+from repro.sweeps import (
+    SweepCell,
+    SweepDefinition,
+    SweepRunner,
+    SweepSpec,
+    register_sweep,
+)
 from repro.training.cluster import ClusterSpec
 from repro.training.job import measurement_job
 from repro.training.session import TrainingSession
@@ -100,18 +112,17 @@ class SpeedCampaignResult:
 
 
 def _measure_single_worker(model_name: str, gpu_name: str, catalog: ModelCatalog,
-                           steps: int, seed: int,
-                           step_time_model_seed_offset: int = 0) -> Tuple[SpeedCell, TrainingTrace]:
+                           steps: int, streams: RandomStreams
+                           ) -> Tuple[SpeedCell, TrainingTrace]:
     """Run one single-worker measurement session and summarize it."""
     profile = catalog.profile(model_name)
     gpu = get_gpu(gpu_name)
-    streams = RandomStreams(seed=seed)
     simulator = Simulator()
-    region = "us-east1" if get_gpu(gpu_name).name != "v100" else "us-central1"
+    region = "us-east1" if gpu.name != "v100" else "us-central1"
     cluster = ClusterSpec.single(gpu.name, region_name=region)
     session = TrainingSession(
         simulator, cluster, measurement_job(profile, steps=steps), streams=streams,
-        step_time_model=StepTimeModel(rng=streams.get(f"step_time:{step_time_model_seed_offset}")),
+        step_time_model=StepTimeModel(rng=streams.get("step_time")),
         ps_capacity_model=PSCapacityModel())
     trace = session.run_to_completion()
     series = trace.speed_series()
@@ -131,11 +142,47 @@ def _measure_single_worker(model_name: str, gpu_name: str, catalog: ModelCatalog
     return cell, trace
 
 
+def speed_cell(cell: SweepCell, streams: RandomStreams,
+               catalog: Optional[ModelCatalog]) -> Dict[str, Any]:
+    """Sweep cell: measure one (model, GPU) pair on a single-worker cluster."""
+    catalog = catalog if catalog is not None else default_catalog()
+    summary, trace = _measure_single_worker(
+        cell.params["model_name"], cell.params["gpu_name"], catalog,
+        cell.params["steps"], streams)
+    return {
+        "model_name": summary.model_name,
+        "gpu_name": summary.gpu_name,
+        "model_gflops": summary.model_gflops,
+        "gpu_teraflops": summary.gpu_teraflops,
+        "speed_mean": summary.speed_mean,
+        "speed_std": summary.speed_std,
+        "step_time": summary.step_time,
+        "speed_series": [[int(step), float(speed)]
+                         for step, speed in trace.speed_series()],
+    }
+
+
+def build_speed_spec(model_names: Optional[Sequence[str]] = None,
+                     gpu_names: Sequence[str] = DEFAULT_GPUS,
+                     steps: int = DEFAULT_MEASUREMENT_STEPS,
+                     catalog: Optional[ModelCatalog] = None) -> SweepSpec:
+    """The (model × GPU) grid behind Table I / Figs. 2-3."""
+    if model_names is None:
+        catalog = catalog if catalog is not None else default_catalog()
+        model_names = catalog.names()
+    return SweepSpec("speed",
+                     axes={"model_name": list(model_names),
+                           "gpu_name": list(gpu_names)},
+                     fixed={"steps": int(steps)})
+
+
 def run_speed_campaign(model_names: Optional[Sequence[str]] = None,
                        gpu_names: Sequence[str] = DEFAULT_GPUS,
                        steps: int = DEFAULT_MEASUREMENT_STEPS,
                        seed: int = 0,
-                       catalog: Optional[ModelCatalog] = None) -> SpeedCampaignResult:
+                       catalog: Optional[ModelCatalog] = None,
+                       workers: Optional[int] = None,
+                       cache_dir: Optional[str] = None) -> SpeedCampaignResult:
     """Measure single-worker training speed for a grid of models and GPUs.
 
     Args:
@@ -145,24 +192,31 @@ def run_speed_campaign(model_names: Optional[Sequence[str]] = None,
         steps: Steps per measurement (4000 in the paper).
         seed: Root seed; each (model, GPU) cell derives its own streams.
         catalog: Model catalog; the default twenty-model catalog if omitted.
+        workers: Worker processes for the sweep (serial if omitted).
+        cache_dir: Sweep result cache directory (no caching if omitted).
 
     Returns:
         A :class:`SpeedCampaignResult`.
     """
     catalog = catalog if catalog is not None else default_catalog()
-    names = list(model_names) if model_names is not None else catalog.names()
+    spec = build_speed_spec(model_names, gpu_names, steps, catalog)
+    sweep = SweepRunner(workers=workers, cache_dir=cache_dir, seed=seed).run(
+        spec, speed_cell, context=catalog)
     result = SpeedCampaignResult()
-    for model_index, model_name in enumerate(names):
-        for gpu_index, gpu_name in enumerate(gpu_names):
-            cell_seed = seed * 10_007 + model_index * 101 + gpu_index
-            cell, trace = _measure_single_worker(model_name, gpu_name, catalog,
-                                                 steps, cell_seed)
-            result.cells.append(cell)
-            result.speed_series[(model_name, get_gpu(gpu_name).name)] = trace.speed_series()
-            result.profiler.record_speed(SpeedMeasurement(
-                model_name=model_name, gpu_name=get_gpu(gpu_name).name,
-                model_gflops=cell.model_gflops, gpu_teraflops=cell.gpu_teraflops,
-                step_time=cell.step_time, cluster_size=1, num_parameter_servers=1))
+    for payload in sweep.payloads():
+        cell = SpeedCell(
+            model_name=payload["model_name"], gpu_name=payload["gpu_name"],
+            model_gflops=payload["model_gflops"],
+            gpu_teraflops=payload["gpu_teraflops"],
+            speed_mean=payload["speed_mean"], speed_std=payload["speed_std"],
+            step_time=payload["step_time"])
+        result.cells.append(cell)
+        result.speed_series[(cell.model_name, cell.gpu_name)] = [
+            (step, speed) for step, speed in payload["speed_series"]]
+        result.profiler.record_speed(SpeedMeasurement(
+            model_name=cell.model_name, gpu_name=cell.gpu_name,
+            model_gflops=cell.model_gflops, gpu_teraflops=cell.gpu_teraflops,
+            step_time=cell.step_time, cluster_size=1, num_parameter_servers=1))
     return result
 
 
@@ -170,7 +224,9 @@ def run_speed_stability_campaign(gpu_name: str = "k80",
                                  model_names: Sequence[str] = NAMED_MODELS,
                                  steps: int = DEFAULT_MEASUREMENT_STEPS,
                                  seed: int = 0,
-                                 catalog: Optional[ModelCatalog] = None
+                                 catalog: Optional[ModelCatalog] = None,
+                                 workers: Optional[int] = None,
+                                 cache_dir: Optional[str] = None
                                  ) -> Dict[str, List[Tuple[int, float]]]:
     """Fig. 2: per-100-step speed series for the four named models on one GPU.
 
@@ -178,6 +234,18 @@ def run_speed_stability_campaign(gpu_name: str = "k80",
         ``{model_name: [(step, steps/second), ...]}``.
     """
     campaign = run_speed_campaign(model_names=model_names, gpu_names=(gpu_name,),
-                                  steps=steps, seed=seed, catalog=catalog)
+                                  steps=steps, seed=seed, catalog=catalog,
+                                  workers=workers, cache_dir=cache_dir)
     return {model: campaign.speed_series[(model, get_gpu(gpu_name).name)]
             for model in model_names}
+
+
+register_sweep(SweepDefinition(
+    name="speed",
+    description="single-worker training speed, named models x 3 GPUs (Table I)",
+    build_spec=lambda: build_speed_spec(model_names=NAMED_MODELS),
+    cell_fn=speed_cell,
+    build_context=default_catalog,
+    summarize=lambda result: result.to_table(
+        ["speed_mean", "speed_std", "step_time"],
+        title="Table I: cluster speed (steps/s)")))

@@ -13,13 +13,20 @@ Two campaigns:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cloud.gpus import get_gpu
 from repro.cloud.startup import StartupTimeModel
 from repro.simulation.rng import RandomStreams
+from repro.sweeps import (
+    SweepCell,
+    SweepDefinition,
+    SweepRunner,
+    SweepSpec,
+    register_sweep,
+)
 
 
 @dataclass(frozen=True)
@@ -70,29 +77,59 @@ class StartupBreakdownResult:
                 - self.cell(region_name, gpu_name, False).total_mean)
 
 
+def startup_breakdown_cell(cell: SweepCell, streams: RandomStreams,
+                           _context: Any) -> Dict[str, Any]:
+    """Sweep cell: startup-stage samples for one (region, GPU, class)."""
+    model = StartupTimeModel(rng=streams.get("startup"))
+    stages = [model.sample(cell.params["gpu_name"], cell.params["transient"],
+                           cell.params["region_name"])
+              for _ in range(cell.params["samples"])]
+    totals = np.array([s.total for s in stages])
+    return {
+        "region_name": cell.params["region_name"],
+        "gpu_name": get_gpu(cell.params["gpu_name"]).name,
+        "transient": cell.params["transient"],
+        "provisioning_mean": float(np.mean([s.provisioning for s in stages])),
+        "staging_mean": float(np.mean([s.staging for s in stages])),
+        "booting_mean": float(np.mean([s.booting for s in stages])),
+        "total_mean": float(totals.mean()),
+        "total_std": float(totals.std(ddof=1)) if len(totals) > 1 else 0.0,
+        "samples": cell.params["samples"],
+    }
+
+
+def build_startup_breakdown_spec(region_names: Sequence[str] = ("us-east1", "us-west1"),
+                                 gpu_names: Sequence[str] = ("k80", "p100"),
+                                 samples_per_cell: int = 20) -> SweepSpec:
+    """The (region × GPU × server class) grid of Fig. 6."""
+    return SweepSpec("startup_breakdown",
+                     axes={"region_name": list(region_names),
+                           "gpu_name": list(gpu_names),
+                           "transient": [True, False]},
+                     fixed={"samples": int(samples_per_cell)})
+
+
 def run_startup_breakdown_campaign(region_names: Sequence[str] = ("us-east1", "us-west1"),
                                    gpu_names: Sequence[str] = ("k80", "p100"),
                                    samples_per_cell: int = 20,
-                                   seed: int = 0) -> StartupBreakdownResult:
+                                   seed: int = 0,
+                                   workers: Optional[int] = None,
+                                   cache_dir: Optional[str] = None
+                                   ) -> StartupBreakdownResult:
     """Reproduce Fig. 6: startup breakdown for new transient/on-demand servers."""
-    streams = RandomStreams(seed=seed)
-    model = StartupTimeModel(rng=streams.get("startup"))
+    spec = build_startup_breakdown_spec(region_names, gpu_names, samples_per_cell)
+    sweep = SweepRunner(workers=workers, cache_dir=cache_dir, seed=seed).run(
+        spec, startup_breakdown_cell)
     result = StartupBreakdownResult()
-    for region_name in region_names:
-        for gpu_name in gpu_names:
-            for transient in (True, False):
-                stages = [model.sample(gpu_name, transient, region_name)
-                          for _ in range(samples_per_cell)]
-                totals = np.array([s.total for s in stages])
-                result.cells.append(StartupBreakdownCell(
-                    region_name=region_name, gpu_name=get_gpu(gpu_name).name,
-                    transient=transient,
-                    provisioning_mean=float(np.mean([s.provisioning for s in stages])),
-                    staging_mean=float(np.mean([s.staging for s in stages])),
-                    booting_mean=float(np.mean([s.booting for s in stages])),
-                    total_mean=float(totals.mean()),
-                    total_std=float(totals.std(ddof=1)),
-                    samples=samples_per_cell))
+    for payload in sweep.payloads():
+        result.cells.append(StartupBreakdownCell(
+            region_name=payload["region_name"], gpu_name=payload["gpu_name"],
+            transient=payload["transient"],
+            provisioning_mean=payload["provisioning_mean"],
+            staging_mean=payload["staging_mean"],
+            booting_mean=payload["booting_mean"],
+            total_mean=payload["total_mean"], total_std=payload["total_std"],
+            samples=payload["samples"]))
     return result
 
 
@@ -146,21 +183,64 @@ class ReplacementStartupResult:
         return table
 
 
+def replacement_startup_cell(cell: SweepCell, streams: RandomStreams,
+                             _context: Any) -> Dict[str, Any]:
+    """Sweep cell: replacement startup samples for one (GPU, timing)."""
+    model = StartupTimeModel(rng=streams.get("startup"))
+    times = np.array([model.sample_replacement(cell.params["gpu_name"],
+                                               cell.params["immediate"])
+                      for _ in range(cell.params["samples"])])
+    mean = float(times.mean())
+    std = float(times.std(ddof=1)) if len(times) > 1 else 0.0
+    return {"gpu_name": get_gpu(cell.params["gpu_name"]).name,
+            "immediate": cell.params["immediate"],
+            "mean_seconds": mean, "std_seconds": std, "cov": std / mean,
+            "samples": cell.params["samples"]}
+
+
+def build_replacement_startup_spec(gpu_names: Sequence[str] = ("k80", "p100", "v100"),
+                                   samples_per_cell: int = 30) -> SweepSpec:
+    """The (GPU × request timing) grid of Fig. 7."""
+    return SweepSpec("replacement_startup",
+                     axes={"gpu_name": list(gpu_names),
+                           "immediate": [True, False]},
+                     fixed={"samples": int(samples_per_cell)})
+
+
 def run_replacement_startup_campaign(gpu_names: Sequence[str] = ("k80", "p100", "v100"),
                                      samples_per_cell: int = 30,
-                                     seed: int = 0) -> ReplacementStartupResult:
+                                     seed: int = 0,
+                                     workers: Optional[int] = None,
+                                     cache_dir: Optional[str] = None
+                                     ) -> ReplacementStartupResult:
     """Reproduce Fig. 7: replacement startup, immediate vs. delayed requests."""
-    streams = RandomStreams(seed=seed)
-    model = StartupTimeModel(rng=streams.get("replacement_startup"))
+    spec = build_replacement_startup_spec(gpu_names, samples_per_cell)
+    sweep = SweepRunner(workers=workers, cache_dir=cache_dir, seed=seed).run(
+        spec, replacement_startup_cell)
     result = ReplacementStartupResult()
-    for gpu_name in gpu_names:
-        for immediate in (True, False):
-            times = np.array([model.sample_replacement(gpu_name, immediate)
-                              for _ in range(samples_per_cell)])
-            mean = float(times.mean())
-            std = float(times.std(ddof=1))
-            result.cells.append(ReplacementStartupCell(
-                gpu_name=get_gpu(gpu_name).name, immediate=immediate,
-                mean_seconds=mean, std_seconds=std, cov=std / mean,
-                samples=samples_per_cell))
+    for payload in sweep.payloads():
+        result.cells.append(ReplacementStartupCell(
+            gpu_name=payload["gpu_name"], immediate=payload["immediate"],
+            mean_seconds=payload["mean_seconds"],
+            std_seconds=payload["std_seconds"], cov=payload["cov"],
+            samples=payload["samples"]))
     return result
+
+
+register_sweep(SweepDefinition(
+    name="startup_breakdown",
+    description="provisioning/staging/booting startup breakdown (Fig. 6)",
+    build_spec=build_startup_breakdown_spec,
+    cell_fn=startup_breakdown_cell,
+    summarize=lambda result: result.to_table(
+        ["provisioning_mean", "staging_mean", "booting_mean", "total_mean"],
+        title="Fig. 6: startup breakdown (s)", float_format="{:.1f}")))
+
+register_sweep(SweepDefinition(
+    name="replacement_startup",
+    description="replacement startup, immediate vs delayed requests (Fig. 7)",
+    build_spec=build_replacement_startup_spec,
+    cell_fn=replacement_startup_cell,
+    summarize=lambda result: result.to_table(
+        ["mean_seconds", "std_seconds", "cov"],
+        title="Fig. 7: replacement startup (s)")))

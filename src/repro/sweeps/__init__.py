@@ -1,0 +1,93 @@
+"""Parallel sweep orchestration for measurement campaigns and benchmarks.
+
+The paper's results are grids of experiments — models × GPU types ×
+cluster sizes × revocation regimes.  This package turns such grids into
+declarative, cacheable, parallel sweeps shared by every measurement
+campaign in :mod:`repro.measurement` and by the ``benchmarks/bench_*``
+harness.
+
+Building blocks
+===============
+
+:class:`~repro.sweeps.spec.SweepSpec`
+    A named parameter grid: ordered axes (name → values) plus fixed
+    parameters.  Expands row-major into :class:`~repro.sweeps.spec.SweepCell`
+    objects with stable indices and canonical JSON keys.
+
+:class:`~repro.sweeps.runner.SweepRunner`
+    Executes a spec serially or over a ``concurrent.futures`` process
+    pool.  Per-cell random streams are derived (via
+    :class:`repro.simulation.rng.RandomStreams`) from the root seed, the
+    sweep name, and the cell parameters only, so **parallel runs are
+    bit-identical to serial runs**.  With a ``cache_dir``, each completed
+    cell is persisted as one JSON file; re-running skips completed cells,
+    which is also how interrupted sweeps resume.
+
+:class:`~repro.sweeps.result.SweepResult`
+    Cell results in canonical order, with helpers that feed
+    :mod:`repro.analysis` tables and figure series directly.
+
+:mod:`~repro.sweeps.registry`
+    Named sweeps registered by the campaign modules, runnable from the
+    command line.
+
+Command line
+============
+
+::
+
+    python -m repro.sweeps list
+    python -m repro.sweeps run speed --workers 4 --cache-dir .sweep-cache
+    python -m repro.sweeps resume speed --cache-dir .sweep-cache
+
+Example
+=======
+
+A model × GPU sweep end to end (see ``examples/sweep_campaign.py`` for a
+longer version)::
+
+    from repro.sweeps import SweepSpec, SweepRunner
+    from repro.measurement.speed_campaign import speed_cell
+
+    spec = SweepSpec("speed", axes={"model_name": ["resnet_15", "resnet_32"],
+                                    "gpu_name": ["k80", "p100", "v100"]},
+                     fixed={"steps": 2000})
+    result = SweepRunner(workers=4, cache_dir=".sweep-cache").run(spec, speed_cell)
+    print(result.to_table(["speed_mean", "speed_std"]))
+
+Writing a cell function
+=======================
+
+A cell function is a module-level callable
+``fn(cell, streams, context) -> payload`` that returns a JSON-encodable
+payload.  Draw all randomness from ``streams`` (a
+:class:`~repro.simulation.rng.RandomStreams`) so the cell stays
+deterministic and order-independent; put shared deterministic objects
+(e.g. the model catalog) in ``context``.
+"""
+
+from repro.sweeps.cache import SweepCache
+from repro.sweeps.registry import (
+    SweepDefinition,
+    get_sweep,
+    list_sweeps,
+    register_sweep,
+)
+from repro.sweeps.result import CellResult, SweepResult, series_from
+from repro.sweeps.runner import SweepExecutionError, SweepRunner
+from repro.sweeps.spec import SweepCell, SweepSpec
+
+__all__ = [
+    "CellResult",
+    "SweepCache",
+    "SweepCell",
+    "SweepDefinition",
+    "SweepExecutionError",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "get_sweep",
+    "list_sweeps",
+    "register_sweep",
+    "series_from",
+]

@@ -1,0 +1,150 @@
+"""Command-line interface for the sweep engine.
+
+Usage::
+
+    python -m repro.sweeps list
+    python -m repro.sweeps run speed --workers 4 --cache-dir .sweep-cache
+    python -m repro.sweeps resume speed --cache-dir .sweep-cache
+
+``run`` executes a registered sweep; with ``--cache-dir`` every completed
+cell is persisted, so an interrupted run (or ``resume``, which requires a
+cache directory) picks up where it stopped.  ``--set axis=v1,v2``
+overrides an axis of the default spec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.sweeps.registry import get_sweep, list_sweeps
+from repro.sweeps.result import SweepResult
+from repro.sweeps.runner import SweepRunner, parse_workers
+
+
+def _parse_workers(text: str):
+    """Parse ``--workers``: an integer, or ``auto`` to size from the CPUs."""
+    try:
+        return parse_workers(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--workers expects a non-negative integer or 'auto' (got {text!r})")
+
+
+def _parse_axis_override(text: str) -> Tuple[str, List[Any]]:
+    """Parse an axis override: ``axis=<JSON value or list>`` or ``axis=v1,v2``.
+
+    The value is first parsed as one JSON document — a JSON list becomes
+    the axis values, any other JSON value a single-value axis — so values
+    containing commas (dicts, nested lists) survive intact.  Non-JSON input
+    falls back to comma-splitting with per-token JSON coercion, keeping the
+    common ``axis=k80,p100`` form working.
+    """
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"--set expects axis=v1,v2,... (got {text!r})")
+    axis, _, raw = text.partition("=")
+    try:
+        value = json.loads(raw)
+        values = value if isinstance(value, list) else [value]
+    except ValueError:
+        values = []
+        for token in raw.split(","):
+            try:
+                values.append(json.loads(token))
+            except ValueError:
+                values.append(token)
+    return axis.strip(), values
+
+
+def _render(result: SweepResult, definition) -> str:
+    """The sweep's own summary when it has one, else a generic table."""
+    if definition.summarize is not None:
+        return definition.summarize(result)
+    payloads = result.payloads()
+    if payloads and all(isinstance(payload, dict) for payload in payloads):
+        scalar_keys = [key for key, value in payloads[0].items()
+                       if isinstance(value, (int, float, str, bool))
+                       and key not in result.spec.axis_names]
+        if scalar_keys:
+            return result.to_table(scalar_keys, title=f"sweep {result.spec.name}")
+    return f"{len(payloads)} cell payloads (no tabular summary)"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-sweeps`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sweeps",
+        description="List, run, and resume parameter sweeps.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered sweeps")
+
+    for command, help_text in (("run", "run a sweep"),
+                               ("resume", "resume a cached sweep")):
+        sub = commands.add_parser(command, help=help_text)
+        sub.add_argument("name", help="registered sweep name")
+        sub.add_argument("--workers", type=_parse_workers, default=1,
+                         help="worker processes, or 'auto' to size from "
+                              "the CPU count (default: 1, serial)")
+        sub.add_argument("--cache-dir", default=None,
+                         help="directory for the per-cell JSON result cache")
+        sub.add_argument("--seed", type=int, default=0, help="root RNG seed")
+        sub.add_argument("--set", dest="overrides", action="append", default=[],
+                         metavar="AXIS=V1,V2",
+                         type=_parse_axis_override,
+                         help="override one axis of the default spec")
+        sub.add_argument("--json", dest="json_out", default=None,
+                         metavar="PATH",
+                         help="also write cell payloads to a JSON file")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            for definition in list_sweeps():
+                spec = definition.build_spec()
+                print(f"{definition.name:24s} {len(spec):4d} cells  "
+                      f"{definition.description}")
+            return 0
+
+        if args.command == "resume" and args.cache_dir is None:
+            print("resume requires --cache-dir", file=sys.stderr)
+            return 2
+
+        definition = get_sweep(args.name)
+        spec = definition.build_spec()
+        if args.overrides:
+            spec = spec.with_axes(**dict(args.overrides))
+        context = (definition.build_context()
+                   if definition.build_context is not None else None)
+        runner = SweepRunner(workers=args.workers, cache_dir=args.cache_dir,
+                             seed=args.seed)
+        result = runner.run(spec, definition.cell_fn, context=context)
+        print(result.summary())
+        print(_render(result, definition))
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump({"sweep": spec.name, "seed": args.seed,
+                           "cells": [{"params": r.cell.params,
+                                      "payload": r.payload}
+                                     for r in result.results]},
+                          handle, indent=2)
+            print(f"wrote {len(result)} cell payloads to {args.json_out}")
+        return 0
+    except BrokenPipeError:
+        # Output piped to a consumer that closed early (e.g. ``| head``).
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Registry of named, CLI-runnable sweeps.
+
+Measurement campaigns register a :class:`SweepDefinition` at import time;
+``python -m repro.sweeps list`` shows every registered sweep and
+``python -m repro.sweeps run <name>`` executes one.  The built-in
+definitions live in the campaign modules themselves so that the registry
+stays dependency-free; :func:`load_builtin_sweeps` imports them on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sweeps.result import SweepResult
+from repro.sweeps.runner import CellFunction
+from repro.sweeps.spec import SweepSpec
+
+#: Campaign modules that register built-in sweeps when imported.
+_BUILTIN_MODULES = (
+    "repro.measurement.speed_campaign",
+    "repro.measurement.scaling_campaign",
+    "repro.measurement.checkpoint_campaign",
+    "repro.measurement.revocation_campaign",
+    "repro.measurement.replacement_campaign",
+    "repro.measurement.startup_campaign",
+)
+
+
+@dataclass(frozen=True)
+class SweepDefinition:
+    """A named sweep the CLI can list and run.
+
+    Attributes:
+        name: Unique sweep name.
+        description: One-line summary shown by ``list``.
+        build_spec: Zero-argument factory producing the default spec.
+        cell_fn: Module-level cell function executed per cell.
+        build_context: Optional factory for the shared cell context
+            (e.g. the model catalog); called once per run.
+        summarize: Optional renderer turning a result into CLI output.
+    """
+
+    name: str
+    description: str
+    build_spec: Callable[[], SweepSpec]
+    cell_fn: CellFunction
+    build_context: Optional[Callable[[], object]] = None
+    summarize: Optional[Callable[[SweepResult], str]] = field(default=None)
+
+
+_REGISTRY: Dict[str, SweepDefinition] = {}
+
+
+def register_sweep(definition: SweepDefinition) -> SweepDefinition:
+    """Register a sweep definition; re-registration must be idempotent."""
+    existing = _REGISTRY.get(definition.name)
+    if existing is not None and existing.cell_fn is not definition.cell_fn:
+        raise ConfigurationError(
+            f"sweep {definition.name!r} is already registered")
+    _REGISTRY[definition.name] = definition
+    return definition
+
+
+def get_sweep(name: str) -> SweepDefinition:
+    """Look up a registered sweep by name."""
+    load_builtin_sweeps()
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ConfigurationError(f"unknown sweep {name!r}; known sweeps: {known}")
+    return _REGISTRY[name]
+
+
+def list_sweeps() -> List[SweepDefinition]:
+    """All registered sweeps, sorted by name."""
+    load_builtin_sweeps()
+    return sorted(_REGISTRY.values(), key=lambda definition: definition.name)
+
+
+def load_builtin_sweeps() -> None:
+    """Import the campaign modules so their definitions register."""
+    import importlib
+
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)

@@ -1,0 +1,157 @@
+"""Structured sweep results.
+
+A :class:`SweepResult` holds one :class:`CellResult` per cell, always in
+the spec's canonical row-major order regardless of which worker finished
+first, so downstream aggregation is deterministic.  Helpers feed
+:mod:`repro.analysis` directly: :meth:`SweepResult.to_rows` builds table
+rows and :meth:`SweepResult.to_table` renders them through
+:func:`repro.analysis.tables.format_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import format_table
+from repro.errors import DataError
+from repro.sweeps.spec import SweepCell, SweepSpec, canonical_json
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one sweep cell.
+
+    Attributes:
+        cell: The cell that was executed.
+        payload: The (JSON-canonical) value returned by the cell function.
+        seed: Derived per-cell RNG seed.
+        cached: Whether the payload came from the on-disk cache.
+        duration_seconds: Wall-clock time of the computation (0 for hits).
+    """
+
+    cell: SweepCell
+    payload: Any
+    seed: int
+    cached: bool
+    duration_seconds: float
+
+
+@dataclass
+class SweepResult:
+    """All cell results of one sweep run, in canonical cell order.
+
+    Attributes:
+        spec: The executed spec.
+        results: One :class:`CellResult` per cell, ordered by cell index.
+        workers: Worker processes used (1 means in-process serial).
+        wall_seconds: Total wall-clock duration of the run.
+    """
+
+    spec: SweepSpec
+    results: List[CellResult]
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Access.
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[CellResult]:
+        return iter(self.results)
+
+    @property
+    def cache_hits(self) -> int:
+        """Cells served from the cache."""
+        return sum(1 for result in self.results if result.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        """Cells actually computed by this run."""
+        return sum(1 for result in self.results if not result.cached)
+
+    def payloads(self) -> List[Any]:
+        """All payloads, in canonical cell order."""
+        return [result.payload for result in self.results]
+
+    def payload(self, **params: Any) -> Any:
+        """The payload of the unique cell matching the given parameters."""
+        matches = self.select(**params)
+        if not matches:
+            raise KeyError(f"no cell matches {params}")
+        if len(matches) > 1:
+            raise KeyError(f"{len(matches)} cells match {params}")
+        return matches[0].payload
+
+    def select(self, **params: Any) -> List[CellResult]:
+        """All cell results whose parameters match the given values."""
+        return [result for result in self.results
+                if all(result.cell.params.get(key) == value
+                       for key, value in params.items())]
+
+    def group_by(self, axis: str) -> Dict[Any, List[CellResult]]:
+        """Cell results grouped by one axis value, insertion-ordered.
+
+        Unhashable axis values (dicts, lists) are keyed by their canonical
+        JSON encoding instead of the raw value.
+        """
+        if axis not in self.spec.axes:
+            raise DataError(f"unknown axis {axis!r}; spec has {list(self.spec.axes)}")
+        groups: Dict[Any, List[CellResult]] = {}
+        for result in self.results:
+            value = result.cell.params[axis]
+            try:
+                hash(value)
+            except TypeError:
+                value = canonical_json(value)
+            groups.setdefault(value, []).append(result)
+        return groups
+
+    # ------------------------------------------------------------------
+    # repro.analysis integration.
+    # ------------------------------------------------------------------
+    def to_rows(self, columns: Sequence[str],
+                extract: Optional[Callable[[SweepCell, Any], Sequence[Any]]] = None
+                ) -> List[List[Any]]:
+        """Build table rows: one per cell, axis values then payload fields.
+
+        Args:
+            columns: Payload keys appended after the axis-value columns
+                (payloads must be dicts unless ``extract`` is given).
+            extract: Optional override mapping ``(cell, payload)`` to the
+                payload columns.
+        """
+        rows: List[List[Any]] = []
+        for result in self.results:
+            row: List[Any] = [result.cell.params[name]
+                              for name in self.spec.axis_names]
+            if extract is not None:
+                row.extend(extract(result.cell, result.payload))
+            else:
+                if not isinstance(result.payload, dict):
+                    raise DataError("to_rows needs dict payloads or an extractor")
+                row.extend(result.payload[column] for column in columns)
+            rows.append(row)
+        return rows
+
+    def to_table(self, columns: Sequence[str], title: Optional[str] = None,
+                 float_format: str = "{:.3f}") -> str:
+        """Render the sweep as a fixed-width text table."""
+        headers = list(self.spec.axis_names) + list(columns)
+        return format_table(headers, self.to_rows(columns), title=title,
+                            float_format=float_format)
+
+    def summary(self) -> str:
+        """One-line run summary (cells, cache behaviour, timing)."""
+        return (f"sweep {self.spec.name!r}: {len(self)} cells "
+                f"({self.cache_hits} cached, {self.cache_misses} computed) "
+                f"with {self.workers} worker(s) in {self.wall_seconds:.2f}s")
+
+
+def series_from(results: Sequence[CellResult], x_axis: str,
+                value: Callable[[Any], float]) -> List[Tuple[Any, float]]:
+    """Build an ``[(x, y), ...]`` series for :mod:`repro.analysis.figures`."""
+    return [(result.cell.params[x_axis], value(result.payload))
+            for result in results]

@@ -8,7 +8,7 @@ placement (region) and server class (transient vs. on-demand) choices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence, Tuple
 
 from repro.cloud.gpus import get_gpu

@@ -10,7 +10,7 @@ their own configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.errors import ConfigurationError
 from repro.training.cluster import WorkerSpec

@@ -1,6 +1,5 @@
 """Tests for the analysis helpers (stats, tables, figures, reports)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.figures import FigureSeries, ascii_plot

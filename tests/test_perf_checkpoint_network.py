@@ -7,7 +7,6 @@ from repro.errors import ConfigurationError
 from repro.perf.calibration import CHECKPOINT_ANCHOR_SECONDS
 from repro.perf.checkpoint_time import CheckpointTimeModel
 from repro.perf.network import NetworkModel
-from repro.workloads.catalog import default_catalog
 
 
 @pytest.fixture()
