@@ -193,8 +193,10 @@ def _sequential_check(model_name: str, catalog: ModelCatalog, seed: int
         # The window is measured from the moment the cluster reached step 100
         # to the moment it reached step 200, so the sequential checkpoint gap
         # is included.
-        reached_100 = max(r.end_time for r in trace.step_records if r.cluster_step <= 100)
-        reached_200 = max(r.end_time for r in trace.step_records)
+        records = trace.step_records
+        reached_100 = float(
+            records.end_times[records.cluster_step_counts <= 100].max())
+        reached_200 = float(records.end_times.max())
         checkpoint_time = trace.total_checkpoint_time()
         return reached_200 - reached_100, checkpoint_time
 

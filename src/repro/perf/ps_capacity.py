@@ -15,7 +15,7 @@ absorb (Section III-C/D).  This module models that capacity:
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.perf.calibration import (
@@ -69,6 +69,10 @@ class PSCapacityModel:
         self._log_anchors: List[Tuple[float, float]] = [
             (math.log(mb), math.log(cap)) for mb, cap in points]
         self._scaling_exponent = scaling_exponent
+        # The session queries capacity for the same (payload, PS count) on
+        # every scheduled chunk; the log-log interpolation is pure, so the
+        # result is memoized.
+        self._capacity_cache: Dict[Tuple[float, int], float] = {}
 
     # ------------------------------------------------------------------
     # Capacity queries.
@@ -104,8 +108,13 @@ class PSCapacityModel:
         """Updates/second sustained by ``num_parameter_servers`` servers."""
         if num_parameter_servers < 1:
             raise ConfigurationError("num_parameter_servers must be >= 1")
-        single = self.single_ps_capacity(gradient_bytes)
-        return float(single * num_parameter_servers ** self._scaling_exponent)
+        key = (gradient_bytes, num_parameter_servers)
+        cached = self._capacity_cache.get(key)
+        if cached is None:
+            single = self.single_ps_capacity(gradient_bytes)
+            cached = float(single * num_parameter_servers ** self._scaling_exponent)
+            self._capacity_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Cluster-level composition.

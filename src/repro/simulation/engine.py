@@ -4,6 +4,16 @@ The engine is intentionally small: a clock, a priority queue of events, and
 a run loop.  Higher-level entities (cloud instances, workers, parameter
 servers, the CM-DARE controller) schedule callbacks on the engine rather
 than subclassing it.
+
+Cancelled events are deleted lazily: :meth:`repro.simulation.events.Event.cancel`
+flips a flag, pops skip flagged entries, and the engine compacts the heap
+once cancelled entries outnumber live ones (beyond a small floor), so heavy
+cancellation stays O(log n) amortized instead of growing the heap without
+bound.  The engine also exposes two small hooks used by the training
+session's vectorized fast-forward path: :meth:`Simulator.peek_next` (what
+fires next, without firing it) and :meth:`Simulator.claim_sequence` /
+``schedule_at(..., sequence=...)`` (pre-allocating tie-breaker sequence
+numbers so events replayed outside the heap keep their exact ordering).
 """
 
 from __future__ import annotations
@@ -13,6 +23,10 @@ from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
 from repro.simulation.events import Event
+
+#: Compaction threshold: the heap is rebuilt when more than this many
+#: cancelled events are queued *and* they outnumber the live ones.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Simulator:
@@ -40,6 +54,7 @@ class Simulator:
         self._queue: List[Event] = []
         self._sequence = 0
         self._running = False
+        self._cancelled_in_queue = 0
         self.epoch_hour_utc = float(epoch_hour_utc) % 24.0
 
     # ------------------------------------------------------------------
@@ -79,20 +94,54 @@ class Simulator:
         return self.schedule_at(self._now + delay, callback, label=label)
 
     def schedule_at(self, time: float, callback: Callable[["Simulator"], None],
-                    label: str = "") -> Event:
-        """Schedule ``callback`` at an absolute simulation time."""
+                    label: str = "", sequence: Optional[int] = None) -> Event:
+        """Schedule ``callback`` at an absolute simulation time.
+
+        Args:
+            time: Absolute simulation time; must not lie in the past.
+            callback: Invoked as ``callback(simulator)``.
+            label: Optional label for traces.
+            sequence: Internal — a tie-breaker previously obtained from
+                :meth:`claim_sequence`.  Used by fast-forward replay to
+                reinsert events with their original ordering; omit it for
+                normal scheduling.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule an event at t={time} before current time t={self._now}")
-        event = Event(time=float(time), sequence=self._sequence, callback=callback,
+        if sequence is None:
+            sequence = self._sequence
+            self._sequence += 1
+        elif not 0 <= sequence < self._sequence:
+            raise SimulationError(
+                f"sequence {sequence} was never claimed (next is {self._sequence})")
+        event = Event(time=float(time), sequence=sequence, callback=callback,
                       label=label)
-        self._sequence += 1
+        event._owner = self
+        event._in_queue = True
         heapq.heappush(self._queue, event)
         return event
 
+    def claim_sequence(self) -> int:
+        """Reserve and return the next event sequence number.
+
+        The fast-forward path simulates chunk completions without putting
+        them through the heap; claiming sequence numbers as it goes keeps
+        the (time, sequence) ordering of any event it later materializes
+        with ``schedule_at(..., sequence=...)`` identical to what plain
+        event-by-event execution would have produced.
+        """
+        sequence = self._sequence
+        self._sequence += 1
+        return sequence
+
     def pending_events(self) -> int:
         """Number of scheduled (non-cancelled) events still in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return len(self._queue) - self._cancelled_in_queue
+
+    def peek_next(self) -> Optional[Event]:
+        """The next event that would fire, without firing it (or ``None``)."""
+        return self._peek()
 
     # ------------------------------------------------------------------
     # Run loop.
@@ -101,7 +150,9 @@ class Simulator:
         """Fire the next pending event and return it, or ``None`` if empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event._in_queue = False
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             if event.time < self._now:
                 raise SimulationError("event queue produced an event in the past")
@@ -163,5 +214,29 @@ class Simulator:
     def _peek(self) -> Optional[Event]:
         """Return the next non-cancelled event without firing it."""
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            popped = heapq.heappop(self._queue)
+            popped._in_queue = False
+            self._cancelled_in_queue -= 1
         return self._queue[0] if self._queue else None
+
+    # ------------------------------------------------------------------
+    # Lazy-deletion bookkeeping.
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` for an event still in the heap."""
+        self._cancelled_in_queue += 1
+        if (self._cancelled_in_queue > _COMPACT_MIN_CANCELLED
+                and self._cancelled_in_queue * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the live ones."""
+        live: List[Event] = []
+        for event in self._queue:
+            if event.cancelled:
+                event._in_queue = False
+            else:
+                live.append(event)
+        heapq.heapify(live)
+        self._queue = live
+        self._cancelled_in_queue = 0

@@ -15,6 +15,15 @@ class Event:
     ordering deterministic when several events share a timestamp: events
     scheduled earlier fire earlier.
 
+    Cancellation is *lazy*: :meth:`cancel` only flips a flag, and the
+    simulator skips flagged events when they reach the top of its heap.
+    The owning simulator is notified so it can count dead heap entries and
+    compact the heap when cancelled events start to dominate it (see
+    ``Simulator._note_cancelled``); without that, workloads that cancel
+    heavily — revocation storms, sessions that finish with many in-flight
+    events — would drag a growing tail of corpses through every heap
+    operation.
+
     Attributes:
         time: Simulation time (seconds) at which the event fires.
         sequence: Monotonically increasing tie-breaker assigned at
@@ -31,10 +40,19 @@ class Event:
     callback: Optional[Callable[[Any], None]] = field(compare=False, default=None)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: Simulator whose heap currently holds this event; maintained by the
+    #: simulator so lazy cancellation can be accounted for.
+    _owner: Optional[Any] = field(compare=False, default=None, repr=False)
+    #: Whether the event still sits in its owner's heap (cleared on pop).
+    _in_queue: bool = field(compare=False, default=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped by the simulator."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._owner is not None and self._in_queue:
+            self._owner._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         state = "cancelled" if self.cancelled else "pending"

@@ -7,19 +7,63 @@ checkpoints the model (sequentially with its own training); transient
 workers can be revoked mid-training and replaced later; and everything is
 recorded into a :class:`~repro.training.trace.TrainingTrace` for the
 CM-DARE performance tracker to analyze.
+
+Simulation core performance
+---------------------------
+The session has two execution paths that are **bit-identical** by
+contract (the golden-trace tests in ``tests/test_core_fastpath.py`` pin
+this down):
+
+* the *chunked* path — the original discrete-event loop: one heap event
+  per ``steps_per_event`` steps per worker, one scalar RNG draw per step;
+* the *fast-forward* path (:meth:`TrainingSession._fast_forward`, on by
+  default) — whenever the next events due are this session's own chunk
+  completions, the session pulls them out of the simulator heap and
+  replays the exact same completion/schedule logic in a tight loop, up to
+  its *disturbance horizon*: the first foreign event (a scheduled
+  revocation, a replacement joining, a fault-injector poll, a controller
+  wake-up, ...), or the end of the workload.  Checkpoints do not break the
+  span — they draw from their own named RNG stream, so they are replayed
+  in-line.  Step durations are drawn with vectorized
+  :meth:`~repro.perf.step_time.StepTimeModel.sample_steps` calls (one
+  ``Generator.normal`` per chunk instead of one per step), and when every
+  active worker is past warm-up with the same step-time distribution and
+  no foreign event is pending at all, the whole remaining workload's
+  durations come from a *single* block draw.  Chunk rows are bulk-appended
+  to the trace's columnar buffers.
+
+Bit-identity holds because (a) the vector draws consume the shared
+``step_time`` stream exactly like the scalar draws they replace, (b) every
+time/duration expression is replicated operation-for-operation, and
+(c) event sequence numbers are claimed from the simulator as the replay
+goes, so any chunk re-materialized into the heap at a span boundary keeps
+the exact (time, sequence) ordering the chunked path would have produced.
+The per-worker RNG *order* is preserved too: draws happen at chunk
+scheduling time, in completion order, on both paths.
+
+``REPRO_CORE_FASTFORWARD=0`` (or ``fast_forward=False``) forces the
+chunked path.  The core-throughput baseline lives in
+``benchmarks/BENCH_core.json``; regenerate it with
+``python benchmarks/core_baseline.py`` after touching this module (CI runs
+``python benchmarks/core_baseline.py --quick --check`` as a regression
+gate).
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
-from typing import Callable, Dict, List, Optional
+import math
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cloud.storage import CloudStorage
 from repro.errors import ConfigurationError, TrainingError
 from repro.perf.calibration import SESSION_RESTART_SECONDS
 from repro.perf.checkpoint_time import CheckpointTimeModel
 from repro.perf.ps_capacity import PSCapacityModel
-from repro.perf.step_time import StepTimeModel
+from repro.perf.step_time import WARMUP_STEPS, StepTimeModel
 from repro.simulation.engine import Simulator
 from repro.simulation.events import Event
 from repro.simulation.rng import RandomStreams
@@ -30,7 +74,6 @@ from repro.training.trace import (
     CheckpointRecord,
     ReplacementRecord,
     RevocationRecord,
-    StepRecord,
     TrainingTrace,
 )
 from repro.training.worker import WorkerState
@@ -39,6 +82,27 @@ from repro.training.worker import WorkerState
 #: chunks make long simulations cheaper at a negligible fidelity cost; the
 #: paper's own speed metric is already a 100-step average.
 DEFAULT_STEPS_PER_EVENT = 10
+
+#: Environment switch for the vectorized fast-forward path (default on).
+FASTFORWARD_ENV = "REPRO_CORE_FASTFORWARD"
+
+
+def _fast_forward_default() -> bool:
+    return os.environ.get(FASTFORWARD_ENV, "1").strip().lower() not in (
+        "0", "false", "off", "no")
+
+
+@dataclass
+class _InflightChunk:
+    """One scheduled-but-not-completed chunk of a worker.
+
+    Mirrors what the chunk event's callback closure captures, so the
+    fast-forward path can simulate the completion without the heap.
+    """
+
+    event: Event
+    steps: int
+    start_time: float
 
 
 class TrainingSession:
@@ -56,6 +120,10 @@ class TrainingSession:
         storage: Optional cloud storage bucket to upload checkpoints to.
         steps_per_event: Steps simulated per worker event.
         chief_worker_index: Index of the worker that starts as chief.
+        fast_forward: Whether :meth:`run_to_completion` may use the
+            vectorized fast-forward path (bit-identical to the chunked
+            path; see the module docstring).  ``None`` reads the
+            ``REPRO_CORE_FASTFORWARD`` environment variable (default on).
     """
 
     def __init__(self, simulator: Simulator, cluster: ClusterSpec, job: TrainingJob,
@@ -65,7 +133,8 @@ class TrainingSession:
                  checkpoint_time_model: Optional[CheckpointTimeModel] = None,
                  storage: Optional[CloudStorage] = None,
                  steps_per_event: int = DEFAULT_STEPS_PER_EVENT,
-                 chief_worker_index: int = 0):
+                 chief_worker_index: int = 0,
+                 fast_forward: Optional[bool] = None):
         if steps_per_event < 1:
             raise ConfigurationError("steps_per_event must be >= 1")
         if not 0 <= chief_worker_index < cluster.num_workers:
@@ -85,12 +154,18 @@ class TrainingSession:
             capacity_model=ps_capacity_model or PSCapacityModel())
         self.storage = storage
         self.steps_per_event = steps_per_event
+        self.fast_forward_enabled = (fast_forward if fast_forward is not None
+                                     else _fast_forward_default())
+        #: Chunks completed through the fast-forward path (stats/benchmarks).
+        self.fast_forward_chunks = 0
+        #: Fast-forward spans executed (stats/benchmarks).
+        self.fast_forward_spans = 0
 
         self.trace = TrainingTrace(model_name=job.model_name,
                                    cluster_description=cluster.describe(),
                                    start_time=simulator.now)
         self.workers: Dict[str, WorkerState] = {}
-        self._pending_events: Dict[str, Event] = {}
+        self._inflight: Dict[str, _InflightChunk] = {}
         self._worker_counter = itertools.count()
         self._cluster_steps = 0
         self._last_checkpoint_step = 0
@@ -223,7 +298,8 @@ class TrainingSession:
 
         event = self.simulator.schedule(delay, complete,
                                         label=f"{worker.worker_id}:chunk")
-        self._pending_events[worker.worker_id] = event
+        self._inflight[worker.worker_id] = _InflightChunk(
+            event=event, steps=steps, start_time=start_time)
 
     def _complete_chunk(self, worker: WorkerState, steps: int, start_time: float) -> None:
         if self._finished or not worker.active:
@@ -231,10 +307,9 @@ class TrainingSession:
         worker.steps_done += steps
         self._cluster_steps += steps
         self.ps_group.record_updates(steps)
-        self.trace.step_records.append(StepRecord(
-            worker_id=worker.worker_id, start_time=start_time,
-            end_time=self.simulator.now, steps=steps,
-            cluster_step=self._cluster_steps, worker_step=worker.steps_done))
+        self.trace.step_records.append_row(
+            worker.worker_id, start_time, self.simulator.now, steps,
+            self._cluster_steps, worker.steps_done)
 
         if self._cluster_steps >= self.job.total_steps:
             self._finish()
@@ -245,16 +320,25 @@ class TrainingSession:
             checkpoint_delay = self._perform_checkpoint(worker)
         self._schedule_chunk(worker, extra_delay=checkpoint_delay)
 
-    def _perform_checkpoint(self, worker: WorkerState) -> float:
-        """Run a checkpoint on the (acting) chief; returns its duration."""
+    def _perform_checkpoint(self, worker: WorkerState,
+                            now: Optional[float] = None) -> float:
+        """Run a checkpoint on the (acting) chief; returns its duration.
+
+        Args:
+            worker: The worker performing the checkpoint.
+            now: Simulation time of the checkpoint; defaults to the
+                simulator clock (the fast-forward replay passes it
+                explicitly, since it advances the clock only at span ends).
+        """
+        at = self.simulator.now if now is None else now
         duration = self.checkpoint_time_model.sample_time(self.job.profile.checkpoint)
         size = self.job.profile.checkpoint.total_bytes
         self.trace.checkpoint_records.append(CheckpointRecord(
-            worker_id=worker.worker_id, start_time=self.simulator.now,
+            worker_id=worker.worker_id, start_time=at,
             duration=duration, cluster_step=self._cluster_steps, size_bytes=size))
         if self.storage is not None:
             key = f"checkpoints/{self.job.model_name}/model.ckpt-{self._cluster_steps}"
-            self.storage.put(key, size, at_time=self.simulator.now + duration,
+            self.storage.put(key, size, at_time=at + duration,
                              metadata={"model": self.job.model_name,
                                        "step": str(self._cluster_steps)})
         self._last_checkpoint_step = self._cluster_steps
@@ -264,11 +348,203 @@ class TrainingSession:
     def _finish(self) -> None:
         self._finished = True
         self.trace.end_time = self.simulator.now
-        for event in self._pending_events.values():
-            event.cancel()
-        self._pending_events.clear()
+        for inflight in self._inflight.values():
+            inflight.event.cancel()
+        self._inflight.clear()
         for callback in self.on_finished:
             callback(self)
+
+    # ------------------------------------------------------------------
+    # Vectorized fast-forward path.
+    # ------------------------------------------------------------------
+    def _fast_forward(self, max_pops: Optional[int] = None) -> int:
+        """Replay chunk completions up to the disturbance horizon, heap-free.
+
+        Pops this session's pending chunk events out of the simulator heap
+        and processes them — in exact (time, sequence) order, consuming the
+        same RNG draws at the same points — until the workload finishes,
+        the next event due is *foreign* (not one of this session's chunks),
+        or ``max_pops`` completions were replayed (each counts like one
+        processed heap event, so :meth:`run_to_completion`'s ``max_events``
+        truncates identically on both paths).  Surviving in-flight chunks
+        are re-materialized into the heap with their claimed sequence
+        numbers, so execution can hand back and forth between the two
+        paths at any span boundary without drifting.
+
+        Returns:
+            The number of chunk completions replayed.
+        """
+        budget = math.inf if max_pops is None else max_pops
+        if budget <= 0:
+            return 0
+        if self._finished or not self.fast_forward_enabled or not self._inflight:
+            return 0
+        sim = self.simulator
+        top = sim.peek_next()
+        if top is None:
+            return 0
+        chunk_event_ids = {id(info.event) for info in self._inflight.values()}
+        if id(top) not in chunk_event_ids:
+            # A foreign event (disturbance) fires first; nothing to replay.
+            return 0
+
+        # Lift our chunk events out of the heap; the replay owns them now.
+        heap: List[Tuple[float, int, str]] = []
+        meta: Dict[str, Tuple[int, float]] = {}
+        for worker_id, info in self._inflight.items():
+            info.event.cancel()
+            heap.append((info.event.time, info.event.sequence, worker_id))
+            meta[worker_id] = (info.steps, info.start_time)
+        heapq.heapify(heap)
+        self._inflight.clear()
+        foreign = sim.peek_next()
+        foreign_key = (foreign.time, foreign.sequence) if foreign is not None \
+            else (math.inf, -1)
+
+        # Span-constant quantities: cluster membership cannot change inside
+        # the span (membership changes arrive via foreign events), so the
+        # PS slowdown/utilization the chunked path recomputes per chunk are
+        # computed once.
+        model = self.step_time_model
+        gflops = self.job.profile.gflops
+        slowdown = self.current_slowdown()
+        ps_arg = max(0.0, self.current_utilization() - 0.5)
+        steps_per = self.steps_per_event
+        total = self.job.total_steps
+        restart_until = self._restart_until
+
+        # Block mode: with no foreign event pending at all, the number of
+        # chunk completions left is fixed (each adds exactly steps_per
+        # steps), so when every worker is past warm-up and draws from the
+        # same step-time distribution, all remaining durations can come
+        # from one RNG call.  Which worker consumes each draw is decided by
+        # the replay, but with identical per-draw distributions the values
+        # are identical either way.
+        def all_past_warmup() -> bool:
+            return all(self.workers[w].steps_done + meta[w][0] >= WARMUP_STEPS
+                       for w in meta)
+
+        block_sums: Optional[List[float]] = None
+        block_index = 0
+        upgrade_when_warm = False
+        if foreign is None:
+            distributions = {(model.mean_step_time(gflops, self.workers[w].gpu_name),
+                              model.noise_cov(self.workers[w].gpu_name))
+                             for w in meta}
+            if len(distributions) == 1:
+                if not all_past_warmup():
+                    # Replay chunk-by-chunk until warm-up ends, then return
+                    # so the next span can take the block draw.
+                    upgrade_when_warm = True
+                else:
+                    pops_left = -(-(total - self._cluster_steps) // steps_per)
+                    # The block draw commits to the whole remaining
+                    # workload's RNG consumption, so it is only taken when
+                    # the pop budget cannot cut the span short.
+                    if pops_left >= 2 and pops_left <= budget:
+                        any_worker = self.workers[next(iter(meta))]
+                        samples = model.sample_steps(
+                            gflops, any_worker.gpu_name,
+                            (pops_left - 1) * steps_per,
+                            start_step_index=WARMUP_STEPS,
+                            ps_utilization=ps_arg, slowdown=slowdown)
+                        chunk_matrix = samples.reshape(pops_left - 1, steps_per)
+                        # Left-to-right accumulation per chunk (column by
+                        # column) matches the scalar `duration += sample`
+                        # loop bit-for-bit; numpy's pairwise `sum` would not.
+                        acc = chunk_matrix[:, 0]
+                        for column in range(1, steps_per):
+                            acc = acc + chunk_matrix[:, column]
+                        block_sums = acc.tolist()
+
+        rec_workers: List[str] = []
+        rec_starts: List[float] = []
+        rec_ends: List[float] = []
+        rec_steps: List[int] = []
+        rec_clusters: List[int] = []
+        rec_worker_steps: List[int] = []
+        pops = 0
+        updates = 0
+        finished = False
+        now = sim.now
+        while heap:
+            if pops >= budget:
+                break
+            time, sequence, worker_id = heap[0]
+            if (time, sequence) >= foreign_key:
+                break
+            heapq.heappop(heap)
+            worker = self.workers[worker_id]
+            steps, start_time = meta.pop(worker_id)
+            now = time
+            # --- completion (mirrors _complete_chunk) ---
+            worker.steps_done += steps
+            self._cluster_steps += steps
+            cluster = self._cluster_steps
+            updates += steps
+            pops += 1
+            rec_workers.append(worker_id)
+            rec_starts.append(start_time)
+            rec_ends.append(time)
+            rec_steps.append(steps)
+            rec_clusters.append(cluster)
+            rec_worker_steps.append(worker.steps_done)
+            if cluster >= total:
+                finished = True
+                break
+            checkpoint_delay = 0.0
+            if worker.is_chief and cluster >= self._next_checkpoint_step:
+                checkpoint_delay = self._perform_checkpoint(worker, now=now)
+            # --- next chunk (mirrors _schedule_chunk/_chunk_duration) ---
+            if block_sums is not None:
+                duration = block_sums[block_index]
+                block_index += 1
+            else:
+                samples = model.sample_steps(
+                    gflops, worker.gpu_name, steps_per,
+                    start_step_index=worker.steps_done,
+                    ps_utilization=ps_arg, slowdown=slowdown)
+                duration = 0.0
+                for value in samples.tolist():
+                    duration += value
+            delay = checkpoint_delay + duration
+            if now + checkpoint_delay < restart_until:
+                delay += restart_until - (now + checkpoint_delay)
+            heapq.heappush(heap, (now + delay, sim.claim_sequence(), worker_id))
+            meta[worker_id] = (steps_per, now + delay - duration)
+            if upgrade_when_warm and all_past_warmup():
+                break
+
+        if pops:
+            self.trace.step_records.extend_rows(
+                rec_workers, rec_starts, rec_ends, rec_steps, rec_clusters,
+                rec_worker_steps)
+            self.ps_group.record_updates(updates)
+            self.fast_forward_chunks += pops
+            self.fast_forward_spans += 1
+        if finished:
+            # Remaining in-flight chunks are dropped exactly as _finish
+            # cancels them on the chunked path; their RNG draws were
+            # already consumed at scheduling time on both paths.
+            sim.advance_to(now)
+            self._finish()
+            return pops
+        # Re-materialize surviving in-flight chunks as real heap events,
+        # keeping their claimed sequence numbers.
+        for time, sequence, worker_id in heap:
+            worker = self.workers[worker_id]
+            steps, start_time = meta[worker_id]
+
+            def complete(_sim: Simulator, worker=worker, steps=steps,
+                         start_time=start_time) -> None:
+                self._complete_chunk(worker, steps, start_time)
+
+            event = sim.schedule_at(time, complete,
+                                    label=f"{worker_id}:chunk",
+                                    sequence=sequence)
+            self._inflight[worker_id] = _InflightChunk(
+                event=event, steps=steps, start_time=start_time)
+        return pops
 
     # ------------------------------------------------------------------
     # Membership changes (revocations, replacements, PS scaling).
@@ -286,9 +562,9 @@ class TrainingSession:
         if not worker.active:
             return worker
         worker.revoke(self.simulator.now)
-        pending = self._pending_events.pop(worker_id, None)
+        pending = self._inflight.pop(worker_id, None)
         if pending is not None:
-            pending.cancel()
+            pending.event.cancel()
         self.trace.revocation_records.append(RevocationRecord(
             worker_id=worker_id, time=self.simulator.now,
             cluster_step=self._cluster_steps, was_chief=worker.is_chief))
@@ -351,10 +627,9 @@ class TrainingSession:
         self._next_checkpoint_step = (self._last_checkpoint_step
                                       + self.job.checkpoint_interval_steps)
         self._restart_until = self.simulator.now + SESSION_RESTART_SECONDS
-        self.trace.step_records.append(StepRecord(
-            worker_id="session-restart", start_time=self.simulator.now,
-            end_time=self.simulator.now, steps=-discarded,
-            cluster_step=self._cluster_steps))
+        self.trace.step_records.append_row(
+            "session-restart", self.simulator.now, self.simulator.now,
+            -discarded, self._cluster_steps)
 
     def add_parameter_server(self, count: int = 1) -> None:
         """Add parameter servers, paying the session-restart overhead.
@@ -375,10 +650,16 @@ class TrainingSession:
         The simulator is stepped only until the workload finishes, so events
         scheduled far in the future (e.g. the 24-hour reclamation of
         transient servers) do not advance the clock past the training run.
+        When the fast-forward path is enabled (the default), chunk events
+        are replayed in vectorized spans between heap events; the result is
+        bit-identical either way.
         """
         self.start()
         processed = 0
         while not self._finished and processed < max_events:
+            processed += self._fast_forward(max_events - processed)
+            if self._finished or processed >= max_events:
+                break
             if self.simulator.step() is None:
                 break
             processed += 1

@@ -4,12 +4,24 @@ The CM-DARE performance tracker consumes these traces to compute the
 quantities the paper reports: cluster training speed averaged over 100-step
 windows (with the first 100 steps discarded), per-worker average step
 times, checkpoint durations, and revocation/replacement events.
+
+Step records — by far the highest-volume stream, one row per simulated
+chunk — are stored *columnar* (structure of arrays) in
+:class:`StepRecordArray` instead of as a list of frozen dataclasses.  The
+sequence still looks like a list of :class:`StepRecord` objects (``append``,
+indexing, iteration), but each row costs six scalar slots in growable numpy
+buffers rather than a Python object, and the trace statistics
+(:meth:`TrainingTrace.cluster_speed`, :meth:`TrainingTrace.speed_series`,
+:meth:`TrainingTrace.worker_step_times`) operate directly on the columns.
+The array implementations reproduce the original record-by-record loops
+bit for bit — same ordering, same floating-point expressions — which the
+regression tests in ``tests/test_trace_columns.py`` pin down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -57,6 +69,206 @@ class StepRecord:
         return self.duration / self.steps if self.steps else 0.0
 
 
+class StepRecordArray(Sequence):
+    """Columnar (structure-of-arrays) storage of :class:`StepRecord` rows.
+
+    Rows live in six growable numpy buffers (worker index, start time, end
+    time, steps, cluster step, worker step); worker ids are interned into a
+    small side table in first-appearance order.  The container quacks like
+    the ``List[StepRecord]`` it replaces — ``append``, ``len``, indexing,
+    iteration and equality all work on :class:`StepRecord` values — while
+    bulk producers (the simulation fast-path) and the trace statistics go
+    straight to the columns.
+
+    Example:
+        >>> records = StepRecordArray()
+        >>> records.append(StepRecord("w0", 0.0, 1.0, 10, 10, 10))
+        >>> records[0].worker_id
+        'w0'
+        >>> records.step_counts
+        array([10])
+    """
+
+    _INITIAL_CAPACITY = 64
+
+    def __init__(self, records: Iterable[StepRecord] = ()):
+        self._names: List[str] = []
+        self._name_index: Dict[str, int] = {}
+        capacity = self._INITIAL_CAPACITY
+        self._widx = np.empty(capacity, dtype=np.int64)
+        self._start = np.empty(capacity, dtype=np.float64)
+        self._end = np.empty(capacity, dtype=np.float64)
+        self._steps = np.empty(capacity, dtype=np.int64)
+        self._cluster = np.empty(capacity, dtype=np.int64)
+        self._wstep = np.empty(capacity, dtype=np.int64)
+        self._size = 0
+        for record in records:
+            self.append(record)
+
+    # ------------------------------------------------------------------
+    # Growth and interning.
+    # ------------------------------------------------------------------
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = len(self._widx)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_widx", "_start", "_end", "_steps", "_cluster", "_wstep"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[:self._size] = old[:self._size]
+            setattr(self, name, grown)
+
+    def _intern(self, worker_id: str) -> int:
+        index = self._name_index.get(worker_id)
+        if index is None:
+            index = len(self._names)
+            self._names.append(worker_id)
+            self._name_index[worker_id] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # Mutation.
+    # ------------------------------------------------------------------
+    def append(self, record: StepRecord) -> None:
+        """Append one :class:`StepRecord` (list-compatible API)."""
+        self.append_row(record.worker_id, record.start_time, record.end_time,
+                        record.steps, record.cluster_step, record.worker_step)
+
+    def append_row(self, worker_id: str, start_time: float, end_time: float,
+                   steps: int, cluster_step: int, worker_step: int = 0) -> None:
+        """Append one row from scalars, skipping StepRecord construction."""
+        self._reserve(1)
+        i = self._size
+        self._widx[i] = self._intern(worker_id)
+        self._start[i] = start_time
+        self._end[i] = end_time
+        self._steps[i] = steps
+        self._cluster[i] = cluster_step
+        self._wstep[i] = worker_step
+        self._size = i + 1
+
+    def extend_rows(self, worker_ids: Sequence[str], start_times: Sequence[float],
+                    end_times: Sequence[float], steps: Sequence[int],
+                    cluster_steps: Sequence[int], worker_steps: Sequence[int]) -> None:
+        """Bulk-append rows from parallel scalar sequences (fast-path sink)."""
+        n = len(worker_ids)
+        if not (len(start_times) == len(end_times) == len(steps)
+                == len(cluster_steps) == len(worker_steps) == n):
+            raise DataError("extend_rows requires equally sized columns")
+        if n == 0:
+            return
+        self._reserve(n)
+        i = self._size
+        intern = self._intern
+        self._widx[i:i + n] = [intern(worker_id) for worker_id in worker_ids]
+        self._start[i:i + n] = start_times
+        self._end[i:i + n] = end_times
+        self._steps[i:i + n] = steps
+        self._cluster[i:i + n] = cluster_steps
+        self._wstep[i:i + n] = worker_steps
+        self._size = i + n
+
+    # ------------------------------------------------------------------
+    # Sequence protocol.
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def _materialize(self, i: int) -> StepRecord:
+        return StepRecord(worker_id=self._names[int(self._widx[i])],
+                          start_time=float(self._start[i]),
+                          end_time=float(self._end[i]),
+                          steps=int(self._steps[i]),
+                          cluster_step=int(self._cluster[i]),
+                          worker_step=int(self._wstep[i]))
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return [self._materialize(i) for i in range(*index.indices(self._size))]
+        i = index + self._size if index < 0 else index
+        if not 0 <= i < self._size:
+            raise IndexError("step record index out of range")
+        return self._materialize(i)
+
+    def __iter__(self) -> Iterator[StepRecord]:
+        for i in range(self._size):
+            yield self._materialize(i)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, StepRecordArray):
+            return (self._size == other._size
+                    and [self._names[int(i)] for i in self.worker_indices]
+                    == [other._names[int(i)] for i in other.worker_indices]
+                    and np.array_equal(self.start_times, other.start_times)
+                    and np.array_equal(self.end_times, other.end_times)
+                    and np.array_equal(self.step_counts, other.step_counts)
+                    and np.array_equal(self.cluster_step_counts, other.cluster_step_counts)
+                    and np.array_equal(self.worker_step_counts, other.worker_step_counts))
+        if isinstance(other, (list, tuple)):
+            return len(other) == self._size and all(
+                self._materialize(i) == other[i] for i in range(self._size))
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"StepRecordArray({self._size} rows, "
+                f"{len(self._names)} workers, {self.nbytes / 1024.0:.1f} KiB)")
+
+    # ------------------------------------------------------------------
+    # Column views (trimmed to the live size; treat as read-only).
+    # ------------------------------------------------------------------
+    @property
+    def worker_indices(self) -> np.ndarray:
+        """Interned worker index per row (see :meth:`worker_name`)."""
+        return self._widx[:self._size]
+
+    @property
+    def start_times(self) -> np.ndarray:
+        """Chunk start times (seconds)."""
+        return self._start[:self._size]
+
+    @property
+    def end_times(self) -> np.ndarray:
+        """Chunk end times (seconds)."""
+        return self._end[:self._size]
+
+    @property
+    def step_counts(self) -> np.ndarray:
+        """Steps per chunk (negative for session-restart corrections)."""
+        return self._steps[:self._size]
+
+    @property
+    def cluster_step_counts(self) -> np.ndarray:
+        """Cluster-wide cumulative step count after each chunk."""
+        return self._cluster[:self._size]
+
+    @property
+    def worker_step_counts(self) -> np.ndarray:
+        """Per-worker cumulative step count after each chunk."""
+        return self._wstep[:self._size]
+
+    @property
+    def worker_names(self) -> Tuple[str, ...]:
+        """Interned worker ids in first-appearance order."""
+        return tuple(self._names)
+
+    def worker_name(self, index: int) -> str:
+        """Worker id for an interned index."""
+        return self._names[index]
+
+    def worker_index(self, worker_id: str) -> Optional[int]:
+        """Interned index of ``worker_id``, or ``None`` if it never appears."""
+        return self._name_index.get(worker_id)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the column buffers (capacity included)."""
+        return (self._widx.nbytes + self._start.nbytes + self._end.nbytes
+                + self._steps.nbytes + self._cluster.nbytes + self._wstep.nbytes)
+
+
 @dataclass(frozen=True)
 class CheckpointRecord:
     """One checkpoint performed by the (acting) chief worker."""
@@ -96,7 +308,7 @@ class TrainingTrace:
     Attributes:
         model_name: Name of the trained model.
         cluster_description: Human-readable cluster description.
-        step_records: Per-worker chunk completions.
+        step_records: Per-worker chunk completions (columnar).
         checkpoint_records: Checkpoints taken.
         revocation_records: Worker revocations.
         replacement_records: Worker replacements.
@@ -106,7 +318,7 @@ class TrainingTrace:
 
     model_name: str
     cluster_description: str
-    step_records: List[StepRecord] = field(default_factory=list)
+    step_records: StepRecordArray = field(default_factory=StepRecordArray)
     checkpoint_records: List[CheckpointRecord] = field(default_factory=list)
     revocation_records: List[RevocationRecord] = field(default_factory=list)
     replacement_records: List[ReplacementRecord] = field(default_factory=list)
@@ -119,23 +331,20 @@ class TrainingTrace:
     @property
     def total_steps(self) -> int:
         """Total training steps completed across all workers."""
-        return sum(record.steps for record in self.step_records)
+        return int(self.step_records.step_counts.sum())
 
     @property
     def duration(self) -> float:
         """Wall-clock (simulated) duration of the traced session."""
         if self.end_time is not None:
             return self.end_time - self.start_time
-        if not self.step_records:
+        if not len(self.step_records):
             return 0.0
-        return max(record.end_time for record in self.step_records) - self.start_time
+        return float(self.step_records.end_times.max()) - self.start_time
 
     def worker_ids(self) -> List[str]:
         """All workers that contributed steps, in first-appearance order."""
-        seen: Dict[str, None] = {}
-        for record in self.step_records:
-            seen.setdefault(record.worker_id, None)
-        return list(seen)
+        return list(self.step_records.worker_names)
 
     # ------------------------------------------------------------------
     # Speed statistics (Table I, Fig. 2, Fig. 4).
@@ -146,12 +355,13 @@ class TrainingTrace:
         The first ``warmup_steps`` cluster steps are discarded, following
         the paper's methodology.
         """
-        records = [r for r in self.step_records if r.cluster_step > warmup_steps]
-        if not records:
+        records = self.step_records
+        mask = records.cluster_step_counts > warmup_steps
+        if not mask.any():
             raise DataError("not enough steps beyond the warm-up window")
-        steps = sum(record.steps for record in records)
-        start = min(record.start_time for record in records)
-        end = max(record.end_time for record in records)
+        steps = int(records.step_counts[mask].sum())
+        start = float(records.start_times[mask].min())
+        end = float(records.end_times[mask].max())
         if end <= start:
             raise DataError("trace covers zero duration")
         return steps / (end - start)
@@ -166,22 +376,75 @@ class TrainingTrace:
         """
         if window_steps <= 0:
             raise DataError("window_steps must be positive")
-        records = sorted(self.step_records, key=lambda r: r.end_time)
-        if not records:
+        records = self.step_records
+        n = len(records)
+        if n == 0:
             return []
+        order = np.argsort(records.end_times, kind="stable")
+        end = records.end_times[order]
+        steps = records.step_counts[order]
+        cluster = records.cluster_step_counts[order]
+        if np.all(np.diff(cluster) >= 0):
+            return self._speed_series_sorted(end, steps, cluster, window_steps)
+        return self._speed_series_scan(end, steps, cluster, window_steps)
+
+    def _speed_series_sorted(self, end: np.ndarray, steps: np.ndarray,
+                             cluster: np.ndarray, window_steps: int
+                             ) -> List[Tuple[int, float]]:
+        """Windowed speeds via cumulative sums + bisection (monotone traces).
+
+        Each window boundary is located with ``np.searchsorted`` and the
+        window's step count read off a cumulative sum, replacing the
+        record-by-record accumulation while producing the same values: the
+        cumulative int64 sums are exact, and the elapsed-time and division
+        expressions are unchanged.
+        """
+        n = len(end)
+        cumulative = np.cumsum(steps)
+        series: List[Tuple[int, float]] = []
+        window_start_time = self.start_time
+        previous_index = -1
+        next_boundary = window_steps
+        while True:
+            i = int(np.searchsorted(cluster, next_boundary, side="left"))
+            if i >= n:
+                break
+            window_steps_done = int(cumulative[i]) - (
+                int(cumulative[previous_index]) if previous_index >= 0 else 0)
+            elapsed = float(end[i]) - window_start_time
+            if elapsed > 0:
+                series.append((int(cluster[i]), window_steps_done / elapsed))
+            window_start_time = float(end[i])
+            previous_index = i
+            next_boundary = int(cluster[i]) + window_steps
+        return series
+
+    def _speed_series_scan(self, end: np.ndarray, steps: np.ndarray,
+                           cluster: np.ndarray, window_steps: int
+                           ) -> List[Tuple[int, float]]:
+        """Reference record-order scan, kept for non-monotone traces.
+
+        Sessions that restart from a checkpoint (legacy chief-IP reuse)
+        append a negative correction row, making the cluster-step column
+        non-monotone; bisection would find boundaries out of order there,
+        so those traces take the original linear scan over the columns.
+        """
         series: List[Tuple[int, float]] = []
         window_start_time = self.start_time
         window_steps_done = 0
         next_boundary = window_steps
-        for record in records:
-            window_steps_done += record.steps
-            if record.cluster_step >= next_boundary:
-                elapsed = record.end_time - window_start_time
+        end_list = end.tolist()
+        steps_list = steps.tolist()
+        cluster_list = cluster.tolist()
+        for i in range(len(end_list)):
+            window_steps_done += steps_list[i]
+            if cluster_list[i] >= next_boundary:
+                elapsed = end_list[i] - window_start_time
                 if elapsed > 0:
-                    series.append((record.cluster_step, window_steps_done / elapsed))
-                window_start_time = record.end_time
+                    series.append((cluster_list[i], window_steps_done / elapsed))
+                window_start_time = end_list[i]
                 window_steps_done = 0
-                next_boundary = record.cluster_step + window_steps
+                next_boundary = cluster_list[i] + window_steps
         return series
 
     def speed_stability(self, warmup_steps: int = DEFAULT_WARMUP_STEPS,
@@ -204,11 +467,19 @@ class TrainingTrace:
         The worker's *own* first ``warmup_steps`` steps are discarded, which
         mirrors how the paper measures individual workers with TFProf.
         """
-        times = [record.step_time for record in self.step_records
-                 if record.worker_id == worker_id and record.worker_step > warmup_steps]
-        if not times:
+        records = self.step_records
+        index = records.worker_index(worker_id)
+        if index is not None:
+            mask = ((records.worker_indices == index)
+                    & (records.worker_step_counts > warmup_steps))
+        else:
+            mask = np.zeros(0, dtype=bool)
+        if not mask.any():
             raise DataError(f"no post-warm-up steps recorded for worker {worker_id!r}")
-        return np.asarray(times)
+        durations = records.end_times[mask] - records.start_times[mask]
+        steps = records.step_counts[mask]
+        safe_steps = np.where(steps != 0, steps, 1)
+        return np.where(steps != 0, durations / safe_steps, 0.0)
 
     def worker_mean_step_time(self, worker_id: str,
                               warmup_steps: int = DEFAULT_WARMUP_STEPS) -> Tuple[float, float]:

@@ -134,3 +134,86 @@ def test_pending_events_excludes_cancelled():
     cancel.cancel()
     assert sim.pending_events() == 1
     assert keep.time == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Lazy-deletion stress: schedule/cancel interleavings.
+# ---------------------------------------------------------------------------
+def test_heap_schedule_cancel_interleaving_stress():
+    """Randomized schedule/cancel interleavings (including cancels and
+    re-schedules from inside callbacks) must fire exactly the surviving
+    events, in (time, sequence) order, with lazy deletion invisible."""
+    import random
+
+    rng = random.Random(0xC0FFEE)
+    sim = Simulator()
+    fired = []
+    expected_alive = {}  # sequence -> fire time
+    handles = {}
+
+    def make_callback(seq):
+        def callback(s):
+            fired.append(seq)
+            # Occasionally mutate the future from inside a callback.
+            roll = rng.random()
+            if roll < 0.2 and expected_alive:
+                later = [other for other, t in expected_alive.items()
+                         if (t, other) > (s.now, seq)]
+                if later:
+                    victim = rng.choice(sorted(later))
+                    handles[victim].cancel()
+                    del expected_alive[victim]
+            elif roll < 0.4:
+                event = s.schedule(rng.uniform(0.0, 5.0), make_callback(None))
+                handles[event.sequence] = event
+                expected_alive[event.sequence] = event.time
+                event.callback = make_callback(event.sequence)
+        return callback
+
+    for _ in range(400):
+        event = sim.schedule(rng.uniform(0.0, 100.0), make_callback(None))
+        event.callback = make_callback(event.sequence)
+        handles[event.sequence] = event
+        expected_alive[event.sequence] = event.time
+        if rng.random() < 0.5 and expected_alive:
+            victim = rng.choice(sorted(expected_alive))
+            handles[victim].cancel()
+            handles[victim].cancel()  # double-cancel must be harmless
+            del expected_alive[victim]
+
+    snapshot = dict(expected_alive)
+    assert sim.pending_events() == len(snapshot)
+    sim.run()
+    # Everything alive at run start fired (callbacks may add/cancel more,
+    # which expected_alive tracked as the run went).
+    fired_set = set(fired)
+    for seq in snapshot:
+        assert seq in fired_set or seq not in expected_alive
+    # Fired order is the (time, sequence) order of the surviving events.
+    fire_keys = [(handles[seq].time, seq) for seq in fired]
+    assert fire_keys == sorted(fire_keys)
+    assert sim.pending_events() == 0
+
+
+def test_heavy_cancellation_compacts_heap():
+    """Cancelled events must not linger: after mass cancellation the heap
+    compacts instead of dragging corpses until they are popped."""
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda s: None) for i in range(1000)]
+    for event in events[100:]:
+        event.cancel()
+    assert sim.pending_events() == 100
+    # Lazy deletion with compaction: far fewer than 1000 entries remain.
+    assert len(sim._queue) < 300
+    fired = sim.run()
+    assert fired == 100
+
+
+def test_cancel_after_fire_keeps_accounting_consistent():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda s: None)
+    second = sim.schedule(2.0, lambda s: None)
+    sim.run()
+    first.cancel()   # cancelling an already-fired event is a no-op
+    second.cancel()
+    assert sim.pending_events() == 0

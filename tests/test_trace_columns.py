@@ -1,0 +1,188 @@
+"""Tests for the columnar step-record storage and vectorized trace stats.
+
+``StepRecordArray`` replaced the ``List[StepRecord]`` the trace used to
+hold; these tests cover the list-compatible surface and pin the vectorized
+statistics (``cluster_speed``, ``speed_series``, ``worker_step_times``)
+against straight ports of the original record-by-record implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec
+from repro.training.job import TrainingJob
+from repro.training.session import TrainingSession
+from repro.training.trace import StepRecord, StepRecordArray, TrainingTrace
+
+
+def _record(i, worker="w0", steps=10):
+    return StepRecord(worker_id=worker, start_time=float(i), end_time=i + 1.0,
+                      steps=steps, cluster_step=(i + 1) * steps,
+                      worker_step=(i + 1) * steps)
+
+
+# ---------------------------------------------------------------------------
+# List-compatible container surface.
+# ---------------------------------------------------------------------------
+def test_append_and_materialize_roundtrip():
+    records = StepRecordArray()
+    originals = [_record(i, worker=f"w{i % 3}") for i in range(10)]
+    for record in originals:
+        records.append(record)
+    assert len(records) == 10
+    assert list(records) == originals
+    assert records[3] == originals[3]
+    assert records[-1] == originals[-1]
+    assert records[2:5] == originals[2:5]
+    assert records == originals          # list equality
+    assert records == StepRecordArray(originals)  # columnar equality
+    with pytest.raises(IndexError):
+        records[10]
+
+
+def test_growth_beyond_initial_capacity():
+    records = StepRecordArray()
+    originals = [_record(i) for i in range(300)]
+    for record in originals:
+        records.append(record)
+    assert len(records) == 300
+    assert list(records) == originals
+    assert records.nbytes >= 300 * 6 * 8
+
+
+def test_worker_interning_first_appearance_order():
+    records = StepRecordArray()
+    for worker in ("w2", "w0", "w2", "w1", "w0"):
+        records.append(_record(len(records), worker=worker))
+    assert records.worker_names == ("w2", "w0", "w1")
+    assert records.worker_index("w1") == 2
+    assert records.worker_index("missing") is None
+    assert records.worker_name(0) == "w2"
+    assert [records.worker_name(i) for i in records.worker_indices] == \
+        ["w2", "w0", "w2", "w1", "w0"]
+
+
+def test_extend_rows_bulk_append_matches_scalar_appends():
+    bulk = StepRecordArray()
+    scalar = StepRecordArray()
+    workers = ["a", "b", "a", "c"]
+    starts = [0.0, 0.5, 1.0, 1.5]
+    ends = [1.0, 1.5, 2.0, 2.5]
+    steps = [10, 10, -5, 10]
+    clusters = [10, 20, 15, 25]
+    worker_steps = [10, 10, 0, 10]
+    bulk.extend_rows(workers, starts, ends, steps, clusters, worker_steps)
+    for row in zip(workers, starts, ends, steps, clusters, worker_steps):
+        scalar.append_row(*row)
+    assert bulk == scalar
+    with pytest.raises(DataError):
+        bulk.extend_rows(["x"], [0.0], [1.0], [1], [1], [1, 2])
+
+
+# ---------------------------------------------------------------------------
+# Reference (pre-columnar) statistic implementations.
+# ---------------------------------------------------------------------------
+def _reference_cluster_speed(trace, warmup_steps=100):
+    records = [r for r in trace.step_records if r.cluster_step > warmup_steps]
+    steps = sum(record.steps for record in records)
+    start = min(record.start_time for record in records)
+    end = max(record.end_time for record in records)
+    return steps / (end - start)
+
+
+def _reference_speed_series(trace, window_steps=100):
+    records = sorted(trace.step_records, key=lambda r: r.end_time)
+    series = []
+    window_start_time = trace.start_time
+    window_steps_done = 0
+    next_boundary = window_steps
+    for record in records:
+        window_steps_done += record.steps
+        if record.cluster_step >= next_boundary:
+            elapsed = record.end_time - window_start_time
+            if elapsed > 0:
+                series.append((record.cluster_step, window_steps_done / elapsed))
+            window_start_time = record.end_time
+            window_steps_done = 0
+            next_boundary = record.cluster_step + window_steps
+    return series
+
+
+def _reference_worker_step_times(trace, worker_id, warmup_steps=100):
+    return np.asarray([record.step_time for record in trace.step_records
+                       if record.worker_id == worker_id
+                       and record.worker_step > warmup_steps])
+
+
+@pytest.fixture(scope="module")
+def real_trace(catalog):
+    """A real multi-worker trace with checkpoints."""
+    profile = catalog.profile("resnet_32")
+    job = TrainingJob(profile=profile, total_steps=3000,
+                      checkpoint_interval_steps=800)
+    session = TrainingSession(Simulator(), ClusterSpec.from_counts(k80=3), job,
+                              streams=RandomStreams(21))
+    return session.run_to_completion()
+
+
+def test_cluster_speed_matches_reference(real_trace):
+    assert real_trace.cluster_speed() == _reference_cluster_speed(real_trace)
+
+
+@pytest.mark.parametrize("window", [50, 100, 237])
+def test_speed_series_matches_reference(real_trace, window):
+    assert real_trace.speed_series(window) == _reference_speed_series(
+        real_trace, window)
+
+
+def test_worker_step_times_match_reference(real_trace):
+    for worker_id in real_trace.worker_ids():
+        assert np.array_equal(real_trace.worker_step_times(worker_id),
+                              _reference_worker_step_times(real_trace, worker_id))
+
+
+def test_total_steps_and_duration_match_reference(real_trace):
+    assert real_trace.total_steps == sum(r.steps for r in real_trace.step_records)
+    running = TrainingTrace(model_name="m", cluster_description="c")
+    for record in real_trace.step_records:
+        running.step_records.append(record)
+    assert running.duration == (max(r.end_time for r in real_trace.step_records)
+                                - running.start_time)
+
+
+def test_speed_series_non_monotone_restart_trace():
+    """Session-restart rows make cluster_step non-monotone; the windowing
+    must fall back to the original scan and still match the reference."""
+    trace = TrainingTrace(model_name="m", cluster_description="c")
+    t = 0.0
+    cluster = 0
+    for i in range(40):
+        cluster += 10
+        trace.step_records.append(StepRecord(
+            worker_id="w0", start_time=t, end_time=t + 1.0, steps=10,
+            cluster_step=cluster, worker_step=cluster))
+        t += 1.0
+        if i == 19:  # mid-run restart discarding 150 steps
+            cluster -= 150
+            trace.step_records.append(StepRecord(
+                worker_id="session-restart", start_time=t, end_time=t,
+                steps=-150, cluster_step=cluster))
+    for window in (50, 100):
+        assert trace.speed_series(window) == _reference_speed_series(trace, window)
+
+
+def test_empty_and_degenerate_traces():
+    trace = TrainingTrace(model_name="m", cluster_description="c")
+    assert trace.total_steps == 0
+    assert trace.duration == 0.0
+    assert trace.worker_ids() == []
+    assert trace.speed_series() == []
+    with pytest.raises(DataError):
+        trace.cluster_speed()
+    with pytest.raises(DataError):
+        trace.worker_step_times("w0")
+    with pytest.raises(DataError):
+        trace.speed_series(window_steps=0)
