@@ -1,0 +1,88 @@
+"""Fleet scenarios: contention regimes the paper's single jobs never reach.
+
+Runs the four named fleet scenarios through the sweep engine and checks
+the fleet-level contracts: the stable-region fleet absorbs its (rare)
+revocations, the revocation storm sees pool-level revocations clustered at
+the Fig. 9 peak hours, and the capacity crunch reports a nonzero
+replacement-denial rate while the storm (with headroom and queuing) denies
+nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scenarios import (
+    fleet_hour_histogram,
+    fleet_summary_table,
+    get_scenario,
+    run_scenario,
+)
+
+
+def _run(name, catalog, sweep_workers, sweep_cache_dir, replicates=2, seed=0):
+    return run_scenario(get_scenario(name), replicates=replicates, seed=seed,
+                        workers=sweep_workers, cache_dir=sweep_cache_dir,
+                        catalog=catalog)
+
+
+def test_fleet_single_region_smoke(benchmark, catalog, sweep_workers,
+                                   sweep_cache_dir):
+    result = benchmark.pedantic(
+        lambda: _run("single_region_k80", catalog, sweep_workers,
+                     sweep_cache_dir),
+        rounds=1, iterations=1)
+    print()
+    print(fleet_summary_table(result))
+    for payload in result.payloads():
+        assert payload["jobs_completed"] == payload["jobs_total"]
+        assert payload["replacements_denied"] == 0
+
+
+def test_fleet_storm_vs_crunch_contention(benchmark, catalog, sweep_workers,
+                                          sweep_cache_dir):
+    storm, crunch = benchmark.pedantic(
+        lambda: (_run("revocation_storm", catalog, sweep_workers,
+                      sweep_cache_dir),
+                 _run("capacity_crunch", catalog, sweep_workers,
+                      sweep_cache_dir)),
+        rounds=1, iterations=1)
+    print()
+    print(fleet_summary_table(storm))
+    print()
+    print(fleet_summary_table(crunch))
+
+    storm_payloads = storm.payloads()
+    crunch_payloads = crunch.payloads()
+    # The storm fleet has headroom + queuing: revocations are absorbed.
+    assert sum(p["revocations"] for p in storm_payloads) > 0
+    assert sum(p["replacements_denied"] for p in storm_payloads) == 0
+    # The crunched pool denies every replacement it is asked for.
+    assert sum(p["replacements_denied"] for p in crunch_payloads) > 0
+    assert max(p["replacement_denial_rate"] for p in crunch_payloads) > 0.0
+
+    # Pool-level revocations inherit the Fig. 9 hour-of-day clustering:
+    # the fleets launch at 9:30 AM europe-west1 local time, inside the K80
+    # late-morning peak, so revocations concentrate in the 8-14h window.
+    histogram = fleet_hour_histogram(storm_payloads + crunch_payloads)
+    assert histogram.sum() > 0
+    assert histogram[8:14].sum() >= histogram.sum() / 2
+    assert int(np.argmax(histogram)) in range(8, 15)
+
+
+def test_fleet_multi_region_heterogeneous(benchmark, catalog, sweep_workers,
+                                          sweep_cache_dir):
+    result = benchmark.pedantic(
+        lambda: _run("multi_region_hetero", catalog, sweep_workers,
+                     sweep_cache_dir),
+        rounds=1, iterations=1)
+    print()
+    print(fleet_summary_table(result))
+    for payload in result.payloads():
+        assert payload["jobs_completed"] == payload["jobs_total"]
+        # Staggered arrivals: the last job starts 600 s in, so the fleet
+        # makespan covers at least that delay plus its training time.
+        assert payload["makespan_seconds"] > 600.0
+        # The V100 job (auto-mitigation on) may add a parameter server;
+        # never more than its max_extra_parameter_servers bound.
+        assert 0 <= payload["ps_mitigations"] <= 4

@@ -4,7 +4,8 @@ Metadata lives here (rather than in ``pyproject.toml``'s ``[project]``
 table) so legacy editable installs — ``pip install -e .`` without the
 ``wheel`` package — keep working in offline environments.  The package
 uses a ``src/`` layout; installing it makes ``import repro`` work without
-a manual ``PYTHONPATH`` and provides the ``repro-sweeps`` console script.
+a manual ``PYTHONPATH`` and provides the ``repro-sweeps`` and
+``repro-scenarios`` console scripts.
 """
 
 import os
@@ -34,6 +35,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-sweeps = repro.sweeps.cli:main",
+            "repro-scenarios = repro.scenarios.cli:main",
         ],
     },
 )

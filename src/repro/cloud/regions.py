@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import UnknownRegionError
+from repro.units import wrap_hour
 
 
 @dataclass(frozen=True)
@@ -36,8 +37,12 @@ class Region:
         return gpu_name.lower() in self.gpu_types
 
     def local_hour(self, utc_hour: float) -> float:
-        """Convert a UTC hour-of-day to this region's local hour-of-day."""
-        return (utc_hour + self.utc_offset_hours) % 24.0
+        """Convert a UTC hour-of-day to this region's local hour-of-day.
+
+        The result is always in ``[0, 24)``, even for negative UTC offsets
+        applied near midnight (see :func:`repro.units.wrap_hour`).
+        """
+        return wrap_hour(utc_hour + self.utc_offset_hours)
 
 
 #: The six regions of the study with their GPU availability (Table V).

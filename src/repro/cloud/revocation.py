@@ -31,6 +31,7 @@ import numpy as np
 from repro.cloud.gpus import get_gpu
 from repro.cloud.regions import get_region
 from repro.errors import ConfigurationError
+from repro.units import hour_bin, wrap_hour
 
 #: Maximum lifetime of a transient (preemptible) server, in hours.
 MAX_TRANSIENT_LIFETIME_HOURS = 24.0
@@ -230,6 +231,7 @@ class RevocationModel:
         del stressed  # Workload does not influence revocations (Section V-C).
         gpu = get_gpu(gpu_name)
         params = self.params_for(gpu_name, region_name)
+        launch_hour_local = wrap_hour(launch_hour_local)
         if self._rng.uniform() >= params.p_revoke_24h:
             return RevocationOutcome(revoked=False,
                                      lifetime_hours=MAX_TRANSIENT_LIFETIME_HOURS,
@@ -239,11 +241,11 @@ class RevocationModel:
         candidates = [self._sample_conditional_lifetime(params)
                       for _ in range(self._candidates)]
         candidate_weights = np.array([
-            weights[int((launch_hour_local + lifetime) % 24.0)] + 1e-9
+            weights[hour_bin(launch_hour_local + lifetime)] + 1e-9
             for lifetime in candidates])
         probabilities = candidate_weights / candidate_weights.sum()
         chosen = candidates[int(self._rng.choice(len(candidates), p=probabilities))]
-        revocation_hour = (launch_hour_local + chosen) % 24.0
+        revocation_hour = wrap_hour(launch_hour_local + chosen)
         return RevocationOutcome(revoked=True, lifetime_hours=float(chosen),
                                  revocation_hour_local=float(revocation_hour))
 

@@ -24,6 +24,7 @@ from repro.cmdare.tracker import PerformanceTracker
 from repro.cmdare.transient_tf import TransientTensorFlowPolicy
 from repro.errors import ConfigurationError, DataError
 from repro.perf.replacement import ReplacementOverheadModel
+from repro.simulation.events import Event
 from repro.training.session import TrainingSession
 from repro.training.worker import WorkerState
 
@@ -87,8 +88,14 @@ class CMDareController:
         self.bottleneck_reports: List[BottleneckReport] = []
         self._extra_parameter_servers = 0
         self._monitoring = False
+        self._poll_event: Optional[Event] = None
         self._last_reconfiguration = session.trace.start_time
         session.on_revocation.append(self._on_revocation)
+        # A poll scheduled just before the workload completes must not
+        # outlive the session: cancel it the moment the session finishes so
+        # the simulator heap drains and a later start_monitoring restarts
+        # from a clean slate.
+        session.on_finished.append(lambda _session: self.stop_monitoring())
 
     # ------------------------------------------------------------------
     # Logging helpers.
@@ -112,14 +119,14 @@ class CMDareController:
         self._last_reconfiguration = self.session.simulator.now + settle_seconds
         self.tracker.reset_window()
 
-    def request_replacement(self, revoked: WorkerState) -> None:
+    def request_replacement(self, revoked: WorkerState) -> WorkerState:
         """Request and (after the cold-start overhead) add a replacement."""
         overhead = self.replacement_model.sample(
             self.session.job.profile, cold=True, gpu_name=revoked.gpu_name)
         records = self.session.trace.revocation_records
         was_chief = any(r.worker_id == revoked.worker_id and r.was_chief for r in records)
         reuse_ip = self.config.policy.reuse_chief_ip and was_chief
-        self.session.add_worker(
+        replacement = self.session.add_worker(
             revoked.spec, overhead_seconds=overhead.total, cold_start=True,
             reuse_chief_ip=reuse_ip)
         # The cluster shape changes again when the replacement joins; push the
@@ -129,6 +136,7 @@ class CMDareController:
         self._log("replacement",
                   f"requested {revoked.gpu_name} replacement for {revoked.worker_id}; "
                   f"cold-start overhead {overhead.total:.1f}s")
+        return replacement
 
     # ------------------------------------------------------------------
     # Monitoring loop.
@@ -150,13 +158,23 @@ class CMDareController:
 
     def start_monitoring(self) -> None:
         """Begin the periodic poll/detect/mitigate loop."""
-        if self._monitoring:
+        if self._monitoring or self.session.finished:
             return
         self._monitoring = True
-        self.session.simulator.schedule(self.config.poll_interval_seconds, self._poll,
-                                        label="cmdare:poll")
+        self._poll_event = self.session.simulator.schedule(
+            self.config.poll_interval_seconds, self._poll, label="cmdare:poll")
+
+    def stop_monitoring(self) -> None:
+        """Stop the poll loop, cancelling any pending poll event."""
+        self._monitoring = False
+        if self._poll_event is not None:
+            self._poll_event.cancel()
+            self._poll_event = None
 
     def _poll(self, _sim) -> None:
+        self._poll_event = None
+        if not self._monitoring:
+            return
         if self.session.finished:
             self._monitoring = False
             return
@@ -181,8 +199,8 @@ class CMDareController:
                 if report.bottleneck_detected:
                     self._log("bottleneck", report.suggestion)
                     self._maybe_mitigate()
-        self.session.simulator.schedule(self.config.poll_interval_seconds, self._poll,
-                                        label="cmdare:poll")
+        self._poll_event = self.session.simulator.schedule(
+            self.config.poll_interval_seconds, self._poll, label="cmdare:poll")
 
     def _maybe_mitigate(self) -> None:
         if not self.config.auto_mitigate_bottleneck:

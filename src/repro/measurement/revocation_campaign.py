@@ -25,6 +25,7 @@ from repro.cloud.revocation import RevocationModel
 from repro.errors import DataError
 from repro.modeling.revocation_estimator import RevocationEstimator
 from repro.simulation.rng import RandomStreams
+from repro.units import hour_bin
 from repro.sweeps import (
     SweepCell,
     SweepDefinition,
@@ -161,7 +162,7 @@ class RevocationCampaignResult:
         histogram = np.zeros(24, dtype=int)
         for record in self.records:
             if record.gpu_name == gpu and record.revoked:
-                histogram[int(record.revocation_hour_local) % 24] += 1
+                histogram[hour_bin(record.revocation_hour_local)] += 1
         return histogram
 
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ import numpy as np
 from repro.cloud.gpus import get_gpu
 from repro.cloud.revocation import RevocationModel
 from repro.errors import ConfigurationError
+from repro.units import hour_bin
 
 
 @dataclass(frozen=True)
@@ -92,7 +93,7 @@ class LaunchAdvisor:
                 revoked_within_run += 1
         probability = revoked_within_run / self.samples_per_option
         return LaunchOption(gpu_name=gpu.name, region_name=region_name,
-                            launch_hour_local=int(launch_hour_local) % 24,
+                            launch_hour_local=hour_bin(launch_hour_local),
                             revocation_probability=probability,
                             expected_revocations=probability * num_workers)
 

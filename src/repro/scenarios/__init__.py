@@ -1,0 +1,87 @@
+"""Fleet-scale scenario simulation.
+
+Design note
+===========
+
+The paper (and the measurement campaigns reproducing it) always runs **one
+training job at a time** against the transient-server characterization of
+Section V-C.  The ROADMAP's north star, however, asks for scenario
+diversity at production scale: whole *fleets* of concurrent jobs competing
+for the same finite transient-GPU capacity.  This package is the layer
+that composes the existing subsystems into that regime:
+
+* a :class:`~repro.scenarios.spec.ScenarioSpec` declares N concurrent jobs
+  (:class:`~repro.scenarios.spec.JobSpec`: catalog model, steps, mixed
+  GPU/region placements, staggered starts) plus a per-``(gpu, region)``
+  pool capacity — everything JSON-round-trippable;
+* the :class:`~repro.scenarios.pool.TransientPool` holds the shared finite
+  capacity.  A revocation *reclaims* a slot for ``reclaim_seconds``, so a
+  revoked job's replacement request can be **denied** or **queued** when
+  the pool is exhausted — contention the paper's single-job experiments
+  never reach;
+* :class:`~repro.scenarios.fleet.FleetRun` places every job on one
+  simulator: each job is a :class:`~repro.training.session.TrainingSession`
+  driven by a :class:`~repro.scenarios.fleet.FleetJobController` (a
+  pool-aware :class:`~repro.cmdare.controller.CMDareController`), worker
+  lifetimes come from the calibrated
+  :class:`~repro.cloud.revocation.RevocationModel` using each region's
+  local hour-of-day, and the run loop rides the PR 2 vectorized
+  fast-forward path between disturbances;
+* execution fans out through :class:`repro.sweeps.SweepRunner` — one sweep
+  cell per fleet replicate (``fleet_cell``) — inheriting bit-identical
+  serial/parallel execution and cache/resume for free; results aggregate
+  into fleet-level tables (makespan, cost, revocations absorbed,
+  replacement-denial rate, PS mitigations) via :mod:`repro.analysis`.
+
+Four named scenarios live in :mod:`repro.scenarios.catalog`
+(``single_region_k80``, ``multi_region_hetero``, ``revocation_storm``,
+``capacity_crunch``); each is also registered as a ``fleet_<name>`` sweep.
+
+Command line (mirrors ``python -m repro.sweeps``)::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run capacity_crunch --workers 2 --cache-dir .fleet-cache
+    python -m repro.scenarios resume capacity_crunch --cache-dir .fleet-cache
+"""
+
+from repro.scenarios.catalog import (
+    SCENARIO_BUILDERS,
+    get_scenario,
+    list_scenarios,
+)
+from repro.scenarios.fleet import (
+    FleetJobController,
+    FleetRun,
+    build_fleet_spec,
+    fleet_cell,
+    run_fleet,
+    run_scenario,
+)
+from repro.scenarios.pool import DENIED, GRANTED, QUEUED, TransientPool
+from repro.scenarios.report import (
+    fleet_hour_histogram,
+    fleet_rows,
+    fleet_summary_table,
+)
+from repro.scenarios.spec import JobSpec, ScenarioSpec
+
+__all__ = [
+    "DENIED",
+    "FleetJobController",
+    "FleetRun",
+    "GRANTED",
+    "JobSpec",
+    "QUEUED",
+    "SCENARIO_BUILDERS",
+    "ScenarioSpec",
+    "TransientPool",
+    "build_fleet_spec",
+    "fleet_cell",
+    "fleet_hour_histogram",
+    "fleet_rows",
+    "fleet_summary_table",
+    "get_scenario",
+    "list_scenarios",
+    "run_fleet",
+    "run_scenario",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.scenarios`` entry point.
+
+The ``__main__`` guard matters: spawn/forkserver multiprocessing workers
+re-import this module under a different name, and must not re-run the CLI.
+"""
+
+from repro.scenarios.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,178 @@
+"""Named fleet scenarios.
+
+Four ready-to-run fleets covering the regimes the ROADMAP asks for:
+
+* ``single_region_k80`` — the smallest smoke fleet: three K80 jobs in
+  us-west1, the study's most stable K80 region (Table V), with pool
+  headroom.  Fast enough for CI.
+* ``multi_region_hetero`` — four jobs across four regions and all three
+  GPU types, including one heterogeneous cluster, with staggered starts.
+* ``revocation_storm`` — K80 jobs in europe-west1, the region where more
+  than half the K80 servers die within two hours (Fig. 8), with the fleet
+  epoch pinned so jobs run into the late-morning revocation peak (Fig. 9).
+  Replacements queue on the reclaimed capacity.
+* ``capacity_crunch`` — the pool exactly covers the initial fleet and
+  revoked capacity never returns within the run, so every replacement
+  request is denied: jobs shrink, slow down, and can stall — the regime
+  the paper's single-job experiments never reach.
+
+Each scenario is also registered as a named sweep (``fleet_<name>``), so
+``python -m repro.sweeps run fleet_capacity_crunch`` works alongside the
+dedicated ``python -m repro.scenarios`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.scenarios.fleet import build_fleet_spec, fleet_cell
+from repro.scenarios.spec import JobSpec, ScenarioSpec
+from repro.sweeps import SweepDefinition, SweepResult, register_sweep
+from repro.workloads.catalog import default_catalog
+
+#: Default replicates per scenario sweep (>= 2 so parallel runs exercise
+#: more than one worker process).
+DEFAULT_REPLICATES = 2
+
+
+def single_region_k80() -> ScenarioSpec:
+    """Three small K80 jobs sharing one stable region's pool."""
+    jobs = tuple(
+        JobSpec(name=f"job-{index}", model_name=model, total_steps=1500,
+                workers=(("k80", "us-west1"),) * 2,
+                checkpoint_interval_steps=1000)
+        for index, model in enumerate(("resnet_15", "resnet_32", "resnet_15")))
+    # Duplicate (model, shape) jobs are fine: each job draws from its own
+    # named stream family, so they are independent replicas, not copies.
+    return ScenarioSpec(
+        name="single_region_k80",
+        description="3 small K80 jobs, one stable region, pool headroom",
+        jobs=jobs,
+        pool_capacity={("k80", "us-west1"): 8},
+        reclaim_seconds=1800.0,
+        epoch_hour_utc=14.0)
+
+
+def multi_region_hetero() -> ScenarioSpec:
+    """Four jobs across regions and GPU types, staggered arrivals."""
+    jobs = (
+        JobSpec(name="east-k80", model_name="resnet_32", total_steps=2500,
+                workers=(("k80", "us-east1"),) * 2),
+        JobSpec(name="central-p100", model_name="shake_shake_small",
+                total_steps=3000, workers=(("p100", "us-central1"),) * 2,
+                start_delay_seconds=300.0),
+        JobSpec(name="west-v100", model_name="shake_shake_big",
+                total_steps=2000, workers=(("v100", "us-west1"),) * 2,
+                start_delay_seconds=600.0, auto_mitigate_bottleneck=True),
+        JobSpec(name="europe-mixed", model_name="resnet_15", total_steps=2500,
+                workers=(("k80", "europe-west1"), ("p100", "europe-west1")),
+                queue_replacements=True),
+    )
+    return ScenarioSpec(
+        name="multi_region_hetero",
+        description="4 jobs over 4 regions and 3 GPU types, staggered starts",
+        jobs=jobs,
+        pool_capacity={
+            ("k80", "us-east1"): 3,
+            ("p100", "us-central1"): 3,
+            ("v100", "us-west1"): 3,
+            ("k80", "europe-west1"): 2,
+            ("p100", "europe-west1"): 2,
+        },
+        reclaim_seconds=1800.0)
+
+
+def revocation_storm() -> ScenarioSpec:
+    """K80 fleets in the fastest-dying region, launched into the peak hour.
+
+    europe-west1 is UTC+1 and K80 revocations peak around 10 AM local
+    (Fig. 9), so an epoch of 8.5 h UTC puts the whole fleet's first hours
+    squarely inside the storm window.
+    """
+    jobs = tuple(
+        JobSpec(name=f"storm-{index}", model_name="resnet_15",
+                total_steps=60_000,
+                workers=(("k80", "europe-west1"),) * 3,
+                checkpoint_interval_steps=4000,
+                queue_replacements=True)
+        for index in range(3))
+    return ScenarioSpec(
+        name="revocation_storm",
+        description="3x3 K80 workers in europe-west1 at the 10AM revocation peak",
+        jobs=jobs,
+        pool_capacity={("k80", "europe-west1"): 12},
+        reclaim_seconds=1200.0,
+        epoch_hour_utc=8.5)
+
+
+def capacity_crunch() -> ScenarioSpec:
+    """The pool exactly covers the fleet and reclaimed capacity never returns.
+
+    Every revocation permanently shrinks the available capacity within the
+    run, so every replacement request is denied — the fleet degrades and
+    reports a nonzero replacement-denial rate.
+    """
+    jobs = tuple(
+        JobSpec(name=f"crunch-{index}", model_name="resnet_15",
+                total_steps=60_000,
+                workers=(("k80", "europe-west1"),) * 3,
+                checkpoint_interval_steps=4000,
+                queue_replacements=False)
+        for index in range(3))
+    return ScenarioSpec(
+        name="capacity_crunch",
+        description="pool == initial demand, revoked capacity never returns",
+        jobs=jobs,
+        pool_capacity={("k80", "europe-west1"): 9},
+        reclaim_seconds=86_400.0,
+        epoch_hour_utc=8.5)
+
+
+#: All named scenarios, in presentation order.
+SCENARIO_BUILDERS: Dict[str, Callable[[], ScenarioSpec]] = {
+    "single_region_k80": single_region_k80,
+    "multi_region_hetero": multi_region_hetero,
+    "revocation_storm": revocation_storm,
+    "capacity_crunch": capacity_crunch,
+}
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Build a named scenario.
+
+    Raises:
+        ConfigurationError: If the name is unknown.
+    """
+    if name not in SCENARIO_BUILDERS:
+        known = ", ".join(sorted(SCENARIO_BUILDERS))
+        raise ConfigurationError(f"unknown scenario {name!r}; known: {known}")
+    return SCENARIO_BUILDERS[name]()
+
+
+def list_scenarios() -> List[ScenarioSpec]:
+    """All named scenarios, in presentation order."""
+    return [builder() for builder in SCENARIO_BUILDERS.values()]
+
+
+def summarize_fleet_sweep(result: SweepResult) -> str:
+    """Render a scenario sweep as the fleet-level summary table."""
+    from repro.scenarios.report import fleet_summary_table
+
+    return fleet_summary_table(result)
+
+
+def _register_named_scenarios() -> None:
+    """Expose each named scenario as a ``fleet_<name>`` sweep."""
+    for name, builder in SCENARIO_BUILDERS.items():
+        register_sweep(SweepDefinition(
+            name=f"fleet_{name}",
+            description=f"fleet scenario: {builder().description}",
+            build_spec=(lambda builder=builder:
+                        build_fleet_spec(builder(), DEFAULT_REPLICATES)),
+            cell_fn=fleet_cell,
+            build_context=default_catalog,
+            summarize=summarize_fleet_sweep))
+
+
+_register_named_scenarios()

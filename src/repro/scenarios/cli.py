@@ -1,0 +1,99 @@
+"""Command-line interface for fleet scenarios (mirrors ``repro.sweeps``).
+
+Usage::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run capacity_crunch --workers 2 --cache-dir .fleet-cache
+    python -m repro.scenarios resume capacity_crunch --cache-dir .fleet-cache
+
+``run`` fans a scenario's replicates out through the sweep engine (serial
+and parallel runs are bit-identical); with ``--cache-dir`` completed fleet
+cells persist, so ``resume`` (or an interrupted ``run``) picks up where it
+stopped.  ``--workers`` defaults to the ``REPRO_SWEEP_WORKERS`` environment
+variable, matching the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.scenarios.catalog import get_scenario, list_scenarios
+from repro.scenarios.fleet import run_scenario
+from repro.scenarios.report import fleet_summary_table
+# Shared with the sweeps CLI so both front ends accept and reject exactly
+# the same --workers values.
+from repro.sweeps.cli import _parse_workers
+
+
+def _default_workers() -> str:
+    return os.environ.get("REPRO_SWEEP_WORKERS", "") or "1"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-scenarios`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scenarios",
+        description="List, run, and resume fleet scenarios.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list named scenarios")
+
+    for command, help_text in (("run", "run a scenario"),
+                               ("resume", "resume a cached scenario")):
+        sub = commands.add_parser(command, help=help_text)
+        sub.add_argument("name", help="named scenario")
+        sub.add_argument("--workers", type=_parse_workers,
+                         default=_parse_workers(_default_workers()),
+                         help="worker processes, or 'auto' (default: "
+                              "REPRO_SWEEP_WORKERS or 1)")
+        sub.add_argument("--cache-dir", default=None,
+                         help="directory for the per-fleet JSON result cache")
+        sub.add_argument("--seed", type=int, default=0, help="root RNG seed")
+        sub.add_argument("--replicates", type=int, default=2,
+                         help="independent fleet replicates (default: 2)")
+        sub.add_argument("--json", dest="json_out", default=None,
+                         metavar="PATH",
+                         help="also write fleet payloads to a JSON file")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            for scenario in list_scenarios():
+                print(f"{scenario.name:24s} {scenario.describe():44s} "
+                      f"{scenario.description}")
+            return 0
+
+        if args.command == "resume" and args.cache_dir is None:
+            print("resume requires --cache-dir", file=sys.stderr)
+            return 2
+
+        scenario = get_scenario(args.name)
+        result = run_scenario(scenario, replicates=args.replicates,
+                              seed=args.seed, workers=args.workers,
+                              cache_dir=args.cache_dir)
+        print(result.summary())
+        print(fleet_summary_table(result))
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump({"scenario": scenario.name, "seed": args.seed,
+                           "fleets": result.payloads()}, handle, indent=2)
+            print(f"wrote {len(result)} fleet payloads to {args.json_out}")
+        return 0
+    except BrokenPipeError:
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

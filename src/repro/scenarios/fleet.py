@@ -1,0 +1,405 @@
+"""Fleet execution: many concurrent jobs, one simulator, one shared pool.
+
+One *fleet run* places every job of a :class:`~repro.scenarios.spec.ScenarioSpec`
+on a single discrete-event simulator.  Each job is a
+:class:`~repro.training.session.TrainingSession` driven by a
+:class:`FleetJobController` — a :class:`~repro.cmdare.controller.CMDareController`
+whose replacement requests go through the shared
+:class:`~repro.scenarios.pool.TransientPool` and can therefore be denied or
+queued.  Worker lifetimes are drawn from the calibrated
+:class:`~repro.cloud.revocation.RevocationModel` at launch time, using each
+region's *local* hour-of-day, so fleet revocations reproduce the paper's
+Table V / Fig. 8 / Fig. 9 characterization at pool level.
+
+The fleet loop interleaves sessions with the PR 2 vectorized fast-forward
+path: every unfinished session is offered a heap-free replay span before
+the loop falls back to one ordinary heap event, so a fleet run is exactly
+as deterministic as (and much faster than) stepping the shared heap event
+by event.
+
+``fleet_cell`` is the module-level sweep cell function: one cell simulates
+one whole fleet from its own derived random streams, which is what makes
+scenario sweeps serial/parallel bit-identical and resumable through the
+:class:`repro.sweeps.SweepRunner` cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cloud.machines import PARAMETER_SERVER_MACHINE, gpu_worker_machine
+from repro.cloud.pricing import PriceCatalog, default_price_catalog
+from repro.cloud.regions import get_region
+from repro.cloud.revocation import RevocationModel
+from repro.cmdare.controller import CMDareController, ControllerConfig
+from repro.errors import SimulationError
+from repro.scenarios.pool import DENIED, QUEUED, TransientPool
+from repro.scenarios.spec import JobSpec, ScenarioSpec
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.sweeps import SweepCell, SweepRunner, SweepSpec, SweepResult
+from repro.training.job import TrainingJob
+from repro.training.session import TrainingSession
+from repro.training.worker import WorkerState
+from repro.workloads.catalog import ModelCatalog, default_catalog
+
+#: Heap-event/fast-forward budget per fleet job (matches the single-session
+#: default of TrainingSession.run_to_completion).
+MAX_EVENTS_PER_JOB = 5_000_000
+
+
+class FleetJobController(CMDareController):
+    """A CM-DARE controller whose replacements contend on a shared pool.
+
+    Args:
+        session: The job's training session.
+        pool: Shared transient-server pool.
+        queue_replacements: Queue exhausted-pool requests instead of
+            denying them.
+        on_replacement_admitted: Invoked as ``callback(session, worker)``
+            when a replacement worker is actually admitted (the fleet uses
+            this to schedule the new server's own revocation draw).
+        config: Controller behaviour switches.
+    """
+
+    def __init__(self, session: TrainingSession, pool: TransientPool,
+                 queue_replacements: bool = False,
+                 on_replacement_admitted: Optional[
+                     Callable[[TrainingSession, WorkerState], None]] = None,
+                 config: Optional[ControllerConfig] = None):
+        super().__init__(session, config=config)
+        self.pool = pool
+        self.queue_replacements = queue_replacements
+        self.on_replacement_admitted = on_replacement_admitted
+        self.replacements_admitted = 0
+        self.replacements_denied = 0
+        self.replacements_pending = 0
+
+    def request_replacement(self, revoked: WorkerState) -> None:
+        """Route the replacement request through the shared pool."""
+        gpu, region = revoked.spec.gpu_name, revoked.spec.region_name
+        # The grant callback may run synchronously (slot free now) or later
+        # (served from the waiter queue); only queued requests count as
+        # pending, and only their grants decrement the pending count.
+        state = {"queued": False}
+
+        def grant() -> None:
+            if state["queued"]:
+                self.replacements_pending -= 1
+            self._admit_replacement(revoked)
+
+        outcome = self.pool.request_replacement(
+            gpu, region, grant, queue=self.queue_replacements,
+            label=f"{self.session.job.model_name}:{revoked.worker_id}")
+        if outcome == DENIED:
+            self.replacements_denied += 1
+            self._log("replacement-denied",
+                      f"pool exhausted: no {gpu} capacity in {region} for "
+                      f"{revoked.worker_id}")
+        elif outcome == QUEUED:
+            state["queued"] = True
+            self.replacements_pending += 1
+            self._log("replacement-queued",
+                      f"pool exhausted: queued {gpu} replacement for "
+                      f"{revoked.worker_id} in {region}")
+
+    def _admit_replacement(self, revoked: WorkerState) -> None:
+        """A pool slot was assigned; actually add the replacement worker."""
+        if self.session.finished:
+            # Granted from the queue after the job already completed: the
+            # slot was taken by the pool before the callback, hand it back.
+            self.pool.release(revoked.spec.gpu_name, revoked.spec.region_name)
+            return
+        worker = super().request_replacement(revoked)
+        self.replacements_admitted += 1
+        if self.on_replacement_admitted is not None:
+            self.on_replacement_admitted(self.session, worker)
+
+
+class _FleetJob:
+    """Runtime bundle for one job of the fleet."""
+
+    def __init__(self, spec: JobSpec, session: TrainingSession,
+                 controller: FleetJobController):
+        self.spec = spec
+        self.session = session
+        self.controller = controller
+        self.stalled = False
+        self.stalled_at = 0.0
+        self.started = False
+
+    def end_time(self, now: float) -> float:
+        """When the job stopped mattering: finish, stall, or the present."""
+        if self.session.finished:
+            return self.session.trace.end_time
+        return self.stalled_at if self.stalled else now
+
+
+class FleetRun:
+    """One fleet simulation, wired and ready to :meth:`run`.
+
+    Args:
+        scenario: The scenario to simulate.
+        streams: Root random streams of this fleet (one sweep cell).
+        catalog: Model catalog resolving job model names.
+        price_catalog: Pricing used for fleet cost accounting.
+        fast_forward: Core-path override forwarded to every session.
+    """
+
+    def __init__(self, scenario: ScenarioSpec, streams: RandomStreams,
+                 catalog: Optional[ModelCatalog] = None,
+                 price_catalog: Optional[PriceCatalog] = None,
+                 fast_forward: Optional[bool] = None):
+        self.scenario = scenario
+        self.streams = streams
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self.prices = (price_catalog if price_catalog is not None
+                       else default_price_catalog())
+        self.fast_forward = fast_forward
+        epoch = (scenario.epoch_hour_utc if scenario.epoch_hour_utc is not None
+                 else float(streams.get("epoch").uniform(0, 24)))
+        self.simulator = Simulator(epoch_hour_utc=epoch)
+        self.pool = TransientPool(self.simulator, scenario.pool_capacity,
+                                  reclaim_seconds=scenario.reclaim_seconds)
+        self.revocation_model = RevocationModel(rng=streams.get("revocation"))
+        self.revocation_hours_local: List[float] = []
+        self.jobs: List[_FleetJob] = [self._wire_job(spec)
+                                      for spec in scenario.jobs]
+
+    # ------------------------------------------------------------------
+    # Wiring.
+    # ------------------------------------------------------------------
+    def _wire_job(self, spec: JobSpec) -> _FleetJob:
+        profile = self.catalog.profile(spec.model_name)
+        job = TrainingJob(profile=profile, total_steps=spec.total_steps,
+                          checkpoint_interval_steps=spec.checkpoint_interval_steps)
+        session = TrainingSession(
+            self.simulator, spec.cluster(), job,
+            streams=self.streams.spawn(f"job:{spec.name}"),
+            steps_per_event=spec.steps_per_event,
+            fast_forward=self.fast_forward)
+        controller = FleetJobController(
+            session, self.pool, queue_replacements=spec.queue_replacements,
+            on_replacement_admitted=self._schedule_revocation,
+            config=ControllerConfig(
+                auto_mitigate_bottleneck=spec.auto_mitigate_bottleneck,
+                poll_interval_seconds=self.scenario.poll_interval_seconds))
+        # Initial workers reserve their pool slots at fleet launch, before
+        # any job starts training (the spec validated the demand fits).
+        for gpu, region in spec.workers:
+            self.pool.acquire(gpu, region)
+        session.on_finished.append(self._release_job_slots)
+        fleet_job = _FleetJob(spec, session, controller)
+        self.simulator.schedule(spec.start_delay_seconds,
+                                lambda _sim, fj=fleet_job: self._start_job(fj),
+                                label=f"fleet:start:{spec.name}")
+        return fleet_job
+
+    def _start_job(self, fleet_job: _FleetJob) -> None:
+        fleet_job.started = True
+        fleet_job.session.start()
+        fleet_job.controller.start_monitoring()
+        for worker in list(fleet_job.session.workers.values()):
+            self._schedule_revocation(fleet_job.session, worker)
+
+    def _release_job_slots(self, session: TrainingSession) -> None:
+        """A job completed: its surviving servers go back to the pool."""
+        for worker in session.active_workers():
+            if worker.is_transient:
+                self.pool.release(worker.spec.gpu_name, worker.spec.region_name)
+
+    def _schedule_revocation(self, session: TrainingSession,
+                             worker: WorkerState) -> None:
+        """Draw the worker's fate from the calibrated revocation model.
+
+        The draw happens at launch time using the region's *local* hour of
+        day, exactly like the simulated provider does, so fleet-level
+        revocations carry the paper's hour-of-day clustering (Fig. 9).
+        """
+        gpu, region_name = worker.spec.gpu_name, worker.spec.region_name
+        region = get_region(region_name)
+        launch_hour = region.local_hour(self.simulator.hour_of_day_utc())
+        outcome = self.revocation_model.sample(gpu, region_name,
+                                               launch_hour_local=launch_hour,
+                                               stressed=True)
+        if not outcome.revoked:
+            # The server survives to the 24-hour reclamation; fleet jobs
+            # complete well before, so no termination event is scheduled.
+            return
+
+        def revoke(_sim: Simulator) -> None:
+            if session.finished or not worker.active:
+                return
+            self.revocation_hours_local.append(
+                float(outcome.revocation_hour_local))
+            self.pool.revoke(gpu, region_name)
+            session.handle_revocation(worker.worker_id)
+            self._check_stalled(session)
+
+        self.simulator.schedule(outcome.lifetime_seconds, revoke,
+                                label=f"fleet:revoke:{worker.worker_id}")
+
+    def _check_stalled(self, session: TrainingSession) -> None:
+        """Detect a job that lost every worker with no replacement coming.
+
+        Such a job can never finish: stop its monitoring loop so the heap
+        drains instead of polling forever, and mark it stalled.
+        """
+        for fleet_job in self.jobs:
+            if fleet_job.session is session:
+                if (not session.finished and not session.active_workers()
+                        and fleet_job.controller.replacements_pending == 0):
+                    fleet_job.stalled = True
+                    fleet_job.stalled_at = self.simulator.now
+                    fleet_job.controller.stop_monitoring()
+                return
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, Any]:
+        """Run the fleet to completion and return the JSON payload.
+
+        The loop offers every unfinished session a vectorized fast-forward
+        span, then fires one heap event, until every job finished (or
+        stalled with an empty heap).
+        """
+        max_events = MAX_EVENTS_PER_JOB * len(self.jobs)
+        processed = 0
+        while processed < max_events:
+            for fleet_job in self.jobs:
+                if not fleet_job.session.finished:
+                    processed += fleet_job.session.fast_forward(
+                        max_events - processed)
+            if all(job.session.finished or job.stalled for job in self.jobs):
+                # A stalled job has no queued replacement left by
+                # definition, so nothing in the heap (pool reclaim
+                # returns, stale revocation draws) can revive it: stop
+                # instead of draining events up to a day in the future,
+                # which would inflate the fleet clock past the last
+                # meaningful moment.
+                break
+            if self.simulator.step() is None:
+                break
+            processed += 1
+        if processed >= max_events:
+            raise SimulationError(
+                f"fleet {self.scenario.name!r} exceeded {max_events} events")
+        return self._payload()
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+    def _job_cost(self, fleet_job: _FleetJob, end_time: float) -> float:
+        """Cloud cost of one job: per-second billing of workers and PSs."""
+        cost = 0.0
+        for worker in fleet_job.session.workers.values():
+            stop = worker.revoked_at if worker.revoked_at is not None else end_time
+            span = max(0.0, stop - worker.joined_at)
+            machine = gpu_worker_machine(worker.spec.gpu_name)
+            cost += self.prices.cost(machine, worker.is_transient, span)
+        cost += fleet_job.spec.num_parameter_servers * self.prices.cost(
+            PARAMETER_SERVER_MACHINE, False, end_time)
+        # Parameter servers added mid-run by bottleneck mitigation bill
+        # from the moment they were provisioned.
+        for action in fleet_job.controller.actions:
+            if action.kind == "mitigation":
+                cost += self.prices.cost(PARAMETER_SERVER_MACHINE, False,
+                                         max(0.0, end_time - action.time))
+        return cost
+
+    def _payload(self) -> Dict[str, Any]:
+        jobs: List[Dict[str, Any]] = []
+        makespan = 0.0
+        total_cost = 0.0
+        for fleet_job in self.jobs:
+            session = fleet_job.session
+            completed = session.finished
+            end = fleet_job.end_time(self.simulator.now)
+            makespan = max(makespan, end)
+            cost = self._job_cost(fleet_job, end)
+            total_cost += cost
+            controller = fleet_job.controller
+            summary = controller.summary()
+            jobs.append({
+                "name": fleet_job.spec.name,
+                "model": fleet_job.spec.model_name,
+                "workers": len(fleet_job.spec.workers),
+                "completed": completed,
+                "stalled": fleet_job.stalled,
+                "steps_done": session.cluster_steps,
+                "total_steps": fleet_job.spec.total_steps,
+                "duration_seconds": end - fleet_job.spec.start_delay_seconds,
+                "end_time_seconds": end,
+                "cost_usd": cost,
+                "revocations": summary["num_revocations_seen"],
+                "replacements_admitted": controller.replacements_admitted,
+                "replacements_denied": controller.replacements_denied,
+                "replacements_pending": controller.replacements_pending,
+                "ps_mitigations": summary["extra_parameter_servers"],
+                "final_active_workers": len(session.active_workers()),
+            })
+        pool_stats = self.pool.stats()
+        return {
+            "scenario": self.scenario.name,
+            "epoch_hour_utc": self.simulator.epoch_hour_utc,
+            "jobs_total": len(self.jobs),
+            "jobs_completed": sum(1 for job in jobs if job["completed"]),
+            "jobs_stalled": sum(1 for job in jobs if job["stalled"]),
+            "makespan_seconds": makespan,
+            "total_cost_usd": total_cost,
+            "revocations": pool_stats["revocations"],
+            "replacements_admitted": sum(j["replacements_admitted"] for j in jobs),
+            "replacements_denied": pool_stats["replacements_denied"],
+            "replacement_denial_rate": pool_stats["replacement_denial_rate"],
+            "ps_mitigations": sum(j["ps_mitigations"] for j in jobs),
+            "revocation_hours_local": list(self.revocation_hours_local),
+            "pool": pool_stats,
+            "jobs": jobs,
+        }
+
+
+def run_fleet(scenario: ScenarioSpec, streams: RandomStreams,
+              catalog: Optional[ModelCatalog] = None,
+              price_catalog: Optional[PriceCatalog] = None) -> Dict[str, Any]:
+    """Simulate one fleet and return its JSON-encodable summary payload."""
+    return FleetRun(scenario, streams, catalog=catalog,
+                    price_catalog=price_catalog).run()
+
+
+# ---------------------------------------------------------------------------
+# Sweep integration.
+# ---------------------------------------------------------------------------
+def fleet_cell(cell: SweepCell, streams: RandomStreams,
+               context: Any) -> Dict[str, Any]:
+    """Sweep cell: simulate one whole fleet (one scenario replicate).
+
+    ``context`` is the shared :class:`~repro.workloads.catalog.ModelCatalog`
+    (its fingerprint keys the result cache).
+    """
+    scenario = ScenarioSpec.from_params(cell.params["scenario"])
+    return run_fleet(scenario, streams, catalog=context)
+
+
+def build_fleet_spec(scenario: ScenarioSpec, replicates: int = 2) -> SweepSpec:
+    """One sweep cell per fleet replicate of ``scenario``."""
+    if replicates < 1:
+        raise SimulationError("replicates must be >= 1")
+    return SweepSpec(f"fleet_{scenario.name}",
+                     axes={"replicate": list(range(int(replicates)))},
+                     fixed={"scenario": scenario.to_params()})
+
+
+def run_scenario(scenario: ScenarioSpec, replicates: int = 2, seed: int = 0,
+                 workers: Optional[int] = None, cache_dir: Optional[str] = None,
+                 catalog: Optional[ModelCatalog] = None) -> SweepResult:
+    """Run a scenario's replicates through the sweep engine.
+
+    Serial and parallel executions are bit-identical, and with a
+    ``cache_dir`` interrupted scenario sweeps resume from completed cells,
+    both inherited from :class:`~repro.sweeps.SweepRunner`.
+    """
+    spec = build_fleet_spec(scenario, replicates)
+    runner = SweepRunner(workers=workers, cache_dir=cache_dir, seed=seed)
+    return runner.run(spec, fleet_cell,
+                      context=catalog if catalog is not None else default_catalog())

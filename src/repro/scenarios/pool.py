@@ -1,0 +1,231 @@
+"""Finite shared pool of transient GPU servers.
+
+The paper's experiments run one training job at a time, so a replacement
+request after a revocation always succeeds.  At fleet scale the picture
+changes: concurrent jobs draw from the same per-``(gpu, region)`` transient
+capacity, and a revocation means the provider *reclaimed* that capacity —
+the slot does not return to the pool until ``reclaim_seconds`` later.  A
+replacement request that finds the pool exhausted is therefore **denied**
+(the job continues degraded) or **queued** (served FIFO when reclaimed
+capacity returns or another job releases its servers), a regime the
+single-job experiments never reach.
+
+All pool state changes happen inside simulator event callbacks or
+synchronous calls from them, so fleet runs stay deterministic: the FIFO
+waiter order and the reclaim-return events are fully determined by the
+event order of the simulation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Mapping, Tuple
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.simulation.engine import Simulator
+
+#: A pool key: ``(gpu name, region name)``.
+PoolKey = Tuple[str, str]
+
+#: Replacement-request outcomes.
+GRANTED = "granted"
+QUEUED = "queued"
+DENIED = "denied"
+
+
+@dataclass
+class _PoolState:
+    """Mutable per-``(gpu, region)`` accounting."""
+
+    capacity: int
+    in_use: int = 0
+    reclaimed: int = 0
+    peak_in_use: int = 0
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use - self.reclaimed
+
+    def take(self) -> None:
+        self.in_use += 1
+        self.peak_in_use = max(self.peak_in_use, self.in_use)
+
+
+class TransientPool:
+    """Shared finite transient-server capacity for a fleet of jobs.
+
+    Args:
+        simulator: Simulator that times reclaimed-capacity returns.
+        capacity: Maximum concurrently alive servers per ``(gpu, region)``.
+        reclaim_seconds: Delay before revoked capacity returns to the pool.
+    """
+
+    def __init__(self, simulator: Simulator, capacity: Mapping[PoolKey, int],
+                 reclaim_seconds: float = 3600.0):
+        if not capacity:
+            raise ConfigurationError("a pool needs at least one (gpu, region) cell")
+        if reclaim_seconds < 0:
+            raise ConfigurationError("reclaim_seconds must be non-negative")
+        self.simulator = simulator
+        self.reclaim_seconds = float(reclaim_seconds)
+        self._states: Dict[PoolKey, _PoolState] = {}
+        for key, count in capacity.items():
+            if count <= 0:
+                raise ConfigurationError(f"pool capacity for {key} must be positive")
+            self._states[key] = _PoolState(capacity=int(count))
+        self._waiters: Dict[PoolKey, Deque[Tuple[str, Callable[[], None]]]] = {
+            key: deque() for key in self._states}
+        self.launches = 0
+        self.releases = 0
+        self.revocations = 0
+        self.replacement_requests = 0
+        self.replacements_granted = 0
+        self.replacements_queued = 0
+        self.replacements_denied = 0
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def _state(self, gpu_name: str, region_name: str) -> _PoolState:
+        key = (gpu_name, region_name)
+        if key not in self._states:
+            raise CapacityError(f"the pool has no {gpu_name!r} capacity in "
+                                f"{region_name!r}")
+        return self._states[key]
+
+    def available(self, gpu_name: str, region_name: str) -> int:
+        """Free slots for a ``(gpu, region)`` cell right now."""
+        return self._state(gpu_name, region_name).available
+
+    def in_use(self, gpu_name: str, region_name: str) -> int:
+        """Slots currently occupied by running servers."""
+        return self._state(gpu_name, region_name).in_use
+
+    def pending_waiters(self, gpu_name: str, region_name: str) -> int:
+        """Queued replacement requests for a ``(gpu, region)`` cell."""
+        return len(self._waiters[(gpu_name, region_name)])
+
+    # ------------------------------------------------------------------
+    # Slot lifecycle.
+    # ------------------------------------------------------------------
+    def acquire(self, gpu_name: str, region_name: str) -> None:
+        """Take one slot for an initial (fleet-launch) worker.
+
+        Raises:
+            CapacityError: If the cell has no free slot; scenario specs
+                validate initial demand up front, so this only fires on
+                direct misuse of the pool.
+        """
+        state = self._state(gpu_name, region_name)
+        if state.available <= 0:
+            raise CapacityError(
+                f"no free {gpu_name} capacity in {region_name} at fleet launch")
+        state.take()
+        self.launches += 1
+
+    def release(self, gpu_name: str, region_name: str) -> None:
+        """Return a slot whose server terminated normally (job completed)."""
+        state = self._state(gpu_name, region_name)
+        if state.in_use <= 0:
+            raise CapacityError(f"release without a matching acquire for "
+                                f"({gpu_name}, {region_name})")
+        state.in_use -= 1
+        self.releases += 1
+        self._serve((gpu_name, region_name))
+
+    def revoke(self, gpu_name: str, region_name: str) -> None:
+        """Record a revocation: the provider reclaims the slot's capacity.
+
+        The slot moves from *in use* to *reclaimed* and returns to the pool
+        ``reclaim_seconds`` later, at which point queued replacement
+        requests are served FIFO.
+        """
+        state = self._state(gpu_name, region_name)
+        if state.in_use <= 0:
+            raise CapacityError(f"revocation without a live server for "
+                                f"({gpu_name}, {region_name})")
+        state.in_use -= 1
+        state.reclaimed += 1
+        self.revocations += 1
+        key = (gpu_name, region_name)
+
+        def restore(_sim: Simulator) -> None:
+            state.reclaimed -= 1
+            self._serve(key)
+
+        self.simulator.schedule(self.reclaim_seconds, restore,
+                                label=f"pool:reclaim:{gpu_name}:{region_name}")
+
+    def request_replacement(self, gpu_name: str, region_name: str,
+                            grant: Callable[[], None], queue: bool = False,
+                            label: str = "") -> str:
+        """Ask for a replacement slot after a revocation.
+
+        Args:
+            gpu_name: GPU type of the replacement.
+            region_name: Region of the replacement.
+            grant: Invoked (synchronously now, or later from a reclaim /
+                release event) once a slot is assigned.  The slot is already
+                taken when the callback runs; a grantee that no longer needs
+                it must :meth:`release` it.
+            queue: Queue the request FIFO when no slot is free, instead of
+                denying it.
+            label: Debugging label recorded with queued requests.
+
+        Returns:
+            ``"granted"``, ``"queued"``, or ``"denied"``.
+        """
+        state = self._state(gpu_name, region_name)
+        self.replacement_requests += 1
+        if state.available > 0:
+            state.take()
+            self.replacements_granted += 1
+            grant()
+            return GRANTED
+        if queue:
+            self.replacements_queued += 1
+            self._waiters[(gpu_name, region_name)].append((label, grant))
+            return QUEUED
+        self.replacements_denied += 1
+        return DENIED
+
+    def _serve(self, key: PoolKey) -> None:
+        """Hand freed slots to queued replacement requests, FIFO."""
+        state = self._states[key]
+        waiters = self._waiters[key]
+        while waiters and state.available > 0:
+            _label, grant = waiters.popleft()
+            state.take()
+            self.replacements_granted += 1
+            grant()
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+    @property
+    def replacement_denial_rate(self) -> float:
+        """Denied replacement requests as a fraction of all requests."""
+        if self.replacement_requests == 0:
+            return 0.0
+        return self.replacements_denied / self.replacement_requests
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-encodable pool summary for fleet payloads."""
+        return {
+            "launches": self.launches,
+            "releases": self.releases,
+            "revocations": self.revocations,
+            "replacement_requests": self.replacement_requests,
+            "replacements_granted": self.replacements_granted,
+            "replacements_queued": self.replacements_queued,
+            "replacements_denied": self.replacements_denied,
+            "replacement_denial_rate": self.replacement_denial_rate,
+            "cells": {f"{gpu}/{region}": {
+                "capacity": state.capacity,
+                "in_use": state.in_use,
+                "reclaimed": state.reclaimed,
+                "peak_in_use": state.peak_in_use,
+                "waiting": len(self._waiters[(gpu, region)]),
+            } for (gpu, region), state in sorted(self._states.items())},
+        }

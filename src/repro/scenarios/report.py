@@ -1,0 +1,57 @@
+"""Fleet-level aggregation tables (via :mod:`repro.analysis`)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.errors import DataError
+from repro.sweeps import SweepResult
+
+#: Columns of the per-replicate fleet summary table.
+FLEET_TABLE_HEADERS = (
+    "replicate", "jobs done", "stalled", "makespan (h)", "cost (USD)",
+    "revocations", "absorbed", "denied", "denial rate", "PS mitigations",
+)
+
+
+def fleet_rows(result: SweepResult) -> List[List[Any]]:
+    """One summary row per fleet replicate of a scenario sweep."""
+    rows: List[List[Any]] = []
+    for cell_result in result:
+        payload = cell_result.payload
+        if not isinstance(payload, dict) or "makespan_seconds" not in payload:
+            raise DataError("fleet tables need fleet_cell payloads")
+        rows.append([
+            cell_result.cell.params.get("replicate", cell_result.cell.index),
+            f"{payload['jobs_completed']}/{payload['jobs_total']}",
+            payload["jobs_stalled"],
+            payload["makespan_seconds"] / 3600.0,
+            payload["total_cost_usd"],
+            payload["revocations"],
+            payload["replacements_admitted"],
+            payload["replacements_denied"],
+            payload["replacement_denial_rate"],
+            payload["ps_mitigations"],
+        ])
+    return rows
+
+
+def fleet_summary_table(result: SweepResult) -> str:
+    """Render a scenario sweep as a fixed-width fleet summary table."""
+    scenario = result.spec.fixed.get("scenario", {}).get("name", result.spec.name)
+    return format_table(FLEET_TABLE_HEADERS, fleet_rows(result),
+                        title=f"fleet scenario {scenario!r}")
+
+
+def fleet_hour_histogram(payloads: Sequence[Dict[str, Any]]) -> np.ndarray:
+    """Local-hour revocation histogram across fleet replicates (Fig. 9 style)."""
+    from repro.units import hour_bin
+
+    histogram = np.zeros(24, dtype=int)
+    for payload in payloads:
+        for hour in payload.get("revocation_hours_local", ()):
+            histogram[hour_bin(hour)] += 1
+    return histogram

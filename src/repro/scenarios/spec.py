@@ -1,0 +1,217 @@
+"""Declarative fleet-scenario specifications.
+
+A :class:`ScenarioSpec` describes a *fleet*: several concurrent training
+jobs (:class:`JobSpec`) sharing one finite pool of transient GPU servers.
+Specs round-trip losslessly through JSON (:meth:`ScenarioSpec.to_params` /
+:meth:`ScenarioSpec.from_params`), which is what lets the fleet runner fan
+scenario cells out through :class:`repro.sweeps.SweepRunner`: the JSON form
+is the sweep cell's parameter payload, so per-cell RNG seeding, caching,
+and serial/parallel bit-identity all come for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.cloud.gpus import get_gpu
+from repro.cloud.regions import get_region
+from repro.errors import ConfigurationError
+from repro.training.cluster import ClusterSpec, WorkerSpec
+from repro.units import wrap_hour
+
+#: A pool key: ``(gpu name, region name)``.
+PoolKey = Tuple[str, str]
+
+
+def _normalize_key(gpu_name: str, region_name: str) -> PoolKey:
+    """Canonical ``(gpu, region)`` key, validating both names."""
+    return (get_gpu(gpu_name).name, get_region(region_name).name)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One training job inside a fleet scenario.
+
+    Attributes:
+        name: Fleet-unique job name.
+        model_name: Catalog model to train.
+        total_steps: Workload size in training steps.
+        workers: ``(gpu, region)`` placement of each transient GPU worker.
+        num_parameter_servers: On-demand parameter servers for the job.
+        ps_region_name: Region hosting the parameter servers; defaults to
+            the first worker's region.
+        checkpoint_interval_steps: Steps between checkpoints.
+        start_delay_seconds: Simulation time at which training begins
+            (staggered fleet arrivals).  Pool slots for the initial workers
+            are reserved at time zero regardless, mirroring servers that
+            are provisioned up front and idle until the job starts.
+        queue_replacements: When the pool is exhausted, queue replacement
+            requests until reclaimed capacity returns instead of denying
+            them outright.
+        auto_mitigate_bottleneck: Let the job's controller add a parameter
+            server when a PS bottleneck is detected.
+        steps_per_event: Simulation granularity (steps per chunk event).
+    """
+
+    name: str
+    model_name: str
+    total_steps: int
+    workers: Tuple[PoolKey, ...]
+    num_parameter_servers: int = 1
+    ps_region_name: Optional[str] = None
+    checkpoint_interval_steps: int = 4000
+    start_delay_seconds: float = 0.0
+    queue_replacements: bool = False
+    auto_mitigate_bottleneck: bool = False
+    steps_per_event: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a job needs a non-empty name")
+        if self.total_steps <= 0:
+            raise ConfigurationError("total_steps must be positive")
+        if self.start_delay_seconds < 0:
+            raise ConfigurationError("start_delay_seconds must be non-negative")
+        if not self.workers:
+            raise ConfigurationError(f"job {self.name!r} needs at least one worker")
+        normalized = tuple(_normalize_key(gpu, region)
+                           for gpu, region in self.workers)
+        object.__setattr__(self, "workers", normalized)
+        # WorkerSpec validates that every region offers its GPU type.
+        self.cluster()
+
+    def cluster(self) -> ClusterSpec:
+        """The job's :class:`~repro.training.cluster.ClusterSpec`."""
+        specs = tuple(WorkerSpec(gpu_name=gpu, region_name=region, transient=True)
+                      for gpu, region in self.workers)
+        ps_region = self.ps_region_name or self.workers[0][1]
+        return ClusterSpec(workers=specs,
+                           num_parameter_servers=self.num_parameter_servers,
+                           ps_region_name=ps_region)
+
+    def to_params(self) -> Dict[str, Any]:
+        """JSON-encodable form (sweep cell parameters)."""
+        return {
+            "name": self.name,
+            "model_name": self.model_name,
+            "total_steps": self.total_steps,
+            "workers": [list(pair) for pair in self.workers],
+            "num_parameter_servers": self.num_parameter_servers,
+            "ps_region_name": self.ps_region_name,
+            "checkpoint_interval_steps": self.checkpoint_interval_steps,
+            "start_delay_seconds": self.start_delay_seconds,
+            "queue_replacements": self.queue_replacements,
+            "auto_mitigate_bottleneck": self.auto_mitigate_bottleneck,
+            "steps_per_event": self.steps_per_event,
+        }
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "JobSpec":
+        """Rebuild a job spec from its :meth:`to_params` form."""
+        data = dict(params)
+        data["workers"] = tuple((gpu, region) for gpu, region in data["workers"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A fleet of concurrent jobs contending for one transient-server pool.
+
+    Attributes:
+        name: Scenario name (used for sweep naming and caching).
+        description: One-line summary shown by the CLI.
+        jobs: The fleet's jobs, in launch order.
+        pool_capacity: Maximum concurrently alive transient servers per
+            ``(gpu, region)`` pool; must cover every job's initial workers.
+        reclaim_seconds: How long revoked capacity stays reclaimed by the
+            provider before it returns to the pool (and can serve queued
+            replacement requests).
+        epoch_hour_utc: Wall-clock UTC hour at simulation time zero, or
+            ``None`` to draw it from the scenario's random streams.
+        poll_interval_seconds: Cadence of every job controller's
+            monitoring loop.
+    """
+
+    name: str
+    description: str
+    jobs: Tuple[JobSpec, ...]
+    pool_capacity: Mapping[PoolKey, int] = field(default_factory=dict)
+    reclaim_seconds: float = 3600.0
+    epoch_hour_utc: Optional[float] = None
+    poll_interval_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a scenario needs a non-empty name")
+        if not self.jobs:
+            raise ConfigurationError("a scenario needs at least one job")
+        if self.reclaim_seconds < 0:
+            raise ConfigurationError("reclaim_seconds must be non-negative")
+        if self.poll_interval_seconds <= 0:
+            raise ConfigurationError("poll_interval_seconds must be positive")
+        names = [job.name for job in self.jobs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate job names in scenario {self.name!r}")
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        capacity = {_normalize_key(gpu, region): int(count)
+                    for (gpu, region), count in dict(self.pool_capacity).items()}
+        if any(count <= 0 for count in capacity.values()):
+            raise ConfigurationError("pool capacities must be positive")
+        object.__setattr__(self, "pool_capacity", capacity)
+        if self.epoch_hour_utc is not None:
+            object.__setattr__(self, "epoch_hour_utc",
+                               wrap_hour(self.epoch_hour_utc))
+        demand = self.initial_demand()
+        for key, needed in demand.items():
+            have = capacity.get(key, 0)
+            if needed > have:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} needs {needed} x {key} transient "
+                    f"servers up front but the pool only offers {have}")
+
+    def initial_demand(self) -> Dict[PoolKey, int]:
+        """Transient servers needed per pool at fleet launch."""
+        demand: Dict[PoolKey, int] = {}
+        for job in self.jobs:
+            for key in job.workers:
+                demand[key] = demand.get(key, 0) + 1
+        return demand
+
+    def total_workers(self) -> int:
+        """GPU workers across the whole fleet at launch."""
+        return sum(len(job.workers) for job in self.jobs)
+
+    def to_params(self) -> Dict[str, Any]:
+        """JSON-encodable form (sweep cell parameters)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "jobs": [job.to_params() for job in self.jobs],
+            "pool_capacity": {f"{gpu}/{region}": count
+                              for (gpu, region), count in
+                              sorted(self.pool_capacity.items())},
+            "reclaim_seconds": self.reclaim_seconds,
+            "epoch_hour_utc": self.epoch_hour_utc,
+            "poll_interval_seconds": self.poll_interval_seconds,
+        }
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a scenario spec from its :meth:`to_params` form."""
+        data = dict(params)
+        data["jobs"] = tuple(JobSpec.from_params(job) for job in data["jobs"])
+        capacity: Dict[PoolKey, int] = {}
+        for key, count in data["pool_capacity"].items():
+            gpu, _, region = key.partition("/")
+            capacity[(gpu, region)] = int(count)
+        data["pool_capacity"] = capacity
+        return cls(**data)
+
+    def describe(self) -> str:
+        """Short human-readable summary for CLI listings."""
+        pools = ", ".join(f"{count}x {gpu}@{region}"
+                          for (gpu, region), count in
+                          sorted(self.pool_capacity.items()))
+        return (f"{len(self.jobs)} jobs / {self.total_workers()} workers; "
+                f"pool: {pools}")

@@ -23,6 +23,7 @@ from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
 from repro.simulation.events import Event
+from repro.units import wrap_hour
 
 #: Compaction threshold: the heap is rebuilt when more than this many
 #: cancelled events are queued *and* they outnumber the live ones.
@@ -55,7 +56,7 @@ class Simulator:
         self._sequence = 0
         self._running = False
         self._cancelled_in_queue = 0
-        self.epoch_hour_utc = float(epoch_hour_utc) % 24.0
+        self.epoch_hour_utc = wrap_hour(epoch_hour_utc)
 
     # ------------------------------------------------------------------
     # Clock.
@@ -66,13 +67,15 @@ class Simulator:
         return self._now
 
     def hour_of_day_utc(self, at: Optional[float] = None) -> float:
-        """Return the UTC hour-of-day (0-24) at simulation time ``at``.
+        """Return the UTC hour-of-day (``[0, 24)``) at simulation time ``at``.
 
         Args:
             at: Simulation time in seconds; defaults to the current time.
+                Times before the epoch (negative values) and arbitrarily
+                large times both wrap correctly.
         """
         time = self._now if at is None else at
-        return (self.epoch_hour_utc + time / 3600.0) % 24.0
+        return wrap_hour(self.epoch_hour_utc + time / 3600.0)
 
     # ------------------------------------------------------------------
     # Scheduling.

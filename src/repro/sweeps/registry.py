@@ -25,6 +25,7 @@ _BUILTIN_MODULES = (
     "repro.measurement.revocation_campaign",
     "repro.measurement.replacement_campaign",
     "repro.measurement.startup_campaign",
+    "repro.scenarios.catalog",
 )
 
 

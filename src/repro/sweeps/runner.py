@@ -135,6 +135,25 @@ def _library_source_digest() -> str:
         return f"v{repro.__version__}"
 
 
+def _runtime_knobs_key() -> str:
+    """A fingerprint of process-wide runtime toggles that cells inherit.
+
+    Cell functions run library code whose behavior can be switched by
+    environment knobs — today the simulation core's fast-forward toggle
+    (``REPRO_CORE_FASTFORWARD`` / ``fast_forward``).  The *effective*
+    normalized setting is fingerprinted (so ``"0"``, ``"false"``, and
+    ``"off"`` key identically, as do ``"1"`` and unset), and folded into
+    every cache key: a warm cache can never silently mix payloads computed
+    under different core paths, even ones whose equivalence is only
+    contractual.  Worker processes inherit the parent's environment, so the
+    parent-side value covers pooled execution too.
+    """
+    from repro.training.session import _fast_forward_default
+
+    knobs = {"core_fastforward": "1" if _fast_forward_default() else "0"}
+    return ",".join(f"{key}={value}" for key, value in sorted(knobs.items()))
+
+
 def _code_key(cell_fn: CellFunction) -> str:
     """A fingerprint of the cell function's identity and source.
 
@@ -198,11 +217,13 @@ class SweepRunner:
         if context_key is None and hasattr(context, "fingerprint"):
             context_key = context.fingerprint()
         # Cache entries are additionally keyed by the cell function's
-        # identity + source digest and by a digest of the whole library
-        # source, so edits to cell code or its callees both invalidate.
+        # identity + source digest, by a digest of the whole library
+        # source, and by the effective runtime toggles (e.g. the core
+        # fast-forward path), so edits to cell code or its callees and
+        # behavior-changing env knobs all invalidate.
         if self.cache:
             context_key = (f"{_library_source_digest()}|{_code_key(cell_fn)}"
-                           f"|{context_key or ''}")
+                           f"|{_runtime_knobs_key()}|{context_key or ''}")
         started = time.perf_counter()
         cells = spec.cells()
 

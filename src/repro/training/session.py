@@ -641,6 +641,18 @@ class TrainingSession:
         self._restart_until = max(self._restart_until,
                                   self.simulator.now + SESSION_RESTART_SECONDS)
 
+    def fast_forward(self, max_pops: Optional[int] = None) -> int:
+        """Public fast-forward hook for multi-session drivers.
+
+        :mod:`repro.scenarios` runs many sessions on one simulator; each
+        session can only replay spans while the next event due is one of its
+        *own* chunk completions, so a fleet loop offers every unfinished
+        session a turn before falling back to one heap step.  Returns the
+        number of chunk completions replayed (0 when the next event is
+        foreign, the session is finished, or fast-forward is disabled).
+        """
+        return self._fast_forward(max_pops)
+
     # ------------------------------------------------------------------
     # Convenience runners.
     # ------------------------------------------------------------------

@@ -14,6 +14,8 @@ Helper functions convert to the human-friendly units the paper reports
 
 from __future__ import annotations
 
+import math
+
 # ---------------------------------------------------------------------------
 # Time.
 # ---------------------------------------------------------------------------
@@ -22,6 +24,34 @@ MILLISECOND = 1e-3
 MINUTE = 60.0
 HOUR = 3600.0
 DAY = 24 * HOUR
+
+#: Hours per day; the modulus of every hour-of-day computation.
+HOURS_PER_DAY = 24.0
+
+
+def wrap_hour(hour: float) -> float:
+    """Wrap an hour-of-day value into the half-open range ``[0, 24)``.
+
+    A plain ``hour % 24.0`` does not guarantee that range: for tiny negative
+    inputs the float remainder rounds up to the modulus itself
+    (``-1e-18 % 24.0 == 24.0``), which then indexes one past the end of any
+    24-bin table.  Every hour-of-day computation in the library (simulator
+    clock, region local time, revocation model, Fig. 9 histograms) must wrap
+    through this helper so UTC offsets and negative/large times agree
+    end-to-end.
+    """
+    wrapped = float(hour) % HOURS_PER_DAY
+    return wrapped if wrapped < HOURS_PER_DAY else 0.0
+
+
+def hour_bin(hour: float) -> int:
+    """The integer hour-of-day bin (0-23) containing ``hour``.
+
+    Floor-based: ``int()`` truncates toward zero and disagrees with the
+    wrapped value for negative inputs, so binning must happen after
+    :func:`wrap_hour`.
+    """
+    return int(math.floor(wrap_hour(hour)))
 
 # ---------------------------------------------------------------------------
 # Data sizes.

@@ -36,6 +36,42 @@ def test_controller_replaces_revoked_worker(resnet15_profile):
     assert trace.replacement_records[0].overhead_seconds > 40.0
 
 
+def test_controller_poll_loop_drains_with_the_session(resnet15_profile):
+    """A poll scheduled just before the workload ends must not leak.
+
+    The poll loop used to reschedule itself unconditionally, so the run
+    finished with a live ``cmdare:poll`` event in the heap and a stale
+    ``_monitoring`` flag that blocked a later ``start_monitoring``.
+    """
+    cluster = ClusterSpec.from_counts(k80=2)
+    session = make_session(resnet15_profile, cluster, steps=2000)
+    controller = CMDareController(session)
+    controller.start_monitoring()
+    session.run_to_completion()
+    assert session.simulator.pending_events() == 0
+    assert controller._monitoring is False
+    # Restarting after the session finished is a clean no-op.
+    controller.start_monitoring()
+    assert session.simulator.pending_events() == 0
+    assert controller._monitoring is False
+
+
+def test_controller_stop_monitoring_cancels_pending_poll(resnet15_profile):
+    cluster = ClusterSpec.from_counts(k80=1)
+    session = make_session(resnet15_profile, cluster, steps=2000)
+    controller = CMDareController(session)
+    session.start()
+    controller.start_monitoring()
+    pending_with_poll = session.simulator.pending_events()
+    controller.stop_monitoring()
+    assert session.simulator.pending_events() == pending_with_poll - 1
+    # start/stop cycles stay balanced: monitoring can restart cleanly.
+    controller.start_monitoring()
+    assert controller._monitoring is True
+    session.run_to_completion()
+    assert session.simulator.pending_events() == 0
+
+
 def test_controller_predicted_speed_is_sum_of_workers(resnet32_profile):
     cluster = ClusterSpec.from_counts(p100=4)
     session = make_session(resnet32_profile, cluster)

@@ -1,0 +1,126 @@
+"""Hour-of-day consistency audit (simulator clock ↔ regions ↔ revocations).
+
+The simulator tracks UTC hours, regions convert to local hours, and the
+revocation model resamples by local hour (Fig. 9).  These tests pin the
+end-to-end agreement of those conversions, including the float-modulo edge
+where ``x % 24.0`` can return 24.0 itself for tiny negative ``x``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.regions import get_region, list_regions
+from repro.cloud.revocation import (
+    HOURLY_REVOCATION_WEIGHTS,
+    RevocationModel,
+)
+from repro.measurement.revocation_campaign import run_revocation_campaign
+from repro.simulation.engine import Simulator
+from repro.units import hour_bin, wrap_hour
+
+
+# ---------------------------------------------------------------------------
+# The wrapping helpers.
+# ---------------------------------------------------------------------------
+def test_wrap_hour_stays_in_half_open_range():
+    # The raw float modulo rounds up to the modulus for tiny negatives;
+    # wrap_hour must never return 24.0.
+    assert -1e-18 % 24.0 == 24.0  # the trap being guarded against
+    for value in (-1e-18, -1e-9, -0.0, 0.0, 23.999999, 24.0, -24.0,
+                  1e9, -1e9, 47.5, -47.5):
+        wrapped = wrap_hour(value)
+        assert 0.0 <= wrapped < 24.0, value
+    assert wrap_hour(-1e-18) == 0.0
+    assert wrap_hour(25.5) == pytest.approx(1.5)
+    assert wrap_hour(-5.0) == pytest.approx(19.0)
+
+
+def test_hour_bin_floors_instead_of_truncating():
+    assert hour_bin(10.9) == 10
+    assert hour_bin(23.999) == 23
+    # int() truncation would put -0.5 in bin 0; the wrapped floor puts it
+    # in bin 23, agreeing with wrap_hour(-0.5) == 23.5.
+    assert hour_bin(-0.5) == 23
+    assert hour_bin(-1e-18) == 0
+    assert all(0 <= hour_bin(h) < 24 for h in np.linspace(-100, 100, 999))
+
+
+# ---------------------------------------------------------------------------
+# Simulator clock and region conversion.
+# ---------------------------------------------------------------------------
+def test_simulator_epoch_normalization_and_negative_lookback():
+    sim = Simulator(epoch_hour_utc=-5.0)
+    assert sim.epoch_hour_utc == pytest.approx(19.0)
+    # Tiny negative epochs hit the float-modulo edge; the clock must still
+    # report a valid hour.
+    edge = Simulator(epoch_hour_utc=-1e-18)
+    assert 0.0 <= edge.epoch_hour_utc < 24.0
+    assert 0.0 <= edge.hour_of_day_utc() < 24.0
+    # Looking up hours before the epoch (negative `at`) and far beyond it
+    # both wrap into [0, 24).
+    sim2 = Simulator(epoch_hour_utc=0.25)
+    for at in (-900.0 - 1e-13, -900.0, -1e-6, 0.0, 400 * 24 * 3600.0):
+        assert 0.0 <= sim2.hour_of_day_utc(at) < 24.0
+    assert sim2.hour_of_day_utc(-3600.0) == pytest.approx(23.25)
+
+
+def test_region_local_hour_agrees_with_utc_clock_end_to_end():
+    """UTC clock → region conversion matches one combined wrap, always."""
+    sim = Simulator(epoch_hour_utc=23.75)
+    sim.schedule(30 * 60.0, lambda s: None)
+    sim.run()
+    for region in list_regions():
+        local = region.local_hour(sim.hour_of_day_utc())
+        expected = wrap_hour(23.75 + 0.5 + region.utc_offset_hours)
+        assert local == pytest.approx(expected)
+        assert 0.0 <= local < 24.0
+    # Negative-offset regions near midnight UTC wrap backwards correctly.
+    assert get_region("us-west1").local_hour(2.0) == pytest.approx(18.0)
+    assert get_region("asia-east1").local_hour(23.0) == pytest.approx(7.0)
+
+
+# ---------------------------------------------------------------------------
+# Revocation model: local launch hour → local revocation hour.
+# ---------------------------------------------------------------------------
+def test_revocation_hour_consistent_with_launch_hour_and_lifetime():
+    """revocation_hour_local must equal wrap(launch + lifetime), binned
+    exactly like the resampling weights index it."""
+    model = RevocationModel(rng=np.random.default_rng(42))
+    for launch_hour in (0.0, 7.25, 23.9, -3.0, 31.0, -1e-18):
+        for _ in range(50):
+            outcome = model.sample("k80", "europe-west1",
+                                   launch_hour_local=launch_hour)
+            if not outcome.revoked:
+                continue
+            assert 0.0 <= outcome.revocation_hour_local < 24.0
+            expected = wrap_hour(wrap_hour(launch_hour) + outcome.lifetime_hours)
+            assert outcome.revocation_hour_local == pytest.approx(expected)
+            assert (hour_bin(outcome.revocation_hour_local)
+                    == hour_bin(wrap_hour(launch_hour) + outcome.lifetime_hours))
+
+
+def test_fig9_hour_histogram_regression():
+    """Pin the Fig. 9 histogram behavior on a small deterministic campaign."""
+    counts = {("k80", "us-central1"): 40, ("k80", "europe-west1"): 40,
+              ("v100", "us-central1"): 40, ("v100", "us-west1"): 40}
+    campaign = run_revocation_campaign(launch_counts=counts, seed=4)
+    for gpu in ("k80", "v100"):
+        histogram = campaign.hour_of_day_histogram(gpu)
+        assert histogram.shape == (24,)
+        assert histogram.sum() == sum(
+            1 for r in campaign.records if r.gpu_name == gpu and r.revoked)
+        # Every histogram count comes from the same floor-binned local hour
+        # the model's resampling weights used.
+        rebinned = np.zeros(24, dtype=int)
+        for record in campaign.records:
+            if record.gpu_name == gpu and record.revoked:
+                rebinned[hour_bin(record.launch_hour_local
+                                  + record.lifetime_hours)] += 1
+        assert np.array_equal(histogram, rebinned)
+    # The paper's sharpest qualitative feature: no V100 revocations between
+    # 4 PM and 8 PM local time (the profile's zero-weight window).
+    v100 = campaign.hour_of_day_histogram("v100")
+    assert v100.sum() > 20
+    zero_window = HOURLY_REVOCATION_WEIGHTS["v100"][16:20]
+    assert all(weight == 0.0 for weight in zero_window)
+    assert v100[16:20].sum() == 0

@@ -1,0 +1,386 @@
+"""Tests for the fleet-scale scenario subsystem (repro.scenarios)."""
+
+import json
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.scenarios import (
+    JobSpec,
+    ScenarioSpec,
+    TransientPool,
+    build_fleet_spec,
+    fleet_hour_histogram,
+    fleet_summary_table,
+    get_scenario,
+    list_scenarios,
+    run_fleet,
+    run_scenario,
+)
+from repro.scenarios.cli import main
+from repro.scenarios.fleet import FleetRun
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.sweeps import get_sweep
+from repro.sweeps.result import CellResult, SweepResult
+
+
+def tiny_scenario(**overrides):
+    """A two-job fleet small enough for unit tests."""
+    defaults = dict(
+        name="tiny",
+        description="two tiny jobs",
+        jobs=(
+            JobSpec(name="a", model_name="resnet_15", total_steps=600,
+                    workers=(("k80", "us-west1"),) * 2,
+                    checkpoint_interval_steps=500),
+            JobSpec(name="b", model_name="resnet_15", total_steps=600,
+                    workers=(("k80", "us-west1"),) * 2,
+                    checkpoint_interval_steps=500),
+        ),
+        pool_capacity={("k80", "us-west1"): 5},
+        reclaim_seconds=600.0,
+        epoch_hour_utc=9.0,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Specs.
+# ---------------------------------------------------------------------------
+def test_scenario_spec_round_trips_through_json():
+    scenario = get_scenario("multi_region_hetero")
+    params = scenario.to_params()
+    encoded = json.dumps(params, sort_keys=True)
+    rebuilt = ScenarioSpec.from_params(json.loads(encoded))
+    assert rebuilt == scenario
+    assert rebuilt.to_params() == params
+
+
+def test_scenario_spec_validation():
+    job = JobSpec(name="a", model_name="resnet_15", total_steps=100,
+                  workers=(("k80", "us-west1"),))
+    with pytest.raises(ConfigurationError):  # pool smaller than the fleet
+        ScenarioSpec(name="bad", description="", jobs=(job,),
+                     pool_capacity={("k80", "us-west1"): 0})
+    with pytest.raises(ConfigurationError):  # missing pool cell
+        ScenarioSpec(name="bad", description="", jobs=(job,), pool_capacity={})
+    with pytest.raises(ConfigurationError):  # duplicate job names
+        ScenarioSpec(name="bad", description="", jobs=(job, job),
+                     pool_capacity={("k80", "us-west1"): 4})
+    with pytest.raises(ConfigurationError):  # region does not offer the GPU
+        JobSpec(name="x", model_name="resnet_15", total_steps=100,
+                workers=(("v100", "europe-west1"),))
+    # Epoch hours normalize into [0, 24).
+    spec = tiny_scenario(epoch_hour_utc=-5.0)
+    assert spec.epoch_hour_utc == pytest.approx(19.0)
+
+
+def test_named_scenarios_build_and_register():
+    scenarios = list_scenarios()
+    assert [s.name for s in scenarios] == [
+        "single_region_k80", "multi_region_hetero", "revocation_storm",
+        "capacity_crunch"]
+    with pytest.raises(ConfigurationError):
+        get_scenario("no-such-scenario")
+    # Every named scenario is also a registered fleet_<name> sweep.
+    for scenario in scenarios:
+        definition = get_sweep(f"fleet_{scenario.name}")
+        assert len(definition.build_spec()) >= 2
+
+
+# ---------------------------------------------------------------------------
+# The shared pool.
+# ---------------------------------------------------------------------------
+def test_pool_denies_when_exhausted_and_reclaims_capacity():
+    sim = Simulator()
+    pool = TransientPool(sim, {("k80", "us-west1"): 2}, reclaim_seconds=100.0)
+    pool.acquire("k80", "us-west1")
+    pool.acquire("k80", "us-west1")
+    with pytest.raises(CapacityError):
+        pool.acquire("k80", "us-west1")
+
+    granted = []
+    pool.revoke("k80", "us-west1")  # slot reclaimed for 100 s
+    outcome = pool.request_replacement("k80", "us-west1",
+                                       lambda: granted.append("now"))
+    assert outcome == "denied" and granted == []
+    assert pool.replacement_denial_rate == 1.0
+
+    # A queued request is served FIFO when the reclaimed capacity returns.
+    outcome = pool.request_replacement("k80", "us-west1",
+                                       lambda: granted.append("first"),
+                                       queue=True)
+    assert outcome == "queued"
+    outcome = pool.request_replacement("k80", "us-west1",
+                                       lambda: granted.append("second"),
+                                       queue=True)
+    assert outcome == "queued"
+    sim.run(until=99.0)
+    assert granted == []
+    sim.run(until=101.0)
+    assert granted == ["first"]  # one slot back, one waiter served
+    assert pool.pending_waiters("k80", "us-west1") == 1
+    # A normal release (job completed) serves the remaining waiter.
+    pool.release("k80", "us-west1")
+    assert granted == ["first", "second"]
+    stats = pool.stats()
+    assert stats["replacements_denied"] == 1
+    assert stats["replacements_granted"] == 2
+    assert stats["cells"]["k80/us-west1"]["peak_in_use"] == 2
+
+
+def test_pool_rejects_unknown_cells_and_misuse():
+    sim = Simulator()
+    pool = TransientPool(sim, {("k80", "us-west1"): 1})
+    with pytest.raises(CapacityError):
+        pool.acquire("v100", "us-west1")
+    with pytest.raises(CapacityError):
+        pool.release("k80", "us-west1")
+    with pytest.raises(ConfigurationError):
+        TransientPool(sim, {})
+    with pytest.raises(ConfigurationError):
+        TransientPool(sim, {("k80", "us-west1"): 0})
+
+
+# ---------------------------------------------------------------------------
+# Fleet runs.
+# ---------------------------------------------------------------------------
+def test_run_fleet_completes_all_jobs(catalog):
+    payload = run_fleet(tiny_scenario(), RandomStreams(seed=3), catalog=catalog)
+    assert payload["jobs_total"] == 2
+    assert payload["jobs_completed"] == 2
+    assert payload["jobs_stalled"] == 0
+    assert payload["makespan_seconds"] > 0
+    assert payload["total_cost_usd"] > 0
+    assert payload["epoch_hour_utc"] == pytest.approx(9.0)
+    for job in payload["jobs"]:
+        assert job["completed"] and job["steps_done"] >= 600
+    # Pool bookkeeping balances: everything acquired was returned.
+    cell = payload["pool"]["cells"]["k80/us-west1"]
+    assert cell["in_use"] == 0 and cell["peak_in_use"] == 4
+
+
+def test_fleet_scenario_serial_vs_parallel_bit_identity(catalog):
+    """The sweeps contract extends to whole fleets: workers=2 == serial."""
+    scenario = get_scenario("single_region_k80")
+    serial = run_scenario(scenario, replicates=3, seed=11, workers=1,
+                          catalog=catalog)
+    parallel = run_scenario(scenario, replicates=3, seed=11, workers=2,
+                            catalog=catalog)
+    assert serial.payloads() == parallel.payloads()
+    assert [r.seed for r in serial] == [r.seed for r in parallel]
+
+
+def test_fleet_fast_forward_matches_chunked_path(catalog, monkeypatch):
+    """The PR 2 core contract extends to fleets: both paths, same floats."""
+    monkeypatch.setenv("REPRO_CORE_FASTFORWARD", "1")
+    fast = run_fleet(tiny_scenario(), RandomStreams(seed=7), catalog=catalog)
+    monkeypatch.setenv("REPRO_CORE_FASTFORWARD", "0")
+    chunked = run_fleet(tiny_scenario(), RandomStreams(seed=7), catalog=catalog)
+    assert fast == chunked
+
+
+def test_fleet_run_forwards_core_path_override(catalog):
+    """The fast_forward argument must reach every session, not just the env."""
+    chunked_run = FleetRun(tiny_scenario(), RandomStreams(seed=2),
+                           catalog=catalog, fast_forward=False)
+    assert all(not job.session.fast_forward_enabled for job in chunked_run.jobs)
+    chunked = chunked_run.run()
+    assert all(job.session.fast_forward_chunks == 0 for job in chunked_run.jobs)
+    fast_run = FleetRun(tiny_scenario(), RandomStreams(seed=2),
+                        catalog=catalog, fast_forward=True)
+    assert all(job.session.fast_forward_enabled for job in fast_run.jobs)
+    assert fast_run.run() == chunked
+
+
+def test_mitigation_parameter_servers_are_billed(catalog):
+    """A PS added by bottleneck mitigation accrues cost from its add time."""
+    run = FleetRun(get_scenario("multi_region_hetero"), RandomStreams(seed=0),
+                   catalog=catalog)
+    run.run()
+    job = next(fj for fj in run.jobs
+               if any(a.kind == "mitigation" for a in fj.controller.actions))
+    end = job.end_time(run.simulator.now)
+    with_mitigation = run._job_cost(job, end)
+    job.controller.actions = [a for a in job.controller.actions
+                              if a.kind != "mitigation"]
+    assert run._job_cost(job, end) < with_mitigation
+
+
+def test_fleet_cache_resume(tmp_path, catalog):
+    scenario = tiny_scenario()
+    cold = run_scenario(scenario, replicates=2, seed=5, cache_dir=tmp_path,
+                        catalog=catalog)
+    assert cold.cache_misses == 2
+    warm = run_scenario(scenario, replicates=2, seed=5, cache_dir=tmp_path,
+                        catalog=catalog)
+    assert warm.cache_hits == 2 and warm.cache_misses == 0
+    assert warm.payloads() == cold.payloads()
+
+
+def test_capacity_crunch_reports_replacement_denials(catalog):
+    """The acceptance scenario: a crunched pool denies replacements."""
+    result = run_scenario(get_scenario("capacity_crunch"), replicates=2,
+                          seed=0, catalog=catalog)
+    payloads = result.payloads()
+    assert sum(p["replacements_denied"] for p in payloads) > 0
+    assert max(p["replacement_denial_rate"] for p in payloads) > 0.0
+    # Denied replacements are never admitted: the pool never grows back.
+    for payload in payloads:
+        assert payload["replacements_admitted"] == 0
+        assert payload["revocations"] == payload["replacements_denied"]
+        assert payload["jobs_completed"] + payload["jobs_stalled"] \
+            == payload["jobs_total"]
+
+
+def test_stalled_fleet_stops_at_the_stall_not_the_reclaim_horizon(catalog):
+    """A stalled job must not drag makespan/cost to the 24h reclaim events.
+
+    capacity_crunch at seed 1 stalls one job; the fleet clock has to stop
+    at the last meaningful moment (~1.4h), not drain pool-reclaim events
+    scheduled a day out and bill idle parameter servers the whole time.
+    """
+    payload = run_fleet(get_scenario("capacity_crunch"),
+                        RandomStreams(seed=1), catalog=catalog)
+    assert payload["jobs_stalled"] >= 1
+    assert payload["makespan_seconds"] < 6 * 3600.0
+    ends = [job["end_time_seconds"] for job in payload["jobs"]]
+    assert payload["makespan_seconds"] == pytest.approx(max(ends))
+    completed_costs = [j["cost_usd"] for j in payload["jobs"] if j["completed"]]
+    stalled_costs = [j["cost_usd"] for j in payload["jobs"] if j["stalled"]]
+    # A stalled job stops billing at its stall: same order of magnitude as
+    # the jobs that ran to completion, not a day of idle parameter servers.
+    assert max(stalled_costs) < 2 * max(completed_costs)
+
+
+def test_pending_count_survives_cross_cell_synchronous_grant(catalog):
+    """A grant in one (gpu, region) cell must not eat another cell's
+    queued-request count, or the job would be falsely marked stalled."""
+    scenario = ScenarioSpec(
+        name="mixed", description="two cells, one queued waiter",
+        jobs=(JobSpec(name="m", model_name="resnet_15", total_steps=50_000,
+                      workers=(("k80", "europe-west1"),
+                               ("p100", "europe-west1")),
+                      queue_replacements=True),),
+        pool_capacity={("k80", "europe-west1"): 1,
+                       ("p100", "europe-west1"): 2},
+        reclaim_seconds=86_400.0, epoch_hour_utc=9.0)
+    run = FleetRun(scenario, RandomStreams(seed=0), catalog=catalog)
+    fleet_job = run.jobs[0]
+    run.simulator.run(until=100.0)  # fire the job-start event
+    session, controller = fleet_job.session, fleet_job.controller
+    k80, p100 = list(session.workers.values())[:2]
+    # Exhausted k80 cell: the replacement request queues.
+    run.pool.revoke("k80", "europe-west1")
+    session.handle_revocation(k80.worker_id)
+    assert controller.replacements_pending == 1
+    # The p100 cell still has a free slot: synchronous grant — which must
+    # leave the k80 cell's queued request pending.
+    run.pool.revoke("p100", "europe-west1")
+    session.handle_revocation(p100.worker_id)
+    assert controller.replacements_pending == 1
+    assert run.pool.pending_waiters("k80", "europe-west1") == 1
+    assert not fleet_job.stalled  # the queued waiter can still revive it
+
+
+def test_exhausted_pool_queues_and_revives_jobs(catalog):
+    """A queued replacement is granted once another job releases capacity."""
+    scenario = tiny_scenario(
+        name="tight",
+        jobs=(
+            JobSpec(name="a", model_name="resnet_15", total_steps=400,
+                    workers=(("k80", "europe-west1"),) * 2,
+                    checkpoint_interval_steps=500),
+            JobSpec(name="b", model_name="resnet_15", total_steps=30_000,
+                    workers=(("k80", "europe-west1"),) * 2,
+                    checkpoint_interval_steps=4000,
+                    queue_replacements=True),
+        ),
+        pool_capacity={("k80", "europe-west1"): 4},
+        reclaim_seconds=86_400.0,  # reclaimed capacity never returns
+        epoch_hour_utc=8.5,
+    )
+    # Find a seed where the long job is revoked while the pool is full and
+    # later revived by the short job's released slots.
+    for seed in range(30):
+        payload = run_fleet(scenario, RandomStreams(seed=seed),
+                            catalog=catalog)
+        pool = payload["pool"]
+        if pool["replacements_queued"] > 0 and pool["replacements_granted"] > 0:
+            assert payload["jobs"][1]["replacements_admitted"] > 0
+            break
+    else:
+        pytest.fail("no seed exercised the queued-replacement revival path")
+
+
+# ---------------------------------------------------------------------------
+# Reporting.
+# ---------------------------------------------------------------------------
+def test_fleet_summary_table_golden():
+    """Golden rendering of the fleet table from synthetic payloads."""
+    spec = build_fleet_spec(tiny_scenario(), replicates=2)
+    payloads = [
+        {"jobs_completed": 2, "jobs_total": 2, "jobs_stalled": 0,
+         "makespan_seconds": 7200.0, "total_cost_usd": 1.25, "revocations": 3,
+         "replacements_admitted": 2, "replacements_denied": 1,
+         "replacement_denial_rate": 1 / 3, "ps_mitigations": 1},
+        {"jobs_completed": 1, "jobs_total": 2, "jobs_stalled": 1,
+         "makespan_seconds": 3600.0, "total_cost_usd": 0.5, "revocations": 4,
+         "replacements_admitted": 0, "replacements_denied": 4,
+         "replacement_denial_rate": 1.0, "ps_mitigations": 0},
+    ]
+    result = SweepResult(spec=spec, results=[
+        CellResult(cell=cell, payload=payload, seed=0, cached=False,
+                   duration_seconds=0.0)
+        for cell, payload in zip(spec.cells(), payloads)])
+    golden = "\n".join([
+        "fleet scenario 'tiny'",
+        "replicate | jobs done | stalled | makespan (h) | cost (USD) | "
+        "revocations | absorbed | denied | denial rate | PS mitigations",
+        "----------+-----------+---------+--------------+------------+-"
+        "------------+----------+--------+-------------+---------------",
+        "0         | 2/2       | 0       | 2.000        | 1.250      | "
+        "3           | 2        | 1      | 0.333       | 1             ",
+        "1         | 1/2       | 1       | 1.000        | 0.500      | "
+        "4           | 0        | 4      | 1.000       | 0             ",
+    ])
+    assert fleet_summary_table(result) == golden
+
+
+def test_fleet_hour_histogram_bins_revocation_hours():
+    payloads = [{"revocation_hours_local": [0.5, 9.9, 23.99]},
+                {"revocation_hours_local": [9.2]}]
+    histogram = fleet_hour_histogram(payloads)
+    assert histogram.sum() == 4
+    assert histogram[0] == 1 and histogram[9] == 2 and histogram[23] == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI.
+# ---------------------------------------------------------------------------
+def test_cli_list_run_resume(tmp_path, capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "capacity_crunch" in out and "single_region_k80" in out
+
+    json_path = tmp_path / "fleets.json"
+    code = main(["run", "single_region_k80", "--workers", "2",
+                 "--cache-dir", str(tmp_path / "cache"), "--seed", "2",
+                 "--json", str(json_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2 computed" in out and "fleet scenario" in out
+    data = json.loads(json_path.read_text())
+    assert data["scenario"] == "single_region_k80"
+    assert len(data["fleets"]) == 2
+
+    assert main(["resume", "single_region_k80", "--seed", "2"]) == 2
+    code = main(["resume", "single_region_k80", "--seed", "2",
+                 "--cache-dir", str(tmp_path / "cache")])
+    assert code == 0
+    assert "2 cached, 0 computed" in capsys.readouterr().out
+
+    assert main(["run", "no-such-scenario"]) == 1
+    assert "unknown scenario" in capsys.readouterr().err

@@ -206,6 +206,30 @@ def test_cache_keys_include_cell_function(tmp_path):
     assert other.cache_hits == 0
 
 
+def test_cache_keys_include_core_path_toggle(tmp_path, monkeypatch):
+    """Flipping REPRO_CORE_FASTFORWARD must miss, not reuse, cached cells."""
+    monkeypatch.delenv("REPRO_CORE_FASTFORWARD", raising=False)
+    spec = SweepSpec("probe", axes={"x": [1]}, fixed={"factor": 1})
+    cold = SweepRunner(workers=1, cache_dir=tmp_path, seed=0).run(spec, _probe_cell)
+    assert cold.cache_misses == 1
+
+    # The chunked core path is a different compute configuration: results
+    # are only contractually identical, so the cache must not mix payloads.
+    monkeypatch.setenv("REPRO_CORE_FASTFORWARD", "0")
+    flipped = SweepRunner(workers=1, cache_dir=tmp_path, seed=0).run(
+        spec, _probe_cell)
+    assert flipped.cache_hits == 0 and flipped.cache_misses == 1
+
+    # The *effective* setting is fingerprinted: every spelling of "off"
+    # shares one key, and every spelling of "on" (or unset) shares another.
+    monkeypatch.setenv("REPRO_CORE_FASTFORWARD", "false")
+    assert SweepRunner(workers=1, cache_dir=tmp_path, seed=0).run(
+        spec, _probe_cell).cache_hits == 1
+    monkeypatch.setenv("REPRO_CORE_FASTFORWARD", "1")
+    assert SweepRunner(workers=1, cache_dir=tmp_path, seed=0).run(
+        spec, _probe_cell).cache_hits == 1
+
+
 def test_cache_ignores_corrupt_entries(tmp_path):
     spec = SweepSpec("probe", axes={"x": [1]}, fixed={"factor": 2})
     runner = SweepRunner(workers=1, cache_dir=tmp_path, seed=0)
