@@ -146,10 +146,18 @@ def main(argv=None) -> int:
                              "BENCH_core.json) and exit non-zero on a >30%% "
                              "regression; the ratio is measured on one host in "
                              "one process, so the check is host-independent")
+    parser.add_argument("--json-out", default=None, metavar="PATH",
+                        help="write the measured quick numbers to PATH (CI "
+                             "uploads them as a workflow artifact)")
     args = parser.parse_args(argv)
 
     quick = _measure_pair(QUICK_STEPS)
     print(json.dumps({"quick": quick}, indent=2))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump({"quick": quick}, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
     if args.check is not None:
         return _check(args.check, quick)
     if args.quick:

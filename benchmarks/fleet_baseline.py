@@ -1,0 +1,260 @@
+"""Record the fleet execution-core baseline (``BENCH_fleet.json``).
+
+Runs the *reference fleet* — the ``revocation_storm`` scenario scaled to
+100 concurrent jobs (3 K80 workers each in europe-west1, launched into the
+Fig. 9 late-morning revocation peak, pool of 4 slots per job, queued
+replacements) — under both fleet schedulers:
+
+* ``wakeset`` (default): the event-ownership scheduler — O(1) driver work
+  per simulator event;
+* ``roundrobin``: the original PR 3 fleet loop, kept behind
+  ``REPRO_FLEET_SCHEDULER=roundrobin`` as the bit-identical-payload
+  reference, including the old per-offer cost model (one heap peek plus an
+  O(workers) id-set probe per job per event, no disturbance-horizon
+  cache).
+
+It verifies the payload contracts — bit-identical fleet payloads across
+scheduler choice, simulation core path (``REPRO_CORE_FASTFORWARD``), sweep
+worker count, and trace level — and records fleet events/sec, wall-clock,
+and peak traced memory for the ``trace_level`` full/summary modes.
+
+Run with::
+
+    python benchmarks/fleet_baseline.py            # full baseline, writes JSON
+    python benchmarks/fleet_baseline.py --quick    # quick config only, no write
+    python benchmarks/fleet_baseline.py --quick --check
+        # measure the quick config and fail (exit 1) if the wakeset-vs-
+        # roundrobin events/sec ratio regressed more than 30% against the
+        # committed BENCH_fleet.json
+    python benchmarks/fleet_baseline.py --quick --json-out out.json
+        # also dump the measured numbers (CI uploads these as artifacts)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.scenarios.fleet import FleetRun, run_scenario
+from repro.scenarios.spec import JobSpec, ScenarioSpec
+from repro.simulation.rng import RandomStreams
+
+#: The reference fleet: revocation_storm scaled to 100 jobs.  Job shape,
+#: region, epoch hour, queueing, and pool-per-job ratio all match the
+#: named scenario; only the job count is scaled (the named scenario runs
+#: 3 jobs on a 12-slot pool, i.e. 4 slots per job).
+REFERENCE = {"jobs": 100, "total_steps": 60_000, "workers_per_job": 3,
+             "pool_slots_per_job": 4, "seed": 0}
+
+#: Quick variant used by the CI smoke gate.
+QUICK_STEPS = 2_000
+
+#: Allowed fractional events/sec-ratio regression before ``--check`` fails.
+REGRESSION_TOLERANCE = 0.30
+
+#: Timing repetitions (the best run is recorded, damping scheduler noise).
+REPETITIONS = 2
+
+OUTPUT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "BENCH_fleet.json")
+
+
+def scaled_storm(jobs: int, total_steps: int) -> ScenarioSpec:
+    """``revocation_storm`` scaled to ``jobs`` concurrent jobs."""
+    specs = tuple(
+        JobSpec(name=f"storm-{index}", model_name="resnet_15",
+                total_steps=total_steps,
+                workers=(("k80", "europe-west1"),) * REFERENCE["workers_per_job"],
+                checkpoint_interval_steps=4000,
+                queue_replacements=True)
+        for index in range(jobs))
+    return ScenarioSpec(
+        name=f"revocation_storm_x{jobs}",
+        description=f"revocation_storm scaled to {jobs} jobs",
+        jobs=specs,
+        pool_capacity={("k80", "europe-west1"):
+                       REFERENCE["pool_slots_per_job"] * jobs},
+        reclaim_seconds=1200.0,
+        epoch_hour_utc=8.5)
+
+
+def _run_fleet(scenario: ScenarioSpec, scheduler: str,
+               fast_forward=None, trace_level=None):
+    run = FleetRun(scenario, RandomStreams(REFERENCE["seed"]),
+                   scheduler=scheduler, fast_forward=fast_forward,
+                   trace_level=trace_level or "full")
+    started = time.perf_counter()
+    payload = run.run()
+    wall = time.perf_counter() - started
+    return payload, wall, run.events_processed
+
+
+def _measure_scheduler(scenario: ScenarioSpec, scheduler: str):
+    best_wall, payload, events = float("inf"), None, 0
+    for _ in range(REPETITIONS):
+        payload, wall, events = _run_fleet(scenario, scheduler)
+        best_wall = min(best_wall, wall)
+    return {
+        "wall_seconds": round(best_wall, 3),
+        "events_processed": events,
+        "events_per_sec": round(events / best_wall, 1),
+    }, payload
+
+
+def _peak_traced_mb(scenario: ScenarioSpec, trace_level: str):
+    tracemalloc.start()
+    payload, _, _ = _run_fleet(scenario, "wakeset", trace_level=trace_level)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return round(peak / (1024.0 * 1024.0), 3), payload
+
+
+def _measure_pair(total_steps: int, identity_steps: int) -> dict:
+    """Measure both schedulers and verify every payload contract."""
+    scenario = scaled_storm(REFERENCE["jobs"], total_steps)
+    wakeset, payload_wakeset = _measure_scheduler(scenario, "wakeset")
+    roundrobin, payload_roundrobin = _measure_scheduler(scenario, "roundrobin")
+    assert payload_wakeset == payload_roundrobin, \
+        "wake-set payload diverged from the round-robin reference"
+
+    # The expensive identity axes run on a smaller fleet: the chunked core
+    # path simulates every step event-by-event.
+    identity_scenario = scaled_storm(REFERENCE["jobs"], identity_steps)
+    reference_payload, _, _ = _run_fleet(identity_scenario, "wakeset")
+    chunked_payload, _, _ = _run_fleet(identity_scenario, "roundrobin",
+                                       fast_forward=False)
+    assert chunked_payload == reference_payload, \
+        "chunked-core payload diverged from the fast-forward payload"
+    serial = run_scenario(identity_scenario, replicates=2, seed=7, workers=1)
+    parallel = run_scenario(identity_scenario, replicates=2, seed=7, workers=4)
+    assert serial.payloads() == parallel.payloads(), \
+        "parallel sweep payloads diverged from serial"
+
+    full_mb, payload_full = _peak_traced_mb(identity_scenario, "full")
+    summary_mb, payload_summary = _peak_traced_mb(identity_scenario, "summary")
+    assert payload_summary == payload_full == reference_payload, \
+        "summary-trace payload diverged from the full-trace payload"
+
+    return {
+        "total_steps_per_job": total_steps,
+        "wakeset": wakeset,
+        "roundrobin": roundrobin,
+        "speedup_events_per_sec": round(
+            wakeset["events_per_sec"] / roundrobin["events_per_sec"], 2),
+        "bit_identical_payloads": {
+            "scheduler": True, "core_path": True, "sweep_workers": True,
+            "trace_level": True,
+        },
+        "peak_traced_mb": {
+            "trace_level_full": full_mb,
+            "trace_level_summary": summary_mb,
+            "identity_fleet_steps_per_job": identity_steps,
+        },
+        "fleet": {
+            "jobs": payload_wakeset["jobs_total"],
+            "completed": payload_wakeset["jobs_completed"],
+            "stalled": payload_wakeset["jobs_stalled"],
+            "revocations": payload_wakeset["revocations"],
+            "replacements_admitted": payload_wakeset["replacements_admitted"],
+            "makespan_hours": round(
+                payload_wakeset["makespan_seconds"] / 3600.0, 3),
+        },
+    }
+
+
+def _check(baseline_path: str, measured: dict) -> int:
+    """Gate on the wakeset-vs-roundrobin events/sec ratio.
+
+    Both schedulers run the same fleet in the same process, so their ratio
+    is comparable across machines; the committed absolute numbers are host
+    specific and only informative.
+    """
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            committed = json.load(handle)
+    except FileNotFoundError:
+        print(f"no committed baseline at {baseline_path}; nothing to check")
+        return 1
+    reference = committed["quick"]["speedup_events_per_sec"]
+    current = measured["speedup_events_per_sec"]
+    floor = reference * (1.0 - REGRESSION_TOLERANCE)
+    verdict = "OK" if current >= floor else "REGRESSION"
+    print(f"wakeset speedup over roundrobin: measured {current:.2f}x vs "
+          f"committed {reference:.2f}x (floor {floor:.2f}x) -> {verdict}")
+    print(f"(informative absolute wakeset events/sec: measured "
+          f"{measured['wakeset']['events_per_sec']:,.0f}, committed "
+          f"{committed['quick']['wakeset']['events_per_sec']:,.0f})")
+    return 0 if current >= floor else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="measure only the quick configuration; do not "
+                             "rewrite BENCH_fleet.json")
+    parser.add_argument("--check", nargs="?", const=OUTPUT, default=None,
+                        metavar="BASELINE",
+                        help="compare the quick wakeset-vs-roundrobin "
+                             "events/sec ratio against a committed baseline "
+                             "(default benchmarks/BENCH_fleet.json) and exit "
+                             "non-zero on a >30%% regression")
+    parser.add_argument("--json-out", default=None, metavar="PATH",
+                        help="write the measured numbers to PATH (CI uploads "
+                             "them as a workflow artifact)")
+    args = parser.parse_args(argv)
+
+    quick = _measure_pair(QUICK_STEPS, identity_steps=QUICK_STEPS)
+    print(json.dumps({"quick": quick}, indent=2))
+    measured = {"quick": quick}
+    status = 0
+    if args.check is not None:
+        status = _check(args.check, quick)
+    elif not args.quick:
+        full = _measure_pair(REFERENCE["total_steps"],
+                             identity_steps=QUICK_STEPS)
+        measured["full"] = full
+        baseline = {
+            "reference_fleet": REFERENCE,
+            "full": full,
+            "quick": quick,
+            "environment": {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "cpu_count": os.cpu_count(),
+                "usable_cpus": len(os.sched_getaffinity(0))
+                if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+            },
+            "note": ("events_per_sec counts processed fleet events (chunk "
+                     "completions + fired heap events) for one 100-job "
+                     "revocation_storm fleet in one process.  Tracked "
+                     "contracts: fleet payloads stay bit-identical across "
+                     "scheduler choice, core path, sweep worker count, and "
+                     "trace level, and the wake-set scheduler stays >= 5x "
+                     "the round-robin reference's events/sec on the full "
+                     "100-job reference fleet.  Regenerate with `python "
+                     "benchmarks/fleet_baseline.py` on the same host class "
+                     "when the fleet loop, session fast-forward, or "
+                     "revocation sampler changes."),
+        }
+        with open(OUTPUT, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(json.dumps({"full": full}, indent=2))
+        print(f"\nwrote {OUTPUT}")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(measured, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,17 @@ the qualitative CDFs of Fig. 8.  Hour-of-day preferences are applied by
 importance resampling among candidate revocation times, which preserves the
 marginal lifetime distribution while concentrating revocations at the
 paper's observed local hours.
+
+Sampling is batched through numpy: the candidate lifetimes of one draw
+come from a single vectorized ``Generator.uniform`` call and the
+hourly-weight resampling from one vectorized weight gather, consuming the
+underlying bit stream exactly like the scalar draws they replaced
+(``tests/test_cloud_revocation.py`` pins the draw-order contract with a
+golden reimplementation of the scalar loop).  Per-cell calibration
+lookups, truncation quantiles, and weight tables are memoized, so
+fleet-scale callers (:meth:`RevocationModel.sample_batch`,
+:meth:`RevocationModel.mean_time_to_revocation`, the launch advisor)
+spend their time in the RNG, not in Python bookkeeping.
 """
 
 from __future__ import annotations
@@ -31,7 +42,7 @@ import numpy as np
 from repro.cloud.gpus import get_gpu
 from repro.cloud.regions import get_region
 from repro.errors import ConfigurationError
-from repro.units import hour_bin, wrap_hour
+from repro.units import hour_bins, wrap_hour
 
 #: Maximum lifetime of a transient (preemptible) server, in hours.
 MAX_TRANSIENT_LIFETIME_HOURS = 24.0
@@ -137,6 +148,12 @@ class RevocationModel:
         self._hourly_weights = {name: tuple(weights) for name, weights in
                                 (hourly_weights or HOURLY_REVOCATION_WEIGHTS).items()}
         self._candidates = candidates
+        #: Memoized per-cell sampling state: ``(params, cap_quantile,
+        #: inv_shape, scale, p_revoke, weights_array)`` keyed by the raw
+        #: ``(gpu_name, region_name)`` the caller used.
+        self._cell_cache: Dict[Tuple[str, str],
+                               Tuple[RevocationCellParams, float, float,
+                                     float, float, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # Calibration lookups.
@@ -195,12 +212,21 @@ class RevocationModel:
     def mean_time_to_revocation(self, gpu_name: str, region_name: str,
                                 samples: int = 4000,
                                 rng: Optional[np.random.Generator] = None) -> float:
-        """Monte-Carlo mean lifetime in hours (survivors count as 24 h)."""
+        """Monte-Carlo mean lifetime in hours (survivors count as 24 h).
+
+        The expected-lifetime estimate behind the advisor-facing callers
+        (e.g. :mod:`repro.modeling.launch_advisor`); the draws go through
+        the batched sampler, so the same seeds give the same estimate as
+        the scalar loop this replaced, faster.
+        """
         generator = rng if rng is not None else np.random.default_rng(12345)
         model = RevocationModel(rng=generator, calibration=self._calibration,
-                                hourly_weights=self._hourly_weights)
-        outcomes = [model.sample(gpu_name, region_name) for _ in range(samples)]
-        return float(np.mean([outcome.lifetime_hours for outcome in outcomes]))
+                                hourly_weights=self._hourly_weights,
+                                candidates=self._candidates)
+        outcomes = model.sample_batch(gpu_name, region_name, samples)
+        lifetimes = np.fromiter((outcome.lifetime_hours for outcome in outcomes),
+                                dtype=np.float64, count=samples)
+        return float(lifetimes.mean())
 
     # ------------------------------------------------------------------
     # Sampling.
@@ -213,10 +239,33 @@ class RevocationModel:
         uniform = self._rng.uniform(0.0, cap_quantile)
         return float(scale * (-np.log(1.0 - uniform)) ** (1.0 / shape))
 
+    def _cell_state(self, gpu_name: str, region_name: str):
+        """Memoized per-cell sampling state (see ``_cell_cache``)."""
+        key = (gpu_name, region_name)
+        state = self._cell_cache.get(key)
+        if state is None:
+            gpu = get_gpu(gpu_name)
+            params = self.params_for(gpu_name, region_name)
+            shape, scale = params.weibull_shape, params.weibull_scale_hours
+            cap_quantile = 1.0 - np.exp(
+                -((MAX_TRANSIENT_LIFETIME_HOURS / scale) ** shape))
+            weights = np.asarray(self._hourly_weights[gpu.name],
+                                 dtype=np.float64)
+            state = (params, cap_quantile, 1.0 / shape, scale,
+                     params.p_revoke_24h, weights)
+            self._cell_cache[key] = state
+        return state
+
     def sample(self, gpu_name: str, region_name: str,
                launch_hour_local: float = 0.0,
                stressed: bool = False) -> RevocationOutcome:
         """Sample the fate of one launched transient server.
+
+        The candidate lifetimes come from one vectorized uniform draw and
+        the hour-of-day weights from one vectorized gather; the RNG stream
+        consumption and the resulting outcome are identical to the scalar
+        candidate loop this replaced (``tests/test_cloud_revocation.py``
+        pins the equivalence golden against a scalar reimplementation).
 
         Args:
             gpu_name: GPU type of the server.
@@ -229,30 +278,41 @@ class RevocationModel:
                 the grouping.
         """
         del stressed  # Workload does not influence revocations (Section V-C).
-        gpu = get_gpu(gpu_name)
-        params = self.params_for(gpu_name, region_name)
+        (_params, cap_quantile, inv_shape, scale, p_revoke,
+         weights) = self._cell_state(gpu_name, region_name)
         launch_hour_local = wrap_hour(launch_hour_local)
-        if self._rng.uniform() >= params.p_revoke_24h:
+        if self._rng.uniform() >= p_revoke:
             return RevocationOutcome(revoked=False,
                                      lifetime_hours=MAX_TRANSIENT_LIFETIME_HOURS,
                                      revocation_hour_local=None)
 
-        weights = self._hourly_weights[gpu.name]
-        candidates = [self._sample_conditional_lifetime(params)
-                      for _ in range(self._candidates)]
-        candidate_weights = np.array([
-            weights[hour_bin(launch_hour_local + lifetime)] + 1e-9
-            for lifetime in candidates])
+        # One array draw == the old per-candidate scalar draws (numpy fills
+        # uniform arrays element-wise from the same bit stream).  The
+        # inverse-CDF transform stays scalar on purpose: numpy's SIMD array
+        # log/pow kernels differ from the scalar ones by an ulp, and the
+        # sampled lifetimes are pinned bit-for-bit against the scalar loop.
+        uniforms = self._rng.uniform(0.0, cap_quantile, size=self._candidates)
+        candidates = [float(scale * (-np.log(1.0 - u)) ** inv_shape)
+                      for u in uniforms.tolist()]
+        candidate_weights = weights[hour_bins(
+            launch_hour_local + np.asarray(candidates))] + 1e-9
         probabilities = candidate_weights / candidate_weights.sum()
-        chosen = candidates[int(self._rng.choice(len(candidates), p=probabilities))]
+        chosen = candidates[
+            int(self._rng.choice(self._candidates, p=probabilities))]
         revocation_hour = wrap_hour(launch_hour_local + chosen)
-        return RevocationOutcome(revoked=True, lifetime_hours=float(chosen),
+        return RevocationOutcome(revoked=True, lifetime_hours=chosen,
                                  revocation_hour_local=float(revocation_hour))
 
     def sample_batch(self, gpu_name: str, region_name: str, count: int,
                      launch_hour_local: float = 0.0,
                      stressed: bool = False) -> Tuple[RevocationOutcome, ...]:
-        """Sample the fates of ``count`` servers launched together."""
+        """Sample the fates of ``count`` servers launched together.
+
+        Draw-order contract: the batch consumes the RNG stream exactly
+        like ``count`` sequential :meth:`sample` calls, so batching a loop
+        (as the fleet runner and the Monte-Carlo estimators do) never
+        changes any outcome.
+        """
         if count < 0:
             raise ConfigurationError("count must be non-negative")
         return tuple(self.sample(gpu_name, region_name,

@@ -207,7 +207,9 @@ class StepTimeModel:
         mean = self.mean_step_time(model_gflops, gpu_name) * max(1.0, slowdown)
         if step_index < WARMUP_STEPS:
             mean *= _warmup_factor(step_index)
-        cov = self.noise_cov(gpu_name) + PS_CONTENTION_COV * float(np.clip(ps_utilization, 0.0, 1.0))
+        # Scalar clamp; identical to np.clip without the array dispatch.
+        cov = (self.noise_cov(gpu_name)
+               + PS_CONTENTION_COV * min(1.0, max(0.0, float(ps_utilization))))
         sample = self._rng.normal(mean, mean * cov)
         return float(max(mean * 0.2, sample))
 
@@ -242,7 +244,8 @@ class StepTimeModel:
         if count == 0:
             return np.empty(0, dtype=np.float64)
         mean = self.mean_step_time(model_gflops, gpu_name) * max(1.0, slowdown)
-        cov = self.noise_cov(gpu_name) + PS_CONTENTION_COV * float(np.clip(ps_utilization, 0.0, 1.0))
+        cov = (self.noise_cov(gpu_name)
+               + PS_CONTENTION_COV * min(1.0, max(0.0, float(ps_utilization))))
         if start_step_index >= WARMUP_STEPS:
             # Constant mean: one block draw from the shared stream.
             samples = self._rng.normal(mean, mean * cov, size=count)
@@ -254,3 +257,32 @@ class StepTimeModel:
         mean_vec = np.asarray(means, dtype=np.float64)
         samples = self._rng.normal(mean_vec, mean_vec * cov)
         return np.maximum(mean_vec * 0.2, samples)
+
+    def chunk_draw_params(self, model_gflops: float, gpu_name: str,
+                          ps_utilization: float = 0.0,
+                          slowdown: float = 1.0) -> Tuple[float, float, float]:
+        """Precompute the ``(mean, sigma, floor)`` of post-warm-up draws.
+
+        Hot replay loops call :meth:`sample_chunk` with these instead of
+        :meth:`sample_steps`, skipping the per-call mean/cov lookups; the
+        values are the exact intermediates of the post-warm-up branch of
+        :meth:`sample_steps`, so the draws are identical.
+        """
+        mean = self.mean_step_time(model_gflops, gpu_name) * max(1.0, slowdown)
+        cov = (self.noise_cov(gpu_name)
+               + PS_CONTENTION_COV * min(1.0, max(0.0, float(ps_utilization))))
+        return mean, mean * cov, mean * 0.2
+
+    def sample_chunk_raw(self, params: Tuple[float, float, float],
+                         count: int) -> np.ndarray:
+        """Post-warm-up draws from precomputed chunk parameters, unfloored.
+
+        Consumes the RNG stream exactly like the
+        ``start_step_index >= WARMUP_STEPS`` branch of :meth:`sample_steps`;
+        the caller must clamp each value to ``params[2]`` (the floor) —
+        ``v if v > floor else floor`` per element reproduces the
+        ``np.maximum`` of :meth:`sample_steps` bit for bit while skipping
+        the array pass.
+        """
+        mean, sigma, _floor = params
+        return self._rng.normal(mean, sigma, size=count)

@@ -23,7 +23,7 @@ from typing import Optional, Sequence
 
 from repro.errors import ReproError
 from repro.scenarios.catalog import get_scenario, list_scenarios
-from repro.scenarios.fleet import run_scenario
+from repro.scenarios.fleet import FLEET_TRACE_LEVEL_ENV, run_scenario
 from repro.scenarios.report import fleet_summary_table
 # Shared with the sweeps CLI so both front ends accept and reject exactly
 # the same --workers values.
@@ -59,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--json", dest="json_out", default=None,
                          metavar="PATH",
                          help="also write fleet payloads to a JSON file")
+        sub.add_argument("--trace-level", choices=("full", "summary"),
+                         default=None,
+                         help="per-session trace detail: 'summary' keeps "
+                              "aggregates only, so very large fleets fit "
+                              "in memory (payloads are identical; default: "
+                              "REPRO_FLEET_TRACE_LEVEL or 'full')")
     return parser
 
 
@@ -76,10 +82,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("resume requires --cache-dir", file=sys.stderr)
             return 2
 
-        scenario = get_scenario(args.name)
-        result = run_scenario(scenario, replicates=args.replicates,
-                              seed=args.seed, workers=args.workers,
-                              cache_dir=args.cache_dir)
+        previous_trace_level = os.environ.get(FLEET_TRACE_LEVEL_ENV)
+        if getattr(args, "trace_level", None):
+            # Environment plumbing so pooled sweep workers (which inherit
+            # the environment) and the cache-key fingerprint agree; scoped
+            # to this invocation so repeated main() calls in one process
+            # do not leak the setting into each other.
+            os.environ[FLEET_TRACE_LEVEL_ENV] = args.trace_level
+        try:
+            scenario = get_scenario(args.name)
+            result = run_scenario(scenario, replicates=args.replicates,
+                                  seed=args.seed, workers=args.workers,
+                                  cache_dir=args.cache_dir)
+        finally:
+            if getattr(args, "trace_level", None):
+                if previous_trace_level is None:
+                    os.environ.pop(FLEET_TRACE_LEVEL_ENV, None)
+                else:
+                    os.environ[FLEET_TRACE_LEVEL_ENV] = previous_trace_level
         print(result.summary())
         print(fleet_summary_table(result))
         if args.json_out:

@@ -11,28 +11,63 @@ queued.  Worker lifetimes are drawn from the calibrated
 region's *local* hour-of-day, so fleet revocations reproduce the paper's
 Table V / Fig. 8 / Fig. 9 characterization at pool level.
 
-The fleet loop interleaves sessions with the PR 2 vectorized fast-forward
-path: every unfinished session is offered a heap-free replay span before
-the loop falls back to one ordinary heap event, so a fleet run is exactly
-as deterministic as (and much faster than) stepping the shared heap event
-by event.
+Fleet execution performance
+---------------------------
+The fleet loop has two schedulers that produce **bit-identical payloads**
+by contract (the golden matrix in ``tests/test_fleet_scheduler.py`` and the
+``benchmarks/BENCH_fleet.json`` baseline pin this down):
+
+* the *round-robin* scheduler (the original loop, kept as the reference
+  behind ``REPRO_FLEET_SCHEDULER=roundrobin``) — every iteration offers a
+  vectorized fast-forward span to *all* N unfinished sessions, scans all N
+  jobs for completion, then fires one heap event: O(N) driver work per
+  simulator event;
+* the *wake-set* scheduler (:meth:`FleetRun.run`, the default) — exploits
+  the fact that a session can only replay spans while the heap top is one
+  of its **own** chunk events.  Chunk events carry an ownership tag
+  (``Event.owner``, see :mod:`repro.simulation.events`), so the wake set —
+  the sessions whose fast-forward could make progress right now — is
+  exactly ``{owner of the heap top}``; disturbed jobs (the event owner,
+  pool-grant recipients, newly started jobs) re-enter it automatically the
+  moment their next chunk surfaces at the top.  Together with live
+  finished/stalled counters (updated by session/stall callbacks) replacing
+  the O(N) ``all(...)`` scan, per-event driver work drops to O(1).
+
+The round-robin reference deliberately does **not** inherit the session's
+disturbance-horizon offer cache: its offers go through
+:meth:`~repro.training.session.TrainingSession.fast_forward_probed`, which
+reproduces the PR 3 per-offer cost model (heap peek + O(workers) id-set
+probe), so ``BENCH_fleet.json`` measures the scheduler redesign against
+the loop it replaced.  The cache itself serves drivers that re-offer
+blindly — a session's own ``run_to_completion`` loop, or any external
+multiplexer calling :meth:`~repro.training.session.TrainingSession.fast_forward`
+without a pre-peeked top: their declined re-offers cost no heap peeks.
 
 ``fleet_cell`` is the module-level sweep cell function: one cell simulates
 one whole fleet from its own derived random streams, which is what makes
 scenario sweeps serial/parallel bit-identical and resumable through the
-:class:`repro.sweeps.SweepRunner` cache.
+:class:`repro.sweeps.SweepRunner` cache.  Two more runtime knobs, both
+payload-neutral: ``REPRO_FLEET_SCHEDULER`` selects the scheduler and
+``REPRO_FLEET_TRACE_LEVEL=summary`` switches every session to the
+aggregates-only trace sink so 500-job fleets keep O(1) trace memory per
+job.  Regenerate ``benchmarks/BENCH_fleet.json`` with
+``python benchmarks/fleet_baseline.py`` after touching this module (CI
+runs ``python benchmarks/fleet_baseline.py --quick --check`` as a
+regression gate).
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.cloud.machines import PARAMETER_SERVER_MACHINE, gpu_worker_machine
 from repro.cloud.pricing import PriceCatalog, default_price_catalog
 from repro.cloud.regions import get_region
 from repro.cloud.revocation import RevocationModel
+from repro.cloud.revocation import RevocationOutcome
 from repro.cmdare.controller import CMDareController, ControllerConfig
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.scenarios.pool import DENIED, QUEUED, TransientPool
 from repro.scenarios.spec import JobSpec, ScenarioSpec
 from repro.simulation.engine import Simulator
@@ -46,6 +81,28 @@ from repro.workloads.catalog import ModelCatalog, default_catalog
 #: Heap-event/fast-forward budget per fleet job (matches the single-session
 #: default of TrainingSession.run_to_completion).
 MAX_EVENTS_PER_JOB = 5_000_000
+
+#: Environment switch selecting the fleet scheduler (default ``wakeset``).
+FLEET_SCHEDULER_ENV = "REPRO_FLEET_SCHEDULER"
+
+#: Environment switch selecting the per-session trace level (default
+#: ``full``; ``summary`` keeps aggregates only).
+FLEET_TRACE_LEVEL_ENV = "REPRO_FLEET_TRACE_LEVEL"
+
+#: Valid scheduler names: the event-ownership wake-set loop, and the
+#: original offer-everyone round-robin loop kept as the bit-identical
+#: payload reference.
+FLEET_SCHEDULERS = ("wakeset", "roundrobin")
+
+
+def _scheduler_default() -> str:
+    return (os.environ.get(FLEET_SCHEDULER_ENV, "").strip().lower()
+            or "wakeset")
+
+
+def _trace_level_default() -> str:
+    return (os.environ.get(FLEET_TRACE_LEVEL_ENV, "").strip().lower()
+            or "full")
 
 
 class FleetJobController(CMDareController):
@@ -144,18 +201,33 @@ class FleetRun:
         catalog: Model catalog resolving job model names.
         price_catalog: Pricing used for fleet cost accounting.
         fast_forward: Core-path override forwarded to every session.
+        scheduler: Fleet scheduler (``"wakeset"`` or ``"roundrobin"``);
+            ``None`` reads ``REPRO_FLEET_SCHEDULER`` (default wake-set).
+            Payloads are bit-identical either way.
+        trace_level: Per-session trace level (``"full"`` or ``"summary"``);
+            ``None`` reads ``REPRO_FLEET_TRACE_LEVEL`` (default full).
+            Payloads are bit-identical either way.
     """
 
     def __init__(self, scenario: ScenarioSpec, streams: RandomStreams,
                  catalog: Optional[ModelCatalog] = None,
                  price_catalog: Optional[PriceCatalog] = None,
-                 fast_forward: Optional[bool] = None):
+                 fast_forward: Optional[bool] = None,
+                 scheduler: Optional[str] = None,
+                 trace_level: Optional[str] = None):
         self.scenario = scenario
         self.streams = streams
         self.catalog = catalog if catalog is not None else default_catalog()
         self.prices = (price_catalog if price_catalog is not None
                        else default_price_catalog())
         self.fast_forward = fast_forward
+        self.scheduler = scheduler if scheduler is not None else _scheduler_default()
+        if self.scheduler not in FLEET_SCHEDULERS:
+            known = ", ".join(FLEET_SCHEDULERS)
+            raise ConfigurationError(
+                f"unknown fleet scheduler {self.scheduler!r}; known: {known}")
+        self.trace_level = (trace_level if trace_level is not None
+                            else _trace_level_default())
         epoch = (scenario.epoch_hour_utc if scenario.epoch_hour_utc is not None
                  else float(streams.get("epoch").uniform(0, 24)))
         self.simulator = Simulator(epoch_hour_utc=epoch)
@@ -163,8 +235,14 @@ class FleetRun:
                                   reclaim_seconds=scenario.reclaim_seconds)
         self.revocation_model = RevocationModel(rng=streams.get("revocation"))
         self.revocation_hours_local: List[float] = []
+        #: Live completion counters: bumped by the session-finished and
+        #: stall hooks so the run loop never scans all N jobs per event.
+        self._jobs_finished = 0
+        self._jobs_stalled = 0
         self.jobs: List[_FleetJob] = [self._wire_job(spec)
                                       for spec in scenario.jobs]
+        self._job_of: Dict[TrainingSession, _FleetJob] = {
+            job.session: job for job in self.jobs}
 
     # ------------------------------------------------------------------
     # Wiring.
@@ -177,7 +255,8 @@ class FleetRun:
             self.simulator, spec.cluster(), job,
             streams=self.streams.spawn(f"job:{spec.name}"),
             steps_per_event=spec.steps_per_event,
-            fast_forward=self.fast_forward)
+            fast_forward=self.fast_forward,
+            trace_level=self.trace_level)
         controller = FleetJobController(
             session, self.pool, queue_replacements=spec.queue_replacements,
             on_replacement_admitted=self._schedule_revocation,
@@ -188,7 +267,7 @@ class FleetRun:
         # any job starts training (the spec validated the demand fits).
         for gpu, region in spec.workers:
             self.pool.acquire(gpu, region)
-        session.on_finished.append(self._release_job_slots)
+        session.on_finished.append(self._note_finished)
         fleet_job = _FleetJob(spec, session, controller)
         self.simulator.schedule(spec.start_delay_seconds,
                                 lambda _sim, fj=fleet_job: self._start_job(fj),
@@ -199,33 +278,68 @@ class FleetRun:
         fleet_job.started = True
         fleet_job.session.start()
         fleet_job.controller.start_monitoring()
-        for worker in list(fleet_job.session.workers.values()):
-            self._schedule_revocation(fleet_job.session, worker)
+        self._schedule_launch_revocations(
+            fleet_job.session, list(fleet_job.session.workers.values()))
 
-    def _release_job_slots(self, session: TrainingSession) -> None:
-        """A job completed: its surviving servers go back to the pool."""
+    def _note_finished(self, session: TrainingSession) -> None:
+        """A job completed: count it and return surviving servers."""
+        self._jobs_finished += 1
         for worker in session.active_workers():
             if worker.is_transient:
                 self.pool.release(worker.spec.gpu_name, worker.spec.region_name)
 
+    def _schedule_launch_revocations(self, session: TrainingSession,
+                                     workers: List[WorkerState]) -> None:
+        """Draw the launch-time fates of a job's workers, batched.
+
+        Consecutive workers sharing a ``(gpu, region)`` placement draw
+        their fates through one :meth:`RevocationModel.sample_batch` call —
+        the batched sampler consumes the revocation stream exactly like the
+        per-worker draws it replaces, so payloads are unchanged.
+        """
+        index = 0
+        count = len(workers)
+        while index < count:
+            spec = workers[index].spec
+            gpu, region_name = spec.gpu_name, spec.region_name
+            end = index + 1
+            while (end < count and workers[end].spec.gpu_name == gpu
+                   and workers[end].spec.region_name == region_name):
+                end += 1
+            region = get_region(region_name)
+            launch_hour = region.local_hour(self.simulator.hour_of_day_utc())
+            outcomes = self.revocation_model.sample_batch(
+                gpu, region_name, end - index,
+                launch_hour_local=launch_hour, stressed=True)
+            for worker, outcome in zip(workers[index:end], outcomes):
+                self._schedule_revocation_outcome(session, worker, outcome)
+            index = end
+
     def _schedule_revocation(self, session: TrainingSession,
                              worker: WorkerState) -> None:
-        """Draw the worker's fate from the calibrated revocation model.
+        """Draw one worker's fate from the calibrated revocation model.
 
         The draw happens at launch time using the region's *local* hour of
         day, exactly like the simulated provider does, so fleet-level
         revocations carry the paper's hour-of-day clustering (Fig. 9).
         """
-        gpu, region_name = worker.spec.gpu_name, worker.spec.region_name
-        region = get_region(region_name)
+        region = get_region(worker.spec.region_name)
         launch_hour = region.local_hour(self.simulator.hour_of_day_utc())
-        outcome = self.revocation_model.sample(gpu, region_name,
+        outcome = self.revocation_model.sample(worker.spec.gpu_name,
+                                               worker.spec.region_name,
                                                launch_hour_local=launch_hour,
                                                stressed=True)
+        self._schedule_revocation_outcome(session, worker, outcome)
+
+    def _schedule_revocation_outcome(self, session: TrainingSession,
+                                     worker: WorkerState,
+                                     outcome: RevocationOutcome) -> None:
+        """Turn a sampled fate into a scheduled revocation event (if any)."""
         if not outcome.revoked:
             # The server survives to the 24-hour reclamation; fleet jobs
             # complete well before, so no termination event is scheduled.
             return
+        gpu, region_name = worker.spec.gpu_name, worker.spec.region_name
 
         def revoke(_sim: Simulator) -> None:
             if session.finished or not worker.active:
@@ -245,14 +359,16 @@ class FleetRun:
         Such a job can never finish: stop its monitoring loop so the heap
         drains instead of polling forever, and mark it stalled.
         """
-        for fleet_job in self.jobs:
-            if fleet_job.session is session:
-                if (not session.finished and not session.active_workers()
-                        and fleet_job.controller.replacements_pending == 0):
-                    fleet_job.stalled = True
-                    fleet_job.stalled_at = self.simulator.now
-                    fleet_job.controller.stop_monitoring()
-                return
+        fleet_job = self._job_of.get(session)
+        if fleet_job is None:
+            return
+        if (not session.finished and not session.active_workers()
+                and fleet_job.controller.replacements_pending == 0
+                and not fleet_job.stalled):
+            fleet_job.stalled = True
+            fleet_job.stalled_at = self.simulator.now
+            fleet_job.controller.stop_monitoring()
+            self._jobs_stalled += 1
 
     # ------------------------------------------------------------------
     # Execution.
@@ -260,32 +376,84 @@ class FleetRun:
     def run(self) -> Dict[str, Any]:
         """Run the fleet to completion and return the JSON payload.
 
-        The loop offers every unfinished session a vectorized fast-forward
-        span, then fires one heap event, until every job finished (or
-        stalled with an empty heap).
+        The wake-set scheduler (default) maps the heap top to its owning
+        session and lets only that session fast-forward; the round-robin
+        reference offers a span to every unfinished session per event.
+        Both stop the moment every job finished or stalled — a stalled job
+        has no queued replacement left by definition, so nothing in the
+        heap (pool reclaim returns, stale revocation draws) can revive it,
+        and draining events up to a day in the future would inflate the
+        fleet clock past the last meaningful moment.  Payloads are
+        bit-identical across schedulers.
         """
         max_events = MAX_EVENTS_PER_JOB * len(self.jobs)
-        processed = 0
-        while processed < max_events:
-            for fleet_job in self.jobs:
-                if not fleet_job.session.finished:
-                    processed += fleet_job.session.fast_forward(
-                        max_events - processed)
-            if all(job.session.finished or job.stalled for job in self.jobs):
-                # A stalled job has no queued replacement left by
-                # definition, so nothing in the heap (pool reclaim
-                # returns, stale revocation draws) can revive it: stop
-                # instead of draining events up to a day in the future,
-                # which would inflate the fleet clock past the last
-                # meaningful moment.
-                break
-            if self.simulator.step() is None:
-                break
-            processed += 1
+        if self.scheduler == "roundrobin":
+            processed = self._run_roundrobin(max_events)
+        else:
+            processed = self._run_wakeset(max_events)
+        #: Events processed (chunk completions + fired heap events) —
+        #: the throughput numerator of ``benchmarks/fleet_baseline.py``.
+        self.events_processed = processed
         if processed >= max_events:
             raise SimulationError(
                 f"fleet {self.scenario.name!r} exceeded {max_events} events")
         return self._payload()
+
+    def _run_wakeset(self, max_events: int) -> int:
+        """O(1)-per-event loop driven by heap-top event ownership.
+
+        Only the session owning the next-due chunk event can replay a
+        fast-forward span (any other session's offer would find a foreign
+        event first and decline); everything else — job starts, pool
+        grants, revocations, controller polls — reaches the disturbed
+        session through ordinary heap events, after which its next chunk
+        surfaces at the top and wakes it again.
+        """
+        sim = self.simulator
+        peek_next = sim.peek_next
+        step = sim.step
+        jobs_total = len(self.jobs)
+        processed = 0
+        while processed < max_events:
+            if self._jobs_finished + self._jobs_stalled >= jobs_total:
+                break
+            top = peek_next()
+            if top is None:
+                break
+            owner = top.owner
+            if owner is not None:
+                replayed = owner._fast_forward(max_events - processed, top=top)
+                if replayed:
+                    processed += replayed
+                    continue
+            if step() is None:
+                break
+            processed += 1
+        return processed
+
+    def _run_roundrobin(self, max_events: int) -> int:
+        """The original O(jobs)-per-event loop, kept as the reference.
+
+        Selected with ``REPRO_FLEET_SCHEDULER=roundrobin``; the wake-set
+        scheduler must reproduce its payloads bit for bit.  Offers go
+        through :meth:`TrainingSession.fast_forward_probed`, which keeps
+        the PR 3 per-offer cost model (heap peek + O(workers) id-set
+        probe, no disturbance-horizon cache), so the fleet baseline
+        measures the scheduler redesign against the loop it replaced
+        rather than against a reference that silently inherits it.
+        """
+        processed = 0
+        while processed < max_events:
+            for fleet_job in self.jobs:
+                if not fleet_job.session.finished:
+                    processed += fleet_job.session.fast_forward_probed(
+                        max_events - processed)
+            if all(job.session.finished or job.stalled for job in self.jobs):
+                break
+            if self.simulator.step() is None:
+                break
+            processed += 1
+        return processed
 
     # ------------------------------------------------------------------
     # Reporting.
@@ -361,10 +529,14 @@ class FleetRun:
 
 def run_fleet(scenario: ScenarioSpec, streams: RandomStreams,
               catalog: Optional[ModelCatalog] = None,
-              price_catalog: Optional[PriceCatalog] = None) -> Dict[str, Any]:
+              price_catalog: Optional[PriceCatalog] = None,
+              fast_forward: Optional[bool] = None,
+              scheduler: Optional[str] = None,
+              trace_level: Optional[str] = None) -> Dict[str, Any]:
     """Simulate one fleet and return its JSON-encodable summary payload."""
     return FleetRun(scenario, streams, catalog=catalog,
-                    price_catalog=price_catalog).run()
+                    price_catalog=price_catalog, fast_forward=fast_forward,
+                    scheduler=scheduler, trace_level=trace_level).run()
 
 
 # ---------------------------------------------------------------------------

@@ -9,21 +9,34 @@ Cancelled events are deleted lazily: :meth:`repro.simulation.events.Event.cancel
 flips a flag, pops skip flagged entries, and the engine compacts the heap
 once cancelled entries outnumber live ones (beyond a small floor), so heavy
 cancellation stays O(log n) amortized instead of growing the heap without
-bound.  The engine also exposes two small hooks used by the training
-session's vectorized fast-forward path: :meth:`Simulator.peek_next` (what
-fires next, without firing it) and :meth:`Simulator.claim_sequence` /
-``schedule_at(..., sequence=...)`` (pre-allocating tie-breaker sequence
-numbers so events replayed outside the heap keep their exact ordering).
+bound.  The engine also exposes a few small hooks used by the training
+session's vectorized fast-forward path and the fleet wake-set scheduler:
+:meth:`Simulator.peek_next` (what fires next, without firing it),
+:meth:`Simulator.claim_sequence` / ``schedule_at(..., sequence=...)``
+(pre-allocating tie-breaker sequence numbers so events replayed outside the
+heap keep their exact ordering), event *ownership* tags
+(``schedule(..., owner=...)``, so a multi-session driver can map the heap
+top to the one session able to make fast-forward progress), and per-owner
+insertion epochs (:meth:`Simulator.owner_insertions`, bumped whenever an
+owner inserts an event, which lets a session cache its *disturbance
+horizon* — "I am blocked behind that foreign event" — and skip even the
+heap peek until the cached verdict can no longer be valid).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.simulation.events import Event
 from repro.units import wrap_hour
+
+#: Heap entry: ``(time, sequence, event)``.  Sequence numbers are unique,
+#: so tuple comparison never falls through to the event object — every
+#: heap operation stays on the C fast path instead of calling the
+#: dataclass ``__lt__``.
+_QueueEntry = Tuple[float, int, Event]
 
 #: Compaction threshold: the heap is rebuilt when more than this many
 #: cancelled events are queued *and* they outnumber the live ones.
@@ -52,10 +65,11 @@ class Simulator:
         if start_time < 0:
             raise SimulationError("start_time must be non-negative")
         self._now = float(start_time)
-        self._queue: List[Event] = []
+        self._queue: List[_QueueEntry] = []
         self._sequence = 0
         self._running = False
         self._cancelled_in_queue = 0
+        self._owner_insertions: Dict[int, List[int]] = {}
         self.epoch_hour_utc = wrap_hour(epoch_hour_utc)
 
     # ------------------------------------------------------------------
@@ -81,23 +95,26 @@ class Simulator:
     # Scheduling.
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[["Simulator"], None],
-                 label: str = "") -> Event:
+                 label: str = "", owner: Optional[Any] = None) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now.
 
         Args:
             delay: Non-negative delay in seconds.
             callback: Invoked as ``callback(simulator)``.
             label: Optional label for traces.
+            owner: Optional ownership tag (see :class:`Event`).
 
         Returns:
             The scheduled :class:`Event`, which may be cancelled.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, label=label)
+        return self.schedule_at(self._now + delay, callback, label=label,
+                                owner=owner)
 
     def schedule_at(self, time: float, callback: Callable[["Simulator"], None],
-                    label: str = "", sequence: Optional[int] = None) -> Event:
+                    label: str = "", sequence: Optional[int] = None,
+                    owner: Optional[Any] = None) -> Event:
         """Schedule ``callback`` at an absolute simulation time.
 
         Args:
@@ -108,6 +125,9 @@ class Simulator:
                 :meth:`claim_sequence`.  Used by fast-forward replay to
                 reinsert events with their original ordering; omit it for
                 normal scheduling.
+            owner: Optional ownership tag (see :class:`Event`).  Owned
+                insertions bump the owner's epoch counter
+                (:meth:`owner_insertions`).
         """
         if time < self._now:
             raise SimulationError(
@@ -119,11 +139,44 @@ class Simulator:
             raise SimulationError(
                 f"sequence {sequence} was never claimed (next is {self._sequence})")
         event = Event(time=float(time), sequence=sequence, callback=callback,
-                      label=label)
+                      label=label, owner=owner)
         event._owner = self
         event._in_queue = True
-        heapq.heappush(self._queue, event)
+        if owner is not None:
+            key = id(owner)
+            cell = self._owner_insertions.get(key)
+            if cell is None:
+                self._owner_insertions[key] = [1]
+            else:
+                cell[0] += 1
+        heapq.heappush(self._queue, (event.time, sequence, event))
         return event
+
+    def owner_insertions(self, owner: Any) -> int:
+        """How many events tagged with ``owner`` were ever inserted.
+
+        A session's disturbance-horizon cache snapshots this epoch: the
+        cached "blocked behind a foreign event" verdict stays valid while
+        the blocking event is still pending *and* the session inserted no
+        new events of its own (a new own chunk could sort ahead of the old
+        blocker).  Foreign insertions never invalidate — another foreign
+        event ahead of the session's chunks keeps it just as blocked.
+        """
+        cell = self._owner_insertions.get(id(owner))
+        return cell[0] if cell is not None else 0
+
+    def owner_insertion_cell(self, owner: Any) -> List[int]:
+        """The live one-element counter behind :meth:`owner_insertions`.
+
+        Hot paths (a session's per-offer cache check) read the epoch as
+        ``cell[0]`` instead of paying a method call per probe.
+        """
+        key = id(owner)
+        cell = self._owner_insertions.get(key)
+        if cell is None:
+            cell = [0]
+            self._owner_insertions[key] = cell
+        return cell
 
     def claim_sequence(self) -> int:
         """Reserve and return the next event sequence number.
@@ -144,7 +197,35 @@ class Simulator:
 
     def peek_next(self) -> Optional[Event]:
         """The next event that would fire, without firing it (or ``None``)."""
-        return self._peek()
+        queue = self._queue
+        while queue:
+            event = queue[0][2]
+            if not event.cancelled:
+                return event
+            heapq.heappop(queue)
+            event._in_queue = False
+            self._cancelled_in_queue -= 1
+        return None
+
+    def pop_next(self) -> Optional[Event]:
+        """Remove and return the next pending event *without firing it*.
+
+        The fast-forward replay lifts its own due chunk events out of the
+        heap with this: a true removal leaves no cancelled corpse behind,
+        so short replay spans (common in fleets, where many sessions
+        interleave on one heap) do not churn the heap with dead entries.
+        The caller owns the event afterwards and is responsible for either
+        executing its effect or re-inserting it via
+        ``schedule_at(..., sequence=event.sequence)``.
+        """
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)[2]
+            event._in_queue = False
+            if not event.cancelled:
+                return event
+            self._cancelled_in_queue -= 1
+        return None
 
     # ------------------------------------------------------------------
     # Run loop.
@@ -152,14 +233,14 @@ class Simulator:
     def step(self) -> Optional[Event]:
         """Fire the next pending event and return it, or ``None`` if empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            time, _sequence, event = heapq.heappop(self._queue)
             event._in_queue = False
             if event.cancelled:
                 self._cancelled_in_queue -= 1
                 continue
-            if event.time < self._now:
+            if time < self._now:
                 raise SimulationError("event queue produced an event in the past")
-            self._now = event.time
+            self._now = time
             if event.callback is not None:
                 event.callback(self)
             return event
@@ -216,11 +297,7 @@ class Simulator:
 
     def _peek(self) -> Optional[Event]:
         """Return the next non-cancelled event without firing it."""
-        while self._queue and self._queue[0].cancelled:
-            popped = heapq.heappop(self._queue)
-            popped._in_queue = False
-            self._cancelled_in_queue -= 1
-        return self._queue[0] if self._queue else None
+        return self.peek_next()
 
     # ------------------------------------------------------------------
     # Lazy-deletion bookkeeping.
@@ -234,12 +311,12 @@ class Simulator:
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify the live ones."""
-        live: List[Event] = []
-        for event in self._queue:
-            if event.cancelled:
-                event._in_queue = False
+        live: List[_QueueEntry] = []
+        for entry in self._queue:
+            if entry[2].cancelled:
+                entry[2]._in_queue = False
             else:
-                live.append(event)
+                live.append(entry)
         heapq.heapify(live)
         self._queue = live
         self._cancelled_in_queue = 0

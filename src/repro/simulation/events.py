@@ -33,6 +33,12 @@ class Event:
         label: Optional human-readable label used in traces and debugging.
         cancelled: Cancelled events stay in the heap but are skipped when
             popped.
+        owner: Optional opaque tag naming the entity the event belongs to.
+            Training sessions tag their chunk-completion events with
+            themselves, which lets multi-session drivers (the fleet
+            wake-set scheduler) map the heap top to the one session whose
+            fast-forward can make progress in O(1) instead of probing every
+            session.  Untagged events are *foreign* to every session.
     """
 
     time: float
@@ -40,6 +46,7 @@ class Event:
     callback: Optional[Callable[[Any], None]] = field(compare=False, default=None)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    owner: Optional[Any] = field(compare=False, default=None, repr=False)
     #: Simulator whose heap currently holds this event; maintained by the
     #: simulator so lazy cancellation can be accounted for.
     _owner: Optional[Any] = field(compare=False, default=None, repr=False)

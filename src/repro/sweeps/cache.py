@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Optional
 
@@ -72,16 +73,33 @@ class SweepCache:
     # ------------------------------------------------------------------
     def get(self, cell: SweepCell, seed: int,
             context_key: Optional[str] = None) -> Any:
-        """Return the cached payload, or :data:`MISS` if absent/corrupt."""
+        """Return the cached payload, or :data:`MISS` if absent/corrupt.
+
+        A file that exists but cannot be parsed (e.g. a worker was killed
+        mid-write before atomic writes existed, or the disk filled) is
+        treated as a miss with a warning — the cell simply recomputes and
+        overwrites it — instead of poisoning ``resume`` with an exception.
+        """
         path = self.path_for(cell, seed, context_key)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            return MISS
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"ignoring unreadable sweep-cache cell {path} ({exc}); "
+                f"the cell will be recomputed", RuntimeWarning,
+                stacklevel=2)
             return MISS
         if (not isinstance(entry, dict)
                 or entry.get("version") != CACHE_FORMAT_VERSION
                 or "payload" not in entry):
+            if not isinstance(entry, dict) or "payload" not in entry:
+                warnings.warn(
+                    f"ignoring malformed sweep-cache cell {path}; "
+                    f"the cell will be recomputed", RuntimeWarning,
+                    stacklevel=2)
             return MISS
         return entry["payload"]
 

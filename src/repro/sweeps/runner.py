@@ -139,18 +139,25 @@ def _runtime_knobs_key() -> str:
     """A fingerprint of process-wide runtime toggles that cells inherit.
 
     Cell functions run library code whose behavior can be switched by
-    environment knobs — today the simulation core's fast-forward toggle
-    (``REPRO_CORE_FASTFORWARD`` / ``fast_forward``).  The *effective*
-    normalized setting is fingerprinted (so ``"0"``, ``"false"``, and
-    ``"off"`` key identically, as do ``"1"`` and unset), and folded into
-    every cache key: a warm cache can never silently mix payloads computed
-    under different core paths, even ones whose equivalence is only
-    contractual.  Worker processes inherit the parent's environment, so the
-    parent-side value covers pooled execution too.
+    environment knobs — the simulation core's fast-forward toggle
+    (``REPRO_CORE_FASTFORWARD`` / ``fast_forward``), the fleet scheduler
+    (``REPRO_FLEET_SCHEDULER``), and the fleet trace level
+    (``REPRO_FLEET_TRACE_LEVEL``).  The *effective* normalized settings are
+    fingerprinted (so ``"0"``, ``"false"``, and ``"off"`` key identically,
+    as do defaults and unset), and folded into every cache key: a warm
+    cache can never silently mix payloads computed under different paths,
+    even ones whose equivalence is only contractual.  Worker processes
+    inherit the parent's environment, so the parent-side value covers
+    pooled execution too.
     """
+    from repro.scenarios.fleet import _scheduler_default, _trace_level_default
     from repro.training.session import _fast_forward_default
 
-    knobs = {"core_fastforward": "1" if _fast_forward_default() else "0"}
+    knobs = {
+        "core_fastforward": "1" if _fast_forward_default() else "0",
+        "fleet_scheduler": _scheduler_default(),
+        "fleet_trace_level": _trace_level_default(),
+    }
     return ",".join(f"{key}={value}" for key, value in sorted(knobs.items()))
 
 

@@ -41,6 +41,25 @@ the exact (time, sequence) ordering the chunked path would have produced.
 The per-worker RNG *order* is preserved too: draws happen at chunk
 scheduling time, in completion order, on both paths.
 
+Fleet-scale hooks
+-----------------
+Chunk-completion events are tagged with their owning session
+(``Event.owner``), so a driver multiplexing many sessions on one simulator
+(:mod:`repro.scenarios`) can map the heap top to the single session whose
+fast-forward can progress in O(1).  A session additionally caches its
+*disturbance horizon*: when :meth:`fast_forward` finds a foreign event at
+the top of the heap it remembers that blocking event and, until the
+blocker leaves the heap or the session schedules new chunks of its own
+(tracked through the simulator's per-owner insertion epochs), later offers
+return immediately without touching the heap at all.  Block-mode spans
+draw their step durations in bounded segments and flush staged rows to the
+columnar trace incrementally, and the trace buffers are shrunk to fit when
+the workload finishes, so the fast path's peak memory stays close to the
+chunked path's.  ``trace_level="summary"`` swaps the columnar trace for an
+aggregates-only :class:`~repro.training.trace.StepRecordSummary` sink —
+fleet runs that only consume end-of-run payloads keep O(1) trace memory
+per job, with byte-identical payloads.
+
 ``REPRO_CORE_FASTFORWARD=0`` (or ``fast_forward=False``) forces the
 chunked path.  The core-throughput baseline lives in
 ``benchmarks/BENCH_core.json``; regenerate it with
@@ -55,7 +74,6 @@ import heapq
 import itertools
 import math
 import os
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cloud.storage import CloudStorage
@@ -74,6 +92,8 @@ from repro.training.trace import (
     CheckpointRecord,
     ReplacementRecord,
     RevocationRecord,
+    StepRecordArray,
+    StepRecordSummary,
     TrainingTrace,
 )
 from repro.training.worker import WorkerState
@@ -86,23 +106,25 @@ DEFAULT_STEPS_PER_EVENT = 10
 #: Environment switch for the vectorized fast-forward path (default on).
 FASTFORWARD_ENV = "REPRO_CORE_FASTFORWARD"
 
+#: Chunks whose durations are drawn per RNG call in block mode, and rows
+#: staged before they are flushed to the trace: bounds the fast path's
+#: transient memory (arrays of SEGMENT * steps_per_event floats) without
+#: changing the draws — segmented ``Generator.normal`` fills consume the
+#: bit stream exactly like one big fill.
+FASTFORWARD_SEGMENT_CHUNKS = 1024
+
 
 def _fast_forward_default() -> bool:
     return os.environ.get(FASTFORWARD_ENV, "1").strip().lower() not in (
         "0", "false", "off", "no")
 
 
-@dataclass
-class _InflightChunk:
-    """One scheduled-but-not-completed chunk of a worker.
-
-    Mirrors what the chunk event's callback closure captures, so the
-    fast-forward path can simulate the completion without the heap.
-    """
-
-    event: Event
-    steps: int
-    start_time: float
+#: One scheduled-but-not-completed chunk of a worker, stored as a plain
+#: ``(event, steps, start_time)`` tuple — it mirrors what the chunk event's
+#: callback closure captures, so the fast-forward path can simulate the
+#: completion without the heap, and a tuple keeps the per-chunk bookkeeping
+#: of the replay loops allocation-cheap.
+_InflightChunk = Tuple[Event, int, float]
 
 
 class TrainingSession:
@@ -124,6 +146,10 @@ class TrainingSession:
             vectorized fast-forward path (bit-identical to the chunked
             path; see the module docstring).  ``None`` reads the
             ``REPRO_CORE_FASTFORWARD`` environment variable (default on).
+        trace_level: ``"full"`` records every chunk row in the columnar
+            trace (the default); ``"summary"`` folds rows into an
+            aggregates-only sink so long fleet runs keep O(1) trace
+            memory per job.  Payload-visible behavior is identical.
     """
 
     def __init__(self, simulator: Simulator, cluster: ClusterSpec, job: TrainingJob,
@@ -134,11 +160,15 @@ class TrainingSession:
                  storage: Optional[CloudStorage] = None,
                  steps_per_event: int = DEFAULT_STEPS_PER_EVENT,
                  chief_worker_index: int = 0,
-                 fast_forward: Optional[bool] = None):
+                 fast_forward: Optional[bool] = None,
+                 trace_level: str = "full"):
         if steps_per_event < 1:
             raise ConfigurationError("steps_per_event must be >= 1")
         if not 0 <= chief_worker_index < cluster.num_workers:
             raise ConfigurationError("chief_worker_index out of range")
+        if trace_level not in ("full", "summary"):
+            raise ConfigurationError(
+                f"trace_level must be 'full' or 'summary', got {trace_level!r}")
         self.simulator = simulator
         self.cluster = cluster
         self.job = job
@@ -160,10 +190,31 @@ class TrainingSession:
         self.fast_forward_chunks = 0
         #: Fast-forward spans executed (stats/benchmarks).
         self.fast_forward_spans = 0
+        #: Disturbance-horizon cache: the foreign event the last offer was
+        #: blocked behind, and this session's insertion epoch at that time.
+        #: The epoch is read through the simulator's live counter cell so a
+        #: declined offer costs a few attribute reads, not a method call.
+        self._ff_blocker: Optional[Event] = None
+        self._ff_own_epoch = -1
+        self._insertion_cell = simulator.owner_insertion_cell(self)
+        #: Membership epoch and the (slowdown, utilization) memo keyed on
+        #: it: both are pure functions of the active-worker set and the PS
+        #: count, so they only change when a worker joins/is revoked or a
+        #: parameter server is added.
+        self._membership_epoch = 0
+        self._speed_epoch = -1
+        self._speed_cache = (1.0, 0.0, 0.0)
+        #: Per-GPU (mean, sigma, floor) post-warm-up draw parameters,
+        #: memoized alongside the speed state (same invalidation).
+        self._draw_params: Dict[str, Tuple[float, float, float]] = {}
 
+        self.trace_level = trace_level
         self.trace = TrainingTrace(model_name=job.model_name,
                                    cluster_description=cluster.describe(),
-                                   start_time=simulator.now)
+                                   start_time=simulator.now,
+                                   step_records=(StepRecordSummary()
+                                                 if trace_level == "summary"
+                                                 else StepRecordArray()))
         self.workers: Dict[str, WorkerState] = {}
         self._inflight: Dict[str, _InflightChunk] = {}
         self._worker_counter = itertools.count()
@@ -188,6 +239,7 @@ class TrainingSession:
         worker = WorkerState(worker_id=worker_id, spec=spec, is_chief=is_chief,
                              joined_at=joined_at)
         self.workers[worker_id] = worker
+        self._membership_epoch += 1
         return worker
 
     def active_workers(self) -> List[WorkerState]:
@@ -249,6 +301,24 @@ class TrainingSession:
             return 0.0
         return self.ps_group.utilization(speeds, self.job.profile.parameter_bytes)
 
+    def _span_speed_state(self) -> Tuple[float, float, float]:
+        """Memoized ``(slowdown, utilization, ps_arg)`` for the membership.
+
+        Values are identical to calling :meth:`current_slowdown` /
+        :meth:`current_utilization` directly (both are pure functions of
+        the active workers and the PS count); ``ps_arg`` is the derived
+        ``max(0, utilization - 0.5)`` contention argument the step-time
+        draws take.  The memo just avoids recomputing them for every
+        chunk/span while membership is stable.
+        """
+        if self._speed_epoch != self._membership_epoch:
+            utilization = self.current_utilization()
+            self._speed_cache = (self.current_slowdown(), utilization,
+                                 max(0.0, utilization - 0.5))
+            self._speed_epoch = self._membership_epoch
+            self._draw_params.clear()
+        return self._speed_cache
+
     def current_cluster_speed(self) -> float:
         """Analytic cluster speed (steps/second) for the current membership."""
         speeds = self._worker_speeds()
@@ -272,14 +342,13 @@ class TrainingSession:
             self._schedule_chunk(worker)
 
     def _chunk_duration(self, worker: WorkerState, steps: int) -> float:
-        slowdown = self.current_slowdown()
-        utilization = self.current_utilization()
+        slowdown, _utilization, ps_arg = self._span_speed_state()
         gflops = self.job.profile.gflops
         duration = 0.0
         for offset in range(steps):
             duration += self.step_time_model.sample_step_time(
                 gflops, worker.gpu_name, step_index=worker.steps_done + offset,
-                ps_utilization=max(0.0, utilization - 0.5), slowdown=slowdown)
+                ps_utilization=ps_arg, slowdown=slowdown)
         return duration
 
     def _schedule_chunk(self, worker: WorkerState, extra_delay: float = 0.0) -> None:
@@ -297,9 +366,9 @@ class TrainingSession:
             self._complete_chunk(worker, steps, start_time)
 
         event = self.simulator.schedule(delay, complete,
-                                        label=f"{worker.worker_id}:chunk")
-        self._inflight[worker.worker_id] = _InflightChunk(
-            event=event, steps=steps, start_time=start_time)
+                                        label=f"{worker.worker_id}:chunk",
+                                        owner=self)
+        self._inflight[worker.worker_id] = (event, steps, start_time)
 
     def _complete_chunk(self, worker: WorkerState, steps: int, start_time: float) -> None:
         if self._finished or not worker.active:
@@ -349,27 +418,35 @@ class TrainingSession:
         self._finished = True
         self.trace.end_time = self.simulator.now
         for inflight in self._inflight.values():
-            inflight.event.cancel()
+            inflight[0].cancel()
         self._inflight.clear()
+        self._ff_blocker = None
+        # A finished trace is read, never appended to: return the growth
+        # slack of the columnar buffers (no-op for summary sinks).
+        self.trace.step_records.shrink_to_fit()
         for callback in self.on_finished:
             callback(self)
 
     # ------------------------------------------------------------------
     # Vectorized fast-forward path.
     # ------------------------------------------------------------------
-    def _fast_forward(self, max_pops: Optional[int] = None) -> int:
-        """Replay chunk completions up to the disturbance horizon, heap-free.
+    def _fast_forward(self, max_pops: Optional[int] = None,
+                      top: Optional[Event] = None) -> int:
+        """Replay chunk completions up to the disturbance horizon.
 
-        Pops this session's pending chunk events out of the simulator heap
-        and processes them — in exact (time, sequence) order, consuming the
-        same RNG draws at the same points — until the workload finishes,
-        the next event due is *foreign* (not one of this session's chunks),
-        or ``max_pops`` completions were replayed (each counts like one
-        processed heap event, so :meth:`run_to_completion`'s ``max_events``
-        truncates identically on both paths).  Surviving in-flight chunks
-        are re-materialized into the heap with their claimed sequence
-        numbers, so execution can hand back and forth between the two
-        paths at any span boundary without drifting.
+        Pops this session's due chunk events off the simulator heap and
+        processes them fused — in exact (time, sequence) order, consuming
+        the same RNG draws at the same points — until the workload
+        finishes, the next event due is *foreign* (not one of this
+        session's in-flight chunks), or ``max_pops`` completions were
+        replayed (each counts like one processed heap event, so
+        :meth:`run_to_completion`'s ``max_events`` truncates identically on
+        both paths).  Each completion schedules its successor chunk
+        straight back into the heap; because nothing else can insert events
+        during the replay, the successor receives exactly the sequence
+        number plain event-by-event execution would have assigned, so the
+        two paths can hand execution back and forth at any span boundary
+        without drifting.
 
         Returns:
             The number of chunk completions replayed.
@@ -380,82 +457,239 @@ class TrainingSession:
         if self._finished or not self.fast_forward_enabled or not self._inflight:
             return 0
         sim = self.simulator
-        top = sim.peek_next()
-        if top is None:
-            return 0
-        chunk_event_ids = {id(info.event) for info in self._inflight.values()}
-        if id(top) not in chunk_event_ids:
+        # The disturbance-horizon cache only pays off for callers that
+        # re-offer blindly (run_to_completion after every heap event, or
+        # any external driver without its own peek).  A caller passing a
+        # fresh ``top`` already knows what fires next, so the cache
+        # bookkeeping is skipped entirely on that path.
+        use_horizon = top is None
+        if use_horizon:
+            # A previous offer was blocked behind a foreign event.  While
+            # that blocker is still in the heap and this session inserted
+            # no new chunk events (its own-insertion epoch is unchanged, so
+            # no own chunk can have sorted ahead of the blocker), every
+            # chunk of this session still sorts after a foreign event — the
+            # offer is declined without even peeking at the heap.
+            blocker = self._ff_blocker
+            if blocker is not None:
+                if (blocker._in_queue and not blocker.cancelled
+                        and self._insertion_cell[0] == self._ff_own_epoch):
+                    return 0
+                self._ff_blocker = None
+            top = sim.peek_next()
+            if top is None:
+                return 0
+        inflight = self._inflight
+        if (top.owner is not self
+                or (info := inflight.get(top.label[:-6])) is None
+                or info[0] is not top):
             # A foreign event (disturbance) fires first; nothing to replay.
+            # Chunk completions are the only events a session owns (their
+            # labels are "<worker>:chunk"), so the ownership tag plus the
+            # in-flight identity check replace the old O(workers) id-set
+            # probe.  An owned event that is *not* the worker's current
+            # in-flight chunk (a stale chunk of a re-started session)
+            # counts as foreign too: it fires through the heap, exactly
+            # like the old probe treated it.
+            if use_horizon:
+                self._ff_blocker = top
+                self._ff_own_epoch = self._insertion_cell[0]
             return 0
 
-        # Lift our chunk events out of the heap; the replay owns them now.
-        heap: List[Tuple[float, int, str]] = []
-        meta: Dict[str, Tuple[int, float]] = {}
-        for worker_id, info in self._inflight.items():
-            info.event.cancel()
-            heap.append((info.event.time, info.event.sequence, worker_id))
-            meta[worker_id] = (info.steps, info.start_time)
-        heapq.heapify(heap)
-        self._inflight.clear()
-        foreign = sim.peek_next()
-        foreign_key = (foreign.time, foreign.sequence) if foreign is not None \
-            else (math.inf, -1)
+        # pending_events() inlined (len(queue) - cancelled): this runs once
+        # per span and fleets execute hundreds of thousands of short spans.
+        if len(sim._queue) - sim._cancelled_in_queue == len(inflight):
+            # Every pending event is one of this session's chunks: the
+            # whole remaining workload can drain through the bulk span
+            # (local heap, block draws, bulk trace appends).
+            return self._drain_span(budget)
 
-        # Span-constant quantities: cluster membership cannot change inside
-        # the span (membership changes arrive via foreign events), so the
-        # PS slowdown/utilization the chunked path recomputes per chunk are
-        # computed once.
+        # Fused span: foreign events are pending, so the span is bounded by
+        # the first one.  Each due chunk is popped off the heap (a true
+        # removal, no cancelled corpses), completed, and its successor
+        # scheduled straight back; because nothing else can insert events
+        # during the replay, the successor receives exactly the sequence
+        # number plain event-by-event execution would have assigned, so the
+        # two paths can hand execution back and forth at any span boundary
+        # without drifting.  Span-constant quantities (membership cannot
+        # change inside a span — membership changes arrive via foreign
+        # events) come from the memoized _span_speed_state.
         model = self.step_time_model
         gflops = self.job.profile.gflops
-        slowdown = self.current_slowdown()
-        ps_arg = max(0.0, self.current_utilization() - 0.5)
+        if self._speed_epoch == self._membership_epoch:
+            slowdown, _utilization, ps_arg = self._speed_cache
+        else:
+            slowdown, _utilization, ps_arg = self._span_speed_state()
+        steps_per = self.steps_per_event
+        total = self.job.total_steps
+        restart_until = self._restart_until
+        workers = self.workers
+        append_row = self.trace.step_records.append_row
+        schedule_at = sim.schedule_at
+        pop_next = sim.pop_next
+        peek_next = sim.peek_next
+        complete_chunk = self._complete_chunk
+
+        draw_params = self._draw_params
+        sample_chunk_raw = model.sample_chunk_raw
+        pops = 0
+        updates = 0
+        finished = False
+        now = sim.now
+        while True:
+            worker_id = top.label[:-6]
+            worker = workers[worker_id]
+            pop_next()
+            steps = info[1]
+            now = top.time
+            # --- completion (mirrors _complete_chunk) ---
+            worker.steps_done += steps
+            self._cluster_steps += steps
+            cluster = self._cluster_steps
+            updates += steps
+            pops += 1
+            append_row(worker_id, info[2], now, steps, cluster,
+                       worker.steps_done)
+            if cluster >= total:
+                del inflight[worker_id]
+                finished = True
+                break
+            checkpoint_delay = 0.0
+            if worker.is_chief and cluster >= self._next_checkpoint_step:
+                checkpoint_delay = self._perform_checkpoint(worker, now=now)
+            # --- next chunk (mirrors _schedule_chunk/_chunk_duration) ---
+            if worker.steps_done >= WARMUP_STEPS:
+                gpu = worker.gpu_name
+                params = draw_params.get(gpu)
+                if params is None:
+                    params = draw_params[gpu] = model.chunk_draw_params(
+                        gflops, gpu, ps_utilization=ps_arg, slowdown=slowdown)
+                floor = params[2]
+                duration = 0.0
+                for value in sample_chunk_raw(params, steps_per).tolist():
+                    # Inline max(floor, value): same float as np.maximum.
+                    duration += value if value > floor else floor
+            else:
+                samples = model.sample_steps(
+                    gflops, worker.gpu_name, steps_per,
+                    start_step_index=worker.steps_done,
+                    ps_utilization=ps_arg, slowdown=slowdown)
+                duration = 0.0
+                for value in samples.tolist():
+                    duration += value
+            delay = checkpoint_delay + duration
+            if now + checkpoint_delay < restart_until:
+                delay += restart_until - (now + checkpoint_delay)
+            start_time = now + delay - duration
+
+            def complete(_sim: Simulator, worker=worker, steps=steps_per,
+                         start_time=start_time) -> None:
+                complete_chunk(worker, steps, start_time)
+
+            event = schedule_at(now + delay, complete,
+                                label=f"{worker_id}:chunk", owner=self)
+            inflight[worker_id] = (event, steps_per, start_time)
+            if pops >= budget:
+                break
+            top = peek_next()
+            # The span ends at the first event that is not a live in-flight
+            # chunk of this session: foreign, or a stale own chunk of a
+            # re-started session.  Cache it as the new disturbance horizon
+            # — the epoch snapshot happens after this span's insertions, so
+            # the cached verdict is consistent.
+            if (top is None or top.owner is not self
+                    or (info := inflight.get(top.label[:-6])) is None
+                    or info[0] is not top):
+                if use_horizon and top is not None:
+                    self._ff_blocker = top
+                    self._ff_own_epoch = self._insertion_cell[0]
+                break
+
+        if pops:
+            self.ps_group.record_updates(updates)
+            self.fast_forward_chunks += pops
+            self.fast_forward_spans += 1
+        if finished:
+            # Remaining in-flight chunks stay scheduled and are cancelled
+            # by _finish, exactly like on the chunked path; their RNG draws
+            # were already consumed at scheduling time on both paths.
+            sim.advance_to(now)
+            self._finish()
+        return pops
+
+    def _drain_span(self, budget) -> int:
+        """Bulk replay when every pending event is one of this session's
+        own chunks (no foreign event anywhere — the single-session hot
+        path of ``BENCH_core``).
+
+        The chunk events are lifted into a local tuple heap (sequence
+        numbers for successors are pre-claimed so any chunk re-materialized
+        at a span boundary keeps the exact (time, sequence) ordering plain
+        execution would have produced), rows are staged and bulk-appended
+        in segments, and — when every worker is past warm-up with one
+        shared step-time distribution — whole segments of durations come
+        from single RNG calls (block mode).
+        """
+        sim = self.simulator
+        heap: List[Tuple[float, int, str]] = []
+        meta: Dict[str, Tuple[int, float]] = {}
+        while True:
+            event = sim.pop_next()
+            if event is None:
+                break
+            worker_id = event.label[:-6]  # strip ":chunk"
+            heap.append((event.time, event.sequence, worker_id))
+            info = self._inflight[worker_id]
+            meta[worker_id] = (info[1], info[2])
+        self._inflight.clear()
+        # Popped in heap order, so the list is already a valid min-heap.
+
+        # Span-constant quantities (membership cannot change mid-span).
+        model = self.step_time_model
+        gflops = self.job.profile.gflops
+        slowdown, _utilization, ps_arg = self._span_speed_state()
         steps_per = self.steps_per_event
         total = self.job.total_steps
         restart_until = self._restart_until
 
-        # Block mode: with no foreign event pending at all, the number of
-        # chunk completions left is fixed (each adds exactly steps_per
-        # steps), so when every worker is past warm-up and draws from the
-        # same step-time distribution, all remaining durations can come
-        # from one RNG call.  Which worker consumes each draw is decided by
-        # the replay, but with identical per-draw distributions the values
-        # are identical either way.
+        # Block mode: the number of chunk completions left is fixed (each
+        # adds exactly steps_per steps), so when every worker is past
+        # warm-up and draws from the same step-time distribution, all
+        # remaining durations can come from the same RNG stream run.
+        # Which worker consumes each draw is decided by the replay, but
+        # with identical per-draw distributions the values are identical
+        # either way.
         def all_past_warmup() -> bool:
             return all(self.workers[w].steps_done + meta[w][0] >= WARMUP_STEPS
                        for w in meta)
 
-        block_sums: Optional[List[float]] = None
+        block_mode = False
+        block_remaining = 0
+        block_gpu = ""
+        block_sums: List[float] = []
         block_index = 0
         upgrade_when_warm = False
-        if foreign is None:
-            distributions = {(model.mean_step_time(gflops, self.workers[w].gpu_name),
-                              model.noise_cov(self.workers[w].gpu_name))
-                             for w in meta}
-            if len(distributions) == 1:
-                if not all_past_warmup():
-                    # Replay chunk-by-chunk until warm-up ends, then return
-                    # so the next span can take the block draw.
-                    upgrade_when_warm = True
-                else:
-                    pops_left = -(-(total - self._cluster_steps) // steps_per)
-                    # The block draw commits to the whole remaining
-                    # workload's RNG consumption, so it is only taken when
-                    # the pop budget cannot cut the span short.
-                    if pops_left >= 2 and pops_left <= budget:
-                        any_worker = self.workers[next(iter(meta))]
-                        samples = model.sample_steps(
-                            gflops, any_worker.gpu_name,
-                            (pops_left - 1) * steps_per,
-                            start_step_index=WARMUP_STEPS,
-                            ps_utilization=ps_arg, slowdown=slowdown)
-                        chunk_matrix = samples.reshape(pops_left - 1, steps_per)
-                        # Left-to-right accumulation per chunk (column by
-                        # column) matches the scalar `duration += sample`
-                        # loop bit-for-bit; numpy's pairwise `sum` would not.
-                        acc = chunk_matrix[:, 0]
-                        for column in range(1, steps_per):
-                            acc = acc + chunk_matrix[:, column]
-                        block_sums = acc.tolist()
+        distributions = {(model.mean_step_time(gflops, self.workers[w].gpu_name),
+                          model.noise_cov(self.workers[w].gpu_name))
+                         for w in meta}
+        if len(distributions) == 1:
+            if not all_past_warmup():
+                # Replay chunk-by-chunk until warm-up ends, then return so
+                # the next span can take the block draw.
+                upgrade_when_warm = True
+            else:
+                pops_left = -(-(total - self._cluster_steps) // steps_per)
+                # The block draws commit to the whole remaining workload's
+                # RNG consumption, so they are only taken when the pop
+                # budget cannot cut the span short.  The draws happen
+                # lazily in FASTFORWARD_SEGMENT_CHUNKS pieces to bound peak
+                # memory; segmented normal fills consume the bit stream
+                # exactly like one big fill, so the durations are
+                # unchanged.
+                if pops_left >= 2 and pops_left <= budget:
+                    block_mode = True
+                    block_remaining = pops_left - 1
+                    block_gpu = self.workers[next(iter(meta))].gpu_name
 
         rec_workers: List[str] = []
         rec_starts: List[float] = []
@@ -463,6 +697,16 @@ class TrainingSession:
         rec_steps: List[int] = []
         rec_clusters: List[int] = []
         rec_worker_steps: List[int] = []
+
+        def flush_rows() -> None:
+            # Staged rows land in the trace in segments so a long block
+            # span never holds the whole workload's rows in Python lists.
+            self.trace.step_records.extend_rows(
+                rec_workers, rec_starts, rec_ends, rec_steps, rec_clusters,
+                rec_worker_steps)
+            del rec_workers[:], rec_starts[:], rec_ends[:]
+            del rec_steps[:], rec_clusters[:], rec_worker_steps[:]
+
         pops = 0
         updates = 0
         finished = False
@@ -470,10 +714,7 @@ class TrainingSession:
         while heap:
             if pops >= budget:
                 break
-            time, sequence, worker_id = heap[0]
-            if (time, sequence) >= foreign_key:
-                break
-            heapq.heappop(heap)
+            time, sequence, worker_id = heapq.heappop(heap)
             worker = self.workers[worker_id]
             steps, start_time = meta.pop(worker_id)
             now = time
@@ -489,6 +730,8 @@ class TrainingSession:
             rec_steps.append(steps)
             rec_clusters.append(cluster)
             rec_worker_steps.append(worker.steps_done)
+            if len(rec_workers) >= FASTFORWARD_SEGMENT_CHUNKS:
+                flush_rows()
             if cluster >= total:
                 finished = True
                 break
@@ -496,7 +739,23 @@ class TrainingSession:
             if worker.is_chief and cluster >= self._next_checkpoint_step:
                 checkpoint_delay = self._perform_checkpoint(worker, now=now)
             # --- next chunk (mirrors _schedule_chunk/_chunk_duration) ---
-            if block_sums is not None:
+            if block_mode:
+                if block_index == len(block_sums):
+                    segment = min(FASTFORWARD_SEGMENT_CHUNKS, block_remaining)
+                    samples = model.sample_steps(
+                        gflops, block_gpu, segment * steps_per,
+                        start_step_index=WARMUP_STEPS,
+                        ps_utilization=ps_arg, slowdown=slowdown)
+                    chunk_matrix = samples.reshape(segment, steps_per)
+                    # Left-to-right accumulation per chunk (column by
+                    # column) matches the scalar `duration += sample` loop
+                    # bit-for-bit; numpy's pairwise `sum` would not.
+                    acc = chunk_matrix[:, 0]
+                    for column in range(1, steps_per):
+                        acc = acc + chunk_matrix[:, column]
+                    block_sums = acc.tolist()
+                    block_index = 0
+                    block_remaining -= segment
                 duration = block_sums[block_index]
                 block_index += 1
             else:
@@ -516,9 +775,8 @@ class TrainingSession:
                 break
 
         if pops:
-            self.trace.step_records.extend_rows(
-                rec_workers, rec_starts, rec_ends, rec_steps, rec_clusters,
-                rec_worker_steps)
+            if rec_workers:
+                flush_rows()
             self.ps_group.record_updates(updates)
             self.fast_forward_chunks += pops
             self.fast_forward_spans += 1
@@ -541,9 +799,8 @@ class TrainingSession:
 
             event = sim.schedule_at(time, complete,
                                     label=f"{worker_id}:chunk",
-                                    sequence=sequence)
-            self._inflight[worker_id] = _InflightChunk(
-                event=event, steps=steps, start_time=start_time)
+                                    sequence=sequence, owner=self)
+            self._inflight[worker_id] = (event, steps, start_time)
         return pops
 
     # ------------------------------------------------------------------
@@ -562,9 +819,10 @@ class TrainingSession:
         if not worker.active:
             return worker
         worker.revoke(self.simulator.now)
+        self._membership_epoch += 1
         pending = self._inflight.pop(worker_id, None)
         if pending is not None:
-            pending.event.cancel()
+            pending[0].cancel()
         self.trace.revocation_records.append(RevocationRecord(
             worker_id=worker_id, time=self.simulator.now,
             cluster_step=self._cluster_steps, was_chief=worker.is_chief))
@@ -638,20 +896,54 @@ class TrainingSession:
         measures the restart at roughly ten seconds (Section VI-B).
         """
         self.ps_group.add_servers(count)
+        self._membership_epoch += 1
         self._restart_until = max(self._restart_until,
                                   self.simulator.now + SESSION_RESTART_SECONDS)
 
-    def fast_forward(self, max_pops: Optional[int] = None) -> int:
+    def fast_forward(self, max_pops: Optional[int] = None,
+                     top: Optional[Event] = None) -> int:
         """Public fast-forward hook for multi-session drivers.
+
+        ``top``, when given, must be the caller's fresh ``peek_next()``
+        result; the wake-set scheduler passes it so the heap is not peeked
+        a second time.
 
         :mod:`repro.scenarios` runs many sessions on one simulator; each
         session can only replay spans while the next event due is one of its
-        *own* chunk completions, so a fleet loop offers every unfinished
-        session a turn before falling back to one heap step.  Returns the
-        number of chunk completions replayed (0 when the next event is
-        foreign, the session is finished, or fast-forward is disabled).
+        *own* chunk completions, so a fleet driver either offers every
+        unfinished session a turn (the round-robin reference scheduler) or
+        maps the heap top to its owning session via the event ownership
+        tags (the wake-set scheduler).  Returns the number of chunk
+        completions replayed (0 when the next event is foreign, the session
+        is finished, or fast-forward is disabled).  Declined offers are
+        cached against the blocking foreign event, so repeated offers to an
+        undisturbed session cost no heap peeks.
         """
-        return self._fast_forward(max_pops)
+        return self._fast_forward(max_pops, top=top)
+
+    def fast_forward_probed(self, max_pops: Optional[int] = None) -> int:
+        """The PR 3 fast-forward offer, kept verbatim for benchmarking.
+
+        This reproduces the original multi-session offer path — one heap
+        peek plus an O(workers) id-set probe of the top event against this
+        session's in-flight chunks, with no disturbance-horizon caching —
+        so the round-robin reference scheduler
+        (``REPRO_FLEET_SCHEDULER=roundrobin``) keeps the old fleet loop's
+        *cost model* as well as its payloads, making
+        ``benchmarks/fleet_baseline.py`` an honest before/after of the
+        wake-set redesign.  Everything past the probe is shared with
+        :meth:`fast_forward`, so the replayed spans stay bit-identical.
+        """
+        if self._finished or not self.fast_forward_enabled or not self._inflight:
+            return 0
+        top = self.simulator.peek_next()
+        if top is None:
+            return 0
+        chunk_event_ids = {id(info[0]) for info in self._inflight.values()}
+        if id(top) not in chunk_event_ids:
+            # A foreign event (disturbance) fires first; nothing to replay.
+            return 0
+        return self._fast_forward(max_pops, top=top)
 
     # ------------------------------------------------------------------
     # Convenience runners.

@@ -16,10 +16,22 @@ buffers rather than a Python object, and the trace statistics
 The array implementations reproduce the original record-by-record loops
 bit for bit — same ordering, same floating-point expressions — which the
 regression tests in ``tests/test_trace_columns.py`` pin down.
+
+Memory is bounded two ways.  The growable buffers double geometrically only
+up to :data:`GROWTH_CAP_ROWS` rows and then grow linearly by that cap, so a
+long session never over-allocates more than one cap's worth of slack, and
+:meth:`StepRecordArray.shrink_to_fit` (called by the training session when
+the workload finishes) trims the slack entirely.  For fleet-scale runs that
+only need end-of-run aggregates, :class:`StepRecordSummary` is a drop-in
+*sink* with the same ``append``/``append_row``/``extend_rows`` surface that
+keeps O(1) running aggregates (row/step totals, time bounds, per-worker
+step counts) and stores no rows at all — the ``trace_level="summary"``
+mode of :class:`~repro.training.session.TrainingSession`.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -35,6 +47,11 @@ DEFAULT_WARMUP_STEPS = 100
 #: Window (in steps) over which training speed is averaged, matching the
 #: paper's "we averaged the training speed every 100 steps".
 DEFAULT_SPEED_WINDOW_STEPS = 100
+
+#: Buffer growth switches from doubling to linear at this many rows, so the
+#: worst-case over-allocation of a huge trace is one cap (~3 MB of columns)
+#: instead of the trace's own size again.
+GROWTH_CAP_ROWS = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -113,13 +130,31 @@ class StepRecordArray(Sequence):
         capacity = len(self._widx)
         if needed <= capacity:
             return
+        capacity = max(capacity, self._INITIAL_CAPACITY)
         while capacity < needed:
-            capacity *= 2
+            if capacity < GROWTH_CAP_ROWS:
+                capacity = min(capacity * 2, GROWTH_CAP_ROWS)
+            else:
+                capacity += GROWTH_CAP_ROWS
+        self._resize(capacity)
+
+    def _resize(self, capacity: int) -> None:
         for name in ("_widx", "_start", "_end", "_steps", "_cluster", "_wstep"):
             old = getattr(self, name)
             grown = np.empty(capacity, dtype=old.dtype)
             grown[:self._size] = old[:self._size]
             setattr(self, name, grown)
+
+    def shrink_to_fit(self) -> None:
+        """Trim the column buffers to the live row count.
+
+        Sessions call this when the workload finishes: a completed trace is
+        read, not appended to, so the geometric growth slack (up to one
+        :data:`GROWTH_CAP_ROWS` worth of rows) is returned to the allocator.
+        Appending afterwards still works — the buffers simply regrow.
+        """
+        if len(self._widx) > self._size:
+            self._resize(self._size)
 
     def _intern(self, worker_id: str) -> int:
         index = self._name_index.get(worker_id)
@@ -140,9 +175,13 @@ class StepRecordArray(Sequence):
     def append_row(self, worker_id: str, start_time: float, end_time: float,
                    steps: int, cluster_step: int, worker_step: int = 0) -> None:
         """Append one row from scalars, skipping StepRecord construction."""
-        self._reserve(1)
         i = self._size
-        self._widx[i] = self._intern(worker_id)
+        if i >= len(self._widx):
+            self._reserve(1)
+        index = self._name_index.get(worker_id)
+        if index is None:
+            index = self._intern(worker_id)
+        self._widx[i] = index
         self._start[i] = start_time
         self._end[i] = end_time
         self._steps[i] = steps
@@ -159,6 +198,13 @@ class StepRecordArray(Sequence):
                 == len(cluster_steps) == len(worker_steps) == n):
             raise DataError("extend_rows requires equally sized columns")
         if n == 0:
+            return
+        if n <= 4:
+            # Scalar writes beat six numpy slice assignments for the tiny
+            # bulks the fleet's short fast-forward spans produce.
+            for j in range(n):
+                self.append_row(worker_ids[j], start_times[j], end_times[j],
+                                steps[j], cluster_steps[j], worker_steps[j])
             return
         self._reserve(n)
         i = self._size
@@ -268,6 +314,120 @@ class StepRecordArray(Sequence):
         return (self._widx.nbytes + self._start.nbytes + self._end.nbytes
                 + self._steps.nbytes + self._cluster.nbytes + self._wstep.nbytes)
 
+    # ------------------------------------------------------------------
+    # Aggregates shared with :class:`StepRecordSummary`.
+    # ------------------------------------------------------------------
+    @property
+    def steps_total(self) -> int:
+        """Sum of the steps column (negative restart corrections included)."""
+        return int(self.step_counts.sum())
+
+    @property
+    def max_end_time(self) -> float:
+        """Latest chunk end time, or 0.0 for an empty trace."""
+        return float(self.end_times.max()) if self._size else 0.0
+
+
+class StepRecordSummary:
+    """Aggregates-only stand-in for :class:`StepRecordArray`.
+
+    The ``trace_level="summary"`` sink: it accepts the same ``append`` /
+    ``append_row`` / ``extend_rows`` calls the session and its fast-forward
+    path make, maintains O(1) running aggregates — row count, step total,
+    time bounds, per-worker step totals — and stores no per-step rows, so a
+    500-job fleet's traces stay a few hundred bytes each.  Everything the
+    fleet payload and the CM-DARE controller read (``len``, the trace's
+    ``end_time``/``duration``, session counters) keeps working; the
+    row-level statistics (``cluster_speed``, ``speed_series``,
+    ``worker_step_times``) raise :class:`~repro.errors.DataError` because
+    the rows they need were never kept.
+    """
+
+    def __init__(self):
+        self._rows = 0
+        self._steps_total = 0
+        self._first_start = math.inf
+        self._max_end = 0.0
+        self._worker_steps: Dict[str, int] = {}
+
+    # -- mutation (mirrors the StepRecordArray write surface) ----------
+    def append(self, record: StepRecord) -> None:
+        self.append_row(record.worker_id, record.start_time, record.end_time,
+                        record.steps, record.cluster_step, record.worker_step)
+
+    def append_row(self, worker_id: str, start_time: float, end_time: float,
+                   steps: int, cluster_step: int, worker_step: int = 0) -> None:
+        del cluster_step
+        self._rows += 1
+        self._steps_total += steps
+        if start_time < self._first_start:
+            self._first_start = start_time
+        if end_time > self._max_end:
+            self._max_end = end_time
+        if worker_step:
+            self._worker_steps[worker_id] = worker_step
+
+    def extend_rows(self, worker_ids: Sequence[str], start_times: Sequence[float],
+                    end_times: Sequence[float], steps: Sequence[int],
+                    cluster_steps: Sequence[int], worker_steps: Sequence[int]) -> None:
+        n = len(worker_ids)
+        if not (len(start_times) == len(end_times) == len(steps)
+                == len(cluster_steps) == len(worker_steps) == n):
+            raise DataError("extend_rows requires equally sized columns")
+        if n == 0:
+            return
+        self._rows += n
+        self._steps_total += int(sum(steps))
+        first = min(start_times)
+        if first < self._first_start:
+            self._first_start = first
+        last = max(end_times)
+        if last > self._max_end:
+            self._max_end = last
+        for worker_id, worker_step in zip(worker_ids, worker_steps):
+            if worker_step:
+                self._worker_steps[worker_id] = worker_step
+
+    # -- aggregates ----------------------------------------------------
+    def __len__(self) -> int:
+        return self._rows
+
+    @property
+    def steps_total(self) -> int:
+        """Sum of all appended step counts."""
+        return self._steps_total
+
+    @property
+    def max_end_time(self) -> float:
+        """Latest chunk end time seen, or 0.0 when nothing was appended."""
+        return self._max_end
+
+    @property
+    def first_start_time(self) -> float:
+        """Earliest chunk start time seen (``inf`` when empty)."""
+        return self._first_start
+
+    @property
+    def worker_names(self) -> Tuple[str, ...]:
+        """Workers that reported a cumulative step count."""
+        return tuple(self._worker_steps)
+
+    def worker_steps_done(self, worker_id: str) -> int:
+        """Last cumulative step count reported by one worker (0 if none)."""
+        return self._worker_steps.get(worker_id, 0)
+
+    def shrink_to_fit(self) -> None:
+        """No-op: a summary holds no buffers to trim."""
+
+    @property
+    def nbytes(self) -> int:
+        """Rough footprint; a summary keeps no row data."""
+        return 64 * (1 + len(self._worker_steps))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"StepRecordSummary({self._rows} rows folded, "
+                f"{self._steps_total} steps, {len(self._worker_steps)} workers)")
+
 
 @dataclass(frozen=True)
 class CheckpointRecord:
@@ -318,7 +478,10 @@ class TrainingTrace:
 
     model_name: str
     cluster_description: str
-    step_records: StepRecordArray = field(default_factory=StepRecordArray)
+    #: Per-worker chunk completions: the columnar array by default, or a
+    #: :class:`StepRecordSummary` sink for ``trace_level="summary"`` runs.
+    step_records: Union[StepRecordArray, StepRecordSummary] = field(
+        default_factory=StepRecordArray)
     checkpoint_records: List[CheckpointRecord] = field(default_factory=list)
     revocation_records: List[RevocationRecord] = field(default_factory=list)
     replacement_records: List[ReplacementRecord] = field(default_factory=list)
@@ -331,7 +494,7 @@ class TrainingTrace:
     @property
     def total_steps(self) -> int:
         """Total training steps completed across all workers."""
-        return int(self.step_records.step_counts.sum())
+        return int(self.step_records.steps_total)
 
     @property
     def duration(self) -> float:
@@ -340,11 +503,26 @@ class TrainingTrace:
             return self.end_time - self.start_time
         if not len(self.step_records):
             return 0.0
-        return float(self.step_records.end_times.max()) - self.start_time
+        return self.step_records.max_end_time - self.start_time
+
+    def _step_columns(self) -> StepRecordArray:
+        """The columnar step records, or a DataError for summary traces."""
+        records = self.step_records
+        if isinstance(records, StepRecordSummary):
+            raise DataError(
+                "this trace was recorded with trace_level='summary'; "
+                "per-step rows were not kept")
+        return records
 
     def worker_ids(self) -> List[str]:
-        """All workers that contributed steps, in first-appearance order."""
-        return list(self.step_records.worker_names)
+        """All workers that contributed steps, in first-appearance order.
+
+        Raises:
+            DataError: For ``trace_level="summary"`` traces — the summary
+                sink cannot reproduce first-appearance order (query its
+                :attr:`StepRecordSummary.worker_names` aggregate instead).
+        """
+        return list(self._step_columns().worker_names)
 
     # ------------------------------------------------------------------
     # Speed statistics (Table I, Fig. 2, Fig. 4).
@@ -355,7 +533,7 @@ class TrainingTrace:
         The first ``warmup_steps`` cluster steps are discarded, following
         the paper's methodology.
         """
-        records = self.step_records
+        records = self._step_columns()
         mask = records.cluster_step_counts > warmup_steps
         if not mask.any():
             raise DataError("not enough steps beyond the warm-up window")
@@ -376,7 +554,7 @@ class TrainingTrace:
         """
         if window_steps <= 0:
             raise DataError("window_steps must be positive")
-        records = self.step_records
+        records = self._step_columns()
         n = len(records)
         if n == 0:
             return []
@@ -467,7 +645,7 @@ class TrainingTrace:
         The worker's *own* first ``warmup_steps`` steps are discarded, which
         mirrors how the paper measures individual workers with TFProf.
         """
-        records = self.step_records
+        records = self._step_columns()
         index = records.worker_index(worker_id)
         if index is not None:
             mask = ((records.worker_indices == index)

@@ -53,6 +53,20 @@ def hour_bin(hour: float) -> int:
     """
     return int(math.floor(wrap_hour(hour)))
 
+
+def hour_bins(hours) -> "np.ndarray":
+    """Vectorized :func:`hour_bin`: an int64 bin (0-23) per element.
+
+    Elementwise identical to ``[hour_bin(h) for h in hours]`` — the same
+    wrap (including the tiny-negative remainder edge) and the same floor —
+    in three array operations.  Used by the batched revocation sampler.
+    """
+    import numpy as np
+
+    wrapped = np.asarray(hours, dtype=np.float64) % HOURS_PER_DAY
+    wrapped = np.where(wrapped < HOURS_PER_DAY, wrapped, 0.0)
+    return np.floor(wrapped).astype(np.int64)
+
 # ---------------------------------------------------------------------------
 # Data sizes.
 # ---------------------------------------------------------------------------

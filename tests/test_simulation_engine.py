@@ -217,3 +217,47 @@ def test_cancel_after_fire_keeps_accounting_consistent():
     first.cancel()   # cancelling an already-fired event is a no-op
     second.cancel()
     assert sim.pending_events() == 0
+
+
+# ---------------------------------------------------------------------------
+# Fleet-scale hooks (PR 4): ownership tags, insertion epochs, pop_next.
+# ---------------------------------------------------------------------------
+def test_event_ownership_and_insertion_epochs():
+    sim = Simulator()
+    owner_a, owner_b = object(), object()
+    assert sim.owner_insertions(owner_a) == 0
+    cell = sim.owner_insertion_cell(owner_a)
+    assert cell == [0]
+    event = sim.schedule(1.0, lambda s: None, owner=owner_a)
+    assert event.owner is owner_a
+    sim.schedule(2.0, lambda s: None, owner=owner_a)
+    sim.schedule(3.0, lambda s: None, owner=owner_b)
+    sim.schedule(4.0, lambda s: None)  # untagged
+    assert sim.owner_insertions(owner_a) == 2
+    assert cell[0] == 2  # the live cell tracks the same counter
+    assert sim.owner_insertions(owner_b) == 1
+    assert sim.peek_next().owner is owner_a
+
+
+def test_pop_next_removes_without_firing():
+    sim = Simulator()
+    fired = []
+    first = sim.schedule(1.0, lambda s: fired.append("first"))
+    sim.schedule(2.0, lambda s: fired.append("second"))
+    popped = sim.pop_next()
+    assert popped is first and fired == []
+    assert sim.pending_events() == 1
+    # The popped event can be re-inserted with its original sequence and
+    # fires in its original position.
+    sim.schedule_at(first.time, first.callback, sequence=first.sequence)
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_pop_next_skips_cancelled_corpses():
+    sim = Simulator()
+    doomed = sim.schedule(0.5, lambda s: None)
+    survivor = sim.schedule(1.0, lambda s: None)
+    doomed.cancel()
+    assert sim.pop_next() is survivor
+    assert sim.pop_next() is None

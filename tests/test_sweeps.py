@@ -1,6 +1,7 @@
 """Tests for the parallel sweep-orchestration subsystem."""
 
 import json
+import warnings
 
 import pytest
 
@@ -234,19 +235,31 @@ def test_cache_ignores_corrupt_entries(tmp_path):
     spec = SweepSpec("probe", axes={"x": [1]}, fixed={"factor": 2})
     runner = SweepRunner(workers=1, cache_dir=tmp_path, seed=0)
     first = runner.run(spec, _probe_cell)
-    # Corrupt the entry the runner actually wrote: invalid JSON,
+    # Corrupt the entry the runner actually wrote — e.g. a worker killed
+    # mid-write leaving a truncated file: invalid JSON,
     # valid-JSON-wrong-shape, and missing-payload contents are all treated
-    # as misses, never crashes.
+    # as misses (with a warning naming the file), never crashes, and the
+    # recomputed cell overwrites the poisoned entry.
     cache = SweepCache(tmp_path)
     path = next(tmp_path.glob("probe/*.json"))
-    for garbage in ("{not json", "null", "[]", '{"version": 1}'):
+    for garbage in ("{not json", '{"version": 1, "trunc', "null", "[]",
+                    '{"version": 1}'):
         path.write_text(garbage)
-        again = SweepRunner(workers=1, cache_dir=tmp_path, seed=0).run(
-            spec, _probe_cell)
+        with pytest.warns(RuntimeWarning, match="sweep-cache cell"):
+            again = SweepRunner(workers=1, cache_dir=tmp_path, seed=0).run(
+                spec, _probe_cell)
         assert again.cache_misses == 1
         assert again.payloads() == first.payloads()
-    # Direct cache reads of an absent entry also miss cleanly.
-    assert cache.get(spec.cells()[0], 0, "no-such-context") is MISS
+    # An entry from an older cache format version is a *silent* miss (not
+    # corruption), and an absent entry also misses cleanly.
+    cell = spec.cells()[0]
+    stale = cache.path_for(cell, 0, None)
+    stale.parent.mkdir(parents=True, exist_ok=True)
+    stale.write_text('{"version": -1, "payload": 42, "params": {}}')
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert cache.get(cell, 0, None) is MISS
+        assert cache.get(cell, 0, "no-such-context") is MISS
 
 
 def test_resume_after_partial_run(tmp_path):

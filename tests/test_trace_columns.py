@@ -186,3 +186,72 @@ def test_empty_and_degenerate_traces():
         trace.worker_step_times("w0")
     with pytest.raises(DataError):
         trace.speed_series(window_steps=0)
+
+
+# ---------------------------------------------------------------------------
+# Bounded-memory behaviour (PR 4): growth cap, shrink-to-fit, summary sink.
+# ---------------------------------------------------------------------------
+def test_growth_cap_switches_to_linear(monkeypatch):
+    from repro.training import trace as trace_module
+
+    monkeypatch.setattr(trace_module, "GROWTH_CAP_ROWS", 128)
+    records = StepRecordArray()
+    for i in range(1000):
+        records.append_row("w0", float(i), float(i + 1), 10, (i + 1) * 10,
+                           (i + 1) * 10)
+    # Beyond the cap, capacity grows by at most one cap per resize instead
+    # of doubling, so the slack never exceeds one cap's worth of rows.
+    assert len(records._widx) - len(records) <= 128
+    assert records[999].cluster_step == 10_000
+
+
+def test_shrink_to_fit_trims_and_stays_appendable():
+    records = StepRecordArray()
+    for i in range(100):
+        records.append_row("w0", float(i), float(i + 1), 10, (i + 1) * 10)
+    assert len(records._widx) > len(records)
+    before = list(records)
+    records.shrink_to_fit()
+    assert len(records._widx) == len(records) == 100
+    assert list(records) == before
+    records.append_row("w1", 100.0, 101.0, 10, 1010)
+    assert len(records) == 101 and records[100].worker_id == "w1"
+
+
+def test_step_record_summary_folds_aggregates():
+    from repro.training.trace import StepRecordSummary
+
+    summary = StepRecordSummary()
+    summary.append(StepRecord("w0", 0.0, 1.5, 10, 10, 10))
+    summary.append_row("w1", 1.0, 2.5, 10, 20, 10)
+    summary.extend_rows(["w0", "w1"], [2.0, 2.2], [3.0, 3.4], [10, 10],
+                        [30, 40], [20, 20])
+    assert len(summary) == 4
+    assert summary.steps_total == 40
+    assert summary.max_end_time == 3.4
+    assert summary.first_start_time == 0.0
+    assert set(summary.worker_names) == {"w0", "w1"}
+    assert summary.worker_steps_done("w1") == 20
+    summary.shrink_to_fit()  # no-op, but part of the shared sink surface
+    assert summary.nbytes < 1024
+    with pytest.raises(DataError):
+        summary.extend_rows(["w0"], [], [], [], [], [])
+
+
+def test_summary_trace_keeps_aggregates_but_refuses_row_statistics():
+    from repro.training.trace import StepRecordSummary
+
+    trace = TrainingTrace(model_name="m", cluster_description="c",
+                          step_records=StepRecordSummary())
+    trace.step_records.append_row("w0", 0.0, 2.0, 10, 10, 10)
+    assert trace.total_steps == 10
+    assert trace.duration == 2.0  # falls back to the max end time
+    with pytest.raises(DataError):
+        trace.cluster_speed()
+    with pytest.raises(DataError):
+        trace.speed_series()
+    with pytest.raises(DataError):
+        trace.worker_step_times("w0")
+    # summary() degrades gracefully: aggregates only, no speed.
+    assert trace.summary()["total_steps"] == 10.0
+    assert "cluster_speed" not in trace.summary()
