@@ -1,11 +1,13 @@
 """Fleet scenarios: contention regimes the paper's single jobs never reach.
 
-Runs the four named fleet scenarios through the sweep engine and checks
-the fleet-level contracts: the stable-region fleet absorbs its (rare)
+Runs the named fleet scenarios through the sweep engine and checks the
+fleet-level contracts: the stable-region fleet absorbs its (rare)
 revocations, the revocation storm sees pool-level revocations clustered at
-the Fig. 9 peak hours, and the capacity crunch reports a nonzero
+the Fig. 9 peak hours, the capacity crunch reports a nonzero
 replacement-denial rate while the storm (with headroom and queuing) denies
-nothing.
+nothing, the warm-reuse fleet re-acquires reclaimed servers through the
+Fig. 10 warm path, and a pool-size x queue-policy frontier sweep renders
+the cost/makespan frontier table.
 """
 
 from __future__ import annotations
@@ -13,8 +15,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.scenarios import (
+    fleet_frontier_table,
     fleet_hour_histogram,
     fleet_summary_table,
+    frontier_rows,
     get_scenario,
     run_scenario,
 )
@@ -68,6 +72,46 @@ def test_fleet_storm_vs_crunch_contention(benchmark, catalog, sweep_workers,
     assert histogram.sum() > 0
     assert histogram[8:14].sum() >= histogram.sum() / 2
     assert int(np.argmax(histogram)) in range(8, 15)
+
+
+def test_fleet_warm_reuse_takes_the_warm_path(benchmark, catalog,
+                                              sweep_workers, sweep_cache_dir):
+    result = benchmark.pedantic(
+        lambda: _run("warm_reuse", catalog, sweep_workers, sweep_cache_dir),
+        rounds=1, iterations=1)
+    print()
+    print(fleet_summary_table(result))
+    payloads = result.payloads()
+    # The storm's queued replacements re-acquire reclaimed servers warm.
+    assert sum(p["replacements_warm"] for p in payloads) > 0
+    assert max(p["warm_reuse_rate"] for p in payloads) > 0.0
+    assert all(0.0 <= p["warm_reuse_rate"] <= 1.0 for p in payloads)
+
+
+def test_fleet_frontier_sweep_over_pool_and_policy(benchmark, catalog,
+                                                   sweep_workers,
+                                                   sweep_cache_dir):
+    """A two-axis frontier over the crunch: more pool or queueing both
+    change the cost/makespan trade-off, and the table flags the frontier."""
+    result = benchmark.pedantic(
+        lambda: run_scenario(get_scenario("capacity_crunch"), replicates=2,
+                             seed=0, workers=sweep_workers,
+                             cache_dir=sweep_cache_dir, catalog=catalog,
+                             pool_sizes=(1.0, 1.5),
+                             queue_policies=("deny", "queue")),
+        rounds=1, iterations=1)
+    print()
+    print(fleet_frontier_table(result))
+    headers, rows = frontier_rows(result)
+    assert len(rows) == 4
+    assert any(row[-1] == "*" for row in rows)
+    # The denial-rate column is always a finite fraction, even for combos
+    # whose fleets never requested a replacement.
+    denial_column = headers.index("denial rate")
+    assert all(0.0 <= row[denial_column] <= 1.0 for row in rows)
+    # A strictly larger pool can only lower the pooled denial rate.
+    by_combo = {(row[0], row[1]): row[denial_column] for row in rows}
+    assert by_combo[(1.5, "deny")] <= by_combo[(1.0, "deny")]
 
 
 def test_fleet_multi_region_heterogeneous(benchmark, catalog, sweep_workers,

@@ -1,12 +1,18 @@
 """Fleet contention, end to end.
 
-Simulates two fleets that differ only in pool slack: a revocation storm
-with enough headroom to absorb every revocation, and a capacity crunch
-whose pool exactly covers the initial fleet — so every replacement request
-after a revocation is denied and jobs limp on degraded.  Both fan out
-through the sweep engine (serial == parallel bit-for-bit, cached in
-``.fleet-cache/``), then print the fleet-level tables and the local-hour
-revocation histogram (the Fig. 9 clustering, now at pool level).
+Simulates four fleets across the contention regimes: a revocation storm
+with enough headroom to absorb every revocation, a capacity crunch whose
+pool exactly covers the initial fleet — so every replacement request after
+a revocation is denied and jobs limp on degraded — the same storm with a
+*warm pool* (reclaimed capacity returns as still-running servers that
+queued replacements re-acquire through the Fig. 10 warm path), and the
+crunch with a spare stable region plus *adaptive placement* (the
+pool-aware launch advisor spreads the fleet and redirects denied
+replacements).  All fan out through the sweep engine (serial == parallel
+bit-for-bit, cached in ``.fleet-cache/``), then print the fleet-level
+tables, a pool-size x queue-policy cost/makespan frontier, and the
+local-hour revocation histogram (the Fig. 9 clustering, now at pool
+level).
 
 Run with::
 
@@ -15,11 +21,14 @@ Run with::
 The same scenarios are available from the command line::
 
     python -m repro.scenarios run capacity_crunch --workers 2 --cache-dir .fleet-cache
+    python -m repro.scenarios run revocation_storm --warm-seconds 3600
+    python -m repro.scenarios run capacity_crunch --placement adaptive
 """
 
 from __future__ import annotations
 
 from repro.scenarios import (
+    fleet_frontier_table,
     fleet_hour_histogram,
     fleet_summary_table,
     get_scenario,
@@ -42,6 +51,40 @@ def main() -> None:
         denied = sum(p["replacements_denied"] for p in payloads)
         admitted = sum(p["replacements_admitted"] for p in payloads)
         print(f"    replacements admitted={admitted} denied={denied}\n")
+
+    # The warm-reuse variant of the storm: how many of the absorbed
+    # replacements dodged the ~75 s cold boot by re-acquiring a warm server?
+    scenario = get_scenario("warm_reuse")
+    print(f"=== {scenario.name}: {scenario.description}")
+    result = run_scenario(scenario, replicates=2, seed=0, workers=2,
+                          cache_dir=CACHE_DIR)
+    print(fleet_summary_table(result))
+    for payload in result.payloads():
+        print(f"    warm replacements: {payload['replacements_warm']} "
+              f"({payload['warm_reuse_rate']:.0%} of grants)")
+    print()
+
+    # The adaptive-placement variant of the crunch: the advisor spreads
+    # the fleet toward the spare stable region and redirects replacements
+    # a static fleet would have had denied.
+    scenario = get_scenario("adaptive_placement")
+    print(f"=== {scenario.name}: {scenario.description}")
+    result = run_scenario(scenario, replicates=2, seed=0, workers=2,
+                          cache_dir=CACHE_DIR)
+    print(fleet_summary_table(result))
+    for payload in result.payloads():
+        print(f"    denial rate: {payload['replacement_denial_rate']:.2f} "
+              f"(redirected {payload['placements_redirected']}); compare "
+              f"the static crunch above")
+    print()
+
+    # Beyond replicates: a pool-size x queue-policy frontier over the
+    # crunch, rendered as the cost/makespan frontier table ('*' = Pareto).
+    result = run_scenario(get_scenario("capacity_crunch"), replicates=2,
+                          seed=0, workers=2, cache_dir=CACHE_DIR,
+                          pool_sizes=(1.0, 1.5), queue_policies=("deny", "queue"))
+    print(fleet_frontier_table(result))
+    print()
 
     # Where did the revocations land, in local wall-clock hours?  The
     # fleets launch at 9:30 AM europe-west1 time, inside the K80 peak.

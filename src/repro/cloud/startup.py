@@ -104,6 +104,18 @@ _REPLACEMENT_MEANS: Dict[str, Tuple[float, float]] = {
 _REPLACEMENT_COV_IMMEDIATE = 0.12
 _REPLACEMENT_COV_DELAYED = 0.03
 
+#: Warm re-acquisition handshake (seconds): taking over an already-running
+#: server skips all three startup stages entirely (Fig. 10's warm start has
+#: no server-startup component at all); the only server-side cost left is
+#: the control-plane handshake that reassigns the instance.  Mild per-GPU
+#: spread mirrors the replacement-path means above.
+_WARM_REACQUIRE_MEANS: Dict[str, float] = {
+    "k80": 2.5,
+    "p100": 2.7,
+    "v100": 2.8,
+}
+_WARM_REACQUIRE_COV = 0.20
+
 
 def _truncated_normal(rng: np.random.Generator, mean: float, cov: float,
                       minimum: float = 0.5) -> float:
@@ -178,3 +190,23 @@ class StartupTimeModel:
         mean = self.replacement_mean(gpu_name, immediate)
         cov = _REPLACEMENT_COV_IMMEDIATE if immediate else _REPLACEMENT_COV_DELAYED
         return _truncated_normal(self._rng, mean, cov, minimum=5.0)
+
+    # ------------------------------------------------------------------
+    # Warm re-acquisition of an already-running server (Fig. 10 warm path).
+    # ------------------------------------------------------------------
+    def warm_reacquire_mean(self, gpu_name: str) -> float:
+        """Mean handshake time (seconds) to re-acquire a warm server.
+
+        A warm start reuses a server that is already provisioned, staged,
+        and booted, so none of the Fig. 6 stages apply; what remains is the
+        short control-plane handshake that hands the running instance to
+        the new owner.  Used by the fleet warm-replacement path
+        (:class:`repro.scenarios.pool.TransientPool` with warm capacity).
+        """
+        gpu = get_gpu(gpu_name)
+        return _WARM_REACQUIRE_MEANS[gpu.name]
+
+    def sample_warm_reacquire(self, gpu_name: str) -> float:
+        """Sample the warm re-acquisition handshake time (seconds)."""
+        return _truncated_normal(self._rng, self.warm_reacquire_mean(gpu_name),
+                                 _WARM_REACQUIRE_COV)

@@ -25,6 +25,7 @@ from repro.cmdare.transient_tf import TransientTensorFlowPolicy
 from repro.errors import ConfigurationError, DataError
 from repro.perf.replacement import ReplacementOverheadModel
 from repro.simulation.events import Event
+from repro.training.cluster import WorkerSpec
 from repro.training.session import TrainingSession
 from repro.training.worker import WorkerState
 
@@ -119,23 +120,43 @@ class CMDareController:
         self._last_reconfiguration = self.session.simulator.now + settle_seconds
         self.tracker.reset_window()
 
-    def request_replacement(self, revoked: WorkerState) -> WorkerState:
-        """Request and (after the cold-start overhead) add a replacement."""
-        overhead = self.replacement_model.sample(
-            self.session.job.profile, cold=True, gpu_name=revoked.gpu_name)
+    def request_replacement(self, revoked: WorkerState,
+                            cold: bool = True,
+                            spec: Optional[WorkerSpec] = None) -> WorkerState:
+        """Request and (after the start overhead) add a replacement worker.
+
+        Args:
+            revoked: The worker being replaced.
+            cold: True for a cold start (new server: Fig. 10 cold path, the
+                paper's default); False when an already-running warm server
+                is reused, paying only the warm overhead plus the short
+                re-acquisition handshake.
+            spec: Placement of the replacement; defaults to the revoked
+                worker's own ``(gpu, region)``.  A pool-aware fleet may
+                redirect the replacement to a different region (adaptive
+                placement).
+        """
+        spec = spec if spec is not None else revoked.spec
+        if cold:
+            overhead = self.replacement_model.sample(
+                self.session.job.profile, cold=True, gpu_name=spec.gpu_name)
+        else:
+            overhead = self.replacement_model.sample_warm_reuse(
+                self.session.job.profile, gpu_name=spec.gpu_name)
         records = self.session.trace.revocation_records
         was_chief = any(r.worker_id == revoked.worker_id and r.was_chief for r in records)
         reuse_ip = self.config.policy.reuse_chief_ip and was_chief
         replacement = self.session.add_worker(
-            revoked.spec, overhead_seconds=overhead.total, cold_start=True,
+            spec, overhead_seconds=overhead.total, cold_start=cold,
             reuse_chief_ip=reuse_ip)
         # The cluster shape changes again when the replacement joins; push the
         # warm-up window past that point so the detector does not misread the
         # transition as a parameter-server bottleneck.
         self._mark_reconfiguration(settle_seconds=overhead.total)
+        start = "cold-start" if cold else "warm-reuse"
         self._log("replacement",
-                  f"requested {revoked.gpu_name} replacement for {revoked.worker_id}; "
-                  f"cold-start overhead {overhead.total:.1f}s")
+                  f"requested {spec.gpu_name} replacement for {revoked.worker_id}"
+                  f" in {spec.region_name}; {start} overhead {overhead.total:.1f}s")
         return replacement
 
     # ------------------------------------------------------------------

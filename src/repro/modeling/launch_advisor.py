@@ -8,16 +8,32 @@ This module implements that advisor: it scores (region, local launch hour)
 combinations for a given GPU type and run duration by the probability that
 a worker survives the run, estimated by Monte-Carlo sampling of the
 calibrated revocation model (or of any model with the same interface).
+
+Pool-aware placement
+--------------------
+:meth:`LaunchAdvisor.place` extends the advisor to *fleet* scale: it ranks
+``(gpu, region, launch hour)`` options by combining the calibrated
+revocation score with the **live** state of a shared transient-server pool
+(free/warm slot counts and replacement-queue depth, duck-typed against
+:class:`repro.scenarios.pool.TransientPool`).  Options with no acquirable
+slot are marked infeasible and rank after every feasible one, so a fleet
+controller can fall back to the next-best feasible placement instead of
+queueing blindly on an exhausted cell.  Scoring is deterministic — each
+``(gpu, region, hour)`` option draws from its own stable generator and is
+memoized per duration — so fleet payloads stay reproducible and
+serial/parallel sweep executions stay bit-identical.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cloud.gpus import get_gpu
+from repro.cloud.regions import get_region
 from repro.cloud.revocation import RevocationModel
 from repro.errors import ConfigurationError
 from repro.units import hour_bin
@@ -44,6 +60,35 @@ class LaunchOption:
     expected_revocations: float
 
 
+@dataclass(frozen=True)
+class PlacementOption:
+    """One pool-aware ``(gpu, region, launch hour)`` placement option.
+
+    Attributes:
+        gpu_name: GPU type being placed.
+        region_name: Candidate region.
+        launch_hour_local: Local launch hour (0-23) the score was taken at.
+        revocation_probability: Estimated probability that one worker is
+            revoked before the placement horizon elapses.
+        acquirable: Slots (cold free + warm) the pool could hand out right
+            now in this cell.
+        queue_depth: Replacement requests already queued on this cell.
+        feasible: Whether the pool can grant a slot here right now.
+        score: Combined rank score (lower is better): the revocation
+            probability plus a queue-pressure penalty; infeasible options
+            always rank after every feasible one.
+    """
+
+    gpu_name: str
+    region_name: str
+    launch_hour_local: int
+    revocation_probability: float
+    acquirable: int
+    queue_depth: int
+    feasible: bool
+    score: float
+
+
 class LaunchAdvisor:
     """Scores candidate regions and launch hours for a transient cluster.
 
@@ -61,6 +106,10 @@ class LaunchAdvisor:
         self._model_template = revocation_model
         self.samples_per_option = samples_per_option
         self.seed = seed
+        #: Memoized per-(gpu, region, hour, duration) revocation scores for
+        #: the pool-aware placement path, which re-scores the same cells
+        #: every time a fleet replacement is denied.
+        self._probability_cache: Dict[Tuple[str, str, int, float], float] = {}
 
     def _model_for(self, option_index: int) -> RevocationModel:
         rng = np.random.default_rng(self.seed * 9973 + option_index)
@@ -135,6 +184,104 @@ class LaunchAdvisor:
         return sorted(options, key=lambda option: (option.revocation_probability,
                                                    option.region_name,
                                                    option.launch_hour_local))
+
+    # ------------------------------------------------------------------
+    # Pool-aware placement.
+    # ------------------------------------------------------------------
+    def revocation_score(self, gpu_name: str, region_name: str,
+                         launch_hour_local: int, duration_hours: float) -> float:
+        """Memoized per-worker revocation probability for one option.
+
+        Each ``(gpu, region, hour)`` option samples from its own stable
+        generator (seeded from the advisor seed and a digest of the option
+        itself, independent of call order), so repeated placement queries
+        during a fleet run are deterministic and cheap.
+        """
+        if duration_hours <= 0:
+            raise ConfigurationError("duration_hours must be positive")
+        gpu = get_gpu(gpu_name)
+        hour = hour_bin(launch_hour_local)
+        key = (gpu.name, region_name, hour, float(duration_hours))
+        cached = self._probability_cache.get(key)
+        if cached is not None:
+            return cached
+        # A stable per-option index: CRC32 keeps the derived generator
+        # independent of the order in which options are first scored.
+        option_index = zlib.crc32(
+            f"place:{gpu.name}:{region_name}:{hour}".encode("utf-8"))
+        option = self.score_option(gpu.name, region_name, hour, duration_hours,
+                                   option_index=option_index)
+        self._probability_cache[key] = option.revocation_probability
+        return option.revocation_probability
+
+    def place(self, gpu_name: str, duration_hours: float, pool,
+              hour_of_day_utc: float,
+              region_names: Optional[Sequence[str]] = None,
+              queue_weight: float = 0.5) -> List[PlacementOption]:
+        """Rank live placements for one worker against a shared pool.
+
+        Args:
+            gpu_name: GPU type of the worker being placed.
+            duration_hours: Placement horizon the revocation score covers.
+            pool: Live pool state, duck-typed against
+                :class:`repro.scenarios.pool.TransientPool`: must offer
+                ``cells()``, ``acquirable(gpu, region)``,
+                ``pending_waiters(gpu, region)``, and
+                ``capacity(gpu, region)``.
+            hour_of_day_utc: Current UTC wall-clock hour; each candidate is
+                scored at its region's *local* hour, like the launch-time
+                revocation draws of the fleet runner.
+            region_names: Candidate regions; defaults to every pool cell
+                offering the GPU type.
+            queue_weight: Weight of the queue-pressure penalty (queued
+                waiters per slot of capacity) added to the revocation
+                probability.
+
+        Returns:
+            Options sorted best first: all feasible options (a slot is
+            acquirable right now) ordered by score, then the infeasible
+            ones, with deterministic ``(region, hour)`` tie-breaks.
+        """
+        if queue_weight < 0:
+            raise ConfigurationError("queue_weight must be non-negative")
+        gpu = get_gpu(gpu_name)
+        if region_names is None:
+            region_names = [region for cell_gpu, region in pool.cells()
+                            if cell_gpu == gpu.name]
+        if not region_names:
+            raise ConfigurationError(
+                f"the pool has no {gpu_name!r} cells to place into")
+        options: List[PlacementOption] = []
+        for region_name in region_names:
+            region = get_region(region_name)
+            hour = hour_bin(region.local_hour(hour_of_day_utc))
+            probability = self.revocation_score(gpu.name, region.name, hour,
+                                                duration_hours)
+            acquirable = pool.acquirable(gpu.name, region.name)
+            queue_depth = pool.pending_waiters(gpu.name, region.name)
+            capacity = pool.capacity(gpu.name, region.name)
+            pressure = queue_depth / capacity if capacity > 0 else 0.0
+            options.append(PlacementOption(
+                gpu_name=gpu.name, region_name=region.name,
+                launch_hour_local=hour,
+                revocation_probability=probability,
+                acquirable=acquirable, queue_depth=queue_depth,
+                feasible=acquirable > 0,
+                score=probability + queue_weight * pressure))
+        return sorted(options, key=lambda option: (
+            not option.feasible, option.score, option.region_name,
+            option.launch_hour_local))
+
+    def best_feasible(self, gpu_name: str, duration_hours: float, pool,
+                      hour_of_day_utc: float,
+                      region_names: Optional[Sequence[str]] = None,
+                      queue_weight: float = 0.5) -> Optional[PlacementOption]:
+        """The best placement the pool can grant right now, or ``None``."""
+        options = self.place(gpu_name, duration_hours, pool, hour_of_day_utc,
+                             region_names=region_names,
+                             queue_weight=queue_weight)
+        best = options[0]
+        return best if best.feasible else None
 
     def recommend(self, gpu_name: str, duration_hours: float, num_workers: int = 1,
                   region_names: Optional[Sequence[str]] = None,

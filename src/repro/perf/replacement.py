@@ -154,3 +154,26 @@ class ReplacementOverheadModel:
             session_join=jitter(mean.session_join),
             graph_setup=jitter(mean.graph_setup),
         )
+
+    def sample_warm_reuse(self, profile: ModelProfile,
+                          gpu_name: str = "k80",
+                          cov: float = 0.08) -> ReplacementBreakdown:
+        """Sample the overhead of reusing a warm (already running) server.
+
+        This is the Fig. 10 warm path as exercised by the fleet warm pool:
+        the framework restart, session join, and graph setup of a warm
+        start, plus the short warm re-acquisition handshake of
+        :meth:`repro.cloud.startup.StartupTimeModel.sample_warm_reacquire`
+        reported as the (otherwise zero) ``server_startup`` component.  A
+        new sampling path — the existing cold/warm :meth:`sample` consumes
+        its generator exactly as before.
+        """
+        handshake = self._startup.sample_warm_reacquire(gpu_name)
+        warm = self.sample(profile, cold=False, gpu_name=gpu_name, cov=cov)
+        return ReplacementBreakdown(
+            server_startup=handshake,
+            dataset_download=warm.dataset_download,
+            framework_start=warm.framework_start,
+            session_join=warm.session_join,
+            graph_setup=warm.graph_setup,
+        )

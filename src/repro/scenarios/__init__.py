@@ -33,9 +33,29 @@ that composes the existing subsystems into that regime:
   into fleet-level tables (makespan, cost, revocations absorbed,
   replacement-denial rate, PS mitigations) via :mod:`repro.analysis`.
 
-Four named scenarios live in :mod:`repro.scenarios.catalog`
+Beyond the cold, statically placed baseline, two opt-in knobs extend the
+regime (both default off and are payload-bit-identical to the baseline
+when off — the golden-fixture contract of
+``tests/test_fleet_golden_identity.py``):
+
+* **warm pool** (``warm_capacity``/``warm_seconds``): reclaimed capacity
+  returns as still-running warm servers, and replacements granted from
+  one pay the Fig. 10 warm overhead instead of a cold boot;
+* **adaptive placement** (``placement="adaptive"``): the pool-aware
+  :meth:`repro.modeling.launch_advisor.LaunchAdvisor.place` mode picks
+  each worker's region from live pool availability plus the revocation
+  calibration, at launch and when a replacement would be denied.
+
+Fleet sweeps can fan out along ``pool_size``, ``queue_policy``,
+``warm_seconds``, ``launch_hour``, and ``placement`` axes besides
+``replicate`` (see :func:`repro.scenarios.fleet.build_fleet_spec`), and
+:func:`repro.scenarios.report.fleet_frontier_table` renders the resulting
+cost/makespan frontier.
+
+Six named scenarios live in :mod:`repro.scenarios.catalog`
 (``single_region_k80``, ``multi_region_hetero``, ``revocation_storm``,
-``capacity_crunch``); each is also registered as a ``fleet_<name>`` sweep.
+``capacity_crunch``, ``warm_reuse``, ``adaptive_placement``); each is
+also registered as a ``fleet_<name>`` sweep.
 
 Command line (mirrors ``python -m repro.sweeps``)::
 
@@ -52,18 +72,27 @@ from repro.scenarios.catalog import (
 from repro.scenarios.fleet import (
     FleetJobController,
     FleetRun,
+    apply_fleet_axes,
     build_fleet_spec,
     fleet_cell,
     run_fleet,
     run_scenario,
 )
-from repro.scenarios.pool import DENIED, GRANTED, QUEUED, TransientPool
+from repro.scenarios.pool import (
+    DENIED,
+    GRANTED,
+    QUEUED,
+    ReplacementTicket,
+    TransientPool,
+)
 from repro.scenarios.report import (
+    fleet_frontier_table,
     fleet_hour_histogram,
     fleet_rows,
     fleet_summary_table,
+    frontier_rows,
 )
-from repro.scenarios.spec import JobSpec, ScenarioSpec
+from repro.scenarios.spec import PLACEMENTS, JobSpec, ScenarioSpec
 
 __all__ = [
     "DENIED",
@@ -71,15 +100,20 @@ __all__ = [
     "FleetRun",
     "GRANTED",
     "JobSpec",
+    "PLACEMENTS",
     "QUEUED",
+    "ReplacementTicket",
     "SCENARIO_BUILDERS",
     "ScenarioSpec",
     "TransientPool",
+    "apply_fleet_axes",
     "build_fleet_spec",
     "fleet_cell",
+    "fleet_frontier_table",
     "fleet_hour_histogram",
     "fleet_rows",
     "fleet_summary_table",
+    "frontier_rows",
     "get_scenario",
     "list_scenarios",
     "run_fleet",

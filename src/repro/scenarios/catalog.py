@@ -1,6 +1,6 @@
 """Named fleet scenarios.
 
-Four ready-to-run fleets covering the regimes the ROADMAP asks for:
+Six ready-to-run fleets covering the regimes the ROADMAP asks for:
 
 * ``single_region_k80`` — the smallest smoke fleet: three K80 jobs in
   us-west1, the study's most stable K80 region (Table V), with pool
@@ -15,6 +15,17 @@ Four ready-to-run fleets covering the regimes the ROADMAP asks for:
   revoked capacity never returns within the run, so every replacement
   request is denied: jobs shrink, slow down, and can stall — the regime
   the paper's single-job experiments never reach.
+* ``warm_reuse`` — the revocation storm with a warm pool: reclaimed
+  capacity returns as still-running servers that queued replacements
+  re-acquire through the Fig. 10 warm path instead of a cold boot.
+* ``adaptive_placement`` — the capacity crunch plus spare K80 capacity in
+  stable us-west1 and pool-aware placement: the launch advisor spreads
+  the initial fleet by live availability x revocation score, and denied
+  replacements fall back to the spare region instead of dying on the
+  exhausted cell.  Running the same spec with ``placement="static"``
+  reproduces the crunch economics (the spare region is never used), which
+  is what the denial-rate comparison in ``tests/test_scenarios.py``
+  asserts.
 
 Each scenario is also registered as a named sweep (``fleet_<name>``), so
 ``python -m repro.sweeps run fleet_capacity_crunch`` works alongside the
@@ -129,12 +140,72 @@ def capacity_crunch() -> ScenarioSpec:
         epoch_hour_utc=8.5)
 
 
+def warm_reuse() -> ScenarioSpec:
+    """The revocation storm with a warm pool (Fig. 10 warm path at scale).
+
+    Reclaimed capacity returns after 20 minutes as still-running warm
+    servers that linger for an hour, so the queued replacement requests of
+    the storm re-acquire them warm — paying the framework restart, session
+    join, and graph setup of a warm start plus a short re-acquisition
+    handshake instead of a full cold boot.
+    """
+    jobs = tuple(
+        JobSpec(name=f"warm-{index}", model_name="resnet_15",
+                total_steps=60_000,
+                workers=(("k80", "europe-west1"),) * 3,
+                checkpoint_interval_steps=4000,
+                queue_replacements=True)
+        for index in range(3))
+    return ScenarioSpec(
+        name="warm_reuse",
+        description="the revocation storm with a warm pool (Fig. 10 warm path)",
+        jobs=jobs,
+        pool_capacity={("k80", "europe-west1"): 12},
+        reclaim_seconds=1200.0,
+        epoch_hour_utc=8.5,
+        warm_seconds=3600.0,
+        warm_capacity=6)
+
+
+def adaptive_placement() -> ScenarioSpec:
+    """The capacity crunch with a spare stable region and adaptive placement.
+
+    The europe-west1 pool exactly covers the declared fleet and reclaimed
+    capacity never returns within the run — the crunch regime — but the
+    pool also offers spare K80 capacity in us-west1, the study's most
+    stable K80 region.  With ``placement="adaptive"`` the pool-aware
+    launch advisor both spreads the initial fleet toward the safer region
+    and redirects denied replacements to whatever cell still has capacity,
+    so the fleet's replacement-denial rate drops below the static crunch
+    (asserted in ``tests/test_scenarios.py`` and visible in the frontier
+    table of a ``placements=("static", "adaptive")`` sweep).
+    """
+    jobs = tuple(
+        JobSpec(name=f"adaptive-{index}", model_name="resnet_15",
+                total_steps=60_000,
+                workers=(("k80", "europe-west1"),) * 3,
+                checkpoint_interval_steps=4000,
+                queue_replacements=False)
+        for index in range(3))
+    return ScenarioSpec(
+        name="adaptive_placement",
+        description="capacity crunch + spare stable region, pool-aware placement",
+        jobs=jobs,
+        pool_capacity={("k80", "europe-west1"): 9,
+                       ("k80", "us-west1"): 6},
+        reclaim_seconds=86_400.0,
+        epoch_hour_utc=8.5,
+        placement="adaptive")
+
+
 #: All named scenarios, in presentation order.
 SCENARIO_BUILDERS: Dict[str, Callable[[], ScenarioSpec]] = {
     "single_region_k80": single_region_k80,
     "multi_region_hetero": multi_region_hetero,
     "revocation_storm": revocation_storm,
     "capacity_crunch": capacity_crunch,
+    "warm_reuse": warm_reuse,
+    "adaptive_placement": adaptive_placement,
 }
 
 

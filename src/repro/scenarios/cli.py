@@ -11,6 +11,12 @@ and parallel runs are bit-identical); with ``--cache-dir`` completed fleet
 cells persist, so ``resume`` (or an interrupted ``run``) picks up where it
 stopped.  ``--workers`` defaults to the ``REPRO_SWEEP_WORKERS`` environment
 variable, matching the benchmark harness.
+
+``--warm-seconds`` and ``--placement`` derive a variant of the named
+scenario (warm pool enabled / placement mode overridden) before it runs;
+because the derived spec has different parameters it also keys different
+cache entries, so overridden and stock runs never collide in a shared
+``--cache-dir``.
 """
 
 from __future__ import annotations
@@ -23,8 +29,13 @@ from typing import Optional, Sequence
 
 from repro.errors import ReproError
 from repro.scenarios.catalog import get_scenario, list_scenarios
-from repro.scenarios.fleet import FLEET_TRACE_LEVEL_ENV, run_scenario
+from repro.scenarios.fleet import (
+    FLEET_TRACE_LEVEL_ENV,
+    apply_fleet_axes,
+    run_scenario,
+)
 from repro.scenarios.report import fleet_summary_table
+from repro.scenarios.spec import PLACEMENTS
 # Shared with the sweeps CLI so both front ends accept and reject exactly
 # the same --workers values.
 from repro.sweeps.cli import _parse_workers
@@ -65,7 +76,38 @@ def build_parser() -> argparse.ArgumentParser:
                               "aggregates only, so very large fleets fit "
                               "in memory (payloads are identical; default: "
                               "REPRO_FLEET_TRACE_LEVEL or 'full')")
+        sub.add_argument("--warm-seconds", type=float, default=None,
+                         metavar="SECONDS",
+                         help="enable the warm pool: reclaimed capacity "
+                              "returns as warm servers that linger this "
+                              "long and are re-acquired via the Fig. 10 "
+                              "warm path (0 forces cold-only; default: "
+                              "the scenario's own setting)")
+        sub.add_argument("--placement", choices=PLACEMENTS, default=None,
+                         help="placement mode: 'static' pins workers to "
+                              "their declared (gpu, region) cells, "
+                              "'adaptive' lets the pool-aware launch "
+                              "advisor pick regions from live availability "
+                              "and the revocation calibration (default: "
+                              "the scenario's own setting)")
     return parser
+
+
+def _apply_overrides(scenario, args):
+    """Derive the scenario variant the flags ask for (if any).
+
+    Validation (negative durations, unknown placements) happens inside
+    :func:`repro.scenarios.fleet.apply_fleet_axes` / the spec itself and
+    surfaces as the CLI's usual ``error:`` line.
+    """
+    overrides = {}
+    if getattr(args, "warm_seconds", None) is not None:
+        overrides["warm_seconds"] = args.warm_seconds
+    if getattr(args, "placement", None) is not None:
+        overrides["placement"] = args.placement
+    if not overrides:
+        return scenario
+    return apply_fleet_axes(scenario, overrides)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -90,7 +132,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # do not leak the setting into each other.
             os.environ[FLEET_TRACE_LEVEL_ENV] = args.trace_level
         try:
-            scenario = get_scenario(args.name)
+            scenario = _apply_overrides(get_scenario(args.name), args)
             result = run_scenario(scenario, replicates=args.replicates,
                                   seed=args.seed, workers=args.workers,
                                   cache_dir=args.cache_dir)

@@ -43,14 +43,40 @@ blindly — a session's own ``run_to_completion`` loop, or any external
 multiplexer calling :meth:`~repro.training.session.TrainingSession.fast_forward`
 without a pre-peeked top: their declined re-offers cost no heap peeks.
 
+Pool-aware placement and warm replacements
+------------------------------------------
+Two opt-in scenario knobs extend the fleet beyond the paper's statically
+pinned single-job experiments (both default *off*, and the defaults are
+payload-bit-identical to the pre-placement fleets — the golden fixture in
+``tests/test_fleet_golden_identity.py`` pins this):
+
+* ``placement="adaptive"`` routes placement decisions through the
+  pool-aware :meth:`repro.modeling.launch_advisor.LaunchAdvisor.place`
+  mode: at launch every worker goes to the feasible ``(gpu, region)`` cell
+  with the best combined revocation-calibration + queue-pressure score,
+  and when a replacement request would find its preferred cell exhausted
+  the controller falls back to the next-best feasible cell instead of
+  queueing (or being denied) blindly.  Advisor scoring draws from its own
+  stable per-option generators — never from the fleet streams — so runs
+  stay deterministic.
+* ``warm_capacity > 0`` + ``warm_seconds > 0`` enables the pool's warm
+  path: reclaimed capacity returns as still-running warm servers and a
+  replacement granted from one pays the Fig. 10 warm overhead (plus a
+  short re-acquire handshake) instead of a cold boot.
+
 ``fleet_cell`` is the module-level sweep cell function: one cell simulates
 one whole fleet from its own derived random streams, which is what makes
 scenario sweeps serial/parallel bit-identical and resumable through the
-:class:`repro.sweeps.SweepRunner` cache.  Two more runtime knobs, both
-payload-neutral: ``REPRO_FLEET_SCHEDULER`` selects the scheduler and
-``REPRO_FLEET_TRACE_LEVEL=summary`` switches every session to the
-aggregates-only trace sink so 500-job fleets keep O(1) trace memory per
-job.  Regenerate ``benchmarks/BENCH_fleet.json`` with
+:class:`repro.sweeps.SweepRunner` cache.  Beyond ``replicate``,
+:func:`build_fleet_spec` can fan a scenario out along ``pool_size``,
+``queue_policy``, ``warm_seconds``, ``launch_hour``, and ``placement``
+axes (applied per cell by :func:`apply_fleet_axes`); the cost/makespan
+frontier across those axes renders via
+:func:`repro.scenarios.report.fleet_frontier_table`.  Two more runtime
+knobs, both payload-neutral: ``REPRO_FLEET_SCHEDULER`` selects the
+scheduler and ``REPRO_FLEET_TRACE_LEVEL=summary`` switches every session
+to the aggregates-only trace sink so 500-job fleets keep O(1) trace memory
+per job.  Regenerate ``benchmarks/BENCH_fleet.json`` with
 ``python benchmarks/fleet_baseline.py`` after touching this module (CI
 runs ``python benchmarks/fleet_baseline.py --quick --check`` as a
 regression gate).
@@ -58,8 +84,10 @@ regression gate).
 
 from __future__ import annotations
 
+import math
 import os
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import replace as dataclass_replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.cloud.machines import PARAMETER_SERVER_MACHINE, gpu_worker_machine
 from repro.cloud.pricing import PriceCatalog, default_price_catalog
@@ -67,20 +95,42 @@ from repro.cloud.regions import get_region
 from repro.cloud.revocation import RevocationModel
 from repro.cloud.revocation import RevocationOutcome
 from repro.cmdare.controller import CMDareController, ControllerConfig
-from repro.errors import ConfigurationError, SimulationError
-from repro.scenarios.pool import DENIED, QUEUED, TransientPool
+from repro.errors import CapacityError, ConfigurationError, SimulationError
+from repro.modeling.launch_advisor import LaunchAdvisor
+from repro.scenarios.pool import DENIED, QUEUED, PoolKey, ReplacementTicket, TransientPool
 from repro.scenarios.spec import JobSpec, ScenarioSpec
 from repro.simulation.engine import Simulator
 from repro.simulation.rng import RandomStreams
 from repro.sweeps import SweepCell, SweepRunner, SweepSpec, SweepResult
+from repro.training.cluster import WorkerSpec
 from repro.training.job import TrainingJob
 from repro.training.session import TrainingSession
 from repro.training.worker import WorkerState
+from repro.units import wrap_hour
 from repro.workloads.catalog import ModelCatalog, default_catalog
 
 #: Heap-event/fast-forward budget per fleet job (matches the single-session
 #: default of TrainingSession.run_to_completion).
 MAX_EVENTS_PER_JOB = 5_000_000
+
+#: Horizon (hours) the adaptive-placement advisor scores each candidate
+#: cell over.  A fixed horizon keeps the per-(gpu, region, hour) scores
+#: memoizable, which bounds the Monte-Carlo cost of placement to
+#: O(cells x 24) samplings per fleet regardless of how many replacements
+#: are redirected.
+PLACEMENT_HORIZON_HOURS = 2.0
+
+#: Monte-Carlo samples per placement option (smaller than the standalone
+#: advisor default: placement ranks a handful of cells, not a 6x24 grid).
+PLACEMENT_SAMPLES = 200
+
+#: Fleet sweep axes beyond ``replicate`` that :func:`apply_fleet_axes`
+#: knows how to apply to a scenario.
+FLEET_AXES = ("pool_size", "queue_policy", "warm_seconds", "launch_hour",
+              "placement")
+
+#: Valid ``queue_policy`` axis values.
+QUEUE_POLICIES = ("deny", "queue")
 
 #: Environment switch selecting the fleet scheduler (default ``wakeset``).
 FLEET_SCHEDULER_ENV = "REPRO_FLEET_SCHEDULER"
@@ -116,6 +166,11 @@ class FleetJobController(CMDareController):
         on_replacement_admitted: Invoked as ``callback(session, worker)``
             when a replacement worker is actually admitted (the fleet uses
             this to schedule the new server's own revocation draw).
+        placer: Pool-aware placement fallback (adaptive placement): called
+            as ``placer(gpu_name, preferred_key)`` when the preferred cell
+            has nothing acquirable, returning the next-best feasible
+            ``(gpu, region)`` cell or ``None`` to fall through to the
+            normal queue/deny path on the preferred cell.
         config: Controller behaviour switches.
     """
 
@@ -123,54 +178,105 @@ class FleetJobController(CMDareController):
                  queue_replacements: bool = False,
                  on_replacement_admitted: Optional[
                      Callable[[TrainingSession, WorkerState], None]] = None,
+                 placer: Optional[
+                     Callable[[str, PoolKey], Optional[PoolKey]]] = None,
                  config: Optional[ControllerConfig] = None):
         super().__init__(session, config=config)
         self.pool = pool
         self.queue_replacements = queue_replacements
         self.on_replacement_admitted = on_replacement_admitted
+        self.placer = placer
         self.replacements_admitted = 0
         self.replacements_denied = 0
         self.replacements_pending = 0
+        self.replacements_warm = 0
+        self.replacements_cancelled = 0
+        self.placements_redirected = 0
+        self._queued_tickets: List[ReplacementTicket] = []
+        # A request still queued when the job completes can never be used:
+        # withdraw it so the pool's waiter queue holds no dead entries (and
+        # a later slot goes straight to a live waiter instead of bouncing
+        # through a grant-then-release round trip).
+        session.on_finished.append(self._cancel_queued)
 
     def request_replacement(self, revoked: WorkerState) -> None:
-        """Route the replacement request through the shared pool."""
+        """Route the replacement request through the shared pool.
+
+        With adaptive placement, a request whose preferred cell (the
+        revoked worker's own ``(gpu, region)``) has nothing acquirable is
+        redirected to the best feasible alternative cell *before* it
+        reaches the pool, so it counts as one granted request instead of a
+        denial — the paper's Section V-C placement idea applied at fleet
+        scale.
+        """
         gpu, region = revoked.spec.gpu_name, revoked.spec.region_name
+        spec = revoked.spec
+        if (self.placer is not None
+                and self.pool.acquirable(gpu, region) == 0):
+            alternative = self.placer(gpu, (gpu, region))
+            if alternative is not None and alternative != (gpu, region):
+                spec = WorkerSpec(gpu_name=gpu, region_name=alternative[1],
+                                  transient=True)
+                self.placements_redirected += 1
+                self._log("replacement-redirected",
+                          f"pool exhausted in {region}: redirecting {gpu} "
+                          f"replacement for {revoked.worker_id} to "
+                          f"{alternative[1]}")
         # The grant callback may run synchronously (slot free now) or later
         # (served from the waiter queue); only queued requests count as
         # pending, and only their grants decrement the pending count.
-        state = {"queued": False}
+        state: Dict[str, Any] = {"queued": False, "ticket": None}
 
-        def grant() -> None:
+        def grant(warm: bool) -> None:
+            ticket = state["ticket"]
+            if ticket is not None and ticket in self._queued_tickets:
+                self._queued_tickets.remove(ticket)
             if state["queued"]:
                 self.replacements_pending -= 1
-            self._admit_replacement(revoked)
+            self._admit_replacement(revoked, spec, warm)
 
-        outcome = self.pool.request_replacement(
-            gpu, region, grant, queue=self.queue_replacements,
+        ticket = self.pool.request_replacement(
+            spec.gpu_name, spec.region_name, grant,
+            queue=self.queue_replacements,
             label=f"{self.session.job.model_name}:{revoked.worker_id}")
-        if outcome == DENIED:
+        state["ticket"] = ticket
+        if ticket.outcome == DENIED:
             self.replacements_denied += 1
             self._log("replacement-denied",
-                      f"pool exhausted: no {gpu} capacity in {region} for "
-                      f"{revoked.worker_id}")
-        elif outcome == QUEUED:
+                      f"pool exhausted: no {spec.gpu_name} capacity in "
+                      f"{spec.region_name} for {revoked.worker_id}")
+        elif ticket.outcome == QUEUED:
             state["queued"] = True
             self.replacements_pending += 1
+            self._queued_tickets.append(ticket)
             self._log("replacement-queued",
-                      f"pool exhausted: queued {gpu} replacement for "
-                      f"{revoked.worker_id} in {region}")
+                      f"pool exhausted: queued {spec.gpu_name} replacement "
+                      f"for {revoked.worker_id} in {spec.region_name}")
 
-    def _admit_replacement(self, revoked: WorkerState) -> None:
+    def _admit_replacement(self, revoked: WorkerState, spec: WorkerSpec,
+                           warm: bool) -> None:
         """A pool slot was assigned; actually add the replacement worker."""
         if self.session.finished:
-            # Granted from the queue after the job already completed: the
-            # slot was taken by the pool before the callback, hand it back.
-            self.pool.release(revoked.spec.gpu_name, revoked.spec.region_name)
+            # Granted from the queue after the job already completed (e.g.
+            # served within the finish cascade before the cancel hook ran):
+            # the slot was taken by the pool before the callback, hand it
+            # back.
+            self.pool.release(spec.gpu_name, spec.region_name)
             return
-        worker = super().request_replacement(revoked)
+        worker = super().request_replacement(revoked, cold=not warm, spec=spec)
         self.replacements_admitted += 1
+        if warm:
+            self.replacements_warm += 1
         if self.on_replacement_admitted is not None:
             self.on_replacement_admitted(self.session, worker)
+
+    def _cancel_queued(self, _session: TrainingSession) -> None:
+        """Withdraw still-queued replacement requests at session finish."""
+        for ticket in self._queued_tickets:
+            if ticket.cancel():
+                self.replacements_pending -= 1
+                self.replacements_cancelled += 1
+        self._queued_tickets.clear()
 
 
 class _FleetJob:
@@ -232,8 +338,21 @@ class FleetRun:
                  else float(streams.get("epoch").uniform(0, 24)))
         self.simulator = Simulator(epoch_hour_utc=epoch)
         self.pool = TransientPool(self.simulator, scenario.pool_capacity,
-                                  reclaim_seconds=scenario.reclaim_seconds)
+                                  reclaim_seconds=scenario.reclaim_seconds,
+                                  warm_seconds=scenario.warm_seconds,
+                                  warm_capacity=scenario.warm_capacity)
         self.revocation_model = RevocationModel(rng=streams.get("revocation"))
+        # Adaptive placement scores cells through the pool-aware launch
+        # advisor; its Monte-Carlo draws come from stable per-option
+        # generators (seeded off the fleet's derived placement stream, not
+        # consumed from it), so static fleets touch no extra streams and
+        # adaptive fleets stay deterministic.
+        self.advisor: Optional[LaunchAdvisor] = None
+        if scenario.placement == "adaptive":
+            self.advisor = LaunchAdvisor(
+                revocation_model=self.revocation_model,
+                samples_per_option=PLACEMENT_SAMPLES,
+                seed=streams.spawn("placement").seed)
         self.revocation_hours_local: List[float] = []
         #: Live completion counters: bumped by the session-finished and
         #: stall hooks so the run loop never scans all N jobs per event.
@@ -248,31 +367,71 @@ class FleetRun:
     # Wiring.
     # ------------------------------------------------------------------
     def _wire_job(self, spec: JobSpec) -> _FleetJob:
-        profile = self.catalog.profile(spec.model_name)
-        job = TrainingJob(profile=profile, total_steps=spec.total_steps,
-                          checkpoint_interval_steps=spec.checkpoint_interval_steps)
+        # Initial workers reserve their pool slots at fleet launch, before
+        # any job starts training (the spec validated the demand fits).
+        # With adaptive placement the advisor picks each worker's region
+        # from live availability first; the job then trains on the placed
+        # spec.
+        placed = self._place_job(spec)
+        profile = self.catalog.profile(placed.model_name)
+        job = TrainingJob(profile=profile, total_steps=placed.total_steps,
+                          checkpoint_interval_steps=placed.checkpoint_interval_steps)
         session = TrainingSession(
-            self.simulator, spec.cluster(), job,
-            streams=self.streams.spawn(f"job:{spec.name}"),
-            steps_per_event=spec.steps_per_event,
+            self.simulator, placed.cluster(), job,
+            streams=self.streams.spawn(f"job:{placed.name}"),
+            steps_per_event=placed.steps_per_event,
             fast_forward=self.fast_forward,
             trace_level=self.trace_level)
         controller = FleetJobController(
-            session, self.pool, queue_replacements=spec.queue_replacements,
+            session, self.pool, queue_replacements=placed.queue_replacements,
             on_replacement_admitted=self._schedule_revocation,
+            placer=self._place_replacement if self.advisor is not None else None,
             config=ControllerConfig(
-                auto_mitigate_bottleneck=spec.auto_mitigate_bottleneck,
+                auto_mitigate_bottleneck=placed.auto_mitigate_bottleneck,
                 poll_interval_seconds=self.scenario.poll_interval_seconds))
-        # Initial workers reserve their pool slots at fleet launch, before
-        # any job starts training (the spec validated the demand fits).
-        for gpu, region in spec.workers:
-            self.pool.acquire(gpu, region)
         session.on_finished.append(self._note_finished)
-        fleet_job = _FleetJob(spec, session, controller)
-        self.simulator.schedule(spec.start_delay_seconds,
+        fleet_job = _FleetJob(placed, session, controller)
+        self.simulator.schedule(placed.start_delay_seconds,
                                 lambda _sim, fj=fleet_job: self._start_job(fj),
-                                label=f"fleet:start:{spec.name}")
+                                label=f"fleet:start:{placed.name}")
         return fleet_job
+
+    def _place_job(self, spec: JobSpec) -> JobSpec:
+        """Reserve launch slots; adaptively re-place workers when asked.
+
+        Static placement acquires the declared cells as-is.  Adaptive
+        placement asks the pool-aware advisor for the best feasible cell
+        per worker (same GPU type, any pool region), acquiring greedily so
+        each decision sees the availability left by the previous one.
+        """
+        if self.advisor is None:
+            for gpu, region in spec.workers:
+                self.pool.acquire(gpu, region)
+            return spec
+        hour_utc = self.simulator.hour_of_day_utc()
+        placed: List[PoolKey] = []
+        for gpu, _declared_region in spec.workers:
+            option = self.advisor.best_feasible(
+                gpu, PLACEMENT_HORIZON_HOURS, self.pool, hour_utc)
+            if option is None:
+                raise CapacityError(
+                    f"no feasible {gpu} placement for job {spec.name!r} at "
+                    f"fleet launch")
+            self.pool.acquire(gpu, option.region_name)
+            placed.append((gpu, option.region_name))
+        if tuple(placed) == spec.workers:
+            return spec
+        return dataclass_replace(spec, workers=tuple(placed))
+
+    def _place_replacement(self, gpu_name: str,
+                           preferred: PoolKey) -> Optional[PoolKey]:
+        """Next-best feasible cell for a replacement denied at ``preferred``."""
+        option = self.advisor.best_feasible(
+            gpu_name, PLACEMENT_HORIZON_HOURS, self.pool,
+            self.simulator.hour_of_day_utc())
+        if option is None:
+            return None
+        return (option.gpu_name, option.region_name)
 
     def _start_job(self, fleet_job: _FleetJob) -> None:
         fleet_job.started = True
@@ -489,7 +648,7 @@ class FleetRun:
             total_cost += cost
             controller = fleet_job.controller
             summary = controller.summary()
-            jobs.append({
+            entry = {
                 "name": fleet_job.spec.name,
                 "model": fleet_job.spec.model_name,
                 "workers": len(fleet_job.spec.workers),
@@ -506,9 +665,17 @@ class FleetRun:
                 "replacements_pending": controller.replacements_pending,
                 "ps_mitigations": summary["extra_parameter_servers"],
                 "final_active_workers": len(session.active_workers()),
-            })
+            }
+            # Opt-in features report their counters only when enabled, so
+            # cold-only statically placed payloads stay byte-identical to
+            # the pre-placement fleets (golden-fixture contract).
+            if self.pool.warm_enabled:
+                entry["replacements_warm"] = controller.replacements_warm
+            if self.advisor is not None:
+                entry["placements_redirected"] = controller.placements_redirected
+            jobs.append(entry)
         pool_stats = self.pool.stats()
-        return {
+        payload = {
             "scenario": self.scenario.name,
             "epoch_hour_utc": self.simulator.epoch_hour_utc,
             "jobs_total": len(self.jobs),
@@ -525,6 +692,14 @@ class FleetRun:
             "pool": pool_stats,
             "jobs": jobs,
         }
+        if self.pool.warm_enabled:
+            payload["replacements_warm"] = pool_stats["replacements_warm"]
+            payload["warm_reuse_rate"] = pool_stats["warm_reuse_rate"]
+        if self.advisor is not None:
+            payload["placement"] = self.scenario.placement
+            payload["placements_redirected"] = sum(
+                j["placements_redirected"] for j in jobs)
+        return payload
 
 
 def run_fleet(scenario: ScenarioSpec, streams: RandomStreams,
@@ -542,36 +717,133 @@ def run_fleet(scenario: ScenarioSpec, streams: RandomStreams,
 # ---------------------------------------------------------------------------
 # Sweep integration.
 # ---------------------------------------------------------------------------
+def apply_fleet_axes(scenario: ScenarioSpec,
+                     params: Mapping[str, Any]) -> ScenarioSpec:
+    """Derive the scenario one sweep cell actually runs from its params.
+
+    Recognized axis parameters (all optional; absent keys leave the
+    scenario untouched, so a plain ``replicate`` sweep runs the scenario
+    verbatim and stays bit-compatible with pre-multi-axis fleet sweeps):
+
+    * ``pool_size`` — positive scale factor applied to every pool cell's
+      capacity (rounded up, never below the cell's initial demand so the
+      derived scenario stays launchable);
+    * ``queue_policy`` — ``"queue"`` / ``"deny"``: overrides every job's
+      ``queue_replacements`` flag;
+    * ``warm_seconds`` — warm-pool linger duration; enabling it on a
+      scenario without a ``warm_capacity`` defaults the per-cell warm cap
+      to the largest cell capacity (effectively uncapped);
+    * ``launch_hour`` — fleet epoch (UTC hour at simulation time zero);
+    * ``placement`` — ``"static"`` / ``"adaptive"`` placement mode.
+    """
+    derived = scenario
+    if "pool_size" in params:
+        factor = float(params["pool_size"])
+        if factor <= 0:
+            raise ConfigurationError("pool_size factors must be positive")
+        demand = scenario.initial_demand()
+        capacity = {key: max(demand.get(key, 0),
+                             int(math.ceil(count * factor)), 1)
+                    for key, count in scenario.pool_capacity.items()}
+        derived = dataclass_replace(derived, pool_capacity=capacity)
+    if "queue_policy" in params:
+        policy = params["queue_policy"]
+        if policy not in QUEUE_POLICIES:
+            known = ", ".join(QUEUE_POLICIES)
+            raise ConfigurationError(
+                f"unknown queue_policy {policy!r}; known: {known}")
+        queue = policy == "queue"
+        derived = dataclass_replace(derived, jobs=tuple(
+            dataclass_replace(job, queue_replacements=queue)
+            for job in derived.jobs))
+    if "warm_seconds" in params:
+        warm_seconds = float(params["warm_seconds"])
+        warm_capacity = derived.warm_capacity
+        if warm_seconds > 0 and warm_capacity == 0:
+            warm_capacity = max(derived.pool_capacity.values())
+        derived = dataclass_replace(
+            derived, warm_seconds=warm_seconds,
+            warm_capacity=warm_capacity if warm_seconds > 0
+            else derived.warm_capacity)
+    if "launch_hour" in params:
+        derived = dataclass_replace(
+            derived, epoch_hour_utc=wrap_hour(float(params["launch_hour"])))
+    if "placement" in params:
+        derived = dataclass_replace(derived, placement=params["placement"])
+    return derived
+
+
 def fleet_cell(cell: SweepCell, streams: RandomStreams,
                context: Any) -> Dict[str, Any]:
     """Sweep cell: simulate one whole fleet (one scenario replicate).
 
-    ``context`` is the shared :class:`~repro.workloads.catalog.ModelCatalog`
-    (its fingerprint keys the result cache).
+    Axis parameters beyond ``replicate`` (see :func:`apply_fleet_axes`)
+    derive the per-cell scenario before it runs.  ``context`` is the shared
+    :class:`~repro.workloads.catalog.ModelCatalog` (its fingerprint keys
+    the result cache).
     """
     scenario = ScenarioSpec.from_params(cell.params["scenario"])
+    scenario = apply_fleet_axes(scenario, cell.params)
     return run_fleet(scenario, streams, catalog=context)
 
 
-def build_fleet_spec(scenario: ScenarioSpec, replicates: int = 2) -> SweepSpec:
-    """One sweep cell per fleet replicate of ``scenario``."""
+def build_fleet_spec(scenario: ScenarioSpec, replicates: int = 2, *,
+                     pool_sizes: Optional[Sequence[float]] = None,
+                     queue_policies: Optional[Sequence[str]] = None,
+                     warm_seconds: Optional[Sequence[float]] = None,
+                     launch_hours: Optional[Sequence[float]] = None,
+                     placements: Optional[Sequence[str]] = None) -> SweepSpec:
+    """A fleet sweep over ``scenario``: optional axes x replicates.
+
+    With no axis arguments this is the classic one-cell-per-replicate
+    sweep (cell parameters unchanged from the single-axis era, so derived
+    seeds, caches, and payloads stay bit-compatible).  Each provided axis
+    fans the scenario out along one :func:`apply_fleet_axes` dimension;
+    every combination runs ``replicates`` independent fleets.  Axis values
+    are validated eagerly by deriving a scenario from each, so a bad value
+    fails at spec build time, not mid-sweep.
+    """
     if replicates < 1:
         raise SimulationError("replicates must be >= 1")
-    return SweepSpec(f"fleet_{scenario.name}",
-                     axes={"replicate": list(range(int(replicates)))},
+    axes: Dict[str, List[Any]] = {}
+    for name, values in (("pool_size", pool_sizes),
+                         ("queue_policy", queue_policies),
+                         ("warm_seconds", warm_seconds),
+                         ("launch_hour", launch_hours),
+                         ("placement", placements)):
+        if values is None:
+            continue
+        values = [float(value) if name in ("pool_size", "warm_seconds",
+                                           "launch_hour") else value
+                  for value in values]
+        for value in values:
+            apply_fleet_axes(scenario, {name: value})
+        axes[name] = values
+    axes["replicate"] = list(range(int(replicates)))
+    return SweepSpec(f"fleet_{scenario.name}", axes=axes,
                      fixed={"scenario": scenario.to_params()})
 
 
 def run_scenario(scenario: ScenarioSpec, replicates: int = 2, seed: int = 0,
                  workers: Optional[int] = None, cache_dir: Optional[str] = None,
-                 catalog: Optional[ModelCatalog] = None) -> SweepResult:
-    """Run a scenario's replicates through the sweep engine.
+                 catalog: Optional[ModelCatalog] = None,
+                 pool_sizes: Optional[Sequence[float]] = None,
+                 queue_policies: Optional[Sequence[str]] = None,
+                 warm_seconds: Optional[Sequence[float]] = None,
+                 launch_hours: Optional[Sequence[float]] = None,
+                 placements: Optional[Sequence[str]] = None) -> SweepResult:
+    """Run a scenario's (optionally multi-axis) sweep through the engine.
 
     Serial and parallel executions are bit-identical, and with a
     ``cache_dir`` interrupted scenario sweeps resume from completed cells,
-    both inherited from :class:`~repro.sweeps.SweepRunner`.
+    both inherited from :class:`~repro.sweeps.SweepRunner` — multi-axis
+    fleet grids get the same contracts for free because every cell is one
+    self-contained fleet with its own derived streams.
     """
-    spec = build_fleet_spec(scenario, replicates)
+    spec = build_fleet_spec(scenario, replicates, pool_sizes=pool_sizes,
+                            queue_policies=queue_policies,
+                            warm_seconds=warm_seconds,
+                            launch_hours=launch_hours, placements=placements)
     runner = SweepRunner(workers=workers, cache_dir=cache_dir, seed=seed)
     return runner.run(spec, fleet_cell,
                       context=catalog if catalog is not None else default_catalog())

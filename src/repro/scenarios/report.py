@@ -1,8 +1,20 @@
-"""Fleet-level aggregation tables (via :mod:`repro.analysis`)."""
+"""Fleet-level aggregation tables (via :mod:`repro.analysis`).
+
+Two table families:
+
+* :func:`fleet_summary_table` — one row per fleet replicate (the classic
+  per-cell view);
+* :func:`fleet_frontier_table` — the cost/makespan frontier of a
+  multi-axis fleet sweep: cells sharing the same non-``replicate`` axis
+  values aggregate into one row (mean makespan/cost, pooled denial and
+  warm-reuse rates), and rows on the Pareto frontier of (mean cost, mean
+  makespan) — no other row is at least as good on both and better on one —
+  are flagged in the ``frontier`` column.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -44,6 +56,77 @@ def fleet_summary_table(result: SweepResult) -> str:
     scenario = result.spec.fixed.get("scenario", {}).get("name", result.spec.name)
     return format_table(FLEET_TABLE_HEADERS, fleet_rows(result),
                         title=f"fleet scenario {scenario!r}")
+
+
+#: Metric columns of the frontier table (appended after the axis columns).
+FRONTIER_METRIC_HEADERS = (
+    "fleets", "jobs done", "makespan (h)", "cost (USD)", "denial rate",
+    "warm reuse", "frontier",
+)
+
+
+def _frontier_groups(result: SweepResult) -> Tuple[List[str], Dict[tuple, List[Dict[str, Any]]]]:
+    """Group a fleet sweep's payloads by their non-replicate axis values."""
+    axis_names = [name for name in result.spec.axis_names
+                  if name != "replicate"]
+    groups: Dict[tuple, List[Dict[str, Any]]] = {}
+    for cell_result in result:
+        payload = cell_result.payload
+        if not isinstance(payload, dict) or "makespan_seconds" not in payload:
+            raise DataError("fleet tables need fleet_cell payloads")
+        key = tuple(cell_result.cell.params[name] for name in axis_names)
+        groups.setdefault(key, []).append(payload)
+    return axis_names, groups
+
+
+def frontier_rows(result: SweepResult) -> Tuple[List[str], List[List[Any]]]:
+    """Aggregate a multi-axis fleet sweep into frontier-table rows.
+
+    Returns:
+        ``(headers, rows)``: the axis columns (sweep axes minus
+        ``replicate``) followed by :data:`FRONTIER_METRIC_HEADERS`, and one
+        row per axis combination.  Rates pool the underlying counts across
+        replicates (never NaN: a combination with zero replacement
+        requests reports a denial rate of 0.0), and the ``frontier``
+        column marks the Pareto-optimal (mean cost, mean makespan) rows
+        with ``*``.
+    """
+    axis_names, groups = _frontier_groups(result)
+    aggregated: List[Tuple[tuple, float, float, List[Any]]] = []
+    # Insertion order == the sweep's row-major cell order, so rows follow
+    # the natural axis ordering (1.0, 2.0, 10.0 — not "10.0" < "2.0").
+    for key, payloads in groups.items():
+        fleets = len(payloads)
+        makespan = float(np.mean([p["makespan_seconds"] for p in payloads])) / 3600.0
+        cost = float(np.mean([p["total_cost_usd"] for p in payloads]))
+        requests = sum(p["pool"]["replacement_requests"] for p in payloads)
+        denied = sum(p["replacements_denied"] for p in payloads)
+        granted = sum(p["pool"]["replacements_granted"] for p in payloads)
+        warm = sum(p.get("replacements_warm", 0) for p in payloads)
+        denial_rate = denied / requests if requests else 0.0
+        warm_rate = warm / granted if granted else 0.0
+        done = sum(p["jobs_completed"] for p in payloads)
+        total = sum(p["jobs_total"] for p in payloads)
+        aggregated.append((key, cost, makespan, [
+            fleets, f"{done}/{total}", makespan, cost, denial_rate,
+            warm_rate]))
+    rows: List[List[Any]] = []
+    for key, cost, makespan, metrics in aggregated:
+        dominated = any(
+            other_cost <= cost and other_makespan <= makespan
+            and (other_cost < cost or other_makespan < makespan)
+            for _key, other_cost, other_makespan, _metrics in aggregated)
+        rows.append(list(key) + metrics + ["*" if not dominated else ""])
+    headers = list(axis_names) + list(FRONTIER_METRIC_HEADERS)
+    return headers, rows
+
+
+def fleet_frontier_table(result: SweepResult) -> str:
+    """Render a multi-axis fleet sweep as its cost/makespan frontier table."""
+    scenario = result.spec.fixed.get("scenario", {}).get("name", result.spec.name)
+    headers, rows = frontier_rows(result)
+    return format_table(headers, rows,
+                        title=f"fleet frontier {scenario!r}")
 
 
 def fleet_hour_histogram(payloads: Sequence[Dict[str, Any]]) -> np.ndarray:

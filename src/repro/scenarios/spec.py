@@ -23,6 +23,12 @@ from repro.units import wrap_hour
 #: A pool key: ``(gpu name, region name)``.
 PoolKey = Tuple[str, str]
 
+#: Valid fleet placement modes: ``static`` pins every worker to its
+#: declared ``(gpu, region)``; ``adaptive`` lets the pool-aware launch
+#: advisor pick regions from live availability and the revocation
+#: calibration, at launch and on replacement denial.
+PLACEMENTS = ("static", "adaptive")
+
 
 def _normalize_key(gpu_name: str, region_name: str) -> PoolKey:
     """Canonical ``(gpu, region)`` key, validating both names."""
@@ -131,6 +137,17 @@ class ScenarioSpec:
             ``None`` to draw it from the scenario's random streams.
         poll_interval_seconds: Cadence of every job controller's
             monitoring loop.
+        warm_seconds: How long returning reclaimed capacity lingers as a
+            warm (re-acquirable, Fig. 10 warm-start) server before cooling
+            down.  0 keeps the pool cold-only.
+        warm_capacity: Maximum warm servers kept per ``(gpu, region)``
+            cell; 0 (the default) disables warm reuse entirely and is
+            bit-identical to the pre-warm-pool fleets.
+        placement: ``"static"`` (default: workers pinned to their declared
+            cells, bit-identical to pre-placement fleets) or ``"adaptive"``
+            (the pool-aware launch advisor picks regions from live
+            availability and the revocation calibration, at launch and on
+            replacement denial).
     """
 
     name: str
@@ -140,6 +157,9 @@ class ScenarioSpec:
     reclaim_seconds: float = 3600.0
     epoch_hour_utc: Optional[float] = None
     poll_interval_seconds: float = 60.0
+    warm_seconds: float = 0.0
+    warm_capacity: int = 0
+    placement: str = "static"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -150,6 +170,14 @@ class ScenarioSpec:
             raise ConfigurationError("reclaim_seconds must be non-negative")
         if self.poll_interval_seconds <= 0:
             raise ConfigurationError("poll_interval_seconds must be positive")
+        if self.warm_seconds < 0:
+            raise ConfigurationError("warm_seconds must be non-negative")
+        if self.warm_capacity < 0:
+            raise ConfigurationError("warm_capacity must be non-negative")
+        if self.placement not in PLACEMENTS:
+            known = ", ".join(PLACEMENTS)
+            raise ConfigurationError(
+                f"unknown placement {self.placement!r}; known: {known}")
         names = [job.name for job in self.jobs]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate job names in scenario {self.name!r}")
@@ -163,12 +191,30 @@ class ScenarioSpec:
             object.__setattr__(self, "epoch_hour_utc",
                                wrap_hour(self.epoch_hour_utc))
         demand = self.initial_demand()
-        for key, needed in demand.items():
-            have = capacity.get(key, 0)
-            if needed > have:
-                raise ConfigurationError(
-                    f"scenario {self.name!r} needs {needed} x {key} transient "
-                    f"servers up front but the pool only offers {have}")
+        if self.placement == "adaptive":
+            # Adaptive placement may move a worker to any pool cell with
+            # the same GPU type, so validate demand per GPU type instead of
+            # per cell.
+            demand_by_gpu: Dict[str, int] = {}
+            supply_by_gpu: Dict[str, int] = {}
+            for (gpu, _region), needed in demand.items():
+                demand_by_gpu[gpu] = demand_by_gpu.get(gpu, 0) + needed
+            for (gpu, _region), have in capacity.items():
+                supply_by_gpu[gpu] = supply_by_gpu.get(gpu, 0) + have
+            for gpu, needed in demand_by_gpu.items():
+                have = supply_by_gpu.get(gpu, 0)
+                if needed > have:
+                    raise ConfigurationError(
+                        f"scenario {self.name!r} needs {needed} x {gpu} "
+                        f"transient servers up front but the pool only "
+                        f"offers {have} across all regions")
+        else:
+            for key, needed in demand.items():
+                have = capacity.get(key, 0)
+                if needed > have:
+                    raise ConfigurationError(
+                        f"scenario {self.name!r} needs {needed} x {key} transient "
+                        f"servers up front but the pool only offers {have}")
 
     def initial_demand(self) -> Dict[PoolKey, int]:
         """Transient servers needed per pool at fleet launch."""
@@ -183,8 +229,16 @@ class ScenarioSpec:
         return sum(len(job.workers) for job in self.jobs)
 
     def to_params(self) -> Dict[str, Any]:
-        """JSON-encodable form (sweep cell parameters)."""
-        return {
+        """JSON-encodable form (sweep cell parameters).
+
+        The warm-pool and placement knobs are emitted **only when they
+        differ from their cold/static defaults**: the canonical JSON of a
+        cell's parameters keys both its derived RNG seed and its cache
+        entry, so a default (cold-only, statically placed) scenario must
+        encode byte-identically to its pre-warm-pool form for fleet
+        payloads and caches to stay bit-compatible.
+        """
+        params: Dict[str, Any] = {
             "name": self.name,
             "description": self.description,
             "jobs": [job.to_params() for job in self.jobs],
@@ -195,6 +249,13 @@ class ScenarioSpec:
             "epoch_hour_utc": self.epoch_hour_utc,
             "poll_interval_seconds": self.poll_interval_seconds,
         }
+        if self.warm_seconds != 0.0:
+            params["warm_seconds"] = self.warm_seconds
+        if self.warm_capacity != 0:
+            params["warm_capacity"] = self.warm_capacity
+        if self.placement != "static":
+            params["placement"] = self.placement
+        return params
 
     @classmethod
     def from_params(cls, params: Mapping[str, Any]) -> "ScenarioSpec":
@@ -213,5 +274,11 @@ class ScenarioSpec:
         pools = ", ".join(f"{count}x {gpu}@{region}"
                           for (gpu, region), count in
                           sorted(self.pool_capacity.items()))
+        extras = ""
+        if self.placement != "static":
+            extras += f"; placement: {self.placement}"
+        if self.warm_capacity > 0 and self.warm_seconds > 0:
+            extras += (f"; warm: {self.warm_capacity}/cell "
+                       f"for {self.warm_seconds:g}s")
         return (f"{len(self.jobs)} jobs / {self.total_workers()} workers; "
-                f"pool: {pools}")
+                f"pool: {pools}{extras}")

@@ -65,6 +65,94 @@ def test_advisor_accepts_custom_model_and_validates():
 
 
 # ---------------------------------------------------------------------------
+# Pool-aware placement.
+# ---------------------------------------------------------------------------
+def place_pool(capacity):
+    """A live TransientPool the place() mode can score against."""
+    from repro.scenarios.pool import TransientPool
+
+    return TransientPool(Simulator(), capacity, reclaim_seconds=600.0)
+
+
+def test_place_ranks_feasible_options_first():
+    pool = place_pool({("k80", "us-west1"): 2, ("k80", "europe-west1"): 2})
+    pool.acquire("k80", "us-west1")
+    pool.acquire("k80", "us-west1")  # us-west1 exhausted
+    advisor = LaunchAdvisor(samples_per_option=100, seed=7)
+    options = advisor.place("k80", duration_hours=2.0, pool=pool,
+                            hour_of_day_utc=9.0)
+    assert [option.region_name for option in options if option.feasible] \
+        == ["europe-west1"]
+    assert options[0].feasible and options[0].region_name == "europe-west1"
+    assert not options[-1].feasible and options[-1].region_name == "us-west1"
+    best = advisor.best_feasible("k80", 2.0, pool, 9.0)
+    assert best.region_name == "europe-west1"
+
+
+def test_place_prefers_the_safer_region_when_both_are_free():
+    pool = place_pool({("k80", "us-west1"): 2, ("k80", "europe-west1"): 2})
+    advisor = LaunchAdvisor(samples_per_option=400, seed=7)
+    # us-west1 is the study's most stable K80 region, europe-west1 the
+    # storm region (Fig. 8): with equal availability the calibrated score
+    # must prefer us-west1 at any hour.
+    best = advisor.best_feasible("k80", 2.0, pool, 9.0)
+    assert best.region_name == "us-west1"
+    assert best.revocation_probability < max(
+        o.revocation_probability
+        for o in advisor.place("k80", 2.0, pool, 9.0))
+
+
+def test_place_penalizes_queue_pressure():
+    # Waiters can only exist on an exhausted cell (the pool grants while
+    # anything is acquirable), so queue pressure orders the infeasible
+    # tail: between two exhausted cells, the one with the deeper waiter
+    # queue must rank later once the pressure penalty outweighs the
+    # revocation-score gap.
+    pool = place_pool({("k80", "us-west1"): 2, ("k80", "europe-west1"): 2})
+    for region in ("us-west1", "europe-west1"):
+        pool.acquire("k80", region)
+        pool.acquire("k80", region)
+    for index in range(2):
+        pool.request_replacement("k80", "us-west1", lambda warm: None,
+                                 queue=True, label=f"w{index}")
+    advisor = LaunchAdvisor(samples_per_option=400, seed=7)
+    unpressured = advisor.place("k80", 2.0, pool, 9.0, queue_weight=0.0)
+    assert [option.region_name for option in unpressured] \
+        == ["us-west1", "europe-west1"]  # safest first, no penalty
+    assert all(not option.feasible for option in unpressured)
+    assert unpressured[0].queue_depth == 2
+    pressured = advisor.place("k80", 2.0, pool, 9.0, queue_weight=10.0)
+    assert [option.region_name for option in pressured] \
+        == ["europe-west1", "us-west1"]
+    assert advisor.best_feasible("k80", 2.0, pool, 9.0) is None
+    with pytest.raises(ConfigurationError):
+        advisor.place("k80", 2.0, pool, 9.0, queue_weight=-1.0)
+
+
+def test_place_is_deterministic_and_memoized():
+    pool = place_pool({("k80", "us-west1"): 2, ("k80", "europe-west1"): 2})
+    advisor = LaunchAdvisor(samples_per_option=100, seed=3)
+    first = advisor.place("k80", 2.0, pool, 9.0)
+    again = advisor.place("k80", 2.0, pool, 9.0)
+    assert first == again
+    # Scores are independent of the order options were first evaluated.
+    fresh = LaunchAdvisor(samples_per_option=100, seed=3)
+    fresh.revocation_score("k80", "europe-west1",
+                           first[0].launch_hour_local, 2.0)
+    assert fresh.place("k80", 2.0, pool, 9.0) == first
+    assert len(advisor._probability_cache) == 2
+
+
+def test_place_with_nothing_acquirable_returns_no_feasible_option():
+    pool = place_pool({("k80", "us-west1"): 1})
+    pool.acquire("k80", "us-west1")
+    advisor = LaunchAdvisor(samples_per_option=100, seed=1)
+    assert advisor.best_feasible("k80", 2.0, pool, 0.0) is None
+    with pytest.raises(ConfigurationError):
+        advisor.place("v100", 2.0, pool, 0.0)  # no v100 cells in the pool
+
+
+# ---------------------------------------------------------------------------
 # Mitigation planner.
 # ---------------------------------------------------------------------------
 def test_planner_recommends_mitigation_for_saturated_cluster(resnet32_profile):

@@ -1,0 +1,86 @@
+"""Golden payload-identity tests for cold-only, statically placed fleets.
+
+``tests/data/fleet_golden_single_region_k80_seed5.json`` was frozen from
+the PR 4 fleet runner, **before** the warm pool and pool-aware placement
+landed.  The contract: a scenario with the default knobs
+(``warm_capacity=0``, ``placement="static"``) must keep producing that
+payload byte for byte — across the fleet scheduler
+(``REPRO_FLEET_SCHEDULER``), the simulation core path
+(``REPRO_CORE_FASTFORWARD``), and the trace level
+(``REPRO_FLEET_TRACE_LEVEL``) — so future refactors of the pool, the
+placement path, or the payload shape cannot silently drift the baseline.
+
+Regenerate the fixture **only** for a deliberate, documented payload
+change::
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.scenarios import get_scenario, run_fleet
+    from repro.simulation.rng import RandomStreams
+    payload = run_fleet(get_scenario("single_region_k80"), RandomStreams(seed=5))
+    with open("tests/data/fleet_golden_single_region_k80_seed5.json", "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    PY
+"""
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+from repro.scenarios import get_scenario, run_fleet
+from repro.simulation.rng import RandomStreams
+
+FIXTURE = (pathlib.Path(__file__).parent / "data"
+           / "fleet_golden_single_region_k80_seed5.json")
+
+
+def golden_payload():
+    return json.loads(FIXTURE.read_text())
+
+
+def normalized(payload):
+    """A JSON round trip so tuples/ints normalize exactly like the fixture."""
+    return json.loads(json.dumps(payload))
+
+
+@pytest.mark.parametrize("scheduler", ("wakeset", "roundrobin"))
+@pytest.mark.parametrize("fastforward", ("1", "0"))
+@pytest.mark.parametrize("trace_level", ("full", "summary"))
+def test_default_fleet_matches_the_frozen_pr4_payload(
+        scheduler, fastforward, trace_level, catalog, monkeypatch):
+    """warm_capacity=0 + static placement == the frozen PR 4 payload, for
+    every scheduler x core path x trace level combination (all knobs set
+    through their environment switches, like a real deployment would)."""
+    monkeypatch.setenv("REPRO_FLEET_SCHEDULER", scheduler)
+    monkeypatch.setenv("REPRO_CORE_FASTFORWARD", fastforward)
+    monkeypatch.setenv("REPRO_FLEET_TRACE_LEVEL", trace_level)
+    payload = run_fleet(get_scenario("single_region_k80"),
+                        RandomStreams(seed=5), catalog=catalog)
+    assert normalized(payload) == golden_payload()
+
+
+def test_explicit_defaults_are_the_defaults(catalog):
+    """Spelling out warm_capacity=0 / placement='static' changes nothing:
+    not the serialized parameters (hence not the derived sweep seeds or
+    cache keys) and not the payload."""
+    scenario = get_scenario("single_region_k80")
+    explicit = dataclasses.replace(scenario, warm_seconds=0.0,
+                                   warm_capacity=0, placement="static")
+    assert explicit.to_params() == scenario.to_params()
+    payload = run_fleet(explicit, RandomStreams(seed=5), catalog=catalog)
+    assert normalized(payload) == golden_payload()
+
+
+def test_fixture_is_well_formed():
+    """Guard the fixture itself: a hand edit that breaks its shape should
+    fail loudly here, not as a confusing diff in the matrix test."""
+    payload = golden_payload()
+    assert payload["scenario"] == "single_region_k80"
+    assert payload["jobs_total"] == 3
+    assert set(payload["pool"]["cells"]) == {"k80/us-west1"}
+    # The frozen baseline predates the warm pool / placement payload keys.
+    assert "replacements_warm" not in payload
+    assert "placement" not in payload
+    assert "warm" not in payload["pool"]["cells"]["k80/us-west1"]

@@ -16,7 +16,7 @@ from repro.scenarios.spec import JobSpec, ScenarioSpec
 from repro.simulation.rng import RandomStreams
 
 SCENARIOS = ("single_region_k80", "multi_region_hetero", "revocation_storm",
-             "capacity_crunch")
+             "capacity_crunch", "warm_reuse", "adaptive_placement")
 
 
 def scaled_storm(jobs, total_steps=1500):

@@ -9,6 +9,7 @@ from repro.modeling.metrics import mean_absolute_error, root_mean_squared_error
 from repro.modeling.preprocessing import MinMaxScaler, PCA
 from repro.perf.ps_capacity import PSCapacityModel, effective_cluster_speed
 from repro.perf.step_time import StepTimeModel
+from repro.scenarios.pool import TransientPool
 from repro.simulation.engine import Simulator
 from repro.training.cluster import ClusterSpec
 
@@ -123,3 +124,97 @@ def test_linear_regression_recovers_exact_line(slope, intercept, n):
     model = LinearRegression().fit(x, y)
     assert np.isclose(model.coef_[0], slope, atol=1e-6)
     assert np.isclose(model.intercept_, intercept, atol=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# TransientPool invariants under random interleavings.
+# ---------------------------------------------------------------------------
+#: Pool operations the interpreter below understands.  Illegal draws (e.g.
+#: releasing with nothing in use) are skipped, so every generated program
+#: is a legal interleaving of acquire / revoke / release / request /
+#: cancel / time-advance against one (gpu, region) cell.
+_POOL_OPS = 6
+
+
+@COMMON_SETTINGS
+@given(capacity=st.integers(min_value=1, max_value=4),
+       warm_capacity=st.integers(min_value=0, max_value=4),
+       warm_seconds=st.sampled_from([0.0, 40.0]),
+       ops=st.lists(st.tuples(st.integers(0, _POOL_OPS - 1),
+                              st.integers(0, 99)),
+                    max_size=40))
+def test_transient_pool_invariants_under_random_interleavings(
+        capacity, warm_capacity, warm_seconds, ops):
+    """Conservation, FIFO grants, and single-shot reclaim/cooldown timers
+    hold for every random acquire/revoke/release/warm-reuse interleaving."""
+    sim = Simulator()
+    key = ("k80", "us-west1")
+    pool = TransientPool(sim, {key: capacity}, reclaim_seconds=25.0,
+                         warm_seconds=warm_seconds,
+                         warm_capacity=warm_capacity)
+    state = pool._states[key]
+    enqueued = []       # queued-request labels, in enqueue order
+    granted_log = []    # (label, warm) in grant order (sync and queued)
+    outstanding = []    # (label, ticket) of not-yet-resolved queued requests
+    labels = iter(f"w{i}" for i in range(1000))
+
+    def check():
+        assert state.in_use >= 0 and state.reclaimed >= 0
+        assert state.warm >= 0 and state.available >= 0
+        # Conservation: every slot is in exactly one bucket...
+        assert (state.in_use + state.available + state.warm
+                + state.reclaimed) == capacity
+        # ...which implies the headline invariant from the issue:
+        assert state.in_use + state.available + state.warm <= capacity
+        assert state.warm <= warm_capacity
+        if not pool.warm_enabled:
+            assert state.warm == 0
+        # Waiters exist only while nothing is acquirable.
+        if pool.pending_waiters(*key) > 0:
+            assert pool.acquirable(*key) == 0
+
+    for op, arg in ops:
+        if op == 0 and pool.acquirable(*key) > 0:
+            pool.acquire(*key)
+        elif op == 1 and state.in_use > 0:
+            pool.revoke(*key)
+        elif op == 2 and state.in_use > 0:
+            pool.release(*key)
+        elif op == 3:
+            label = next(labels)
+            ticket = pool.request_replacement(
+                *key, lambda warm, lab=label: granted_log.append((lab, warm)),
+                queue=arg % 2 == 0, label=label)
+            if ticket.outcome == "queued":
+                enqueued.append(label)
+                outstanding.append((label, ticket))
+        elif op == 4:
+            sim.run(until=sim.now + (arg % 60) + 1)
+        elif op == 5 and outstanding:
+            _label, ticket = outstanding.pop(arg % len(outstanding))
+            ticket.cancel()
+        check()
+
+    # Drain every pending reclaim/cooldown timer: capacity must return
+    # exactly once per revocation (never resurrect twice), warm servers
+    # must all cool down, and conservation must still hold.
+    sim.run()
+    check()
+    assert state.reclaimed == 0
+    assert state.warm == 0
+    assert state.in_use + state.available == capacity
+
+    # FIFO: queued requests were granted in enqueue order (cancelled and
+    # still-waiting ones simply drop out of the sequence).
+    queued_grants = [label for label, _warm in granted_log
+                     if label in set(enqueued)]
+    assert queued_grants == [label for label in enqueued
+                             if label in set(queued_grants)]
+    # Warm grants can only happen when the warm path is enabled.
+    if not pool.warm_enabled:
+        assert not any(warm for _label, warm in granted_log)
+    # Counter bookkeeping adds up.
+    assert pool.replacements_granted == len(granted_log)
+    assert (pool.replacements_granted + pool.replacements_denied
+            + pool.pending_waiters(*key) + pool.replacements_cancelled
+            ) == pool.replacement_requests
