@@ -1,0 +1,322 @@
+"""Record the placement-service baseline (``BENCH_serve.json``).
+
+Replays a deterministic query stream against a :class:`repro.serve
+.PlacementService` backed by a churning transient pool — the serving
+shape of the ROADMAP's "placement advisor as an online service" item —
+and records:
+
+* **queries/sec** on the full replay (batched ``answer_many``, pool
+  version bumps interleaved so the decision cache is repeatedly
+  invalidated and refilled, like a live fleet would);
+* **p50/p99 latency** of single ``answer`` calls over a sampled slice of
+  the same stream;
+* **cold-scoring speedup** of the vectorized score table over the legacy
+  per-option sampling backend (fresh advisors, every option scored once
+  per duration) — the ratio the CI smoke gate tracks, since both
+  backends run the same machine in the same process.
+
+It also verifies the serve-layer contracts: batch answers bit-identical
+to sequential singles, table and sampling backends bit-identical, and
+decisions deterministic across fresh services.
+
+Run with::
+
+    python benchmarks/serve_baseline.py            # full baseline, writes JSON
+    python benchmarks/serve_baseline.py --quick    # quick config only, no write
+    python benchmarks/serve_baseline.py --quick --check
+        # measure the quick config and fail (exit 1) if the table-vs-
+        # sampling cold-scoring speedup regressed more than 30% against
+        # the committed BENCH_serve.json
+    python benchmarks/serve_baseline.py --quick --json-out out.json
+        # also dump the measured numbers (CI uploads these as artifacts)
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.modeling.launch_advisor import LaunchAdvisor
+from repro.modeling.placement import PlacementQuery
+from repro.scenarios.pool import TransientPool
+from repro.serve.service import PlacementService
+from repro.simulation.engine import Simulator
+
+#: The reference replay: 1M queries over a discrete (gpu, duration,
+#: utc-hour) grid, pool churn every ``churn_every`` queries.
+REFERENCE = {"queries": 1_000_000, "latency_sample": 20_000,
+             "churn_every": 256, "batch": 1_000, "seed": 0,
+             "samples_per_option": 400}
+
+#: Quick variant used by the CI smoke gate.
+QUICK = {"queries": 50_000, "latency_sample": 5_000,
+         "churn_every": 256, "batch": 1_000, "seed": 0,
+         "samples_per_option": 400}
+
+#: Allowed fractional cold-scoring-speedup regression before ``--check``
+#: fails.
+REGRESSION_TOLERANCE = 0.30
+
+#: The query grid: every combination appears in the replay stream.
+GPUS = ("k80", "p100", "v100")
+DURATIONS = tuple(float(hours) for hours in range(1, 25))
+UTC_HOURS = tuple(hour / 2.0 for hour in range(48))
+
+#: Cold-scoring workload (the gate): score every (gpu, hour) option at
+#: each duration with a fresh advisor under each backend.
+COLD_DURATIONS = DURATIONS[:12]
+
+OUTPUT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "BENCH_serve.json")
+
+#: Pool cells covering every replay GPU (capacities > 1 so churn can
+#: acquire/release without exhausting a cell).
+POOL_CAPACITY = {("k80", "us-west1"): 4, ("k80", "europe-west1"): 4,
+                 ("p100", "us-central1"): 4, ("p100", "europe-west1"): 4,
+                 ("v100", "us-west1"): 4, ("v100", "us-central1"): 4}
+
+
+def build_service(config: dict, score_backend: str = "table",
+                  with_pool: bool = True) -> PlacementService:
+    pool = None
+    if with_pool:
+        pool = TransientPool(Simulator(), dict(POOL_CAPACITY),
+                             reclaim_seconds=600.0)
+    advisor = LaunchAdvisor(samples_per_option=config["samples_per_option"],
+                            seed=config["seed"], score_backend=score_backend)
+    return PlacementService(advisor=advisor, pool=pool)
+
+
+def query_stream(count: int):
+    """A deterministic replay stream cycling the discrete query grid.
+
+    Stride-based index mixing (coprime strides) so consecutive queries
+    differ in every axis — the worst case for a naive per-query cache,
+    the intended case for the epoch-keyed decision cache.
+    """
+    gpus, durations, hours = GPUS, DURATIONS, UTC_HOURS
+    for index in range(count):
+        yield PlacementQuery(
+            gpu_name=gpus[(index * 7) % len(gpus)],
+            duration_hours=durations[(index * 11) % len(durations)],
+            hour_of_day_utc=hours[(index * 13) % len(hours)])
+
+
+def churn(pool: TransientPool, step: int) -> None:
+    """One deterministic pool transition (bumps the pool version)."""
+    cells = sorted(POOL_CAPACITY)
+    gpu, region = cells[step % len(cells)]
+    if pool.available(gpu, region) > 0:
+        pool.acquire(gpu, region)
+    else:
+        pool.release(gpu, region)
+
+
+def measure_replay(config: dict) -> dict:
+    """Throughput + latency of the batched replay with pool churn."""
+    service = build_service(config)
+    service.warm()
+
+    async def replay() -> float:
+        batch_size = config["batch"]
+        churn_every = config["churn_every"]
+        batch: list = []
+        started = time.perf_counter()
+        step = 0
+        for index, query in enumerate(query_stream(config["queries"])):
+            batch.append(query)
+            if len(batch) == batch_size:
+                await service.answer_many(batch)
+                batch.clear()
+            if (index + 1) % churn_every == 0:
+                churn(service.pool, step)
+                step += 1
+        if batch:
+            await service.answer_many(batch)
+        return time.perf_counter() - started
+
+    wall = asyncio.run(replay())
+
+    async def latencies() -> np.ndarray:
+        samples = np.empty(config["latency_sample"])
+        for index, query in enumerate(query_stream(config["latency_sample"])):
+            started = time.perf_counter()
+            await service.answer(query)
+            samples[index] = time.perf_counter() - started
+        return samples
+
+    sampled = asyncio.run(latencies())
+    stats = service.stats()
+    return {
+        "queries": config["queries"],
+        "wall_seconds": round(wall, 3),
+        "queries_per_sec": round(config["queries"] / wall, 1),
+        "latency_p50_us": round(float(np.percentile(sampled, 50)) * 1e6, 2),
+        "latency_p99_us": round(float(np.percentile(sampled, 99)) * 1e6, 2),
+        "latency_sample": config["latency_sample"],
+        "cache_hits": stats["cache_hits"],
+        "cache_invalidations": stats["cache_invalidations"],
+        "pool_version_final": stats["pool_version"],
+    }
+
+
+def measure_cold_scoring(config: dict) -> dict:
+    """Score the full option grid cold under each backend; gate ratio."""
+    walls = {}
+    for backend in ("table", "sampling"):
+        service = build_service(config, score_backend=backend,
+                                with_pool=False)
+        queries = [PlacementQuery(gpu_name=gpu, duration_hours=duration,
+                                  hour_of_day_utc=hour)
+                   for gpu in GPUS
+                   for duration in COLD_DURATIONS
+                   for hour in UTC_HOURS]
+        started = time.perf_counter()
+        asyncio.run(service.answer_many(queries))
+        walls[backend] = time.perf_counter() - started
+    return {
+        "options": len(GPUS) * len(UTC_HOURS),
+        "durations": len(COLD_DURATIONS),
+        "table_wall_seconds": round(walls["table"], 3),
+        "sampling_wall_seconds": round(walls["sampling"], 3),
+        "speedup_cold_scoring": round(walls["sampling"] / walls["table"], 2),
+    }
+
+
+def verify_contracts(config: dict) -> dict:
+    """The serve-layer identity contracts (asserted, and recorded)."""
+    probe = dict(config, queries=2_000)
+
+    # Batch == sequential: same advisor seed, same pool history.
+    batch_service = build_service(probe)
+    batched = asyncio.run(
+        batch_service.answer_many(list(query_stream(probe["queries"]))))
+    single_service = build_service(probe)
+
+    async def sequential():
+        return [await single_service.answer(query)
+                for query in query_stream(probe["queries"])]
+
+    singles = asyncio.run(sequential())
+    assert batched == singles, "batch decisions diverged from sequential"
+
+    # Table == sampling, decision for decision.
+    sampling_service = build_service(probe, score_backend="sampling")
+    sampled = asyncio.run(
+        sampling_service.answer_many(list(query_stream(probe["queries"]))))
+    assert sampled == batched, "sampling-backend decisions diverged from table"
+
+    # Determinism across fresh services.
+    again = asyncio.run(build_service(probe).answer_many(
+        list(query_stream(probe["queries"]))))
+    assert again == batched, "fresh service produced different decisions"
+
+    return {"batch_equals_sequential": True, "table_equals_sampling": True,
+            "deterministic": True, "probe_queries": probe["queries"]}
+
+
+def _measure(config: dict) -> dict:
+    contracts = verify_contracts(config)
+    return {
+        "replay": measure_replay(config),
+        "cold_scoring": measure_cold_scoring(config),
+        "bit_identical_decisions": contracts,
+    }
+
+
+def _check(baseline_path: str, measured: dict) -> int:
+    """Gate on the table-vs-sampling cold-scoring speedup.
+
+    Both backends score the same grid in the same process, so their ratio
+    is comparable across machines; the committed absolute queries/sec and
+    latency numbers are host specific and only informative.
+    """
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            committed = json.load(handle)
+    except FileNotFoundError:
+        print(f"no committed baseline at {baseline_path}; nothing to check")
+        return 1
+    reference = committed["quick"]["cold_scoring"]["speedup_cold_scoring"]
+    current = measured["cold_scoring"]["speedup_cold_scoring"]
+    floor = reference * (1.0 - REGRESSION_TOLERANCE)
+    verdict = "OK" if current >= floor else "REGRESSION"
+    print(f"score-table speedup over sampling: measured {current:.2f}x vs "
+          f"committed {reference:.2f}x (floor {floor:.2f}x) -> {verdict}")
+    print(f"(informative absolute queries/sec: measured "
+          f"{measured['replay']['queries_per_sec']:,.0f}, committed "
+          f"{committed['quick']['replay']['queries_per_sec']:,.0f})")
+    return 0 if current >= floor else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="measure only the quick configuration; do not "
+                             "rewrite BENCH_serve.json")
+    parser.add_argument("--check", nargs="?", const=OUTPUT, default=None,
+                        metavar="BASELINE",
+                        help="compare the quick table-vs-sampling cold-"
+                             "scoring speedup against a committed baseline "
+                             "(default benchmarks/BENCH_serve.json) and exit "
+                             "non-zero on a >30%% regression")
+    parser.add_argument("--json-out", default=None, metavar="PATH",
+                        help="write the measured numbers to PATH (CI uploads "
+                             "them as a workflow artifact)")
+    args = parser.parse_args(argv)
+
+    quick = _measure(QUICK)
+    print(json.dumps({"quick": quick}, indent=2))
+    measured = {"quick": quick}
+    status = 0
+    if args.check is not None:
+        status = _check(args.check, quick)
+    elif not args.quick:
+        full = _measure(REFERENCE)
+        measured["full"] = full
+        baseline = {
+            "reference_replay": REFERENCE,
+            "full": full,
+            "quick": quick,
+            "environment": {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "cpu_count": os.cpu_count(),
+                "usable_cpus": len(os.sched_getaffinity(0))
+                if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+            },
+            "note": ("queries_per_sec replays the (gpu, duration, utc-hour) "
+                     "grid through PlacementService.answer_many batches with "
+                     "a pool transition every churn_every queries (decision "
+                     "cache repeatedly invalidated); latency percentiles "
+                     "time single answer() awaits.  Tracked contracts: "
+                     "batch == sequential decisions, table == sampling "
+                     "decisions, deterministic replay, and the vectorized "
+                     "score table stays well ahead of the legacy per-"
+                     "option sampler on cold scoring.  Regenerate with "
+                     "`python benchmarks/serve_baseline.py` on the same "
+                     "host class when the advisor, score table, or serve "
+                     "layer changes."),
+        }
+        with open(OUTPUT, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(json.dumps({"full": full}, indent=2))
+        print(f"\nwrote {OUTPUT}")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(measured, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,8 @@ Metadata lives here (rather than in ``pyproject.toml``'s ``[project]``
 table) so legacy editable installs — ``pip install -e .`` without the
 ``wheel`` package — keep working in offline environments.  The package
 uses a ``src/`` layout; installing it makes ``import repro`` work without
-a manual ``PYTHONPATH`` and provides the ``repro-sweeps`` and
-``repro-scenarios`` console scripts.
+a manual ``PYTHONPATH`` and provides the ``repro-sweeps``,
+``repro-scenarios``, and ``repro-serve`` console scripts.
 """
 
 import os
@@ -36,6 +36,7 @@ setup(
         "console_scripts": [
             "repro-sweeps = repro.sweeps.cli:main",
             "repro-scenarios = repro.scenarios.cli:main",
+            "repro-serve = repro.serve.cli:main",
         ],
     },
 )

@@ -1,0 +1,95 @@
+"""Shared command-line plumbing for the repro front ends.
+
+``repro-sweeps``, ``repro-scenarios``, and ``repro-serve`` present the
+same surface where they overlap: the ``--workers`` / ``--cache-dir`` /
+``--seed`` / ``--json`` flags of the ``run`` / ``resume`` subcommands, the
+"resume requires a cache" check, and the exit-code conventions (0 for a
+broken pipe so ``| head`` stays clean, 1 with an ``error:`` line for any
+:class:`~repro.errors.ReproError`).  This module is the single home of
+that plumbing, so the front ends cannot drift apart flag by flag.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.sweeps.runner import parse_workers
+
+#: Environment default for ``--workers`` (matching the benchmark harness).
+SWEEP_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+def parse_workers_arg(text: str):
+    """Argparse type for ``--workers``: an integer, or ``auto``.
+
+    Wraps :func:`repro.sweeps.runner.parse_workers` so every front end
+    accepts and rejects exactly the same values with the same message.
+    """
+    try:
+        return parse_workers(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--workers expects a non-negative integer or 'auto' (got {text!r})")
+
+
+def default_workers() -> str:
+    """The ``--workers`` default: ``REPRO_SWEEP_WORKERS`` or ``"1"``."""
+    return os.environ.get(SWEEP_WORKERS_ENV, "") or "1"
+
+
+def add_run_resume_arguments(sub: argparse.ArgumentParser, *,
+                             name_help: str,
+                             workers_default: str = "1",
+                             workers_help: str = ("worker processes, or "
+                                                  "'auto' to size from the "
+                                                  "CPU count (default: 1, "
+                                                  "serial)"),
+                             cache_help: str = ("directory for the per-cell "
+                                                "JSON result cache"),
+                             json_help: str = ("also write payloads to a "
+                                               "JSON file")) -> None:
+    """Attach the shared ``run`` / ``resume`` flags to a subparser."""
+    sub.add_argument("name", help=name_help)
+    sub.add_argument("--workers", type=parse_workers_arg,
+                     default=parse_workers_arg(workers_default),
+                     help=workers_help)
+    sub.add_argument("--cache-dir", default=None, help=cache_help)
+    sub.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    sub.add_argument("--json", dest="json_out", default=None, metavar="PATH",
+                     help=json_help)
+
+
+def resume_requires_cache(args: argparse.Namespace) -> bool:
+    """True (after printing the usage error) when ``resume`` lacks a cache."""
+    if args.command == "resume" and args.cache_dir is None:
+        print("resume requires --cache-dir", file=sys.stderr)
+        return True
+    return False
+
+
+def write_json_out(path: str, document: Any, count: int, what: str) -> None:
+    """Write a CLI's ``--json`` document and print the confirmation line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    print(f"wrote {count} {what} to {path}")
+
+
+def run_cli(body: Callable[[], int]) -> int:
+    """Run a CLI body under the shared exit-code conventions.
+
+    ``BrokenPipeError`` (output piped to a consumer that closed early,
+    e.g. ``| head``) exits 0; any :class:`~repro.errors.ReproError` prints
+    an ``error:`` line and exits 1.
+    """
+    try:
+        return body()
+    except BrokenPipeError:
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -32,6 +32,12 @@ from repro.modeling.revocation_estimator import EmpiricalLifetimeDistribution, R
 from repro.modeling.training_time import TrainingTimeEstimator, TrainingTimePrediction
 from repro.modeling.cost import ClusterCostModel, CostEstimate
 from repro.modeling.launch_advisor import LaunchAdvisor, LaunchOption
+from repro.modeling.placement import (
+    PlacementDecision,
+    PlacementOption,
+    PlacementQuery,
+    ScoreTable,
+)
 
 __all__ = [
     "mean_absolute_error",
@@ -62,4 +68,8 @@ __all__ = [
     "CostEstimate",
     "LaunchAdvisor",
     "LaunchOption",
+    "PlacementQuery",
+    "PlacementOption",
+    "PlacementDecision",
+    "ScoreTable",
 ]

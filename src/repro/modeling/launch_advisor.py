@@ -9,26 +9,58 @@ combinations for a given GPU type and run duration by the probability that
 a worker survives the run, estimated by Monte-Carlo sampling of the
 calibrated revocation model (or of any model with the same interface).
 
+The query API
+-------------
+All placement questions go through one entry point,
+:meth:`LaunchAdvisor.answer`, which takes a frozen
+:class:`~repro.modeling.placement.PlacementQuery` (grid mode: score a
+launch-hour grid offline; live mode: score every candidate region at its
+current local hour) plus an optional pool snapshot, and returns a ranked
+:class:`~repro.modeling.placement.PlacementDecision`.  The five historical
+entry points (``score_option`` / ``rank_options`` / ``place`` /
+``best_feasible`` / ``recommend``) survive as thin deprecation shims over
+``answer()``.
+
+Scoring is deterministic — each ``(gpu, region, hour)`` option draws from
+its own stable generator, seeded from the advisor seed and a CRC digest of
+the option itself, independent of call order — so fleet payloads stay
+reproducible and serial/parallel sweep executions stay bit-identical.  Two
+score backends produce **bit-identical** probabilities:
+
+* ``table`` (default) — the vectorized
+  :class:`~repro.modeling.placement.ScoreTable`, which replays each
+  option's sampling tape once, keeps the sorted revoked lifetimes, and
+  answers every duration by rank lookup;
+* ``sampling`` — the legacy per-option scalar Monte-Carlo loop with
+  per-``(gpu, region, hour, duration)`` memoization, kept as the reference
+  implementation.
+
+Select with ``REPRO_PLACEMENT_SCORES=table|sampling`` (payload-neutral by
+construction; fingerprinted by the sweep cache like the other runtime
+knobs) or per advisor via ``score_backend=``.
+
 Pool-aware placement
 --------------------
-:meth:`LaunchAdvisor.place` extends the advisor to *fleet* scale: it ranks
-``(gpu, region, launch hour)`` options by combining the calibrated
-revocation score with the **live** state of a shared transient-server pool
-(free/warm slot counts and replacement-queue depth, duck-typed against
-:class:`repro.scenarios.pool.TransientPool`).  Options with no acquirable
-slot are marked infeasible and rank after every feasible one, so a fleet
-controller can fall back to the next-best feasible placement instead of
-queueing blindly on an exhausted cell.  Scoring is deterministic — each
-``(gpu, region, hour)`` option draws from its own stable generator and is
-memoized per duration — so fleet payloads stay reproducible and
-serial/parallel sweep executions stay bit-identical.
+A live-mode query with a pool ranks ``(gpu, region, launch hour)`` options
+by combining the calibrated revocation score with pool state (free/warm
+slot counts and replacement-queue depth), read through the versioned
+read-only snapshot API of :class:`repro.scenarios.pool.TransientPool` (any
+object with ``cells()`` / ``acquirable()`` / ``pending_waiters()`` /
+``capacity()`` works).  Options with no acquirable slot are marked
+infeasible and rank after every feasible one, so a fleet controller can
+fall back to the next-best feasible placement instead of queueing blindly
+on an exhausted cell.  The decision records the pool version it was
+computed against, which is what lets :mod:`repro.serve` cache decisions
+until the pool actually changes.
 """
 
 from __future__ import annotations
 
+import os
+import warnings
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,12 +68,28 @@ from repro.cloud.gpus import get_gpu
 from repro.cloud.regions import get_region
 from repro.cloud.revocation import RevocationModel
 from repro.errors import ConfigurationError
+from repro.modeling.placement import (
+    PlacementDecision,
+    PlacementOption,
+    PlacementQuery,
+    ScoreTable,
+)
 from repro.units import hour_bin
+
+#: Environment switch selecting the score backend (``table`` or
+#: ``sampling``).  Both are bit-identical; the knob exists so the legacy
+#: reference path stays deployable (and benchmarkable) without code edits.
+PLACEMENT_SCORES_ENV = "REPRO_PLACEMENT_SCORES"
+
+_SCORE_BACKENDS = ("table", "sampling")
 
 
 @dataclass(frozen=True)
 class LaunchOption:
-    """One scored (region, launch hour) option.
+    """One scored (region, launch hour) option of the deprecated grid shims.
+
+    New code reads :class:`~repro.modeling.placement.PlacementOption` out
+    of a :class:`~repro.modeling.placement.PlacementDecision` instead.
 
     Attributes:
         gpu_name: GPU type being launched.
@@ -59,34 +107,25 @@ class LaunchOption:
     revocation_probability: float
     expected_revocations: float
 
+#: Historical launch-hour grid of the deprecated ``rank_options`` /
+#: ``recommend`` shims.
+_DEFAULT_LAUNCH_HOURS = (0, 4, 8, 12, 16, 20)
 
-@dataclass(frozen=True)
-class PlacementOption:
-    """One pool-aware ``(gpu, region, launch hour)`` placement option.
 
-    Attributes:
-        gpu_name: GPU type being placed.
-        region_name: Candidate region.
-        launch_hour_local: Local launch hour (0-23) the score was taken at.
-        revocation_probability: Estimated probability that one worker is
-            revoked before the placement horizon elapses.
-        acquirable: Slots (cold free + warm) the pool could hand out right
-            now in this cell.
-        queue_depth: Replacement requests already queued on this cell.
-        feasible: Whether the pool can grant a slot here right now.
-        score: Combined rank score (lower is better): the revocation
-            probability plus a queue-pressure penalty; infeasible options
-            always rank after every feasible one.
-    """
+def placement_scores_backend() -> str:
+    """The score backend selected by ``REPRO_PLACEMENT_SCORES`` (default
+    ``table``).  Unrecognized values fall back to the default rather than
+    failing a whole fleet run over a typo; advisors constructed with an
+    explicit ``score_backend=`` validate strictly instead."""
+    backend = os.environ.get(PLACEMENT_SCORES_ENV, "").strip().lower()
+    return backend if backend in _SCORE_BACKENDS else "table"
 
-    gpu_name: str
-    region_name: str
-    launch_hour_local: int
-    revocation_probability: float
-    acquirable: int
-    queue_depth: int
-    feasible: bool
-    score: float
+
+def _deprecated(old: str, instead: str) -> None:
+    warnings.warn(
+        f"LaunchAdvisor.{old} is deprecated; use LaunchAdvisor.answer"
+        f"({instead}) instead",
+        DeprecationWarning, stacklevel=3)
 
 
 class LaunchAdvisor:
@@ -96,20 +135,31 @@ class LaunchAdvisor:
         revocation_model: Generative revocation model to sample from; the
             calibrated default model when omitted.
         samples_per_option: Monte-Carlo samples per (region, hour) option.
-        seed: Seed for the sampling generator.
+        seed: Seed the per-option generators derive from.
+        score_backend: ``"table"`` or ``"sampling"`` (see the module
+            docstring); ``None`` reads ``REPRO_PLACEMENT_SCORES``.
     """
 
     def __init__(self, revocation_model: Optional[RevocationModel] = None,
-                 samples_per_option: int = 400, seed: int = 0):
+                 samples_per_option: int = 400, seed: int = 0,
+                 score_backend: Optional[str] = None):
         if samples_per_option < 10:
             raise ConfigurationError("samples_per_option must be at least 10")
+        if score_backend is None:
+            score_backend = placement_scores_backend()
+        elif score_backend not in _SCORE_BACKENDS:
+            raise ConfigurationError(
+                f"unknown score backend {score_backend!r}; "
+                f"expected one of {_SCORE_BACKENDS}")
+        self.score_backend = score_backend
         self._model_template = revocation_model
         self.samples_per_option = samples_per_option
         self.seed = seed
-        #: Memoized per-(gpu, region, hour, duration) revocation scores for
-        #: the pool-aware placement path, which re-scores the same cells
-        #: every time a fleet replacement is denied.
-        self._probability_cache: Dict[Tuple[str, str, int, float], float] = {}
+        self._table = ScoreTable(revocation_model,
+                                 samples=samples_per_option, seed=seed)
+        #: Sampling-backend memo per (gpu, region, hour, duration); the
+        #: table backend needs none (the score table is duration-agnostic).
+        self._probability_cache = {}
 
     def _model_for(self, option_index: int) -> RevocationModel:
         rng = np.random.default_rng(self.seed * 9973 + option_index)
@@ -121,172 +171,246 @@ class LaunchAdvisor:
                                calibration=dict(self._model_template._calibration),
                                hourly_weights=dict(self._model_template._hourly_weights))
 
-    # ------------------------------------------------------------------
-    # Scoring.
-    # ------------------------------------------------------------------
-    def score_option(self, gpu_name: str, region_name: str, launch_hour_local: int,
-                     duration_hours: float, num_workers: int = 1,
-                     option_index: int = 0) -> LaunchOption:
-        """Score one (region, launch hour) option by Monte-Carlo sampling."""
-        if duration_hours <= 0:
-            raise ConfigurationError("duration_hours must be positive")
-        if num_workers < 1:
-            raise ConfigurationError("num_workers must be >= 1")
-        gpu = get_gpu(gpu_name)
-        model = self._model_for(option_index)
-        # The batched sampler consumes the RNG exactly like a sample() loop,
-        # so scores are unchanged — just cheaper per option.
-        outcomes = model.sample_batch(gpu.name, region_name,
-                                      self.samples_per_option,
-                                      launch_hour_local=float(launch_hour_local))
-        revoked_within_run = sum(
-            1 for outcome in outcomes
-            if outcome.revoked and outcome.lifetime_hours <= duration_hours)
-        probability = revoked_within_run / self.samples_per_option
-        return LaunchOption(gpu_name=gpu.name, region_name=region_name,
-                            launch_hour_local=hour_bin(launch_hour_local),
-                            revocation_probability=probability,
-                            expected_revocations=probability * num_workers)
+    @property
+    def score_table(self) -> ScoreTable:
+        """The advisor's vectorized score table.
 
-    def rank_options(self, gpu_name: str, duration_hours: float,
-                     num_workers: int = 1,
-                     region_names: Optional[Sequence[str]] = None,
-                     launch_hours: Sequence[int] = (0, 4, 8, 12, 16, 20)
-                     ) -> List[LaunchOption]:
-        """Score and rank all candidate (region, hour) combinations.
-
-        Args:
-            gpu_name: GPU type of the workers.
-            duration_hours: Expected run duration.
-            num_workers: Number of transient workers in the cluster.
-            region_names: Candidate regions; defaults to every region that
-                offers the GPU type in the calibrated model.
-            launch_hours: Candidate local launch hours.
-
-        Returns:
-            Options sorted from the safest (lowest revocation probability)
-            to the riskiest.
+        Always present (even under the sampling backend, which ignores
+        it), so the serve layer can pre-warm every ``(gpu, region, hour)``
+        option at startup regardless of backend.
         """
-        model = self._model_for(0)
-        if region_names is None:
-            region_names = [region for gpu, region in model.available_cells()
-                            if gpu == get_gpu(gpu_name).name]
-        if not region_names:
-            raise ConfigurationError(f"no candidate regions offer {gpu_name!r}")
-        options: List[LaunchOption] = []
-        option_index = 1
-        for region_name in region_names:
-            for hour in launch_hours:
-                options.append(self.score_option(
-                    gpu_name, region_name, hour, duration_hours,
-                    num_workers=num_workers, option_index=option_index))
-                option_index += 1
-        return sorted(options, key=lambda option: (option.revocation_probability,
-                                                   option.region_name,
-                                                   option.launch_hour_local))
+        return self._table
 
     # ------------------------------------------------------------------
-    # Pool-aware placement.
+    # Scoring primitives.
     # ------------------------------------------------------------------
     def revocation_score(self, gpu_name: str, region_name: str,
                          launch_hour_local: int, duration_hours: float) -> float:
-        """Memoized per-worker revocation probability for one option.
+        """Per-worker revocation probability for one option.
 
         Each ``(gpu, region, hour)`` option samples from its own stable
         generator (seeded from the advisor seed and a digest of the option
         itself, independent of call order), so repeated placement queries
-        during a fleet run are deterministic and cheap.
+        during a fleet run are deterministic and cheap.  Both backends
+        return bit-identical values.
         """
         if duration_hours <= 0:
             raise ConfigurationError("duration_hours must be positive")
         gpu = get_gpu(gpu_name)
         hour = hour_bin(launch_hour_local)
-        key = (gpu.name, region_name, hour, float(duration_hours))
+        if self.score_backend == "table":
+            return self._table.probability(gpu.name, region_name, hour,
+                                           duration_hours)
+        return self._sampled_score(gpu.name, region_name, hour,
+                                   float(duration_hours))
+
+    def _sampled_score(self, gpu_name: str, region_name: str, hour: int,
+                       duration_hours: float) -> float:
+        """The legacy scalar Monte-Carlo backend (memoized per duration)."""
+        key = (gpu_name, region_name, hour, duration_hours)
         cached = self._probability_cache.get(key)
         if cached is not None:
             return cached
         # A stable per-option index: CRC32 keeps the derived generator
         # independent of the order in which options are first scored.
         option_index = zlib.crc32(
-            f"place:{gpu.name}:{region_name}:{hour}".encode("utf-8"))
-        option = self.score_option(gpu.name, region_name, hour, duration_hours,
-                                   option_index=option_index)
-        self._probability_cache[key] = option.revocation_probability
-        return option.revocation_probability
+            f"place:{gpu_name}:{region_name}:{hour}".encode("utf-8"))
+        model = self._model_for(option_index)
+        outcomes = model.sample_batch(gpu_name, region_name,
+                                      self.samples_per_option,
+                                      launch_hour_local=float(hour))
+        revoked_within_run = sum(
+            1 for outcome in outcomes
+            if outcome.revoked and outcome.lifetime_hours <= duration_hours)
+        probability = revoked_within_run / self.samples_per_option
+        self._probability_cache[key] = probability
+        return probability
+
+    def _scores(self, gpu_name: str, cells: Sequence[Tuple[str, int]],
+                duration_hours: float) -> List[float]:
+        """Revocation probabilities for a whole candidate set.
+
+        The table backend scores every cell with one vectorized matrix
+        comparison; the sampling backend loops the memoized scalar path.
+        """
+        if self.score_backend == "table":
+            return [float(probability) for probability in self._table.
+                    probabilities(gpu_name, cells, duration_hours)]
+        return [self._sampled_score(gpu_name, region, hour,
+                                    float(duration_hours))
+                for region, hour in cells]
+
+    # ------------------------------------------------------------------
+    # The query API.
+    # ------------------------------------------------------------------
+    def _candidate_cells(self, query: PlacementQuery,
+                         pool) -> List[Tuple[str, int]]:
+        """Resolve a query to concrete ``(region, local hour)`` candidates."""
+        gpu = get_gpu(query.gpu_name)
+        region_names = query.region_names
+        if region_names is None:
+            if query.hour_of_day_utc is not None and pool is not None:
+                region_names = tuple(region for cell_gpu, region in pool.cells()
+                                     if cell_gpu == gpu.name)
+                if not region_names:
+                    raise ConfigurationError(
+                        f"the pool has no {query.gpu_name!r} cells to place into")
+            else:
+                region_names = tuple(
+                    region for cell_gpu, region
+                    in self._table.available_cells() if cell_gpu == gpu.name)
+                if not region_names:
+                    raise ConfigurationError(
+                        f"no candidate regions offer {query.gpu_name!r}")
+        if query.launch_hours is not None:
+            return [(region_name, hour) for region_name in region_names
+                    for hour in query.launch_hours]
+        return [(region.name, hour_bin(region.local_hour(query.hour_of_day_utc)))
+                for region in map(get_region, region_names)]
+
+    def answer(self, query: PlacementQuery, pool=None) -> PlacementDecision:
+        """Answer one placement query, optionally against live pool state.
+
+        Args:
+            query: What to place, for how long, and where/when to consider
+                (see :class:`~repro.modeling.placement.PlacementQuery`).
+            pool: Optional pool state, duck-typed against
+                :class:`repro.scenarios.pool.PoolSnapshot` (a live
+                :class:`~repro.scenarios.pool.TransientPool` works too):
+                must offer ``cells()``, ``acquirable(gpu, region)``,
+                ``pending_waiters(gpu, region)``, and
+                ``capacity(gpu, region)``.  Without a pool every option is
+                feasible and the score is the bare revocation probability.
+
+        Returns:
+            The ranked decision; ``decision.best`` is the placement to
+            take, or ``None`` when the pool can grant nothing.
+        """
+        gpu = get_gpu(query.gpu_name)
+        cells = self._candidate_cells(query, pool)
+        probabilities = self._scores(gpu.name, cells, query.duration_hours)
+        options: List[PlacementOption] = []
+        for (region_name, hour), probability in zip(cells, probabilities):
+            if pool is None:
+                acquirable: Optional[int] = None
+                queue_depth = 0
+                feasible = True
+                score = probability
+            else:
+                acquirable = pool.acquirable(gpu.name, region_name)
+                queue_depth = pool.pending_waiters(gpu.name, region_name)
+                capacity = pool.capacity(gpu.name, region_name)
+                pressure = queue_depth / capacity if capacity > 0 else 0.0
+                feasible = acquirable > 0
+                score = probability + query.queue_weight * pressure
+            options.append(PlacementOption(
+                gpu_name=gpu.name, region_name=region_name,
+                launch_hour_local=hour,
+                revocation_probability=probability,
+                expected_revocations=probability * query.num_workers,
+                acquirable=acquirable, queue_depth=queue_depth,
+                feasible=feasible, score=score))
+        options.sort(key=lambda option: (not option.feasible, option.score,
+                                         option.region_name,
+                                         option.launch_hour_local))
+        return PlacementDecision(query=query, options=tuple(options),
+                                 pool_version=getattr(pool, "version", None))
+
+    # ------------------------------------------------------------------
+    # Deprecated entry points (thin shims over answer()).
+    # ------------------------------------------------------------------
+    def score_option(self, gpu_name: str, region_name: str, launch_hour_local: int,
+                     duration_hours: float, num_workers: int = 1,
+                     option_index: int = 0) -> LaunchOption:
+        """Deprecated: score one (region, launch hour) option.
+
+        Use :meth:`answer` with a single-region, single-hour grid query.
+        ``option_index`` is ignored — option generators are now keyed by a
+        stable digest of the option itself.
+        """
+        _deprecated("score_option", "query with region_names + launch_hours")
+        query = PlacementQuery(gpu_name=gpu_name, duration_hours=duration_hours,
+                               num_workers=num_workers,
+                               region_names=(region_name,),
+                               launch_hours=(launch_hour_local,))
+        option = self.answer(query).options[0]
+        return LaunchOption(gpu_name=option.gpu_name,
+                            region_name=option.region_name,
+                            launch_hour_local=option.launch_hour_local,
+                            revocation_probability=option.revocation_probability,
+                            expected_revocations=option.expected_revocations)
+
+    def rank_options(self, gpu_name: str, duration_hours: float,
+                     num_workers: int = 1,
+                     region_names: Optional[Sequence[str]] = None,
+                     launch_hours: Sequence[int] = _DEFAULT_LAUNCH_HOURS
+                     ) -> List[LaunchOption]:
+        """Deprecated: score and rank a (region, hour) grid.
+
+        Use :meth:`answer` with a grid-mode query.
+        """
+        _deprecated("rank_options", "query with launch_hours")
+        decision = self._answer_grid(gpu_name, duration_hours, num_workers,
+                                     region_names, launch_hours)
+        return [LaunchOption(gpu_name=option.gpu_name,
+                             region_name=option.region_name,
+                             launch_hour_local=option.launch_hour_local,
+                             revocation_probability=option.revocation_probability,
+                             expected_revocations=option.expected_revocations)
+                for option in decision.options]
+
+    def recommend(self, gpu_name: str, duration_hours: float, num_workers: int = 1,
+                  region_names: Optional[Sequence[str]] = None,
+                  launch_hours: Sequence[int] = _DEFAULT_LAUNCH_HOURS
+                  ) -> LaunchOption:
+        """Deprecated: the single safest (region, launch hour) option.
+
+        Use ``answer(query).options[0]`` with a grid-mode query.
+        """
+        _deprecated("recommend", "query with launch_hours")
+        option = self._answer_grid(gpu_name, duration_hours, num_workers,
+                                   region_names, launch_hours).options[0]
+        return LaunchOption(gpu_name=option.gpu_name,
+                            region_name=option.region_name,
+                            launch_hour_local=option.launch_hour_local,
+                            revocation_probability=option.revocation_probability,
+                            expected_revocations=option.expected_revocations)
+
+    def _answer_grid(self, gpu_name, duration_hours, num_workers,
+                     region_names, launch_hours) -> PlacementDecision:
+        query = PlacementQuery(
+            gpu_name=gpu_name, duration_hours=duration_hours,
+            num_workers=num_workers,
+            region_names=None if region_names is None else tuple(region_names),
+            launch_hours=tuple(launch_hours))
+        return self.answer(query)
 
     def place(self, gpu_name: str, duration_hours: float, pool,
               hour_of_day_utc: float,
               region_names: Optional[Sequence[str]] = None,
               queue_weight: float = 0.5) -> List[PlacementOption]:
-        """Rank live placements for one worker against a shared pool.
+        """Deprecated: rank live placements for one worker against a pool.
 
-        Args:
-            gpu_name: GPU type of the worker being placed.
-            duration_hours: Placement horizon the revocation score covers.
-            pool: Live pool state, duck-typed against
-                :class:`repro.scenarios.pool.TransientPool`: must offer
-                ``cells()``, ``acquirable(gpu, region)``,
-                ``pending_waiters(gpu, region)``, and
-                ``capacity(gpu, region)``.
-            hour_of_day_utc: Current UTC wall-clock hour; each candidate is
-                scored at its region's *local* hour, like the launch-time
-                revocation draws of the fleet runner.
-            region_names: Candidate regions; defaults to every pool cell
-                offering the GPU type.
-            queue_weight: Weight of the queue-pressure penalty (queued
-                waiters per slot of capacity) added to the revocation
-                probability.
-
-        Returns:
-            Options sorted best first: all feasible options (a slot is
-            acquirable right now) ordered by score, then the infeasible
-            ones, with deterministic ``(region, hour)`` tie-breaks.
+        Use :meth:`answer` with a live-mode query and a pool snapshot.
         """
-        if queue_weight < 0:
-            raise ConfigurationError("queue_weight must be non-negative")
-        gpu = get_gpu(gpu_name)
-        if region_names is None:
-            region_names = [region for cell_gpu, region in pool.cells()
-                            if cell_gpu == gpu.name]
-        if not region_names:
-            raise ConfigurationError(
-                f"the pool has no {gpu_name!r} cells to place into")
-        options: List[PlacementOption] = []
-        for region_name in region_names:
-            region = get_region(region_name)
-            hour = hour_bin(region.local_hour(hour_of_day_utc))
-            probability = self.revocation_score(gpu.name, region.name, hour,
-                                                duration_hours)
-            acquirable = pool.acquirable(gpu.name, region.name)
-            queue_depth = pool.pending_waiters(gpu.name, region.name)
-            capacity = pool.capacity(gpu.name, region.name)
-            pressure = queue_depth / capacity if capacity > 0 else 0.0
-            options.append(PlacementOption(
-                gpu_name=gpu.name, region_name=region.name,
-                launch_hour_local=hour,
-                revocation_probability=probability,
-                acquirable=acquirable, queue_depth=queue_depth,
-                feasible=acquirable > 0,
-                score=probability + queue_weight * pressure))
-        return sorted(options, key=lambda option: (
-            not option.feasible, option.score, option.region_name,
-            option.launch_hour_local))
+        _deprecated("place", "query with hour_of_day_utc, pool=snapshot")
+        query = PlacementQuery(
+            gpu_name=gpu_name, duration_hours=duration_hours,
+            region_names=None if region_names is None else tuple(region_names),
+            hour_of_day_utc=hour_of_day_utc, queue_weight=queue_weight)
+        return list(self.answer(query, pool=pool).options)
 
     def best_feasible(self, gpu_name: str, duration_hours: float, pool,
                       hour_of_day_utc: float,
                       region_names: Optional[Sequence[str]] = None,
                       queue_weight: float = 0.5) -> Optional[PlacementOption]:
-        """The best placement the pool can grant right now, or ``None``."""
-        options = self.place(gpu_name, duration_hours, pool, hour_of_day_utc,
-                             region_names=region_names,
-                             queue_weight=queue_weight)
-        best = options[0]
-        return best if best.feasible else None
+        """Deprecated: the best placement the pool can grant right now.
 
-    def recommend(self, gpu_name: str, duration_hours: float, num_workers: int = 1,
-                  region_names: Optional[Sequence[str]] = None,
-                  launch_hours: Sequence[int] = (0, 4, 8, 12, 16, 20)) -> LaunchOption:
-        """The single safest (region, launch hour) option."""
-        return self.rank_options(gpu_name, duration_hours, num_workers=num_workers,
-                                 region_names=region_names,
-                                 launch_hours=launch_hours)[0]
+        Use ``answer(query, pool=snapshot).best``.
+        """
+        _deprecated("best_feasible", "query with hour_of_day_utc, pool=snapshot")
+        query = PlacementQuery(
+            gpu_name=gpu_name, duration_hours=duration_hours,
+            region_names=None if region_names is None else tuple(region_names),
+            hour_of_day_utc=hour_of_day_utc, queue_weight=queue_weight)
+        return self.answer(query, pool=pool).best

@@ -22,12 +22,16 @@ cache entries, so overridden and stock runs never collide in a shared
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import sys
 from typing import Optional, Sequence
 
-from repro.errors import ReproError
+from repro.cli import (
+    add_run_resume_arguments,
+    default_workers,
+    resume_requires_cache,
+    run_cli,
+    write_json_out,
+)
 from repro.scenarios.catalog import get_scenario, list_scenarios
 from repro.scenarios.fleet import (
     FLEET_TRACE_LEVEL_ENV,
@@ -36,13 +40,6 @@ from repro.scenarios.fleet import (
 )
 from repro.scenarios.report import fleet_summary_table
 from repro.scenarios.spec import PLACEMENTS
-# Shared with the sweeps CLI so both front ends accept and reject exactly
-# the same --workers values.
-from repro.sweeps.cli import _parse_workers
-
-
-def _default_workers() -> str:
-    return os.environ.get("REPRO_SWEEP_WORKERS", "") or "1"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,19 +54,15 @@ def build_parser() -> argparse.ArgumentParser:
     for command, help_text in (("run", "run a scenario"),
                                ("resume", "resume a cached scenario")):
         sub = commands.add_parser(command, help=help_text)
-        sub.add_argument("name", help="named scenario")
-        sub.add_argument("--workers", type=_parse_workers,
-                         default=_parse_workers(_default_workers()),
-                         help="worker processes, or 'auto' (default: "
-                              "REPRO_SWEEP_WORKERS or 1)")
-        sub.add_argument("--cache-dir", default=None,
-                         help="directory for the per-fleet JSON result cache")
-        sub.add_argument("--seed", type=int, default=0, help="root RNG seed")
+        add_run_resume_arguments(
+            sub, name_help="named scenario",
+            workers_default=default_workers(),
+            workers_help="worker processes, or 'auto' (default: "
+                         "REPRO_SWEEP_WORKERS or 1)",
+            cache_help="directory for the per-fleet JSON result cache",
+            json_help="also write fleet payloads to a JSON file")
         sub.add_argument("--replicates", type=int, default=2,
                          help="independent fleet replicates (default: 2)")
-        sub.add_argument("--json", dest="json_out", default=None,
-                         metavar="PATH",
-                         help="also write fleet payloads to a JSON file")
         sub.add_argument("--trace-level", choices=("full", "summary"),
                          default=None,
                          help="per-session trace detail: 'summary' keeps "
@@ -113,15 +106,15 @@ def _apply_overrides(scenario, args):
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    try:
+
+    def body() -> int:
         if args.command == "list":
             for scenario in list_scenarios():
                 print(f"{scenario.name:24s} {scenario.describe():44s} "
                       f"{scenario.description}")
             return 0
 
-        if args.command == "resume" and args.cache_dir is None:
-            print("resume requires --cache-dir", file=sys.stderr)
+        if resume_requires_cache(args):
             return 2
 
         previous_trace_level = os.environ.get(FLEET_TRACE_LEVEL_ENV)
@@ -145,16 +138,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(result.summary())
         print(fleet_summary_table(result))
         if args.json_out:
-            with open(args.json_out, "w", encoding="utf-8") as handle:
-                json.dump({"scenario": scenario.name, "seed": args.seed,
-                           "fleets": result.payloads()}, handle, indent=2)
-            print(f"wrote {len(result)} fleet payloads to {args.json_out}")
+            write_json_out(args.json_out,
+                           {"scenario": scenario.name, "seed": args.seed,
+                            "fleets": result.payloads()},
+                           len(result), "fleet payloads")
         return 0
-    except BrokenPipeError:
-        return 0
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+
+    return run_cli(body)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

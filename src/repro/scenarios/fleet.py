@@ -97,6 +97,7 @@ from repro.cloud.revocation import RevocationOutcome
 from repro.cmdare.controller import CMDareController, ControllerConfig
 from repro.errors import CapacityError, ConfigurationError, SimulationError
 from repro.modeling.launch_advisor import LaunchAdvisor
+from repro.modeling.placement import PlacementQuery
 from repro.scenarios.pool import DENIED, QUEUED, PoolKey, ReplacementTicket, TransientPool
 from repro.scenarios.spec import JobSpec, ScenarioSpec
 from repro.simulation.engine import Simulator
@@ -212,7 +213,7 @@ class FleetJobController(CMDareController):
         gpu, region = revoked.spec.gpu_name, revoked.spec.region_name
         spec = revoked.spec
         if (self.placer is not None
-                and self.pool.acquirable(gpu, region) == 0):
+                and self.pool.snapshot().acquirable(gpu, region) == 0):
             alternative = self.placer(gpu, (gpu, region))
             if alternative is not None and alternative != (gpu, region):
                 spec = WorkerSpec(gpu_name=gpu, region_name=alternative[1],
@@ -411,8 +412,15 @@ class FleetRun:
         hour_utc = self.simulator.hour_of_day_utc()
         placed: List[PoolKey] = []
         for gpu, _declared_region in spec.workers:
-            option = self.advisor.best_feasible(
-                gpu, PLACEMENT_HORIZON_HOURS, self.pool, hour_utc)
+            # Each worker queries against a fresh snapshot: acquiring the
+            # previous worker's slot bumped the pool version, so every
+            # decision sees the availability the last one left behind.
+            decision = self.advisor.answer(
+                PlacementQuery(gpu_name=gpu,
+                               duration_hours=PLACEMENT_HORIZON_HOURS,
+                               hour_of_day_utc=hour_utc),
+                pool=self.pool.snapshot())
+            option = decision.best
             if option is None:
                 raise CapacityError(
                     f"no feasible {gpu} placement for job {spec.name!r} at "
@@ -426,9 +434,12 @@ class FleetRun:
     def _place_replacement(self, gpu_name: str,
                            preferred: PoolKey) -> Optional[PoolKey]:
         """Next-best feasible cell for a replacement denied at ``preferred``."""
-        option = self.advisor.best_feasible(
-            gpu_name, PLACEMENT_HORIZON_HOURS, self.pool,
-            self.simulator.hour_of_day_utc())
+        decision = self.advisor.answer(
+            PlacementQuery(gpu_name=gpu_name,
+                           duration_hours=PLACEMENT_HORIZON_HOURS,
+                           hour_of_day_utc=self.simulator.hour_of_day_utc()),
+            pool=self.pool.snapshot())
+        option = decision.best
         if option is None:
             return None
         return (option.gpu_name, option.region_name)

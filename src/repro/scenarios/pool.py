@@ -38,12 +38,27 @@ All pool state changes happen inside simulator event callbacks or
 synchronous calls from them, so fleet runs stay deterministic: the FIFO
 waiter order and the reclaim-return events are fully determined by the
 event order of the simulation.
+
+Versioned snapshots
+-------------------
+Every observable state transition (slot take, release, revoke, reclaim
+return, warm park/cooldown, waiter enqueue/cancel) bumps a monotonic
+:attr:`TransientPool.version` counter, and :meth:`TransientPool.snapshot`
+returns a frozen, read-only :class:`PoolSnapshot` of the per-cell counters
+at that version.  The snapshot exposes the same read methods as the live
+pool (``cells`` / ``capacity`` / ``available`` / ``warm_count`` /
+``acquirable`` / ``in_use`` / ``pending_waiters``), so the placement
+advisor and :mod:`repro.serve` score against an immutable view instead of
+reaching into live pool attributes — and anything cached against a
+decision can compare its recorded ``pool_version`` with the live counter
+to detect staleness.  Snapshots are cached per version: taking one twice
+without an intervening transition returns the same object.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Mapping, Optional, Tuple
 
 from repro.errors import CapacityError, ConfigurationError
@@ -81,6 +96,82 @@ class _PoolState:
     def take(self) -> None:
         self.in_use += 1
         self.peak_in_use = max(self.peak_in_use, self.in_use)
+
+
+@dataclass(frozen=True)
+class CellSnapshot:
+    """Frozen per-``(gpu, region)`` counters at one pool version.
+
+    Attributes:
+        capacity: Configured slot count of the cell.
+        in_use: Slots occupied by running servers.
+        reclaimed: Slots the provider is still holding after revocations.
+        warm: Warm (still running, re-acquirable) servers parked in the cell.
+        available: Free *cold* slots.
+        waiting: Queued replacement requests.
+    """
+
+    capacity: int
+    in_use: int
+    reclaimed: int
+    warm: int
+    available: int
+    waiting: int
+
+    @property
+    def acquirable(self) -> int:
+        """Slots a request could take right now: cold free plus warm."""
+        return self.available + self.warm
+
+
+@dataclass(frozen=True)
+class PoolSnapshot:
+    """Read-only view of a :class:`TransientPool` at one state version.
+
+    Mirrors the live pool's read API method for method, so the placement
+    advisor (and anything else duck-typed against the pool) can score
+    against either interchangeably — but a snapshot never changes: pool
+    transitions after it was taken are visible only through a higher
+    :attr:`TransientPool.version`, never through the snapshot itself.
+    """
+
+    version: int
+    _cells: Dict[PoolKey, CellSnapshot] = field(repr=False)
+
+    def _cell(self, gpu_name: str, region_name: str) -> CellSnapshot:
+        key = (gpu_name, region_name)
+        if key not in self._cells:
+            raise CapacityError(f"the pool has no {gpu_name!r} capacity in "
+                                f"{region_name!r}")
+        return self._cells[key]
+
+    def cells(self) -> Tuple[PoolKey, ...]:
+        """All ``(gpu, region)`` cells of the pool, sorted."""
+        return tuple(sorted(self._cells))
+
+    def capacity(self, gpu_name: str, region_name: str) -> int:
+        """Configured capacity of a ``(gpu, region)`` cell."""
+        return self._cell(gpu_name, region_name).capacity
+
+    def available(self, gpu_name: str, region_name: str) -> int:
+        """Free *cold* slots for a ``(gpu, region)`` cell at snapshot time."""
+        return self._cell(gpu_name, region_name).available
+
+    def warm_count(self, gpu_name: str, region_name: str) -> int:
+        """Warm (still running, re-acquirable) servers in a cell."""
+        return self._cell(gpu_name, region_name).warm
+
+    def acquirable(self, gpu_name: str, region_name: str) -> int:
+        """Slots a request could take at snapshot time: cold free plus warm."""
+        return self._cell(gpu_name, region_name).acquirable
+
+    def in_use(self, gpu_name: str, region_name: str) -> int:
+        """Slots occupied by running servers at snapshot time."""
+        return self._cell(gpu_name, region_name).in_use
+
+    def pending_waiters(self, gpu_name: str, region_name: str) -> int:
+        """Queued replacement requests for a ``(gpu, region)`` cell."""
+        return self._cell(gpu_name, region_name).waiting
 
 
 class _WarmServer:
@@ -189,10 +280,39 @@ class TransientPool:
         self.replacements_denied = 0
         self.replacements_cancelled = 0
         self.replacements_warm = 0
+        self._version = 0
+        self._snapshot: Optional[PoolSnapshot] = None
 
     # ------------------------------------------------------------------
     # Introspection.
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic state version; bumped on every observable transition."""
+        return self._version
+
+    def _bump(self) -> None:
+        self._version += 1
+
+    def snapshot(self) -> PoolSnapshot:
+        """A frozen read-only view of the pool at its current version.
+
+        Cached per version: repeated calls between transitions return the
+        same object, so fleet controllers and the serve layer can snapshot
+        eagerly without copying cost on an idle pool.
+        """
+        snapshot = self._snapshot
+        if snapshot is not None and snapshot.version == self._version:
+            return snapshot
+        cells = {
+            key: CellSnapshot(capacity=state.capacity, in_use=state.in_use,
+                              reclaimed=state.reclaimed, warm=state.warm,
+                              available=state.available,
+                              waiting=len(self._waiters[key]))
+            for key, state in self._states.items()}
+        snapshot = PoolSnapshot(version=self._version, _cells=cells)
+        self._snapshot = snapshot
+        return snapshot
     @property
     def warm_enabled(self) -> bool:
         """Whether the warm-reuse path is active."""
@@ -252,9 +372,11 @@ class TransientPool:
             server.taken = True
             state.warm -= 1
             state.take()
+            self._bump()
             return True
         if state.available > 0:
             state.take()
+            self._bump()
             return False
         return None
 
@@ -286,6 +408,7 @@ class TransientPool:
                                 f"({gpu_name}, {region_name})")
         state.in_use -= 1
         self.releases += 1
+        self._bump()
         self._serve((gpu_name, region_name))
 
     def revoke(self, gpu_name: str, region_name: str) -> None:
@@ -303,10 +426,12 @@ class TransientPool:
         state.in_use -= 1
         state.reclaimed += 1
         self.revocations += 1
+        self._bump()
         key = (gpu_name, region_name)
 
         def restore(_sim: Simulator) -> None:
             state.reclaimed -= 1
+            self._bump()
             if self.warm_enabled and state.warm < self.warm_capacity:
                 self._add_warm(key)
             self._serve(key)
@@ -321,6 +446,7 @@ class TransientPool:
         self._warm[key].append(server)
         state.warm += 1
         state.peak_warm = max(state.peak_warm, state.warm)
+        self._bump()
 
         def cooldown(_sim: Simulator) -> None:
             # The `taken` guard is what makes reclaim/cooldown timers
@@ -331,6 +457,7 @@ class TransientPool:
             server.taken = True
             self._warm[key].remove(server)
             state.warm -= 1
+            self._bump()
             self._serve(key)
 
         self.simulator.schedule(self.warm_seconds, cooldown,
@@ -373,6 +500,7 @@ class TransientPool:
             self.replacements_queued += 1
             waiter = _Waiter(label, grant)
             self._waiters[key].append(waiter)
+            self._bump()
             return ReplacementTicket(QUEUED, key, pool=self, waiter=waiter)
         self.replacements_denied += 1
         return ReplacementTicket(DENIED, key)
@@ -384,6 +512,7 @@ class TransientPool:
             return False
         waiters.remove(waiter)
         self.replacements_cancelled += 1
+        self._bump()
         return True
 
     def _serve(self, key: PoolKey) -> None:

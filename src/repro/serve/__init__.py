@@ -1,0 +1,37 @@
+"""Online placement service: the launch advisor behind a query API.
+
+``repro.serve`` turns the pool-aware placement advisor into a
+long-running service answering :class:`~repro.modeling.placement
+.PlacementQuery` requests against live pool state — the ROADMAP's
+"placement advisor as an online service" item.  The design rests on the
+decomposition production inference schedulers use to keep admission
+decisions off the hot path, splitting every placement answer into:
+
+* **Score computation** — the calibrated revocation score of each
+  ``(gpu, region, hour)`` cell.  Expensive but *pure*: it depends only on
+  the calibration, seed, and sample count, never on the pool.  The
+  service's :class:`~repro.modeling.placement.ScoreTable` precomputes all
+  cells vectorized at startup (:meth:`PlacementService.warm`) and the
+  table survives arbitrary pool churn — it is never invalidated.
+* **Pool-state reads** — availability and queue pressure, read through a
+  versioned frozen :class:`~repro.scenarios.pool.PoolSnapshot`.  Cheap
+  but *volatile*: any pool transition bumps the pool's version counter.
+
+Decision caching follows the same split: answered decisions are cached by
+query, keyed to the pool version they were computed at, and the whole
+decision cache is discarded the moment the pool version moves — a stale
+epoch is structurally unservable, while score tables carry over untouched.
+
+:class:`PlacementService` is the in-process core (sync ``answer_now``,
+async ``answer`` / ``answer_many``; the batch endpoint is bit-identical to
+sequential single queries).  :mod:`repro.serve.transport` adds a JSON-lines
+TCP front end on plain :mod:`asyncio`, and :mod:`repro.serve.cli` the
+``repro-serve`` console entry point.  See ``examples/serve_queries.py``
+for the service driven against a churning fleet pool, and
+``benchmarks/serve_baseline.py`` for the load-generator benchmark behind
+``BENCH_serve.json``.
+"""
+
+from repro.serve.service import PlacementService
+
+__all__ = ["PlacementService"]

@@ -1,0 +1,140 @@
+"""Command-line interface for the placement service.
+
+Usage::
+
+    python -m repro.serve query k80 --duration 2.0 --utc-hour 9
+    python -m repro.serve query v100 --duration 8 --hours 0,8,16
+    python -m repro.serve serve --host 127.0.0.1 --port 7077
+
+``query`` answers one placement question offline and prints the ranked
+decision; ``serve`` starts the JSON-lines TCP front end (see
+:mod:`repro.serve.transport` for the wire protocol) and runs until
+interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from typing import List, Optional, Sequence
+
+from repro.cli import run_cli, write_json_out
+from repro.modeling.launch_advisor import LaunchAdvisor
+from repro.modeling.placement import PlacementQuery
+from repro.serve.service import PlacementService
+from repro.serve.transport import serve_address, start_server
+
+
+def _parse_hours(text: str) -> List[int]:
+    try:
+        return [int(token) for token in text.split(",") if token.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--hours expects comma-separated integers (got {text!r})")
+
+
+def _add_advisor_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--seed", type=int, default=0, help="advisor seed")
+    sub.add_argument("--samples", type=int, default=400,
+                     help="Monte-Carlo samples per (region, hour) option "
+                          "(default: 400)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Answer placement queries, one-shot or as a service.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="answer one placement query")
+    query.add_argument("gpu", help="GPU type to place (e.g. k80)")
+    query.add_argument("--duration", type=float, required=True,
+                       metavar="HOURS", help="placement horizon in hours")
+    query.add_argument("--num-workers", type=int, default=1,
+                       help="cluster size (scales expected revocations)")
+    query.add_argument("--regions", default=None, metavar="R1,R2",
+                       help="candidate regions (default: every calibrated "
+                            "region offering the GPU)")
+    mode = query.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--hours", type=_parse_hours, default=None,
+                      metavar="H1,H2",
+                      help="grid mode: score these local launch hours")
+    mode.add_argument("--utc-hour", type=float, default=None,
+                      help="live mode: score each region at its local hour "
+                           "for this UTC wall-clock hour")
+    query.add_argument("--queue-weight", type=float, default=0.5,
+                       help="queue-pressure penalty weight (default: 0.5)")
+    query.add_argument("--json", dest="json_out", default=None, metavar="PATH",
+                       help="also write the decision to a JSON file")
+    _add_advisor_arguments(query)
+
+    serve = commands.add_parser("serve", help="run the JSON-lines TCP server")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=7077,
+                       help="bind port (0 picks a free port)")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip precomputing the score table at startup")
+    _add_advisor_arguments(serve)
+    return parser
+
+
+def _build_query(args: argparse.Namespace) -> PlacementQuery:
+    regions = None
+    if args.regions:
+        regions = tuple(token.strip() for token in args.regions.split(",")
+                        if token.strip())
+    return PlacementQuery(
+        gpu_name=args.gpu, duration_hours=args.duration,
+        num_workers=args.num_workers, region_names=regions,
+        launch_hours=None if args.hours is None else tuple(args.hours),
+        hour_of_day_utc=args.utc_hour, queue_weight=args.queue_weight)
+
+
+async def _serve_forever(args: argparse.Namespace) -> int:
+    service = PlacementService(advisor=LaunchAdvisor(
+        samples_per_option=args.samples, seed=args.seed))
+    if not args.no_warm:
+        built = service.warm()
+        print(f"score table warmed: {built} (gpu, region, hour) options")
+    server = await start_server(service, host=args.host, port=args.port)
+    host, port = serve_address(server)
+    print(f"serving placement queries on {host}:{port} (JSON lines; "
+          f"ops: answer, answer_many, stats)")
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - shutdown path
+        pass
+    finally:
+        server.close()
+        await server.wait_closed()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    def body() -> int:
+        if args.command == "query":
+            advisor = LaunchAdvisor(samples_per_option=args.samples,
+                                    seed=args.seed)
+            decision = PlacementService(advisor=advisor).answer_now(
+                _build_query(args))
+            document = decision.to_params()
+            print(json.dumps(document, indent=2, sort_keys=True))
+            if args.json_out:
+                write_json_out(args.json_out, document,
+                               len(decision.options), "ranked options")
+            return 0
+        try:
+            return asyncio.run(_serve_forever(args))
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            return 0
+
+    return run_cli(body)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

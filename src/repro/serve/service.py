@@ -1,0 +1,120 @@
+"""The in-process placement service (see the package docstring).
+
+:class:`PlacementService` wraps one :class:`~repro.modeling.launch_advisor
+.LaunchAdvisor` and an optional pool, caches decisions per pool version,
+and exposes the async endpoints the transport layer serves.  All real work
+is synchronous and deterministic — the async surface exists for request
+interleaving at the transport, not for parallel scoring — which is what
+makes ``answer_many`` trivially bit-identical to a sequential loop of
+single queries: it *is* that loop, with no await between items, so no pool
+transition can slip between two queries of one batch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.modeling.launch_advisor import LaunchAdvisor
+from repro.modeling.placement import PlacementDecision, PlacementQuery
+
+
+class PlacementService:
+    """Answers placement queries against an advisor and (optionally) a pool.
+
+    Args:
+        advisor: The advisor whose ``answer()`` does the scoring; a default
+            calibrated one when omitted.
+        pool: Optional live :class:`~repro.scenarios.pool.TransientPool`.
+            Every query is answered against a fresh snapshot of it; without
+            a pool, queries run poolless (always feasible, probability-only
+            scores).
+        seed: Seed for the default advisor (ignored when ``advisor`` is
+            given).
+        samples_per_option: Sample count for the default advisor (ignored
+            when ``advisor`` is given).
+    """
+
+    def __init__(self, advisor: Optional[LaunchAdvisor] = None,
+                 pool=None, seed: int = 0, samples_per_option: int = 400):
+        self.advisor = advisor if advisor is not None else LaunchAdvisor(
+            samples_per_option=samples_per_option, seed=seed)
+        self.pool = pool
+        #: Decisions answered at `_cache_version`; discarded wholesale when
+        #: the pool version moves, so a stale epoch is structurally
+        #: unservable (tested in ``tests/test_serve.py``).
+        self._decisions: Dict[PlacementQuery, PlacementDecision] = {}
+        self._cache_version: Optional[int] = None
+        self.queries_answered = 0
+        self.cache_hits = 0
+        self.cache_invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Warm-up.
+    # ------------------------------------------------------------------
+    def warm(self) -> int:
+        """Precompute the score table for every ``(gpu, region, hour)`` cell.
+
+        Returns the number of options built.  After warming, steady-state
+        queries never run Monte-Carlo sampling — the hot path is a rank
+        lookup plus snapshot reads.
+        """
+        return self.advisor.score_table.warm()
+
+    # ------------------------------------------------------------------
+    # Query endpoints.
+    # ------------------------------------------------------------------
+    def answer_now(self, query: PlacementQuery) -> PlacementDecision:
+        """Answer one query synchronously (the core all endpoints share)."""
+        if not isinstance(query, PlacementQuery):
+            raise ConfigurationError(
+                "answer_now expects a PlacementQuery; build one with "
+                "PlacementQuery(...) or PlacementQuery.from_params(...)")
+        version = self.pool.version if self.pool is not None else None
+        if version != self._cache_version:
+            # The pool moved since the cache was filled: every cached
+            # decision describes a dead epoch.  Drop them all.
+            if self._decisions:
+                self.cache_invalidations += 1
+            self._decisions.clear()
+            self._cache_version = version
+        self.queries_answered += 1
+        decision = self._decisions.get(query)
+        if decision is not None:
+            self.cache_hits += 1
+            return decision
+        snapshot = self.pool.snapshot() if self.pool is not None else None
+        decision = self.advisor.answer(query, pool=snapshot)
+        self._decisions[query] = decision
+        return decision
+
+    async def answer(self, query: PlacementQuery) -> PlacementDecision:
+        """Answer one query (async endpoint)."""
+        return self.answer_now(query)
+
+    async def answer_many(self, queries: Iterable[PlacementQuery]
+                          ) -> List[PlacementDecision]:
+        """Answer a batch of queries, bit-identical to sequential singles.
+
+        The loop never awaits between items, so the whole batch answers
+        against one pool epoch — exactly what a caller issuing the same
+        queries back-to-back through :meth:`answer` would see when the
+        pool does not move between them.
+        """
+        return [self.answer_now(query) for query in queries]
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """JSON-encodable service counters."""
+        return {
+            "queries_answered": self.queries_answered,
+            "cache_hits": self.cache_hits,
+            "cache_invalidations": self.cache_invalidations,
+            "cached_decisions": len(self._decisions),
+            "pool_version": (self.pool.version
+                             if self.pool is not None else None),
+            "score_backend": self.advisor.score_backend,
+            "score_options_built": self.advisor.score_table.options_built,
+        }

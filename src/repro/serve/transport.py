@@ -1,0 +1,132 @@
+"""JSON-lines TCP transport for the placement service.
+
+Plain-stdlib :mod:`asyncio` framing: one request per line, one response
+per line.  Requests are JSON objects with an ``op``:
+
+* ``{"op": "answer", "query": {...}}`` — one
+  :meth:`~repro.modeling.placement.PlacementQuery.to_params` document;
+  responds with the decision's ``to_params()``.
+* ``{"op": "answer_many", "queries": [{...}, ...]}`` — a batch, answered
+  atomically (bit-identical to sequential singles).
+* ``{"op": "stats"}`` — service counters.
+
+Every response line is ``{"ok": true, "result": ...}`` or
+``{"ok": false, "error": "..."}``; malformed input answers an error line
+instead of killing the connection, so one bad client request cannot take
+down the stream for the rest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.modeling.placement import PlacementQuery
+from repro.serve.service import PlacementService
+
+#: Maximum request-line length (a 4096-cell batch fits comfortably).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+async def handle_request(service: PlacementService,
+                         request: Dict[str, Any]) -> Any:
+    """Dispatch one decoded request document; returns the result payload."""
+    operation = request.get("op")
+    if operation == "answer":
+        query = PlacementQuery.from_params(request.get("query") or {})
+        decision = await service.answer(query)
+        return decision.to_params()
+    if operation == "answer_many":
+        queries = [PlacementQuery.from_params(document)
+                   for document in request.get("queries") or []]
+        decisions = await service.answer_many(queries)
+        return [decision.to_params() for decision in decisions]
+    if operation == "stats":
+        return service.stats()
+    raise ReproError(f"unknown op {operation!r}; "
+                     f"expected answer, answer_many, or stats")
+
+
+async def _handle_connection(service: PlacementService,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            try:
+                request = json.loads(text)
+                if not isinstance(request, dict):
+                    raise ReproError("a request must be a JSON object")
+                result = await handle_request(service, request)
+                response = {"ok": True, "result": result}
+            except (ReproError, ValueError, TypeError, KeyError) as exc:
+                response = {"ok": False, "error": str(exc) or repr(exc)}
+            writer.write(json.dumps(response).encode("utf-8") + b"\n")
+            await writer.drain()
+    finally:
+        # No ``wait_closed()`` here: the handler task itself is cancelled
+        # when the server shuts down, and awaiting the closing transport
+        # from inside the dying task just raises CancelledError into the
+        # event loop's exception handler.  ``close()`` is enough — the
+        # loop finishes the transport teardown on its own.
+        writer.close()
+
+
+async def start_server(service: PlacementService, host: str = "127.0.0.1",
+                       port: int = 0) -> asyncio.AbstractServer:
+    """Start the JSON-lines server; ``port=0`` picks a free port.
+
+    The bound address is ``server.sockets[0].getsockname()``; close with
+    ``server.close()`` + ``await server.wait_closed()``.
+    """
+
+    async def connection(reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        await _handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(connection, host=host, port=port,
+                                      limit=MAX_LINE_BYTES)
+
+
+async def request(host: str, port: int,
+                  documents: List[Dict[str, Any]],
+                  timeout: Optional[float] = 30.0) -> List[Dict[str, Any]]:
+    """Client helper: send request documents, return the response documents.
+
+    Opens one connection, pipelines every request in order, and reads one
+    response line per request (the server answers in order).
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host=host, port=port, limit=MAX_LINE_BYTES),
+        timeout)
+    try:
+        payload = b"".join(json.dumps(document).encode("utf-8") + b"\n"
+                           for document in documents)
+        writer.write(payload)
+        await writer.drain()
+        responses = []
+        for _ in documents:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if not line:
+                raise ReproError("server closed the connection mid-response")
+            responses.append(json.loads(line.decode("utf-8")))
+        return responses
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+def serve_address(server: asyncio.AbstractServer) -> Tuple[str, int]:
+    """The ``(host, port)`` a started server is listening on."""
+    host, port = server.sockets[0].getsockname()[:2]
+    return host, port

@@ -16,22 +16,22 @@ from __future__ import annotations
 
 import argparse
 import json
-import sys
 from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.cli import (
+    add_run_resume_arguments,
+    parse_workers_arg,
+    resume_requires_cache,
+    run_cli,
+    write_json_out,
+)
 from repro.sweeps.registry import get_sweep, list_sweeps
 from repro.sweeps.result import SweepResult
-from repro.sweeps.runner import SweepRunner, parse_workers
+from repro.sweeps.runner import SweepRunner
 
-
-def _parse_workers(text: str):
-    """Parse ``--workers``: an integer, or ``auto`` to size from the CPUs."""
-    try:
-        return parse_workers(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"--workers expects a non-negative integer or 'auto' (got {text!r})")
+# Historical import location (the scenarios CLI used to share the
+# ``--workers`` type from here); the canonical home is ``repro.cli``.
+_parse_workers = parse_workers_arg
 
 
 def _parse_axis_override(text: str) -> Tuple[str, List[Any]]:
@@ -86,27 +86,21 @@ def build_parser() -> argparse.ArgumentParser:
     for command, help_text in (("run", "run a sweep"),
                                ("resume", "resume a cached sweep")):
         sub = commands.add_parser(command, help=help_text)
-        sub.add_argument("name", help="registered sweep name")
-        sub.add_argument("--workers", type=_parse_workers, default=1,
-                         help="worker processes, or 'auto' to size from "
-                              "the CPU count (default: 1, serial)")
-        sub.add_argument("--cache-dir", default=None,
-                         help="directory for the per-cell JSON result cache")
-        sub.add_argument("--seed", type=int, default=0, help="root RNG seed")
+        add_run_resume_arguments(
+            sub, name_help="registered sweep name",
+            json_help="also write cell payloads to a JSON file")
         sub.add_argument("--set", dest="overrides", action="append", default=[],
                          metavar="AXIS=V1,V2",
                          type=_parse_axis_override,
                          help="override one axis of the default spec")
-        sub.add_argument("--json", dest="json_out", default=None,
-                         metavar="PATH",
-                         help="also write cell payloads to a JSON file")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    try:
+
+    def body() -> int:
         if args.command == "list":
             for definition in list_sweeps():
                 spec = definition.build_spec()
@@ -114,8 +108,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       f"{definition.description}")
             return 0
 
-        if args.command == "resume" and args.cache_dir is None:
-            print("resume requires --cache-dir", file=sys.stderr)
+        if resume_requires_cache(args):
             return 2
 
         definition = get_sweep(args.name)
@@ -130,20 +123,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(result.summary())
         print(_render(result, definition))
         if args.json_out:
-            with open(args.json_out, "w", encoding="utf-8") as handle:
-                json.dump({"sweep": spec.name, "seed": args.seed,
-                           "cells": [{"params": r.cell.params,
-                                      "payload": r.payload}
-                                     for r in result.results]},
-                          handle, indent=2)
-            print(f"wrote {len(result)} cell payloads to {args.json_out}")
+            write_json_out(args.json_out,
+                           {"sweep": spec.name, "seed": args.seed,
+                            "cells": [{"params": r.cell.params,
+                                       "payload": r.payload}
+                                      for r in result.results]},
+                           len(result), "cell payloads")
         return 0
-    except BrokenPipeError:
-        # Output piped to a consumer that closed early (e.g. ``| head``).
-        return 0
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+
+    return run_cli(body)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -73,6 +73,39 @@ def test_explicit_defaults_are_the_defaults(catalog):
     assert normalized(payload) == golden_payload()
 
 
+ADAPTIVE_FIXTURE = (pathlib.Path(__file__).parent / "data"
+                    / "fleet_golden_adaptive_placement_seed5.json")
+
+
+def adaptive_golden_payload():
+    return json.loads(ADAPTIVE_FIXTURE.read_text())
+
+
+@pytest.mark.parametrize("score_backend", ("table", "sampling"))
+@pytest.mark.parametrize("scheduler", ("wakeset", "roundrobin"))
+def test_adaptive_fleet_matches_the_frozen_pr5_payload(
+        score_backend, scheduler, catalog, monkeypatch):
+    """The adaptive-placement scenario payload was frozen from the PR 5
+    runner, before the PlacementQuery API and the vectorized score table
+    replaced the per-option sampler.  Both score backends (and both fleet
+    schedulers) must keep reproducing it byte for byte — the bit-identity
+    contract of the score-table replay."""
+    monkeypatch.setenv("REPRO_PLACEMENT_SCORES", score_backend)
+    monkeypatch.setenv("REPRO_FLEET_SCHEDULER", scheduler)
+    payload = run_fleet(get_scenario("adaptive_placement"),
+                        RandomStreams(seed=5), catalog=catalog)
+    assert normalized(payload) == adaptive_golden_payload()
+
+
+def test_adaptive_fixture_is_well_formed():
+    """Shape guard for the adaptive fixture, like the PR 4 one below."""
+    payload = adaptive_golden_payload()
+    assert payload["scenario"] == "adaptive_placement"
+    assert payload["placement"] == "adaptive"
+    assert set(payload["pool"]["cells"]) == {"k80/europe-west1",
+                                             "k80/us-west1"}
+
+
 def test_fixture_is_well_formed():
     """Guard the fixture itself: a hand edit that breaks its shape should
     fail loudly here, not as a confusing diff in the matrix test."""

@@ -220,6 +220,81 @@ def test_pool_stats_are_clean_for_zero_request_fleets():
 
 
 # ---------------------------------------------------------------------------
+# Versioned snapshots.
+# ---------------------------------------------------------------------------
+def test_pool_version_bumps_on_every_observable_transition():
+    sim = Simulator()
+    pool = TransientPool(sim, {("k80", "us-west1"): 2}, reclaim_seconds=50.0,
+                         warm_seconds=30.0, warm_capacity=1)
+
+    def bumped(action):
+        before = pool.version
+        action()
+        assert pool.version > before, action
+
+    bumped(lambda: pool.acquire("k80", "us-west1"))
+    bumped(lambda: pool.acquire("k80", "us-west1"))
+    bumped(lambda: pool.release("k80", "us-west1"))
+    bumped(lambda: pool.acquire("k80", "us-west1"))
+    bumped(lambda: pool.revoke("k80", "us-west1"))
+    # The cell is now exhausted (1 in use, 1 reclaimed, 0 free).
+    # Queueing a waiter is observable (pending_waiters changes)...
+    ticket = pool.request_replacement("k80", "us-west1", lambda warm: None,
+                                      queue=True)
+    assert ticket.outcome == "queued"
+    # ...and so are cancelling it, the reclaim return (which parks the slot
+    # warm), and the warm cooldown.
+    bumped(ticket.cancel)
+    bumped(lambda: sim.run(until=51.0))   # reclaim return -> warm park
+    assert pool.warm_count("k80", "us-west1") == 1
+    bumped(lambda: sim.run(until=81.0))   # cooldown -> cold capacity
+    assert pool.warm_count("k80", "us-west1") == 0
+    # Taking the cold slot back (replacement grant) bumps too.
+    bumped(lambda: pool.request_replacement("k80", "us-west1",
+                                            lambda warm: None))
+
+
+def test_snapshot_is_cached_per_version_and_frozen():
+    pool = TransientPool(Simulator(), {("k80", "us-west1"): 3})
+    first = pool.snapshot()
+    assert pool.snapshot() is first  # no transition: the same object
+    assert first.version == pool.version
+
+    pool.acquire("k80", "us-west1")
+    second = pool.snapshot()
+    assert second is not first
+    assert second.version == pool.version > first.version
+    # The old snapshot still describes its own epoch, untouched.
+    assert first.available("k80", "us-west1") == 3
+    assert second.available("k80", "us-west1") == 2
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        second.version = 0
+
+
+def test_snapshot_reads_match_the_live_pool():
+    sim = Simulator()
+    pool = TransientPool(sim, {("k80", "us-west1"): 3,
+                               ("v100", "europe-west1"): 2},
+                         reclaim_seconds=100.0)
+    pool.acquire("k80", "us-west1")
+    pool.acquire("k80", "us-west1")
+    pool.revoke("k80", "us-west1")
+    pool.request_replacement("v100", "europe-west1", lambda warm: None)
+    snapshot = pool.snapshot()
+    assert snapshot.cells() == pool.cells()
+    for gpu, region in pool.cells():
+        for reader in ("capacity", "available", "warm_count", "acquirable",
+                       "in_use", "pending_waiters"):
+            assert getattr(snapshot, reader)(gpu, region) == \
+                getattr(pool, reader)(gpu, region), (reader, gpu, region)
+    # Unknown cells fail identically on both sides.
+    with pytest.raises(CapacityError, match="no 'p100' capacity"):
+        pool.available("p100", "us-west1")
+    with pytest.raises(CapacityError, match="no 'p100' capacity"):
+        snapshot.available("p100", "us-west1")
+
+
+# ---------------------------------------------------------------------------
 # Warm pool (Fig. 10 warm path at pool level).
 # ---------------------------------------------------------------------------
 def test_warm_pool_serves_reclaimed_capacity_warm_then_cools_down():

@@ -1,0 +1,196 @@
+"""The online placement service (`repro.serve`) and its transport.
+
+The serving invariants the ISSUE names:
+
+* ``answer_many`` is bit-identical to the same queries issued as
+  sequential singles;
+* a decision cached at one pool version is structurally unservable after
+  the pool moves (stale epochs never leak);
+* answers are deterministic under a fixed advisor seed;
+* the JSON-lines TCP transport round-trips queries, batches, and stats,
+  and answers malformed input with an error line instead of dying.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.modeling.launch_advisor import LaunchAdvisor
+from repro.modeling.placement import PlacementQuery
+from repro.scenarios.pool import TransientPool
+from repro.serve.service import PlacementService
+from repro.serve.transport import (
+    handle_request,
+    request,
+    serve_address,
+    start_server,
+)
+from repro.simulation.engine import Simulator
+
+SAMPLES = 50
+
+
+def make_pool():
+    return TransientPool(Simulator(), {("k80", "us-west1"): 2,
+                                       ("k80", "europe-west1"): 2})
+
+
+def make_service(pool=None, seed=0):
+    advisor = LaunchAdvisor(samples_per_option=SAMPLES, seed=seed)
+    return PlacementService(advisor=advisor, pool=pool)
+
+
+def queries(count=12):
+    return [PlacementQuery(gpu_name="k80",
+                           duration_hours=float(1 + index % 4),
+                           hour_of_day_utc=float((index * 5) % 24))
+            for index in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Service invariants.
+# ---------------------------------------------------------------------------
+def test_batch_is_bit_identical_to_sequential_singles():
+    batch = asyncio.run(make_service(make_pool()).answer_many(queries()))
+
+    async def singles():
+        service = make_service(make_pool())
+        return [await service.answer(query) for query in queries()]
+
+    assert batch == asyncio.run(singles())
+
+
+def test_answers_are_deterministic_under_a_fixed_seed():
+    first = asyncio.run(make_service(make_pool(), seed=4).answer_many(
+        queries()))
+    second = asyncio.run(make_service(make_pool(), seed=4).answer_many(
+        queries()))
+    assert first == second
+
+
+def test_stale_epoch_decisions_are_never_served():
+    pool = make_pool()
+    service = make_service(pool)
+    query = queries(1)[0]
+    before = service.answer_now(query)
+    assert before.pool_version == pool.version
+    assert service.answer_now(query) is before  # cached within the epoch
+
+    pool.acquire("k80", "us-west1")  # any transition bumps the version
+    after = service.answer_now(query)
+    assert after is not before
+    assert after.pool_version == pool.version > before.pool_version
+    assert service.cache_invalidations == 1
+    assert service.stats()["cached_decisions"] == 1  # only the new epoch's
+    # The transition consumed a slot, so feasibility actually moved too.
+    taken = {option.region_name: option.acquirable
+             for option in after.options}
+    assert taken["us-west1"] == 1
+
+
+def test_poolless_service_caches_forever():
+    service = make_service(pool=None)
+    query = queries(1)[0]
+    first = service.answer_now(query)
+    assert service.answer_now(query) is first
+    assert first.pool_version is None
+    assert service.cache_hits == 1 and service.cache_invalidations == 0
+
+
+def test_answer_now_rejects_non_queries():
+    with pytest.raises(ConfigurationError, match="PlacementQuery"):
+        make_service().answer_now({"gpu_name": "k80"})
+
+
+def test_warm_builds_the_full_table_and_steady_state_stays_warm():
+    service = make_service(make_pool())
+    built = service.warm()
+    assert built == len(
+        service.advisor.score_table.available_cells()) * 24
+    asyncio.run(service.answer_many(queries()))
+    assert service.stats()["score_options_built"] == built
+
+
+def test_stats_counters():
+    service = make_service(make_pool())
+    asyncio.run(service.answer_many(queries(6) + queries(6)))
+    stats = service.stats()
+    assert stats["queries_answered"] == 12
+    assert stats["cache_hits"] == 6
+    assert stats["cached_decisions"] == 6
+    assert stats["score_backend"] == "table"
+    assert stats["pool_version"] == service.pool.version
+
+
+# ---------------------------------------------------------------------------
+# Transport.
+# ---------------------------------------------------------------------------
+def test_handle_request_rejects_unknown_ops():
+    with pytest.raises(ReproError, match="unknown op"):
+        asyncio.run(handle_request(make_service(), {"op": "launch_missiles"}))
+
+
+def test_tcp_round_trip_matches_in_process_answers():
+    async def scenario():
+        pool = make_pool()
+        service = make_service(pool)
+        server = await start_server(service)
+        host, port = serve_address(server)
+        try:
+            documents = [{"op": "answer", "query": queries(1)[0].to_params()},
+                         {"op": "answer_many",
+                          "queries": [q.to_params() for q in queries(4)]},
+                         {"op": "stats"}]
+            responses = await request(host, port, documents)
+        finally:
+            server.close()
+            await server.wait_closed()
+        return service, responses
+
+    service, responses = asyncio.run(scenario())
+    single, batch, stats = responses
+    assert single["ok"] and batch["ok"] and stats["ok"]
+    # The wire decisions are the in-process decisions' wire format (the
+    # cache answers the repeated first query, so numbers line up exactly).
+    reference = make_service(make_pool())
+    expected = asyncio.run(reference.answer_many(queries(4)))
+    assert batch["result"] == [decision.to_params()
+                               for decision in expected]
+    assert single["result"] == expected[0].to_params()
+    assert stats["result"]["queries_answered"] == 5
+    # JSON round-tripped cleanly (no numpy scalars leaked).
+    json.dumps(responses)
+
+
+def test_tcp_errors_answer_error_lines_without_killing_the_stream():
+    async def scenario():
+        server = await start_server(make_service())
+        host, port = serve_address(server)
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            lines = [b"this is not json\n",
+                     json.dumps({"op": "bogus"}).encode() + b"\n",
+                     json.dumps({"op": "answer",
+                                 "query": {"gpu_name": "k80"}}).encode()
+                     + b"\n",
+                     json.dumps({"op": "answer", "query": {
+                         "gpu_name": "k80", "duration_hours": 1.0,
+                         "hour_of_day_utc": 9.0}}).encode() + b"\n"]
+            writer.write(b"".join(lines))
+            await writer.drain()
+            responses = [json.loads(await reader.readline())
+                         for _ in lines]
+            writer.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+        return responses
+
+    bad_json, bad_op, bad_query, good = asyncio.run(scenario())
+    assert not bad_json["ok"]
+    assert not bad_op["ok"] and "unknown op" in bad_op["error"]
+    assert not bad_query["ok"]
+    # The stream survived three bad requests and still answers good ones.
+    assert good["ok"] and good["result"]["options"]
