@@ -226,6 +226,7 @@ def main(argv=None) -> int:
             "quick": quick,
             "environment": {
                 "python": platform.python_version(),
+                "platform": platform.platform(),
                 "numpy": np.__version__,
                 "cpu_count": os.cpu_count(),
                 "usable_cpus": len(os.sched_getaffinity(0))

@@ -1,0 +1,246 @@
+"""Record the sharded fleet execution baseline (``BENCH_fleet_sharded.json``).
+
+Runs the *reference sharded fleet* — the revocation storm spread across the
+four K80 regions (us-east1, us-central1, us-west1, europe-west1; every
+job's 3 workers in one region, 4 pool slots per job per region, queued
+replacements, Fig. 9 late-morning epoch) — single-process and sharded
+(``repro.scenarios.shard``) at 2 and 4 shards.  Each region is its own
+connected component of the job/cell graph, so the partitioner spreads the
+fleet evenly and the shards run genuinely concurrent simulators, with only
+revocation draws crossing process boundaries.
+
+It verifies the tentpole contract — sharded payloads bit-identical to the
+single-process run at every shard count — and records wall-clock,
+events/sec (summed across shards), and the sharded-vs-single speedup.
+(Shard event counts can trail the single-process count by a few events:
+after a shard's last job finishes it stops, while the single-process loop
+keeps draining that component's no-op stragglers — stale reclaim returns —
+until the *global* finish.  Those events change no state, so payloads are
+unaffected.)
+
+Speedup tracks ``usable_cpus``: on a single-CPU host the extra processes
+cannot beat one (the draw-service round-trips are pure overhead there),
+and the committed numbers record exactly that honestly.  On an N-core
+host the shards simulate in parallel and the target is near-linear
+scaling — >= 10x at 16 shards on a 16-core host for draw-sparse fleets —
+so ``--check`` gates on the speedup *ratio* against the committed
+baseline from a comparable host, not on absolute throughput.
+
+Run with::
+
+    python benchmarks/fleet_sharded_baseline.py          # full baseline, writes JSON
+    python benchmarks/fleet_sharded_baseline.py --quick  # quick config only, no write
+    python benchmarks/fleet_sharded_baseline.py --quick --check
+        # measure the quick config and fail (exit 1) if the 2-shard
+        # speedup-vs-single ratio regressed more than 30% against the
+        # committed BENCH_fleet_sharded.json
+    python benchmarks/fleet_sharded_baseline.py --quick --json-out out.json
+        # also dump the measured numbers (CI uploads these as artifacts)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.scenarios.shard import ShardedFleetRun, partition_scenario
+from repro.scenarios.spec import JobSpec, ScenarioSpec
+from repro.simulation.rng import RandomStreams
+
+#: The reference sharded fleet: the revocation storm spread evenly across
+#: the four K80 regions (job shape, queueing, pool-per-job ratio, and
+#: epoch hour all match ``revocation_storm``; only the placement spreads).
+REFERENCE = {"jobs": 64, "total_steps": 60_000, "workers_per_job": 3,
+             "pool_slots_per_job": 4, "seed": 0,
+             "regions": ("us-east1", "us-central1", "us-west1",
+                         "europe-west1")}
+
+#: Quick variant used by the CI smoke gate.
+QUICK_STEPS = 2_000
+
+#: Shard counts measured against the single-process run.
+SHARD_COUNTS = (2, 4)
+
+#: Allowed fractional speedup-ratio regression before ``--check`` fails.
+REGRESSION_TOLERANCE = 0.30
+
+#: Timing repetitions (the best run is recorded, damping scheduler noise).
+REPETITIONS = 2
+
+OUTPUT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "BENCH_fleet_sharded.json")
+
+
+def sharded_storm(jobs: int, total_steps: int) -> ScenarioSpec:
+    """The revocation storm spread across the four K80 regions."""
+    regions = REFERENCE["regions"]
+    specs = tuple(
+        JobSpec(name=f"storm-{index}", model_name="resnet_15",
+                total_steps=total_steps,
+                workers=(("k80", regions[index % len(regions)]),)
+                * REFERENCE["workers_per_job"],
+                checkpoint_interval_steps=4000,
+                queue_replacements=True)
+        for index in range(jobs))
+    per_region = REFERENCE["pool_slots_per_job"] * jobs // len(regions)
+    return ScenarioSpec(
+        name=f"sharded_storm_x{jobs}",
+        description=f"revocation storm spread across {len(regions)} regions",
+        jobs=specs,
+        pool_capacity={("k80", region): per_region for region in regions},
+        reclaim_seconds=1200.0,
+        epoch_hour_utc=8.5)
+
+
+def _run_sharded(scenario: ScenarioSpec, shards: int):
+    run = ShardedFleetRun(scenario, RandomStreams(REFERENCE["seed"]),
+                          shards=shards)
+    started = time.perf_counter()
+    payload = run.run()
+    wall = time.perf_counter() - started
+    return payload, wall, run.events_processed
+
+
+def _measure(scenario: ScenarioSpec, shards: int):
+    best_wall, payload, events = float("inf"), None, 0
+    for _ in range(REPETITIONS):
+        payload, wall, events = _run_sharded(scenario, shards)
+        best_wall = min(best_wall, wall)
+    return {
+        "wall_seconds": round(best_wall, 3),
+        "events_processed": events,
+        "events_per_sec": round(events / best_wall, 1),
+    }, payload
+
+
+def _measure_fleet(total_steps: int) -> dict:
+    """Measure single-process vs sharded and verify payload identity."""
+    scenario = sharded_storm(REFERENCE["jobs"], total_steps)
+    groups = partition_scenario(scenario, max(SHARD_COUNTS))
+    single, payload_single = _measure(scenario, shards=1)
+    sharded = {}
+    for shards in SHARD_COUNTS:
+        measured, payload = _measure(scenario, shards=shards)
+        assert payload == payload_single, \
+            f"{shards}-shard payload diverged from the single-process run"
+        measured["speedup_vs_single"] = round(
+            single["wall_seconds"] / measured["wall_seconds"], 2)
+        sharded[f"shards_{shards}"] = measured
+    return {
+        "total_steps_per_job": total_steps,
+        "components": len(groups),
+        "single_process": single,
+        **sharded,
+        "bit_identical_payloads": {f"shards_{count}": True
+                                   for count in SHARD_COUNTS},
+        "fleet": {
+            "jobs": payload_single["jobs_total"],
+            "completed": payload_single["jobs_completed"],
+            "stalled": payload_single["jobs_stalled"],
+            "revocations": payload_single["revocations"],
+            "replacements_admitted":
+                payload_single["replacements_admitted"],
+            "makespan_hours": round(
+                payload_single["makespan_seconds"] / 3600.0, 3),
+        },
+    }
+
+
+def _check(baseline_path: str, measured: dict) -> int:
+    """Gate on the 2-shard speedup-vs-single ratio.
+
+    Both runs simulate the same fleet on the same host, so their ratio is
+    comparable across machines of the same core count; the committed
+    absolute events/sec are host specific and only informative.
+    """
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            committed = json.load(handle)
+    except FileNotFoundError:
+        print(f"no committed baseline at {baseline_path}; nothing to check")
+        return 1
+    reference = committed["quick"]["shards_2"]["speedup_vs_single"]
+    current = measured["shards_2"]["speedup_vs_single"]
+    floor = reference * (1.0 - REGRESSION_TOLERANCE)
+    verdict = "OK" if current >= floor else "REGRESSION"
+    print(f"2-shard speedup over single-process: measured {current:.2f}x vs "
+          f"committed {reference:.2f}x (floor {floor:.2f}x) -> {verdict}")
+    print(f"(informative absolute 2-shard events/sec: measured "
+          f"{measured['shards_2']['events_per_sec']:,.0f}, committed "
+          f"{committed['quick']['shards_2']['events_per_sec']:,.0f})")
+    return 0 if current >= floor else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="measure only the quick configuration; do not "
+                             "rewrite BENCH_fleet_sharded.json")
+    parser.add_argument("--check", nargs="?", const=OUTPUT, default=None,
+                        metavar="BASELINE",
+                        help="compare the quick 2-shard speedup-vs-single "
+                             "ratio against a committed baseline (default "
+                             "benchmarks/BENCH_fleet_sharded.json) and exit "
+                             "non-zero on a >30%% regression")
+    parser.add_argument("--json-out", default=None, metavar="PATH",
+                        help="write the measured numbers to PATH (CI uploads "
+                             "them as a workflow artifact)")
+    args = parser.parse_args(argv)
+
+    quick = _measure_fleet(QUICK_STEPS)
+    print(json.dumps({"quick": quick}, indent=2))
+    measured = {"quick": quick}
+    status = 0
+    if args.check is not None:
+        status = _check(args.check, quick)
+    elif not args.quick:
+        full = _measure_fleet(REFERENCE["total_steps"])
+        measured["full"] = full
+        baseline = {
+            "reference_fleet": REFERENCE,
+            "full": full,
+            "quick": quick,
+            "environment": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "numpy": np.__version__,
+                "cpu_count": os.cpu_count(),
+                "usable_cpus": len(os.sched_getaffinity(0))
+                if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+            },
+            "note": ("events_per_sec counts processed fleet events summed "
+                     "across shards for one 64-job four-region storm.  "
+                     "Tracked contracts: sharded payloads stay bit-identical "
+                     "to the single-process run at every shard count, and "
+                     "the 2-shard speedup ratio stays within 30% of this "
+                     "baseline on a comparable host.  Speedup tracks "
+                     "usable_cpus: a single-CPU host records sub-1x (the "
+                     "draw-service round-trips are pure overhead without "
+                     "parallel cores); the multi-core target is near-linear "
+                     "scaling, >= 10x at 16 shards on a 16-core host for "
+                     "draw-sparse fleets.  Regenerate with `python "
+                     "benchmarks/fleet_sharded_baseline.py` on the same "
+                     "host class when the shard driver, draw service, or "
+                     "fleet loop changes."),
+        }
+        with open(OUTPUT, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(json.dumps({"full": full}, indent=2))
+        print(f"\nwrote {OUTPUT}")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(measured, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

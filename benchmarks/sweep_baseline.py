@@ -73,6 +73,7 @@ def main() -> None:
         "warm_cache_hits": warm.cache_hits,
         "environment": {
             "python": platform.python_version(),
+            "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
             "usable_cpus": len(os.sched_getaffinity(0))
             if hasattr(os, "sched_getaffinity") else os.cpu_count(),

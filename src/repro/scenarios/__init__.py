@@ -46,6 +46,14 @@ when off — the golden-fixture contract of
   each worker's region from live pool availability plus the revocation
   calibration, at launch and when a replacement would be denied.
 
+A fleet can also execute **sharded** across worker processes
+(:mod:`repro.scenarios.shard`, ``REPRO_FLEET_SHARDS`` / ``--shards``):
+jobs and their pool cells are partitioned by connected component, each
+shard runs its own simulator + wake-set loop, and the one cross-shard
+coupling — the shared revocation stream — is served by the parent in
+deterministic ``(time, job rank)`` order, so payloads stay bit-identical
+to the single-process run at any shard count.
+
 Fleet sweeps can fan out along ``pool_size``, ``queue_policy``,
 ``warm_seconds``, ``launch_hour``, and ``placement`` axes besides
 ``replicate`` (see :func:`repro.scenarios.fleet.build_fleet_spec`), and
@@ -92,10 +100,19 @@ from repro.scenarios.report import (
     fleet_summary_table,
     frontier_rows,
 )
+from repro.scenarios.shard import (
+    DeterministicMessageQueue,
+    ShardFleetRun,
+    ShardGroup,
+    ShardedFleetRun,
+    partition_scenario,
+    run_fleet_sharded,
+)
 from repro.scenarios.spec import PLACEMENTS, JobSpec, ScenarioSpec
 
 __all__ = [
     "DENIED",
+    "DeterministicMessageQueue",
     "FleetJobController",
     "FleetRun",
     "GRANTED",
@@ -105,6 +122,9 @@ __all__ = [
     "ReplacementTicket",
     "SCENARIO_BUILDERS",
     "ScenarioSpec",
+    "ShardFleetRun",
+    "ShardGroup",
+    "ShardedFleetRun",
     "TransientPool",
     "apply_fleet_axes",
     "build_fleet_spec",
@@ -116,6 +136,8 @@ __all__ = [
     "frontier_rows",
     "get_scenario",
     "list_scenarios",
+    "partition_scenario",
     "run_fleet",
+    "run_fleet_sharded",
     "run_scenario",
 ]

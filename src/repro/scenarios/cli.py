@@ -17,6 +17,11 @@ scenario (warm pool enabled / placement mode overridden) before it runs;
 because the derived spec has different parameters it also keys different
 cache entries, so overridden and stock runs never collide in a shared
 ``--cache-dir``.
+
+``--shards`` runs each fleet across N worker processes
+(:mod:`repro.scenarios.shard`); payloads are bit-identical to ``--shards
+1``, and like the other runtime knobs the setting is fingerprinted into
+the sweep cache key, so differently-sharded runs never share entries.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from repro.cli import (
 )
 from repro.scenarios.catalog import get_scenario, list_scenarios
 from repro.scenarios.fleet import (
+    FLEET_SHARDS_ENV,
     FLEET_TRACE_LEVEL_ENV,
     apply_fleet_axes,
     run_scenario,
@@ -76,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "long and are re-acquired via the Fig. 10 "
                               "warm path (0 forces cold-only; default: "
                               "the scenario's own setting)")
+        sub.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="run each fleet across N worker processes "
+                              "(repro.scenarios.shard); payloads are "
+                              "bit-identical to --shards 1 at any count "
+                              "(default: REPRO_FLEET_SHARDS or 1)")
         sub.add_argument("--placement", choices=PLACEMENTS, default=None,
                          help="placement mode: 'static' pins workers to "
                               "their declared (gpu, region) cells, "
@@ -117,24 +128,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if resume_requires_cache(args):
             return 2
 
-        previous_trace_level = os.environ.get(FLEET_TRACE_LEVEL_ENV)
+        # Environment plumbing so pooled sweep workers (which inherit the
+        # environment) and the cache-key fingerprint agree; scoped to this
+        # invocation so repeated main() calls in one process do not leak
+        # the settings into each other.
+        knobs = {}
         if getattr(args, "trace_level", None):
-            # Environment plumbing so pooled sweep workers (which inherit
-            # the environment) and the cache-key fingerprint agree; scoped
-            # to this invocation so repeated main() calls in one process
-            # do not leak the setting into each other.
-            os.environ[FLEET_TRACE_LEVEL_ENV] = args.trace_level
+            knobs[FLEET_TRACE_LEVEL_ENV] = args.trace_level
+        if getattr(args, "shards", None) is not None:
+            knobs[FLEET_SHARDS_ENV] = str(args.shards)
+        previous = {env: os.environ.get(env) for env in knobs}
+        os.environ.update(knobs)
         try:
             scenario = _apply_overrides(get_scenario(args.name), args)
             result = run_scenario(scenario, replicates=args.replicates,
                                   seed=args.seed, workers=args.workers,
                                   cache_dir=args.cache_dir)
         finally:
-            if getattr(args, "trace_level", None):
-                if previous_trace_level is None:
-                    os.environ.pop(FLEET_TRACE_LEVEL_ENV, None)
+            for env, value in previous.items():
+                if value is None:
+                    os.environ.pop(env, None)
                 else:
-                    os.environ[FLEET_TRACE_LEVEL_ENV] = previous_trace_level
+                    os.environ[env] = value
         print(result.summary())
         print(fleet_summary_table(result))
         if args.json_out:

@@ -72,11 +72,14 @@ scenario sweeps serial/parallel bit-identical and resumable through the
 ``queue_policy``, ``warm_seconds``, ``launch_hour``, and ``placement``
 axes (applied per cell by :func:`apply_fleet_axes`); the cost/makespan
 frontier across those axes renders via
-:func:`repro.scenarios.report.fleet_frontier_table`.  Two more runtime
-knobs, both payload-neutral: ``REPRO_FLEET_SCHEDULER`` selects the
-scheduler and ``REPRO_FLEET_TRACE_LEVEL=summary`` switches every session
+:func:`repro.scenarios.report.fleet_frontier_table`.  Three more runtime
+knobs, all payload-neutral: ``REPRO_FLEET_SCHEDULER`` selects the
+scheduler, ``REPRO_FLEET_TRACE_LEVEL=summary`` switches every session
 to the aggregates-only trace sink so 500-job fleets keep O(1) trace memory
-per job.  Regenerate ``benchmarks/BENCH_fleet.json`` with
+per job, and ``REPRO_FLEET_SHARDS`` > 1 partitions the fleet across worker
+processes via :mod:`repro.scenarios.shard` (bit-identical payloads; shard
+1, the default, is this module's loop byte-identically unchanged).
+Regenerate ``benchmarks/BENCH_fleet.json`` with
 ``python benchmarks/fleet_baseline.py`` after touching this module (CI
 runs ``python benchmarks/fleet_baseline.py --quick --check`` as a
 regression gate).
@@ -140,6 +143,13 @@ FLEET_SCHEDULER_ENV = "REPRO_FLEET_SCHEDULER"
 #: ``full``; ``summary`` keeps aggregates only).
 FLEET_TRACE_LEVEL_ENV = "REPRO_FLEET_TRACE_LEVEL"
 
+#: Environment switch selecting the fleet shard count (default 1: the
+#: single-process run loop below, byte-identically unchanged).  Values > 1
+#: route ``fleet_cell`` through :func:`repro.scenarios.shard.run_fleet_sharded`,
+#: which partitions the fleet's jobs and pool cells across worker
+#: processes; payloads stay bit-identical by contract.
+FLEET_SHARDS_ENV = "REPRO_FLEET_SHARDS"
+
 #: Valid scheduler names: the event-ownership wake-set loop, and the
 #: original offer-everyone round-robin loop kept as the bit-identical
 #: payload reference.
@@ -154,6 +164,22 @@ def _scheduler_default() -> str:
 def _trace_level_default() -> str:
     return (os.environ.get(FLEET_TRACE_LEVEL_ENV, "").strip().lower()
             or "full")
+
+
+def _shards_default() -> int:
+    """The effective ``REPRO_FLEET_SHARDS`` value (>= 1; default 1)."""
+    raw = os.environ.get(FLEET_SHARDS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        shards = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{FLEET_SHARDS_ENV} must be a positive integer, got {raw!r}")
+    if shards < 1:
+        raise ConfigurationError(
+            f"{FLEET_SHARDS_ENV} must be >= 1, got {shards}")
+    return shards
 
 
 class FleetJobController(CMDareController):
@@ -359,6 +385,13 @@ class FleetRun:
         #: stall hooks so the run loop never scans all N jobs per event.
         self._jobs_finished = 0
         self._jobs_stalled = 0
+        #: Optional progress callback fired every ``_progress_interval``
+        #: processed events by both run loops.  The sharded fleet driver
+        #: installs one so each worker process periodically reports its
+        #: progress lower bound to the parent's draw service; ``None`` (the
+        #: default) costs one pointer comparison per loop iteration.
+        self._progress_hook: Optional[Callable[[], None]] = None
+        self._progress_interval = 2048
         self.jobs: List[_FleetJob] = [self._wire_job(spec)
                                       for spec in scenario.jobs]
         self._job_of: Dict[TrainingSession, _FleetJob] = {
@@ -583,8 +616,13 @@ class FleetRun:
         peek_next = sim.peek_next
         step = sim.step
         jobs_total = len(self.jobs)
+        hook = self._progress_hook
+        next_report = self._progress_interval
         processed = 0
         while processed < max_events:
+            if hook is not None and processed >= next_report:
+                hook()
+                next_report = processed + self._progress_interval
             if self._jobs_finished + self._jobs_stalled >= jobs_total:
                 break
             top = peek_next()
@@ -612,8 +650,13 @@ class FleetRun:
         measures the scheduler redesign against the loop it replaced
         rather than against a reference that silently inherits it.
         """
+        hook = self._progress_hook
+        next_report = self._progress_interval
         processed = 0
         while processed < max_events:
+            if hook is not None and processed >= next_report:
+                hook()
+                next_report = processed + self._progress_interval
             for fleet_job in self.jobs:
                 if not fleet_job.session.finished:
                     processed += fleet_job.session.fast_forward_probed(
@@ -791,10 +834,20 @@ def fleet_cell(cell: SweepCell, streams: RandomStreams,
     Axis parameters beyond ``replicate`` (see :func:`apply_fleet_axes`)
     derive the per-cell scenario before it runs.  ``context`` is the shared
     :class:`~repro.workloads.catalog.ModelCatalog` (its fingerprint keys
-    the result cache).
+    the result cache).  With ``REPRO_FLEET_SHARDS`` > 1 the fleet executes
+    through the sharded multi-process driver
+    (:func:`repro.scenarios.shard.run_fleet_sharded`), whose payloads are
+    bit-identical to this single-process path; the default of 1 runs the
+    code below byte-identically unchanged.
     """
     scenario = ScenarioSpec.from_params(cell.params["scenario"])
     scenario = apply_fleet_axes(scenario, cell.params)
+    shards = _shards_default()
+    if shards > 1:
+        from repro.scenarios.shard import run_fleet_sharded
+
+        return run_fleet_sharded(scenario, streams, catalog=context,
+                                 shards=shards)
     return run_fleet(scenario, streams, catalog=context)
 
 

@@ -59,7 +59,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, Mapping, Optional, Tuple
+from typing import Callable, Deque, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import CapacityError, ConfigurationError
 from repro.simulation.engine import Simulator
@@ -590,3 +590,45 @@ class TransientPool:
             cells[f"{gpu}/{region}"] = cell
         stats["cells"] = cells
         return stats
+
+    @staticmethod
+    def merge_stats(stats_list: Sequence[Mapping[str, object]]
+                    ) -> Dict[str, object]:
+        """Merge per-shard :meth:`stats` payloads into one fleet summary.
+
+        The sharded fleet driver (:mod:`repro.scenarios.shard`) partitions
+        a fleet's pool cells across shards — every cell is *owned* by
+        exactly one shard, so the per-shard stats count disjoint cells and
+        disjoint request streams.  Counters therefore sum exactly, the
+        derived rates recompute from the summed integers with the same
+        guarded divisions as the live properties, and the conditional keys
+        (``replacements_cancelled`` appears only when nonzero, the warm
+        keys only when the warm path is enabled) follow the same
+        presence rules as :meth:`stats`, so a merged summary is
+        byte-identical to the one pool of the single-process run.
+        """
+        merged: Dict[str, object] = {
+            key: sum(int(stats[key]) for stats in stats_list)
+            for key in ("launches", "releases", "revocations",
+                        "replacement_requests", "replacements_granted",
+                        "replacements_queued", "replacements_denied")}
+        requests = merged["replacement_requests"]
+        merged["replacement_denial_rate"] = (
+            merged["replacements_denied"] / requests if requests else 0.0)
+        cancelled = sum(int(stats.get("replacements_cancelled", 0))
+                        for stats in stats_list)
+        if cancelled:
+            merged["replacements_cancelled"] = cancelled
+        if any("replacements_warm" in stats for stats in stats_list):
+            warm = sum(int(stats.get("replacements_warm", 0))
+                       for stats in stats_list)
+            granted = merged["replacements_granted"]
+            merged["replacements_warm"] = warm
+            merged["warm_reuse_rate"] = warm / granted if granted else 0.0
+        cells: Dict[str, Dict[str, object]] = {}
+        for stats in stats_list:
+            cells.update(stats["cells"])
+        merged["cells"] = {key: cells[key] for key in
+                           sorted(cells, key=lambda name: tuple(
+                               name.partition("/")[::2]))}
+        return merged

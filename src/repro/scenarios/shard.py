@@ -1,0 +1,690 @@
+"""Sharded multi-process fleet execution with deterministic cross-shard messaging.
+
+One :class:`~repro.scenarios.fleet.FleetRun` multiplexes every job of a
+scenario on a single simulator in a single process.  This module partitions
+a fleet across N worker processes — *shards* — while keeping the payload
+**bit-identical** to the single-process run, so sharding is purely an
+execution knob (``REPRO_FLEET_SHARDS`` / ``shards=``), never a modeling
+decision.
+
+Ownership
+---------
+The PR 4 wake-set scheduler already tags every chunk event with its owning
+session (``Event.owner``) so the heap top names the one session able to
+progress.  Sharding generalizes that ownership one level up:
+
+* **jobs and pool cells are partitioned by connected component.**  Two jobs
+  that share a ``(gpu, region)`` :class:`~repro.scenarios.pool.TransientPool`
+  cell interact through grants, queues, and warm reuse at event granularity,
+  so they must stay on one simulator; jobs in different components never
+  touch each other's cells.  :func:`partition_scenario` computes the
+  components of the job/cell graph and bin-packs them across shards by
+  simulated weight.  Every cell is therefore *owned* by exactly one shard —
+  pool FIFO invariants, acquisition order, and per-cell counters are all
+  shard-local and merge exactly (``TransientPool.merge_stats``).  Adaptive
+  placement couples every same-GPU cell by design, so it always forms one
+  component (and runs single-process).
+* **each shard runs its own simulator + wake-set loop** over its local
+  jobs, riding the existing fast-forward path unchanged.  Within a shard
+  the event-ownership invariant holds exactly as in a single-process fleet.
+
+The one cross-shard coupling: the shared revocation stream
+----------------------------------------------------------
+Worker lifetimes are drawn from one :class:`~repro.cloud.revocation.RevocationModel`
+whose generator is consumed in **global event order**, and each draw
+consumes a variable amount of the stream (a survivor check, plus candidate
+draws only when revoked) — so draw *values* depend on draw *order*, and the
+stream cannot be split or pre-advanced per shard.  Sharded fleets therefore
+route every draw through a **draw service** in the parent process, which
+owns the one true model and replays the exact single-process call sequence:
+
+* a shard needing draws sends a *draw request* ``(time, rank, calls)`` over
+  its pipe and blocks; ``rank`` is the job's global fleet index, which is
+  exactly the single-process tie-break for simultaneous draws (launch draws
+  at equal start delays happen in job wiring order).
+* requests are queued in a :class:`DeterministicMessageQueue` and granted
+  in ``(time, rank)`` order — never in OS arrival order.  A request is
+  granted only once every other shard provably cannot need an earlier draw:
+  it is done, is itself blocked on a later request, or has reported a
+  progress lower bound past the request's time.  Shards report that bound
+  (their simulator's :meth:`~repro.simulation.engine.Simulator.next_event_time`)
+  every ``_progress_interval`` processed events — the *epoch barriers* of
+  the conductor: between two reports a shard can only fire events, and
+  hence request draws, at or after its last reported bound, so the barrier
+  makes the conservative grant order safe regardless of OS scheduling.
+* the parent executes the real model calls (same arguments, same batching
+  as the single-process fleet, hence the same stream consumption) and
+  replies with the outcomes plus each draw's global sequence number.
+
+Merging
+-------
+Each shard returns its ordinary fleet payload plus its revocation records
+``(revoke time, global draw rank, local hour)``.  The parent reassembles
+the single-process payload exactly: per-job entries in global job order,
+``total_cost_usd`` summed in that order (float addition order preserved),
+pool stats merged cell-by-cell (cells are disjoint by ownership), and
+``revocation_hours_local`` ordered by ``(revoke time, draw rank)`` — the
+draw rank reproduces the single-process heap tie-break because revocation
+events are scheduled immediately after their draws, in draw order.
+
+Contracts (pinned by ``tests/test_shard.py`` and the golden matrix):
+
+* payloads bit-identical to single-process across ``REPRO_FLEET_SHARDS``
+  x ``REPRO_FLEET_SCHEDULER`` x ``REPRO_CORE_FASTFORWARD`` x
+  ``REPRO_FLEET_TRACE_LEVEL``;
+* ``shards=1`` (the default) byte-identically reuses the single-process
+  code path — same streams, same seeds, same sweep cache entries;
+* fleets that form one component (every named single-region scenario, and
+  any adaptive fleet) also run the single-process path verbatim, whatever
+  the shard count.
+
+``benchmarks/fleet_sharded_baseline.py`` records the throughput baseline
+(``BENCH_fleet_sharded.json``); CI runs it with ``--quick --check`` under
+``REPRO_FLEET_SHARDS=2`` as a regression gate.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.pricing import PriceCatalog
+from repro.cloud.regions import get_region
+from repro.cloud.revocation import RevocationModel
+from repro.errors import ConfigurationError, SimulationError
+from repro.scenarios.fleet import FleetRun, _shards_default
+from repro.scenarios.pool import TransientPool
+from repro.scenarios.spec import PoolKey, ScenarioSpec
+from repro.simulation.rng import RandomStreams
+from repro.training.session import TrainingSession
+from repro.training.worker import WorkerState
+from repro.workloads.catalog import ModelCatalog
+
+__all__ = [
+    "DeterministicMessageQueue",
+    "ShardFleetRun",
+    "ShardGroup",
+    "ShardMessage",
+    "ShardedFleetRun",
+    "partition_scenario",
+    "run_fleet_sharded",
+]
+
+
+# ---------------------------------------------------------------------------
+# Deterministic cross-shard messaging.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardMessage:
+    """One cross-shard message, ordered by ``(time, rank, shard, seq)``.
+
+    ``time`` and ``rank`` carry the simulation-level ordering (event time,
+    then the global job index as the tie-break); ``shard`` and ``seq`` are
+    the sender's identity and its per-sender send counter.  Because a shard
+    sends at most one in-flight draw request and numbers its messages
+    itself, the full key is a total order fixed by the *senders* — two
+    messages compare the same however the OS interleaves their arrival.
+    """
+
+    time: float
+    rank: int
+    shard: int
+    seq: int
+    payload: Any = None
+
+    @property
+    def key(self) -> Tuple[float, int, int, int]:
+        return (self.time, self.rank, self.shard, self.seq)
+
+
+class DeterministicMessageQueue:
+    """A drain queue whose pop order is independent of push order.
+
+    Messages drain in :attr:`ShardMessage.key` order — simulation time,
+    then job rank, then sender shard, then the sender's own sequence
+    number.  Pushing the same set of messages in any arrival order yields
+    the same pop sequence (property-tested in
+    ``tests/test_property_based.py``), which is what makes the parent's
+    draw service — and hence every cross-shard random draw — deterministic
+    under arbitrary OS scheduling.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Tuple[float, int, int, int], ShardMessage]] = []
+
+    def push(self, message: ShardMessage) -> None:
+        heapq.heappush(self._heap, (message.key, message))
+
+    def peek(self) -> ShardMessage:
+        if not self._heap:
+            raise IndexError("peek from an empty DeterministicMessageQueue")
+        return self._heap[0][1]
+
+    def pop(self) -> ShardMessage:
+        if not self._heap:
+            raise IndexError("pop from an empty DeterministicMessageQueue")
+        return heapq.heappop(self._heap)[1]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+# ---------------------------------------------------------------------------
+# Partitioning.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardGroup:
+    """One shard's slice of a fleet: jobs, owned pool cells, and weight."""
+
+    index: int
+    job_indices: Tuple[int, ...]
+    cells: Tuple[PoolKey, ...]
+    weight: int
+
+
+def _job_weight(scenario: ScenarioSpec, job_index: int) -> int:
+    """Simulated-load proxy for balancing: steps x workers."""
+    job = scenario.jobs[job_index]
+    return job.total_steps * len(job.workers)
+
+
+def partition_scenario(scenario: ScenarioSpec,
+                       shards: int) -> List[ShardGroup]:
+    """Partition a fleet's jobs and pool cells across up to ``shards`` groups.
+
+    Jobs sharing a pool cell interact at event granularity and must stay
+    together, so the unit of distribution is a *connected component* of
+    the job/cell graph.  Components are balanced across shards greedily by
+    descending weight (steps x workers, a proxy for event count) onto the
+    least-loaded shard — fully deterministic, no RNG involved.  Pool cells
+    no job uses are owned by shard 0, so the merged payload reports the
+    same idle cells as the single-process run.
+
+    Adaptive placement lets any job reach any same-GPU cell, coupling the
+    whole fleet into one component by design, so it always yields a single
+    group (which the driver then runs on the ordinary single-process path).
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    total = len(scenario.jobs)
+    all_cells = tuple(sorted(scenario.pool_capacity))
+    whole = [ShardGroup(index=0, job_indices=tuple(range(total)),
+                        cells=all_cells,
+                        weight=sum(_job_weight(scenario, i)
+                                   for i in range(total)))]
+    if shards == 1 or total == 1 or scenario.placement == "adaptive":
+        return whole
+
+    # Union-find over jobs: two jobs sharing any (gpu, region) cell merge.
+    parent = list(range(total))
+
+    def find(index: int) -> int:
+        root = index
+        while parent[root] != root:
+            root = parent[root]
+        while parent[index] != root:
+            parent[index], index = root, parent[index]
+        return root
+
+    cell_user: Dict[PoolKey, int] = {}
+    for job_index, job in enumerate(scenario.jobs):
+        for cell in job.workers:
+            if cell in cell_user:
+                parent[find(job_index)] = find(cell_user[cell])
+            else:
+                cell_user[cell] = job_index
+    components: Dict[int, List[int]] = {}
+    for job_index in range(total):
+        components.setdefault(find(job_index), []).append(job_index)
+    if len(components) == 1:
+        return whole
+
+    # Greedy balance: heaviest component first onto the least-loaded bin
+    # (ties: lowest bin index), all deterministic.
+    ordered = sorted(components.values(),
+                     key=lambda ids: (-sum(_job_weight(scenario, i)
+                                           for i in ids), ids[0]))
+    bins: List[List[int]] = [[] for _ in range(min(shards, len(ordered)))]
+    loads = [0] * len(bins)
+    for ids in ordered:
+        target = loads.index(min(loads))
+        bins[target].extend(ids)
+        loads[target] += sum(_job_weight(scenario, i) for i in ids)
+
+    spare = sorted(set(scenario.pool_capacity) - set(cell_user))
+    groups: List[ShardGroup] = []
+    for raw in bins:
+        if not raw:
+            continue
+        job_indices = tuple(sorted(raw))
+        cells = {cell for index in job_indices
+                 for cell in scenario.jobs[index].workers}
+        if not groups:
+            cells.update(spare)
+        groups.append(ShardGroup(
+            index=len(groups), job_indices=job_indices,
+            cells=tuple(sorted(cells)),
+            weight=sum(_job_weight(scenario, i) for i in job_indices)))
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Worker (shard) side.
+# ---------------------------------------------------------------------------
+class ShardFleetRun(FleetRun):
+    """One shard's slice of a fleet, revocation draws routed to the parent.
+
+    Args:
+        scenario: The shard's sub-scenario
+            (:meth:`~repro.scenarios.spec.ScenarioSpec.shard_subset`).
+        streams: Root fleet streams rebuilt from the fleet seed — job
+            streams are name-keyed, so each shard derives exactly the
+            streams of its own jobs and touches no other.
+        conn: Pipe to the parent draw service.
+        job_ranks: Global fleet index of each sub-scenario job, in order.
+
+    Everything else — pool, controllers, wake-set loop, fast-forward —
+    is the stock :class:`~repro.scenarios.fleet.FleetRun`; only the two
+    revocation-draw entry points and the revoke bookkeeping differ.
+    """
+
+    def __init__(self, scenario: ScenarioSpec, streams: RandomStreams, *,
+                 conn: Any, job_ranks: Sequence[int],
+                 catalog: Optional[ModelCatalog] = None,
+                 price_catalog: Optional[PriceCatalog] = None,
+                 fast_forward: Optional[bool] = None,
+                 scheduler: Optional[str] = None,
+                 trace_level: Optional[str] = None):
+        super().__init__(scenario, streams, catalog=catalog,
+                         price_catalog=price_catalog,
+                         fast_forward=fast_forward, scheduler=scheduler,
+                         trace_level=trace_level)
+        if self.advisor is not None:
+            raise ConfigurationError(
+                "adaptive placement couples every cell; it cannot run on a "
+                "shard (partition_scenario never produces one)")
+        self._conn = conn
+        self._rank_of = {job.session: rank
+                         for job, rank in zip(self.jobs, job_ranks)}
+        #: ``(revoke time, global draw rank, local hour)`` per fired
+        #: revocation; the parent merges these across shards to rebuild
+        #: ``revocation_hours_local`` in single-process order.
+        self.revocation_records: List[Tuple[float, int, float]] = []
+        self._progress_hook = self._report_progress
+
+    # -- draw service client -------------------------------------------
+    def _report_progress(self) -> None:
+        bound = self.simulator.next_event_time()
+        self._conn.send(("progress",
+                         math.inf if bound is None else bound))
+
+    def _request_draws(self, rank: int, calls: List[Tuple]) -> Tuple[List, int]:
+        """Block until the parent grants this shard's draws, in order."""
+        self._conn.send(("draw", self.simulator.now, rank, calls))
+        reply = self._conn.recv()
+        if reply[0] != "grant":
+            raise SimulationError(
+                f"draw service protocol violation: expected grant, got "
+                f"{reply[0]!r}")
+        outcomes, base_rank = reply[1]
+        return outcomes, base_rank
+
+    # -- revocation draws, routed --------------------------------------
+    def _schedule_launch_revocations(self, session: TrainingSession,
+                                     workers: List[WorkerState]) -> None:
+        # Same consecutive-(gpu, region) grouping as the base class, but
+        # all of the job's batch calls travel in one request: the parent
+        # executes them back-to-back, consuming the revocation stream
+        # exactly as the single-process interleaved calls would.
+        calls: List[Tuple] = []
+        index = 0
+        count = len(workers)
+        while index < count:
+            spec = workers[index].spec
+            gpu, region_name = spec.gpu_name, spec.region_name
+            end = index + 1
+            while (end < count and workers[end].spec.gpu_name == gpu
+                   and workers[end].spec.region_name == region_name):
+                end += 1
+            region = get_region(region_name)
+            launch_hour = region.local_hour(self.simulator.hour_of_day_utc())
+            calls.append(("batch", gpu, region_name, end - index, launch_hour))
+            index = end
+        outcomes, base_rank = self._request_draws(self._rank_of[session], calls)
+        for offset, (worker, outcome) in enumerate(zip(workers, outcomes)):
+            self._schedule_shard_outcome(session, worker, outcome,
+                                         base_rank + offset)
+
+    def _schedule_revocation(self, session: TrainingSession,
+                             worker: WorkerState) -> None:
+        region = get_region(worker.spec.region_name)
+        launch_hour = region.local_hour(self.simulator.hour_of_day_utc())
+        outcomes, base_rank = self._request_draws(
+            self._rank_of[session],
+            [("single", worker.spec.gpu_name, worker.spec.region_name, 1,
+              launch_hour)])
+        self._schedule_shard_outcome(session, worker, outcomes[0], base_rank)
+
+    def _schedule_shard_outcome(self, session: TrainingSession,
+                                worker: WorkerState, outcome: Any,
+                                rank: int) -> None:
+        """The base ``_schedule_revocation_outcome`` plus draw-rank records."""
+        if not outcome.revoked:
+            return
+        gpu, region_name = worker.spec.gpu_name, worker.spec.region_name
+
+        def revoke(sim) -> None:
+            if session.finished or not worker.active:
+                return
+            hour = float(outcome.revocation_hour_local)
+            self.revocation_records.append((sim.now, rank, hour))
+            self.revocation_hours_local.append(hour)
+            self.pool.revoke(gpu, region_name)
+            session.handle_revocation(worker.worker_id)
+            self._check_stalled(session)
+
+        self.simulator.schedule(outcome.lifetime_seconds, revoke,
+                                label=f"fleet:revoke:{worker.worker_id}")
+
+
+def _shard_worker(conn, scenario: ScenarioSpec, group: ShardGroup,
+                  epoch: float, seed: int, catalog, price_catalog,
+                  fast_forward, scheduler, trace_level) -> None:
+    """Process entry point: run one shard and report back over ``conn``."""
+    try:
+        sub = scenario.shard_subset(group.job_indices, group.cells,
+                                    epoch_hour_utc=epoch)
+        run = ShardFleetRun(sub, RandomStreams(seed=seed), conn=conn,
+                            job_ranks=group.job_indices, catalog=catalog,
+                            price_catalog=price_catalog,
+                            fast_forward=fast_forward, scheduler=scheduler,
+                            trace_level=trace_level)
+        payload = run.run()
+        conn.send(("done", (payload, run.revocation_records,
+                            run.events_processed)))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent (conductor) side.
+# ---------------------------------------------------------------------------
+class _ShardHandle:
+    """Parent-side bookkeeping for one shard process."""
+
+    __slots__ = ("group", "process", "conn", "bound", "pending", "done",
+                 "result")
+
+    def __init__(self, group: ShardGroup, process, conn):
+        self.group = group
+        self.process = process
+        self.conn = conn
+        #: Progress lower bound: no future draw request from this shard
+        #: can carry a time below it.  Monotone by construction.
+        self.bound = 0.0
+        self.pending: Optional[ShardMessage] = None
+        self.done = False
+        self.result = None
+
+
+class ShardedFleetRun:
+    """Partition, conduct, and merge one sharded fleet run.
+
+    Mirrors :class:`~repro.scenarios.fleet.FleetRun`'s construction surface
+    plus ``shards``; :meth:`run` returns the fleet payload and leaves
+    ``events_processed`` (summed across shards) for the benchmark harness.
+    Fleets whose partition yields a single group — ``shards=1``, one
+    connected component, or adaptive placement — run the stock
+    single-process :class:`~repro.scenarios.fleet.FleetRun` verbatim, which
+    is the ``shards=1`` byte-identity contract.
+    """
+
+    def __init__(self, scenario: ScenarioSpec, streams: RandomStreams,
+                 catalog: Optional[ModelCatalog] = None,
+                 price_catalog: Optional[PriceCatalog] = None,
+                 fast_forward: Optional[bool] = None,
+                 scheduler: Optional[str] = None,
+                 trace_level: Optional[str] = None,
+                 shards: Optional[int] = None):
+        self.scenario = scenario
+        self.streams = streams
+        self.catalog = catalog
+        self.price_catalog = price_catalog
+        self.fast_forward = fast_forward
+        self.scheduler = scheduler
+        self.trace_level = trace_level
+        self.shards = _shards_default() if shards is None else int(shards)
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {self.shards}")
+        self.groups = partition_scenario(scenario, self.shards)
+        self.events_processed = 0
+
+    def run(self) -> Dict[str, Any]:
+        """Run the fleet and return the (merged) JSON payload."""
+        if len(self.groups) == 1:
+            run = FleetRun(self.scenario, self.streams, catalog=self.catalog,
+                           price_catalog=self.price_catalog,
+                           fast_forward=self.fast_forward,
+                           scheduler=self.scheduler,
+                           trace_level=self.trace_level)
+            payload = run.run()
+            self.events_processed = run.events_processed
+            return payload
+        # Resolve the fleet epoch exactly like FleetRun.__init__ does, so
+        # the one draw the single-process run would make happens here,
+        # once, and every shard inherits its value explicitly.
+        epoch = (self.scenario.epoch_hour_utc
+                 if self.scenario.epoch_hour_utc is not None
+                 else float(self.streams.get("epoch").uniform(0, 24)))
+        model = RevocationModel(rng=self.streams.get("revocation"))
+        results = self._conduct(epoch, model)
+        return self._merge(results)
+
+    # -- process management --------------------------------------------
+    def _conduct(self, epoch: float, model: RevocationModel) -> List[Tuple]:
+        context = multiprocessing.get_context()
+        handles: List[_ShardHandle] = []
+        child_ends = []
+        for group in self.groups:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker,
+                args=(child_conn, self.scenario, group, epoch,
+                      self.streams.seed, self.catalog, self.price_catalog,
+                      self.fast_forward, self.scheduler, self.trace_level),
+                name=f"repro-fleet-shard-{group.index}")
+            handles.append(_ShardHandle(group, process, parent_conn))
+            child_ends.append(child_conn)
+        try:
+            for handle, child_conn in zip(handles, child_ends):
+                handle.process.start()
+                child_conn.close()
+            return self._service_loop(handles, model)
+        finally:
+            for handle in handles:
+                handle.conn.close()
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                handle.process.join()
+
+    def _service_loop(self, handles: List[_ShardHandle],
+                      model: RevocationModel) -> List[Tuple]:
+        """Drain shard messages and grant draws in deterministic order."""
+        from multiprocessing.connection import wait as connection_wait
+
+        queue = DeterministicMessageQueue()
+        by_conn = {handle.conn: handle for handle in handles}
+        live = set(by_conn)
+        sequences = [0] * len(handles)
+        draw_count = 0
+        while any(not handle.done for handle in handles):
+            for conn in connection_wait(list(live)):
+                handle = by_conn[conn]
+                try:
+                    while True:
+                        message = conn.recv()
+                        self._handle_message(handle, message, queue, sequences)
+                        if handle.done or not conn.poll():
+                            break
+                except (EOFError, OSError):
+                    if not handle.done:
+                        raise SimulationError(
+                            f"fleet shard {handle.group.index} exited "
+                            f"without a result")
+                if handle.done:
+                    live.discard(conn)
+            draw_count = self._grant_ready(handles, queue, model, draw_count)
+        return [handle.result for handle in handles]
+
+    def _handle_message(self, handle: _ShardHandle, message: Tuple,
+                        queue: DeterministicMessageQueue,
+                        sequences: List[int]) -> None:
+        kind = message[0]
+        if kind == "progress":
+            handle.bound = max(handle.bound, message[1])
+        elif kind == "draw":
+            _, time, rank, calls = message
+            index = handle.group.index
+            request = ShardMessage(time=time, rank=rank, shard=index,
+                                   seq=sequences[index],
+                                   payload=(handle, calls))
+            sequences[index] += 1
+            handle.pending = request
+            handle.bound = max(handle.bound, time)
+            queue.push(request)
+        elif kind == "done":
+            handle.done = True
+            handle.bound = math.inf
+            handle.result = message[1]
+        elif kind == "error":
+            raise SimulationError(
+                f"fleet shard {handle.group.index} failed:\n{message[1]}")
+        else:  # pragma: no cover - future-proofing
+            raise SimulationError(f"unknown shard message kind {kind!r}")
+
+    def _grant_ready(self, handles: List[_ShardHandle],
+                     queue: DeterministicMessageQueue,
+                     model: RevocationModel, draw_count: int) -> int:
+        """Grant every pending draw whose global order is already decided.
+
+        The queue top is the earliest ``(time, rank)`` pending request; it
+        is safe to grant once every *other* shard either is done, is itself
+        blocked on a later request, or has a progress bound strictly past
+        the request's time (its future draws all happen later).  Granting
+        may unblock a shard whose next request is again the minimum, so
+        this loops until the top is no longer provably next.
+        """
+        while queue:
+            request = queue.peek()
+            requester = request.payload[0]
+            safe = True
+            for other in handles:
+                if other is requester or other.done:
+                    continue
+                if other.pending is not None:
+                    # The queue top is the global minimum, so any other
+                    # pending request is provably later.
+                    continue
+                if other.bound > request.time:
+                    continue
+                safe = False
+                break
+            if not safe:
+                return draw_count
+            queue.pop()
+            requester.pending = None
+            outcomes: List[Any] = []
+            for kind, gpu, region, count, launch_hour in request.payload[1]:
+                if kind == "batch":
+                    outcomes.extend(model.sample_batch(
+                        gpu, region, count, launch_hour_local=launch_hour,
+                        stressed=True))
+                else:
+                    outcomes.append(model.sample(
+                        gpu, region, launch_hour_local=launch_hour,
+                        stressed=True))
+            requester.conn.send(("grant", (outcomes, draw_count)))
+            draw_count += len(outcomes)
+        return draw_count
+
+    # -- payload merge -------------------------------------------------
+    def _merge(self, results: List[Tuple]) -> Dict[str, Any]:
+        """Reassemble the single-process payload from per-shard results."""
+        payloads = [result[0] for result in results]
+        records = [record for result in results for record in result[1]]
+        self.events_processed = sum(result[2] for result in results)
+
+        jobs: List[Optional[Dict[str, Any]]] = [None] * len(self.scenario.jobs)
+        for group, payload in zip(self.groups, payloads):
+            for rank, entry in zip(group.job_indices, payload["jobs"]):
+                jobs[rank] = entry
+        # total_cost_usd sums per-job costs in global job order, exactly
+        # like FleetRun._payload — float addition order is part of the
+        # bit-identity contract.
+        total_cost = 0.0
+        for entry in jobs:
+            total_cost += entry["cost_usd"]
+        pool_stats = TransientPool.merge_stats(
+            [payload["pool"] for payload in payloads])
+        # (time, draw rank) reproduces the single-process append order:
+        # revoke events are scheduled right after their draws, so their
+        # heap sequence numbers — the same-time tie-break — are ordered
+        # exactly like the global draw ranks.
+        records.sort(key=lambda record: (record[0], record[1]))
+        merged: Dict[str, Any] = {
+            "scenario": self.scenario.name,
+            "epoch_hour_utc": payloads[0]["epoch_hour_utc"],
+            "jobs_total": len(jobs),
+            "jobs_completed": sum(1 for job in jobs if job["completed"]),
+            "jobs_stalled": sum(1 for job in jobs if job["stalled"]),
+            "makespan_seconds": max(payload["makespan_seconds"]
+                                    for payload in payloads),
+            "total_cost_usd": total_cost,
+            "revocations": pool_stats["revocations"],
+            "replacements_admitted": sum(job["replacements_admitted"]
+                                         for job in jobs),
+            "replacements_denied": pool_stats["replacements_denied"],
+            "replacement_denial_rate": pool_stats["replacement_denial_rate"],
+            "ps_mitigations": sum(job["ps_mitigations"] for job in jobs),
+            "revocation_hours_local": [record[2] for record in records],
+            "pool": pool_stats,
+            "jobs": jobs,
+        }
+        if (self.scenario.warm_capacity > 0
+                and self.scenario.warm_seconds > 0):
+            merged["replacements_warm"] = pool_stats["replacements_warm"]
+            merged["warm_reuse_rate"] = pool_stats["warm_reuse_rate"]
+        return merged
+
+
+def run_fleet_sharded(scenario: ScenarioSpec, streams: RandomStreams,
+                      catalog: Optional[ModelCatalog] = None,
+                      price_catalog: Optional[PriceCatalog] = None,
+                      fast_forward: Optional[bool] = None,
+                      scheduler: Optional[str] = None,
+                      trace_level: Optional[str] = None,
+                      shards: Optional[int] = None) -> Dict[str, Any]:
+    """Simulate one fleet across ``shards`` worker processes.
+
+    Drop-in for :func:`repro.scenarios.fleet.run_fleet` with one extra
+    knob: ``shards`` (``None`` reads ``REPRO_FLEET_SHARDS``, default 1).
+    Payloads are bit-identical to the single-process run at every shard
+    count; ``shards=1`` *is* the single-process run.
+    """
+    return ShardedFleetRun(scenario, streams, catalog=catalog,
+                           price_catalog=price_catalog,
+                           fast_forward=fast_forward, scheduler=scheduler,
+                           trace_level=trace_level, shards=shards).run()

@@ -11,6 +11,7 @@ and serial/parallel bit-identity all come for free.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -215,6 +216,31 @@ class ScenarioSpec:
                     raise ConfigurationError(
                         f"scenario {self.name!r} needs {needed} x {key} transient "
                         f"servers up front but the pool only offers {have}")
+
+    def shard_subset(self, job_indices: Tuple[int, ...],
+                     cells: Tuple[PoolKey, ...],
+                     epoch_hour_utc: Optional[float] = None) -> "ScenarioSpec":
+        """The sub-scenario one fleet shard runs: a job/cell slice of this one.
+
+        Used by :mod:`repro.scenarios.shard`: each shard simulates the jobs
+        in ``job_indices`` (in their original fleet order, so per-cell pool
+        acquisition sequences and launch-draw ordering are preserved)
+        against only the pool cells in ``cells``.  ``epoch_hour_utc`` pins
+        the fleet epoch explicitly — the parent resolves a ``None`` epoch
+        by drawing from the fleet streams exactly once, so every shard
+        shares the draw the single-process run would have made.
+
+        The slice revalidates through ``__post_init__``: because the full
+        scenario was launchable and ``cells`` covers every sliced job's
+        placements, the per-cell demand check passes by construction.
+        """
+        if not job_indices:
+            raise ConfigurationError("a shard needs at least one job")
+        jobs = tuple(self.jobs[index] for index in job_indices)
+        capacity = {key: self.pool_capacity[key] for key in sorted(cells)}
+        epoch = self.epoch_hour_utc if epoch_hour_utc is None else epoch_hour_utc
+        return dataclasses.replace(self, jobs=jobs, pool_capacity=capacity,
+                                   epoch_hour_utc=epoch)
 
     def initial_demand(self) -> Dict[PoolKey, int]:
         """Transient servers needed per pool at fleet launch."""

@@ -21,6 +21,10 @@ insertion epochs (:meth:`Simulator.owner_insertions`, bumped whenever an
 owner inserts an event, which lets a session cache its *disturbance
 horizon* — "I am blocked behind that foreign event" — and skip even the
 heap peek until the cached verdict can no longer be valid).
+:meth:`Simulator.next_event_time` exposes the heap top's timestamp as a
+progress lower bound, which the sharded fleet driver
+(:mod:`repro.scenarios.shard`) reports across process boundaries to order
+cross-shard random draws deterministically.
 """
 
 from __future__ import annotations
@@ -206,6 +210,19 @@ class Simulator:
             event._in_queue = False
             self._cancelled_in_queue -= 1
         return None
+
+    def next_event_time(self) -> Optional[float]:
+        """When the next pending event fires, or ``None`` on an empty heap.
+
+        This is the simulator's *progress lower bound*: every callback it
+        will ever run — and therefore every random draw those callbacks
+        make — happens at or after this time.  The sharded fleet driver
+        (:mod:`repro.scenarios.shard`) reports it to the parent process so
+        cross-shard draws can be granted in deterministic time order
+        without waiting for the slowest shard to actually reach them.
+        """
+        event = self.peek_next()
+        return None if event is None else event.time
 
     def pop_next(self) -> Optional[Event]:
         """Remove and return the next pending event *without firing it*.

@@ -38,7 +38,13 @@ class Event:
             themselves, which lets multi-session drivers (the fleet
             wake-set scheduler) map the heap top to the one session whose
             fast-forward can make progress in O(1) instead of probing every
-            session.  Untagged events are *foreign* to every session.
+            session.  Untagged events are *foreign* to every session.  The
+            same tag generalizes from sessions to *shards*: a sharded fleet
+            (:mod:`repro.scenarios.shard`) gives every shard its own
+            simulator, so each shard's heap holds only events owned by its
+            local sessions, and the ownership invariant — the heap top
+            names the one entity able to progress — holds per shard exactly
+            as it does per session.
     """
 
     time: float

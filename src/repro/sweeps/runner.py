@@ -142,7 +142,8 @@ def _runtime_knobs_key() -> str:
     environment knobs — the simulation core's fast-forward toggle
     (``REPRO_CORE_FASTFORWARD`` / ``fast_forward``), the fleet scheduler
     (``REPRO_FLEET_SCHEDULER``), the fleet trace level
-    (``REPRO_FLEET_TRACE_LEVEL``), and the placement score backend
+    (``REPRO_FLEET_TRACE_LEVEL``), the fleet shard count
+    (``REPRO_FLEET_SHARDS``), and the placement score backend
     (``REPRO_PLACEMENT_SCORES``).  The *effective* normalized settings are
     fingerprinted (so ``"0"``, ``"false"``, and ``"off"`` key identically,
     as do defaults and unset), and folded into every cache key: a warm
@@ -152,12 +153,17 @@ def _runtime_knobs_key() -> str:
     pooled execution too.
     """
     from repro.modeling.launch_advisor import placement_scores_backend
-    from repro.scenarios.fleet import _scheduler_default, _trace_level_default
+    from repro.scenarios.fleet import (
+        _scheduler_default,
+        _shards_default,
+        _trace_level_default,
+    )
     from repro.training.session import _fast_forward_default
 
     knobs = {
         "core_fastforward": "1" if _fast_forward_default() else "0",
         "fleet_scheduler": _scheduler_default(),
+        "fleet_shards": str(_shards_default()),
         "fleet_trace_level": _trace_level_default(),
         "placement_scores": placement_scores_backend(),
     }

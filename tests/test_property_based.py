@@ -218,3 +218,102 @@ def test_transient_pool_invariants_under_random_interleavings(
     assert (pool.replacements_granted + pool.replacements_denied
             + pool.pending_waiters(*key) + pool.replacements_cancelled
             ) == pool.replacement_requests
+
+
+# ---------------------------------------------------------------------------
+# Sharded-fleet messaging invariants under random interleavings.
+# ---------------------------------------------------------------------------
+from repro.scenarios.shard import DeterministicMessageQueue, ShardMessage
+
+
+def _shard_messages(entries):
+    """Build messages from (time_idx, rank, shard) triples, numbering each
+    shard's messages in its own send order — exactly how the shard driver
+    assigns sequence numbers before the OS gets a say in arrival order.
+    A real shard blocks on each request, so its sends carry nondecreasing
+    (time, rank) keys; the per-shard sort models that."""
+    times = [0.0, 1.5, 1.5, 7.25, 64.0]
+    by_shard = {}
+    for time_idx, rank, shard in entries:
+        by_shard.setdefault(shard, []).append(
+            (times[time_idx % len(times)], rank))
+    messages = []
+    for shard in sorted(by_shard):
+        for seq, (time, rank) in enumerate(sorted(by_shard[shard])):
+            messages.append(ShardMessage(time=time, rank=rank, shard=shard,
+                                         seq=seq, payload=len(messages)))
+    return messages
+
+
+@COMMON_SETTINGS
+@given(entries=st.lists(st.tuples(st.integers(0, 4), st.integers(0, 5),
+                                  st.integers(0, 3)),
+                        min_size=1, max_size=30),
+       shuffle_seed=st.integers(0, 2**31 - 1))
+def test_message_queue_drain_order_is_independent_of_arrival_order(
+        entries, shuffle_seed):
+    """Pushing the same message set in any OS-like arrival order drains in
+    the same (time, rank, shard, seq) sequence — the determinism the
+    parent's draw service is built on."""
+    messages = _shard_messages(entries)
+    shuffled = list(messages)
+    np.random.default_rng(shuffle_seed).shuffle(shuffled)
+
+    canonical, scrambled = DeterministicMessageQueue(), DeterministicMessageQueue()
+    for message in messages:
+        canonical.push(message)
+    for message in shuffled:
+        scrambled.push(message)
+
+    drained = [scrambled.pop() for _ in range(len(scrambled))]
+    assert drained == [canonical.pop() for _ in range(len(canonical))]
+    assert [m.key for m in drained] == sorted(m.key for m in messages)
+    # Per-shard sends never reorder relative to each other.
+    for shard in {m.shard for m in messages}:
+        seqs = [m.seq for m in drained if m.shard == shard]
+        assert seqs == sorted(seqs)
+
+
+@COMMON_SETTINGS
+@given(requests=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 2)),
+                         min_size=1, max_size=20),
+       capacity=st.integers(min_value=1, max_value=3),
+       shuffle_seed=st.integers(0, 2**31 - 1))
+def test_pool_fifo_holds_for_waiters_arriving_across_shards(
+        requests, capacity, shuffle_seed):
+    """Replacement waiters that reach one pool cell through the message
+    queue (i.e. from several shards, in arbitrary OS arrival order) are
+    enqueued — and therefore granted — in deterministic message order."""
+    messages = _shard_messages((time_idx, 0, shard)
+                               for time_idx, shard in requests)
+    queue = DeterministicMessageQueue()
+    shuffled = list(messages)
+    np.random.default_rng(shuffle_seed).shuffle(shuffled)
+    for message in shuffled:
+        queue.push(message)
+
+    sim = Simulator()
+    key = ("k80", "us-west1")
+    pool = TransientPool(sim, {key: capacity}, reclaim_seconds=5.0)
+    for _ in range(capacity):
+        pool.acquire(*key)
+    granted = []
+    expected = []
+    while queue:
+        message = queue.pop()
+        expected.append(message.payload)
+        pool.request_replacement(
+            *key, lambda _warm, tag=message.payload: granted.append(tag),
+            queue=True, label=f"shard-{message.shard}")
+    # Revocations return capacity; every waiter must be granted in the
+    # deterministic drain order, never in the shuffled arrival order.
+    for _ in range(len(messages)):
+        if pool.pending_waiters(*key) == 0:
+            break
+        pool.revoke(*key)
+        sim.run()
+    while pool.pending_waiters(*key) > 0:
+        pool.release(*key)
+        sim.run()
+    assert granted == expected[:len(granted)]
+    assert granted == expected

@@ -231,6 +231,30 @@ def test_cache_keys_include_core_path_toggle(tmp_path, monkeypatch):
         spec, _probe_cell).cache_hits == 1
 
 
+def test_cache_keys_include_fleet_shards(tmp_path, monkeypatch):
+    """Flipping REPRO_FLEET_SHARDS must miss, not reuse, cached cells:
+    sharded and single-process payloads are only contractually identical,
+    so a warm cache must never mix compute configurations."""
+    monkeypatch.delenv("REPRO_FLEET_SHARDS", raising=False)
+    spec = SweepSpec("probe", axes={"x": [1]}, fixed={"factor": 1})
+    cold = SweepRunner(workers=1, cache_dir=tmp_path, seed=0).run(spec, _probe_cell)
+    assert cold.cache_misses == 1
+
+    monkeypatch.setenv("REPRO_FLEET_SHARDS", "4")
+    flipped = SweepRunner(workers=1, cache_dir=tmp_path, seed=0).run(
+        spec, _probe_cell)
+    assert flipped.cache_hits == 0 and flipped.cache_misses == 1
+
+    # The *effective* setting is fingerprinted: an explicit "1" is the
+    # default and shares the unset key.
+    monkeypatch.setenv("REPRO_FLEET_SHARDS", "1")
+    assert SweepRunner(workers=1, cache_dir=tmp_path, seed=0).run(
+        spec, _probe_cell).cache_hits == 1
+    monkeypatch.setenv("REPRO_FLEET_SHARDS", "4")
+    assert SweepRunner(workers=1, cache_dir=tmp_path, seed=0).run(
+        spec, _probe_cell).cache_hits == 1
+
+
 def test_cache_ignores_corrupt_entries(tmp_path):
     spec = SweepSpec("probe", axes={"x": [1]}, fixed={"factor": 2})
     runner = SweepRunner(workers=1, cache_dir=tmp_path, seed=0)
