@@ -19,16 +19,13 @@ Run with::
 
 from __future__ import annotations
 
-import argparse
 import json
 import os
-import platform
 import sys
 import time
 import tracemalloc
 
-import numpy as np
-
+from _common import environment_block, make_parser, ratio_gate, write_json
 from repro.simulation.engine import Simulator
 from repro.simulation.rng import RandomStreams
 from repro.training.cluster import ClusterSpec
@@ -109,57 +106,28 @@ def _measure_pair(total_steps: int) -> dict:
     }
 
 
-def _check(baseline_path: str, measured: dict) -> int:
-    """Gate on the fast-vs-chunked speedup ratio, not absolute steps/sec.
-
-    Both paths run on the same host in the same process, so their ratio is
-    comparable across machines; the committed absolute numbers are host
-    specific (CI runners are not the baseline host) and only informative.
-    """
-    try:
-        with open(baseline_path, "r", encoding="utf-8") as handle:
-            committed = json.load(handle)
-    except FileNotFoundError:
-        print(f"no committed baseline at {baseline_path}; nothing to check")
-        return 1
-    reference = committed["quick"]["speedup_steps_per_sec"]
-    current = measured["speedup_steps_per_sec"]
-    floor = reference * (1.0 - REGRESSION_TOLERANCE)
-    verdict = "OK" if current >= floor else "REGRESSION"
-    print(f"fast-path speedup over chunked: measured {current:.1f}x vs "
-          f"committed {reference:.1f}x (floor {floor:.1f}x) -> {verdict}")
-    print(f"(informative absolute fast-path steps/sec: measured "
-          f"{measured['fast_forward']['steps_per_sec']:,.0f}, committed "
-          f"{committed['quick']['fast_forward']['steps_per_sec']:,.0f})")
-    return 0 if current >= floor else 1
-
-
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="measure only the quick configuration; do not "
-                             "rewrite BENCH_core.json")
-    parser.add_argument("--check", nargs="?", const=OUTPUT, default=None,
-                        metavar="BASELINE",
-                        help="compare the quick fast-vs-chunked speedup ratio "
-                             "against a committed baseline (default benchmarks/"
-                             "BENCH_core.json) and exit non-zero on a >30%% "
-                             "regression; the ratio is measured on one host in "
-                             "one process, so the check is host-independent")
-    parser.add_argument("--json-out", default=None, metavar="PATH",
-                        help="write the measured quick numbers to PATH (CI "
-                             "uploads them as a workflow artifact)")
+    parser = make_parser(
+        __doc__, output=OUTPUT,
+        check_help="compare the quick fast-vs-chunked speedup ratio "
+                   "against a committed baseline (default benchmarks/"
+                   "BENCH_core.json) and exit non-zero on a >30%% "
+                   "regression; the ratio is measured on one host in "
+                   "one process, so the check is host-independent")
     args = parser.parse_args(argv)
 
     quick = _measure_pair(QUICK_STEPS)
     print(json.dumps({"quick": quick}, indent=2))
     if args.json_out:
-        with open(args.json_out, "w", encoding="utf-8") as handle:
-            json.dump({"quick": quick}, handle, indent=2)
-            handle.write("\n")
-        print(f"wrote {args.json_out}")
+        write_json(args.json_out, {"quick": quick})
     if args.check is not None:
-        return _check(args.check, quick)
+        return ratio_gate(
+            args.check, quick,
+            ratio_path=("speedup_steps_per_sec",),
+            label="fast-path speedup over chunked",
+            tolerance=REGRESSION_TOLERANCE, precision=1,
+            informative_path=("fast_forward", "steps_per_sec"),
+            informative_label="fast-path steps/sec")
     if args.quick:
         return 0
 
@@ -168,14 +136,7 @@ def main(argv=None) -> int:
         "reference_session": REFERENCE,
         "full": full,
         "quick": quick,
-        "environment": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "numpy": np.__version__,
-            "cpu_count": os.cpu_count(),
-            "usable_cpus": len(os.sched_getaffinity(0))
-            if hasattr(os, "sched_getaffinity") else os.cpu_count(),
-        },
+        "environment": environment_block(),
         "note": ("steps_per_sec is simulated training steps per wall-clock "
                  "second for one session (single process).  The tracked "
                  "contracts: the fast-forward path stays bit-identical to "
@@ -184,11 +145,9 @@ def main(argv=None) -> int:
                  "Regenerate with `python benchmarks/core_baseline.py` on "
                  "the same host class when the core changes."),
     }
-    with open(OUTPUT, "w", encoding="utf-8") as handle:
-        json.dump(baseline, handle, indent=2)
-        handle.write("\n")
     print(json.dumps({"full": full}, indent=2))
-    print(f"\nwrote {OUTPUT}")
+    print()
+    write_json(OUTPUT, baseline)
     return 0
 
 

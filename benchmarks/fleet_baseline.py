@@ -32,19 +32,19 @@ Run with::
 
 from __future__ import annotations
 
-import argparse
 import json
 import os
-import platform
+import shutil
 import sys
+import tempfile
 import time
 import tracemalloc
 
-import numpy as np
-
+from _common import environment_block, make_parser, ratio_gate, write_json
 from repro.scenarios.fleet import FleetRun, run_scenario
 from repro.scenarios.spec import JobSpec, ScenarioSpec
 from repro.simulation.rng import RandomStreams
+from repro.telemetry.writer import TelemetryConfig, TelemetrySpool
 
 #: The reference fleet: revocation_storm scaled to 100 jobs.  Job shape,
 #: region, epoch hour, queueing, and pool-per-job ratio all match the
@@ -61,6 +61,15 @@ REGRESSION_TOLERANCE = 0.30
 
 #: Timing repetitions (the best run is recorded, damping scheduler noise).
 REPETITIONS = 2
+
+#: Telemetry-spool chunk size for the bounded-memory measurement.
+TELEMETRY_CHUNK_ROWS = 256
+
+#: Generous per-buffered-value byte cost for the telemetry memory bound:
+#: the spool buffers plain Python floats in lists before each numpy
+#: flush (object header + list slot), and the transient flush array adds
+#: one 8-byte copy per value.
+TELEMETRY_BYTES_PER_VALUE = 64
 
 OUTPUT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                       "BENCH_fleet.json")
@@ -86,10 +95,10 @@ def scaled_storm(jobs: int, total_steps: int) -> ScenarioSpec:
 
 
 def _run_fleet(scenario: ScenarioSpec, scheduler: str,
-               fast_forward=None, trace_level=None):
+               fast_forward=None, trace_level=None, telemetry=None):
     run = FleetRun(scenario, RandomStreams(REFERENCE["seed"]),
                    scheduler=scheduler, fast_forward=fast_forward,
-                   trace_level=trace_level or "full")
+                   trace_level=trace_level or "full", telemetry=telemetry)
     started = time.perf_counter()
     payload = run.run()
     wall = time.perf_counter() - started
@@ -108,11 +117,26 @@ def _measure_scheduler(scenario: ScenarioSpec, scheduler: str):
     }, payload
 
 
-def _peak_traced_mb(scenario: ScenarioSpec, trace_level: str):
+def _peak_traced_mb(scenario: ScenarioSpec, trace_level: str,
+                    telemetry_chunk_rows=None):
+    spool_dir = None
+    telemetry = None
+    if telemetry_chunk_rows is not None:
+        spool_dir = tempfile.mkdtemp(prefix="bench-telemetry-")
+        telemetry = TelemetrySpool(TelemetryConfig(
+            spool_dir=spool_dir, chunk_rows=telemetry_chunk_rows))
     tracemalloc.start()
-    payload, _, _ = _run_fleet(scenario, "wakeset", trace_level=trace_level)
-    _, peak = tracemalloc.get_traced_memory()
-    tracemalloc.stop()
+    try:
+        payload, _, _ = _run_fleet(scenario, "wakeset",
+                                   trace_level=trace_level,
+                                   telemetry=telemetry)
+        if telemetry is not None:
+            telemetry.close()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+        if spool_dir is not None:
+            shutil.rmtree(spool_dir, ignore_errors=True)
     return round(peak / (1024.0 * 1024.0), 3), payload
 
 
@@ -142,6 +166,23 @@ def _measure_pair(total_steps: int, identity_steps: int) -> dict:
     assert payload_summary == payload_full == reference_payload, \
         "summary-trace payload diverged from the full-trace payload"
 
+    # Telemetry export must be memory-bounded: the spool buffers at most
+    # chunk_rows step rows per job before flushing to disk, so its peak
+    # overhead is capped by jobs x chunk_rows x columns — independent of
+    # how many total rows the fleet produces.
+    telemetry_mb, payload_telemetry = _peak_traced_mb(
+        identity_scenario, "summary",
+        telemetry_chunk_rows=TELEMETRY_CHUNK_ROWS)
+    assert payload_telemetry == reference_payload, \
+        "telemetry-attached payload diverged from the reference payload"
+    telemetry_overhead_mb = round(telemetry_mb - summary_mb, 3)
+    telemetry_bound_mb = round(
+        REFERENCE["jobs"] * TELEMETRY_CHUNK_ROWS * 6
+        * TELEMETRY_BYTES_PER_VALUE / (1024.0 * 1024.0), 3)
+    assert telemetry_overhead_mb <= telemetry_bound_mb, (
+        f"telemetry export peak overhead {telemetry_overhead_mb} MB exceeds "
+        f"the spool buffer bound {telemetry_bound_mb} MB")
+
     return {
         "total_steps_per_job": total_steps,
         "wakeset": wakeset,
@@ -155,6 +196,10 @@ def _measure_pair(total_steps: int, identity_steps: int) -> dict:
         "peak_traced_mb": {
             "trace_level_full": full_mb,
             "trace_level_summary": summary_mb,
+            "summary_with_telemetry": telemetry_mb,
+            "telemetry_overhead": telemetry_overhead_mb,
+            "telemetry_overhead_bound": telemetry_bound_mb,
+            "telemetry_chunk_rows": TELEMETRY_CHUNK_ROWS,
             "identity_fleet_steps_per_job": identity_steps,
         },
         "fleet": {
@@ -169,45 +214,13 @@ def _measure_pair(total_steps: int, identity_steps: int) -> dict:
     }
 
 
-def _check(baseline_path: str, measured: dict) -> int:
-    """Gate on the wakeset-vs-roundrobin events/sec ratio.
-
-    Both schedulers run the same fleet in the same process, so their ratio
-    is comparable across machines; the committed absolute numbers are host
-    specific and only informative.
-    """
-    try:
-        with open(baseline_path, "r", encoding="utf-8") as handle:
-            committed = json.load(handle)
-    except FileNotFoundError:
-        print(f"no committed baseline at {baseline_path}; nothing to check")
-        return 1
-    reference = committed["quick"]["speedup_events_per_sec"]
-    current = measured["speedup_events_per_sec"]
-    floor = reference * (1.0 - REGRESSION_TOLERANCE)
-    verdict = "OK" if current >= floor else "REGRESSION"
-    print(f"wakeset speedup over roundrobin: measured {current:.2f}x vs "
-          f"committed {reference:.2f}x (floor {floor:.2f}x) -> {verdict}")
-    print(f"(informative absolute wakeset events/sec: measured "
-          f"{measured['wakeset']['events_per_sec']:,.0f}, committed "
-          f"{committed['quick']['wakeset']['events_per_sec']:,.0f})")
-    return 0 if current >= floor else 1
-
-
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="measure only the quick configuration; do not "
-                             "rewrite BENCH_fleet.json")
-    parser.add_argument("--check", nargs="?", const=OUTPUT, default=None,
-                        metavar="BASELINE",
-                        help="compare the quick wakeset-vs-roundrobin "
-                             "events/sec ratio against a committed baseline "
-                             "(default benchmarks/BENCH_fleet.json) and exit "
-                             "non-zero on a >30%% regression")
-    parser.add_argument("--json-out", default=None, metavar="PATH",
-                        help="write the measured numbers to PATH (CI uploads "
-                             "them as a workflow artifact)")
+    parser = make_parser(
+        __doc__, output=OUTPUT,
+        check_help="compare the quick wakeset-vs-roundrobin "
+                   "events/sec ratio against a committed baseline "
+                   "(default benchmarks/BENCH_fleet.json) and exit "
+                   "non-zero on a >30%% regression")
     args = parser.parse_args(argv)
 
     quick = _measure_pair(QUICK_STEPS, identity_steps=QUICK_STEPS)
@@ -215,7 +228,13 @@ def main(argv=None) -> int:
     measured = {"quick": quick}
     status = 0
     if args.check is not None:
-        status = _check(args.check, quick)
+        status = ratio_gate(
+            args.check, quick,
+            ratio_path=("speedup_events_per_sec",),
+            label="wakeset speedup over roundrobin",
+            tolerance=REGRESSION_TOLERANCE,
+            informative_path=("wakeset", "events_per_sec"),
+            informative_label="wakeset events/sec")
     elif not args.quick:
         full = _measure_pair(REFERENCE["total_steps"],
                              identity_steps=QUICK_STEPS)
@@ -224,14 +243,7 @@ def main(argv=None) -> int:
             "reference_fleet": REFERENCE,
             "full": full,
             "quick": quick,
-            "environment": {
-                "python": platform.python_version(),
-                "platform": platform.platform(),
-                "numpy": np.__version__,
-                "cpu_count": os.cpu_count(),
-                "usable_cpus": len(os.sched_getaffinity(0))
-                if hasattr(os, "sched_getaffinity") else os.cpu_count(),
-            },
+            "environment": environment_block(),
             "note": ("events_per_sec counts processed fleet events (chunk "
                      "completions + fired heap events) for one 100-job "
                      "revocation_storm fleet in one process.  Tracked "
@@ -244,16 +256,11 @@ def main(argv=None) -> int:
                      "when the fleet loop, session fast-forward, or "
                      "revocation sampler changes."),
         }
-        with open(OUTPUT, "w", encoding="utf-8") as handle:
-            json.dump(baseline, handle, indent=2)
-            handle.write("\n")
         print(json.dumps({"full": full}, indent=2))
-        print(f"\nwrote {OUTPUT}")
+        print()
+        write_json(OUTPUT, baseline)
     if args.json_out:
-        with open(args.json_out, "w", encoding="utf-8") as handle:
-            json.dump(measured, handle, indent=2)
-            handle.write("\n")
-        print(f"wrote {args.json_out}")
+        write_json(args.json_out, measured)
     return status
 
 

@@ -40,15 +40,12 @@ Run with::
 
 from __future__ import annotations
 
-import argparse
 import json
 import os
-import platform
 import sys
 import time
 
-import numpy as np
-
+from _common import environment_block, make_parser, ratio_gate, write_json
 from repro.scenarios.shard import ShardedFleetRun, partition_scenario
 from repro.scenarios.spec import JobSpec, ScenarioSpec
 from repro.simulation.rng import RandomStreams
@@ -152,45 +149,13 @@ def _measure_fleet(total_steps: int) -> dict:
     }
 
 
-def _check(baseline_path: str, measured: dict) -> int:
-    """Gate on the 2-shard speedup-vs-single ratio.
-
-    Both runs simulate the same fleet on the same host, so their ratio is
-    comparable across machines of the same core count; the committed
-    absolute events/sec are host specific and only informative.
-    """
-    try:
-        with open(baseline_path, "r", encoding="utf-8") as handle:
-            committed = json.load(handle)
-    except FileNotFoundError:
-        print(f"no committed baseline at {baseline_path}; nothing to check")
-        return 1
-    reference = committed["quick"]["shards_2"]["speedup_vs_single"]
-    current = measured["shards_2"]["speedup_vs_single"]
-    floor = reference * (1.0 - REGRESSION_TOLERANCE)
-    verdict = "OK" if current >= floor else "REGRESSION"
-    print(f"2-shard speedup over single-process: measured {current:.2f}x vs "
-          f"committed {reference:.2f}x (floor {floor:.2f}x) -> {verdict}")
-    print(f"(informative absolute 2-shard events/sec: measured "
-          f"{measured['shards_2']['events_per_sec']:,.0f}, committed "
-          f"{committed['quick']['shards_2']['events_per_sec']:,.0f})")
-    return 0 if current >= floor else 1
-
-
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="measure only the quick configuration; do not "
-                             "rewrite BENCH_fleet_sharded.json")
-    parser.add_argument("--check", nargs="?", const=OUTPUT, default=None,
-                        metavar="BASELINE",
-                        help="compare the quick 2-shard speedup-vs-single "
-                             "ratio against a committed baseline (default "
-                             "benchmarks/BENCH_fleet_sharded.json) and exit "
-                             "non-zero on a >30%% regression")
-    parser.add_argument("--json-out", default=None, metavar="PATH",
-                        help="write the measured numbers to PATH (CI uploads "
-                             "them as a workflow artifact)")
+    parser = make_parser(
+        __doc__, output=OUTPUT,
+        check_help="compare the quick 2-shard speedup-vs-single "
+                   "ratio against a committed baseline (default "
+                   "benchmarks/BENCH_fleet_sharded.json) and exit "
+                   "non-zero on a >30%% regression")
     args = parser.parse_args(argv)
 
     quick = _measure_fleet(QUICK_STEPS)
@@ -198,7 +163,13 @@ def main(argv=None) -> int:
     measured = {"quick": quick}
     status = 0
     if args.check is not None:
-        status = _check(args.check, quick)
+        status = ratio_gate(
+            args.check, quick,
+            ratio_path=("shards_2", "speedup_vs_single"),
+            label="2-shard speedup over single-process",
+            tolerance=REGRESSION_TOLERANCE,
+            informative_path=("shards_2", "events_per_sec"),
+            informative_label="2-shard events/sec")
     elif not args.quick:
         full = _measure_fleet(REFERENCE["total_steps"])
         measured["full"] = full
@@ -206,14 +177,7 @@ def main(argv=None) -> int:
             "reference_fleet": REFERENCE,
             "full": full,
             "quick": quick,
-            "environment": {
-                "python": platform.python_version(),
-                "platform": platform.platform(),
-                "numpy": np.__version__,
-                "cpu_count": os.cpu_count(),
-                "usable_cpus": len(os.sched_getaffinity(0))
-                if hasattr(os, "sched_getaffinity") else os.cpu_count(),
-            },
+            "environment": environment_block(),
             "note": ("events_per_sec counts processed fleet events summed "
                      "across shards for one 64-job four-region storm.  "
                      "Tracked contracts: sharded payloads stay bit-identical "
@@ -229,16 +193,11 @@ def main(argv=None) -> int:
                      "host class when the shard driver, draw service, or "
                      "fleet loop changes."),
         }
-        with open(OUTPUT, "w", encoding="utf-8") as handle:
-            json.dump(baseline, handle, indent=2)
-            handle.write("\n")
         print(json.dumps({"full": full}, indent=2))
-        print(f"\nwrote {OUTPUT}")
+        print()
+        write_json(OUTPUT, baseline)
     if args.json_out:
-        with open(args.json_out, "w", encoding="utf-8") as handle:
-            json.dump(measured, handle, indent=2)
-            handle.write("\n")
-        print(f"wrote {args.json_out}")
+        write_json(args.json_out, measured)
     return status
 
 

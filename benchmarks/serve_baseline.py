@@ -33,16 +33,15 @@ Run with::
 
 from __future__ import annotations
 
-import argparse
 import asyncio
 import json
 import os
-import platform
 import sys
 import time
 
 import numpy as np
 
+from _common import environment_block, make_parser, ratio_gate, write_json
 from repro.modeling.launch_advisor import LaunchAdvisor
 from repro.modeling.placement import PlacementQuery
 from repro.scenarios.pool import TransientPool
@@ -231,45 +230,13 @@ def _measure(config: dict) -> dict:
     }
 
 
-def _check(baseline_path: str, measured: dict) -> int:
-    """Gate on the table-vs-sampling cold-scoring speedup.
-
-    Both backends score the same grid in the same process, so their ratio
-    is comparable across machines; the committed absolute queries/sec and
-    latency numbers are host specific and only informative.
-    """
-    try:
-        with open(baseline_path, "r", encoding="utf-8") as handle:
-            committed = json.load(handle)
-    except FileNotFoundError:
-        print(f"no committed baseline at {baseline_path}; nothing to check")
-        return 1
-    reference = committed["quick"]["cold_scoring"]["speedup_cold_scoring"]
-    current = measured["cold_scoring"]["speedup_cold_scoring"]
-    floor = reference * (1.0 - REGRESSION_TOLERANCE)
-    verdict = "OK" if current >= floor else "REGRESSION"
-    print(f"score-table speedup over sampling: measured {current:.2f}x vs "
-          f"committed {reference:.2f}x (floor {floor:.2f}x) -> {verdict}")
-    print(f"(informative absolute queries/sec: measured "
-          f"{measured['replay']['queries_per_sec']:,.0f}, committed "
-          f"{committed['quick']['replay']['queries_per_sec']:,.0f})")
-    return 0 if current >= floor else 1
-
-
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="measure only the quick configuration; do not "
-                             "rewrite BENCH_serve.json")
-    parser.add_argument("--check", nargs="?", const=OUTPUT, default=None,
-                        metavar="BASELINE",
-                        help="compare the quick table-vs-sampling cold-"
-                             "scoring speedup against a committed baseline "
-                             "(default benchmarks/BENCH_serve.json) and exit "
-                             "non-zero on a >30%% regression")
-    parser.add_argument("--json-out", default=None, metavar="PATH",
-                        help="write the measured numbers to PATH (CI uploads "
-                             "them as a workflow artifact)")
+    parser = make_parser(
+        __doc__, output=OUTPUT,
+        check_help="compare the quick table-vs-sampling cold-"
+                   "scoring speedup against a committed baseline "
+                   "(default benchmarks/BENCH_serve.json) and exit "
+                   "non-zero on a >30%% regression")
     args = parser.parse_args(argv)
 
     quick = _measure(QUICK)
@@ -277,7 +244,13 @@ def main(argv=None) -> int:
     measured = {"quick": quick}
     status = 0
     if args.check is not None:
-        status = _check(args.check, quick)
+        status = ratio_gate(
+            args.check, quick,
+            ratio_path=("cold_scoring", "speedup_cold_scoring"),
+            label="score-table speedup over sampling",
+            tolerance=REGRESSION_TOLERANCE,
+            informative_path=("replay", "queries_per_sec"),
+            informative_label="queries/sec")
     elif not args.quick:
         full = _measure(REFERENCE)
         measured["full"] = full
@@ -285,14 +258,7 @@ def main(argv=None) -> int:
             "reference_replay": REFERENCE,
             "full": full,
             "quick": quick,
-            "environment": {
-                "python": platform.python_version(),
-                "platform": platform.platform(),
-                "numpy": np.__version__,
-                "cpu_count": os.cpu_count(),
-                "usable_cpus": len(os.sched_getaffinity(0))
-                if hasattr(os, "sched_getaffinity") else os.cpu_count(),
-            },
+            "environment": environment_block(),
             "note": ("queries_per_sec replays the (gpu, duration, utc-hour) "
                      "grid through PlacementService.answer_many batches with "
                      "a pool transition every churn_every queries (decision "
@@ -306,16 +272,11 @@ def main(argv=None) -> int:
                      "host class when the advisor, score table, or serve "
                      "layer changes."),
         }
-        with open(OUTPUT, "w", encoding="utf-8") as handle:
-            json.dump(baseline, handle, indent=2)
-            handle.write("\n")
         print(json.dumps({"full": full}, indent=2))
-        print(f"\nwrote {OUTPUT}")
+        print()
+        write_json(OUTPUT, baseline)
     if args.json_out:
-        with open(args.json_out, "w", encoding="utf-8") as handle:
-            json.dump(measured, handle, indent=2)
-            handle.write("\n")
-        print(f"wrote {args.json_out}")
+        write_json(args.json_out, measured)
     return status
 
 

@@ -15,11 +15,11 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import shutil
 import tempfile
 import time
 
+from _common import environment_block, write_json
 from repro.measurement.speed_campaign import build_speed_spec, speed_cell
 from repro.sweeps import SweepRunner
 from repro.workloads.catalog import NAMED_MODELS, default_catalog
@@ -71,24 +71,16 @@ def main() -> None:
         "speedup_4workers": round(serial_seconds / parallel_seconds, 3),
         "bit_identical_serial_vs_parallel": identical,
         "warm_cache_hits": warm.cache_hits,
-        "environment": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-            "usable_cpus": len(os.sched_getaffinity(0))
-            if hasattr(os, "sched_getaffinity") else os.cpu_count(),
-        },
+        "environment": environment_block(include_numpy=False),
         "note": ("Speedup tracks usable_cpus: on a single-CPU host the "
                  "4-worker run cannot beat serial wall-clock; the contract "
                  "tracked here is bit-identical payloads plus full warm-cache "
                  "reuse, and the serial/parallel timings give future PRs a "
                  "comparable engine-overhead baseline."),
     }
-    with open(OUTPUT, "w", encoding="utf-8") as handle:
-        json.dump(baseline, handle, indent=2)
-        handle.write("\n")
     print(json.dumps(baseline, indent=2))
-    print(f"\nwrote {OUTPUT}")
+    print()
+    write_json(OUTPUT, baseline)
 
 
 if __name__ == "__main__":

@@ -5,7 +5,8 @@ table) so legacy editable installs — ``pip install -e .`` without the
 ``wheel`` package — keep working in offline environments.  The package
 uses a ``src/`` layout; installing it makes ``import repro`` work without
 a manual ``PYTHONPATH`` and provides the ``repro-sweeps``,
-``repro-scenarios``, and ``repro-serve`` console scripts.
+``repro-scenarios``, ``repro-serve``, and ``repro-telemetry`` console
+scripts.
 """
 
 import os
@@ -37,6 +38,7 @@ setup(
             "repro-sweeps = repro.sweeps.cli:main",
             "repro-scenarios = repro.scenarios.cli:main",
             "repro-serve = repro.serve.cli:main",
+            "repro-telemetry = repro.telemetry.cli:main",
         ],
     },
 )

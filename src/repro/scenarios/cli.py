@@ -87,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "(repro.scenarios.shard); payloads are "
                               "bit-identical to --shards 1 at any count "
                               "(default: REPRO_FLEET_SHARDS or 1)")
+        sub.add_argument("--telemetry-out", default=None, metavar="PATH",
+                         help="also export replicate 0's columnar telemetry "
+                              "(step chunks + revocation draws) as a .npz "
+                              "artifact (repro.telemetry); honours "
+                              "--trace-level/--shards and is bit-identical "
+                              "at any shard count")
         sub.add_argument("--placement", choices=PLACEMENTS, default=None,
                          help="placement mode: 'static' pins workers to "
                               "their declared (gpu, region) cells, "
@@ -144,6 +150,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             result = run_scenario(scenario, replicates=args.replicates,
                                   seed=args.seed, workers=args.workers,
                                   cache_dir=args.cache_dir)
+            if getattr(args, "telemetry_out", None):
+                from repro.telemetry.export import export_fleet_telemetry
+                export_fleet_telemetry(
+                    scenario, args.telemetry_out, seed=args.seed,
+                    shards=args.shards, trace_level=args.trace_level)
+                print(f"wrote telemetry artifact {args.telemetry_out}")
         finally:
             for env, value in previous.items():
                 if value is None:

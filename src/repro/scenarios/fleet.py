@@ -109,6 +109,7 @@ from repro.sweeps import SweepCell, SweepRunner, SweepSpec, SweepResult
 from repro.training.cluster import WorkerSpec
 from repro.training.job import TrainingJob
 from repro.training.session import TrainingSession
+from repro.training.trace import TeeSink, make_step_sink
 from repro.training.worker import WorkerState
 from repro.units import wrap_hour
 from repro.workloads.catalog import ModelCatalog, default_catalog
@@ -340,6 +341,15 @@ class FleetRun:
         trace_level: Per-session trace level (``"full"`` or ``"summary"``);
             ``None`` reads ``REPRO_FLEET_TRACE_LEVEL`` (default full).
             Payloads are bit-identical either way.
+        telemetry: Optional telemetry spool (duck-typed against
+            :class:`repro.telemetry.writer.TelemetrySpool`).  When set,
+            every session's step rows are teed into the spool and every
+            revocation-model draw is recorded; payloads are bit-identical
+            with or without it.
+        telemetry_ranks: Global job rank per ``scenario.jobs`` entry used
+            to key the spool files.  Defaults to ``0..len(jobs)-1``; the
+            sharded runner passes each shard's global indices so spool
+            contents are shard-invariant.
     """
 
     def __init__(self, scenario: ScenarioSpec, streams: RandomStreams,
@@ -347,7 +357,9 @@ class FleetRun:
                  price_catalog: Optional[PriceCatalog] = None,
                  fast_forward: Optional[bool] = None,
                  scheduler: Optional[str] = None,
-                 trace_level: Optional[str] = None):
+                 trace_level: Optional[str] = None,
+                 telemetry: Optional[Any] = None,
+                 telemetry_ranks: Optional[Sequence[int]] = None):
         self.scenario = scenario
         self.streams = streams
         self.catalog = catalog if catalog is not None else default_catalog()
@@ -392,6 +404,12 @@ class FleetRun:
         #: default) costs one pointer comparison per loop iteration.
         self._progress_hook: Optional[Callable[[], None]] = None
         self._progress_interval = 2048
+        self._telemetry = telemetry
+        self._telemetry_ranks: Sequence[int] = (
+            telemetry_ranks if telemetry_ranks is not None
+            else range(len(scenario.jobs)))
+        self._job_telemetry: Dict[TrainingSession, Any] = {}
+        self._wired_jobs = 0
         self.jobs: List[_FleetJob] = [self._wire_job(spec)
                                       for spec in scenario.jobs]
         self._job_of: Dict[TrainingSession, _FleetJob] = {
@@ -410,12 +428,30 @@ class FleetRun:
         profile = self.catalog.profile(placed.model_name)
         job = TrainingJob(profile=profile, total_steps=placed.total_steps,
                           checkpoint_interval_steps=placed.checkpoint_interval_steps)
+        step_sink = None
+        handle = None
+        if self._telemetry is not None:
+            # Tee the job's normal sink with a telemetry sink: the primary
+            # answers every read the payload makes, so attaching telemetry
+            # is payload-bit-identical.
+            rank = int(self._telemetry_ranks[self._wired_jobs])
+            handle = self._telemetry.job(rank, placed.name, placed.model_name,
+                                         profile.gflops)
+            step_sink = TeeSink(make_step_sink(self.trace_level),
+                                handle.step_sink())
+        self._wired_jobs += 1
         session = TrainingSession(
             self.simulator, placed.cluster(), job,
             streams=self.streams.spawn(f"job:{placed.name}"),
             steps_per_event=placed.steps_per_event,
             fast_forward=self.fast_forward,
-            trace_level=self.trace_level)
+            trace_level=self.trace_level,
+            step_sink=step_sink)
+        if handle is not None:
+            for worker in session.workers.values():
+                handle.register_worker(worker.worker_id, worker.spec.gpu_name,
+                                       worker.spec.region_name)
+            self._job_telemetry[session] = handle
         controller = FleetJobController(
             session, self.pool, queue_replacements=placed.queue_replacements,
             on_replacement_admitted=self._schedule_revocation,
@@ -515,6 +551,7 @@ class FleetRun:
                 gpu, region_name, end - index,
                 launch_hour_local=launch_hour, stressed=True)
             for worker, outcome in zip(workers[index:end], outcomes):
+                self._note_revocation_draw(session, worker, outcome)
                 self._schedule_revocation_outcome(session, worker, outcome)
             index = end
 
@@ -532,7 +569,29 @@ class FleetRun:
                                                worker.spec.region_name,
                                                launch_hour_local=launch_hour,
                                                stressed=True)
+        self._note_revocation_draw(session, worker, outcome)
         self._schedule_revocation_outcome(session, worker, outcome)
+
+    def _note_revocation_draw(self, session: TrainingSession,
+                              worker: WorkerState,
+                              outcome: RevocationOutcome) -> None:
+        """Record one revocation-model draw in the telemetry spool (if any).
+
+        Replacement workers are registered on first sight (registration is
+        idempotent), and the launch hour is recomputed with the exact
+        expression the draw sites used, so the recorded row reproduces the
+        draw's inputs.
+        """
+        if self._telemetry is None:
+            return
+        handle = self._job_telemetry.get(session)
+        if handle is None:
+            return
+        region = get_region(worker.spec.region_name)
+        launch_hour = region.local_hour(self.simulator.hour_of_day_utc())
+        handle.register_worker(worker.worker_id, worker.spec.gpu_name,
+                               worker.spec.region_name)
+        handle.record_draw(worker.worker_id, launch_hour, outcome)
 
     def _schedule_revocation_outcome(self, session: TrainingSession,
                                      worker: WorkerState,

@@ -301,11 +301,13 @@ class ShardFleetRun(FleetRun):
                  price_catalog: Optional[PriceCatalog] = None,
                  fast_forward: Optional[bool] = None,
                  scheduler: Optional[str] = None,
-                 trace_level: Optional[str] = None):
+                 trace_level: Optional[str] = None,
+                 telemetry: Optional[Any] = None):
         super().__init__(scenario, streams, catalog=catalog,
                          price_catalog=price_catalog,
                          fast_forward=fast_forward, scheduler=scheduler,
-                         trace_level=trace_level)
+                         trace_level=trace_level, telemetry=telemetry,
+                         telemetry_ranks=job_ranks)
         if self.advisor is not None:
             raise ConfigurationError(
                 "adaptive placement couples every cell; it cannot run on a "
@@ -359,6 +361,7 @@ class ShardFleetRun(FleetRun):
             index = end
         outcomes, base_rank = self._request_draws(self._rank_of[session], calls)
         for offset, (worker, outcome) in enumerate(zip(workers, outcomes)):
+            self._note_revocation_draw(session, worker, outcome)
             self._schedule_shard_outcome(session, worker, outcome,
                                          base_rank + offset)
 
@@ -370,6 +373,7 @@ class ShardFleetRun(FleetRun):
             self._rank_of[session],
             [("single", worker.spec.gpu_name, worker.spec.region_name, 1,
               launch_hour)])
+        self._note_revocation_draw(session, worker, outcomes[0])
         self._schedule_shard_outcome(session, worker, outcomes[0], base_rank)
 
     def _schedule_shard_outcome(self, session: TrainingSession,
@@ -396,17 +400,26 @@ class ShardFleetRun(FleetRun):
 
 def _shard_worker(conn, scenario: ScenarioSpec, group: ShardGroup,
                   epoch: float, seed: int, catalog, price_catalog,
-                  fast_forward, scheduler, trace_level) -> None:
+                  fast_forward, scheduler, trace_level, telemetry=None) -> None:
     """Process entry point: run one shard and report back over ``conn``."""
     try:
+        spool = None
+        if telemetry is not None:
+            # Each shard opens its own spool over the shared directory;
+            # chunk files are keyed by global job rank, so the combined
+            # spool is identical to the single-process one.
+            from repro.telemetry.writer import TelemetrySpool
+            spool = TelemetrySpool(telemetry)
         sub = scenario.shard_subset(group.job_indices, group.cells,
                                     epoch_hour_utc=epoch)
         run = ShardFleetRun(sub, RandomStreams(seed=seed), conn=conn,
                             job_ranks=group.job_indices, catalog=catalog,
                             price_catalog=price_catalog,
                             fast_forward=fast_forward, scheduler=scheduler,
-                            trace_level=trace_level)
+                            trace_level=trace_level, telemetry=spool)
         payload = run.run()
+        if spool is not None:
+            spool.close()
         conn.send(("done", (payload, run.revocation_records,
                             run.events_processed)))
     except BaseException:
@@ -457,7 +470,8 @@ class ShardedFleetRun:
                  fast_forward: Optional[bool] = None,
                  scheduler: Optional[str] = None,
                  trace_level: Optional[str] = None,
-                 shards: Optional[int] = None):
+                 shards: Optional[int] = None,
+                 telemetry: Optional[Any] = None):
         self.scenario = scenario
         self.streams = streams
         self.catalog = catalog
@@ -465,6 +479,10 @@ class ShardedFleetRun:
         self.fast_forward = fast_forward
         self.scheduler = scheduler
         self.trace_level = trace_level
+        #: Optional :class:`repro.telemetry.writer.TelemetryConfig` — a
+        #: picklable spool description each shard (or the single-process
+        #: fallback) opens for itself.
+        self.telemetry = telemetry
         self.shards = _shards_default() if shards is None else int(shards)
         if self.shards < 1:
             raise ConfigurationError(
@@ -475,12 +493,19 @@ class ShardedFleetRun:
     def run(self) -> Dict[str, Any]:
         """Run the fleet and return the (merged) JSON payload."""
         if len(self.groups) == 1:
+            spool = None
+            if self.telemetry is not None:
+                from repro.telemetry.writer import TelemetrySpool
+                spool = TelemetrySpool(self.telemetry)
             run = FleetRun(self.scenario, self.streams, catalog=self.catalog,
                            price_catalog=self.price_catalog,
                            fast_forward=self.fast_forward,
                            scheduler=self.scheduler,
-                           trace_level=self.trace_level)
+                           trace_level=self.trace_level,
+                           telemetry=spool)
             payload = run.run()
+            if spool is not None:
+                spool.close()
             self.events_processed = run.events_processed
             return payload
         # Resolve the fleet epoch exactly like FleetRun.__init__ does, so
@@ -504,7 +529,8 @@ class ShardedFleetRun:
                 target=_shard_worker,
                 args=(child_conn, self.scenario, group, epoch,
                       self.streams.seed, self.catalog, self.price_catalog,
-                      self.fast_forward, self.scheduler, self.trace_level),
+                      self.fast_forward, self.scheduler, self.trace_level,
+                      self.telemetry),
                 name=f"repro-fleet-shard-{group.index}")
             handles.append(_ShardHandle(group, process, parent_conn))
             child_ends.append(child_conn)
@@ -676,15 +702,19 @@ def run_fleet_sharded(scenario: ScenarioSpec, streams: RandomStreams,
                       fast_forward: Optional[bool] = None,
                       scheduler: Optional[str] = None,
                       trace_level: Optional[str] = None,
-                      shards: Optional[int] = None) -> Dict[str, Any]:
+                      shards: Optional[int] = None,
+                      telemetry: Optional[Any] = None) -> Dict[str, Any]:
     """Simulate one fleet across ``shards`` worker processes.
 
-    Drop-in for :func:`repro.scenarios.fleet.run_fleet` with one extra
-    knob: ``shards`` (``None`` reads ``REPRO_FLEET_SHARDS``, default 1).
-    Payloads are bit-identical to the single-process run at every shard
-    count; ``shards=1`` *is* the single-process run.
+    Drop-in for :func:`repro.scenarios.fleet.run_fleet` with two extra
+    knobs: ``shards`` (``None`` reads ``REPRO_FLEET_SHARDS``, default 1)
+    and ``telemetry`` (an optional
+    :class:`repro.telemetry.writer.TelemetryConfig` every shard spools
+    into).  Payloads are bit-identical to the single-process run at every
+    shard count; ``shards=1`` *is* the single-process run.
     """
     return ShardedFleetRun(scenario, streams, catalog=catalog,
                            price_catalog=price_catalog,
                            fast_forward=fast_forward, scheduler=scheduler,
-                           trace_level=trace_level, shards=shards).run()
+                           trace_level=trace_level, shards=shards,
+                           telemetry=telemetry).run()

@@ -101,7 +101,7 @@ async def _serve_forever(args: argparse.Namespace) -> int:
     server = await start_server(service, host=args.host, port=args.port)
     host, port = serve_address(server)
     print(f"serving placement queries on {host}:{port} (JSON lines; "
-          f"ops: answer, answer_many, stats)")
+          f"ops: answer, answer_many, stats, recalibrate)")
     try:
         await server.serve_forever()
     except asyncio.CancelledError:  # pragma: no cover - shutdown path

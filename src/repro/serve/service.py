@@ -48,6 +48,10 @@ class PlacementService:
         self.queries_answered = 0
         self.cache_hits = 0
         self.cache_invalidations = 0
+        self.recalibrations = 0
+        #: Bumped by :meth:`recalibrate`; cached decisions are only valid
+        #: within one calibration epoch, so a bump drops them all.
+        self.calibration_epoch = 0
 
     # ------------------------------------------------------------------
     # Warm-up.
@@ -60,6 +64,43 @@ class PlacementService:
         lookup plus snapshot reads.
         """
         return self.advisor.score_table.warm()
+
+    # ------------------------------------------------------------------
+    # Online recalibration.
+    # ------------------------------------------------------------------
+    def recalibrate(self, result) -> Dict[str, object]:
+        """Swap in a refit calibration and invalidate every cached decision.
+
+        Args:
+            result: A :class:`repro.telemetry.recalibrate.RecalibrationResult`
+                (observed cells are merged over the stock calibration by its
+                ``advisor()`` builder).
+
+        The advisor is rebuilt with the same sampling configuration
+        (samples, seed, backend) on the refit revocation model, the
+        decision cache epoch is bumped, and the cache is dropped — a
+        decision scored under the old calibration must never answer a
+        post-recalibration query.
+
+        Returns:
+            A summary: the new calibration epoch plus the refit cell and
+            profile counts.
+        """
+        self.advisor = result.advisor(
+            samples_per_option=self.advisor.samples_per_option,
+            seed=self.advisor.seed,
+            score_backend=self.advisor.score_backend)
+        if self._decisions:
+            self.cache_invalidations += 1
+        self._decisions.clear()
+        self._cache_version = None
+        self.recalibrations += 1
+        self.calibration_epoch += 1
+        return {
+            "calibration_epoch": self.calibration_epoch,
+            "cells_refit": len(result.calibration),
+            "weight_profiles_refit": len(result.hourly_weights),
+        }
 
     # ------------------------------------------------------------------
     # Query endpoints.
@@ -113,6 +154,8 @@ class PlacementService:
             "cache_hits": self.cache_hits,
             "cache_invalidations": self.cache_invalidations,
             "cached_decisions": len(self._decisions),
+            "recalibrations": self.recalibrations,
+            "calibration_epoch": self.calibration_epoch,
             "pool_version": (self.pool.version
                              if self.pool is not None else None),
             "score_backend": self.advisor.score_backend,

@@ -9,6 +9,10 @@ per line.  Requests are JSON objects with an ``op``:
 * ``{"op": "answer_many", "queries": [{...}, ...]}`` — a batch, answered
   atomically (bit-identical to sequential singles).
 * ``{"op": "stats"}`` — service counters.
+* ``{"op": "recalibrate", "calibration": {...}}`` — one
+  :meth:`~repro.telemetry.recalibrate.RecalibrationResult.to_params`
+  document; swaps the advisor onto the refit calibration, bumps the
+  calibration epoch, and drops every cached decision.
 
 Every response line is ``{"ok": true, "result": ...}`` or
 ``{"ok": false, "error": "..."}``; malformed input answers an error line
@@ -45,8 +49,16 @@ async def handle_request(service: PlacementService,
         return [decision.to_params() for decision in decisions]
     if operation == "stats":
         return service.stats()
+    if operation == "recalibrate":
+        from repro.telemetry.recalibrate import RecalibrationResult
+        document = request.get("calibration")
+        if not isinstance(document, dict):
+            raise ReproError(
+                "recalibrate requires a 'calibration' object (a "
+                "RecalibrationResult.to_params() document)")
+        return service.recalibrate(RecalibrationResult.from_params(document))
     raise ReproError(f"unknown op {operation!r}; "
-                     f"expected answer, answer_many, or stats")
+                     f"expected answer, answer_many, stats, or recalibrate")
 
 
 async def _handle_connection(service: PlacementService,

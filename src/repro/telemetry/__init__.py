@@ -1,0 +1,67 @@
+"""Columnar fleet telemetry export and online recalibration.
+
+This package closes the paper's measure -> model -> decide loop at fleet
+scale: a fleet run streams its per-step timings and revocation draws into a
+memory-bounded columnar spool, the spool is packed into a single ``.npz``
+artifact, and :mod:`repro.telemetry.recalibrate` refits the
+:class:`~repro.cloud.revocation.RevocationModel` and
+:class:`~repro.perf.step_time.StepTimeModel` parameters from that artifact —
+handing the refreshed calibration back to the launch advisor and the
+``repro.serve`` placement service.
+
+Sink protocol
+-------------
+Capture rides on the :class:`repro.training.trace.TraceSink` protocol.  A
+:class:`~repro.telemetry.writer.TelemetrySpool` hands each job a
+``JobTelemetry`` handle whose ``step_sink()`` is a ``TraceSink``; the fleet
+tees it behind the job's primary sink (full or summary), so ``trace_level``
+semantics and every golden payload stay bit-identical whether or not
+telemetry is attached.  Sinks receive the same ``append_row`` /
+``extend_rows`` calls the in-memory trace does; the spool buffers rows in
+plain Python lists and flushes fixed-size ``float64`` chunks to disk, so
+peak memory is bounded by ``chunk_rows`` regardless of fleet size.
+
+Merge and ordering guarantees
+-----------------------------
+Spool files are keyed by *global job rank* and per-job chunk index — never by
+shard — and jobs never span shards, so a sharded run produces exactly the
+same set of spool files as a single-process run.  ``write_npz`` packs the
+spool in sorted-filename order with pinned zip metadata (epoch timestamps,
+fixed permissions, ``ZIP_STORED``), which makes the artifact a pure function
+of row contents: sharded export is bit-identical to single-process export.
+Within a job, step rows appear in simulation event order and revocation
+draws in draw order, both of which are shard-invariant by construction
+(a job's events live on one shard and keep their heap tie-break order).
+"""
+
+from repro.telemetry.writer import (
+    DEFAULT_CHUNK_ROWS,
+    TELEMETRY_FORMAT_VERSION,
+    TelemetryConfig,
+    TelemetrySpool,
+    write_npz,
+)
+from repro.telemetry.reader import TelemetryReader
+from repro.telemetry.recalibrate import (
+    RECOVERY_TOLERANCES,
+    RecalibrationResult,
+    check_recovery,
+    recalibrate,
+)
+from repro.telemetry.export import export_fleet_telemetry
+from repro.telemetry.fleets import calibration_scenario
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "TELEMETRY_FORMAT_VERSION",
+    "TelemetryConfig",
+    "TelemetrySpool",
+    "write_npz",
+    "TelemetryReader",
+    "RECOVERY_TOLERANCES",
+    "RecalibrationResult",
+    "check_recovery",
+    "recalibrate",
+    "export_fleet_telemetry",
+    "calibration_scenario",
+]

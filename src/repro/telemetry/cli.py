@@ -1,0 +1,125 @@
+"""``repro-telemetry``: export fleet telemetry and recalibrate from it.
+
+Two subcommands on the shared :mod:`repro.cli` plumbing:
+
+* ``export`` — run one replicate of a named scenario (or the built-in
+  ``telemetry_calibration`` fleet) with the telemetry spool attached and
+  write the columnar ``.npz`` artifact;
+* ``recalibrate`` — refit the revocation/step-time parameters from an
+  artifact, optionally writing the refit document as JSON and/or gating
+  on the self-consistency tolerances (``--check``, the CI smoke's mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.cli import run_cli, write_json_out
+from repro.errors import ConfigurationError
+from repro.scenarios.catalog import SCENARIO_BUILDERS, get_scenario
+from repro.telemetry.export import export_fleet_telemetry
+from repro.telemetry.fleets import calibration_scenario
+from repro.telemetry.reader import TelemetryReader
+from repro.telemetry.recalibrate import check_recovery, recalibrate
+from repro.telemetry.writer import DEFAULT_CHUNK_ROWS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-telemetry",
+        description="Columnar fleet telemetry export and recalibration")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    export = commands.add_parser(
+        "export", help="run one fleet replicate and write its telemetry npz")
+    export.add_argument(
+        "scenario",
+        help=("scenario name (or 'telemetry_calibration' for the built-in "
+              "calibration fleet)"))
+    export.add_argument("--out", required=True, metavar="PATH",
+                        help="destination .npz artifact")
+    export.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    export.add_argument("--replicate", type=int, default=0,
+                        help="which replicate cell to export (default: 0)")
+    export.add_argument("--shards", type=int, default=None,
+                        help=("worker processes (default: REPRO_FLEET_SHARDS "
+                              "or 1)"))
+    export.add_argument("--trace-level", choices=("full", "summary"),
+                        default=None, help="per-session trace level override")
+    export.add_argument("--chunk-rows", type=int, default=DEFAULT_CHUNK_ROWS,
+                        help="telemetry rows buffered before each flush")
+    export.add_argument("--jobs-per-cell", type=int, default=240,
+                        help=("calibration-fleet size knob (only with "
+                              "scenario 'telemetry_calibration')"))
+
+    refit = commands.add_parser(
+        "recalibrate", help="refit model parameters from a telemetry npz")
+    refit.add_argument("artifact", help="telemetry .npz artifact to read")
+    refit.add_argument("--json", dest="json_out", default=None, metavar="PATH",
+                       help="write the refit parameter document as JSON")
+    refit.add_argument("--check", action="store_true",
+                       help=("gate on the documented self-consistency "
+                             "tolerances against the stock generating "
+                             "models; exit 1 on any violation"))
+    return parser
+
+
+def _resolve_scenario(name: str, jobs_per_cell: int):
+    if name == "telemetry_calibration":
+        return calibration_scenario(jobs_per_cell=jobs_per_cell)
+    try:
+        return get_scenario(name)
+    except ConfigurationError:
+        known = ", ".join(list(SCENARIO_BUILDERS) + ["telemetry_calibration"])
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: {known}")
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    scenario = _resolve_scenario(args.scenario, args.jobs_per_cell)
+    payload = export_fleet_telemetry(
+        scenario, args.out, seed=args.seed, replicate=args.replicate,
+        shards=args.shards, trace_level=args.trace_level,
+        chunk_rows=args.chunk_rows)
+    print(f"exported telemetry for {len(payload['jobs'])} jobs to {args.out}")
+    return 0
+
+
+def _cmd_recalibrate(args: argparse.Namespace) -> int:
+    with TelemetryReader(args.artifact) as reader:
+        result = recalibrate(reader)
+    document = result.to_params()
+    if args.json_out:
+        write_json_out(args.json_out, document,
+                       len(result.calibration), "refit cells")
+    else:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        print()
+    if args.check:
+        violations = check_recovery(result)
+        for violation in violations:
+            print(f"recovery violation: {violation}", file=sys.stderr)
+        if violations:
+            return 1
+        print(f"recovery check passed: {len(result.calibration)} cells, "
+              f"{len(result.hourly_weights)} weight profiles, "
+              f"{len(result.anchors)} anchor sets within tolerance")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    def body() -> int:
+        if args.command == "export":
+            return _cmd_export(args)
+        return _cmd_recalibrate(args)
+
+    return run_cli(body)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro-telemetry
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Purpose-built calibration fleet for the recalibration loop.
+
+The scenario below is the telemetry analogue of the paper's measurement
+campaign (396 servers, six regions, twelve days): many small single-worker
+jobs, staggered around the clock, across a spread of ``(gpu, region)``
+cells and two model sizes per GPU.  Each job contributes one launch-time
+revocation draw to its cell and a stream of post-warm-up step chunks to
+its ``(gpu, model)`` group, which is exactly the evidence
+:func:`repro.telemetry.recalibrate.recalibrate` needs:
+
+* two cells per GPU type give every GPU a revocation-parameter and an
+  hourly-weight refit with hundreds of pooled draws,
+* staggering launches across the day spreads launch hours over all 24
+  bins, making the hourly-weight profile identifiable, and
+* two model sizes per GPU yield the two anchors
+  :class:`~repro.perf.step_time.StepTimeModel` needs to interpolate.
+
+Cells only couple jobs within one ``(gpu, region)`` pool, so the fleet
+partitions into six shard components and exercises the sharded exporter.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import JobSpec, ScenarioSpec
+
+#: The ``(gpu, region)`` cells the calibration fleet samples — two per GPU
+#: type, picked for contrast (e.g. long-lived us-east1 K80s vs fast-dying
+#: europe-west1 K80s).
+CALIBRATION_CELLS: Tuple[Tuple[str, str], ...] = (
+    ("k80", "us-east1"),
+    ("k80", "europe-west1"),
+    ("p100", "us-east1"),
+    ("p100", "us-central1"),
+    ("v100", "us-central1"),
+    ("v100", "us-west1"),
+)
+
+#: Two model sizes per GPU — the minimum for a step-time anchor refit.
+CALIBRATION_MODELS: Tuple[str, str] = ("resnet_15", "resnet_32")
+
+
+def calibration_scenario(jobs_per_cell: int = 240, total_steps: int = 600,
+                         stagger_hours: float = 24.0) -> ScenarioSpec:
+    """The telemetry calibration fleet.
+
+    Args:
+        jobs_per_cell: Single-worker jobs per ``(gpu, region)`` cell; each
+            contributes one revocation draw, so this sets the per-cell
+            sample size of the refit.
+        total_steps: Steps per job — small, so jobs finish in simulated
+            minutes; must exceed the 100-step warm-up by enough chunks to
+            anchor step times.
+        stagger_hours: Window over which each cell's job launches are
+            spread uniformly, diversifying the observed launch hours.
+    """
+    if jobs_per_cell < 2:
+        raise ConfigurationError("jobs_per_cell must be >= 2")
+    if total_steps <= 200:
+        raise ConfigurationError(
+            "total_steps must exceed 200 (warm-up discards the first 100)")
+    if stagger_hours < 0:
+        raise ConfigurationError("stagger_hours must be >= 0")
+    jobs = []
+    for gpu, region in CALIBRATION_CELLS:
+        for index in range(jobs_per_cell):
+            model = CALIBRATION_MODELS[index % len(CALIBRATION_MODELS)]
+            delay = (index * stagger_hours * 3600.0 / jobs_per_cell)
+            jobs.append(JobSpec(
+                name=f"cal_{gpu}_{region}_{index:04d}",
+                model_name=model,
+                total_steps=int(total_steps),
+                workers=((gpu, region),),
+                start_delay_seconds=delay,
+                queue_replacements=True,
+            ))
+    capacity = {cell: jobs_per_cell + 4 for cell in CALIBRATION_CELLS}
+    return ScenarioSpec(
+        name="telemetry_calibration",
+        description=("Single-worker calibration jobs across six (gpu, region) "
+                     "cells, launches staggered around the clock"),
+        jobs=tuple(jobs),
+        pool_capacity=capacity,
+        epoch_hour_utc=0.0,
+    )

@@ -1,0 +1,107 @@
+"""Read a telemetry ``.npz`` artifact back into per-job column arrays.
+
+Entries load lazily — :class:`numpy.lib.npyio.NpzFile` only decodes a
+member when indexed — so reading a huge artifact's draw rows never
+materializes its step chunks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.telemetry.writer import (DRAW_COLUMNS, STEP_COLUMNS,
+                                    TELEMETRY_FORMAT_VERSION)
+
+
+class TelemetryReader:
+    """Lazy, column-oriented view of one telemetry artifact."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._npz = np.load(path, allow_pickle=False)
+        if "meta" not in self._npz.files:
+            raise DataError(f"not a telemetry artifact (no meta entry): {path}")
+        self.meta: Dict[str, object] = json.loads(str(self._npz["meta"][()]))
+        version = self.meta.get("format_version")
+        if version != TELEMETRY_FORMAT_VERSION:
+            raise DataError(
+                f"unsupported telemetry format version {version!r} in {path}; "
+                f"this reader understands {TELEMETRY_FORMAT_VERSION}")
+        self._members: Dict[int, Dict[str, List[str]]] = {}
+        for name in self._npz.files:
+            if name == "meta":
+                continue
+            parts = name.split("/")
+            if len(parts) != 3 or not parts[0].startswith("job"):
+                continue
+            rank = int(parts[0][3:])
+            self._members.setdefault(rank, {}).setdefault(
+                parts[1], []).append(name)
+        for kinds in self._members.values():
+            for names in kinds.values():
+                names.sort()
+
+    # ------------------------------------------------------------------
+    @property
+    def ranks(self) -> List[int]:
+        """Global job ranks present in the artifact, ascending."""
+        return sorted(self._members)
+
+    def job_meta(self, rank: int) -> Dict[str, object]:
+        """The ``meta`` document's entry for one job."""
+        for entry in self.meta.get("jobs", []):
+            if entry.get("rank") == rank:
+                return entry
+        raise DataError(f"job rank {rank} not present in telemetry meta")
+
+    # ------------------------------------------------------------------
+    def workers(self, rank: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One job's worker registry: ``(ids, gpus, regions)`` arrays."""
+        names = self._members.get(rank, {}).get("workers")
+        if not names:
+            raise DataError(f"no worker registry for job rank {rank}")
+        by_field = {name.rsplit("/", 1)[1]: name for name in names}
+        return (self._npz[by_field["ids"]], self._npz[by_field["gpus"]],
+                self._npz[by_field["regions"]])
+
+    def step_chunks(self, rank: int) -> Iterator[np.ndarray]:
+        """Yield one job's ``(n, 6)`` step-row chunks in write order."""
+        for name in self._members.get(rank, {}).get("steps", []):
+            chunk = self._npz[name]
+            if chunk.ndim != 2 or chunk.shape[1] != len(STEP_COLUMNS):
+                raise DataError(f"malformed step chunk {name} in {self.path}")
+            yield chunk
+
+    def step_rows(self, rank: int) -> np.ndarray:
+        """One job's step rows concatenated into a single ``(n, 6)`` array."""
+        chunks = list(self.step_chunks(rank))
+        if not chunks:
+            return np.empty((0, len(STEP_COLUMNS)), dtype=np.float64)
+        return np.concatenate(chunks, axis=0)
+
+    def draw_rows(self, rank: int) -> np.ndarray:
+        """One job's revocation-draw rows as a single ``(n, 5)`` array."""
+        names = self._members.get(rank, {}).get("draws", [])
+        chunks = []
+        for name in names:
+            chunk = self._npz[name]
+            if chunk.ndim != 2 or chunk.shape[1] != len(DRAW_COLUMNS):
+                raise DataError(f"malformed draw chunk {name} in {self.path}")
+            chunks.append(chunk)
+        if not chunks:
+            return np.empty((0, len(DRAW_COLUMNS)), dtype=np.float64)
+        return np.concatenate(chunks, axis=0)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._npz.close()
+
+    def __enter__(self) -> "TelemetryReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -92,9 +92,9 @@ from repro.training.trace import (
     CheckpointRecord,
     ReplacementRecord,
     RevocationRecord,
-    StepRecordArray,
-    StepRecordSummary,
+    TraceSink,
     TrainingTrace,
+    make_step_sink,
 )
 from repro.training.worker import WorkerState
 
@@ -150,6 +150,12 @@ class TrainingSession:
             trace (the default); ``"summary"`` folds rows into an
             aggregates-only sink so long fleet runs keep O(1) trace
             memory per job.  Payload-visible behavior is identical.
+        step_sink: Custom :class:`~repro.training.trace.TraceSink` used as
+            the trace's ``step_records`` instead of the ``trace_level``
+            built-in — e.g. a :class:`~repro.training.trace.TeeSink`
+            feeding the fleet telemetry spool alongside the normal sink.
+            The caller owns the sink's semantics; ``trace_level`` is still
+            validated and recorded but builds no sink of its own.
     """
 
     def __init__(self, simulator: Simulator, cluster: ClusterSpec, job: TrainingJob,
@@ -161,7 +167,8 @@ class TrainingSession:
                  steps_per_event: int = DEFAULT_STEPS_PER_EVENT,
                  chief_worker_index: int = 0,
                  fast_forward: Optional[bool] = None,
-                 trace_level: str = "full"):
+                 trace_level: str = "full",
+                 step_sink: Optional[TraceSink] = None):
         if steps_per_event < 1:
             raise ConfigurationError("steps_per_event must be >= 1")
         if not 0 <= chief_worker_index < cluster.num_workers:
@@ -212,9 +219,9 @@ class TrainingSession:
         self.trace = TrainingTrace(model_name=job.model_name,
                                    cluster_description=cluster.describe(),
                                    start_time=simulator.now,
-                                   step_records=(StepRecordSummary()
-                                                 if trace_level == "summary"
-                                                 else StepRecordArray()))
+                                   step_records=(step_sink
+                                                 if step_sink is not None
+                                                 else make_step_sink(trace_level)))
         self.workers: Dict[str, WorkerState] = {}
         self._inflight: Dict[str, _InflightChunk] = {}
         self._worker_counter = itertools.count()

@@ -27,6 +27,16 @@ only need end-of-run aggregates, :class:`StepRecordSummary` is a drop-in
 keeps O(1) running aggregates (row/step totals, time bounds, per-worker
 step counts) and stores no rows at all — the ``trace_level="summary"``
 mode of :class:`~repro.training.session.TrainingSession`.
+
+The write/read surface those two containers share is formalized by the
+:class:`TraceSink` protocol: anything implementing it can be handed to
+:class:`~repro.training.session.TrainingSession` via ``step_sink=`` and
+will receive every chunk row the session produces.  :class:`TeeSink`
+composes sinks — it forwards every write to all of its members and answers
+reads from the first (*primary*) one, which is how the fleet telemetry
+exporter (:mod:`repro.telemetry`) observes rows without perturbing the
+trace the payload is computed from.  :func:`make_step_sink` builds the
+built-in sink for a ``trace_level``.
 """
 
 from __future__ import annotations
@@ -86,7 +96,64 @@ class StepRecord:
         return self.duration / self.steps if self.steps else 0.0
 
 
-class StepRecordArray(Sequence):
+class TraceSink:
+    """The write/read surface every step-record sink implements.
+
+    A *sink* receives the session's chunk rows as they are produced and
+    answers the handful of aggregate reads the session, the fleet payload,
+    and the trace statistics need.  The two built-in sinks are
+    :class:`StepRecordArray` (``trace_level="full"`` — keeps every row,
+    columnar) and :class:`StepRecordSummary` (``trace_level="summary"`` —
+    O(1) running aggregates, no rows); :class:`TeeSink` fans writes out to
+    several sinks at once.  Custom sinks (e.g. the fleet telemetry spool in
+    :mod:`repro.telemetry.writer`) subclass this and are attached through
+    :class:`~repro.training.session.TrainingSession`'s ``step_sink=``.
+
+    Write surface: :meth:`append` / :meth:`append_row` (one row),
+    :meth:`extend_rows` (bulk, parallel columns), :meth:`shrink_to_fit`
+    (end-of-workload trim hint).  Read surface: ``len()``,
+    :attr:`steps_total`, :attr:`max_end_time`, :attr:`nbytes`.
+    """
+
+    def append(self, record: "StepRecord") -> None:
+        """Append one :class:`StepRecord` (list-compatible API)."""
+        self.append_row(record.worker_id, record.start_time, record.end_time,
+                        record.steps, record.cluster_step, record.worker_step)
+
+    def append_row(self, worker_id: str, start_time: float, end_time: float,
+                   steps: int, cluster_step: int, worker_step: int = 0) -> None:
+        """Append one row from scalars, skipping StepRecord construction."""
+        raise NotImplementedError
+
+    def extend_rows(self, worker_ids: Sequence[str], start_times: Sequence[float],
+                    end_times: Sequence[float], steps: Sequence[int],
+                    cluster_steps: Sequence[int], worker_steps: Sequence[int]) -> None:
+        """Bulk-append rows from parallel scalar sequences (fast-path sink)."""
+        raise NotImplementedError
+
+    def shrink_to_fit(self) -> None:
+        """End-of-workload hint: release growth slack (no-op by default)."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def steps_total(self) -> int:
+        """Sum of all appended step counts."""
+        raise NotImplementedError
+
+    @property
+    def max_end_time(self) -> float:
+        """Latest chunk end time seen, or 0.0 when nothing was appended."""
+        raise NotImplementedError
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory held by the sink."""
+        raise NotImplementedError
+
+
+class StepRecordArray(TraceSink, Sequence):
     """Columnar (structure-of-arrays) storage of :class:`StepRecord` rows.
 
     Rows live in six growable numpy buffers (worker index, start time, end
@@ -328,7 +395,7 @@ class StepRecordArray(Sequence):
         return float(self.end_times.max()) if self._size else 0.0
 
 
-class StepRecordSummary:
+class StepRecordSummary(TraceSink):
     """Aggregates-only stand-in for :class:`StepRecordArray`.
 
     The ``trace_level="summary"`` sink: it accepts the same ``append`` /
@@ -429,6 +496,81 @@ class StepRecordSummary:
                 f"{self._steps_total} steps, {len(self._worker_steps)} workers)")
 
 
+class TeeSink(TraceSink):
+    """Fan one session's rows out to several sinks.
+
+    Every write goes to every member sink, in construction order; reads
+    (``len``, :attr:`steps_total`, :attr:`max_end_time`) are answered by
+    the first sink — the *primary* — so wrapping a trace's normal sink in
+    a tee is observationally transparent to everything that consumes the
+    trace (the fleet payload contract).  :attr:`nbytes` sums the members,
+    since the tee really does hold all of them.
+
+    The trace statistics unwrap a tee to its primary
+    (:meth:`TrainingTrace._step_columns`), so a full-trace session with a
+    telemetry tee still answers row-level queries, and a summary primary
+    still raises the usual :class:`~repro.errors.DataError`.
+    """
+
+    def __init__(self, primary: TraceSink, *secondaries: TraceSink):
+        self.primary = primary
+        self.sinks: Tuple[TraceSink, ...] = (primary,) + tuple(secondaries)
+
+    def append(self, record: StepRecord) -> None:
+        for sink in self.sinks:
+            sink.append(record)
+
+    def append_row(self, worker_id: str, start_time: float, end_time: float,
+                   steps: int, cluster_step: int, worker_step: int = 0) -> None:
+        for sink in self.sinks:
+            sink.append_row(worker_id, start_time, end_time, steps,
+                            cluster_step, worker_step)
+
+    def extend_rows(self, worker_ids: Sequence[str], start_times: Sequence[float],
+                    end_times: Sequence[float], steps: Sequence[int],
+                    cluster_steps: Sequence[int], worker_steps: Sequence[int]) -> None:
+        for sink in self.sinks:
+            sink.extend_rows(worker_ids, start_times, end_times, steps,
+                             cluster_steps, worker_steps)
+
+    def shrink_to_fit(self) -> None:
+        for sink in self.sinks:
+            sink.shrink_to_fit()
+
+    def __len__(self) -> int:
+        return len(self.primary)
+
+    @property
+    def steps_total(self) -> int:
+        return self.primary.steps_total
+
+    @property
+    def max_end_time(self) -> float:
+        return self.primary.max_end_time
+
+    @property
+    def nbytes(self) -> int:
+        return sum(sink.nbytes for sink in self.sinks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"TeeSink({', '.join(repr(sink) for sink in self.sinks)})"
+
+
+def make_step_sink(trace_level: str) -> TraceSink:
+    """The built-in step-record sink for a ``trace_level``.
+
+    ``"full"`` builds a fresh :class:`StepRecordArray`, ``"summary"`` a
+    fresh :class:`StepRecordSummary`; anything else raises
+    :class:`~repro.errors.DataError`.
+    """
+    if trace_level == "summary":
+        return StepRecordSummary()
+    if trace_level == "full":
+        return StepRecordArray()
+    raise DataError(
+        f"trace_level must be 'full' or 'summary', got {trace_level!r}")
+
+
 @dataclass(frozen=True)
 class CheckpointRecord:
     """One checkpoint performed by the (acting) chief worker."""
@@ -478,10 +620,11 @@ class TrainingTrace:
 
     model_name: str
     cluster_description: str
-    #: Per-worker chunk completions: the columnar array by default, or a
-    #: :class:`StepRecordSummary` sink for ``trace_level="summary"`` runs.
-    step_records: Union[StepRecordArray, StepRecordSummary] = field(
-        default_factory=StepRecordArray)
+    #: Per-worker chunk completions: the columnar array by default, a
+    #: :class:`StepRecordSummary` for ``trace_level="summary"`` runs, or
+    #: any custom :class:`TraceSink` (e.g. a :class:`TeeSink` feeding the
+    #: fleet telemetry spool alongside one of the built-ins).
+    step_records: TraceSink = field(default_factory=StepRecordArray)
     checkpoint_records: List[CheckpointRecord] = field(default_factory=list)
     revocation_records: List[RevocationRecord] = field(default_factory=list)
     replacement_records: List[ReplacementRecord] = field(default_factory=list)
@@ -508,6 +651,10 @@ class TrainingTrace:
     def _step_columns(self) -> StepRecordArray:
         """The columnar step records, or a DataError for summary traces."""
         records = self.step_records
+        if isinstance(records, TeeSink):
+            # A tee is observationally its primary; row-level statistics
+            # read the primary's columns (or fail on a summary primary).
+            records = records.primary
         if isinstance(records, StepRecordSummary):
             raise DataError(
                 "this trace was recorded with trace_level='summary'; "

@@ -1,0 +1,73 @@
+"""Summary-trace fleets: sharded identity and analysis over aggregates.
+
+``trace_level="summary"`` keeps O(1) per-session aggregates instead of
+full step rows; the payload contract says the fleet payload is identical
+anyway.  These tests pin that contract *under sharding* (``--shards 2``
+must match ``--shards 1`` in summary mode, and both must match the golden
+full-trace fixture) and show the analysis layer aggregating fleets that
+only ever ran in summary mode.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.stats import describe, empirical_cdf, mean_and_std
+from repro.scenarios import get_scenario, run_fleet, run_fleet_sharded
+from repro.scenarios.fleet import run_scenario
+from repro.scenarios.report import fleet_hour_histogram
+from repro.simulation.rng import RandomStreams
+
+GOLDEN = (pathlib.Path(__file__).parent / "data"
+          / "fleet_golden_multi_region_hetero_seed5.json")
+
+
+@pytest.fixture(scope="module")
+def summary_payloads():
+    """multi_region_hetero at summary trace level, shards 1 vs 2."""
+    scenario = get_scenario("multi_region_hetero")
+    single = run_fleet(scenario, RandomStreams(seed=5), trace_level="summary")
+    sharded = run_fleet_sharded(scenario, RandomStreams(seed=5), shards=2,
+                                trace_level="summary")
+    return single, sharded
+
+
+def test_summary_sharded_matches_single_process(summary_payloads):
+    single, sharded = summary_payloads
+    assert sharded == single
+
+
+def test_summary_sharded_matches_golden_full_trace(summary_payloads):
+    _, sharded = summary_payloads
+    with open(GOLDEN, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    assert sharded == golden
+
+
+def test_analysis_aggregates_summary_only_fleet(monkeypatch):
+    """A fleet that only ever ran in summary mode still feeds analysis."""
+    monkeypatch.setenv("REPRO_FLEET_TRACE_LEVEL", "summary")
+    scenario = get_scenario("revocation_storm")
+    result = run_scenario(scenario, replicates=2, seed=9)
+    payloads = result.payloads()
+    assert len(payloads) == 2
+
+    # Revocation time-of-day histogram over the replicates (Fig. 9 style).
+    histogram = fleet_hour_histogram(payloads)
+    assert histogram.shape == (24,)
+    assert histogram.sum() == sum(p["revocations"] for p in payloads)
+
+    # Descriptive stats over per-job aggregates present in every payload.
+    durations = [job["duration_seconds"]
+                 for payload in payloads for job in payload["jobs"]]
+    summary = describe(durations)
+    assert summary["count"] == sum(len(p["jobs"]) for p in payloads)
+    assert summary["min"] <= summary["p50"] <= summary["max"]
+    mean, std = mean_and_std(durations)
+    assert mean == pytest.approx(summary["mean"])
+
+    # Cost CDF across jobs saturates at one.
+    costs = [job["cost_usd"] for payload in payloads for job in payload["jobs"]]
+    cdf = empirical_cdf(costs, grid=[max(costs)])
+    assert cdf[-1] == pytest.approx(1.0)

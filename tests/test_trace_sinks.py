@@ -1,0 +1,131 @@
+"""The pluggable step-record sink protocol (``repro.training.trace``).
+
+The session writes its chunk rows through a :class:`TraceSink`; the two
+built-in sinks (``full`` keeps rows, ``summary`` keeps aggregates) must
+agree on every aggregate read, and :class:`TeeSink` must fan writes out
+without perturbing what the primary sink reports.
+"""
+
+import pytest
+
+from repro.errors import DataError
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+from repro.training.cluster import ClusterSpec
+from repro.training.job import measurement_job
+from repro.training.session import TrainingSession
+from repro.training.trace import (
+    StepRecord,
+    StepRecordArray,
+    StepRecordSummary,
+    TeeSink,
+    TraceSink,
+    make_step_sink,
+)
+
+
+def _fill(sink, rows=5):
+    for index in range(rows):
+        sink.append_row(f"worker-{index % 2}", float(index), float(index) + 0.5,
+                        10, 10 * (index + 1), 10 * (index // 2 + 1))
+    return sink
+
+
+class RecordingSink(TraceSink):
+    """Minimal custom sink: counts rows, implements only the write API."""
+
+    def __init__(self):
+        self.rows = 0
+        self.shrunk = 0
+
+    def append_row(self, worker_id, start_time, end_time, steps,
+                   cluster_step, worker_step=0):
+        self.rows += 1
+
+    def extend_rows(self, worker_ids, start_times, end_times, steps,
+                    cluster_steps, worker_steps):
+        self.rows += len(worker_ids)
+
+    def shrink_to_fit(self):
+        self.shrunk += 1
+
+    @property
+    def nbytes(self):
+        # TeeSink.nbytes sums every member, so even a write-only
+        # secondary must answer the memory read.
+        return 0
+
+
+def test_make_step_sink_levels():
+    assert isinstance(make_step_sink("full"), StepRecordArray)
+    assert isinstance(make_step_sink("summary"), StepRecordSummary)
+    with pytest.raises(DataError):
+        make_step_sink("verbose")
+
+
+def test_base_append_delegates_to_append_row():
+    sink = RecordingSink()
+    sink.append(StepRecord("worker-0", 0.0, 1.0, 10, 10, 10))
+    assert sink.rows == 1
+
+
+def test_full_and_summary_sinks_agree_on_aggregates():
+    full = _fill(StepRecordArray())
+    summary = _fill(StepRecordSummary())
+    assert len(full) == len(summary) == 5
+    assert full.steps_total == summary.steps_total == 50
+    assert full.max_end_time == summary.max_end_time == 4.5
+    assert summary.nbytes < full.nbytes
+
+
+def test_tee_sink_fans_out_and_reads_from_primary():
+    primary = StepRecordArray()
+    summary = StepRecordSummary()
+    recorder = RecordingSink()
+    tee = _fill(TeeSink(primary, summary, recorder))
+    assert len(primary) == len(summary) == recorder.rows == 5
+    assert len(tee) == 5
+    assert tee.steps_total == primary.steps_total
+    assert tee.max_end_time == primary.max_end_time
+    # nbytes sums across members (the tee holds all of them alive).
+    assert tee.nbytes == primary.nbytes + summary.nbytes
+    tee.shrink_to_fit()
+    assert recorder.shrunk == 1
+
+
+def test_tee_sink_extend_rows_reaches_every_member():
+    primary = StepRecordArray()
+    recorder = RecordingSink()
+    tee = TeeSink(primary, recorder)
+    tee.extend_rows(["worker-0", "worker-1"], [0.0, 1.0], [0.5, 1.5],
+                    [10, 10], [10, 20], [10, 10])
+    assert len(primary) == 2
+    assert recorder.rows == 2
+
+
+def _run_session(profile, step_sink=None, trace_level="full"):
+    session = TrainingSession(
+        Simulator(), ClusterSpec.single("k80"), measurement_job(profile, steps=400),
+        streams=RandomStreams(3), trace_level=trace_level, step_sink=step_sink)
+    return session.run_to_completion()
+
+
+def test_session_custom_step_sink_matches_default(resnet15_profile):
+    baseline = _run_session(resnet15_profile)
+    primary = StepRecordArray()
+    recorder = RecordingSink()
+    teed = _run_session(resnet15_profile, step_sink=TeeSink(primary, recorder))
+    # The tee is transparent: same rows, same summary, secondary saw all.
+    assert teed.summary() == baseline.summary()
+    assert list(primary) == list(baseline.step_records)
+    assert recorder.rows == len(baseline.step_records)
+
+
+def test_session_step_sink_overrides_trace_level(resnet15_profile):
+    # An explicit sink wins over trace_level; a summary sink behind a
+    # "full" request keeps aggregates identical to a true summary run.
+    summary_run = _run_session(resnet15_profile, trace_level="summary")
+    overridden = _run_session(resnet15_profile,
+                              step_sink=StepRecordSummary(),
+                              trace_level="full")
+    assert overridden.summary() == summary_run.summary()
