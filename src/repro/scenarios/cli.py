@@ -22,6 +22,11 @@ cache entries, so overridden and stock runs never collide in a shared
 (:mod:`repro.scenarios.shard`); payloads are bit-identical to ``--shards
 1``, and like the other runtime knobs the setting is fingerprinted into
 the sweep cache key, so differently-sharded runs never share entries.
+
+``--chaos`` activates the deterministic fault-injection harness
+(:mod:`repro.chaos`) for the run — e.g. ``--chaos
+'shard_crash:shard=0,at=2'`` kills shard 0 at its second draw request
+and the supervisor must restart-replay it to the bit-identical payload.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ import argparse
 import os
 from typing import Optional, Sequence
 
+from repro import chaos
 from repro.cli import (
     add_run_resume_arguments,
     default_workers,
@@ -87,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "(repro.scenarios.shard); payloads are "
                               "bit-identical to --shards 1 at any count "
                               "(default: REPRO_FLEET_SHARDS or 1)")
+        sub.add_argument("--chaos", default=None, metavar="SPEC",
+                         help="inject deterministic faults (repro.chaos): "
+                              "';'-separated entries like "
+                              "'shard_crash:shard=0,at=2', plus optional "
+                              "'seed=N'; recovery must reproduce the "
+                              "fault-free payloads bit-identically "
+                              "(default: REPRO_CHAOS or none)")
         sub.add_argument("--telemetry-out", default=None, metavar="PATH",
                          help="also export replicate 0's columnar telemetry "
                               "(step chunks + revocation draws) as a .npz "
@@ -143,6 +156,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             knobs[FLEET_TRACE_LEVEL_ENV] = args.trace_level
         if getattr(args, "shards", None) is not None:
             knobs[FLEET_SHARDS_ENV] = str(args.shards)
+        if getattr(args, "chaos", None):
+            # Validate the spec up front so a typo fails as a clean
+            # ``error:`` line, not deep inside a shard worker.
+            chaos.FaultPlan.from_spec(args.chaos)
+            knobs[chaos.CHAOS_ENV] = args.chaos
         previous = {env: os.environ.get(env) for env in knobs}
         os.environ.update(knobs)
         try:

@@ -56,6 +56,44 @@ owns the one true model and replays the exact single-process call sequence:
   as the single-process fleet, hence the same stream consumption) and
   replies with the outcomes plus each draw's global sequence number.
 
+Supervision: restart-replay
+---------------------------
+Shard death must not abort the fleet.  The parent supervises its children
+through the channels it already owns: an EOF or error on a shard's pipe,
+a nonzero exit, or a missed heartbeat deadline (no message for
+``heartbeat_seconds`` while *not* blocked on a pending grant — progress
+reports double as heartbeats) marks the shard dead.  Recovery leans on
+determinism instead of checkpoints:
+
+* the draw service appends every grant it sends to a per-shard **grant
+  log** ``(calls, outcomes, base rank)`` — the only nondeterministic
+  input a shard ever consumes;
+* a dead shard is reaped (terminate + join) and respawned with the same
+  sub-scenario, streams seed, and spool config, plus a bumped
+  *incarnation* counter;
+* the respawn re-executes from simulated time zero and re-issues the
+  exact same draw-request sequence; the parent answers those requests
+  **from the log** (verifying the replayed calls match, without touching
+  the revocation model) until the log is exhausted, then routes the
+  shard back onto the live draw service.
+
+Because grants are logged at send time and the model is consumed at
+grant time, a crash between grant and receipt loses nothing — the replay
+re-delivers the logged outcome.  Stale queue entries from a dead
+incarnation are skipped at grant time (each queued request carries its
+sender's incarnation).  The restart budget (``max_restarts`` /
+``REPRO_SHARD_RESTARTS``, default 3 per fleet) bounds the loop: once
+exhausted, the run raises :class:`~repro.errors.SimulationError` and the
+driver's ``finally`` reaps every child.  Deterministic child *errors*
+(the ``error`` message, e.g. a bad model name) still fail fast without a
+restart — replaying a deterministic failure would only repeat it.
+
+The :mod:`repro.chaos` harness drives this machinery: ``shard_crash``
+faults ``os._exit`` a worker at its nth draw request and ``drop_grant``
+faults swallow a grant reply (wedging the shard until the heartbeat
+fires), both verified bit-identical to the crash-free golden fixture in
+``tests/test_chaos.py`` and the CI chaos-smoke job.
+
 Merging
 -------
 Each shard returns its ordinary fleet payload plus its revocation records
@@ -88,10 +126,13 @@ from __future__ import annotations
 import heapq
 import math
 import multiprocessing
+import os
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import chaos
 from repro.cloud.pricing import PriceCatalog
 from repro.cloud.regions import get_region
 from repro.cloud.revocation import RevocationModel
@@ -113,6 +154,46 @@ __all__ = [
     "partition_scenario",
     "run_fleet_sharded",
 ]
+
+#: Environment default for the per-fleet shard restart budget.
+SHARD_RESTARTS_ENV = "REPRO_SHARD_RESTARTS"
+DEFAULT_MAX_RESTARTS = 3
+
+#: Environment default for the shard heartbeat deadline (seconds).
+SHARD_HEARTBEAT_ENV = "REPRO_SHARD_HEARTBEAT_SECONDS"
+DEFAULT_HEARTBEAT_SECONDS = 60.0
+
+
+def _max_restarts_default() -> int:
+    raw = os.environ.get(SHARD_RESTARTS_ENV, "")
+    if not raw:
+        return DEFAULT_MAX_RESTARTS
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{SHARD_RESTARTS_ENV} expects a non-negative integer, "
+            f"got {raw!r}")
+    if value < 0:
+        raise ConfigurationError(
+            f"{SHARD_RESTARTS_ENV} must be >= 0, got {value}")
+    return value
+
+
+def _heartbeat_default() -> float:
+    raw = os.environ.get(SHARD_HEARTBEAT_ENV, "")
+    if not raw:
+        return DEFAULT_HEARTBEAT_SECONDS
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{SHARD_HEARTBEAT_ENV} expects a positive number of seconds, "
+            f"got {raw!r}")
+    if value <= 0:
+        raise ConfigurationError(
+            f"{SHARD_HEARTBEAT_ENV} must be > 0, got {value}")
+    return value
 
 
 # ---------------------------------------------------------------------------
@@ -302,7 +383,8 @@ class ShardFleetRun(FleetRun):
                  fast_forward: Optional[bool] = None,
                  scheduler: Optional[str] = None,
                  trace_level: Optional[str] = None,
-                 telemetry: Optional[Any] = None):
+                 telemetry: Optional[Any] = None,
+                 chaos_monitor: Optional[chaos.ChaosMonitor] = None):
         super().__init__(scenario, streams, catalog=catalog,
                          price_catalog=price_catalog,
                          fast_forward=fast_forward, scheduler=scheduler,
@@ -313,6 +395,10 @@ class ShardFleetRun(FleetRun):
                 "adaptive placement couples every cell; it cannot run on a "
                 "shard (partition_scenario never produces one)")
         self._conn = conn
+        #: Counts draw requests and dies (``os._exit``) when a
+        #: ``shard_crash`` fault's trigger comes up; ``None`` outside
+        #: chaos runs.
+        self._chaos = chaos_monitor
         self._rank_of = {job.session: rank
                          for job, rank in zip(self.jobs, job_ranks)}
         #: ``(revoke time, global draw rank, local hour)`` per fired
@@ -329,6 +415,12 @@ class ShardFleetRun(FleetRun):
 
     def _request_draws(self, rank: int, calls: List[Tuple]) -> Tuple[List, int]:
         """Block until the parent grants this shard's draws, in order."""
+        if self._chaos is not None:
+            fault = self._chaos.tick()
+            if fault is not None:
+                chaos.chaos_exit(fault, site="shard_draw",
+                                 draw_request=self._chaos.count,
+                                 time=self.simulator.now, rank=rank)
         self._conn.send(("draw", self.simulator.now, rank, calls))
         reply = self._conn.recv()
         if reply[0] != "grant":
@@ -400,14 +492,27 @@ class ShardFleetRun(FleetRun):
 
 def _shard_worker(conn, scenario: ScenarioSpec, group: ShardGroup,
                   epoch: float, seed: int, catalog, price_catalog,
-                  fast_forward, scheduler, trace_level, telemetry=None) -> None:
-    """Process entry point: run one shard and report back over ``conn``."""
+                  fast_forward, scheduler, trace_level, telemetry=None,
+                  incarnation: int = 0) -> None:
+    """Process entry point: run one shard and report back over ``conn``.
+
+    ``incarnation`` is this process's spawn generation (0 on the first
+    launch, bumped by the supervisor on every restart); chaos faults match
+    it so an injected crash does not re-fire after restart-replay.
+    """
     try:
+        plan = chaos.active_plan()
+        monitor = None
+        if plan is not None:
+            monitor = plan.monitor("shard_crash", shard=group.index,
+                                   incarnation=incarnation)
         spool = None
         if telemetry is not None:
             # Each shard opens its own spool over the shared directory;
             # chunk files are keyed by global job rank, so the combined
-            # spool is identical to the single-process one.
+            # spool is identical to the single-process one.  A restarted
+            # shard deterministically rewrites its own files, so a chunk
+            # half-written at crash time is overwritten on replay.
             from repro.telemetry.writer import TelemetrySpool
             spool = TelemetrySpool(telemetry)
         sub = scenario.shard_subset(group.job_indices, group.cells,
@@ -416,7 +521,8 @@ def _shard_worker(conn, scenario: ScenarioSpec, group: ShardGroup,
                             job_ranks=group.job_indices, catalog=catalog,
                             price_catalog=price_catalog,
                             fast_forward=fast_forward, scheduler=scheduler,
-                            trace_level=trace_level, telemetry=spool)
+                            trace_level=trace_level, telemetry=spool,
+                            chaos_monitor=monitor)
         payload = run.run()
         if spool is not None:
             spool.close()
@@ -435,21 +541,34 @@ def _shard_worker(conn, scenario: ScenarioSpec, group: ShardGroup,
 # Parent (conductor) side.
 # ---------------------------------------------------------------------------
 class _ShardHandle:
-    """Parent-side bookkeeping for one shard process."""
+    """Parent-side bookkeeping for one shard process (all incarnations)."""
 
     __slots__ = ("group", "process", "conn", "bound", "pending", "done",
-                 "result")
+                 "result", "incarnation", "grants", "replay_index",
+                 "last_seen")
 
-    def __init__(self, group: ShardGroup, process, conn):
+    def __init__(self, group: ShardGroup):
         self.group = group
-        self.process = process
-        self.conn = conn
+        self.process = None
+        self.conn = None
         #: Progress lower bound: no future draw request from this shard
-        #: can carry a time below it.  Monotone by construction.
+        #: can carry a time below it.  Monotone within one incarnation;
+        #: reset to zero on restart (the respawn re-executes from t=0).
         self.bound = 0.0
         self.pending: Optional[ShardMessage] = None
         self.done = False
         self.result = None
+        #: Spawn generation; bumped on every supervised restart.
+        self.incarnation = 0
+        #: Grant log: ``(calls, outcomes, base_rank)`` per granted draw
+        #: request, in grant order — the shard's only nondeterministic
+        #: input, hence the entire restart-replay state.
+        self.grants: List[Tuple[Any, List[Any], int]] = []
+        #: Next grant-log entry a restarted incarnation replays.
+        self.replay_index = 0
+        #: ``time.monotonic()`` of the last message received (or grant
+        #: sent); the heartbeat supervisor's clock.
+        self.last_seen = 0.0
 
 
 class ShardedFleetRun:
@@ -462,6 +581,14 @@ class ShardedFleetRun:
     connected component, or adaptive placement — run the stock
     single-process :class:`~repro.scenarios.fleet.FleetRun` verbatim, which
     is the ``shards=1`` byte-identity contract.
+
+    Supervision knobs (see the module docstring's restart-replay design):
+    ``max_restarts`` bounds supervised respawns per fleet (default
+    ``REPRO_SHARD_RESTARTS`` or 3; 0 disables restarts) and
+    ``heartbeat_seconds`` is the silence deadline after which a shard
+    that is neither done nor awaiting a grant is declared dead (default
+    ``REPRO_SHARD_HEARTBEAT_SECONDS`` or 60).  :attr:`restarts` records
+    every supervised restart for observability.
     """
 
     def __init__(self, scenario: ScenarioSpec, streams: RandomStreams,
@@ -471,7 +598,9 @@ class ShardedFleetRun:
                  scheduler: Optional[str] = None,
                  trace_level: Optional[str] = None,
                  shards: Optional[int] = None,
-                 telemetry: Optional[Any] = None):
+                 telemetry: Optional[Any] = None,
+                 max_restarts: Optional[int] = None,
+                 heartbeat_seconds: Optional[float] = None):
         self.scenario = scenario
         self.streams = streams
         self.catalog = catalog
@@ -487,8 +616,27 @@ class ShardedFleetRun:
         if self.shards < 1:
             raise ConfigurationError(
                 f"shards must be >= 1, got {self.shards}")
+        self.max_restarts = (_max_restarts_default() if max_restarts is None
+                             else int(max_restarts))
+        if self.max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be >= 0, got {self.max_restarts}")
+        self.heartbeat_seconds = (_heartbeat_default()
+                                  if heartbeat_seconds is None
+                                  else float(heartbeat_seconds))
+        if self.heartbeat_seconds <= 0:
+            raise ConfigurationError(
+                f"heartbeat_seconds must be > 0, got "
+                f"{self.heartbeat_seconds}")
         self.groups = partition_scenario(scenario, self.shards)
         self.events_processed = 0
+        #: One record per supervised restart: shard index, incarnation,
+        #: reason, exit code, and how many grants were replayed.
+        self.restarts: List[Dict[str, Any]] = []
+        self._restarts_used = 0
+        self._context = None
+        self._epoch: Optional[float] = None
+        self._drop_monitors: Dict[int, chaos.ChaosMonitor] = {}
 
     def run(self) -> Dict[str, Any]:
         """Run the fleet and return the (merged) JSON payload."""
@@ -519,61 +667,139 @@ class ShardedFleetRun:
         return self._merge(results)
 
     # -- process management --------------------------------------------
+    def _spawn(self, handle: _ShardHandle, epoch: float) -> None:
+        """(Re)launch one shard process over a fresh pipe."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_shard_worker,
+            args=(child_conn, self.scenario, handle.group, epoch,
+                  self.streams.seed, self.catalog, self.price_catalog,
+                  self.fast_forward, self.scheduler, self.trace_level,
+                  self.telemetry, handle.incarnation),
+            name=(f"repro-fleet-shard-{handle.group.index}"
+                  f".{handle.incarnation}"))
+        handle.process = process
+        handle.conn = parent_conn
+        process.start()
+        child_conn.close()
+        handle.last_seen = time.monotonic()
+
+    def _reap(self, handle: _ShardHandle) -> Optional[int]:
+        """Close, terminate, and join one shard; returns its exit code."""
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        process = handle.process
+        if process is None:
+            return None
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - SIGTERM ignored
+                process.kill()
+        process.join()
+        return process.exitcode
+
+    def _restart(self, handle: _ShardHandle, reason: str) -> None:
+        """Reap a dead shard and respawn it for restart-replay.
+
+        Raises :class:`~repro.errors.SimulationError` once the fleet's
+        restart budget is exhausted; the driver's ``finally`` then reaps
+        every remaining child.
+        """
+        exitcode = self._reap(handle)
+        if self._restarts_used >= self.max_restarts:
+            raise SimulationError(
+                f"fleet shard {handle.group.index} died ({reason}, exit "
+                f"code {exitcode}) and the restart budget "
+                f"({self.max_restarts}) is exhausted")
+        self._restarts_used += 1
+        handle.incarnation += 1
+        handle.pending = None
+        handle.bound = 0.0
+        handle.replay_index = 0
+        record = {"shard": handle.group.index,
+                  "incarnation": handle.incarnation, "reason": reason,
+                  "exitcode": exitcode, "grants_logged": len(handle.grants)}
+        self.restarts.append(record)
+        chaos.log_event("shard_restart", **record)
+        self._spawn(handle, self._epoch)
+
     def _conduct(self, epoch: float, model: RevocationModel) -> List[Tuple]:
-        context = multiprocessing.get_context()
-        handles: List[_ShardHandle] = []
-        child_ends = []
-        for group in self.groups:
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_shard_worker,
-                args=(child_conn, self.scenario, group, epoch,
-                      self.streams.seed, self.catalog, self.price_catalog,
-                      self.fast_forward, self.scheduler, self.trace_level,
-                      self.telemetry),
-                name=f"repro-fleet-shard-{group.index}")
-            handles.append(_ShardHandle(group, process, parent_conn))
-            child_ends.append(child_conn)
+        self._context = multiprocessing.get_context()
+        self._epoch = epoch
+        plan = chaos.active_plan()
+        handles = [_ShardHandle(group) for group in self.groups]
+        if plan is not None:
+            for handle in handles:
+                monitor = plan.monitor("drop_grant",
+                                       shard=handle.group.index)
+                if monitor:
+                    self._drop_monitors[handle.group.index] = monitor
         try:
-            for handle, child_conn in zip(handles, child_ends):
-                handle.process.start()
-                child_conn.close()
+            for handle in handles:
+                self._spawn(handle, epoch)
             return self._service_loop(handles, model)
         finally:
             for handle in handles:
-                handle.conn.close()
-                if handle.process.is_alive():
-                    handle.process.terminate()
-                handle.process.join()
+                self._reap(handle)
 
     def _service_loop(self, handles: List[_ShardHandle],
                       model: RevocationModel) -> List[Tuple]:
-        """Drain shard messages and grant draws in deterministic order."""
+        """Drain shard messages, supervise children, grant draws in order."""
         from multiprocessing.connection import wait as connection_wait
 
         queue = DeterministicMessageQueue()
-        by_conn = {handle.conn: handle for handle in handles}
-        live = set(by_conn)
         sequences = [0] * len(handles)
         draw_count = 0
+        poll_seconds = min(1.0, self.heartbeat_seconds / 4.0)
         while any(not handle.done for handle in handles):
-            for conn in connection_wait(list(live)):
+            # conn -> handle is rebuilt per iteration: restarts swap pipes.
+            by_conn = {handle.conn: handle for handle in handles
+                       if not handle.done}
+            ready = connection_wait(list(by_conn), timeout=poll_seconds)
+            for conn in ready:
                 handle = by_conn[conn]
+                if handle.conn is not conn:  # restarted by an earlier peer
+                    continue  # pragma: no cover - needs a same-tick race
                 try:
                     while True:
                         message = conn.recv()
-                        self._handle_message(handle, message, queue, sequences)
+                        handle.last_seen = time.monotonic()
+                        self._handle_message(handle, message, queue,
+                                             sequences)
                         if handle.done or not conn.poll():
                             break
                 except (EOFError, OSError):
                     if not handle.done:
-                        raise SimulationError(
-                            f"fleet shard {handle.group.index} exited "
-                            f"without a result")
-                if handle.done:
-                    live.discard(conn)
+                        self._restart(handle, "pipe closed")
+            if not ready:
+                self._check_heartbeats(handles)
             draw_count = self._grant_ready(handles, queue, model, draw_count)
         return [handle.result for handle in handles]
+
+    def _check_heartbeats(self, handles: List[_ShardHandle]) -> None:
+        """Restart shards silent past the deadline (and not awaiting us).
+
+        A shard with a pending request is blocked on *our* grant, so its
+        silence is expected; anything else should be computing and
+        reporting progress every ``_progress_interval`` events.  A dead
+        process is restarted immediately; a live-but-wedged one (e.g. a
+        chaos-dropped grant reply left it blocked on a pipe nobody will
+        write) is terminated first by the reap inside the restart.
+        """
+        now = time.monotonic()
+        for handle in handles:
+            if handle.done or handle.pending is not None:
+                continue
+            alive = handle.process is not None and handle.process.is_alive()
+            if not alive or now - handle.last_seen > self.heartbeat_seconds:
+                self._restart(
+                    handle, "process died" if not alive
+                    else f"heartbeat deadline "
+                         f"({self.heartbeat_seconds:g}s) missed")
 
     def _handle_message(self, handle: _ShardHandle, message: Tuple,
                         queue: DeterministicMessageQueue,
@@ -582,14 +808,18 @@ class ShardedFleetRun:
         if kind == "progress":
             handle.bound = max(handle.bound, message[1])
         elif kind == "draw":
-            _, time, rank, calls = message
+            _, event_time, rank, calls = message
+            if handle.replay_index < len(handle.grants):
+                self._replay_grant(handle, calls)
+                return
             index = handle.group.index
-            request = ShardMessage(time=time, rank=rank, shard=index,
+            request = ShardMessage(time=event_time, rank=rank, shard=index,
                                    seq=sequences[index],
-                                   payload=(handle, calls))
+                                   payload=(handle, calls,
+                                            handle.incarnation))
             sequences[index] += 1
             handle.pending = request
-            handle.bound = max(handle.bound, time)
+            handle.bound = max(handle.bound, event_time)
             queue.push(request)
         elif kind == "done":
             handle.done = True
@@ -600,6 +830,27 @@ class ShardedFleetRun:
                 f"fleet shard {handle.group.index} failed:\n{message[1]}")
         else:  # pragma: no cover - future-proofing
             raise SimulationError(f"unknown shard message kind {kind!r}")
+
+    def _replay_grant(self, handle: _ShardHandle, calls: Any) -> None:
+        """Answer a restarted shard's draw request from its grant log.
+
+        The revocation model is *not* consumed — these draws were already
+        executed for a previous incarnation; the log re-delivers their
+        outcomes.  The replayed request must match the logged one call
+        for call, or the shard diverged from its own history and exact
+        recovery is impossible.
+        """
+        logged_calls, outcomes, base_rank = handle.grants[handle.replay_index]
+        if calls != logged_calls:
+            raise SimulationError(
+                f"fleet shard {handle.group.index} diverged during "
+                f"restart-replay: grant #{handle.replay_index} was logged "
+                f"for {logged_calls!r} but the respawn requested {calls!r}")
+        handle.replay_index += 1
+        try:
+            handle.conn.send(("grant", (outcomes, base_rank)))
+        except OSError:  # pragma: no cover - died again mid-replay
+            pass  # the supervisor will see the EOF and restart again
 
     def _grant_ready(self, handles: List[_ShardHandle],
                      queue: DeterministicMessageQueue,
@@ -615,7 +866,12 @@ class ShardedFleetRun:
         """
         while queue:
             request = queue.peek()
-            requester = request.payload[0]
+            requester, calls, incarnation = request.payload
+            if incarnation != requester.incarnation:
+                # A request from a dead incarnation; the respawn re-issues
+                # it (and is answered from the grant log or granted live).
+                queue.pop()
+                continue
             safe = True
             for other in handles:
                 if other is requester or other.done:
@@ -633,7 +889,7 @@ class ShardedFleetRun:
             queue.pop()
             requester.pending = None
             outcomes: List[Any] = []
-            for kind, gpu, region, count, launch_hour in request.payload[1]:
+            for kind, gpu, region, count, launch_hour in calls:
                 if kind == "batch":
                     outcomes.extend(model.sample_batch(
                         gpu, region, count, launch_hour_local=launch_hour,
@@ -642,8 +898,30 @@ class ShardedFleetRun:
                     outcomes.append(model.sample(
                         gpu, region, launch_hour_local=launch_hour,
                         stressed=True))
-            requester.conn.send(("grant", (outcomes, draw_count)))
+            # Log before sending: a grant is part of the shard's history
+            # the moment the model is consumed, delivered or not.
+            base_rank = draw_count
+            requester.grants.append((calls, outcomes, base_rank))
+            requester.replay_index = len(requester.grants)
             draw_count += len(outcomes)
+            monitor = self._drop_monitors.get(requester.group.index)
+            fault = monitor.tick() if monitor is not None else None
+            if fault is not None:
+                # Injected reply drop: the shard stays blocked on recv
+                # until the heartbeat supervisor restarts it, and the
+                # replay re-delivers this very grant from the log.
+                chaos.log_event("injected_drop_grant",
+                                shard=requester.group.index,
+                                grant=len(requester.grants),
+                                fault=fault.to_entry())
+                continue
+            try:
+                requester.conn.send(("grant", (outcomes, base_rank)))
+            except OSError:
+                # The shard died between request and grant; the EOF path
+                # restarts it and the log replays this grant.
+                continue
+            requester.last_seen = time.monotonic()
         return draw_count
 
     # -- payload merge -------------------------------------------------
@@ -703,18 +981,26 @@ def run_fleet_sharded(scenario: ScenarioSpec, streams: RandomStreams,
                       scheduler: Optional[str] = None,
                       trace_level: Optional[str] = None,
                       shards: Optional[int] = None,
-                      telemetry: Optional[Any] = None) -> Dict[str, Any]:
-    """Simulate one fleet across ``shards`` worker processes.
+                      telemetry: Optional[Any] = None,
+                      max_restarts: Optional[int] = None,
+                      heartbeat_seconds: Optional[float] = None
+                      ) -> Dict[str, Any]:
+    """Simulate one fleet across ``shards`` supervised worker processes.
 
-    Drop-in for :func:`repro.scenarios.fleet.run_fleet` with two extra
-    knobs: ``shards`` (``None`` reads ``REPRO_FLEET_SHARDS``, default 1)
-    and ``telemetry`` (an optional
+    Drop-in for :func:`repro.scenarios.fleet.run_fleet` with extra knobs:
+    ``shards`` (``None`` reads ``REPRO_FLEET_SHARDS``, default 1),
+    ``telemetry`` (an optional
     :class:`repro.telemetry.writer.TelemetryConfig` every shard spools
-    into).  Payloads are bit-identical to the single-process run at every
-    shard count; ``shards=1`` *is* the single-process run.
+    into), and the supervision bounds ``max_restarts`` /
+    ``heartbeat_seconds`` (``None`` reads ``REPRO_SHARD_RESTARTS`` /
+    ``REPRO_SHARD_HEARTBEAT_SECONDS``).  Payloads are bit-identical to
+    the single-process run at every shard count — including runs where
+    shards crash and are restart-replayed within the budget; ``shards=1``
+    *is* the single-process run.
     """
     return ShardedFleetRun(scenario, streams, catalog=catalog,
                            price_catalog=price_catalog,
                            fast_forward=fast_forward, scheduler=scheduler,
                            trace_level=trace_level, shards=shards,
-                           telemetry=telemetry).run()
+                           telemetry=telemetry, max_restarts=max_restarts,
+                           heartbeat_seconds=heartbeat_seconds).run()

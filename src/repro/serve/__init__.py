@@ -30,6 +30,19 @@ TCP front end on plain :mod:`asyncio`, and :mod:`repro.serve.cli` the
 for the service driven against a churning fleet pool, and
 ``benchmarks/serve_baseline.py`` for the load-generator benchmark behind
 ``BENCH_serve.json``.
+
+Hardening (PR 9): the transport enforces a per-request dispatch timeout
+and a concurrent-connection cap (:class:`~repro.serve.transport
+.ServerConfig`), answers every failure with a structured error code
+(``bad_request`` / ``timeout`` / ``overloaded`` / ``internal``), exposes
+a ``health`` op (service uptime + epoch merged with transport queue
+depth), and drains gracefully on SIGTERM (``repro-serve serve
+--drain-seconds``).  Clients survive transient faults via
+:func:`~repro.serve.transport.request_with_retry` — exponential backoff
+with seeded jitter, applied only to idempotent ops.  The
+:mod:`repro.chaos` harness injects connection resets (``serve_reset``)
+and dispatch hangs (``serve_hang``) to pin these paths in
+``tests/test_serve.py`` and the CI chaos-smoke job.
 """
 
 from repro.serve.service import PlacementService

@@ -12,6 +12,7 @@ transition can slip between two queries of one batch.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ConfigurationError
@@ -52,6 +53,9 @@ class PlacementService:
         #: Bumped by :meth:`recalibrate`; cached decisions are only valid
         #: within one calibration epoch, so a bump drops them all.
         self.calibration_epoch = 0
+        #: Monotonic construction instant; the ``health`` op reports
+        #: uptime relative to it.
+        self.started_monotonic = time.monotonic()
 
     # ------------------------------------------------------------------
     # Warm-up.
@@ -147,6 +151,23 @@ class PlacementService:
     # ------------------------------------------------------------------
     # Introspection.
     # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """Liveness summary: uptime, epoch, and cache/answer counters.
+
+        The transport layer (``{"op": "health"}``) merges its own queue
+        depth on top of this document; the service-level view is what an
+        in-process embedder probes.
+        """
+        return {
+            "status": "ok",
+            "uptime_seconds": time.monotonic() - self.started_monotonic,
+            "calibration_epoch": self.calibration_epoch,
+            "queries_answered": self.queries_answered,
+            "cached_decisions": len(self._decisions),
+            "pool_version": (self.pool.version
+                             if self.pool is not None else None),
+        }
+
     def stats(self) -> Dict[str, object]:
         """JSON-encodable service counters."""
         return {

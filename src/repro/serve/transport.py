@@ -9,33 +9,129 @@ per line.  Requests are JSON objects with an ``op``:
 * ``{"op": "answer_many", "queries": [{...}, ...]}`` — a batch, answered
   atomically (bit-identical to sequential singles).
 * ``{"op": "stats"}`` — service counters.
+* ``{"op": "health"}`` — liveness probe: service uptime, calibration
+  epoch, and the transport's connection / in-flight queue depth.
 * ``{"op": "recalibrate", "calibration": {...}}`` — one
   :meth:`~repro.telemetry.recalibrate.RecalibrationResult.to_params`
   document; swaps the advisor onto the refit calibration, bumps the
   calibration epoch, and drops every cached decision.
 
 Every response line is ``{"ok": true, "result": ...}`` or
-``{"ok": false, "error": "..."}``; malformed input answers an error line
-instead of killing the connection, so one bad client request cannot take
-down the stream for the rest.
+``{"ok": false, "error": "...", "code": "..."}``; malformed input
+answers an error line instead of killing the connection, so one bad
+client request cannot take down the stream for the rest.  Error codes
+are structural, not prose — clients branch on them:
+
+``bad_request``
+    The request itself is wrong (unknown op, malformed document).
+    Retrying verbatim can never succeed.
+``timeout``
+    Dispatch exceeded :attr:`ServerConfig.request_timeout`.  The server
+    stays up; the client may retry idempotent ops.
+``overloaded``
+    The connection cap (:attr:`ServerConfig.max_connections`) is hit;
+    the server refuses the connection after answering this one line.
+    Back off and retry.
+``internal``
+    An unexpected server-side failure; logged server-side, safe to
+    retry idempotent ops.
+
+Hardening knobs live on :class:`ServerConfig`; clients that need to
+survive transient faults use :func:`request_with_retry`, which retries
+connect errors, timeouts, mid-response closes, and ``overloaded``
+replies with exponential backoff and seeded jitter — but only when every
+op in the batch is idempotent (:data:`IDEMPOTENT_OPS`), because blindly
+resending a ``recalibrate`` would double-apply it.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
+import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import ReproError
+from repro import chaos
+from repro.errors import ConfigurationError, ReproError
 from repro.modeling.placement import PlacementQuery
 from repro.serve.service import PlacementService
 
 #: Maximum request-line length (a 4096-cell batch fits comfortably).
 MAX_LINE_BYTES = 4 * 1024 * 1024
 
+#: Ops that are safe to resend verbatim: answering a query twice yields
+#: the same decision, and reads have no side effects.  ``recalibrate``
+#: is deliberately absent — resending it bumps the epoch again.
+IDEMPOTENT_OPS = frozenset({"answer", "answer_many", "stats", "health"})
+
+
+class TransportError(ReproError):
+    """The server closed a connection mid-conversation (retryable)."""
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Hardening knobs for :func:`start_server`.
+
+    Args:
+        request_timeout: Seconds one request may spend in dispatch before
+            the server answers a ``timeout`` error line instead.
+        max_connections: Concurrent-connection cap; connection number
+            ``max_connections + 1`` is answered with one ``overloaded``
+            error line and closed (backpressure, not a silent drop).
+    """
+
+    request_timeout: float = 30.0
+    max_connections: int = 64
+
+    def __post_init__(self) -> None:
+        if self.request_timeout <= 0:
+            raise ConfigurationError(
+                f"request_timeout must be positive, got {self.request_timeout}")
+        if self.max_connections < 1:
+            raise ConfigurationError(
+                f"max_connections must be >= 1, got {self.max_connections}")
+
+
+class ServerState:
+    """Live transport counters (one per started server).
+
+    ``connections`` and ``in_flight`` are the queue-depth numbers the
+    ``health`` op reports; the chaos monitors implement the
+    ``serve_reset`` / ``serve_hang`` fault kinds when a plan is active.
+    """
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        self.connections = 0
+        self.in_flight = 0
+        self.requests_seen = 0
+        self.rejected_connections = 0
+        self.started_monotonic = time.monotonic()
+        plan = chaos.active_plan()
+        self.reset_monitor = (plan.monitor("serve_reset")
+                              if plan is not None else None)
+        self.hang_monitor = (plan.monitor("serve_hang")
+                             if plan is not None else None)
+
+    def health(self, service: PlacementService) -> Dict[str, Any]:
+        document = service.health()
+        document.update({
+            "connections": self.connections,
+            "in_flight": self.in_flight,
+            "requests_seen": self.requests_seen,
+            "rejected_connections": self.rejected_connections,
+            "max_connections": self.config.max_connections,
+            "request_timeout_seconds": self.config.request_timeout,
+        })
+        return document
+
 
 async def handle_request(service: PlacementService,
-                         request: Dict[str, Any]) -> Any:
+                         request: Dict[str, Any],
+                         state: Optional[ServerState] = None) -> Any:
     """Dispatch one decoded request document; returns the result payload."""
     operation = request.get("op")
     if operation == "answer":
@@ -49,6 +145,10 @@ async def handle_request(service: PlacementService,
         return [decision.to_params() for decision in decisions]
     if operation == "stats":
         return service.stats()
+    if operation == "health":
+        if state is not None:
+            return state.health(service)
+        return service.health()
     if operation == "recalibrate":
         from repro.telemetry.recalibrate import RecalibrationResult
         document = request.get("calibration")
@@ -57,13 +157,52 @@ async def handle_request(service: PlacementService,
                 "recalibrate requires a 'calibration' object (a "
                 "RecalibrationResult.to_params() document)")
         return service.recalibrate(RecalibrationResult.from_params(document))
-    raise ReproError(f"unknown op {operation!r}; "
-                     f"expected answer, answer_many, stats, or recalibrate")
+    raise ReproError(f"unknown op {operation!r}; expected answer, "
+                     f"answer_many, stats, health, or recalibrate")
+
+
+async def _dispatch(service: PlacementService, request: Dict[str, Any],
+                    state: ServerState) -> Any:
+    """One request through the chaos gate and the service.
+
+    The ``serve_hang`` sleep lives *inside* this coroutine so it burns
+    the same :func:`asyncio.wait_for` window a genuinely slow dispatch
+    would — the timeout path under test is the real one.
+    """
+    if state.hang_monitor:
+        fault = state.hang_monitor.tick()
+        if fault is not None:
+            seconds = (fault.seconds if fault.seconds is not None
+                       else chaos.plan.DEFAULT_HANG_SECONDS)
+            chaos.log_event("injected_serve_hang", fault=fault.to_entry(),
+                            seconds=seconds)
+            await asyncio.sleep(seconds)
+    return await handle_request(service, request, state)
+
+
+def _error_response(exc: BaseException, code: str) -> Dict[str, Any]:
+    return {"ok": False, "error": str(exc) or repr(exc), "code": code}
 
 
 async def _handle_connection(service: PlacementService,
                              reader: asyncio.StreamReader,
-                             writer: asyncio.StreamWriter) -> None:
+                             writer: asyncio.StreamWriter,
+                             state: ServerState) -> None:
+    if state.connections >= state.config.max_connections:
+        # Backpressure, loudly: one structured line, then close.  A
+        # silent drop would be indistinguishable from a network fault.
+        state.rejected_connections += 1
+        response = _error_response(
+            ReproError(f"connection limit ({state.config.max_connections}) "
+                       f"reached; retry after backoff"), "overloaded")
+        try:
+            writer.write(json.dumps(response).encode("utf-8") + b"\n")
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover - racing peer
+            pass
+        writer.close()
+        return
+    state.connections += 1
     try:
         while True:
             line = await reader.readline()
@@ -72,17 +211,40 @@ async def _handle_connection(service: PlacementService,
             text = line.decode("utf-8", errors="replace").strip()
             if not text:
                 continue
+            state.requests_seen += 1
+            if state.reset_monitor:
+                fault = state.reset_monitor.tick()
+                if fault is not None:
+                    chaos.log_event("injected_serve_reset",
+                                    fault=fault.to_entry(),
+                                    request=state.requests_seen)
+                    # Close without replying: the client sees a
+                    # mid-response EOF (TransportError) and must retry.
+                    break
+            state.in_flight += 1
             try:
                 request = json.loads(text)
                 if not isinstance(request, dict):
                     raise ReproError("a request must be a JSON object")
-                result = await handle_request(service, request)
+                result = await asyncio.wait_for(
+                    _dispatch(service, request, state),
+                    state.config.request_timeout)
                 response = {"ok": True, "result": result}
+            except asyncio.TimeoutError:
+                response = _error_response(
+                    ReproError(f"request timed out after "
+                               f"{state.config.request_timeout:g}s"),
+                    "timeout")
             except (ReproError, ValueError, TypeError, KeyError) as exc:
-                response = {"ok": False, "error": str(exc) or repr(exc)}
+                response = _error_response(exc, "bad_request")
+            except Exception as exc:  # pragma: no cover - defensive
+                response = _error_response(exc, "internal")
+            finally:
+                state.in_flight -= 1
             writer.write(json.dumps(response).encode("utf-8") + b"\n")
             await writer.drain()
     finally:
+        state.connections -= 1
         # No ``wait_closed()`` here: the handler task itself is cancelled
         # when the server shuts down, and awaiting the closing transport
         # from inside the dying task just raises CancelledError into the
@@ -92,19 +254,31 @@ async def _handle_connection(service: PlacementService,
 
 
 async def start_server(service: PlacementService, host: str = "127.0.0.1",
-                       port: int = 0) -> asyncio.AbstractServer:
+                       port: int = 0,
+                       config: Optional[ServerConfig] = None
+                       ) -> asyncio.AbstractServer:
     """Start the JSON-lines server; ``port=0`` picks a free port.
 
     The bound address is ``server.sockets[0].getsockname()``; close with
-    ``server.close()`` + ``await server.wait_closed()``.
+    ``server.close()`` + ``await server.wait_closed()``.  The live
+    :class:`ServerState` is retrievable via :func:`server_state` (the
+    ``health`` op reads it too).
     """
+    state = ServerState(config if config is not None else ServerConfig())
 
     async def connection(reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter) -> None:
-        await _handle_connection(service, reader, writer)
+        await _handle_connection(service, reader, writer, state)
 
-    return await asyncio.start_server(connection, host=host, port=port,
-                                      limit=MAX_LINE_BYTES)
+    server = await asyncio.start_server(connection, host=host, port=port,
+                                        limit=MAX_LINE_BYTES)
+    server.repro_state = state  # type: ignore[attr-defined]
+    return server
+
+
+def server_state(server: asyncio.AbstractServer) -> ServerState:
+    """The :class:`ServerState` attached by :func:`start_server`."""
+    return server.repro_state  # type: ignore[attr-defined]
 
 
 async def request(host: str, port: int,
@@ -113,7 +287,9 @@ async def request(host: str, port: int,
     """Client helper: send request documents, return the response documents.
 
     Opens one connection, pipelines every request in order, and reads one
-    response line per request (the server answers in order).
+    response line per request (the server answers in order).  A
+    connection that closes before every response arrives raises
+    :class:`TransportError` (retryable — see :func:`request_with_retry`).
     """
     reader, writer = await asyncio.wait_for(
         asyncio.open_connection(host=host, port=port, limit=MAX_LINE_BYTES),
@@ -127,7 +303,8 @@ async def request(host: str, port: int,
         for _ in documents:
             line = await asyncio.wait_for(reader.readline(), timeout)
             if not line:
-                raise ReproError("server closed the connection mid-response")
+                raise TransportError(
+                    "server closed the connection mid-response")
             responses.append(json.loads(line.decode("utf-8")))
         return responses
     finally:
@@ -136,6 +313,66 @@ async def request(host: str, port: int,
             await writer.wait_closed()
         except (ConnectionError, OSError):  # pragma: no cover - teardown race
             pass
+
+
+def _is_overloaded(responses: List[Dict[str, Any]]) -> bool:
+    return any(not response.get("ok")
+               and response.get("code") == "overloaded"
+               for response in responses)
+
+
+async def request_with_retry(host: str, port: int,
+                             documents: List[Dict[str, Any]], *,
+                             timeout: Optional[float] = 30.0,
+                             retries: int = 3,
+                             backoff_seconds: float = 0.1,
+                             max_backoff_seconds: float = 2.0,
+                             jitter_seed: Optional[int] = None
+                             ) -> List[Dict[str, Any]]:
+    """:func:`request` with exponential backoff for transient faults.
+
+    Retries connect errors (``OSError``), client-side timeouts,
+    mid-response closes (:class:`TransportError`), and ``overloaded``
+    replies — up to ``retries`` extra attempts, sleeping
+    ``min(max_backoff, backoff * 2**attempt)`` scaled by a jitter factor
+    in ``[0.5, 1.5)``.  The jitter stream is seeded (``jitter_seed``,
+    defaulting to the active chaos plan's seed), so chaos runs back off
+    deterministically.
+
+    Only batches whose every op is in :data:`IDEMPOTENT_OPS` are
+    retried; anything else (``recalibrate``) gets exactly one attempt,
+    because resending a mutation the server may already have applied is
+    worse than surfacing the fault.
+    """
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    idempotent = all(document.get("op") in IDEMPOTENT_OPS
+                     for document in documents)
+    attempts = retries + 1 if idempotent else 1
+    if jitter_seed is None:
+        plan = chaos.active_plan()
+        jitter_seed = plan.seed if plan is not None else 0
+    rng = random.Random(jitter_seed)
+    last_error: Optional[BaseException] = None
+    for attempt in range(attempts):
+        try:
+            responses = await request(host, port, documents, timeout=timeout)
+            if _is_overloaded(responses) and attempt + 1 < attempts:
+                last_error = ReproError("server overloaded")
+            else:
+                return responses
+        except (OSError, asyncio.TimeoutError, TransportError) as exc:
+            if attempt + 1 >= attempts:
+                raise
+            last_error = exc
+        delay = min(max_backoff_seconds, backoff_seconds * (2 ** attempt))
+        delay *= 0.5 + rng.random()
+        chaos.log_event("client_retry", attempt=attempt + 1,
+                        delay_seconds=delay,
+                        error=str(last_error) or repr(last_error))
+        await asyncio.sleep(delay)
+    raise ReproError(  # pragma: no cover - loop always returns or raises
+        f"retry loop exhausted after {attempts} attempts: {last_error}")
 
 
 def serve_address(server: asyncio.AbstractServer) -> Tuple[str, int]:

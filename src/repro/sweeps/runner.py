@@ -11,6 +11,17 @@ order or worker identity — and results are re-assembled in canonical cell
 order, so a parallel run aggregates bit-identical values to a serial run
 of the same spec and seed.
 
+Transient-failure contract: a worker process that *dies* (surfacing as
+:class:`concurrent.futures.process.BrokenProcessPool`) is not a cell
+failure — the pool is recreated and the not-yet-completed cells are
+resubmitted, up to ``max_retries`` times (``REPRO_SWEEP_RETRIES``,
+default 2), before a :class:`SweepExecutionError` surfaces.  Because
+cells are deterministic in ``(root seed, sweep name, cell parameters)``,
+a resubmitted cell produces the identical payload, so retries preserve
+the resume/cache contract exactly.  A cell function that *raises* is
+deterministic and still fails fast — replaying a deterministic failure
+would just repeat it.
+
 Cell functions must be importable module-level callables (the process
 pool pickles them by reference) with the signature::
 
@@ -36,12 +47,14 @@ import time
 from pathlib import Path
 from concurrent.futures import (
     FIRST_COMPLETED,
+    BrokenExecutor,
     CancelledError,
     ProcessPoolExecutor,
     wait,
 )
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import chaos
 from repro.errors import ConfigurationError, ReproError
 from repro.simulation.rng import RandomStreams
 from repro.sweeps.cache import MISS, SweepCache, canonicalize
@@ -50,6 +63,28 @@ from repro.sweeps.spec import SweepCell, SweepSpec
 
 #: A cell function: ``(cell, streams, context) -> JSON-encodable payload``.
 CellFunction = Callable[[SweepCell, RandomStreams, Any], Any]
+
+#: Environment override for the pooled-execution retry budget.
+SWEEP_RETRIES_ENV = "REPRO_SWEEP_RETRIES"
+
+#: Default extra attempts after a worker-process death breaks the pool.
+DEFAULT_MAX_RETRIES = 2
+
+
+def _max_retries_default() -> int:
+    raw = os.environ.get(SWEEP_RETRIES_ENV, "")
+    if not raw:
+        return DEFAULT_MAX_RETRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{SWEEP_RETRIES_ENV} expects a non-negative integer, "
+            f"got {raw!r}")
+    if value < 0:
+        raise ConfigurationError(
+            f"{SWEEP_RETRIES_ENV} must be >= 0, got {value}")
+    return value
 
 
 class SweepExecutionError(ReproError):
@@ -89,6 +124,17 @@ def _init_worker(context: Any) -> None:
 
 def _execute_cell_pooled(cell_fn: CellFunction, cell: SweepCell,
                          root_seed: int) -> Tuple[int, Any, float]:
+    plan = chaos.active_plan()
+    if plan is not None:
+        # ``sweep_kill`` matches by cell index and the pool generation
+        # (exported as REPRO_CHAOS_INCARNATION before each pool spawn),
+        # so a retried cell does not re-trigger the fault that killed
+        # its first attempt.
+        faults = plan.select("sweep_kill", cell=cell.index,
+                             incarnation=chaos.worker_incarnation())
+        if faults:
+            chaos.chaos_exit(faults[0], site="sweep_cell", cell=cell.index,
+                             incarnation=chaos.worker_incarnation())
     return _execute_cell(cell_fn, cell, root_seed, _WORKER_CONTEXT)
 
 
@@ -197,10 +243,15 @@ class SweepRunner:
         cache_dir: Directory for the JSON result cache; caching is
             disabled when omitted.
         seed: Default root seed for runs that don't pass one.
+        max_retries: Extra pooled attempts after a worker-process death
+            (``BrokenProcessPool``) before the run fails; defaults to
+            ``REPRO_SWEEP_RETRIES`` or 2.  Each retry recreates the pool
+            and resubmits only the cells without results yet.
     """
 
     def __init__(self, workers: Optional[int] = None,
-                 cache_dir: Optional[os.PathLike] = None, seed: int = 0):
+                 cache_dir: Optional[os.PathLike] = None, seed: int = 0,
+                 max_retries: Optional[int] = None):
         if workers == "auto":
             workers = default_worker_count()
         if workers is not None and int(workers) < 0:
@@ -208,6 +259,12 @@ class SweepRunner:
         self.workers = max(1, int(workers)) if workers else 1
         self.cache = SweepCache(cache_dir) if cache_dir is not None else None
         self.seed = int(seed)
+        if max_retries is None:
+            max_retries = _max_retries_default()
+        if int(max_retries) < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = int(max_retries)
 
     # ------------------------------------------------------------------
     # Execution.
@@ -294,34 +351,99 @@ class SweepRunner:
 
     def _run_parallel(self, cells, cell_fn, root_seed, context, context_key,
                       outcomes) -> None:
+        """Pooled execution with bounded retry of worker-process deaths.
+
+        Each attempt submits only the cells still missing from
+        ``outcomes``; a :class:`BrokenExecutor` (a worker died — SIGKILL,
+        ``os._exit``, OOM) recreates the pool and resubmits, up to
+        ``max_retries`` extra attempts.  Deterministic cell *exceptions*
+        never retry — they fail fast exactly as before.
+        """
+        remaining_cells = list(cells)
+        attempt = 0
+        while True:
+            try:
+                self._run_pool_once(remaining_cells, cell_fn, root_seed,
+                                    context, context_key, outcomes,
+                                    generation=attempt)
+                return
+            except BrokenExecutor as exc:
+                remaining_cells = [cell for cell in remaining_cells
+                                   if cell.index not in outcomes]
+                attempt += 1
+                if attempt > self.max_retries or not remaining_cells:
+                    victim = remaining_cells[0] if remaining_cells else cells[0]
+                    raise SweepExecutionError(victim, exc) from exc
+                chaos.log_event(
+                    "sweep_pool_retry", attempt=attempt,
+                    max_retries=self.max_retries,
+                    resubmitted=[cell.index for cell in remaining_cells],
+                    error=str(exc) or exc.__class__.__name__)
+
+    def _run_pool_once(self, cells: List[SweepCell], cell_fn, root_seed,
+                       context, context_key, outcomes, generation: int
+                       ) -> None:
+        """One process-pool attempt over ``cells``.
+
+        Raises :class:`BrokenExecutor` through to the retry loop after
+        recording every result that did complete, so a retry resubmits
+        the true remainder.  The pool generation is exported as
+        ``REPRO_CHAOS_INCARNATION`` before workers spawn, which is how
+        chaos ``sweep_kill`` faults scoped to incarnation 0 stay dead on
+        the retry.
+        """
+        plan = chaos.active_plan()
+        previous = os.environ.get(chaos.CHAOS_INCARNATION_ENV)
+        if plan is not None:
+            os.environ[chaos.CHAOS_INCARNATION_ENV] = str(generation)
         max_workers = min(self.workers, len(cells))
         failure = None
-        with ProcessPoolExecutor(max_workers=max_workers,
-                                 initializer=_init_worker,
-                                 initargs=(context,)) as pool:
-            futures = {pool.submit(_execute_cell_pooled, cell_fn, cell,
-                                   root_seed): cell
-                       for cell in cells}
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    cell = futures[future]
-                    try:
-                        _index, payload, duration = future.result()
-                    except CancelledError:
-                        continue
-                    except Exception as exc:
-                        # Remember the first failure but keep draining:
-                        # cells that completed (or are in flight) are still
-                        # recorded and cached, honoring the resume contract.
-                        if failure is None:
-                            failure = (cell, exc)
-                            for other in remaining:
-                                other.cancel()
-                        continue
-                    self._record(cell, payload, root_seed, context_key,
-                                 duration, outcomes)
+        broken = None
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers,
+                                     initializer=_init_worker,
+                                     initargs=(context,)) as pool:
+                futures = {pool.submit(_execute_cell_pooled, cell_fn, cell,
+                                       root_seed): cell
+                           for cell in cells}
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining,
+                                           return_when=FIRST_COMPLETED)
+                    for future in done:
+                        cell = futures[future]
+                        try:
+                            _index, payload, duration = future.result()
+                        except CancelledError:
+                            continue
+                        except BrokenExecutor as exc:
+                            # A worker died.  Keep draining the done set —
+                            # completed results are still recorded — then
+                            # surface to the retry loop.
+                            broken = exc
+                            continue
+                        except Exception as exc:
+                            # Remember the first failure but keep draining:
+                            # cells that completed (or are in flight) are
+                            # still recorded and cached, honoring the
+                            # resume contract.
+                            if failure is None:
+                                failure = (cell, exc)
+                                for other in remaining:
+                                    other.cancel()
+                            continue
+                        self._record(cell, payload, root_seed, context_key,
+                                     duration, outcomes)
+                    if broken is not None:
+                        break
+        finally:
+            if plan is not None:
+                if previous is None:
+                    os.environ.pop(chaos.CHAOS_INCARNATION_ENV, None)
+                else:
+                    os.environ[chaos.CHAOS_INCARNATION_ENV] = previous
+        if broken is not None:
+            raise broken
         if failure is not None:
             cell, exc = failure
             raise SweepExecutionError(cell, exc) from exc

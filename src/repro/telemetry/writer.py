@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import chaos
 from repro.errors import DataError
 from repro.training.trace import TraceSink
 
@@ -313,6 +314,12 @@ def write_npz(spool_dir: str, out_path: str, meta: Dict[str, object]) -> int:
     member (canonical-JSON, stored as a 0-d unicode array) leads the
     archive.
 
+    The write is atomic: bytes stream into a ``.tmp`` sibling that is
+    ``os.replace``-d over ``out_path`` only after the zip closes cleanly,
+    so a process killed mid-export leaves either the previous artifact or
+    nothing — never a truncated archive for ``TelemetryReader`` to choke
+    on.
+
     Returns:
         The number of spool files packed (excluding ``meta``).
     """
@@ -321,14 +328,38 @@ def write_npz(spool_dir: str, out_path: str, meta: Dict[str, object]) -> int:
     document = dict(meta)
     document["format_version"] = TELEMETRY_FORMAT_VERSION
     meta_json = json.dumps(document, sort_keys=True, separators=(",", ":"))
-    with open(out_path, "wb") as out:
-        with zipfile.ZipFile(out, "w", zipfile.ZIP_STORED) as archive:
-            _add_member(archive, "meta.npy",
-                        _npy_bytes(np.array(meta_json, dtype=np.str_)))
-            for name in names:
-                arcname = name[:-4].replace("__", "/") + ".npy"
-                with open(os.path.join(spool_dir, name), "rb") as chunk:
-                    _add_member(archive, arcname, chunk.read())
+    plan = chaos.active_plan()
+    monitor = plan.monitor("npz_truncate") if plan is not None else None
+    tmp_path = f"{out_path}.tmp"
+    try:
+        with open(tmp_path, "wb") as out:
+            with zipfile.ZipFile(out, "w", zipfile.ZIP_STORED) as archive:
+                _add_member(archive, "meta.npy",
+                            _npy_bytes(np.array(meta_json, dtype=np.str_)))
+                for name in names:
+                    if monitor:
+                        fault = monitor.tick()
+                        if fault is not None:
+                            chaos.log_event("injected_npz_truncate",
+                                            fault=fault.to_entry(),
+                                            member=name, out_path=out_path)
+                            raise DataError(
+                                f"chaos: telemetry export truncated before "
+                                f"member {name!r}")
+                    arcname = name[:-4].replace("__", "/") + ".npy"
+                    with open(os.path.join(spool_dir, name), "rb") as chunk:
+                        _add_member(archive, arcname, chunk.read())
+            out.flush()
+            os.fsync(out.fileno())
+    except BaseException:
+        # The artifact path must never hold partial bytes; the tmp
+        # sibling is ours to discard.
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+    os.replace(tmp_path, out_path)
     return len(names)
 
 

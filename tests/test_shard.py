@@ -253,6 +253,14 @@ def test_sharded_event_counts_sum_across_shards(catalog):
 # ---------------------------------------------------------------------------
 # Failure propagation and plumbing.
 # ---------------------------------------------------------------------------
+def _live_fleet_children():
+    """Any still-running multiprocessing children of this test process."""
+    import multiprocessing
+
+    return [process for process in multiprocessing.active_children()
+            if process.name.startswith("repro-fleet-shard")]
+
+
 def test_shard_failure_surfaces_as_a_simulation_error(catalog):
     """A shard that dies mid-run (unknown model resolved in the child)
     raises in the parent with the child traceback, instead of hanging the
@@ -265,6 +273,68 @@ def test_shard_failure_surfaces_as_a_simulation_error(catalog):
     with pytest.raises(SimulationError, match="shard"):
         run_fleet_sharded(broken, RandomStreams(seed=3), catalog=catalog,
                           shards=4)
+    assert _live_fleet_children() == [], \
+        "the fail-fast path must reap every child before raising"
+
+
+def test_fail_fast_path_reaps_all_children(catalog):
+    """A deterministic child error is NOT retried (replaying it would just
+    repeat it); the parent raises with zero restarts used and no live
+    children left behind."""
+    scenario = four_region_storm(jobs=4, total_steps=1000)
+    broken = dataclasses.replace(
+        scenario,
+        jobs=(dataclasses.replace(scenario.jobs[0],
+                                  model_name="no_such_model"),)
+        + scenario.jobs[1:])
+    run = ShardedFleetRun(broken, RandomStreams(seed=3), catalog=catalog,
+                          shards=4, max_restarts=5)
+    with pytest.raises(SimulationError, match="no_such_model"):
+        run.run()
+    assert run.restarts == [], "deterministic errors must not burn restarts"
+    assert _live_fleet_children() == []
+
+
+def test_exhausted_restart_budget_raises_and_reaps(catalog, monkeypatch):
+    """A shard that keeps crashing (chaos kills every incarnation) exhausts
+    the restart budget, surfaces a clean SimulationError naming it, and
+    leaves no live children."""
+    monkeypatch.setenv(
+        "REPRO_CHAOS",
+        ";".join(f"shard_crash:shard=0,at=1,incarnation={i}"
+                 for i in range(4)))
+    scenario = four_region_storm(jobs=4, total_steps=1000)
+    run = ShardedFleetRun(scenario, RandomStreams(seed=3), catalog=catalog,
+                          shards=4, max_restarts=2)
+    with pytest.raises(SimulationError,
+                       match=r"restart budget \(2\) is exhausted"):
+        run.run()
+    assert len(run.restarts) == 2, "both budgeted restarts were attempted"
+    assert all(record["shard"] == 0 for record in run.restarts)
+    assert _live_fleet_children() == []
+
+
+def test_restart_budget_env_knob_and_validation(monkeypatch):
+    from repro.scenarios.shard import _heartbeat_default, _max_restarts_default
+
+    monkeypatch.setenv("REPRO_SHARD_RESTARTS", "7")
+    assert _max_restarts_default() == 7
+    monkeypatch.setenv("REPRO_SHARD_RESTARTS", "-1")
+    with pytest.raises(ConfigurationError):
+        _max_restarts_default()
+    monkeypatch.setenv("REPRO_SHARD_RESTARTS", "lots")
+    with pytest.raises(ConfigurationError):
+        _max_restarts_default()
+    monkeypatch.setenv("REPRO_SHARD_HEARTBEAT_SECONDS", "0")
+    with pytest.raises(ConfigurationError):
+        _heartbeat_default()
+    scenario = four_region_storm(jobs=4, total_steps=1000)
+    with pytest.raises(ConfigurationError):
+        ShardedFleetRun(scenario, RandomStreams(seed=3), shards=2,
+                        max_restarts=-1)
+    with pytest.raises(ConfigurationError):
+        ShardedFleetRun(scenario, RandomStreams(seed=3), shards=2,
+                        heartbeat_seconds=0.0)
 
 
 def test_fleet_cell_routes_through_the_env_knob(catalog, monkeypatch):
