@@ -1,0 +1,220 @@
+"""Record the out-of-core telemetry analysis baseline (``BENCH_telemetry.json``).
+
+Pins the two contracts behind ``repro-telemetry report`` and the
+:mod:`repro.analysis.streaming` accumulators:
+
+* **Value identity** — on the ``multi_region_hetero`` artifact the
+  streaming report equals the materialized (full ``step_rows`` /
+  ``draw_rows``) report float for float, and stays equal when the
+  accumulator block size changes (canonical re-blocking makes the float
+  operation sequence a pure function of the value stream);
+* **Bounded memory** — tracemalloc peak of a fleet-wide streaming
+  describe over every job's step-time chunks stays O(block_rows): flat
+  as the calibration fleet grows 10x in job count.  The gated number is
+  ``memory_flatness = peak_small_mb / peak_large_mb`` (a ratio, so it is
+  host independent); a leak that scales analysis memory with fleet size
+  drives it toward 0.  The ``fleet_report`` peaks are recorded as an
+  informative aside — the report *document* is inherently O(jobs) (one
+  row per job), so only sub-linear growth is expected there, not
+  flatness.
+
+Run with::
+
+    python benchmarks/telemetry_baseline.py            # full baseline, writes JSON
+    python benchmarks/telemetry_baseline.py --quick    # quick config only, no write
+    python benchmarks/telemetry_baseline.py --quick --check
+        # measure the quick config and fail (exit 1) if memory flatness
+        # regressed more than 35% against the committed BENCH_telemetry.json
+    python benchmarks/telemetry_baseline.py --quick --json-out out.json
+        # also dump the measured numbers (CI uploads these as artifacts)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import tracemalloc
+
+from _common import environment_block, make_parser, ratio_gate, write_json
+from repro.analysis.streaming import StreamingDescribe
+from repro.scenarios.catalog import get_scenario
+from repro.telemetry.export import export_fleet_telemetry
+from repro.telemetry.fleets import calibration_scenario
+from repro.telemetry.reader import TelemetryReader
+from repro.telemetry.report import fleet_report
+
+#: The reference analysis configuration.  ``block_rows`` is the
+#: accumulator block/run size (the memory bound); the calibration fleet
+#: is scaled 10x between the small and large artifacts, with per-job
+#: row counts held fixed, so a flat peak isolates fleet-size scaling.
+REFERENCE = {"identity_scenario": "multi_region_hetero", "seed": 0,
+             "chunk_rows": 256, "block_rows": 1024,
+             "small_jobs_per_cell": 8, "large_jobs_per_cell": 80}
+
+#: Quick variant used by the CI smoke gate (still a 10x job-count span).
+QUICK_JOBS_PER_CELL = (4, 40)
+
+#: Allowed fractional flatness regression before ``--check`` fails.
+REGRESSION_TOLERANCE = 0.35
+
+#: Hard floor on memory flatness, asserted on every run: below this the
+#: accumulators are scaling with fleet size, not with block_rows.
+FLATNESS_FLOOR = 0.4
+
+OUTPUT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "BENCH_telemetry.json")
+
+
+def _step_times(chunk):
+    steps = chunk[:, 3]
+    mask = steps > 0
+    return (chunk[mask, 2] - chunk[mask, 1]) / steps[mask]
+
+
+def _export_calibration(directory: str, jobs_per_cell: int) -> str:
+    path = os.path.join(directory, f"calibration_{jobs_per_cell}.npz")
+    export_fleet_telemetry(
+        calibration_scenario(jobs_per_cell=jobs_per_cell), path,
+        seed=REFERENCE["seed"], chunk_rows=REFERENCE["chunk_rows"])
+    return path
+
+
+def _accumulator_peak_mb(path: str, block_rows: int):
+    """Peak traced MB of a fleet-wide streaming describe over ``path``."""
+    with TelemetryReader(path) as reader:
+        ranks = list(reader.ranks)
+        tracemalloc.start()
+        values = 0
+        with StreamingDescribe(block_rows=block_rows) as describe:
+            for rank in ranks:
+                for chunk in reader.step_chunks(rank):
+                    times = _step_times(chunk)
+                    values += int(times.size)
+                    describe.update(times)
+            summary = describe.result()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return round(peak / (1024.0 * 1024.0), 4), values, summary
+
+
+def _report_peak_mb(path: str, block_rows: int) -> float:
+    """Peak traced MB of the full (O(jobs)-document) fleet report."""
+    with TelemetryReader(path) as reader:
+        tracemalloc.start()
+        fleet_report(reader, block_rows=block_rows)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return round(peak / (1024.0 * 1024.0), 4)
+
+
+def _verify_identity(directory: str) -> dict:
+    """Streaming report == materialized report, at every block size.
+
+    Canonical re-blocking makes the accumulators' float operations a
+    pure function of (value stream, block_rows): for any fixed block
+    size, chunk-fed and materialized feeding are bit-identical.
+    Different block sizes are different (equally valid) float
+    sequences, so identity is asserted per block size, not across them.
+    """
+    path = os.path.join(directory, "identity.npz")
+    export_fleet_telemetry(
+        get_scenario(REFERENCE["identity_scenario"]), path,
+        seed=REFERENCE["seed"], chunk_rows=REFERENCE["chunk_rows"])
+    with TelemetryReader(path) as reader:
+        materialized = fleet_report(reader, materialized=True)
+        for block_rows in (REFERENCE["block_rows"], 97, 7919):
+            streamed = fleet_report(reader, block_rows=block_rows)
+            reference = fleet_report(reader, materialized=True,
+                                     block_rows=block_rows)
+            assert streamed == reference, (
+                f"streaming report (block_rows={block_rows}) diverged "
+                f"from the materialized report")
+    return {
+        "scenario": REFERENCE["identity_scenario"],
+        "jobs": len(materialized["jobs"]),
+        "step_rows": materialized["fleet"]["step_rows"],
+        "streaming_equals_materialized": True,
+    }
+
+
+def _measure(small_jobs_per_cell: int, large_jobs_per_cell: int) -> dict:
+    block_rows = REFERENCE["block_rows"]
+    with tempfile.TemporaryDirectory(prefix="bench-telemetry-") as directory:
+        identity = _verify_identity(directory)
+        small = _export_calibration(directory, small_jobs_per_cell)
+        large = _export_calibration(directory, large_jobs_per_cell)
+        peak_small, values_small, _ = _accumulator_peak_mb(small, block_rows)
+        peak_large, values_large, _ = _accumulator_peak_mb(large, block_rows)
+        report_small = _report_peak_mb(small, block_rows)
+        report_large = _report_peak_mb(large, block_rows)
+    flatness = round(peak_small / peak_large, 3)
+    assert flatness >= FLATNESS_FLOOR, (
+        f"streaming analysis peak grew with fleet size: "
+        f"{peak_small} MB -> {peak_large} MB over a "
+        f"{values_large / values_small:.0f}x value span "
+        f"(flatness {flatness} < {FLATNESS_FLOOR})")
+    return {
+        "jobs_per_cell": [small_jobs_per_cell, large_jobs_per_cell],
+        "jobs": [6 * small_jobs_per_cell, 6 * large_jobs_per_cell],
+        "step_time_values": [values_small, values_large],
+        "accumulator_peak_mb": {"small": peak_small, "large": peak_large},
+        "memory_flatness": flatness,
+        "report_peak_mb": {"small": report_small, "large": report_large},
+        "identity": identity,
+    }
+
+
+def main(argv=None) -> int:
+    parser = make_parser(
+        __doc__, output=OUTPUT,
+        check_help="compare the quick memory-flatness ratio against a "
+                   "committed baseline (default benchmarks/"
+                   "BENCH_telemetry.json) and exit non-zero on a >35%% "
+                   "regression")
+    args = parser.parse_args(argv)
+
+    quick = _measure(*QUICK_JOBS_PER_CELL)
+    print(json.dumps({"quick": quick}, indent=2))
+    measured = {"quick": quick}
+    status = 0
+    if args.check is not None:
+        status = ratio_gate(
+            args.check, quick,
+            ratio_path=("memory_flatness",),
+            label="telemetry analysis memory flatness",
+            tolerance=REGRESSION_TOLERANCE,
+            precision=3)
+    elif not args.quick:
+        full = _measure(REFERENCE["small_jobs_per_cell"],
+                        REFERENCE["large_jobs_per_cell"])
+        measured["full"] = full
+        baseline = {
+            "reference_analysis": REFERENCE,
+            "full": full,
+            "quick": quick,
+            "environment": environment_block(),
+            "note": ("memory_flatness = tracemalloc peak of a fleet-wide "
+                     "streaming describe on the small calibration fleet "
+                     "divided by the same peak on the 10x-jobs fleet; 1.0 "
+                     "is perfectly flat, and a leak that scales analysis "
+                     "memory with fleet size drives it toward 0.  Peaks "
+                     "are host specific, the ratio is not.  The identity "
+                     "block re-asserts that the streaming fleet report "
+                     "equals the materialized one float for float across "
+                     "accumulator block sizes.  Regenerate with `python "
+                     "benchmarks/telemetry_baseline.py` when the streaming "
+                     "accumulators, the telemetry reader, or the report "
+                     "aggregation changes."),
+        }
+        print(json.dumps({"full": full}, indent=2))
+        print()
+        write_json(OUTPUT, baseline)
+    if args.json_out:
+        write_json(args.json_out, measured)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

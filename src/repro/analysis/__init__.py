@@ -2,7 +2,10 @@
 
 The benches use these to print tables shaped like the paper's and to emit
 the data series behind each figure (as text, since the repository has no
-plotting dependency).
+plotting dependency).  :mod:`repro.analysis.streaming` adds the
+bounded-memory accumulators the out-of-core telemetry analysis rides on
+(chunk-fed moments, fixed-bin histograms, and exact spill-and-merge
+percentiles).
 """
 
 from repro.analysis.stats import (
@@ -10,6 +13,12 @@ from repro.analysis.stats import (
     describe,
     empirical_cdf,
     mean_and_std,
+)
+from repro.analysis.streaming import (
+    ExactPercentiles,
+    StreamingDescribe,
+    StreamingHistogram,
+    StreamingMoments,
 )
 from repro.analysis.tables import format_table
 from repro.analysis.figures import FigureSeries, ascii_plot
@@ -20,6 +29,10 @@ __all__ = [
     "describe",
     "empirical_cdf",
     "mean_and_std",
+    "ExactPercentiles",
+    "StreamingDescribe",
+    "StreamingHistogram",
+    "StreamingMoments",
     "format_table",
     "FigureSeries",
     "ascii_plot",

@@ -41,7 +41,13 @@ def empirical_cdf(values: Sequence[float], grid: Sequence[float],
     denominator = max(population, observations.size)
     if denominator == 0:
         raise DataError("cannot build a CDF with no observations and no population")
-    return np.array([(observations <= point).sum() / denominator for point in grid])
+    # One sort + searchsorted instead of an O(len(grid) * n) Python loop:
+    # the count of observations <= point is the right-insertion index of
+    # point into the sorted observations.
+    ordered = np.sort(observations)
+    counts = np.searchsorted(ordered, np.asarray(list(grid), dtype=float),
+                             side="right")
+    return counts / denominator
 
 
 def describe(values: Sequence[float]) -> Dict[str, float]:
@@ -49,13 +55,14 @@ def describe(values: Sequence[float]) -> Dict[str, float]:
     array = np.asarray(list(values), dtype=float)
     if array.size == 0:
         raise DataError("cannot describe an empty sequence")
+    p50, p95 = np.percentile(array, (50.0, 95.0))
     return {
         "count": float(array.size),
         "mean": float(array.mean()),
         "std": float(array.std(ddof=1)) if array.size > 1 else 0.0,
         "min": float(array.min()),
-        "p50": float(np.percentile(array, 50)),
-        "p95": float(np.percentile(array, 95)),
+        "p50": float(p50),
+        "p95": float(p95),
         "max": float(array.max()),
     }
 

@@ -21,6 +21,22 @@ telemetry is attached.  Sinks receive the same ``append_row`` /
 plain Python lists and flushes fixed-size ``float64`` chunks to disk, so
 peak memory is bounded by ``chunk_rows`` regardless of fleet size.
 
+Streaming-memory contract
+-------------------------
+Reading mirrors writing: analysis over an artifact is bounded by
+O(``chunk_rows``), never by the fleet size.  :class:`TelemetryReader`
+decodes one chunk at a time (``step_chunks`` / ``draw_chunks``), and
+every built-in consumer — :func:`repro.telemetry.report.fleet_report`,
+:func:`repro.telemetry.diff.diff_artifacts`, and the draw/anchor pooling
+inside :func:`~repro.telemetry.recalibrate.recalibrate` — feeds those
+chunks through the :mod:`repro.analysis.streaming` accumulators (stable
+block-merged moments, fixed-bin histograms, exact spill-and-merge
+percentiles) instead of concatenating a job's tables.  The streaming
+report is value-identical to the materialized ``step_rows`` path, and
+``benchmarks/telemetry_baseline.py`` pins the memory bound with
+tracemalloc: analysis peak stays flat as the job count grows 10x
+(committed as ``BENCH_telemetry.json``).
+
 Merge and ordering guarantees
 -----------------------------
 Spool files are keyed by *global job rank* and per-job chunk index — never by
@@ -50,6 +66,8 @@ from repro.telemetry.recalibrate import (
 )
 from repro.telemetry.export import export_fleet_telemetry
 from repro.telemetry.fleets import calibration_scenario
+from repro.telemetry.diff import TelemetryDiff, diff_artifacts
+from repro.telemetry.report import fleet_report, render_report
 
 __all__ = [
     "DEFAULT_CHUNK_ROWS",
@@ -64,4 +82,8 @@ __all__ = [
     "recalibrate",
     "export_fleet_telemetry",
     "calibration_scenario",
+    "TelemetryDiff",
+    "diff_artifacts",
+    "fleet_report",
+    "render_report",
 ]

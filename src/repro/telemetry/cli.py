@@ -1,10 +1,16 @@
-"""``repro-telemetry``: export fleet telemetry and recalibrate from it.
+"""``repro-telemetry``: export, analyze, and recalibrate fleet telemetry.
 
-Two subcommands on the shared :mod:`repro.cli` plumbing:
+Four subcommands on the shared :mod:`repro.cli` plumbing:
 
 * ``export`` — run one replicate of a named scenario (or the built-in
   ``telemetry_calibration`` fleet) with the telemetry spool attached and
   write the columnar ``.npz`` artifact;
+* ``report`` — render the fleet table, step-time summary, and local-hour
+  revocation histogram from an artifact alone, streaming chunk by chunk
+  (bounded memory, any fleet size);
+* ``diff`` — compare two artifacts cell by cell (row counts, per-column
+  max-abs-delta, added/removed jobs); ``--exact`` additionally asserts
+  byte identity.  Exits 0 only when the artifacts agree;
 * ``recalibrate`` — refit the revocation/step-time parameters from an
   artifact, optionally writing the refit document as JSON and/or gating
   on the self-consistency tolerances (``--check``, the CI smoke's mode).
@@ -20,10 +26,12 @@ from typing import List, Optional
 from repro.cli import run_cli, write_json_out
 from repro.errors import ConfigurationError
 from repro.scenarios.catalog import SCENARIO_BUILDERS, get_scenario
+from repro.telemetry.diff import diff_artifacts
 from repro.telemetry.export import export_fleet_telemetry
 from repro.telemetry.fleets import calibration_scenario
 from repro.telemetry.reader import TelemetryReader
 from repro.telemetry.recalibrate import check_recovery, recalibrate
+from repro.telemetry.report import fleet_report, render_report
 from repro.telemetry.writer import DEFAULT_CHUNK_ROWS
 
 
@@ -54,6 +62,28 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--jobs-per-cell", type=int, default=240,
                         help=("calibration-fleet size knob (only with "
                               "scenario 'telemetry_calibration')"))
+
+    report = commands.add_parser(
+        "report", help=("render the fleet table + revocation-hour "
+                        "histogram from an artifact alone (streaming, "
+                        "bounded memory)"))
+    report.add_argument("artifact", help="telemetry .npz artifact to read")
+    report.add_argument("--json", dest="json_out", default=None,
+                        metavar="PATH",
+                        help="also write the report document as JSON")
+    report.add_argument("--block-rows", type=int, default=None,
+                        help=("streaming accumulator block size (default: "
+                              "the artifact's own chunk_rows)"))
+
+    diff = commands.add_parser(
+        "diff", help=("compare two artifacts cell by cell; exits 0 only "
+                      "when they agree"))
+    diff.add_argument("artifact_a", help="reference telemetry .npz")
+    diff.add_argument("artifact_b", help="candidate telemetry .npz")
+    diff.add_argument("--exact", action="store_true",
+                      help="additionally assert byte identity of the files")
+    diff.add_argument("--json", dest="json_out", default=None, metavar="PATH",
+                      help="also write the diff document as JSON")
 
     refit = commands.add_parser(
         "recalibrate", help="refit model parameters from a telemetry npz")
@@ -88,6 +118,26 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    with TelemetryReader(args.artifact) as reader:
+        document = fleet_report(reader, block_rows=args.block_rows)
+    print(render_report(document))
+    if args.json_out:
+        write_json_out(args.json_out, document,
+                       len(document["jobs"]), "job rows")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    result = diff_artifacts(args.artifact_a, args.artifact_b,
+                            exact=args.exact)
+    print(result.summary())
+    if args.json_out:
+        write_json_out(args.json_out, result.to_document(),
+                       len(result.jobs), "compared jobs")
+    return 0 if result.identical else 1
+
+
 def _cmd_recalibrate(args: argparse.Namespace) -> int:
     with TelemetryReader(args.artifact) as reader:
         result = recalibrate(reader)
@@ -116,6 +166,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     def body() -> int:
         if args.command == "export":
             return _cmd_export(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
         return _cmd_recalibrate(args)
 
     return run_cli(body)

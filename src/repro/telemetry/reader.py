@@ -3,11 +3,18 @@
 Entries load lazily — :class:`numpy.lib.npyio.NpzFile` only decodes a
 member when indexed — so reading a huge artifact's draw rows never
 materializes its step chunks.
+
+Streaming consumers should iterate :meth:`TelemetryReader.step_chunks` /
+:meth:`TelemetryReader.draw_chunks`, which decode and yield one
+fixed-size chunk at a time; the ``step_rows`` / ``draw_rows``
+conveniences concatenate a whole job and are only appropriate for
+small fleets or single-job inspection.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
@@ -22,15 +29,28 @@ class TelemetryReader:
 
     def __init__(self, path: str):
         self.path = path
-        self._npz = np.load(path, allow_pickle=False)
-        if "meta" not in self._npz.files:
-            raise DataError(f"not a telemetry artifact (no meta entry): {path}")
-        self.meta: Dict[str, object] = json.loads(str(self._npz["meta"][()]))
-        version = self.meta.get("format_version")
-        if version != TELEMETRY_FORMAT_VERSION:
+        try:
+            self._npz = np.load(path, allow_pickle=False)
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
             raise DataError(
-                f"unsupported telemetry format version {version!r} in {path}; "
-                f"this reader understands {TELEMETRY_FORMAT_VERSION}")
+                f"cannot open telemetry artifact {path}: {exc}") from exc
+        try:
+            if "meta" not in self._npz.files:
+                raise DataError(
+                    f"not a telemetry artifact (no meta entry): {path}")
+            self.meta: Dict[str, object] = json.loads(str(self._npz["meta"][()]))
+            version = self.meta.get("format_version")
+            if version != TELEMETRY_FORMAT_VERSION:
+                raise DataError(
+                    f"unsupported telemetry format version {version!r} in {path}; "
+                    f"this reader understands {TELEMETRY_FORMAT_VERSION}")
+        except BaseException:
+            # A rejected artifact must not leak the open zip handle.
+            self._npz.close()
+            raise
+        self._job_meta: Dict[int, Dict[str, object]] = {
+            int(entry["rank"]): entry
+            for entry in self.meta.get("jobs", [])}
         self._members: Dict[int, Dict[str, List[str]]] = {}
         for name in self._npz.files:
             if name == "meta":
@@ -52,11 +72,15 @@ class TelemetryReader:
         return sorted(self._members)
 
     def job_meta(self, rank: int) -> Dict[str, object]:
-        """The ``meta`` document's entry for one job."""
-        for entry in self.meta.get("jobs", []):
-            if entry.get("rank") == rank:
-                return entry
-        raise DataError(f"job rank {rank} not present in telemetry meta")
+        """The ``meta`` document's entry for one job.
+
+        O(1): the ``meta["jobs"]`` list is indexed by rank once at open
+        time, so iterating a fleet stays linear in the job count.
+        """
+        entry = self._job_meta.get(rank)
+        if entry is None:
+            raise DataError(f"job rank {rank} not present in telemetry meta")
+        return entry
 
     # ------------------------------------------------------------------
     def workers(self, rank: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -83,15 +107,17 @@ class TelemetryReader:
             return np.empty((0, len(STEP_COLUMNS)), dtype=np.float64)
         return np.concatenate(chunks, axis=0)
 
-    def draw_rows(self, rank: int) -> np.ndarray:
-        """One job's revocation-draw rows as a single ``(n, 5)`` array."""
-        names = self._members.get(rank, {}).get("draws", [])
-        chunks = []
-        for name in names:
+    def draw_chunks(self, rank: int) -> Iterator[np.ndarray]:
+        """Yield one job's ``(n, 5)`` draw-row chunks in write order."""
+        for name in self._members.get(rank, {}).get("draws", []):
             chunk = self._npz[name]
             if chunk.ndim != 2 or chunk.shape[1] != len(DRAW_COLUMNS):
                 raise DataError(f"malformed draw chunk {name} in {self.path}")
-            chunks.append(chunk)
+            yield chunk
+
+    def draw_rows(self, rank: int) -> np.ndarray:
+        """One job's revocation-draw rows as a single ``(n, 5)`` array."""
+        chunks = list(self.draw_chunks(rank))
         if not chunks:
             return np.empty((0, len(DRAW_COLUMNS)), dtype=np.float64)
         return np.concatenate(chunks, axis=0)

@@ -289,22 +289,34 @@ def _base_hour_distribution(shape: float, scale: float,
 # ---------------------------------------------------------------------------
 def _collect_draws(reader: TelemetryReader
                    ) -> Dict[Tuple[str, str], Dict[str, np.ndarray]]:
-    """Pool draw rows per ``(gpu, region)`` cell across all jobs."""
+    """Pool draw rows per ``(gpu, region)`` cell across all jobs.
+
+    Consumes :meth:`TelemetryReader.draw_chunks` one chunk at a time and
+    groups each chunk's rows by cell with vectorized selection, so the
+    transient working set stays one chunk plus the per-cell output (never
+    a per-row Python list over the whole fleet).
+    """
     pooled: Dict[Tuple[str, str], List[np.ndarray]] = {}
     for rank in reader.ranks:
-        rows = reader.draw_rows(rank)
-        if not len(rows):
-            continue
-        _ids, gpus, regions = reader.workers(rank)
-        worker = rows[:, 0].astype(np.int64)
-        keys = [(str(gpus[w]), str(regions[w])) for w in worker]
-        for i, key in enumerate(keys):
-            if not key[0]:
+        gpus = regions = None
+        for chunk in reader.draw_chunks(rank):
+            if not len(chunk):
                 continue
-            pooled.setdefault(key, []).append(rows[i])
+            if gpus is None:
+                _ids, gpus, regions = reader.workers(rank)
+            worker = chunk[:, 0].astype(np.int64)
+            chunk_gpus = np.asarray(gpus)[worker]
+            chunk_regions = np.asarray(regions)[worker]
+            for gpu in np.unique(chunk_gpus):
+                if not gpu:
+                    continue
+                for region in np.unique(chunk_regions[chunk_gpus == gpu]):
+                    select = (chunk_gpus == gpu) & (chunk_regions == region)
+                    pooled.setdefault((str(gpu), str(region)), []).append(
+                        chunk[select])
     cells: Dict[Tuple[str, str], Dict[str, np.ndarray]] = {}
     for key, entries in pooled.items():
-        block = np.vstack(entries)
+        block = np.concatenate(entries, axis=0)
         cells[key] = {
             "launch_hour": block[:, 1],
             "revoked": block[:, 2] > 0.5,

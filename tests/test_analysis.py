@@ -1,5 +1,6 @@
 """Tests for the analysis helpers (stats, tables, figures, reports)."""
 
+import numpy as np
 import pytest
 
 from repro.analysis.figures import FigureSeries, ascii_plot
@@ -30,6 +31,22 @@ def test_coefficient_of_variation():
         coefficient_of_variation([0.0, 0.0])
 
 
+def test_empirical_cdf_matches_per_point_loop():
+    # Value-identity pin for the sort+searchsorted rewrite: it must equal
+    # the original per-grid-point counting loop on every point, including
+    # ties, repeated observations, and grid points outside the data range.
+    rng = np.random.default_rng(5)
+    values = np.round(rng.gamma(2.0, 3.0, size=257), 1)  # forces ties
+    grid = np.concatenate([[-1.0, 0.0], np.sort(rng.choice(values, 40)),
+                           [values.max(), values.max() + 5.0]])
+    for population in (0, 1000):
+        denominator = max(population, values.size)
+        reference = np.array([np.count_nonzero(values <= point) / denominator
+                              for point in grid])
+        fast = empirical_cdf(values, grid, population=population)
+        assert fast.tolist() == reference.tolist()
+
+
 def test_empirical_cdf_monotone_and_censored():
     values = [1.0, 2.0, 5.0]
     grid = [0.5, 1.0, 3.0, 10.0]
@@ -47,6 +64,11 @@ def test_describe_keys():
     assert summary["min"] == 1.0
     assert summary["max"] == 4.0
     assert summary["p50"] == pytest.approx(2.5)
+    # The single two-quantile percentile call equals separate calls.
+    values = np.random.default_rng(9).normal(size=333)
+    summary = describe(values)
+    assert summary["p50"] == np.percentile(values, 50.0)
+    assert summary["p95"] == np.percentile(values, 95.0)
 
 
 def test_relative_difference():

@@ -105,17 +105,89 @@ def test_spool_unregistered_worker_gets_anonymous_slot(tmp_path):
         assert job._worker_gpus == [""]
 
 
-def test_reader_rejects_unknown_format(tmp_path):
+def test_reader_rejects_unknown_format(tmp_path, monkeypatch):
     # write_npz always stamps the current version, so forge the artifact.
     out_path = str(tmp_path / "bad.npz")
     np.savez(out_path, meta=np.array(json.dumps({"format_version": 99}),
                                      dtype=np.str_))
+    # Capture the NpzFile the constructor opens: a rejected artifact must
+    # close it instead of leaking the zip handle with the exception.
+    opened = []
+    real_load = np.load
+
+    def capture_load(*args, **kwargs):
+        npz = real_load(*args, **kwargs)
+        opened.append(npz)
+        return npz
+
+    monkeypatch.setattr(np, "load", capture_load)
     with pytest.raises(DataError, match="format version"):
         TelemetryReader(out_path)
     not_telemetry = str(tmp_path / "plain.npz")
     np.savez(not_telemetry, rows=np.zeros(3))
     with pytest.raises(DataError, match="no meta entry"):
         TelemetryReader(not_telemetry)
+    assert len(opened) == 2
+    assert all(npz.zip is None and npz.fid is None for npz in opened)
+
+
+def test_reader_wraps_unreadable_paths_in_data_error(tmp_path):
+    # Missing files and non-npz bytes surface as DataError so the CLIs
+    # print a clean "error:" line instead of a traceback.
+    with pytest.raises(DataError, match="cannot open telemetry artifact"):
+        TelemetryReader(str(tmp_path / "missing.npz"))
+    garbage = tmp_path / "garbage.npz"
+    garbage.write_bytes(b"this is not a zip archive")
+    with pytest.raises(DataError, match="cannot open telemetry artifact"):
+        TelemetryReader(str(garbage))
+
+
+def test_reader_job_meta_indexed_by_rank(tmp_path):
+    spool_dir = str(tmp_path / "spool")
+    out_path = str(tmp_path / "meta.npz")
+    os.makedirs(spool_dir)
+    with TelemetrySpool(TelemetryConfig(spool_dir=spool_dir)) as spool:
+        spool.job(5, "job-five", "resnet_32", 1.56)
+    # meta jobs deliberately unsorted: lookup must go by rank, not order.
+    write_npz(spool_dir, out_path, {"scenario": "unit", "jobs": [
+        {"rank": 7, "name": "job-seven"}, {"rank": 5, "name": "job-five"}]})
+    with TelemetryReader(out_path) as reader:
+        assert reader.job_meta(5)["name"] == "job-five"
+        assert reader.job_meta(7)["name"] == "job-seven"
+        with pytest.raises(DataError, match="rank 3"):
+            reader.job_meta(3)
+
+
+def test_reader_chunk_iterators_match_materialized(tmp_path):
+    spool_dir = str(tmp_path / "spool")
+    out_path = str(tmp_path / "chunks.npz")
+    os.makedirs(spool_dir)
+    with TelemetrySpool(TelemetryConfig(spool_dir=spool_dir,
+                                        chunk_rows=4)) as spool:
+        job = spool.job(0, "job-a", "resnet_15", 0.589)
+        job.register_worker("worker-0", "k80", "us-east1")
+        sink = job.step_sink()
+        for index in range(11):
+            sink.append_row("worker-0", float(index), index + 0.5,
+                            10, 10 * (index + 1), 10 * (index + 1))
+        for _ in range(6):
+            job.record_draw("worker-0", 1.0, _outcome(False))
+    write_npz(spool_dir, out_path, {"scenario": "unit", "jobs": []})
+    with TelemetryReader(out_path) as reader:
+        # Partial final chunks: 11 steps -> 4/4/3, 6 draws -> 4/2.
+        step_chunks = list(reader.step_chunks(0))
+        assert [len(chunk) for chunk in step_chunks] == [4, 4, 3]
+        draw_chunks = list(reader.draw_chunks(0))
+        assert [len(chunk) for chunk in draw_chunks] == [4, 2]
+        np.testing.assert_array_equal(np.concatenate(step_chunks),
+                                      reader.step_rows(0))
+        np.testing.assert_array_equal(np.concatenate(draw_chunks),
+                                      reader.draw_rows(0))
+        # A rank with no recorded rows streams nothing and materializes
+        # empty-but-shaped tables.
+        assert list(reader.step_chunks(42)) == []
+        assert reader.step_rows(42).shape == (0, len(STEP_COLUMNS))
+        assert reader.draw_rows(42).shape == (0, len(DRAW_COLUMNS))
 
 
 # ---------------------------------------------------------------------------
